@@ -1,0 +1,45 @@
+//! Criterion benchmark for the torch.save-style container codec — the
+//! serializer the baselines pay per checkpoint (and the one Portus
+//! only pays offline, in `portusctl dump`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use portus_dnn::{DType, TensorMeta};
+use portus_format::{read_checkpoint, write_checkpoint, CheckpointEntry, PayloadSource};
+
+fn entries(n: usize, bytes_each: usize) -> Vec<CheckpointEntry> {
+    (0..n)
+        .map(|i| CheckpointEntry {
+            meta: TensorMeta::new(
+                format!("layer{i}.weight"),
+                DType::F32,
+                vec![bytes_each as u64 / 4],
+            ),
+            data: PayloadSource::Bytes(vec![(i % 251) as u8; bytes_each]),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_codec");
+    let es = entries(64, 256 * 1024); // 16 MiB payload
+    let payload: u64 = es.iter().map(|e| e.data.len()).sum();
+    group.throughput(Throughput::Bytes(payload));
+
+    group.bench_function("encode_16mib", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(payload as usize + 8192);
+            write_checkpoint(&mut out, "bench", &es).unwrap();
+            out
+        });
+    });
+
+    let mut encoded = Vec::new();
+    write_checkpoint(&mut encoded, "bench", &es).unwrap();
+    group.bench_function("decode_16mib", |b| {
+        b.iter(|| read_checkpoint(&encoded[..]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmark for the Fig. 10 datapath: one-sided RDMA
+//! reads/writes between the four device pairs at several message sizes.
+//! (Wall-clock numbers benchmark the simulator itself; the *virtual*
+//! Fig. 10 series is produced by `cargo run --bin fig10_datapath`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portus_mem::{Buffer, MemorySegment};
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Access, Fabric, NodeId, QueuePair, RegionTarget};
+use portus_sim::{MemoryKind, SimContext};
+
+fn bench_datapath(c: &mut Criterion) {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    let storage = fabric.add_nic(NodeId(1));
+
+    let max = 4usize << 20;
+    let gpu = Buffer::new(MemoryKind::GpuHbm, MemorySegment::synthetic(max as u64, 7));
+    // A separate writable GPU region for the restore direction (the
+    // synthetic read-path buffer is read-only).
+    let gpu_writable = Buffer::new(MemoryKind::GpuHbm, MemorySegment::zeroed(max as u64));
+    let dram = Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(max as u64));
+    let mr_gpu = compute.register(RegionTarget::Buffer(gpu), Access::READ);
+    let mr_gpu_w = compute.register(RegionTarget::Buffer(gpu_writable), Access::WRITE);
+    let mr_dram = compute.register(RegionTarget::Buffer(dram), Access::READ_WRITE);
+    let pmem = PmemDevice::new(ctx, PmemMode::DevDax, (max as u64) * 2);
+    let dst = RegionTarget::Pmem { dev: pmem, base: 0, len: max as u64 };
+
+    let (_qc, qs) = QueuePair::connect(compute, storage);
+
+    let mut group = c.benchmark_group("fig10_datapath");
+    for size in [64usize << 10, 1 << 20, 4 << 20] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("read_gpu_to_pmem", size),
+            &size,
+            |b, &s| {
+                b.iter(|| qs.read(mr_gpu.rkey(), 0, &dst, 0, s as u64).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("read_dram_to_pmem", size),
+            &size,
+            |b, &s| {
+                b.iter(|| qs.read(mr_dram.rkey(), 0, &dst, 0, s as u64).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("write_pmem_to_gpu", size),
+            &size,
+            |b, &s| {
+                b.iter(|| qs.write(mr_gpu_w.rkey(), 0, &dst, 0, s as u64).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark for the Fig. 11 checkpoint operation: Portus vs
+//! the two baselines on a scaled-down model with the full real data
+//! plane. (The full-size virtual-time Fig. 11 table comes from
+//! `cargo run --release --bin fig11_checkpoint`.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus_bench::realplane;
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    // 16 MiB model: large enough to exercise bulk paths, small enough
+    // to iterate.
+    let spec = test_spec("bench-model", 32, 512 * 1024);
+    let bytes = spec.total_bytes();
+
+    let mut group = c.benchmark_group("fig11_checkpoint");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("portus_checkpoint", |b| {
+        let ctx = SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        let compute = fabric.add_nic(NodeId(0));
+        fabric.add_nic(NodeId(1));
+        let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 4 * bytes + (64 << 20));
+        let daemon =
+            PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+        let gpu = GpuDevice::new(ctx, 0, 2 * bytes + (1 << 28));
+        let model =
+            ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+        let client = PortusClient::connect(&daemon, compute);
+        client.register_model(&model).unwrap();
+        b.iter(|| client.checkpoint(&spec.name).unwrap());
+    });
+
+    group.bench_function("beegfs_torch_save", |b| {
+        b.iter(|| {
+            let ctx = SimContext::icdcs24();
+            let fabric = portus_rdma::Fabric::new(ctx.clone());
+            fabric.add_nic(NodeId(0));
+            fabric.add_nic(NodeId(1));
+            let fs = portus_storage::Beegfs::mount(&fabric, NodeId(0), NodeId(1), 4 * bytes);
+            realplane::baseline_times(&spec, &fs, &ctx)
+        });
+    });
+
+    group.bench_function("ext4_torch_save", |b| {
+        b.iter(|| {
+            let ctx = SimContext::icdcs24();
+            let fs = portus_storage::Ext4Nvme::new(ctx.clone(), 4 * bytes);
+            realplane::baseline_times(&spec, &fs, &ctx)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

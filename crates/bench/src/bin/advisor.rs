@@ -1,0 +1,78 @@
+//! Checkpoint-interval advisor report: Young/Daly optima per policy
+//! for the paper's workloads, quantifying how much finer Portus lets
+//! checkpointing get (the claim in the paper's title).
+
+use portus_cluster::{advise, Backend, JobShape, Policy, TrainingConfig};
+use portus_dnn::{zoo, IterationProfile};
+use portus_sim::{CostModel, SimDuration};
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let workloads: Vec<(&str, JobShape, IterationProfile)> = vec![
+        (
+            "bert_large (1 GPU)",
+            JobShape::single(
+                zoo::bert_large().total_bytes(),
+                zoo::bert_large().layer_count() as u64,
+            ),
+            IterationProfile::from_total(zoo::bert_large_card().iteration),
+        ),
+        (
+            "gpt-22.4b (16 GPU)",
+            JobShape {
+                total_bytes: zoo::gpt_22b().total_bytes(),
+                tensor_count: zoo::gpt_22b().layer_count() as u64,
+                shards: 16,
+                nodes: 2,
+            },
+            IterationProfile::from_total(zoo::gpt_iteration("gpt-22.4b")),
+        ),
+    ];
+    let mtbfs = [
+        ("10 min", SimDuration::from_secs(600)),
+        ("1 hour", SimDuration::from_secs(3600)),
+        ("1 day", SimDuration::from_secs(86_400)),
+    ];
+
+    println!("Checkpoint-interval advisor (Young/Daly optimum per policy)");
+    let mut rows = Vec::new();
+    for (label, job, profile) in &workloads {
+        println!("\n== {label} ==");
+        println!(
+            "{:<14} {:>9} | {:>16} {:>16} {:>16}",
+            "Policy", "C (s)", "MTBF 10min", "MTBF 1h", "MTBF 1day"
+        );
+        for policy in [
+            Policy::TorchSave { every: 1, backend: Backend::BeegfsPmem },
+            Policy::CheckFreq { every: 1, backend: Backend::BeegfsPmem },
+            Policy::PortusSync { every: 1 },
+            Policy::PortusAsync { every: 1 },
+        ] {
+            let cfg = TrainingConfig { job: *job, profile: *profile, policy };
+            let advices: Vec<_> = mtbfs.iter().map(|(_, m_t)| advise(&m, &cfg, *m_t)).collect();
+            println!(
+                "{:<14} {:>9.2} | {:>9} it {:>4.1}% {:>9} it {:>4.1}% {:>9} it {:>4.1}%",
+                policy.label(),
+                advices[0].overhead_per_checkpoint.as_secs_f64(),
+                advices[0].interval_iterations,
+                advices[0].expected_overhead_fraction * 100.0,
+                advices[1].interval_iterations,
+                advices[1].expected_overhead_fraction * 100.0,
+                advices[2].interval_iterations,
+                advices[2].expected_overhead_fraction * 100.0,
+            );
+            for ((mtbf_label, _), a) in mtbfs.iter().zip(&advices) {
+                rows.push(serde_json::json!({
+                    "workload": label,
+                    "policy": policy.label(),
+                    "mtbf": mtbf_label,
+                    "interval_iterations": a.interval_iterations,
+                    "expected_overhead_fraction": a.expected_overhead_fraction,
+                }));
+            }
+        }
+    }
+    println!("\nlower C => finer optimal intervals and less work at risk per failure.");
+    let path = portus_bench::write_experiment("advisor", &serde_json::json!(rows));
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Fig. 11: checkpointing time of the seven Table II models on Portus,
+//! BeeGFS-PMem, and ext4-NVMe — with the **real data plane** (every
+//! byte of every model actually moves). Run with `--release`.
+//!
+//! Paper: Portus averages 8.49x over BeeGFS-PMem and 8.18x over
+//! ext4-NVMe, peaking at 9.23x on ResNet50.
+
+use portus_bench::realplane;
+use portus_dnn::zoo;
+
+fn main() {
+    println!("Fig. 11 — checkpoint time (virtual seconds, real data plane)");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Model", "Portus", "BeeGFS", "ext4", "vs BGFS", "vs ext4"
+    );
+    let mut rows = Vec::new();
+    let (mut sum_b, mut sum_e) = (0.0, 0.0);
+    for card in zoo::table2_cards() {
+        eprintln!("  running {} ({} MiB)...", card.spec.name, card.spec.total_bytes() >> 20);
+        let cmp = realplane::compare_systems(&card.spec);
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>8.2}x {:>8.2}x",
+            cmp.model,
+            cmp.portus_ckpt,
+            cmp.beegfs_ckpt,
+            cmp.ext4_ckpt,
+            cmp.ckpt_speedup_beegfs(),
+            cmp.ckpt_speedup_ext4(),
+        );
+        sum_b += cmp.ckpt_speedup_beegfs();
+        sum_e += cmp.ckpt_speedup_ext4();
+        rows.push(cmp);
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>8.2}x {:>8.2}x   (paper: 8.49x / 8.18x)",
+        "average", "", "", "", sum_b / n, sum_e / n
+    );
+    let path = portus_bench::write_experiment(
+        "fig11_checkpoint",
+        &serde_json::to_value(&rows).expect("serialize"),
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Fig. 12: restore time of the seven Table II models on Portus,
+//! BeeGFS-PMem (GDS), and ext4-NVMe (GDS) — real data plane. Run with
+//! `--release`.
+//!
+//! Paper: Portus averages 5.15x over BeeGFS-PMem and 3.83x over
+//! ext4-NVMe, peaking at 7.0x on ResNet50; gains are smaller than for
+//! checkpointing because GPUDirect Storage already spares the baselines
+//! the host staging copy.
+
+use portus_bench::realplane;
+use portus_dnn::zoo;
+
+fn main() {
+    println!("Fig. 12 — restore time (virtual seconds, real data plane)");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Model", "Portus", "BeeGFS", "ext4", "vs BGFS", "vs ext4"
+    );
+    let mut rows = Vec::new();
+    let (mut sum_b, mut sum_e) = (0.0, 0.0);
+    for card in zoo::table2_cards() {
+        eprintln!("  running {} ({} MiB)...", card.spec.name, card.spec.total_bytes() >> 20);
+        let cmp = realplane::compare_systems(&card.spec);
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>8.2}x {:>8.2}x",
+            cmp.model,
+            cmp.portus_restore,
+            cmp.beegfs_restore,
+            cmp.ext4_restore,
+            cmp.restore_speedup_beegfs(),
+            cmp.restore_speedup_ext4(),
+        );
+        sum_b += cmp.restore_speedup_beegfs();
+        sum_e += cmp.restore_speedup_ext4();
+        rows.push(cmp);
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>8.2}x {:>8.2}x   (paper: 5.15x / 3.83x)",
+        "average", "", "", "", sum_b / n, sum_e / n
+    );
+    let path = portus_bench::write_experiment(
+        "fig12_restore",
+        &serde_json::to_value(&rows).expect("serialize"),
+    );
+    println!("wrote {}", path.display());
+}

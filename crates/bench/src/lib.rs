@@ -1,0 +1,72 @@
+//! # portus-bench
+//!
+//! The experiment harness: everything needed to regenerate each table
+//! and figure of the paper's evaluation section. The [`realplane`]
+//! module drives the *actual* system (bytes really move between the
+//! simulated GPU, fabric, and PMem); the [`analytic`] module prices the
+//! workloads that are too large to materialize (the GPT family) with
+//! the same calibrated cost model. Each `src/bin/*` binary prints one
+//! table/figure and writes `target/experiments/<id>.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod realplane;
+
+use std::fs;
+use std::path::PathBuf;
+
+use portus_sim::SimDuration;
+
+/// Writes an experiment's data to `target/experiments/<id>.json` and
+/// returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_experiment(id: &str, value: &serde_json::Value) -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(format!("{id}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write experiment json");
+    path
+}
+
+/// Formats a virtual duration in seconds with 3 decimals.
+pub fn secs(d: SimDuration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a ratio with 2 decimals and an `x` suffix.
+pub fn ratio(a: SimDuration, b: SimDuration) -> String {
+    format!("{:.2}x", a.as_secs_f64() / b.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_files_land_in_target() {
+        let p = write_experiment("selftest", &serde_json::json!({"ok": true}));
+        assert!(p.exists());
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(back["ok"], true);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(SimDuration::from_millis(1500)), "1.500");
+        assert_eq!(
+            ratio(SimDuration::from_secs(9), SimDuration::from_secs(3)),
+            "3.00x"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Real-data-plane experiment runners.
+//!
+//! These drive the actual system: a model's bytes live in simulated GPU
+//! memory, Portus pulls them over the simulated fabric into simulated
+//! PMem, and the baselines run their full copy/serialize/write
+//! pipelines. Virtual time is read off the shared clock; the bytes are
+//! verified end to end by the integration tests.
+
+
+use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus_dnn::{Materialization, ModelInstance, ModelSpec};
+use portus_mem::{GpuDevice, HostMemory};
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::{SimContext, SimDuration};
+use portus_storage::{
+    Beegfs, CheckpointBreakdown, Ext4Nvme, FileBackend, RestoreBreakdown, TorchCheckpointer,
+};
+use serde::Serialize;
+
+/// Measured checkpoint+restore times of one model on all three systems
+/// (the per-model bars of Figs. 11 and 12).
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemComparison {
+    /// Model name.
+    pub model: String,
+    /// Checkpoint payload bytes.
+    pub bytes: u64,
+    /// Portus checkpoint (one-sided pull + persist), virtual seconds.
+    pub portus_ckpt: f64,
+    /// BeeGFS-PMem `torch.save`, virtual seconds.
+    pub beegfs_ckpt: f64,
+    /// ext4-NVMe `torch.save`, virtual seconds.
+    pub ext4_ckpt: f64,
+    /// Portus restore (one-sided push), virtual seconds.
+    pub portus_restore: f64,
+    /// BeeGFS-PMem `torch.load` with GDS, virtual seconds.
+    pub beegfs_restore: f64,
+    /// ext4-NVMe `torch.load` with GDS, virtual seconds.
+    pub ext4_restore: f64,
+}
+
+impl SystemComparison {
+    /// Checkpoint speedup of Portus over BeeGFS-PMem.
+    pub fn ckpt_speedup_beegfs(&self) -> f64 {
+        self.beegfs_ckpt / self.portus_ckpt
+    }
+
+    /// Checkpoint speedup of Portus over ext4-NVMe.
+    pub fn ckpt_speedup_ext4(&self) -> f64 {
+        self.ext4_ckpt / self.portus_ckpt
+    }
+
+    /// Restore speedup of Portus over BeeGFS-PMem.
+    pub fn restore_speedup_beegfs(&self) -> f64 {
+        self.beegfs_restore / self.portus_restore
+    }
+
+    /// Restore speedup of Portus over ext4-NVMe.
+    pub fn restore_speedup_ext4(&self) -> f64 {
+        self.ext4_restore / self.portus_restore
+    }
+}
+
+/// Runs one model through Portus with real bytes; returns
+/// (checkpoint, restore) virtual durations.
+///
+/// # Panics
+///
+/// Panics on any system error — harness code wants loud failures.
+pub fn portus_times(spec: &ModelSpec) -> (SimDuration, SimDuration) {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        2 * spec.total_bytes() + (64 << 20),
+    );
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
+    let gpu = GpuDevice::new(ctx.clone(), 0, 2 * spec.total_bytes() + (1 << 30));
+    let model =
+        ModelInstance::materialize(spec, &gpu, 42, Materialization::Owned).expect("materialize");
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).expect("register");
+
+    // Measure as clock deltas: the checkpoint covers DO_CHECKPOINT,
+    // the pulls and the completion notification; the restore includes
+    // the client-side re-registration of every tensor for remote write
+    // (the paper's restore protocol, §III-F).
+    let t0 = ctx.clock.now();
+    client.checkpoint(&spec.name).expect("checkpoint");
+    let t1 = ctx.clock.now();
+    client.restore(&model).expect("restore");
+    let t2 = ctx.clock.now();
+    (t1.saturating_since(t0), t2.saturating_since(t1))
+}
+
+/// Runs one model through a `torch.save`/`torch.load(GDS)` baseline with
+/// real bytes; returns the breakdowns.
+///
+/// # Panics
+///
+/// Panics on any system error.
+pub fn baseline_times(
+    spec: &ModelSpec,
+    backend: &dyn FileBackend,
+    ctx: &SimContext,
+) -> (CheckpointBreakdown, RestoreBreakdown) {
+    let gpu = GpuDevice::new(ctx.clone(), 0, 2 * spec.total_bytes() + (1 << 30));
+    let host = HostMemory::new(ctx.clone(), 2 * spec.total_bytes() + (1 << 30));
+    let model =
+        ModelInstance::materialize(spec, &gpu, 42, Materialization::Owned).expect("materialize");
+    let saver = TorchCheckpointer::new(ctx.clone(), backend, gpu, host);
+    let path = format!("{}.ckpt", spec.name);
+    let ckpt = saver.checkpoint(&model, &path).expect("checkpoint");
+    let restore = saver.restore(&model, &path, true).expect("restore");
+    backend.delete(&path);
+    (ckpt, restore)
+}
+
+/// Full three-system comparison for one model (one row of Figs. 11/12).
+///
+/// # Panics
+///
+/// Panics on any system error.
+pub fn compare_systems(spec: &ModelSpec) -> SystemComparison {
+    let (p_ckpt, p_restore) = portus_times(spec);
+
+    let (b_ckpt, b_restore) = {
+        let ctx = SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        fabric.add_nic(NodeId(0));
+        fabric.add_nic(NodeId(1));
+        let fs = Beegfs::mount(&fabric, NodeId(0), NodeId(1), 4 * spec.total_bytes() + (1 << 26));
+        baseline_times(spec, &fs, &ctx)
+    };
+
+    let (e_ckpt, e_restore) = {
+        let ctx = SimContext::icdcs24();
+        let fs = Ext4Nvme::new(ctx.clone(), 4 * spec.total_bytes() + (1 << 26));
+        baseline_times(spec, &fs, &ctx)
+    };
+
+    SystemComparison {
+        model: spec.name.clone(),
+        bytes: spec.total_bytes(),
+        portus_ckpt: p_ckpt.as_secs_f64(),
+        beegfs_ckpt: b_ckpt.total().as_secs_f64(),
+        ext4_ckpt: e_ckpt.total().as_secs_f64(),
+        portus_restore: p_restore.as_secs_f64(),
+        beegfs_restore: b_restore.total().as_secs_f64(),
+        ext4_restore: e_restore.total().as_secs_f64(),
+    }
+}
+
+/// Table I / Fig. 13 with real bytes: the BERT checkpoint breakdown on
+/// the BeeGFS-PMem baseline.
+///
+/// # Panics
+///
+/// Panics on any system error.
+pub fn bert_beegfs_breakdown(spec: &ModelSpec) -> CheckpointBreakdown {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let fs = Beegfs::mount(&fabric, NodeId(0), NodeId(1), 4 * spec.total_bytes() + (1 << 26));
+    let (ckpt, _) = baseline_times(spec, &fs, &ctx);
+    ckpt
+}
+
+/// Fig. 13's ext4-NVMe column with real bytes.
+///
+/// # Panics
+///
+/// Panics on any system error.
+pub fn bert_ext4_breakdown(spec: &ModelSpec) -> CheckpointBreakdown {
+    let ctx = SimContext::icdcs24();
+    let fs = Ext4Nvme::new(ctx.clone(), 4 * spec.total_bytes() + (1 << 26));
+    let (ckpt, _) = baseline_times(spec, &fs, &ctx);
+    ckpt
+}

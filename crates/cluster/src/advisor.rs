@@ -1,0 +1,155 @@
+//! Checkpoint-interval advisor.
+//!
+//! CheckFreq's core idea is picking the checkpoint frequency
+//! automatically; the classic Young/Daly analysis gives the optimum
+//! interval `sqrt(2·C·MTBF)` for a per-checkpoint overhead `C` under a
+//! failure rate `1/MTBF`. Because Portus shrinks `C` by nearly an order
+//! of magnitude, its optimal interval — and hence the work at risk per
+//! failure — shrinks by ~3x (the "finer-grained checkpointing" the
+//! paper's title promises). This module computes the optimum per policy
+//! and quantifies the expected overhead at it.
+
+use portus_sim::{CostModel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::TrainingConfig;
+use crate::ops::{portus_checkpoint_cost, torch_save_cost};
+use crate::policy::Policy;
+
+/// The advisor's recommendation for one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// Effective per-checkpoint overhead (the stall the policy imposes),
+    /// used as Young/Daly's `C`.
+    pub overhead_per_checkpoint: SimDuration,
+    /// Recommended checkpoint interval in iterations (≥1).
+    pub interval_iterations: u32,
+    /// Recommended interval in virtual time.
+    pub interval_time: SimDuration,
+    /// Expected fraction of time lost to checkpointing + re-execution
+    /// at the optimum (first-order Young/Daly estimate).
+    pub expected_overhead_fraction: f64,
+}
+
+/// Effective per-checkpoint *stall* of a policy (what Young/Daly's `C`
+/// should be — background-overlapped work does not count).
+pub fn stall_per_checkpoint(m: &CostModel, cfg: &TrainingConfig) -> SimDuration {
+    match cfg.policy {
+        Policy::None => SimDuration::ZERO,
+        Policy::TorchSave { backend, .. } => torch_save_cost(m, cfg.job, backend).total(),
+        Policy::CheckFreq { backend, .. } => torch_save_cost(m, cfg.job, backend).snapshot,
+        Policy::PortusSync { .. } => portus_checkpoint_cost(m, cfg.job),
+        Policy::PortusAsync { .. } => {
+            // Only update-phase deferrals stall; one per iteration the
+            // pull overlaps.
+            let pull = portus_checkpoint_cost(m, cfg.job);
+            let iters_covered =
+                (pull.as_secs_f64() / cfg.profile.total().as_secs_f64()).ceil() as u64;
+            cfg.profile.update * iters_covered
+        }
+    }
+}
+
+/// Young/Daly optimum for the policy in `cfg` under the given mean time
+/// between failures. The returned interval is clamped to at least one
+/// iteration; pipeline-bound policies (background persist longer than
+/// the interval) are clamped so the pipeline can drain.
+pub fn advise(m: &CostModel, cfg: &TrainingConfig, mtbf: SimDuration) -> Advice {
+    let c = stall_per_checkpoint(m, cfg);
+    let iter = cfg.profile.total();
+    // tau* = sqrt(2 C M)
+    let tau = (2.0 * c.as_secs_f64() * mtbf.as_secs_f64()).sqrt();
+    let mut k = (tau / iter.as_secs_f64()).round().max(1.0) as u32;
+
+    // Pipeline-bound clamp: CheckFreq's background persist must fit in
+    // the interval or the stall model breaks down.
+    if let Policy::CheckFreq { backend, .. } = cfg.policy {
+        let persist = torch_save_cost(m, cfg.job, backend).persist_side();
+        let min_k = (persist.as_secs_f64() / iter.as_secs_f64()).ceil().max(1.0) as u32;
+        k = k.max(min_k);
+    }
+
+    let interval_time = iter * u64::from(k);
+    // First-order expected overhead: C/tau + tau/(2 M).
+    let t = interval_time.as_secs_f64();
+    let frac = c.as_secs_f64() / t + t / (2.0 * mtbf.as_secs_f64());
+    Advice {
+        overhead_per_checkpoint: c,
+        interval_iterations: k,
+        interval_time,
+        expected_overhead_fraction: frac,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Backend, JobShape};
+    use portus_dnn::IterationProfile;
+
+    fn cfg(policy: Policy) -> TrainingConfig {
+        TrainingConfig {
+            job: JobShape {
+                total_bytes: 89_600_000_000,
+                tensor_count: 600,
+                shards: 16,
+                nodes: 2,
+            },
+            profile: IterationProfile::from_total(SimDuration::from_millis(1730)),
+            policy,
+        }
+    }
+
+    #[test]
+    fn portus_supports_much_finer_intervals() {
+        let m = CostModel::icdcs24();
+        let mtbf = SimDuration::from_secs(600); // failures every 10 min
+        let torch = advise(&m, &cfg(Policy::TorchSave { every: 1, backend: Backend::BeegfsPmem }), mtbf);
+        let portus = advise(&m, &cfg(Policy::PortusAsync { every: 1 }), mtbf);
+        assert!(
+            portus.interval_iterations * 2 <= torch.interval_iterations,
+            "portus {} vs torch {}",
+            portus.interval_iterations,
+            torch.interval_iterations
+        );
+        assert!(portus.expected_overhead_fraction < torch.expected_overhead_fraction);
+    }
+
+    #[test]
+    fn checkfreq_interval_respects_pipeline_drain() {
+        let m = CostModel::icdcs24();
+        let c = cfg(Policy::CheckFreq { every: 1, backend: Backend::BeegfsPmem });
+        let advice = advise(&m, &c, SimDuration::from_secs(600));
+        let persist = torch_save_cost(&m, c.job, Backend::BeegfsPmem).persist_side();
+        assert!(
+            c.profile.total() * u64::from(advice.interval_iterations) >= persist,
+            "interval must cover the background persist"
+        );
+    }
+
+    #[test]
+    fn longer_mtbf_means_coarser_checkpoints() {
+        let m = CostModel::icdcs24();
+        let c = cfg(Policy::PortusAsync { every: 1 });
+        let short = advise(&m, &c, SimDuration::from_secs(600));
+        let long = advise(&m, &c, SimDuration::from_secs(6 * 3600));
+        assert!(long.interval_iterations > short.interval_iterations);
+    }
+
+    #[test]
+    fn async_stall_is_a_fraction_of_the_pull() {
+        let m = CostModel::icdcs24();
+        let sync = stall_per_checkpoint(&m, &cfg(Policy::PortusSync { every: 1 }));
+        let asynch = stall_per_checkpoint(&m, &cfg(Policy::PortusAsync { every: 1 }));
+        assert!(asynch * 3 < sync, "async {asynch} vs sync {sync}");
+    }
+
+    #[test]
+    fn none_policy_has_zero_overhead() {
+        let m = CostModel::icdcs24();
+        assert_eq!(
+            stall_per_checkpoint(&m, &cfg(Policy::None)),
+            SimDuration::ZERO
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # portus-cluster
+//!
+//! End-to-end training simulation over the virtual timeline: analytic
+//! operation costs for workloads too large to materialize ([`ops`]),
+//! the four checkpoint policies of Fig. 9 ([`Policy`]), the training
+//! harness behind Figs. 2/15 ([`run_training`]), GPU-utilization
+//! traces for Fig. 16 ([`utilization_trace`]), and failure injection
+//! for the lost-work trade-off the paper motivates ([`run_with_failures`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use portus_cluster::{run_training, JobShape, Policy, TrainingConfig};
+//! use portus_dnn::IterationProfile;
+//! use portus_sim::{CostModel, SimDuration};
+//!
+//! let cfg = TrainingConfig {
+//!     job: JobShape::single(1 << 30, 300),
+//!     profile: IterationProfile::from_total(SimDuration::from_millis(350)),
+//!     policy: Policy::PortusAsync { every: 10 },
+//! };
+//! let result = run_training(&CostModel::icdcs24(), &cfg, 100);
+//! assert_eq!(result.iterations, 100);
+//! assert!(result.avg_utilization() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod failure;
+mod harness;
+pub mod ops;
+mod policy;
+mod trace;
+
+pub use advisor::{advise, stall_per_checkpoint, Advice};
+pub use failure::{restore_cost, run_with_failures, FailureOutcome};
+pub use harness::{run_training, RunResult, Segment, TrainingConfig};
+pub use ops::{Backend, JobShape, OpCost};
+pub use policy::Policy;
+pub use trace::{mean_utilization, peak_utilization, segment, utilization_trace, UtilSample};

@@ -1,0 +1,249 @@
+//! Analytic per-operation costs for the end-to-end experiments.
+//!
+//! The data-plane crates really move bytes; these functions compute the
+//! same calibrated costs *analytically* for workloads too large to
+//! materialize (the GPT family, §V-E). Each function documents which
+//! datapath it prices.
+
+use portus_sim::{CostModel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Which file system a baseline checkpoint lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Shared BeeGFS on PMem (two-sided RPC-RDMA + server DAX write).
+    BeegfsPmem,
+    /// Local ext4 on NVMe (page cache + block layer).
+    Ext4Nvme,
+}
+
+/// One training job's shape, as the cost functions need it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobShape {
+    /// Total checkpoint payload across all shards (bytes).
+    pub total_bytes: u64,
+    /// Total tensor count across all shards.
+    pub tensor_count: u64,
+    /// Checkpointing shards (tensor × pipeline ranks).
+    pub shards: u32,
+    /// Compute nodes the shards live on.
+    pub nodes: u32,
+}
+
+impl JobShape {
+    /// A single-GPU job.
+    pub fn single(total_bytes: u64, tensor_count: u64) -> JobShape {
+        JobShape {
+            total_bytes,
+            tensor_count,
+            shards: 1,
+            nodes: 1,
+        }
+    }
+}
+
+/// Per-phase cost of one `torch.save`-style checkpoint (the analytic
+/// twin of `portus_storage::CheckpointBreakdown`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// GPU→host snapshot (`cudaMemcpy`), per-node serialized, nodes in
+    /// parallel.
+    pub snapshot: SimDuration,
+    /// Serialization, per-node serialized.
+    pub serialize: SimDuration,
+    /// Network transmission (zero for local backends), serialized on
+    /// the storage NIC with per-stream RPC contention.
+    pub transmit: SimDuration,
+    /// Media persistence (DAX or the ext4/NVMe block path).
+    pub media: SimDuration,
+    /// File-system metadata, one file per shard.
+    pub metadata: SimDuration,
+}
+
+impl OpCost {
+    /// Total operation latency.
+    pub fn total(&self) -> SimDuration {
+        self.snapshot + self.serialize + self.transmit + self.media + self.metadata
+    }
+
+    /// The client-side portion (snapshot + serialize): what CheckFreq
+    /// cannot overlap with the *next* snapshot.
+    pub fn client_side(&self) -> SimDuration {
+        self.snapshot + self.serialize
+    }
+
+    /// The background-persist portion (everything after the snapshot):
+    /// what CheckFreq overlaps with compute.
+    pub fn persist_side(&self) -> SimDuration {
+        self.serialize + self.transmit + self.media + self.metadata
+    }
+}
+
+/// Cost of one synchronous `torch.save` of the whole job.
+///
+/// Client phases are serialized *within* a node (the shards of one node
+/// share the PCIe root and the Python serializer) and parallel *across*
+/// nodes; server phases are serialized on the single storage node.
+pub fn torch_save_cost(m: &CostModel, job: JobShape, backend: Backend) -> OpCost {
+    let per_node = job.total_bytes / job.nodes.max(1) as u64;
+    let snapshot = m.cuda_memcpy_d2h(per_node);
+    let serialize = m.serialize(per_node);
+    match backend {
+        Backend::BeegfsPmem => OpCost {
+            snapshot,
+            serialize,
+            transmit: m.rpc_rdma_transfer_contended(job.total_bytes, job.shards),
+            media: m.dax_write(job.total_bytes),
+            metadata: m.beegfs_metadata_op() * job.shards as u64,
+        },
+        Backend::Ext4Nvme => OpCost {
+            snapshot,
+            serialize,
+            transmit: SimDuration::ZERO,
+            // Local: each node writes its own NVMe; per-node bytes.
+            media: m.ext4_nvme_write(per_node),
+            metadata: m.ext4_metadata_op() * job.shards as u64,
+        },
+    }
+}
+
+/// Cost of one `torch.load` restore with GPUDirect Storage (§V-C2):
+/// storage read + deserialization + direct DMA to GPU, no host staging.
+pub fn torch_load_gds_cost(m: &CostModel, job: JobShape, backend: Backend) -> OpCost {
+    let per_node = job.total_bytes / job.nodes.max(1) as u64;
+    let (transmit, media) = match backend {
+        Backend::BeegfsPmem => (
+            m.rpc_rdma_transfer_contended(job.total_bytes, job.shards),
+            m.dax_read(job.total_bytes),
+        ),
+        Backend::Ext4Nvme => (SimDuration::ZERO, m.ext4_nvme_read(per_node)),
+    };
+    OpCost {
+        snapshot: m.gds_transfer(per_node), // storage→GPU DMA
+        serialize: m.deserialize(per_node),
+        transmit,
+        media,
+        metadata: match backend {
+            Backend::BeegfsPmem => m.beegfs_metadata_op() * job.shards as u64,
+            Backend::Ext4Nvme => m.ext4_metadata_op() * job.shards as u64,
+        },
+    }
+}
+
+/// Per-message bandwidth ramp for a job's average tensor size: small
+/// tensors do not saturate the link (the Fig. 10 knee).
+fn message_ramp(m: &CostModel, job: JobShape) -> f64 {
+    let avg = job.total_bytes as f64 / job.tensor_count.max(1) as f64;
+    avg / (avg + m.rdma_ramp_bytes)
+}
+
+/// Duration of one Portus checkpoint: the daemon's one-sided pulls.
+///
+/// The storage NIC serves the shards' pulls back to back; every read
+/// sources GPU memory, so the aggregate rate is the BAR cap (the
+/// paper's measured 89.6 GB / ~15 s ≈ 5.9 GB/s matches exactly this).
+/// Control messages and per-tensor verb latencies are added on top;
+/// there is no serialization and no kernel crossing to price.
+pub fn portus_checkpoint_cost(m: &CostModel, job: JobShape) -> SimDuration {
+    let pull = SimDuration::from_secs_f64(
+        job.total_bytes as f64 / (m.gpu_bar_read_bw * message_ramp(m, job)),
+    );
+    let verbs = SimDuration::from_nanos(m.rdma_op_latency_ns * job.tensor_count);
+    let control = m.control_message(64) * (2 * job.shards as u64);
+    pull + verbs + control
+}
+
+/// Duration of one Portus restore: one-sided writes into re-registered
+/// GPU regions at the RNIC peak (writes are not BAR-capped), plus the
+/// client-side re-registration of every tensor.
+pub fn portus_restore_cost(m: &CostModel, job: JobShape) -> SimDuration {
+    let push = SimDuration::from_secs_f64(
+        job.total_bytes as f64 / (m.rdma_peak_bw * message_ramp(m, job)),
+    );
+    let verbs = SimDuration::from_nanos(m.rdma_op_latency_ns * job.tensor_count);
+    let register = SimDuration::from_nanos(m.mr_register_fixed_ns * job.tensor_count)
+        + SimDuration::from_secs_f64(job.total_bytes as f64 / m.mr_register_bw);
+    let control = m.control_message(64) * (2 * job.shards as u64);
+    push + verbs + register + control
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn gpt22() -> JobShape {
+        JobShape {
+            total_bytes: 89_600_000_000,
+            tensor_count: 600,
+            shards: 16,
+            nodes: 2,
+        }
+    }
+
+    #[test]
+    fn fig14_headline_numbers() {
+        let m = CostModel::icdcs24();
+        // torch.save of GPT-22.4B to BeeGFS takes >120 s (paper §V-E)...
+        let baseline = torch_save_cost(&m, gpt22(), Backend::BeegfsPmem).total();
+        assert!(
+            (120.0..150.0).contains(&baseline.as_secs_f64()),
+            "baseline {baseline}"
+        );
+        // ... while Portus "takes only 15 seconds".
+        let portus = portus_checkpoint_cost(&m, gpt22());
+        assert!(
+            (13.0..17.0).contains(&portus.as_secs_f64()),
+            "portus {portus}"
+        );
+        let speedup = baseline.as_secs_f64() / portus.as_secs_f64();
+        assert!((7.0..9.5).contains(&speedup), "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn contention_penalizes_many_shards() {
+        let m = CostModel::icdcs24();
+        let one = torch_save_cost(
+            &m,
+            JobShape { shards: 1, nodes: 2, ..gpt22() },
+            Backend::BeegfsPmem,
+        );
+        let sixteen = torch_save_cost(&m, gpt22(), Backend::BeegfsPmem);
+        assert!(sixteen.transmit > one.transmit * 1.5);
+    }
+
+    #[test]
+    fn portus_restore_is_faster_than_gds_load() {
+        let m = CostModel::icdcs24();
+        let job = JobShape::single(GB, 400);
+        let portus = portus_restore_cost(&m, job);
+        let beegfs = torch_load_gds_cost(&m, job, Backend::BeegfsPmem).total();
+        let ext4 = torch_load_gds_cost(&m, job, Backend::Ext4Nvme).total();
+        let s_beegfs = beegfs.as_secs_f64() / portus.as_secs_f64();
+        let s_ext4 = ext4.as_secs_f64() / portus.as_secs_f64();
+        // Fig. 12 shape: restore gains are smaller than checkpoint gains
+        // and the BeeGFS speedup exceeds the ext4 speedup.
+        assert!(s_beegfs > s_ext4, "{s_beegfs} vs {s_ext4}");
+        assert!((3.0..8.0).contains(&s_beegfs), "{s_beegfs}");
+        assert!((2.5..6.0).contains(&s_ext4), "{s_ext4}");
+    }
+
+    #[test]
+    fn local_backend_has_no_transmit() {
+        let m = CostModel::icdcs24();
+        let op = torch_save_cost(&m, JobShape::single(GB, 100), Backend::Ext4Nvme);
+        assert_eq!(op.transmit, SimDuration::ZERO);
+        assert!(op.media > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checkfreq_split_covers_everything() {
+        let m = CostModel::icdcs24();
+        let op = torch_save_cost(&m, gpt22(), Backend::BeegfsPmem);
+        assert_eq!(
+            op.client_side() + op.persist_side(),
+            op.total() + op.serialize, // serialize counted in both halves
+        );
+    }
+}

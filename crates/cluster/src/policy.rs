@@ -1,0 +1,104 @@
+//! Checkpoint policies (Fig. 9's four timelines).
+
+use portus_sim::{CostModel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{portus_checkpoint_cost, torch_save_cost, Backend, JobShape};
+
+/// When and how a training run checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Never checkpoint (the upper bound on throughput).
+    None,
+    /// PyTorch built-in: synchronous `torch.save` every `every`
+    /// iterations; training blocks for the whole operation
+    /// (Fig. 9(a)).
+    TorchSave {
+        /// Checkpoint interval in iterations.
+        every: u32,
+        /// Target file system.
+        backend: Backend,
+    },
+    /// CheckFreq: the snapshot (GPU→host copy) stalls training; the
+    /// serialize+write pipeline runs in the background, but the next
+    /// snapshot must wait for it (Fig. 9(b)).
+    CheckFreq {
+        /// Checkpoint interval in iterations.
+        every: u32,
+        /// Target file system.
+        backend: Backend,
+    },
+    /// Portus synchronous: training blocks for the (much shorter)
+    /// one-sided pull (Fig. 9(c)).
+    PortusSync {
+        /// Checkpoint interval in iterations.
+        every: u32,
+    },
+    /// Portus asynchronous: the pull proceeds under forward/backward
+    /// compute; only parameter updates that overlap the in-flight pull
+    /// defer briefly (Fig. 9(d)).
+    PortusAsync {
+        /// Checkpoint interval in iterations.
+        every: u32,
+    },
+}
+
+impl Policy {
+    /// The checkpoint interval, if the policy checkpoints at all.
+    pub fn interval(&self) -> Option<u32> {
+        match self {
+            Policy::None => None,
+            Policy::TorchSave { every, .. }
+            | Policy::CheckFreq { every, .. }
+            | Policy::PortusSync { every }
+            | Policy::PortusAsync { every } => Some(*every),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::None => "no-checkpoint",
+            Policy::TorchSave { .. } => "torch.save",
+            Policy::CheckFreq { .. } => "CheckFreq",
+            Policy::PortusSync { .. } => "Portus-sync",
+            Policy::PortusAsync { .. } => "Portus-async",
+        }
+    }
+
+    /// The full synchronous cost of one checkpoint under this policy
+    /// (what Fig. 14 plots for the operation itself).
+    pub fn op_cost(&self, m: &CostModel, job: JobShape) -> SimDuration {
+        match self {
+            Policy::None => SimDuration::ZERO,
+            Policy::TorchSave { backend, .. } | Policy::CheckFreq { backend, .. } => {
+                torch_save_cost(m, job, *backend).total()
+            }
+            Policy::PortusSync { .. } | Policy::PortusAsync { .. } => {
+                portus_checkpoint_cost(m, job)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_and_labels() {
+        assert_eq!(Policy::None.interval(), None);
+        let p = Policy::PortusAsync { every: 26 };
+        assert_eq!(p.interval(), Some(26));
+        assert_eq!(p.label(), "Portus-async");
+    }
+
+    #[test]
+    fn portus_op_is_cheaper_than_torch_save() {
+        let m = CostModel::icdcs24();
+        let job = JobShape::single(1_000_000_000, 300);
+        let ts = Policy::TorchSave { every: 10, backend: Backend::BeegfsPmem };
+        let ps = Policy::PortusSync { every: 10 };
+        assert!(ps.op_cost(&m, job) * 5 < ts.op_cost(&m, job));
+    }
+}

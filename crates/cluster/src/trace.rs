@@ -1,0 +1,137 @@
+//! GPU-utilization traces (Fig. 16).
+
+use portus_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::Segment;
+
+/// One sample of a windowed utilization trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilSample {
+    /// Window start, seconds since run start.
+    pub at_secs: f64,
+    /// GPU-busy fraction within the window, 0–1.
+    pub utilization: f64,
+}
+
+/// Bins a run's busy/idle segments into windows of `window` virtual
+/// time, covering `[0, horizon)` — the 500-second profiling trace of
+/// Fig. 16 uses `window = 10 s`, `horizon = 500 s`.
+pub fn utilization_trace(
+    segments: &[Segment],
+    window: SimDuration,
+    horizon: SimDuration,
+) -> Vec<UtilSample> {
+    assert!(!window.is_zero(), "window must be positive");
+    let n = horizon.as_nanos().div_ceil(window.as_nanos());
+    let mut busy_ns = vec![0u64; n as usize];
+    for seg in segments.iter().filter(|s| s.busy) {
+        let s = seg.start.as_nanos();
+        let e = seg.end.as_nanos().min(horizon.as_nanos());
+        if s >= e {
+            continue;
+        }
+        let mut cur = s;
+        while cur < e {
+            let w = cur / window.as_nanos();
+            let w_end = (w + 1) * window.as_nanos();
+            let upto = e.min(w_end);
+            busy_ns[w as usize] += upto - cur;
+            cur = upto;
+        }
+    }
+    busy_ns
+        .into_iter()
+        .enumerate()
+        .map(|(i, ns)| UtilSample {
+            at_secs: (i as u64 * window.as_nanos()) as f64 / 1e9,
+            utilization: ns as f64 / window.as_nanos() as f64,
+        })
+        .collect()
+}
+
+/// Mean utilization of a trace.
+pub fn mean_utilization(trace: &[UtilSample]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().map(|s| s.utilization).sum::<f64>() / trace.len() as f64
+}
+
+/// Peak utilization of a trace.
+pub fn peak_utilization(trace: &[UtilSample]) -> f64 {
+    trace.iter().map(|s| s.utilization).fold(0.0, f64::max)
+}
+
+/// Convenience: a busy segment for tests and synthetic traces.
+pub fn segment(start_s: f64, end_s: f64, busy: bool) -> Segment {
+    Segment {
+        start: SimTime::ZERO + SimDuration::from_secs_f64(start_s),
+        end: SimTime::ZERO + SimDuration::from_secs_f64(end_s),
+        busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_busy_run_is_all_ones() {
+        let segs = vec![segment(0.0, 100.0, true)];
+        let trace = utilization_trace(
+            &segs,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(100),
+        );
+        assert_eq!(trace.len(), 10);
+        assert!(trace.iter().all(|s| (s.utilization - 1.0).abs() < 1e-9));
+        assert!((mean_utilization(&trace) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternating_halves() {
+        let segs = vec![
+            segment(0.0, 5.0, true),
+            segment(5.0, 10.0, false),
+            segment(10.0, 15.0, true),
+        ];
+        let trace = utilization_trace(
+            &segs,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+        assert!((trace[0].utilization - 0.5).abs() < 1e-9);
+        assert!((trace[1].utilization - 0.5).abs() < 1e-9);
+        assert!((peak_utilization(&trace) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_past_horizon_are_clipped() {
+        let segs = vec![segment(0.0, 1000.0, true)];
+        let trace = utilization_trace(
+            &segs,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(50),
+        );
+        assert_eq!(trace.len(), 5);
+        assert!((mean_utilization(&trace) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_spanning_window_boundary_splits() {
+        let segs = vec![segment(8.0, 12.0, true)];
+        let trace = utilization_trace(
+            &segs,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+        assert!((trace[0].utilization - 0.2).abs() < 1e-9);
+        assert!((trace[1].utilization - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_mean_is_zero() {
+        assert_eq!(mean_utilization(&[]), 0.0);
+    }
+}

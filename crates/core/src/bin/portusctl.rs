@@ -1,0 +1,57 @@
+//! `portusctl` — manage and share DNN checkpoints on PMem device images.
+//!
+//! ```text
+//! portusctl view DEVICE_IMAGE
+//! portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("portusctl — manage DNN checkpoints on persistent memory");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  portusctl view DEVICE_IMAGE");
+    eprintln!("  portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("view") => {
+            let Some(image) = args.get(2) else { return usage() };
+            match portus::portusctl::view(Path::new(image)) {
+                Ok(models) => {
+                    print!("{}", portus::portusctl::render_view(&models));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl view: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("dump") => {
+            let (Some(image), Some(model), Some(out)) = (args.get(2), args.get(3), args.get(4))
+            else {
+                return usage();
+            };
+            match portus::portusctl::dump(Path::new(image), model, Path::new(out)) {
+                Ok(report) => {
+                    println!(
+                        "dumped {} v{} ({} tensors, {} bytes) to {}",
+                        report.model, report.version, report.tensors, report.bytes, out
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl dump: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

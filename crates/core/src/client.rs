@@ -1,0 +1,392 @@
+//! Portus Client: the training-framework extension.
+//!
+//! On job start the client "collects pointers to each tensor on the
+//! pre-allocated GPU memory ... registers the GPU address space for each
+//! tensor as an RDMA memory region using NVIDIA Peer Memory ... and
+//! sends the packet to the Portus storage server by TCP socket"
+//! (§III-B). Checkpointing then costs the client one `DO_CHECKPOINT`
+//! message; all data movement is done *to* it, not by it.
+//!
+//! [`PortusClient::checkpoint_async`] + [`PortusClient::guard_update`]
+//! implement the asynchronous mechanism of §III-E/Fig. 8: training only
+//! waits at the parameter-update phase, and only if the in-flight pull
+//! has not finished.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use portus_dnn::ModelInstance;
+use portus_rdma::{Access, ControlChannel, MemoryRegion, Nic, QueuePair, RegionTarget};
+use portus_sim::{SimContext, SimDuration};
+
+use crate::daemon::{ClientEndpoints, PortusDaemon};
+use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
+use crate::{PortusError, PortusResult};
+
+/// Result of one completed checkpoint operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The model that was checkpointed.
+    pub model: String,
+    /// The new version number.
+    pub version: u64,
+    /// Payload bytes pulled to PMem.
+    pub bytes: u64,
+    /// Daemon-side virtual time (the pull itself).
+    pub elapsed: SimDuration,
+}
+
+/// Result of one completed restore operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// The model that was restored.
+    pub model: String,
+    /// The version that was loaded.
+    pub version: u64,
+    /// Payload bytes written back to GPU memory.
+    pub bytes: u64,
+    /// Daemon-side virtual time (the push itself).
+    pub elapsed: SimDuration,
+}
+
+/// Result of one completed incremental checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// The model that was checkpointed.
+    pub model: String,
+    /// The new version number.
+    pub version: u64,
+    /// Bytes pulled over the fabric (dirty tensors only).
+    pub pulled_bytes: u64,
+    /// Bytes carried over device-locally from the previous version.
+    pub copied_bytes: u64,
+    /// Daemon-side virtual time (pulls + carry-over copies).
+    pub elapsed: SimDuration,
+}
+
+/// Handle to an in-flight asynchronous checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingCheckpoint {
+    req_id: u64,
+}
+
+/// A client connection to a [`PortusDaemon`].
+pub struct PortusClient {
+    ctx: SimContext,
+    nic: Arc<Nic>,
+    requests: ControlChannel<Request>,
+    replies: ControlChannel<Reply>,
+    _qp: QueuePair,
+    next_req: AtomicU64,
+    pending: Mutex<HashMap<u64, Reply>>,
+    recv_gate: Mutex<()>,
+    registered: Mutex<HashMap<String, Vec<Arc<MemoryRegion>>>>,
+    inflight: Mutex<HashMap<String, PendingCheckpoint>>,
+}
+
+impl std::fmt::Debug for PortusClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortusClient")
+            .field("node", &self.nic.node())
+            .field("registered_models", &self.registered.lock().len())
+            .finish()
+    }
+}
+
+impl PortusClient {
+    /// Connects to `daemon` from `client_nic`.
+    pub fn connect(daemon: &PortusDaemon, client_nic: Arc<Nic>) -> PortusClient {
+        let ClientEndpoints { requests, replies, qp } = daemon.accept(Arc::clone(&client_nic));
+        PortusClient {
+            ctx: client_nic.ctx().clone(),
+            nic: client_nic,
+            requests,
+            replies,
+            _qp: qp,
+            next_req: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            recv_gate: Mutex::new(()),
+            registered: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Demultiplexes replies: returns the reply for `req_id`, parking
+    /// any others for their waiters.
+    fn wait_reply(&self, req_id: u64) -> PortusResult<Reply> {
+        loop {
+            if let Some(r) = self.pending.lock().remove(&req_id) {
+                return Ok(r);
+            }
+            let _gate = self.recv_gate.lock();
+            // Re-check: another thread may have parked our reply while
+            // we waited for the gate.
+            if let Some(r) = self.pending.lock().remove(&req_id) {
+                return Ok(r);
+            }
+            let reply = self.replies.recv()?;
+            if reply.req_id() == req_id {
+                return Ok(reply);
+            }
+            self.pending.lock().insert(reply.req_id(), reply);
+        }
+    }
+
+    fn expect_ok(reply: Reply) -> PortusResult<Reply> {
+        if let Reply::Error { message, .. } = reply {
+            Err(PortusError::Daemon(message))
+        } else {
+            Ok(reply)
+        }
+    }
+
+    /// Registers a model instance: every tensor's GPU buffer becomes a
+    /// remote-readable memory region; their rkeys and metadata are sent
+    /// to the daemon, which builds the checkpoint structure on PMem
+    /// ahead of time.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side rejections (structure mismatch, table full) and
+    /// channel failures.
+    pub fn register_model(&self, model: &ModelInstance) -> PortusResult<()> {
+        let mut mrs = Vec::with_capacity(model.tensors().len());
+        let mut descs = Vec::with_capacity(model.tensors().len());
+        for t in model.tensors() {
+            let mr = self
+                .nic
+                .register(RegionTarget::Buffer(Arc::clone(&t.buffer)), Access::READ);
+            descs.push(TensorDesc::from_registration(t, &mr));
+            mrs.push(mr);
+        }
+        let req_id = self.fresh_id();
+        self.requests.send(Request::Register {
+            req_id,
+            model: model.spec().name.clone(),
+            tensors: descs,
+        })?;
+        Self::expect_ok(self.wait_reply(req_id)?)?;
+        self.registered
+            .lock()
+            .insert(model.spec().name.clone(), mrs);
+        Ok(())
+    }
+
+    /// Synchronous checkpoint: sends `DO_CHECKPOINT` and waits for the
+    /// pull to complete.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures (unregistered model, fabric errors).
+    pub fn checkpoint(&self, model: &str) -> PortusResult<CheckpointReport> {
+        let pending = self.checkpoint_async(model)?;
+        self.wait_checkpoint(model, pending)
+    }
+
+    /// Asynchronous checkpoint: sends `DO_CHECKPOINT` and returns
+    /// immediately; training proceeds while the daemon pulls.
+    ///
+    /// # Errors
+    ///
+    /// Channel failures only (daemon errors surface on wait).
+    pub fn checkpoint_async(&self, model: &str) -> PortusResult<PendingCheckpoint> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::Checkpoint {
+            req_id,
+            model: model.to_string(),
+        })?;
+        let pending = PendingCheckpoint { req_id };
+        self.inflight.lock().insert(model.to_string(), pending);
+        Ok(pending)
+    }
+
+    /// Waits for an asynchronous checkpoint to finish.
+    ///
+    /// # Errors
+    ///
+    /// The daemon-side error of the operation, if it failed.
+    pub fn wait_checkpoint(
+        &self,
+        model: &str,
+        pending: PendingCheckpoint,
+    ) -> PortusResult<CheckpointReport> {
+        let reply = Self::expect_ok(self.wait_reply(pending.req_id)?)?;
+        self.inflight.lock().remove(model);
+        match reply {
+            Reply::CheckpointDone { version, bytes, elapsed, .. } => Ok(CheckpointReport {
+                model: model.to_string(),
+                version,
+                bytes,
+                elapsed,
+            }),
+            other => Err(PortusError::Daemon(format!(
+                "unexpected reply to checkpoint: {other:?}"
+            ))),
+        }
+    }
+
+    /// Incremental checkpoint (extension; see DESIGN.md §9): only the
+    /// tensors flagged in `dirty` cross the fabric; the rest are carried
+    /// over from the previous complete version device-locally on PMem.
+    /// The result is a full, independently valid version. Pass the mask
+    /// from [`portus_dnn::ModelInstance::take_dirty`].
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures (unregistered model, mask length mismatch).
+    pub fn checkpoint_delta(&self, model: &str, dirty: &[bool]) -> PortusResult<DeltaReport> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::DeltaCheckpoint {
+            req_id,
+            model: model.to_string(),
+            dirty: dirty.to_vec(),
+        })?;
+        match Self::expect_ok(self.wait_reply(req_id)?)? {
+            Reply::DeltaDone { version, pulled_bytes, copied_bytes, elapsed, .. } => {
+                Ok(DeltaReport {
+                    model: model.to_string(),
+                    version,
+                    pulled_bytes,
+                    copied_bytes,
+                    elapsed,
+                })
+            }
+            other => Err(PortusError::Daemon(format!(
+                "unexpected reply to delta checkpoint: {other:?}"
+            ))),
+        }
+    }
+
+    /// The Fig. 8 barrier: called by the training loop right before the
+    /// parameter-update phase. If a checkpoint pull of `model` is in
+    /// flight, blocks until it completes (parameters must not change
+    /// under an active pull). Returns the completed report, if any.
+    ///
+    /// # Errors
+    ///
+    /// The in-flight operation's failure, if it failed.
+    pub fn guard_update(&self, model: &str) -> PortusResult<Option<CheckpointReport>> {
+        let pending = self.inflight.lock().get(model).copied();
+        match pending {
+            Some(p) => Ok(Some(self.wait_checkpoint(model, p)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Whether a checkpoint of `model` is currently in flight.
+    pub fn has_inflight(&self, model: &str) -> bool {
+        self.inflight.lock().contains_key(model)
+    }
+
+    /// Restores the latest complete checkpoint into `model` (an
+    /// "empty" instance with the same structure): registers the GPU
+    /// regions for remote write and asks the daemon to push.
+    ///
+    /// # Errors
+    ///
+    /// [`PortusError::Daemon`] wrapping `NoValidCheckpoint`, checksum
+    /// failures, or structure mismatches.
+    pub fn restore(&self, model: &ModelInstance) -> PortusResult<RestoreReport> {
+        let mut mrs = Vec::with_capacity(model.tensors().len());
+        let mut descs = Vec::with_capacity(model.tensors().len());
+        for t in model.tensors() {
+            let mr = self
+                .nic
+                .register(RegionTarget::Buffer(Arc::clone(&t.buffer)), Access::WRITE);
+            descs.push(TensorDesc::from_registration(t, &mr));
+            mrs.push(mr);
+        }
+        let req_id = self.fresh_id();
+        self.requests.send(Request::Restore {
+            req_id,
+            model: model.spec().name.clone(),
+            tensors: descs,
+        })?;
+        let reply = Self::expect_ok(self.wait_reply(req_id)?);
+        // Restore registrations are transient; drop them either way.
+        for mr in &mrs {
+            self.nic.deregister(mr.rkey());
+        }
+        match reply? {
+            Reply::RestoreDone { version, bytes, elapsed, .. } => Ok(RestoreReport {
+                model: model.spec().name.clone(),
+                version,
+                bytes,
+                elapsed,
+            }),
+            other => Err(PortusError::Daemon(format!(
+                "unexpected reply to restore: {other:?}"
+            ))),
+        }
+    }
+
+    /// Marks the training job complete (enables repacking of the old
+    /// version).
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures.
+    pub fn mark_complete(&self, model: &str) -> PortusResult<()> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::MarkComplete {
+            req_id,
+            model: model.to_string(),
+        })?;
+        Self::expect_ok(self.wait_reply(req_id)?)?;
+        Ok(())
+    }
+
+    /// Drops the model from the daemon and deregisters its regions.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures.
+    pub fn drop_model(&self, model: &str) -> PortusResult<()> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::Drop {
+            req_id,
+            model: model.to_string(),
+        })?;
+        Self::expect_ok(self.wait_reply(req_id)?)?;
+        if let Some(mrs) = self.registered.lock().remove(model) {
+            for mr in mrs {
+                self.nic.deregister(mr.rkey());
+            }
+        }
+        Ok(())
+    }
+
+    /// Lists models stored on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures.
+    pub fn list_models(&self) -> PortusResult<Vec<ModelSummary>> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::List { req_id })?;
+        match Self::expect_ok(self.wait_reply(req_id)?)? {
+            Reply::Models { models, .. } => Ok(models),
+            other => Err(PortusError::Daemon(format!(
+                "unexpected reply to list: {other:?}"
+            ))),
+        }
+    }
+
+    /// The client's simulation context.
+    pub fn ctx(&self) -> &SimContext {
+        &self.ctx
+    }
+}
+
+impl Drop for PortusClient {
+    fn drop(&mut self) {
+        // Best-effort goodbye so the worker thread exits promptly.
+        let _ = self.requests.send(Request::Disconnect);
+    }
+}

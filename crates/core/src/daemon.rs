@@ -1,0 +1,559 @@
+//! Portus Daemon: the user-space storage server.
+//!
+//! Owns a devdax PMem namespace, maintains the three-level index, and
+//! serves client connections. Each accepted connection gets a worker
+//! thread (the paper's ThreadPool dispatch) that handles control
+//! messages and drives the one-sided RDMA datapath:
+//!
+//! * checkpoint — the daemon **reads** every tensor out of the client's
+//!   GPU memory straight into the slot's TensorData region on PMem,
+//!   flushes, checksums, and flips the slot to `Done`;
+//! * restore — the daemon **writes** the latest `Done` version back into
+//!   freshly registered GPU regions.
+//!
+//! The remote CPU never participates in the data movement and no kernel
+//! boundary is crossed — the structural claim the integration tests
+//! assert via the datapath counters.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use portus_pmem::PmemDevice;
+use portus_rdma::{ControlChannel, Fabric, Nic, NodeId, QueuePair, RegionTarget};
+use portus_sim::{SimContext, SimDuration};
+
+use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
+use crate::{Index, MIndex, ModelMap, PortusError, PortusResult};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// ModelTable capacity (max concurrent models/shards).
+    pub table_capacity: u32,
+    /// AllocTable slots.
+    pub alloc_slots: u32,
+    /// Verify the stored checksum before serving a restore.
+    pub verify_on_restore: bool,
+    /// DRAM-fallback mode (paper §IV-a): "upon the absence of PMEM ...
+    /// Portus can use DRAM as alternatives". Persistence calls are
+    /// skipped; a power failure loses everything, as DRAM would.
+    pub dram_fallback: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            table_capacity: 1024,
+            alloc_slots: 8192,
+            verify_on_restore: true,
+            dram_fallback: false,
+        }
+    }
+}
+
+/// The endpoints handed to a connecting client.
+#[derive(Debug)]
+pub struct ClientEndpoints {
+    /// Request channel (client end).
+    pub requests: ControlChannel<Request>,
+    /// Reply channel (client end).
+    pub replies: ControlChannel<Reply>,
+    /// The client's queue pair (its NIC is the local end).
+    pub qp: QueuePair,
+}
+
+pub(crate) struct DaemonState {
+    pub(crate) ctx: SimContext,
+    pub(crate) index: Index,
+    pub(crate) map: Mutex<ModelMap>,
+    pub(crate) sessions: Mutex<HashMap<String, Vec<TensorDesc>>>,
+    model_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    cfg: DaemonConfig,
+}
+
+/// The Portus storage daemon.
+///
+/// # Examples
+///
+/// See the crate-level documentation for an end-to-end
+/// register → checkpoint → restore walkthrough.
+pub struct PortusDaemon {
+    state: Arc<DaemonState>,
+    nic: Arc<Nic>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for PortusDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortusDaemon")
+            .field("node", &self.nic.node())
+            .field("models", &self.state.map.lock().len())
+            .finish()
+    }
+}
+
+impl PortusDaemon {
+    /// Starts a daemon on `node` over a **freshly formatted** namespace.
+    ///
+    /// # Errors
+    ///
+    /// Formatting failures; [`PortusError::Rdma`] if `node` has no NIC.
+    pub fn start(
+        fabric: &Fabric,
+        node: NodeId,
+        dev: Arc<PmemDevice>,
+        cfg: DaemonConfig,
+    ) -> PortusResult<Arc<PortusDaemon>> {
+        let index = Index::format(dev, cfg.table_capacity, cfg.alloc_slots)?;
+        Self::with_index(fabric, node, index, ModelMap::new(), cfg)
+    }
+
+    /// Starts a daemon over an **existing** namespace, rebuilding the
+    /// ModelMap from the persistent ModelTable (restart-after-crash).
+    ///
+    /// # Errors
+    ///
+    /// Recovery failures (bad superblock, corrupt structures).
+    pub fn recover(
+        fabric: &Fabric,
+        node: NodeId,
+        dev: Arc<PmemDevice>,
+        cfg: DaemonConfig,
+    ) -> PortusResult<Arc<PortusDaemon>> {
+        let (index, map) = Index::recover(dev)?;
+        Self::with_index(fabric, node, index, map, cfg)
+    }
+
+    fn with_index(
+        fabric: &Fabric,
+        node: NodeId,
+        index: Index,
+        map: ModelMap,
+        cfg: DaemonConfig,
+    ) -> PortusResult<Arc<PortusDaemon>> {
+        let nic = fabric.nic(node)?;
+        Ok(Arc::new(PortusDaemon {
+            state: Arc::new(DaemonState {
+                ctx: fabric.ctx().clone(),
+                index,
+                map: Mutex::new(map),
+                sessions: Mutex::new(HashMap::new()),
+                model_locks: Mutex::new(HashMap::new()),
+                cfg,
+            }),
+            nic,
+            workers: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Accepts a connection from `client_nic`: spawns a worker thread
+    /// and returns the client's endpoints.
+    pub fn accept(&self, client_nic: Arc<Nic>) -> ClientEndpoints {
+        let ctx = self.state.ctx.clone();
+        let (req_client, req_daemon) = ControlChannel::pair(ctx.clone());
+        let (rep_daemon, rep_client) = ControlChannel::pair(ctx);
+        let (qp_daemon, qp_client) = QueuePair::connect(Arc::clone(&self.nic), client_nic);
+        let state = Arc::clone(&self.state);
+        let handle = std::thread::spawn(move || serve(state, qp_daemon, req_daemon, rep_daemon));
+        self.workers.lock().push(handle);
+        ClientEndpoints {
+            requests: req_client,
+            replies: rep_client,
+            qp: qp_client,
+        }
+    }
+
+    /// Waits for all worker threads to exit (they exit when their
+    /// client disconnects).
+    pub fn shutdown(&self) {
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Summaries of all stored models (daemon-side view).
+    ///
+    /// # Errors
+    ///
+    /// Device errors while reading MIndex records.
+    pub fn summaries(&self) -> PortusResult<Vec<ModelSummary>> {
+        self.state.list_models()
+    }
+
+    /// The persistent index (for the repacker and tooling).
+    pub fn index(&self) -> &Index {
+        &self.state.index
+    }
+
+    /// In-DRAM model map size (diagnostic).
+    pub fn model_count(&self) -> usize {
+        self.state.map.lock().len()
+    }
+
+    /// The daemon's simulation context.
+    pub fn ctx(&self) -> &SimContext {
+        &self.state.ctx
+    }
+}
+
+fn serve(
+    state: Arc<DaemonState>,
+    qp: QueuePair,
+    requests: ControlChannel<Request>,
+    replies: ControlChannel<Reply>,
+) {
+    // Exits when the client disconnects (recv error) or says goodbye.
+    while let Ok(req) = requests.recv() {
+        let reply = match req {
+            Request::Disconnect => break,
+            Request::Register { req_id, model, tensors } => {
+                match state.register(&model, tensors) {
+                    Ok(()) => Reply::Registered { req_id, slots: crate::SLOT_COUNT as u8 },
+                    Err(e) => Reply::Error { req_id, message: e.to_string() },
+                }
+            }
+            Request::DeltaCheckpoint { req_id, model, dirty } => {
+                match state.delta_checkpoint(&qp, &model, &dirty) {
+                    Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
+                        req_id,
+                        version,
+                        pulled_bytes,
+                        copied_bytes,
+                        elapsed,
+                    },
+                    Err(e) => Reply::Error { req_id, message: e.to_string() },
+                }
+            }
+            Request::Checkpoint { req_id, model } => match state.checkpoint(&qp, &model) {
+                Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
+                    req_id,
+                    version,
+                    bytes,
+                    elapsed,
+                },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
+            },
+            Request::Restore { req_id, model, tensors } => {
+                match state.restore(&qp, &model, &tensors) {
+                    Ok((version, bytes, elapsed)) => Reply::RestoreDone {
+                        req_id,
+                        version,
+                        bytes,
+                        elapsed,
+                    },
+                    Err(e) => Reply::Error { req_id, message: e.to_string() },
+                }
+            }
+            Request::MarkComplete { req_id, model } => match state.mark_complete(&model) {
+                Ok(()) => Reply::Completed { req_id },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
+            },
+            Request::Drop { req_id, model } => match state.drop_model(&model) {
+                Ok(()) => Reply::Dropped { req_id },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
+            },
+            Request::List { req_id } => match state.list_models() {
+                Ok(models) => Reply::Models { req_id, models },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
+            },
+        };
+        if replies.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Chunked device-local copy within one PMem namespace (the carry-over
+/// path of incremental checkpoints).
+fn copy_on_device(
+    dev: &PmemDevice,
+    src_off: u64,
+    dst_off: u64,
+    len: u64,
+) -> PortusResult<()> {
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut done = 0u64;
+    while done < len {
+        let chunk = ((len - done) as usize).min(buf.len());
+        dev.read(src_off + done, &mut buf[..chunk])?;
+        dev.write(dst_off + done, &buf[..chunk])?;
+        done += chunk as u64;
+    }
+    Ok(())
+}
+
+impl DaemonState {
+    fn model_lock(&self, model: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.model_locks
+                .lock()
+                .entry(model.to_string())
+                .or_default(),
+        )
+    }
+
+    fn lookup(&self, model: &str) -> PortusResult<MIndex> {
+        let off = self
+            .map
+            .lock()
+            .get(model)
+            .ok_or_else(|| PortusError::ModelNotFound(model.to_string()))?;
+        self.index.load_mindex(off)
+    }
+
+    fn persist_data(&self, off: u64, len: u64) -> PortusResult<()> {
+        if !self.cfg.dram_fallback {
+            self.index.device().persist(off, len)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register(&self, model: &str, tensors: Vec<TensorDesc>) -> PortusResult<()> {
+        let metas: Vec<_> = tensors.iter().map(TensorDesc::meta).collect();
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
+        let existing = self.map.lock().get(model);
+        match existing {
+            Some(off) => {
+                // Re-registration (e.g. after client restart): the
+                // structure must match the persistent index.
+                let mi = self.index.load_mindex(off)?;
+                if mi.tensors.len() != metas.len() {
+                    return Err(PortusError::StructureMismatch(format!(
+                        "{model}: {} registered tensors vs {} on PMem",
+                        metas.len(),
+                        mi.tensors.len()
+                    )));
+                }
+                for (rec, meta) in mi.tensors.iter().zip(&metas) {
+                    if rec.meta != *meta {
+                        return Err(PortusError::StructureMismatch(format!(
+                            "{model}: tensor {} does not match stored {}",
+                            meta.name, rec.meta.name
+                        )));
+                    }
+                }
+            }
+            None => {
+                let mi = self.index.create_model(model, &metas)?;
+                self.map.lock().insert(model.to_string(), mi.offset);
+            }
+        }
+        self.sessions.lock().insert(model.to_string(), tensors);
+        Ok(())
+    }
+
+    pub(crate) fn checkpoint(
+        &self,
+        qp: &QueuePair,
+        model: &str,
+    ) -> PortusResult<(u64, u64, SimDuration)> {
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
+        let mut mi = self.lookup(model)?;
+        let descs = self
+            .sessions
+            .lock()
+            .get(model)
+            .cloned()
+            .ok_or_else(|| PortusError::Daemon(format!("no registered session for {model}")))?;
+        if descs.len() != mi.tensors.len() {
+            return Err(PortusError::StructureMismatch(format!(
+                "{model}: session has {} tensors, index has {}",
+                descs.len(),
+                mi.tensors.len()
+            )));
+        }
+
+        let target = mi.target_slot();
+        let version = mi.latest_done().map_or(0, |(_, s)| s.version) + 1;
+        // Re-attach a data region if the repacker reclaimed this slot.
+        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        self.index.mark_slot_active(&mi, target, version)?;
+
+        let t0 = self.ctx.clock.now();
+        // The zero-copy pulls: one one-sided READ per tensor, GPU → PMem.
+        for (rec, desc) in mi.tensors.iter().zip(&descs) {
+            if desc.meta() != rec.meta {
+                return Err(PortusError::StructureMismatch(format!(
+                    "{model}: registered tensor {} does not match index",
+                    desc.name
+                )));
+            }
+            let len = rec.meta.size_bytes();
+            let dst = RegionTarget::Pmem {
+                dev: Arc::clone(self.index.device()),
+                base: hdr.data_off + rec.rel_off,
+                len,
+            };
+            qp.read(desc.rkey, 0, &dst, 0, len)?;
+        }
+        // RDMA landed in the DDIO domain; make it durable (Wei et al.).
+        self.persist_data(hdr.data_off, hdr.data_len.max(1))?;
+        let checksum = self.index.slot_checksum(&mi, target)?;
+        self.index.mark_slot_done(&mi, target, checksum)?;
+        let elapsed = self.ctx.clock.now().saturating_since(t0);
+        Ok((version, mi.total_bytes, elapsed))
+    }
+
+    /// Incremental checkpoint: dirty tensors are pulled from GPU memory;
+    /// clean ones are carried over from the previous complete version
+    /// with a device-local PMem copy (charged at DAX read + write rates).
+    /// The resulting slot is a *complete* version — crash consistency is
+    /// identical to a full checkpoint.
+    pub(crate) fn delta_checkpoint(
+        &self,
+        qp: &QueuePair,
+        model: &str,
+        dirty: &[bool],
+    ) -> PortusResult<(u64, u64, u64, SimDuration)> {
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
+        let mut mi = self.lookup(model)?;
+        let descs = self
+            .sessions
+            .lock()
+            .get(model)
+            .cloned()
+            .ok_or_else(|| PortusError::Daemon(format!("no registered session for {model}")))?;
+        if descs.len() != mi.tensors.len() || dirty.len() != mi.tensors.len() {
+            return Err(PortusError::StructureMismatch(format!(
+                "{model}: session {} / dirty {} tensors vs index {}",
+                descs.len(),
+                dirty.len(),
+                mi.tensors.len()
+            )));
+        }
+        let prev = mi.latest_done();
+        let target = mi.target_slot();
+        let version = prev.map_or(0, |(_, s)| s.version) + 1;
+        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        self.index.mark_slot_active(&mi, target, version)?;
+
+        let dev = Arc::clone(self.index.device());
+        let ctx = &self.ctx;
+        let t0 = ctx.clock.now();
+        let (mut pulled, mut copied) = (0u64, 0u64);
+        for ((rec, desc), &is_dirty) in mi.tensors.iter().zip(&descs).zip(dirty) {
+            if desc.meta() != rec.meta {
+                return Err(PortusError::StructureMismatch(format!(
+                    "{model}: registered tensor {} does not match index",
+                    desc.name
+                )));
+            }
+            let len = rec.meta.size_bytes();
+            // Without a previous complete version, everything must be
+            // pulled regardless of the mask.
+            let prev_hdr = prev.map(|(_, h)| h);
+            if is_dirty || prev_hdr.is_none() {
+                let dst = RegionTarget::Pmem {
+                    dev: Arc::clone(&dev),
+                    base: hdr.data_off + rec.rel_off,
+                    len,
+                };
+                qp.read(desc.rkey, 0, &dst, 0, len)?;
+                pulled += len;
+            } else if let Some(prev_hdr) = prev_hdr {
+                copy_on_device(&dev, prev_hdr.data_off + rec.rel_off, hdr.data_off + rec.rel_off, len)?;
+                let d = ctx.model.dax_read(len) + ctx.model.dax_write(len);
+                ctx.charge(d);
+                ctx.stats.record_copy(len);
+                copied += len;
+            }
+        }
+        self.persist_data(hdr.data_off, hdr.data_len.max(1))?;
+        let checksum = self.index.slot_checksum(&mi, target)?;
+        self.index.mark_slot_done(&mi, target, checksum)?;
+        let elapsed = ctx.clock.now().saturating_since(t0);
+        Ok((version, pulled, copied, elapsed))
+    }
+
+    pub(crate) fn restore(
+        &self,
+        qp: &QueuePair,
+        model: &str,
+        descs: &[TensorDesc],
+    ) -> PortusResult<(u64, u64, SimDuration)> {
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
+        let mi = self.lookup(model)?;
+        let (slot, hdr) = mi
+            .latest_done()
+            .ok_or_else(|| PortusError::NoValidCheckpoint(model.to_string()))?;
+        if descs.len() != mi.tensors.len() {
+            return Err(PortusError::StructureMismatch(format!(
+                "{model}: restore registered {} tensors, index has {}",
+                descs.len(),
+                mi.tensors.len()
+            )));
+        }
+        if self.cfg.verify_on_restore {
+            let computed = self.index.slot_checksum(&mi, slot)?;
+            if computed != hdr.checksum {
+                return Err(PortusError::ChecksumMismatch {
+                    model: model.to_string(),
+                    version: hdr.version,
+                });
+            }
+        }
+
+        let t0 = self.ctx.clock.now();
+        // One-sided WRITEs: PMem → GPU, no client CPU involvement.
+        for (rec, desc) in mi.tensors.iter().zip(descs) {
+            if desc.meta() != rec.meta {
+                return Err(PortusError::StructureMismatch(format!(
+                    "{model}: restore tensor {} does not match index",
+                    desc.name
+                )));
+            }
+            let len = rec.meta.size_bytes();
+            let src = RegionTarget::Pmem {
+                dev: Arc::clone(self.index.device()),
+                base: hdr.data_off + rec.rel_off,
+                len,
+            };
+            qp.write(desc.rkey, 0, &src, 0, len)?;
+        }
+        let elapsed = self.ctx.clock.now().saturating_since(t0);
+        Ok((hdr.version, mi.total_bytes, elapsed))
+    }
+
+    pub(crate) fn mark_complete(&self, model: &str) -> PortusResult<()> {
+        let mi = self.lookup(model)?;
+        self.index.set_job_complete(&mi)
+    }
+
+    pub(crate) fn drop_model(&self, model: &str) -> PortusResult<()> {
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
+        let mi = self.lookup(model)?;
+        self.index.remove_model(&mi)?;
+        self.map.lock().remove(model);
+        self.sessions.lock().remove(model);
+        Ok(())
+    }
+
+    pub(crate) fn list_models(&self) -> PortusResult<Vec<ModelSummary>> {
+        let offsets: Vec<(String, u64)> = self
+            .map
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let mut out = Vec::with_capacity(offsets.len());
+        for (name, off) in offsets {
+            let mi = self.index.load_mindex(off)?;
+            out.push(ModelSummary {
+                name,
+                layers: mi.tensors.len() as u32,
+                bytes: mi.total_bytes,
+                latest_version: mi.latest_done().map(|(_, s)| s.version),
+                valid_versions: mi.valid_versions(),
+                complete: mi.flags & crate::FLAG_JOB_COMPLETE != 0,
+            });
+        }
+        Ok(out)
+    }
+}

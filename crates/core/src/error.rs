@@ -1,0 +1,136 @@
+//! Error types for Portus.
+
+use std::error::Error;
+use std::fmt;
+
+use portus_format::FormatError;
+use portus_mem::MemError;
+use portus_pmem::PmemError;
+use portus_rdma::RdmaError;
+
+/// Result alias for Portus operations.
+pub type PortusResult<T> = Result<T, PortusError>;
+
+/// Errors raised by the Portus client, daemon, and tooling.
+#[derive(Debug)]
+pub enum PortusError {
+    /// Underlying persistent-memory failure.
+    Pmem(PmemError),
+    /// Underlying fabric failure.
+    Rdma(RdmaError),
+    /// Underlying memory failure.
+    Mem(MemError),
+    /// Container encode/decode failure (portusctl dump).
+    Format(FormatError),
+    /// The named model is not registered / not on the device.
+    ModelNotFound(String),
+    /// Registration conflicts with an existing model of the same name
+    /// but different structure.
+    StructureMismatch(String),
+    /// No complete (DONE) checkpoint version exists for the model.
+    NoValidCheckpoint(String),
+    /// A stored checkpoint failed its integrity check.
+    ChecksumMismatch {
+        /// The model.
+        model: String,
+        /// The version whose data failed verification.
+        version: u64,
+    },
+    /// A protocol violation or daemon-side failure, with the daemon's
+    /// message.
+    Daemon(String),
+    /// A tensor name exceeds the fixed on-media name field.
+    NameTooLong(String),
+    /// An I/O error in the tooling (portusctl files).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PortusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortusError::Pmem(e) => write!(f, "persistent memory error: {e}"),
+            PortusError::Rdma(e) => write!(f, "fabric error: {e}"),
+            PortusError::Mem(e) => write!(f, "memory error: {e}"),
+            PortusError::Format(e) => write!(f, "container error: {e}"),
+            PortusError::ModelNotFound(m) => write!(f, "model not found: {m}"),
+            PortusError::StructureMismatch(what) => {
+                write!(f, "model structure mismatch: {what}")
+            }
+            PortusError::NoValidCheckpoint(m) => {
+                write!(f, "no complete checkpoint version for model {m}")
+            }
+            PortusError::ChecksumMismatch { model, version } => {
+                write!(f, "checkpoint {model} v{version} failed integrity verification")
+            }
+            PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
+            PortusError::NameTooLong(name) => {
+                write!(f, "tensor name exceeds on-media field: {name}")
+            }
+            PortusError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for PortusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PortusError::Pmem(e) => Some(e),
+            PortusError::Rdma(e) => Some(e),
+            PortusError::Mem(e) => Some(e),
+            PortusError::Format(e) => Some(e),
+            PortusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmemError> for PortusError {
+    fn from(e: PmemError) -> Self {
+        PortusError::Pmem(e)
+    }
+}
+
+impl From<RdmaError> for PortusError {
+    fn from(e: RdmaError) -> Self {
+        PortusError::Rdma(e)
+    }
+}
+
+impl From<MemError> for PortusError {
+    fn from(e: MemError) -> Self {
+        PortusError::Mem(e)
+    }
+}
+
+impl From<FormatError> for PortusError {
+    fn from(e: FormatError) -> Self {
+        PortusError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for PortusError {
+    fn from(e: std::io::Error) -> Self {
+        PortusError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_behave() {
+        let e = PortusError::from(PmemError::TableFull);
+        assert!(e.to_string().contains("no free slots"));
+        assert!(Error::source(&e).is_some());
+        assert!(PortusError::ModelNotFound("bert".into())
+            .to_string()
+            .contains("bert"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PortusError>();
+    }
+}

@@ -1,0 +1,826 @@
+//! The persistent three-level index: ModelTable → MIndex → TensorData.
+//!
+//! Exactly the structure of §III-D1:
+//!
+//! * **ModelTable** — a fixed array of 32-byte entries at the head of
+//!   the devdax namespace, mapping a model-name hash to the PMem offset
+//!   of its MIndex record (`info_offset`). Entries are claimed with an
+//!   8-byte CAS on their state word — the paper's "compare & swap
+//!   intrinsic to ensure the lock-free of the whole system".
+//! * **MIndex** — one record per model: the name, layer count, total
+//!   bytes, a fixed-size table of per-tensor metadata (name, dtype,
+//!   shape, size, relative data offset), and **two** slot headers — the
+//!   double mapping of §III-D2 that keeps one complete version durable
+//!   while the other is being overwritten.
+//! * **TensorData** — two page-aligned data regions per model (one per
+//!   slot) allocated from the [`PmemAllocator`]; tensor `i` of slot `s`
+//!   lives at `slots[s].data_off + tensors[i].rel_off`.
+//!
+//! Persistence ordering (all enforced here):
+//! 1. a ModelTable entry goes live only after its MIndex and data
+//!    regions are fully persisted;
+//! 2. a slot is marked `Active` (invalid) before any data lands in it;
+//! 3. a slot is marked `Done` only after its data and checksum are
+//!    persisted — so recovery trusts exactly the `Done` slots.
+
+use std::sync::Arc;
+
+use portus_dnn::{DType, TensorMeta};
+use portus_pmem::{typed, PmemAlloc, PmemAllocator, PmemDevice, PmemError};
+
+use crate::{ModelMap, PortusError, PortusResult};
+
+const SUPER_MAGIC: u64 = 0x504F_5254_5553_5342; // "PORTUSSB"
+const MINDEX_MAGIC: u32 = 0x4D49_4458; // "MIDX"
+
+const SUPER_SIZE: u64 = 64;
+const TABLE_ENTRY_SIZE: u64 = 32;
+
+// Table entry states (CAS'd).
+const ENTRY_EMPTY: u64 = 0;
+const ENTRY_CLAIMED: u64 = 1;
+const ENTRY_LIVE: u64 = 2;
+
+// MIndex record layout.
+const MI_FLAGS: u64 = 8;
+const MI_LAYERS: u64 = 16;
+const MI_TOTAL: u64 = 24;
+const MI_NAME: u64 = 32;
+const MI_NAME_MAX: usize = 254;
+const MI_SLOT0: u64 = 320;
+const SLOT_HDR_SIZE: u64 = 64;
+const MI_TENSORS: u64 = MI_SLOT0 + 2 * SLOT_HDR_SIZE;
+
+// Tensor record layout (within the MIndex tensor table).
+const TREC_SIZE: u64 = 184;
+const TREC_NAME_MAX: usize = 126;
+const TREC_DTYPE: u64 = 128;
+const TREC_NDIM: u64 = 129;
+const TREC_DIMS: u64 = 136;
+const TREC_MAX_DIMS: usize = 4;
+const TREC_LEN: u64 = 168;
+const TREC_RELOFF: u64 = 176;
+
+// Slot header fields (relative to the slot header offset).
+const SH_STATE: u64 = 0;
+const SH_VERSION: u64 = 8;
+const SH_CHECKSUM: u64 = 16;
+const SH_DATA_OFF: u64 = 24;
+const SH_DATA_LEN: u64 = 32;
+
+/// Flag bit: the training job using this model finished (repacker may
+/// reclaim everything but the latest version).
+pub const FLAG_JOB_COMPLETE: u64 = 1;
+
+/// Number of checkpoint slots per model — the double mapping.
+pub const SLOT_COUNT: usize = 2;
+
+/// State of one checkpoint slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Never written.
+    Empty,
+    /// A checkpoint into this slot started and has not completed —
+    /// its data must not be trusted.
+    Active,
+    /// A complete, checksummed version.
+    Done,
+}
+
+impl SlotState {
+    fn to_u64(self) -> u64 {
+        match self {
+            SlotState::Empty => 0,
+            SlotState::Active => 1,
+            SlotState::Done => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> PortusResult<SlotState> {
+        Ok(match v {
+            0 => SlotState::Empty,
+            1 => SlotState::Active,
+            2 => SlotState::Done,
+            other => {
+                return Err(PortusError::Daemon(format!("corrupt slot state {other}")));
+            }
+        })
+    }
+}
+
+/// One slot header, as stored on PMem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHeader {
+    /// The slot's state.
+    pub state: SlotState,
+    /// Version number of the checkpoint in this slot.
+    pub version: u64,
+    /// FNV-1a over the slot's data region (valid when `Done`).
+    pub checksum: u64,
+    /// Absolute PMem offset of the slot's TensorData region.
+    pub data_off: u64,
+    /// Region length (= the model's total bytes).
+    pub data_len: u64,
+}
+
+/// One tensor's record in an MIndex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorRecord {
+    /// The tensor metadata.
+    pub meta: TensorMeta,
+    /// Offset of this tensor within each slot's data region.
+    pub rel_off: u64,
+}
+
+/// A DRAM view of one MIndex record.
+#[derive(Debug, Clone)]
+pub struct MIndex {
+    /// Absolute PMem offset of the record.
+    pub offset: u64,
+    /// Model name.
+    pub name: String,
+    /// Flag bits ([`FLAG_JOB_COMPLETE`]).
+    pub flags: u64,
+    /// Total checkpoint payload bytes.
+    pub total_bytes: u64,
+    /// Per-tensor records in layer order.
+    pub tensors: Vec<TensorRecord>,
+    /// The two slot headers.
+    pub slots: [SlotHeader; SLOT_COUNT],
+}
+
+impl MIndex {
+    /// The latest complete version: `(slot_index, header)`.
+    pub fn latest_done(&self) -> Option<(usize, SlotHeader)> {
+        self.slots
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, s)| s.state == SlotState::Done)
+            .max_by_key(|(_, s)| s.version)
+    }
+
+    /// The slot a new checkpoint must target: never the latest `Done`
+    /// slot, so one complete version always survives.
+    pub fn target_slot(&self) -> usize {
+        match self.latest_done() {
+            Some((latest_idx, _)) => 1 - latest_idx,
+            None => {
+                // No complete version yet: prefer an Empty slot, else 0.
+                self.slots
+                    .iter()
+                    .position(|s| s.state == SlotState::Empty)
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of `Done` slots.
+    pub fn valid_versions(&self) -> u8 {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Done)
+            .count() as u8
+    }
+}
+
+/// FNV-1a over a string (the ModelTable name hash).
+pub fn name_hash(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The persistent index over one devdax namespace.
+#[derive(Debug)]
+pub struct Index {
+    dev: Arc<PmemDevice>,
+    alloc: PmemAllocator,
+    table_base: u64,
+    table_cap: u32,
+}
+
+impl Index {
+    /// Formats a fresh namespace: superblock, empty ModelTable with
+    /// `table_cap` entries, and an allocator with `alloc_slots` slots
+    /// over the rest of the device.
+    ///
+    /// # Errors
+    ///
+    /// Device bounds errors if the namespace is too small.
+    pub fn format(dev: Arc<PmemDevice>, table_cap: u32, alloc_slots: u32) -> PortusResult<Index> {
+        let table_base = SUPER_SIZE;
+        let table_size = table_cap as u64 * TABLE_ENTRY_SIZE;
+        let alloc_base = table_base + table_size;
+        let heap_base = (alloc_base + PmemAllocator::table_size(alloc_slots) + 4095) & !4095;
+        let heap_end = dev.capacity();
+
+        // Superblock.
+        let mut sb = Vec::with_capacity(SUPER_SIZE as usize);
+        sb.extend_from_slice(&SUPER_MAGIC.to_le_bytes());
+        sb.extend_from_slice(&1u32.to_le_bytes());
+        sb.extend_from_slice(&table_cap.to_le_bytes());
+        sb.extend_from_slice(&table_base.to_le_bytes());
+        sb.extend_from_slice(&alloc_base.to_le_bytes());
+        sb.extend_from_slice(&heap_base.to_le_bytes());
+        sb.extend_from_slice(&heap_end.to_le_bytes());
+        sb.resize(SUPER_SIZE as usize, 0);
+        dev.write(0, &sb)?;
+        // Zero the table.
+        dev.write(table_base, &vec![0u8; table_size as usize])?;
+        dev.persist(0, table_base + table_size)?;
+
+        let alloc = PmemAllocator::format(dev.clone(), alloc_base, alloc_slots, heap_base, heap_end)?;
+        Ok(Index {
+            dev,
+            alloc,
+            table_base,
+            table_cap,
+        })
+    }
+
+    /// Recovers the index from a previously formatted namespace and
+    /// rebuilds the in-DRAM [`ModelMap`]. Allocations not referenced by
+    /// any live table entry (leaked by a crash mid-registration) are
+    /// freed.
+    ///
+    /// # Errors
+    ///
+    /// [`PortusError::Daemon`] on bad magic; corruption errors from the
+    /// allocator.
+    pub fn recover(dev: Arc<PmemDevice>) -> PortusResult<(Index, ModelMap)> {
+        if typed::read_u64(&dev, 0)? != SUPER_MAGIC {
+            return Err(PortusError::Daemon("bad superblock magic".into()));
+        }
+        let table_cap = typed::read_u32(&dev, 12)?;
+        let table_base = typed::read_u64(&dev, 16)?;
+        let alloc_base = typed::read_u64(&dev, 24)?;
+        let alloc = PmemAllocator::recover(dev.clone(), alloc_base)?;
+        let index = Index {
+            dev,
+            alloc,
+            table_base,
+            table_cap,
+        };
+
+        let mut map = ModelMap::new();
+        let mut live_tags: Vec<u64> = Vec::new();
+        for slot in 0..table_cap {
+            let entry = index.entry_offset(slot);
+            let state = typed::read_u64(&index.dev, entry)?;
+            match state {
+                ENTRY_LIVE => {
+                    let hash = typed::read_u64(&index.dev, entry + 8)?;
+                    let off = typed::read_u64(&index.dev, entry + 16)?;
+                    let mi = index.load_mindex(off)?;
+                    map.insert(mi.name.clone(), off);
+                    live_tags.push(hash);
+                }
+                ENTRY_CLAIMED => {
+                    // Crash mid-registration: roll the claim back.
+                    typed::write_u64(&index.dev, entry, ENTRY_EMPTY)?;
+                    index.dev.persist(entry, 8)?;
+                }
+                _ => {}
+            }
+        }
+        // GC allocations whose tag no longer names a live model.
+        for a in index.alloc.live_allocations()? {
+            if !live_tags.contains(&a.tag) {
+                index.alloc.free(&a)?;
+            }
+        }
+        Ok((index, map))
+    }
+
+    fn entry_offset(&self, slot: u32) -> u64 {
+        self.table_base + slot as u64 * TABLE_ENTRY_SIZE
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.dev
+    }
+
+    /// The underlying allocator.
+    pub fn allocator(&self) -> &PmemAllocator {
+        &self.alloc
+    }
+
+    /// Creates a model: allocates and persists its MIndex and both
+    /// TensorData slots, then publishes it in the ModelTable.
+    ///
+    /// # Errors
+    ///
+    /// [`PortusError::NameTooLong`] for oversized names or too many
+    /// dims, allocation failures, and [`PortusError::Daemon`] when the
+    /// table is full.
+    pub fn create_model(&self, name: &str, metas: &[TensorMeta]) -> PortusResult<MIndex> {
+        if name.len() > MI_NAME_MAX {
+            return Err(PortusError::NameTooLong(name.to_string()));
+        }
+        for m in metas {
+            if m.name.len() > TREC_NAME_MAX {
+                return Err(PortusError::NameTooLong(m.name.clone()));
+            }
+            if m.shape.len() > TREC_MAX_DIMS {
+                return Err(PortusError::StructureMismatch(format!(
+                    "tensor {} has {} dims; max {TREC_MAX_DIMS}",
+                    m.name,
+                    m.shape.len()
+                )));
+            }
+        }
+        let hash = name_hash(name);
+        let total_bytes: u64 = metas.iter().map(TensorMeta::size_bytes).sum();
+        let mindex_size = MI_TENSORS + metas.len() as u64 * TREC_SIZE;
+
+        let mi_alloc = self.alloc.alloc_aligned(mindex_size, 64, hash)?;
+        let data: Vec<PmemAlloc> = (0..SLOT_COUNT)
+            .map(|_| self.alloc.alloc_aligned(total_bytes.max(4096), 4096, hash))
+            .collect::<Result<_, PmemError>>()?;
+
+        let off = mi_alloc.offset;
+        let dev = &self.dev;
+        // Header.
+        dev.write(off, &MINDEX_MAGIC.to_le_bytes())?;
+        dev.write(off + 4, &1u32.to_le_bytes())?;
+        typed::write_u64(dev, off + MI_FLAGS, 0)?;
+        typed::write_u32(dev, off + MI_LAYERS, metas.len() as u32)?;
+        typed::write_u32(dev, off + MI_LAYERS + 4, SLOT_COUNT as u32)?;
+        typed::write_u64(dev, off + MI_TOTAL, total_bytes)?;
+        typed::write_str(dev, off + MI_NAME, name)?;
+        // Slot headers: Empty, with their data regions recorded.
+        for (s, d) in data.iter().enumerate() {
+            let sh = off + MI_SLOT0 + s as u64 * SLOT_HDR_SIZE;
+            typed::write_u64(dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+            typed::write_u64(dev, sh + SH_VERSION, 0)?;
+            typed::write_u64(dev, sh + SH_CHECKSUM, 0)?;
+            typed::write_u64(dev, sh + SH_DATA_OFF, d.offset)?;
+            typed::write_u64(dev, sh + SH_DATA_LEN, total_bytes)?;
+        }
+        // Tensor records.
+        let mut rel = 0u64;
+        let mut tensors = Vec::with_capacity(metas.len());
+        for (i, m) in metas.iter().enumerate() {
+            let t = off + MI_TENSORS + i as u64 * TREC_SIZE;
+            typed::write_str(dev, t, &m.name)?;
+            dev.write(t + TREC_DTYPE, &[m.dtype.code()])?;
+            dev.write(t + TREC_NDIM, &[m.shape.len() as u8])?;
+            for (d, dim) in m.shape.iter().enumerate() {
+                typed::write_u64(dev, t + TREC_DIMS + d as u64 * 8, *dim)?;
+            }
+            typed::write_u64(dev, t + TREC_LEN, m.size_bytes())?;
+            typed::write_u64(dev, t + TREC_RELOFF, rel)?;
+            tensors.push(TensorRecord {
+                meta: m.clone(),
+                rel_off: rel,
+            });
+            rel += m.size_bytes();
+        }
+        dev.persist(off, mindex_size)?;
+
+        // Publish: CAS-claim a table entry, fill it, go live.
+        let mut published = false;
+        for slot in 0..self.table_cap {
+            let entry = self.entry_offset(slot);
+            if self.dev.cas_u64(entry, ENTRY_EMPTY, ENTRY_CLAIMED)?.is_ok() {
+                typed::write_u64(dev, entry + 8, hash)?;
+                typed::write_u64(dev, entry + 16, off)?;
+                dev.persist(entry + 8, 16)?;
+                self.dev
+                    .cas_u64_persist(entry, ENTRY_CLAIMED, ENTRY_LIVE)?
+                    .map_err(|v| PortusError::Daemon(format!("entry state raced to {v}")))?;
+                published = true;
+                break;
+            }
+        }
+        if !published {
+            // Roll back the allocations.
+            self.alloc.free(&mi_alloc)?;
+            for d in &data {
+                self.alloc.free(d)?;
+            }
+            return Err(PortusError::Daemon("ModelTable is full".into()));
+        }
+
+        Ok(MIndex {
+            offset: off,
+            name: name.to_string(),
+            flags: 0,
+            total_bytes,
+            tensors,
+            slots: [
+                SlotHeader {
+                    state: SlotState::Empty,
+                    version: 0,
+                    checksum: 0,
+                    data_off: data[0].offset,
+                    data_len: total_bytes,
+                },
+                SlotHeader {
+                    state: SlotState::Empty,
+                    version: 0,
+                    checksum: 0,
+                    data_off: data[1].offset,
+                    data_len: total_bytes,
+                },
+            ],
+        })
+    }
+
+    /// Loads the MIndex record at `off` into DRAM.
+    ///
+    /// # Errors
+    ///
+    /// [`PortusError::Daemon`] on bad magic or corrupt fields.
+    pub fn load_mindex(&self, off: u64) -> PortusResult<MIndex> {
+        let dev = &self.dev;
+        if typed::read_u32(dev, off)? != MINDEX_MAGIC {
+            return Err(PortusError::Daemon(format!(
+                "bad MIndex magic at offset {off}"
+            )));
+        }
+        let flags = typed::read_u64(dev, off + MI_FLAGS)?;
+        let layers = typed::read_u32(dev, off + MI_LAYERS)?;
+        let total_bytes = typed::read_u64(dev, off + MI_TOTAL)?;
+        let (name, _) = typed::read_str(dev, off + MI_NAME)?;
+
+        let mut slots = [SlotHeader {
+            state: SlotState::Empty,
+            version: 0,
+            checksum: 0,
+            data_off: 0,
+            data_len: 0,
+        }; SLOT_COUNT];
+        for (s, slot) in slots.iter_mut().enumerate() {
+            let sh = off + MI_SLOT0 + s as u64 * SLOT_HDR_SIZE;
+            *slot = SlotHeader {
+                state: SlotState::from_u64(typed::read_u64(dev, sh + SH_STATE)?)?,
+                version: typed::read_u64(dev, sh + SH_VERSION)?,
+                checksum: typed::read_u64(dev, sh + SH_CHECKSUM)?,
+                data_off: typed::read_u64(dev, sh + SH_DATA_OFF)?,
+                data_len: typed::read_u64(dev, sh + SH_DATA_LEN)?,
+            };
+        }
+
+        let mut tensors = Vec::with_capacity(layers as usize);
+        for i in 0..layers {
+            let t = off + MI_TENSORS + i as u64 * TREC_SIZE;
+            let (tname, _) = typed::read_str(dev, t)?;
+            let mut byte = [0u8; 1];
+            dev.read(t + TREC_DTYPE, &mut byte)?;
+            let dtype = DType::from_code(byte[0])
+                .ok_or_else(|| PortusError::Daemon(format!("bad dtype code {}", byte[0])))?;
+            dev.read(t + TREC_NDIM, &mut byte)?;
+            let ndim = byte[0] as usize;
+            let mut shape = Vec::with_capacity(ndim);
+            for d in 0..ndim {
+                shape.push(typed::read_u64(dev, t + TREC_DIMS + d as u64 * 8)?);
+            }
+            let rel_off = typed::read_u64(dev, t + TREC_RELOFF)?;
+            tensors.push(TensorRecord {
+                meta: TensorMeta::new(tname, dtype, shape),
+                rel_off,
+            });
+        }
+        Ok(MIndex {
+            offset: off,
+            name,
+            flags,
+            total_bytes,
+            tensors,
+            slots,
+        })
+    }
+
+    /// Durably transitions a slot to `Active` with the new version
+    /// (checksum cleared). Step 2 of the persistence ordering.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn mark_slot_active(&self, mi: &MIndex, slot: usize, version: u64) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_VERSION, version)?;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        self.dev.persist(sh + SH_VERSION, 16)?;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Active.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
+    /// Durably transitions a slot to `Done` with its data checksum.
+    /// Step 3 of the persistence ordering: data must already be
+    /// persisted.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn mark_slot_done(&self, mi: &MIndex, slot: usize, checksum: u64) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, checksum)?;
+        self.dev.persist(sh + SH_CHECKSUM, 8)?;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Done.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
+    /// Durably resets a slot to `Empty` (used by the repacker).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn mark_slot_empty(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
+    /// Durably detaches a slot's data region (repacker): the slot
+    /// becomes `Empty` with `data_off = 0`. The region itself must be
+    /// freed by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn clear_slot_region(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DATA_OFF, 0)?;
+        self.dev.persist(sh, SLOT_HDR_SIZE)?;
+        Ok(())
+    }
+
+    /// Ensures a slot has a data region, re-allocating one if the
+    /// repacker reclaimed it. Returns the (possibly updated) header.
+    ///
+    /// # Errors
+    ///
+    /// Allocation and device errors.
+    pub fn ensure_slot_region(&self, mi: &mut MIndex, slot: usize) -> PortusResult<SlotHeader> {
+        if mi.slots[slot].data_off == 0 {
+            let hash = name_hash(&mi.name);
+            let region = self
+                .alloc
+                .alloc_aligned(mi.total_bytes.max(4096), 4096, hash)?;
+            let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+            typed::write_u64(&self.dev, sh + SH_DATA_OFF, region.offset)?;
+            typed::write_u64(&self.dev, sh + SH_DATA_LEN, mi.total_bytes)?;
+            self.dev.persist(sh + SH_DATA_OFF, 16)?;
+            mi.slots[slot].data_off = region.offset;
+            mi.slots[slot].data_len = mi.total_bytes;
+        }
+        Ok(mi.slots[slot])
+    }
+
+    /// Durably sets the job-complete flag.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn set_job_complete(&self, mi: &MIndex) -> PortusResult<()> {
+        let flags = typed::read_u64(&self.dev, mi.offset + MI_FLAGS)? | FLAG_JOB_COMPLETE;
+        typed::write_u64(&self.dev, mi.offset + MI_FLAGS, flags)?;
+        self.dev.persist(mi.offset + MI_FLAGS, 8)?;
+        Ok(())
+    }
+
+    /// FNV-1a checksum of a slot's data region (reads PMem).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn slot_checksum(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
+        let hdr = mi.slots[slot];
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut buf = vec![0u8; 256 * 1024];
+        let mut pos = 0u64;
+        while pos < hdr.data_len {
+            let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
+            self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
+            for &b in &buf[..chunk] {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            pos += chunk as u64;
+        }
+        Ok(hash)
+    }
+
+    /// Removes a model: clears its table entry first (so recovery never
+    /// sees it again), then frees its allocations.
+    ///
+    /// # Errors
+    ///
+    /// Device/allocator errors.
+    pub fn remove_model(&self, mi: &MIndex) -> PortusResult<()> {
+        let hash = name_hash(&mi.name);
+        for slot in 0..self.table_cap {
+            let entry = self.entry_offset(slot);
+            if typed::read_u64(&self.dev, entry)? == ENTRY_LIVE
+                && typed::read_u64(&self.dev, entry + 8)? == hash
+                && typed::read_u64(&self.dev, entry + 16)? == mi.offset
+            {
+                typed::write_u64(&self.dev, entry, ENTRY_EMPTY)?;
+                self.dev.persist(entry, 8)?;
+                break;
+            }
+        }
+        for a in self.alloc.live_allocations()? {
+            if a.tag == hash {
+                self.alloc.free(&a)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All live (hash, mindex offset) table entries.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn live_entries(&self) -> PortusResult<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        for slot in 0..self.table_cap {
+            let entry = self.entry_offset(slot);
+            if typed::read_u64(&self.dev, entry)? == ENTRY_LIVE {
+                out.push((
+                    typed::read_u64(&self.dev, entry + 8)?,
+                    typed::read_u64(&self.dev, entry + 16)?,
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portus_pmem::{CrashSpec, PmemMode};
+    use portus_sim::SimContext;
+
+    fn fresh() -> (Arc<PmemDevice>, Index) {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 64 << 20);
+        let index = Index::format(dev.clone(), 32, 256).unwrap();
+        (dev, index)
+    }
+
+    fn metas(n: usize, bytes: u64) -> Vec<TensorMeta> {
+        (0..n)
+            .map(|i| TensorMeta::new(format!("t{i}"), DType::F32, vec![bytes / 4]))
+            .collect()
+    }
+
+    #[test]
+    fn create_and_load_round_trips() {
+        let (_dev, index) = fresh();
+        let mi = index.create_model("bert", &metas(5, 4096)).unwrap();
+        assert_eq!(mi.total_bytes, 5 * 4096);
+        assert_eq!(mi.tensors.len(), 5);
+        assert_eq!(mi.tensors[3].rel_off, 3 * 4096);
+        let loaded = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(loaded.name, "bert");
+        assert_eq!(loaded.tensors, mi.tensors);
+        assert_eq!(loaded.slots[0].data_off, mi.slots[0].data_off);
+        assert_ne!(loaded.slots[0].data_off, loaded.slots[1].data_off);
+    }
+
+    #[test]
+    fn data_slots_are_page_aligned_and_disjoint() {
+        let (_dev, index) = fresh();
+        let mi = index.create_model("m", &metas(3, 1000)).unwrap();
+        for s in mi.slots {
+            assert_eq!(s.data_off % 4096, 0);
+        }
+        let (a, b) = (mi.slots[0], mi.slots[1]);
+        assert!(a.data_off + a.data_len <= b.data_off || b.data_off + b.data_len <= a.data_off);
+    }
+
+    #[test]
+    fn target_slot_never_hits_latest_done() {
+        let (_dev, index) = fresh();
+        let mut mi = index.create_model("m", &metas(1, 64)).unwrap();
+        assert_eq!(mi.target_slot(), 0);
+        index.mark_slot_active(&mi, 0, 1).unwrap();
+        index.mark_slot_done(&mi, 0, 0xAB).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(mi.latest_done().unwrap().0, 0);
+        assert_eq!(mi.target_slot(), 1);
+        index.mark_slot_active(&mi, 1, 2).unwrap();
+        index.mark_slot_done(&mi, 1, 0xCD).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(mi.latest_done().unwrap(), (1, mi.slots[1]));
+        assert_eq!(mi.target_slot(), 0);
+        assert_eq!(mi.valid_versions(), 2);
+    }
+
+    #[test]
+    fn recovery_rebuilds_model_map() {
+        let (dev, index) = fresh();
+        index.create_model("alpha", &metas(2, 128)).unwrap();
+        index.create_model("beta", &metas(3, 128)).unwrap();
+        drop(index);
+        dev.crash(CrashSpec::LoseAll);
+
+        let (index2, map) = Index::recover(dev).unwrap();
+        assert_eq!(map.len(), 2);
+        let mi = index2.load_mindex(map.get("beta").unwrap()).unwrap();
+        assert_eq!(mi.tensors.len(), 3);
+    }
+
+    #[test]
+    fn recovery_gcs_orphan_allocations() {
+        let (dev, index) = fresh();
+        index.create_model("kept", &metas(1, 128)).unwrap();
+        // Orphan: an allocation tagged with a hash that no live entry has.
+        index.allocator().alloc(4096, 0xDEAD).unwrap();
+        let live_before = index.allocator().live_allocations().unwrap().len();
+        assert_eq!(live_before, 4); // mindex + 2 slots + orphan
+        drop(index);
+
+        let (index2, _map) = Index::recover(dev).unwrap();
+        assert_eq!(index2.allocator().live_allocations().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn crash_before_publish_leaves_no_model() {
+        let (dev, index) = fresh();
+        // Simulate crash mid-create: MIndex persisted but entry only
+        // CLAIMED. We emulate by claiming an entry manually.
+        index.create_model("real", &metas(1, 64)).unwrap();
+        let entry1 = SUPER_SIZE + TABLE_ENTRY_SIZE; // second entry
+        dev.cas_u64_persist(entry1, ENTRY_EMPTY, ENTRY_CLAIMED)
+            .unwrap()
+            .unwrap();
+        dev.crash(CrashSpec::LoseAll);
+
+        let (index2, map) = Index::recover(dev).unwrap();
+        assert_eq!(map.len(), 1);
+        assert!(map.contains("real"));
+        // The claimed entry was rolled back and is reusable.
+        index2.create_model("second", &metas(1, 64)).unwrap();
+    }
+
+    #[test]
+    fn remove_model_frees_space() {
+        let (_dev, index) = fresh();
+        let free0 = index.allocator().free_bytes();
+        let mi = index.create_model("temp", &metas(4, 8192)).unwrap();
+        assert!(index.allocator().free_bytes() < free0);
+        index.remove_model(&mi).unwrap();
+        assert_eq!(index.allocator().free_bytes(), free0);
+        assert!(index.live_entries().unwrap().is_empty());
+    }
+
+    #[test]
+    fn names_too_long_are_rejected() {
+        let (_dev, index) = fresh();
+        let long = "x".repeat(300);
+        assert!(matches!(
+            index.create_model(&long, &metas(1, 64)),
+            Err(PortusError::NameTooLong(_))
+        ));
+        let bad_tensor = vec![TensorMeta::new("y".repeat(200), DType::F32, vec![16])];
+        assert!(matches!(
+            index.create_model("ok", &bad_tensor),
+            Err(PortusError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_dims_rejected() {
+        let (_dev, index) = fresh();
+        let bad = vec![TensorMeta::new("t", DType::F32, vec![1, 2, 3, 4, 5])];
+        assert!(matches!(
+            index.create_model("m", &bad),
+            Err(PortusError::StructureMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn slot_checksum_reflects_data() {
+        let (dev, index) = fresh();
+        let mi = index.create_model("m", &metas(1, 4096)).unwrap();
+        let c0 = index.slot_checksum(&mi, 0).unwrap();
+        dev.write(mi.slots[0].data_off, &[7u8; 100]).unwrap();
+        let c1 = index.slot_checksum(&mi, 0).unwrap();
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn table_full_rolls_back() {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 16 << 20);
+        let index = Index::format(dev, 1, 64).unwrap();
+        index.create_model("only", &metas(1, 64)).unwrap();
+        let free = index.allocator().free_bytes();
+        assert!(index.create_model("overflow", &metas(1, 64)).is_err());
+        assert_eq!(index.allocator().free_bytes(), free, "rollback must free");
+    }
+}

@@ -1,0 +1,587 @@
+//! ModelMap: the in-DRAM red-black tree over model names.
+//!
+//! The paper keeps the persistent ModelTable as a sorted array on PMem
+//! and mirrors it in main memory as "a red-black tree structure ...
+//! called ModelMap ... to quickly look up and locate the target model"
+//! (§III-D1). Each entry maps a model name to the PMem offset of its
+//! MIndex record. This is a self-contained red-black tree implementation
+//! (insert, delete, lookup, ordered iteration) with the classic
+//! CLRS fix-up procedures, using index-based nodes so it stays entirely
+//! in safe Rust.
+
+use std::cmp::Ordering;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: String,
+    value: u64,
+    color: Color,
+    parent: usize,
+    left: usize,
+    right: usize,
+}
+
+/// An ordered map from model name to MIndex offset.
+///
+/// # Examples
+///
+/// ```
+/// use portus::ModelMap;
+///
+/// let mut map = ModelMap::new();
+/// map.insert("bert-large".to_string(), 4096);
+/// assert_eq!(map.get("bert-large"), Some(4096));
+/// assert_eq!(map.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ModelMap {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl ModelMap {
+    /// An empty map.
+    pub fn new() -> ModelMap {
+        ModelMap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the MIndex offset of `key`.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(self.nodes[cur].key.as_str()) {
+                Ordering::Less => cur = self.nodes[cur].left,
+                Ordering::Greater => cur = self.nodes[cur].right,
+                Ordering::Equal => return Some(self.nodes[cur].value),
+            }
+        }
+        None
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts or updates `key`; returns the previous value if any.
+    pub fn insert(&mut self, key: String, value: u64) -> Option<u64> {
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            match key.as_str().cmp(self.nodes[cur].key.as_str()) {
+                Ordering::Less => cur = self.nodes[cur].left,
+                Ordering::Greater => cur = self.nodes[cur].right,
+                Ordering::Equal => {
+                    let old = self.nodes[cur].value;
+                    self.nodes[cur].value = value;
+                    return Some(old);
+                }
+            }
+        }
+        let idx = self.alloc_node(Node {
+            key,
+            value,
+            color: Color::Red,
+            parent,
+            left: NIL,
+            right: NIL,
+        });
+        if parent == NIL {
+            self.root = idx;
+        } else if self.nodes[idx].key < self.nodes[parent].key {
+            self.nodes[parent].left = idx;
+        } else {
+            self.nodes[parent].right = idx;
+        }
+        self.len += 1;
+        self.insert_fixup(idx);
+        None
+    }
+
+    /// Removes `key`; returns its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<u64> {
+        let mut z = self.root;
+        while z != NIL {
+            match key.cmp(self.nodes[z].key.as_str()) {
+                Ordering::Less => z = self.nodes[z].left,
+                Ordering::Greater => z = self.nodes[z].right,
+                Ordering::Equal => break,
+            }
+        }
+        if z == NIL {
+            return None;
+        }
+        let value = self.nodes[z].value;
+        self.delete_node(z);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.nodes[cur].left;
+        }
+        Iter { map: self, stack }
+    }
+
+    // ---- internals -------------------------------------------------
+
+    fn alloc_node(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn color(&self, x: usize) -> Color {
+        if x == NIL {
+            Color::Black
+        } else {
+            self.nodes[x].color
+        }
+    }
+
+    fn set_color(&mut self, x: usize, c: Color) {
+        if x != NIL {
+            self.nodes[x].color = c;
+        }
+    }
+
+    fn left_rotate(&mut self, x: usize) {
+        let y = self.nodes[x].right;
+        let yl = self.nodes[y].left;
+        self.nodes[x].right = yl;
+        if yl != NIL {
+            self.nodes[yl].parent = x;
+        }
+        let xp = self.nodes[x].parent;
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp].left == x {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn right_rotate(&mut self, x: usize) {
+        let y = self.nodes[x].left;
+        let yr = self.nodes[y].right;
+        self.nodes[x].left = yr;
+        if yr != NIL {
+            self.nodes[yr].parent = x;
+        }
+        let xp = self.nodes[x].parent;
+        self.nodes[y].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp].left == x {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while self.color(self.nodes[z].parent) == Color::Red {
+            let p = self.nodes[z].parent;
+            let g = self.nodes[p].parent;
+            if p == self.nodes[g].left {
+                let u = self.nodes[g].right;
+                if self.color(u) == Color::Red {
+                    self.set_color(p, Color::Black);
+                    self.set_color(u, Color::Black);
+                    self.set_color(g, Color::Red);
+                    z = g;
+                } else {
+                    if z == self.nodes[p].right {
+                        z = p;
+                        self.left_rotate(z);
+                    }
+                    let p = self.nodes[z].parent;
+                    let g = self.nodes[p].parent;
+                    self.set_color(p, Color::Black);
+                    self.set_color(g, Color::Red);
+                    self.right_rotate(g);
+                }
+            } else {
+                let u = self.nodes[g].left;
+                if self.color(u) == Color::Red {
+                    self.set_color(p, Color::Black);
+                    self.set_color(u, Color::Black);
+                    self.set_color(g, Color::Red);
+                    z = g;
+                } else {
+                    if z == self.nodes[p].left {
+                        z = p;
+                        self.right_rotate(z);
+                    }
+                    let p = self.nodes[z].parent;
+                    let g = self.nodes[p].parent;
+                    self.set_color(p, Color::Black);
+                    self.set_color(g, Color::Red);
+                    self.left_rotate(g);
+                }
+            }
+        }
+        let root = self.root;
+        self.set_color(root, Color::Black);
+    }
+
+    fn minimum(&self, mut x: usize) -> usize {
+        while self.nodes[x].left != NIL {
+            x = self.nodes[x].left;
+        }
+        x
+    }
+
+    fn transplant(&mut self, u: usize, v: usize) {
+        let up = self.nodes[u].parent;
+        if up == NIL {
+            self.root = v;
+        } else if self.nodes[up].left == u {
+            self.nodes[up].left = v;
+        } else {
+            self.nodes[up].right = v;
+        }
+        if v != NIL {
+            self.nodes[v].parent = up;
+        }
+    }
+
+    fn delete_node(&mut self, z: usize) {
+        // CLRS delete with an explicit (x, x_parent) pair instead of a
+        // sentinel NIL node.
+        let mut y = z;
+        let mut y_color = self.color(y);
+        let x;
+        let x_parent;
+        if self.nodes[z].left == NIL {
+            x = self.nodes[z].right;
+            x_parent = self.nodes[z].parent;
+            self.transplant(z, x);
+        } else if self.nodes[z].right == NIL {
+            x = self.nodes[z].left;
+            x_parent = self.nodes[z].parent;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.nodes[z].right);
+            y_color = self.color(y);
+            x = self.nodes[y].right;
+            if self.nodes[y].parent == z {
+                x_parent = y;
+            } else {
+                x_parent = self.nodes[y].parent;
+                self.transplant(y, x);
+                let zr = self.nodes[z].right;
+                self.nodes[y].right = zr;
+                if zr != NIL {
+                    self.nodes[zr].parent = y;
+                }
+            }
+            self.transplant(z, y);
+            let zl = self.nodes[z].left;
+            self.nodes[y].left = zl;
+            if zl != NIL {
+                self.nodes[zl].parent = y;
+            }
+            self.nodes[y].color = self.nodes[z].color;
+        }
+        if y_color == Color::Black {
+            self.delete_fixup(x, x_parent);
+        }
+        self.free.push(z);
+        // Make the freed slot inert.
+        self.nodes[z].parent = NIL;
+        self.nodes[z].left = NIL;
+        self.nodes[z].right = NIL;
+    }
+
+    fn delete_fixup(&mut self, mut x: usize, mut x_parent: usize) {
+        while x != self.root && self.color(x) == Color::Black {
+            if x_parent == NIL {
+                break;
+            }
+            if x == self.nodes[x_parent].left {
+                let mut w = self.nodes[x_parent].right;
+                if self.color(w) == Color::Red {
+                    self.set_color(w, Color::Black);
+                    self.set_color(x_parent, Color::Red);
+                    self.left_rotate(x_parent);
+                    w = self.nodes[x_parent].right;
+                }
+                if self.color(self.nodes[w].left) == Color::Black
+                    && self.color(self.nodes[w].right) == Color::Black
+                {
+                    self.set_color(w, Color::Red);
+                    x = x_parent;
+                    x_parent = self.nodes[x].parent;
+                } else {
+                    if self.color(self.nodes[w].right) == Color::Black {
+                        let wl = self.nodes[w].left;
+                        self.set_color(wl, Color::Black);
+                        self.set_color(w, Color::Red);
+                        self.right_rotate(w);
+                        w = self.nodes[x_parent].right;
+                    }
+                    self.nodes[w].color = self.nodes[x_parent].color;
+                    self.set_color(x_parent, Color::Black);
+                    let wr = self.nodes[w].right;
+                    self.set_color(wr, Color::Black);
+                    self.left_rotate(x_parent);
+                    x = self.root;
+                    break;
+                }
+            } else {
+                let mut w = self.nodes[x_parent].left;
+                if self.color(w) == Color::Red {
+                    self.set_color(w, Color::Black);
+                    self.set_color(x_parent, Color::Red);
+                    self.right_rotate(x_parent);
+                    w = self.nodes[x_parent].left;
+                }
+                if self.color(self.nodes[w].right) == Color::Black
+                    && self.color(self.nodes[w].left) == Color::Black
+                {
+                    self.set_color(w, Color::Red);
+                    x = x_parent;
+                    x_parent = self.nodes[x].parent;
+                } else {
+                    if self.color(self.nodes[w].left) == Color::Black {
+                        let wr = self.nodes[w].right;
+                        self.set_color(wr, Color::Black);
+                        self.set_color(w, Color::Red);
+                        self.left_rotate(w);
+                        w = self.nodes[x_parent].left;
+                    }
+                    self.nodes[w].color = self.nodes[x_parent].color;
+                    self.set_color(x_parent, Color::Black);
+                    let wl = self.nodes[w].left;
+                    self.set_color(wl, Color::Black);
+                    self.right_rotate(x_parent);
+                    x = self.root;
+                    break;
+                }
+            }
+        }
+        self.set_color(x, Color::Black);
+    }
+
+    /// Verifies the red-black invariants; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if self.root == NIL {
+            return;
+        }
+        assert_eq!(self.color(self.root), Color::Black, "root must be black");
+        self.check_subtree(self.root);
+    }
+
+    fn check_subtree(&self, x: usize) -> usize {
+        if x == NIL {
+            return 1; // NIL is black
+        }
+        let n = &self.nodes[x];
+        if n.color == Color::Red {
+            assert_eq!(self.color(n.left), Color::Black, "red node with red left child");
+            assert_eq!(self.color(n.right), Color::Black, "red node with red right child");
+        }
+        if n.left != NIL {
+            assert!(self.nodes[n.left].key < n.key, "BST order violated");
+            assert_eq!(self.nodes[n.left].parent, x, "parent link broken");
+        }
+        if n.right != NIL {
+            assert!(self.nodes[n.right].key > n.key, "BST order violated");
+            assert_eq!(self.nodes[n.right].parent, x, "parent link broken");
+        }
+        let lh = self.check_subtree(n.left);
+        let rh = self.check_subtree(n.right);
+        assert_eq!(lh, rh, "black-height mismatch");
+        lh + usize::from(n.color == Color::Black)
+    }
+}
+
+/// Ascending-order iterator over [`ModelMap`] entries.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    map: &'a ModelMap,
+    stack: Vec<usize>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = (&'a str, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let node = &self.map.nodes[idx];
+        let mut cur = node.right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.map.nodes[cur].left;
+        }
+        Some((node.key.as_str(), node.value))
+    }
+}
+
+impl<'a> IntoIterator for &'a ModelMap {
+    type Item = (&'a str, u64);
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<(String, u64)> for ModelMap {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> ModelMap {
+        let mut map = ModelMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Extend<(String, u64)> for ModelMap {
+    fn extend<I: IntoIterator<Item = (String, u64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = ModelMap::new();
+        assert_eq!(m.insert("bert".into(), 1), None);
+        assert_eq!(m.insert("gpt".into(), 2), None);
+        assert_eq!(m.insert("bert".into(), 3), Some(1));
+        assert_eq!(m.get("bert"), Some(3));
+        assert_eq!(m.remove("bert"), Some(3));
+        assert_eq!(m.get("bert"), None);
+        assert_eq!(m.remove("bert"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = ModelMap::new();
+        for name in ["swin", "alexnet", "vit", "bert", "resnet"] {
+            m.insert(name.into(), name.len() as u64);
+        }
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alexnet", "bert", "resnet", "swin", "vit"]);
+    }
+
+    #[test]
+    fn invariants_hold_under_churn() {
+        let mut m = ModelMap::new();
+        // Deterministic churn: insert 500, delete every third, insert more.
+        for i in 0..500u64 {
+            m.insert(format!("model-{:03}", (i * 7919) % 500), i);
+            m.check_invariants();
+        }
+        for i in (0..500u64).step_by(3) {
+            m.remove(&format!("model-{i:03}"));
+            m.check_invariants();
+        }
+        for i in 500..600u64 {
+            m.insert(format!("model-{i:03}"), i);
+            m.check_invariants();
+        }
+        // Everything still reachable and ordered.
+        let keys: Vec<String> = m.iter().map(|(k, _)| k.to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn matches_btreemap_reference() {
+        use std::collections::BTreeMap;
+        let mut ours = ModelMap::new();
+        let mut reference = BTreeMap::new();
+        let mut state = 0x12345678u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = format!("k{}", state % 200);
+            let op = (state >> 32) % 3;
+            match op {
+                0 | 1 => {
+                    assert_eq!(ours.insert(key.clone(), state), reference.insert(key, state));
+                }
+                _ => {
+                    assert_eq!(ours.remove(&key), reference.remove(&key));
+                }
+            }
+            assert_eq!(ours.len(), reference.len());
+        }
+        ours.check_invariants();
+        let a: Vec<(String, u64)> = ours.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let b: Vec<(String, u64)> = reference.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let m: ModelMap = vec![("a".to_string(), 1), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("b"), Some(2));
+    }
+
+    #[test]
+    fn empty_map_behaves() {
+        let m = ModelMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        m.check_invariants();
+    }
+}

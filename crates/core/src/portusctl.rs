@@ -1,0 +1,150 @@
+//! `portusctl`: manage and share checkpoints stored on a PMem device
+//! (§IV-b).
+//!
+//! Researchers share checkpoints in portable formats; `portusctl view
+//! DEVICE` lists every model on a device image, and `portusctl dump
+//! DEVICE MODEL FILE` serializes a PMem-resident checkpoint into the
+//! portable container of [`portus_format`] — the only place Portus ever
+//! serializes, and it happens offline.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
+use portus_format::{write_checkpoint, CheckpointEntry, PayloadSource};
+use portus_pmem::load_image;
+use portus_sim::SimContext;
+
+use crate::proto::ModelSummary;
+use crate::{Index, ModelMap, PortusError, PortusResult};
+
+/// Result of a `portusctl dump`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpReport {
+    /// The dumped model.
+    pub model: String,
+    /// The version that was dumped (latest complete).
+    pub version: u64,
+    /// Payload bytes written.
+    pub bytes: u64,
+    /// Number of tensors.
+    pub tensors: usize,
+}
+
+fn open_index(image: &Path) -> PortusResult<(Index, ModelMap)> {
+    let dev = load_image(SimContext::icdcs24(), image)?;
+    Index::recover(dev)
+}
+
+/// `portusctl view DEVICE`: lists all models stored on the device image
+/// at `image`.
+///
+/// # Errors
+///
+/// Image/recovery failures.
+pub fn view(image: &Path) -> PortusResult<Vec<ModelSummary>> {
+    let (index, map) = open_index(image)?;
+    let mut out = Vec::with_capacity(map.len());
+    for (name, off) in map.iter() {
+        let mi = index.load_mindex(off)?;
+        out.push(ModelSummary {
+            name: name.to_string(),
+            layers: mi.tensors.len() as u32,
+            bytes: mi.total_bytes,
+            latest_version: mi.latest_done().map(|(_, s)| s.version),
+            valid_versions: mi.valid_versions(),
+            complete: mi.flags & crate::FLAG_JOB_COMPLETE != 0,
+        });
+    }
+    Ok(out)
+}
+
+/// `portusctl dump DEVICE MODEL FILE`: extracts the latest complete
+/// checkpoint of `model` from the device image into a portable
+/// container at `out`.
+///
+/// # Errors
+///
+/// [`PortusError::ModelNotFound`] / [`PortusError::NoValidCheckpoint`]
+/// when the model or a complete version is missing, plus image and
+/// container errors.
+pub fn dump(image: &Path, model: &str, out: &Path) -> PortusResult<DumpReport> {
+    let (index, map) = open_index(image)?;
+    let off = map
+        .get(model)
+        .ok_or_else(|| PortusError::ModelNotFound(model.to_string()))?;
+    let mi = index.load_mindex(off)?;
+    let (_slot, hdr) = mi
+        .latest_done()
+        .ok_or_else(|| PortusError::NoValidCheckpoint(model.to_string()))?;
+
+    let mut entries = Vec::with_capacity(mi.tensors.len());
+    for rec in &mi.tensors {
+        let len = rec.meta.size_bytes();
+        let mut payload = vec![0u8; len as usize];
+        index
+            .device()
+            .read(hdr.data_off + rec.rel_off, &mut payload)?;
+        entries.push(CheckpointEntry {
+            meta: rec.meta.clone(),
+            data: PayloadSource::Bytes(payload),
+        });
+    }
+    // This is the one serialization Portus performs, and it is offline
+    // (§VI, lesson 2).
+    portus_format::charge_serialize(index.device().ctx(), mi.total_bytes);
+    let file = File::create(out)?;
+    write_checkpoint(BufWriter::new(file), model, &entries)?;
+    Ok(DumpReport {
+        model: model.to_string(),
+        version: hdr.version,
+        bytes: mi.total_bytes,
+        tensors: mi.tensors.len(),
+    })
+}
+
+/// Renders summaries as the table `portusctl view` prints.
+pub fn render_view(models: &[ModelSummary]) -> String {
+    let mut out = String::from(
+        "MODEL                                    LAYERS      BYTES  LATEST  VALID  COMPLETE\n",
+    );
+    for m in models {
+        out.push_str(&format!(
+            "{:<40} {:>6} {:>10}  {:>6}  {:>5}  {}\n",
+            m.name,
+            m.layers,
+            m.bytes,
+            m.latest_version
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            m.valid_versions,
+            if m.complete { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_view_formats_rows() {
+        let rows = vec![ModelSummary {
+            name: "bert".into(),
+            layers: 396,
+            bytes: 1024,
+            latest_version: Some(3),
+            valid_versions: 2,
+            complete: true,
+        }];
+        let s = render_view(&rows);
+        assert!(s.contains("bert"));
+        assert!(s.contains("396"));
+        assert!(s.contains("yes"));
+    }
+
+    #[test]
+    fn view_missing_image_errors() {
+        assert!(view(Path::new("/nonexistent/portus.img")).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The client↔daemon control protocol.
+//!
+//! Carried over the TCP-over-IPoIB [`portus_rdma::ControlChannel`]. The
+//! registration packet "aggregates [remote keys] with the metadata of
+//! layers one-to-one correspondingly ... to describe a DNN model"
+//! (§III-B); checkpointing is triggered by the literal `DO_CHECKPOINT`
+//! message of §III-C, represented here as [`Request::Checkpoint`].
+
+use portus_dnn::{DType, GpuTensor, TensorMeta};
+use portus_rdma::MemoryRegion;
+use portus_sim::SimDuration;
+
+/// One tensor's registration: its metadata plus the remote key of the
+/// GPU memory region holding it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorDesc {
+    /// Layer/tensor name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Dimension sizes.
+    pub shape: Vec<u64>,
+    /// Remote key of the registered GPU region.
+    pub rkey: u64,
+}
+
+impl TensorDesc {
+    /// Builds a descriptor from a GPU tensor and its registration.
+    pub fn from_registration(tensor: &GpuTensor, mr: &MemoryRegion) -> TensorDesc {
+        TensorDesc {
+            name: tensor.meta.name.clone(),
+            dtype: tensor.meta.dtype,
+            shape: tensor.meta.shape.clone(),
+            rkey: mr.rkey(),
+        }
+    }
+
+    /// The tensor metadata carried by this descriptor.
+    pub fn meta(&self) -> TensorMeta {
+        TensorMeta::new(self.name.clone(), self.dtype, self.shape.clone())
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.meta().size_bytes()
+    }
+}
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Describe a model (or model shard) and its registered GPU regions.
+    Register {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// Model (shard) name — the ModelTable key.
+        model: String,
+        /// Per-tensor metadata + rkeys, in layer order.
+        tensors: Vec<TensorDesc>,
+    },
+    /// Incremental `DO_CHECKPOINT`: pull only the tensors flagged dirty;
+    /// carry the rest over from the previous complete version with a
+    /// device-local copy (a Check-N-Run-style extension; see DESIGN.md).
+    DeltaCheckpoint {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// Model to checkpoint.
+        model: String,
+        /// One flag per tensor, in layer order: `true` = changed since
+        /// the last checkpoint.
+        dirty: Vec<bool>,
+    },
+    /// `DO_CHECKPOINT`: pull the model's tensors into PMem.
+    Checkpoint {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// Model to checkpoint.
+        model: String,
+    },
+    /// Push the latest complete checkpoint back into freshly registered
+    /// GPU regions.
+    Restore {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// Model to restore.
+        model: String,
+        /// Write-registered GPU regions, in layer order.
+        tensors: Vec<TensorDesc>,
+    },
+    /// Mark the training job complete (both checkpoint versions beyond
+    /// the latest become reclaimable by the repacker).
+    MarkComplete {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// The finished model.
+        model: String,
+    },
+    /// Remove the model and free its PMem.
+    Drop {
+        /// Request id for reply matching.
+        req_id: u64,
+        /// Model to drop.
+        model: String,
+    },
+    /// List models stored on the daemon's PMem.
+    List {
+        /// Request id for reply matching.
+        req_id: u64,
+    },
+    /// Close this connection.
+    Disconnect,
+}
+
+/// A model as reported by [`Request::List`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Model (shard) name.
+    pub name: String,
+    /// Number of tensors.
+    pub layers: u32,
+    /// Checkpoint payload bytes (one version).
+    pub bytes: u64,
+    /// Latest complete version, if any.
+    pub latest_version: Option<u64>,
+    /// Number of complete versions currently on PMem (0–2).
+    pub valid_versions: u8,
+    /// Whether the training job was marked complete.
+    pub complete: bool,
+}
+
+/// Daemon → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Registration accepted.
+    Registered {
+        /// Echoed request id.
+        req_id: u64,
+        /// Number of on-PMem checkpoint slots (the double mapping: 2).
+        slots: u8,
+    },
+    /// An incremental checkpoint version is complete and durable.
+    DeltaDone {
+        /// Echoed request id.
+        req_id: u64,
+        /// The new version number.
+        version: u64,
+        /// Bytes pulled over the fabric (the dirty tensors).
+        pulled_bytes: u64,
+        /// Bytes carried over device-locally from the previous version.
+        copied_bytes: u64,
+        /// Daemon-side virtual time for the operation.
+        elapsed: SimDuration,
+    },
+    /// A checkpoint version is complete and durable.
+    CheckpointDone {
+        /// Echoed request id.
+        req_id: u64,
+        /// The new version number.
+        version: u64,
+        /// Payload bytes pulled.
+        bytes: u64,
+        /// Daemon-side virtual time for the operation.
+        elapsed: SimDuration,
+    },
+    /// The model has been written back to GPU memory.
+    RestoreDone {
+        /// Echoed request id.
+        req_id: u64,
+        /// The version that was restored.
+        version: u64,
+        /// Payload bytes pushed.
+        bytes: u64,
+        /// Daemon-side virtual time for the operation.
+        elapsed: SimDuration,
+    },
+    /// MarkComplete acknowledged.
+    Completed {
+        /// Echoed request id.
+        req_id: u64,
+    },
+    /// Drop acknowledged.
+    Dropped {
+        /// Echoed request id.
+        req_id: u64,
+    },
+    /// Listing result.
+    Models {
+        /// Echoed request id.
+        req_id: u64,
+        /// Stored models.
+        models: Vec<ModelSummary>,
+    },
+    /// The request failed; human-readable reason.
+    Error {
+        /// Echoed request id.
+        req_id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The request id this reply answers.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Reply::Registered { req_id, .. }
+            | Reply::DeltaDone { req_id, .. }
+            | Reply::CheckpointDone { req_id, .. }
+            | Reply::RestoreDone { req_id, .. }
+            | Reply::Completed { req_id }
+            | Reply::Dropped { req_id }
+            | Reply::Models { req_id, .. }
+            | Reply::Error { req_id, .. } => *req_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_desc_size() {
+        let d = TensorDesc {
+            name: "w".into(),
+            dtype: DType::F32,
+            shape: vec![512, 1024],
+            rkey: 7,
+        };
+        assert_eq!(d.size_bytes(), 512 * 1024 * 4);
+        assert_eq!(d.meta().name, "w");
+    }
+
+    #[test]
+    fn reply_req_id_extraction() {
+        let r = Reply::CheckpointDone {
+            req_id: 42,
+            version: 1,
+            bytes: 10,
+            elapsed: SimDuration::ZERO,
+        };
+        assert_eq!(r.req_id(), 42);
+        assert_eq!(Reply::Dropped { req_id: 9 }.req_id(), 9);
+    }
+}

@@ -1,0 +1,84 @@
+//! The PMem repacking tool (§III-D2, Fig. 7).
+//!
+//! Double mapping costs one extra checkpoint-sized region per model.
+//! The repacker reclaims the two kinds of waste the paper identifies:
+//!
+//! 1. **finished jobs** — only the latest version matters once training
+//!    completes; the other slot's region is freed;
+//! 2. **crashed checkpoints** — a slot stuck in `Active` holds
+//!    incomplete ("collapsed") data; its region is freed.
+//!
+//! Freed slots keep their header with `data_off = 0`; if the model
+//!    trains again, the daemon lazily re-allocates a region
+//!    ([`Index::ensure_slot_region`]).
+
+use crate::daemon::PortusDaemon;
+use crate::{Index, PortusResult, SlotState};
+
+/// What one repacking pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepackReport {
+    /// Models examined.
+    pub scanned_models: usize,
+    /// Checkpoint slots whose regions were freed.
+    pub reclaimed_slots: usize,
+    /// Of those, slots that were `Active` (crashed mid-checkpoint).
+    pub reclaimed_active: usize,
+    /// Bytes returned to the allocator.
+    pub freed_bytes: u64,
+}
+
+/// Runs one repacking pass over every model on `daemon`'s PMem.
+///
+/// With `reclaim_active = false` (the safe default while jobs run),
+/// only finished jobs are compacted. With `reclaim_active = true`
+/// (safe right after daemon recovery, before any job resumes),
+/// `Active` slots of crashed checkpoints are reclaimed too.
+///
+/// # Errors
+///
+/// Device/allocator errors.
+pub fn repack(daemon: &PortusDaemon, reclaim_active: bool) -> PortusResult<RepackReport> {
+    let index = daemon.index();
+    let mut report = RepackReport::default();
+    for (_hash, off) in index.live_entries()? {
+        let mi = index.load_mindex(off)?;
+        report.scanned_models += 1;
+        let latest = mi.latest_done().map(|(i, _)| i);
+        let job_complete = mi.flags & crate::FLAG_JOB_COMPLETE != 0;
+        for (s, hdr) in mi.slots.iter().enumerate() {
+            if hdr.data_off == 0 {
+                continue; // already reclaimed
+            }
+            let is_latest_done = latest == Some(s);
+            let reclaim = match hdr.state {
+                SlotState::Done => job_complete && !is_latest_done,
+                SlotState::Active => reclaim_active || job_complete,
+                SlotState::Empty => job_complete,
+            };
+            if reclaim {
+                let freed = free_slot_region(index, &mi, s)?;
+                report.reclaimed_slots += 1;
+                report.freed_bytes += freed;
+                if hdr.state == SlotState::Active {
+                    report.reclaimed_active += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn free_slot_region(index: &Index, mi: &crate::MIndex, slot: usize) -> PortusResult<u64> {
+    let hdr = mi.slots[slot];
+    let mut freed = 0;
+    for a in index.allocator().live_allocations()? {
+        if a.offset == hdr.data_off {
+            freed = a.len;
+            index.allocator().free(&a)?;
+            break;
+        }
+    }
+    index.clear_slot_region(mi, slot)?;
+    Ok(freed)
+}

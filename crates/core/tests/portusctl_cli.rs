@@ -1,0 +1,73 @@
+//! End-to-end test of the `portusctl` binary itself: build a device
+//! image with real checkpoints, then drive the CLI the way a user
+//! would.
+
+use std::process::Command;
+
+use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_format::read_checkpoint;
+use portus_mem::GpuDevice;
+use portus_pmem::{save_image, PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+fn build_image(dir: &std::path::Path) -> std::path::PathBuf {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx, 0, 1 << 30);
+    let client = PortusClient::connect(&daemon, compute);
+    let spec = test_spec("cli-model", 6, 128 * 1024);
+    let mut model = ModelInstance::materialize(&spec, &gpu, 9, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("cli-model").unwrap();
+    let image = dir.join("device.img");
+    save_image(&pmem, &image).unwrap();
+    image
+}
+
+#[test]
+fn view_and_dump_via_the_binary() {
+    let dir = std::env::temp_dir().join(format!("portusctl-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = build_image(&dir);
+    let bin = env!("CARGO_BIN_EXE_portusctl");
+
+    // portusctl view IMAGE
+    let out = Command::new(bin).arg("view").arg(&image).output().unwrap();
+    assert!(out.status.success(), "view failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cli-model"), "listing: {stdout}");
+    assert!(stdout.contains("MODEL"), "header: {stdout}");
+
+    // portusctl dump IMAGE MODEL OUT
+    let dumped = dir.join("cli-model.ckpt");
+    let out = Command::new(bin)
+        .args(["dump", image.to_str().unwrap(), "cli-model", dumped.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "dump failed: {out:?}");
+    let file = std::fs::read(&dumped).unwrap();
+    let decoded = read_checkpoint(&file[..]).unwrap();
+    assert_eq!(decoded.model_name, "cli-model");
+    assert_eq!(decoded.tensors.len(), 6);
+
+    // Error paths exit non-zero with a message.
+    let out = Command::new(bin)
+        .args(["dump", image.to_str().unwrap(), "no-such-model", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not found"));
+
+    let out = Command::new(bin).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage exit code");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,148 @@
+//! Tensor element types.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor, as stored in checkpoint metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 16-bit IEEE float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 32-bit IEEE float (the checkpoint format of every model in the
+    /// paper's evaluation).
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Unsigned byte.
+    U8,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Stable numeric code used in on-media and on-wire encodings.
+    pub fn code(self) -> u8 {
+        match self {
+            DType::F16 => 0,
+            DType::BF16 => 1,
+            DType::F32 => 2,
+            DType::F64 => 3,
+            DType::I32 => 4,
+            DType::I64 => 5,
+            DType::U8 => 6,
+        }
+    }
+
+    /// Decodes a numeric code.
+    pub fn from_code(code: u8) -> Option<DType> {
+        Some(match code {
+            0 => DType::F16,
+            1 => DType::BF16,
+            2 => DType::F32,
+            3 => DType::F64,
+            4 => DType::I32,
+            5 => DType::I64,
+            6 => DType::U8,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "float16",
+            DType::BF16 => "bfloat16",
+            DType::F32 => "float32",
+            DType::F64 => "float64",
+            DType::I32 => "int32",
+            DType::I64 => "int64",
+            DType::U8 => "uint8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`DType`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDTypeError(String);
+
+impl fmt::Display for ParseDTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown dtype {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDTypeError {}
+
+impl FromStr for DType {
+    type Err = ParseDTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "float16" | "f16" => DType::F16,
+            "bfloat16" | "bf16" => DType::BF16,
+            "float32" | "f32" => DType::F32,
+            "float64" | "f64" => DType::F64,
+            "int32" | "i32" => DType::I32,
+            "int64" | "i64" => DType::I64,
+            "uint8" | "u8" => DType::U8,
+            other => return Err(ParseDTypeError(other.to_string())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [DType; 7] = [
+        DType::F16,
+        DType::BF16,
+        DType::F32,
+        DType::F64,
+        DType::I32,
+        DType::I64,
+        DType::U8,
+    ];
+
+    #[test]
+    fn codes_round_trip() {
+        for dt in ALL {
+            assert_eq!(DType::from_code(dt.code()), Some(dt));
+        }
+        assert_eq!(DType::from_code(200), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for dt in ALL {
+            assert_eq!(dt.to_string().parse::<DType>().unwrap(), dt);
+        }
+        assert!("floop".parse::<DType>().is_err());
+    }
+
+    #[test]
+    fn sizes_are_right() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::U8.size_bytes(), 1);
+    }
+}

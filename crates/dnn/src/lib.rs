@@ -1,0 +1,39 @@
+//! # portus-dnn
+//!
+//! The DNN substrate: tensor/model descriptions ([`TensorMeta`],
+//! [`ModelSpec`]), GPU-resident instances ([`ModelInstance`]), the
+//! paper's model zoo ([`zoo`]: Table II plus the GPT family of §V-E),
+//! optimizer-state expansion, Megatron-style tensor/pipeline sharding
+//! ([`shard_model`]), and calibrated training-iteration profiles
+//! ([`IterationProfile`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use portus_dnn::{shard_model, zoo, ParallelConfig};
+//!
+//! // The paper's 16-GPU Megatron grid for GPT-22.4B.
+//! let spec = zoo::gpt_22b();
+//! let shards = shard_model(&spec, ParallelConfig::grid(8, 2));
+//! assert_eq!(shards.len(), 16);
+//! let total: u64 = shards.iter().map(|s| s.spec.total_bytes()).sum();
+//! assert_eq!(total, spec.total_bytes()); // nothing lost, nothing duplicated
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtype;
+mod model;
+mod optimizer;
+mod parallel;
+mod tensor;
+mod train;
+pub mod zoo;
+
+pub use dtype::{DType, ParseDTypeError};
+pub use model::{test_spec, Materialization, ModelInstance, ModelSpec};
+pub use optimizer::{CheckpointContent, OptimizerKind};
+pub use parallel::{shard_model, ModelShard, ParallelConfig};
+pub use tensor::{GpuTensor, TensorMeta};
+pub use train::{IterationProfile, DEFAULT_GPU_BUSY_BP};

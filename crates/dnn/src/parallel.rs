@@ -1,0 +1,198 @@
+//! Megatron-style tensor/pipeline parallel partitioning.
+//!
+//! Figure 1 of the paper: pipeline parallelism splits a model's layers
+//! into contiguous stages; tensor parallelism splits each weight matrix
+//! across ranks within a stage. Every (pipeline stage × tensor rank)
+//! pair produces an independent *model shard* on its own GPU, and each
+//! shard writes its own checkpoint — the workload that makes distributed
+//! checkpointing hard (§II-A, Motivation 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelSpec, TensorMeta};
+
+/// Degrees of parallelism of a training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Tensor-parallel width (splits weight matrices).
+    pub tensor: u32,
+    /// Pipeline-parallel depth (splits layers into stages).
+    pub pipeline: u32,
+    /// Data-parallel replicas. Replicas hold identical state, so only
+    /// replica 0 checkpoints (as Megatron does).
+    pub data: u32,
+}
+
+impl ParallelConfig {
+    /// Single-GPU training.
+    pub const SINGLE: ParallelConfig = ParallelConfig { tensor: 1, pipeline: 1, data: 1 };
+
+    /// A tensor×pipeline grid with no data parallelism.
+    pub fn grid(tensor: u32, pipeline: u32) -> ParallelConfig {
+        ParallelConfig { tensor, pipeline, data: 1 }
+    }
+
+    /// GPUs used by the job.
+    pub fn gpu_count(&self) -> u32 {
+        self.tensor * self.pipeline * self.data
+    }
+
+    /// Shards that actually checkpoint (tensor × pipeline; data-parallel
+    /// replicas share state).
+    pub fn checkpointing_shards(&self) -> u32 {
+        self.tensor * self.pipeline
+    }
+}
+
+/// One model shard: the tensors owned by a specific (pp, tp) rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelShard {
+    /// Pipeline stage index.
+    pub pp_rank: u32,
+    /// Tensor-parallel rank within the stage.
+    pub tp_rank: u32,
+    /// The shard's own spec; its name encodes the rank (the key this
+    /// shard registers in the daemon's ModelTable).
+    pub spec: ModelSpec,
+}
+
+/// Splits `spec` into `cfg.checkpointing_shards()` shards.
+///
+/// Pipeline stages take contiguous runs of tensors; within a stage,
+/// tensor parallelism splits each tensor's leading dimension across TP
+/// ranks (with remainder to the low ranks); tensors whose leading
+/// dimension is smaller than the TP width are replicated onto rank 0
+/// only, so the union of shards is exactly the model.
+///
+/// # Panics
+///
+/// Panics if any parallel degree is zero.
+pub fn shard_model(spec: &ModelSpec, cfg: ParallelConfig) -> Vec<ModelShard> {
+    assert!(
+        cfg.tensor >= 1 && cfg.pipeline >= 1 && cfg.data >= 1,
+        "parallel degrees must be >= 1"
+    );
+    let n = spec.tensors.len();
+    let pp = cfg.pipeline as usize;
+    let mut shards = Vec::with_capacity(cfg.checkpointing_shards() as usize);
+    for pp_rank in 0..pp {
+        // Contiguous, near-equal stage split.
+        let start = n * pp_rank / pp;
+        let end = n * (pp_rank + 1) / pp;
+        let stage = &spec.tensors[start..end];
+        for tp_rank in 0..cfg.tensor {
+            let mut tensors = Vec::new();
+            for t in stage {
+                if let Some(part) = split_tensor(t, tp_rank, cfg.tensor) {
+                    tensors.push(part);
+                }
+            }
+            shards.push(ModelShard {
+                pp_rank: pp_rank as u32,
+                tp_rank,
+                spec: ModelSpec::new(
+                    format!("{}/pp{}tp{}", spec.name, pp_rank, tp_rank),
+                    tensors,
+                ),
+            });
+        }
+    }
+    shards
+}
+
+/// The slice of `t` owned by `tp_rank` out of `tp` ranks, or `None` if
+/// this rank holds nothing of it.
+fn split_tensor(t: &TensorMeta, tp_rank: u32, tp: u32) -> Option<TensorMeta> {
+    if tp == 1 {
+        return Some(t.clone());
+    }
+    let lead = *t.shape.first().unwrap_or(&1);
+    if lead < tp as u64 {
+        // Too small to split: replicate on rank 0 only.
+        return (tp_rank == 0).then(|| t.clone());
+    }
+    let base = lead / tp as u64;
+    let rem = lead % tp as u64;
+    let mine = base + if (tp_rank as u64) < rem { 1 } else { 0 };
+    if mine == 0 {
+        return None;
+    }
+    let mut shape = t.shape.clone();
+    shape[0] = mine;
+    Some(TensorMeta::new(
+        format!("{}.tp{tp_rank}", t.name),
+        t.dtype,
+        shape,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_spec;
+    use crate::zoo;
+
+    #[test]
+    fn single_config_is_identity_shard() {
+        let spec = test_spec("m", 10, 256);
+        let shards = shard_model(&spec, ParallelConfig::SINGLE);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].spec.total_bytes(), spec.total_bytes());
+    }
+
+    #[test]
+    fn shards_partition_all_bytes() {
+        let spec = zoo::gpt_1_5b();
+        for cfg in [
+            ParallelConfig::grid(2, 2),
+            ParallelConfig::grid(4, 2),
+            ParallelConfig::grid(8, 2),
+            ParallelConfig::grid(1, 4),
+        ] {
+            let shards = shard_model(&spec, cfg);
+            assert_eq!(shards.len(), cfg.checkpointing_shards() as usize);
+            let total: u64 = shards.iter().map(|s| s.spec.total_bytes()).sum();
+            assert_eq!(total, spec.total_bytes(), "cfg {cfg:?} loses bytes");
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_are_contiguous_and_cover() {
+        let spec = test_spec("m", 7, 64);
+        let shards = shard_model(&spec, ParallelConfig::grid(1, 3));
+        let counts: Vec<usize> = shards.iter().map(|s| s.spec.layer_count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert!(counts.iter().all(|&c| c >= 2)); // 7 over 3 stages: 2/2/3-ish
+    }
+
+    #[test]
+    fn tensor_split_balances_leading_dim() {
+        let t = TensorMeta::new("w", crate::DType::F32, vec![10, 4]);
+        let parts: Vec<_> = (0..4).filter_map(|r| split_tensor(&t, r, 4)).collect();
+        let leads: Vec<u64> = parts.iter().map(|p| p.shape[0]).collect();
+        assert_eq!(leads.iter().sum::<u64>(), 10);
+        assert_eq!(leads, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn tiny_tensors_go_to_rank_zero() {
+        let t = TensorMeta::new("bias", crate::DType::F32, vec![2]);
+        assert!(split_tensor(&t, 0, 4).is_some());
+        assert!(split_tensor(&t, 1, 4).is_none());
+    }
+
+    #[test]
+    fn shard_names_encode_rank() {
+        let spec = test_spec("gpt", 4, 64);
+        let shards = shard_model(&spec, ParallelConfig::grid(2, 2));
+        assert_eq!(shards[0].spec.name, "gpt/pp0tp0");
+        assert_eq!(shards[3].spec.name, "gpt/pp1tp1");
+    }
+
+    #[test]
+    fn gpu_count_accounting() {
+        let cfg = ParallelConfig { tensor: 8, pipeline: 2, data: 1 };
+        assert_eq!(cfg.gpu_count(), 16); // the paper's 16×A40 setup
+        assert_eq!(cfg.checkpointing_shards(), 16);
+    }
+}

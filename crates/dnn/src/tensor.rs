@@ -1,0 +1,117 @@
+//! Tensor metadata and GPU-resident tensors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use portus_mem::Buffer;
+
+use crate::DType;
+
+/// Metadata of one tensor: what the paper's MIndex stores per layer
+/// ("the name of each layer, data type, tensor shape, size of each
+/// tensor", §III-D1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Qualified parameter name, e.g. `bert.embedding.weight`.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Dimension sizes.
+    pub shape: Vec<u64>,
+}
+
+impl TensorMeta {
+    /// Creates metadata for `name` with the given dtype and shape.
+    pub fn new(name: impl Into<String>, dtype: DType, shape: Vec<u64>) -> TensorMeta {
+        TensorMeta {
+            name: name.into(),
+            dtype,
+            shape,
+        }
+    }
+
+    /// Number of elements (product of dimensions; empty shape = scalar).
+    /// Saturates on overflow so hostile metadata (e.g. a corrupted
+    /// checkpoint header) degrades to a size mismatch instead of a
+    /// panic.
+    pub fn numel(&self) -> u64 {
+        self.shape.iter().fold(1u64, |acc, &d| acc.saturating_mul(d))
+    }
+
+    /// Payload size in bytes (saturating, see [`TensorMeta::numel`]).
+    pub fn size_bytes(&self) -> u64 {
+        self.numel().saturating_mul(self.dtype.size_bytes())
+    }
+}
+
+impl fmt::Display for TensorMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}{:?} ({} B)", self.name, self.dtype, self.shape, self.size_bytes())
+    }
+}
+
+/// A tensor resident in (simulated) GPU memory.
+#[derive(Debug, Clone)]
+pub struct GpuTensor {
+    /// The tensor's metadata.
+    pub meta: TensorMeta,
+    /// Its device buffer. `buffer.len() == meta.size_bytes()`.
+    pub buffer: Arc<Buffer>,
+}
+
+impl GpuTensor {
+    /// Creates a GPU tensor, checking that the buffer matches the
+    /// metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length disagrees with the metadata size.
+    pub fn new(meta: TensorMeta, buffer: Arc<Buffer>) -> GpuTensor {
+        assert_eq!(
+            buffer.len(),
+            meta.size_bytes(),
+            "buffer size must match tensor {}",
+            meta.name
+        );
+        GpuTensor { meta, buffer }
+    }
+
+    /// Content checksum (reads through the buffer).
+    pub fn checksum(&self) -> u64 {
+        self.buffer.checksum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portus_mem::MemorySegment;
+    use portus_sim::MemoryKind;
+
+    #[test]
+    fn numel_and_size() {
+        let t = TensorMeta::new("bert.embedding", DType::F32, vec![512, 1024]);
+        assert_eq!(t.numel(), 512 * 1024);
+        assert_eq!(t.size_bytes(), 512 * 1024 * 4); // the paper's own example
+        let scalar = TensorMeta::new("step", DType::I64, vec![]);
+        assert_eq!(scalar.numel(), 1);
+        assert_eq!(scalar.size_bytes(), 8);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let t = TensorMeta::new("w", DType::F16, vec![3]);
+        let s = t.to_string();
+        assert!(s.contains('w') && s.contains("float16") && s.contains("6 B"));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size must match")]
+    fn mismatched_buffer_panics() {
+        let meta = TensorMeta::new("w", DType::F32, vec![4]);
+        let buf = Buffer::new(MemoryKind::GpuHbm, MemorySegment::zeroed(3));
+        GpuTensor::new(meta, buf);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the checkpoint container.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Result alias for container operations.
+pub type FormatResult<T> = Result<T, FormatError>;
+
+/// Errors raised while encoding or decoding checkpoint containers.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid container (bad magic, version, dtype, or
+    /// inconsistent sizes).
+    Malformed(String),
+    /// The trailer hash does not match the content.
+    ChecksumMismatch {
+        /// Hash computed over the decoded content.
+        expected: u64,
+        /// Hash found in the trailer.
+        found: u64,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            FormatError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: computed {expected:#018x}, trailer {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FormatError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(e.to_string().contains("eof"));
+        assert!(Error::source(&e).is_some());
+        let m = FormatError::ChecksumMismatch { expected: 1, found: 2 };
+        assert!(m.to_string().contains("mismatch"));
+    }
+}

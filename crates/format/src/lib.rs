@@ -1,0 +1,45 @@
+//! # portus-format
+//!
+//! The `torch.save`-style checkpoint container: a tagged binary format
+//! with per-tensor metadata headers and an integrity trailer
+//! ([`write_checkpoint`] / [`read_checkpoint`]), plus the calibrated
+//! serializer cost accounting ([`charge_serialize`] /
+//! [`charge_deserialize`]) that reproduces the 41.7 % serialization
+//! share of Table I.
+//!
+//! This format serves three roles, mirroring the paper:
+//! 1. the baseline datapath serializes through it (Fig. 3 step 2);
+//! 2. `portusctl dump` exports PMem-resident checkpoints to it for
+//!    sharing (§IV-b);
+//! 3. restore baselines deserialize from it.
+//!
+//! # Examples
+//!
+//! ```
+//! use portus_dnn::{DType, TensorMeta};
+//! use portus_format::{read_checkpoint, write_checkpoint, CheckpointEntry, PayloadSource};
+//!
+//! let entries = vec![CheckpointEntry {
+//!     meta: TensorMeta::new("fc.weight", DType::F32, vec![2, 2]),
+//!     data: PayloadSource::Bytes(vec![0u8; 16]),
+//! }];
+//! let mut file = Vec::new();
+//! write_checkpoint(&mut file, "tiny", &entries)?;
+//! let decoded = read_checkpoint(&file[..])?;
+//! assert_eq!(decoded.model_name, "tiny");
+//! # Ok::<(), portus_format::FormatError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod container;
+mod cost;
+mod error;
+
+pub use container::{
+    encoded_size, read_checkpoint, write_checkpoint, CheckpointEntry, CheckpointFile,
+    PayloadSource,
+};
+pub use cost::{charge_deserialize, charge_serialize};
+pub use error::{FormatError, FormatResult};

@@ -1,0 +1,132 @@
+//! Simulated host DRAM.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use portus_sim::{MemoryKind, SimContext, SimDuration};
+
+use crate::gpu::copy_between;
+use crate::{Buffer, MemError, MemResult, MemorySegment};
+
+/// The DRAM of one node (compute or storage).
+///
+/// Hands out host buffers and performs DRAM-to-DRAM copies, charging
+/// memcpy time on the shared clock. This is the staging area the
+/// *baseline* checkpoint datapath is forced through (Fig. 3 steps 1–2) —
+/// and the memory Portus's datapath conspicuously never touches.
+#[derive(Debug)]
+pub struct HostMemory {
+    ctx: SimContext,
+    capacity: u64,
+    allocated: AtomicU64,
+}
+
+impl HostMemory {
+    /// Creates a node DRAM pool of `capacity` bytes.
+    pub fn new(ctx: SimContext, capacity: u64) -> Arc<HostMemory> {
+        Arc::new(HostMemory {
+            ctx,
+            capacity,
+            allocated: AtomicU64::new(0),
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a zero-filled host buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::DeviceFull`] when DRAM is exhausted.
+    pub fn alloc(&self, len: u64) -> MemResult<Arc<Buffer>> {
+        let mut cur = self.allocated.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(len).ok_or(MemError::DeviceFull {
+                requested: len,
+                free: 0,
+            })?;
+            if next > self.capacity {
+                return Err(MemError::DeviceFull {
+                    requested: len,
+                    free: self.capacity - cur,
+                });
+            }
+            match self.allocated.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        Ok(Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(len)))
+    }
+
+    /// Releases accounting for a buffer allocated from this pool.
+    pub fn free(&self, buf: &Buffer) {
+        debug_assert_eq!(buf.kind(), MemoryKind::HostDram);
+        self.allocated.fetch_sub(buf.len(), Ordering::Relaxed);
+    }
+
+    /// DRAM→DRAM memcpy charging copy time; returns the duration charged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WrongDevice`] unless both buffers are host
+    /// DRAM, and bounds errors from the segments.
+    pub fn memcpy(
+        &self,
+        src: &Buffer,
+        src_off: u64,
+        dst: &Buffer,
+        dst_off: u64,
+        len: u64,
+    ) -> MemResult<SimDuration> {
+        if src.kind() != MemoryKind::HostDram || dst.kind() != MemoryKind::HostDram {
+            return Err(MemError::WrongDevice);
+        }
+        copy_between(src, src_off, dst, dst_off, len)?;
+        let d = self.ctx.model.dram_copy(len);
+        self.ctx.charge(d);
+        self.ctx.stats.record_copy(len);
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_accounting() {
+        let ctx = SimContext::icdcs24();
+        let dram = HostMemory::new(ctx, 1 << 20);
+        let b = dram.alloc(1 << 19).unwrap();
+        assert_eq!(dram.allocated(), 1 << 19);
+        assert!(dram.alloc(1 << 20).is_err());
+        dram.free(&b);
+        assert_eq!(dram.allocated(), 0);
+    }
+
+    #[test]
+    fn memcpy_moves_bytes() {
+        let ctx = SimContext::icdcs24();
+        let dram = HostMemory::new(ctx.clone(), 1 << 20);
+        let a = dram.alloc(256).unwrap();
+        let b = dram.alloc(256).unwrap();
+        a.write_at(0, &[9u8; 256]).unwrap();
+        dram.memcpy(&a, 0, &b, 0, 256).unwrap();
+        assert_eq!(b.to_vec(), vec![9u8; 256]);
+        assert!(ctx.clock.now().as_nanos() > 0);
+    }
+}

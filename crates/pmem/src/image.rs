@@ -1,0 +1,140 @@
+//! Device images: save/load the durable content of a [`PmemDevice`] to a
+//! file.
+//!
+//! `portusctl` operates on these images the way the real tool operates on
+//! a `/dev/dax` device: `portusctl view IMAGE` lists the models stored on
+//! it, `portusctl dump` extracts a checkpoint. Only *durable* content is
+//! imaged — anything still in flight in the simulated cache is lost,
+//! exactly like pulling the plug.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use portus_sim::SimContext;
+
+use crate::{PmemDevice, PmemError, PmemMode, PmemResult};
+
+const IMAGE_MAGIC: &[u8; 8] = b"PORTUSPM";
+const IMAGE_VERSION: u32 = 1;
+const PAGE: usize = 4096;
+
+fn io_err(e: std::io::Error) -> PmemError {
+    PmemError::Image(e.to_string())
+}
+
+/// Writes the durable pages of `dev` to `path`.
+///
+/// # Errors
+///
+/// Returns [`PmemError::Image`] on I/O failure.
+pub fn save_image(dev: &PmemDevice, path: &Path) -> PmemResult<()> {
+    let pages = dev.durable_pages();
+    let file = File::create(path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(IMAGE_MAGIC).map_err(io_err)?;
+    w.write_all(&IMAGE_VERSION.to_le_bytes()).map_err(io_err)?;
+    let mode: u8 = match dev.mode() {
+        PmemMode::DevDax => 0,
+        PmemMode::FsDax => 1,
+    };
+    w.write_all(&[mode]).map_err(io_err)?;
+    w.write_all(&dev.capacity().to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(pages.len() as u64).to_le_bytes()).map_err(io_err)?;
+    for (idx, content) in pages {
+        w.write_all(&idx.to_le_bytes()).map_err(io_err)?;
+        w.write_all(&content[..]).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Loads a device image from `path` into a fresh [`PmemDevice`] sharing
+/// `ctx`.
+///
+/// # Errors
+///
+/// Returns [`PmemError::Image`] on I/O failure or a malformed image.
+pub fn load_image(ctx: SimContext, path: &Path) -> PmemResult<Arc<PmemDevice>> {
+    let file = File::open(path).map_err(io_err)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != IMAGE_MAGIC {
+        return Err(PmemError::Image("bad image magic".into()));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    if u32::from_le_bytes(u32buf) != IMAGE_VERSION {
+        return Err(PmemError::Image("unsupported image version".into()));
+    }
+    let mut mode_buf = [0u8; 1];
+    r.read_exact(&mut mode_buf).map_err(io_err)?;
+    let mode = match mode_buf[0] {
+        0 => PmemMode::DevDax,
+        1 => PmemMode::FsDax,
+        other => return Err(PmemError::Image(format!("unknown mode byte {other}"))),
+    };
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf).map_err(io_err)?;
+    let capacity = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf).map_err(io_err)?;
+    let n_pages = u64::from_le_bytes(u64buf);
+
+    let dev = PmemDevice::new(ctx, mode, capacity);
+    let mut pages = Vec::with_capacity(n_pages as usize);
+    for _ in 0..n_pages {
+        r.read_exact(&mut u64buf).map_err(io_err)?;
+        let idx = u64::from_le_bytes(u64buf);
+        let mut content = Box::new([0u8; PAGE]);
+        r.read_exact(&mut content[..]).map_err(io_err)?;
+        pages.push((idx, content));
+    }
+    dev.restore_pages(pages);
+    Ok(dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_round_trips_durable_content_only() {
+        let dir = std::env::temp_dir().join("portus-pmem-image-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.img");
+
+        let ctx = SimContext::icdcs24();
+        let dev = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 1 << 30);
+        dev.write(8192, b"durable data").unwrap();
+        dev.persist(8192, 12).unwrap();
+        dev.write(0, b"volatile").unwrap(); // never persisted
+
+        save_image(&dev, &path).unwrap();
+        let loaded = load_image(ctx, &path).unwrap();
+        assert_eq!(loaded.capacity(), 1 << 30);
+        assert_eq!(loaded.mode(), PmemMode::DevDax);
+
+        let mut out = [0u8; 12];
+        loaded.read(8192, &mut out).unwrap();
+        assert_eq!(&out, b"durable data");
+        let mut lost = [0u8; 8];
+        loaded.read(0, &mut lost).unwrap();
+        assert_eq!(lost, [0u8; 8], "volatile content must not be imaged");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = std::env::temp_dir().join("portus-pmem-image-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.img");
+        std::fs::write(&path, b"not an image at all").unwrap();
+        assert!(matches!(
+            load_image(SimContext::icdcs24(), &path),
+            Err(PmemError::Image(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,107 @@
+//! Little-endian typed accessors over a [`PmemDevice`].
+//!
+//! The persistent index structures (ModelTable, MIndex) are laid out by
+//! hand; these helpers keep the encode/decode sites short and uniform.
+
+use crate::{PmemDevice, PmemResult};
+
+/// Reads a little-endian `u64` at `offset`.
+///
+/// # Errors
+///
+/// Propagates device bounds errors.
+pub fn read_u64(dev: &PmemDevice, offset: u64) -> PmemResult<u64> {
+    let mut buf = [0u8; 8];
+    dev.read(offset, &mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a little-endian `u64` at `offset` (volatile until persisted).
+///
+/// # Errors
+///
+/// Propagates device bounds errors.
+pub fn write_u64(dev: &PmemDevice, offset: u64, value: u64) -> PmemResult<()> {
+    dev.write(offset, &value.to_le_bytes())
+}
+
+/// Reads a little-endian `u32` at `offset`.
+///
+/// # Errors
+///
+/// Propagates device bounds errors.
+pub fn read_u32(dev: &PmemDevice, offset: u64) -> PmemResult<u32> {
+    let mut buf = [0u8; 4];
+    dev.read(offset, &mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes a little-endian `u32` at `offset` (volatile until persisted).
+///
+/// # Errors
+///
+/// Propagates device bounds errors.
+pub fn write_u32(dev: &PmemDevice, offset: u64, value: u32) -> PmemResult<()> {
+    dev.write(offset, &value.to_le_bytes())
+}
+
+/// Reads a length-prefixed (u16) UTF-8 string at `offset`; returns the
+/// string and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Propagates device bounds errors; invalid UTF-8 is replaced.
+pub fn read_str(dev: &PmemDevice, offset: u64) -> PmemResult<(String, u64)> {
+    let mut lbuf = [0u8; 2];
+    dev.read(offset, &mut lbuf)?;
+    let len = u16::from_le_bytes(lbuf) as usize;
+    let mut sbuf = vec![0u8; len];
+    dev.read(offset + 2, &mut sbuf)?;
+    Ok((
+        String::from_utf8_lossy(&sbuf).into_owned(),
+        2 + len as u64,
+    ))
+}
+
+/// Writes a length-prefixed (u16) UTF-8 string at `offset`; returns the
+/// number of bytes written.
+///
+/// # Errors
+///
+/// Propagates device bounds errors.
+///
+/// # Panics
+///
+/// Panics if the string exceeds `u16::MAX` bytes.
+pub fn write_str(dev: &PmemDevice, offset: u64, s: &str) -> PmemResult<u64> {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for u16 prefix");
+    dev.write(offset, &(bytes.len() as u16).to_le_bytes())?;
+    dev.write(offset + 2, bytes)?;
+    Ok(2 + bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmemMode;
+    use portus_sim::SimContext;
+
+    #[test]
+    fn u64_and_u32_round_trip() {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 4096);
+        write_u64(&dev, 0, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        write_u32(&dev, 8, 77).unwrap();
+        assert_eq!(read_u64(&dev, 0).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(read_u32(&dev, 8).unwrap(), 77);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 4096);
+        let n = write_str(&dev, 100, "bert.embedding.weight").unwrap();
+        let (s, consumed) = read_str(&dev, 100).unwrap();
+        assert_eq!(s, "bert.embedding.weight");
+        assert_eq!(n, consumed);
+    }
+}

@@ -1,0 +1,154 @@
+//! The TCP-over-IPoIB control channel.
+//!
+//! Portus Client and Portus Daemon exchange small control messages
+//! ("here is my model layout", `DO_CHECKPOINT`, "pull complete") over a
+//! plain TCP socket riding IPoIB on the same InfiniBand fabric (paper
+//! §III-B). Only its latency matters to the protocol; the simulated
+//! channel is an in-process duplex queue that charges the calibrated
+//! one-way latency per message.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use portus_sim::SimContext;
+
+use crate::{RdmaError, RdmaResult};
+
+/// One endpoint of a duplex control connection carrying `T` messages.
+///
+/// # Examples
+///
+/// ```
+/// use portus_rdma::ControlChannel;
+/// use portus_sim::SimContext;
+///
+/// let ctx = SimContext::icdcs24();
+/// let (client, server) = ControlChannel::<String>::pair(ctx);
+/// client.send("DO_CHECKPOINT".to_string())?;
+/// assert_eq!(server.recv()?, "DO_CHECKPOINT");
+/// # Ok::<(), portus_rdma::RdmaError>(())
+/// ```
+#[derive(Debug)]
+pub struct ControlChannel<T> {
+    ctx: SimContext,
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+impl<T: Send> ControlChannel<T> {
+    /// Creates a connected pair of endpoints sharing `ctx`.
+    pub fn pair(ctx: SimContext) -> (ControlChannel<T>, ControlChannel<T>) {
+        let (tx_ab, rx_ab) = unbounded();
+        let (tx_ba, rx_ba) = unbounded();
+        (
+            ControlChannel { ctx: ctx.clone(), tx: tx_ab, rx: rx_ba },
+            ControlChannel { ctx, tx: tx_ba, rx: rx_ab },
+        )
+    }
+
+    /// Sends a message, charging one control-message latency.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Disconnected`] if the peer endpoint is gone.
+    pub fn send(&self, msg: T) -> RdmaResult<()> {
+        let d = self.ctx.model.control_message(64);
+        self.ctx.charge(d);
+        self.ctx.stats.record_control_message();
+        self.tx.send(msg).map_err(|_| RdmaError::Disconnected)
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Disconnected`] if the peer endpoint is gone.
+    pub fn recv(&self) -> RdmaResult<T> {
+        self.rx.recv().map_err(|_| RdmaError::Disconnected)
+    }
+
+    /// Receive with a wall-clock timeout (for daemon shutdown loops).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Disconnected`] on a gone peer; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> RdmaResult<Option<T>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(RdmaError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Disconnected`] if the peer endpoint is gone.
+    pub fn try_recv(&self) -> RdmaResult<Option<T>> {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RdmaError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_messaging_works() {
+        let ctx = SimContext::icdcs24();
+        let (a, b) = ControlChannel::<u32>::pair(ctx.clone());
+        a.send(1).unwrap();
+        b.send(2).unwrap();
+        assert_eq!(b.recv().unwrap(), 1);
+        assert_eq!(a.recv().unwrap(), 2);
+        assert_eq!(ctx.stats.snapshot().control_messages, 2);
+    }
+
+    #[test]
+    fn send_charges_latency() {
+        let ctx = SimContext::icdcs24();
+        let (a, _b) = ControlChannel::<u8>::pair(ctx.clone());
+        let before = ctx.clock.now();
+        a.send(0).unwrap();
+        assert!(
+            ctx.clock.now().saturating_since(before).as_micros() >= 15,
+            "one-way control latency must be charged"
+        );
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let ctx = SimContext::icdcs24();
+        let (a, b) = ControlChannel::<u8>::pair(ctx);
+        drop(b);
+        assert!(matches!(a.send(1), Err(RdmaError::Disconnected)));
+        assert!(matches!(a.try_recv(), Err(RdmaError::Disconnected)));
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_quiet() {
+        let ctx = SimContext::icdcs24();
+        let (a, _b) = ControlChannel::<u8>::pair(ctx);
+        let got = a
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let ctx = SimContext::icdcs24();
+        let (a, b) = ControlChannel::<u64>::pair(ctx);
+        let handle = std::thread::spawn(move || {
+            let v = b.recv().unwrap();
+            b.send(v * 2).unwrap();
+        });
+        a.send(21).unwrap();
+        assert_eq!(a.recv().unwrap(), 42);
+        handle.join().unwrap();
+    }
+}

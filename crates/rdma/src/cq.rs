@@ -1,0 +1,227 @@
+//! Posted verbs and completion queues.
+//!
+//! Real RDMA applications rarely block per verb: they *post* work
+//! requests to a queue pair and later *poll* a completion queue.
+//! [`PostedQueuePair`] wraps a [`QueuePair`] with exactly that shape —
+//! posts return immediately with a work-request id; completions
+//! (successes and errors alike) surface on [`CompletionQueue::poll`] in
+//! posting order. The simulated transfer still happens eagerly under
+//! the hood (the fabric is in-process), so posting N reads and polling
+//! once is semantically the batched pull a production Portus daemon
+//! would issue.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Completion, QueuePair, RdmaError, RegionTarget};
+
+/// Identifier of one posted work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WrId(pub u64);
+
+/// The outcome of one posted work request.
+#[derive(Debug, Clone)]
+pub struct WorkCompletion {
+    /// The id returned at post time.
+    pub wr_id: WrId,
+    /// The transfer result: a fabric [`Completion`] or the error that
+    /// failed the request.
+    pub result: Result<Completion, RdmaError>,
+}
+
+impl WorkCompletion {
+    /// `true` when the work request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// A completion queue shared between posters and pollers.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionQueue {
+    entries: Arc<Mutex<VecDeque<WorkCompletion>>>,
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue.
+    pub fn new() -> CompletionQueue {
+        CompletionQueue::default()
+    }
+
+    /// Drains up to `max` completions, oldest first.
+    pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
+        let mut q = self.entries.lock();
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Completions currently waiting.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when no completions are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn push(&self, wc: WorkCompletion) {
+        self.entries.lock().push_back(wc);
+    }
+}
+
+/// A queue pair driven by posted work requests.
+///
+/// # Examples
+///
+/// ```
+/// use portus_mem::{Buffer, MemorySegment};
+/// use portus_rdma::{Access, CompletionQueue, Fabric, NodeId, PostedQueuePair,
+///                   QueuePair, RegionTarget};
+/// use portus_sim::{MemoryKind, SimContext};
+///
+/// let fabric = Fabric::new(SimContext::icdcs24());
+/// let a = fabric.add_nic(NodeId(0));
+/// let b = fabric.add_nic(NodeId(1));
+/// let src = Buffer::new(MemoryKind::HostDram, MemorySegment::synthetic(4096, 1));
+/// let mr = a.register(RegionTarget::Buffer(src), Access::READ);
+/// let (_qa, qb) = QueuePair::connect(a, b);
+///
+/// let cq = CompletionQueue::new();
+/// let qp = PostedQueuePair::new(qb, cq.clone());
+/// let dst = RegionTarget::Buffer(Buffer::new(
+///     MemoryKind::HostDram, MemorySegment::zeroed(4096)));
+/// qp.post_read(mr.rkey(), 0, &dst, 0, 4096);
+/// let done = cq.poll(16);
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].is_ok());
+/// ```
+#[derive(Debug)]
+pub struct PostedQueuePair {
+    qp: QueuePair,
+    cq: CompletionQueue,
+    next_wr: Mutex<u64>,
+}
+
+impl PostedQueuePair {
+    /// Binds `qp`'s completions to `cq`.
+    pub fn new(qp: QueuePair, cq: CompletionQueue) -> PostedQueuePair {
+        PostedQueuePair {
+            qp,
+            cq,
+            next_wr: Mutex::new(1),
+        }
+    }
+
+    fn fresh_wr(&self) -> WrId {
+        let mut n = self.next_wr.lock();
+        let id = WrId(*n);
+        *n += 1;
+        id
+    }
+
+    /// Posts a one-sided READ; the outcome lands on the completion
+    /// queue. Returns the work-request id immediately.
+    pub fn post_read(
+        &self,
+        rkey: u64,
+        remote_off: u64,
+        dst: &RegionTarget,
+        dst_off: u64,
+        len: u64,
+    ) -> WrId {
+        let wr_id = self.fresh_wr();
+        let result = self.qp.read(rkey, remote_off, dst, dst_off, len);
+        self.cq.push(WorkCompletion { wr_id, result });
+        wr_id
+    }
+
+    /// Posts a one-sided WRITE; the outcome lands on the completion
+    /// queue. Returns the work-request id immediately.
+    pub fn post_write(
+        &self,
+        rkey: u64,
+        remote_off: u64,
+        src: &RegionTarget,
+        src_off: u64,
+        len: u64,
+    ) -> WrId {
+        let wr_id = self.fresh_wr();
+        let result = self.qp.write(rkey, remote_off, src, src_off, len);
+        self.cq.push(WorkCompletion { wr_id, result });
+        wr_id
+    }
+
+    /// The underlying queue pair (for two-sided messaging).
+    pub fn qp(&self) -> &QueuePair {
+        &self.qp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Access, Fabric, NodeId};
+    use portus_mem::{Buffer, MemorySegment};
+    use portus_sim::{MemoryKind, SimContext};
+
+    fn setup() -> (PostedQueuePair, CompletionQueue, u64, RegionTarget) {
+        let fabric = Fabric::new(SimContext::icdcs24());
+        let a = fabric.add_nic(NodeId(0));
+        let b = fabric.add_nic(NodeId(1));
+        let src = Buffer::new(MemoryKind::GpuHbm, MemorySegment::synthetic(1 << 20, 3));
+        let mr = a.register(RegionTarget::Buffer(src), Access::READ);
+        let (_qa, qb) = QueuePair::connect(a, b);
+        let cq = CompletionQueue::new();
+        let qp = PostedQueuePair::new(qb, cq.clone());
+        let dst = RegionTarget::Buffer(Buffer::new(
+            MemoryKind::HostDram,
+            MemorySegment::zeroed(1 << 20),
+        ));
+        (qp, cq, mr.rkey(), dst)
+    }
+
+    #[test]
+    fn completions_arrive_in_posting_order() {
+        let (qp, cq, rkey, dst) = setup();
+        let ids: Vec<WrId> = (0..5)
+            .map(|i| qp.post_read(rkey, i * 1024, &dst, i * 1024, 1024))
+            .collect();
+        let done = cq.poll(16);
+        assert_eq!(done.len(), 5);
+        let polled: Vec<WrId> = done.iter().map(|w| w.wr_id).collect();
+        assert_eq!(polled, ids);
+        assert!(done.iter().all(WorkCompletion::is_ok));
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn poll_respects_the_batch_limit() {
+        let (qp, cq, rkey, dst) = setup();
+        for _ in 0..4 {
+            qp.post_read(rkey, 0, &dst, 0, 4096);
+        }
+        assert_eq!(cq.poll(3).len(), 3);
+        assert_eq!(cq.len(), 1);
+        assert_eq!(cq.poll(3).len(), 1);
+    }
+
+    #[test]
+    fn failed_posts_complete_with_errors() {
+        let (qp, cq, _rkey, dst) = setup();
+        let id = qp.post_read(0xBAD, 0, &dst, 0, 64);
+        let done = cq.poll(1);
+        assert_eq!(done[0].wr_id, id);
+        assert!(matches!(done[0].result, Err(RdmaError::InvalidRkey(0xBAD))));
+    }
+
+    #[test]
+    fn wr_ids_are_monotone() {
+        let (qp, _cq, rkey, dst) = setup();
+        let a = qp.post_read(rkey, 0, &dst, 0, 64);
+        let b = qp.post_read(rkey, 0, &dst, 0, 64);
+        assert!(b > a);
+    }
+}

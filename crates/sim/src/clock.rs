@@ -1,0 +1,117 @@
+//! A shared, monotonically advancing virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{SimDuration, SimTime};
+
+/// A thread-safe virtual clock.
+///
+/// The clock only moves forward. Device models call [`Clock::advance_by`]
+/// (or [`Clock::advance_to`]) when they charge virtual time for an
+/// operation; harness code reads [`Clock::now`] to timestamp results.
+///
+/// Cloning a `Clock` produces a handle to the *same* timeline.
+///
+/// # Examples
+///
+/// ```
+/// use portus_sim::{Clock, SimDuration};
+///
+/// let clock = Clock::new();
+/// clock.advance_by(SimDuration::from_millis(3));
+/// assert_eq!(clock.now().as_nanos(), 3_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now_nanos: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// Creates a clock at the timeline origin.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_nanos.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance_by(&self, d: SimDuration) -> SimTime {
+        let nanos = self.now_nanos.fetch_add(d.as_nanos(), Ordering::SeqCst) + d.as_nanos();
+        SimTime::from_nanos(nanos)
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise leaves
+    /// it unchanged. Returns the (possibly unchanged) current instant.
+    ///
+    /// This is the primitive used when an operation completes at an
+    /// absolute instant computed from a shared resource's queue.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        self.now_nanos.fetch_max(t.as_nanos(), Ordering::SeqCst);
+        self.now()
+    }
+
+    /// Resets the clock to the origin. Only intended for test harnesses
+    /// that reuse a context between runs.
+    pub fn reset(&self) {
+        self.now_nanos.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reads_back() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_by(SimDuration::from_micros(7));
+        assert_eq!(c.now().as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn clones_share_a_timeline() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance_by(SimDuration::from_secs(1));
+        assert_eq!(b.now(), a.now());
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance_by(SimDuration::from_secs(5));
+        c.advance_to(SimTime::from_nanos(1)); // in the past: no-op
+        assert_eq!(c.now(), SimTime::ZERO + SimDuration::from_secs(5));
+        c.advance_to(SimTime::from_nanos(6_000_000_000));
+        assert_eq!(c.now().as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn reset_returns_to_origin() {
+        let c = Clock::new();
+        c.advance_by(SimDuration::from_secs(2));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_by(SimDuration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now().as_nanos(), 4000);
+    }
+}

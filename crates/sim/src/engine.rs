@@ -1,0 +1,223 @@
+//! A minimal discrete-event engine.
+//!
+//! The end-to-end training experiments (Figs. 14–16) interleave compute
+//! phases, asynchronous checkpoint pulls, and policy decisions on one
+//! virtual timeline. [`Engine`] provides the classic event-heap loop:
+//! events are closures scheduled at absolute instants; popping an event
+//! advances the engine clock to its timestamp.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+type EventFn = Box<dyn FnOnce(&mut Engine)>;
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event, with
+        // sequence number as the FIFO tie-breaker.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single-threaded discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use portus_sim::{Engine, SimDuration};
+///
+/// let mut eng = Engine::new();
+/// eng.schedule_in(SimDuration::from_secs(2), |e| {
+///     e.schedule_in(SimDuration::from_secs(1), |_| {});
+/// });
+/// eng.run();
+/// assert_eq!(eng.now().as_secs_f64(), 3.0);
+/// ```
+#[derive(Default)]
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine at the timeline origin with no pending events.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// The engine's current instant (the timestamp of the last event run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the engine's current instant
+    /// (events cannot run in the past).
+    pub fn schedule_at<F: FnOnce(&mut Engine) + 'static>(&mut self, at: SimTime, f: F) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < {}",
+            self.now
+        );
+        self.seq += 1;
+        self.heap.push(Event {
+            at,
+            seq: self.seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_in<F: FnOnce(&mut Engine) + 'static>(&mut self, delay: SimDuration, f: F) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Runs a single event if one is pending; returns whether it did.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                self.now = ev.at;
+                (ev.run)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs events until the heap is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= until`, leaving later events
+    /// pending, and advances the clock to exactly `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.heap.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for (tag, at_ms) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let order = order.clone();
+            eng.schedule_at(SimTime::ZERO + SimDuration::from_millis(at_ms), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(eng.now().as_millis_total(), 30);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for tag in ["first", "second", "third"] {
+            let order = order.clone();
+            eng.schedule_at(SimTime::ZERO, move |_| order.borrow_mut().push(tag));
+        }
+        eng.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        let h = hits.clone();
+        eng.schedule_in(SimDuration::from_secs(1), move |e| {
+            *h.borrow_mut() += 1;
+            let h2 = h.clone();
+            e.schedule_in(SimDuration::from_secs(1), move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        eng.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(eng.now().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut eng = Engine::new();
+        eng.schedule_in(SimDuration::from_secs(1), |_| {});
+        eng.schedule_in(SimDuration::from_secs(5), |_| {});
+        eng.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_in(SimDuration::from_secs(1), |e| {
+            e.schedule_at(SimTime::ZERO, |_| {});
+        });
+        eng.run();
+    }
+
+    trait MillisTotal {
+        fn as_millis_total(&self) -> u64;
+    }
+    impl MillisTotal for SimTime {
+        fn as_millis_total(&self) -> u64 {
+            self.as_nanos() / 1_000_000
+        }
+    }
+}

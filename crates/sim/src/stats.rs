@@ -1,0 +1,231 @@
+//! Datapath counters used to assert the zero-copy / zero-crossing claims.
+//!
+//! The paper's core claim is structural: Portus performs *one* data
+//! movement per tensor (a one-sided RDMA read from GPU memory into PMem),
+//! *zero* serializer invocations, and *zero* kernel crossings, whereas the
+//! traditional datapath performs three copies and three crossings
+//! (Fig. 3/5). Every simulated device increments these counters, so tests
+//! can assert the structural claim, not just the timing claim.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe datapath counters. Cloning shares the underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    data_copies: AtomicU64,
+    bytes_copied: AtomicU64,
+    kernel_crossings: AtomicU64,
+    serializations: AtomicU64,
+    deserializations: AtomicU64,
+    rdma_one_sided_ops: AtomicU64,
+    rdma_two_sided_ops: AtomicU64,
+    bytes_over_network: AtomicU64,
+    control_messages: AtomicU64,
+    pmem_flushes: AtomicU64,
+    pmem_fences: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`Stats`], suitable for diffing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Number of bulk data movements (memcpy, DMA, RDMA payload, device
+    /// write). One *logical* movement per call site.
+    pub data_copies: u64,
+    /// Total bytes moved by those copies.
+    pub bytes_copied: u64,
+    /// User/kernel mode crossings.
+    pub kernel_crossings: u64,
+    /// Serializer invocations (torch.save-style container encodes).
+    pub serializations: u64,
+    /// Deserializer invocations.
+    pub deserializations: u64,
+    /// One-sided RDMA verbs (READ/WRITE) executed.
+    pub rdma_one_sided_ops: u64,
+    /// Two-sided RDMA operations (SEND/RECV pairs) executed.
+    pub rdma_two_sided_ops: u64,
+    /// Bytes that traversed the fabric.
+    pub bytes_over_network: u64,
+    /// Control-channel messages exchanged.
+    pub control_messages: u64,
+    /// Cache-line flushes issued against PMem.
+    pub pmem_flushes: u64,
+    /// Persistence fences issued against PMem.
+    pub pmem_fences: u64,
+}
+
+impl Stats {
+    /// Creates a fresh set of zeroed counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Records one bulk data movement of `bytes`.
+    pub fn record_copy(&self, bytes: u64) {
+        self.inner.data_copies.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` user/kernel crossings.
+    pub fn record_kernel_crossings(&self, n: u64) {
+        self.inner.kernel_crossings.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one serializer invocation.
+    pub fn record_serialization(&self) {
+        self.inner.serializations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one deserializer invocation.
+    pub fn record_deserialization(&self) {
+        self.inner.deserializations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a one-sided RDMA verb moving `bytes`.
+    pub fn record_one_sided(&self, bytes: u64) {
+        self.inner.rdma_one_sided_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_over_network
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a two-sided RDMA exchange moving `bytes`.
+    pub fn record_two_sided(&self, bytes: u64) {
+        self.inner.rdma_two_sided_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_over_network
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one control-channel message.
+    pub fn record_control_message(&self) {
+        self.inner.control_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `lines` cache-line flushes.
+    pub fn record_pmem_flushes(&self, lines: u64) {
+        self.inner.pmem_flushes.fetch_add(lines, Ordering::Relaxed);
+    }
+
+    /// Records one persistence fence.
+    pub fn record_pmem_fence(&self) {
+        self.inner.pmem_fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let i = &self.inner;
+        StatsSnapshot {
+            data_copies: i.data_copies.load(Ordering::Relaxed),
+            bytes_copied: i.bytes_copied.load(Ordering::Relaxed),
+            kernel_crossings: i.kernel_crossings.load(Ordering::Relaxed),
+            serializations: i.serializations.load(Ordering::Relaxed),
+            deserializations: i.deserializations.load(Ordering::Relaxed),
+            rdma_one_sided_ops: i.rdma_one_sided_ops.load(Ordering::Relaxed),
+            rdma_two_sided_ops: i.rdma_two_sided_ops.load(Ordering::Relaxed),
+            bytes_over_network: i.bytes_over_network.load(Ordering::Relaxed),
+            control_messages: i.control_messages.load(Ordering::Relaxed),
+            pmem_flushes: i.pmem_flushes.load(Ordering::Relaxed),
+            pmem_fences: i.pmem_fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            data_copies: self.data_copies.saturating_sub(earlier.data_copies),
+            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
+            kernel_crossings: self
+                .kernel_crossings
+                .saturating_sub(earlier.kernel_crossings),
+            serializations: self.serializations.saturating_sub(earlier.serializations),
+            deserializations: self
+                .deserializations
+                .saturating_sub(earlier.deserializations),
+            rdma_one_sided_ops: self
+                .rdma_one_sided_ops
+                .saturating_sub(earlier.rdma_one_sided_ops),
+            rdma_two_sided_ops: self
+                .rdma_two_sided_ops
+                .saturating_sub(earlier.rdma_two_sided_ops),
+            bytes_over_network: self
+                .bytes_over_network
+                .saturating_sub(earlier.bytes_over_network),
+            control_messages: self.control_messages.saturating_sub(earlier.control_messages),
+            pmem_flushes: self.pmem_flushes.saturating_sub(earlier.pmem_flushes),
+            pmem_fences: self.pmem_fences.saturating_sub(earlier.pmem_fences),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        s.record_copy(100);
+        s.record_copy(28);
+        s.record_kernel_crossings(3);
+        s.record_serialization();
+        s.record_one_sided(64);
+        let snap = s.snapshot();
+        assert_eq!(snap.data_copies, 2);
+        assert_eq!(snap.bytes_copied, 128);
+        assert_eq!(snap.kernel_crossings, 3);
+        assert_eq!(snap.serializations, 1);
+        assert_eq!(snap.rdma_one_sided_ops, 1);
+        assert_eq!(snap.bytes_over_network, 64);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = Stats::new();
+        let b = a.clone();
+        a.record_control_message();
+        b.record_control_message();
+        assert_eq!(a.snapshot().control_messages, 2);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let s = Stats::new();
+        s.record_copy(10);
+        let before = s.snapshot();
+        s.record_copy(5);
+        s.record_pmem_flushes(4);
+        s.record_pmem_fence();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.data_copies, 1);
+        assert_eq!(delta.bytes_copied, 5);
+        assert_eq!(delta.pmem_flushes, 4);
+        assert_eq!(delta.pmem_fences, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let s = Stats::new();
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                let s = s.clone();
+                sc.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_copy(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().data_copies, 8000);
+        assert_eq!(s.snapshot().bytes_copied, 8000);
+    }
+}

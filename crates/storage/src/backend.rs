@@ -1,0 +1,78 @@
+//! The file-backend abstraction shared by the baselines.
+
+use portus_sim::SimDuration;
+
+use crate::StorageResult;
+
+/// Per-phase timing of a file write (the buckets of Fig. 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteBreakdown {
+    /// Fixed metadata cost (path resolution, permission check, stripe
+    /// setup).
+    pub metadata: SimDuration,
+    /// Network transmission (zero for local backends).
+    pub transmit: SimDuration,
+    /// Media persistence (page cache + device, or DAX store).
+    pub persist: SimDuration,
+}
+
+impl WriteBreakdown {
+    /// Total write time.
+    pub fn total(&self) -> SimDuration {
+        self.metadata + self.transmit + self.persist
+    }
+}
+
+/// Per-phase timing of a file read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadBreakdown {
+    /// Fixed metadata cost.
+    pub metadata: SimDuration,
+    /// Network transmission (zero for local backends).
+    pub transmit: SimDuration,
+    /// Media read time.
+    pub media: SimDuration,
+}
+
+impl ReadBreakdown {
+    /// Total read time.
+    pub fn total(&self) -> SimDuration {
+        self.metadata + self.transmit + self.media
+    }
+}
+
+/// A file system the baseline checkpointer can write containers to.
+///
+/// Implementations charge their calibrated datapath costs (kernel
+/// crossings, copies, transmission, persistence) on the shared virtual
+/// clock and counters as real bytes move.
+pub trait FileBackend: Send + Sync {
+    /// A short label for reports ("ext4-NVMe", "BeeGFS-PMEM").
+    fn label(&self) -> &'static str;
+
+    /// Creates/overwrites `path` with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures (no space, fabric errors).
+    fn write_file(&self, path: &str, data: Vec<u8>) -> StorageResult<WriteBreakdown>;
+
+    /// Reads `path` fully.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StorageError::NotFound`] if the file does not exist.
+    fn read_file(&self, path: &str) -> StorageResult<(Vec<u8>, ReadBreakdown)>;
+
+    /// Removes `path`; returns whether it existed.
+    fn delete(&self, path: &str) -> bool;
+
+    /// File size if it exists.
+    fn file_size(&self, path: &str) -> Option<u64>;
+
+    /// Whether restore can DMA payloads straight to GPU memory
+    /// (GPUDirect Storage).
+    fn supports_gds(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,236 @@
+//! Sharded training: the §V-E scenario through the Trainer layer.
+//!
+//! A [`ShardedTrainer`] drives one [`Trainer`] per Megatron shard in
+//! lockstep — the way a model-parallel job steps all ranks together —
+//! and checkpoints all shards at the same iteration boundaries, issuing
+//! the pulls concurrently (asynchronously) and settling them all at the
+//! barrier. Restore brings every shard back to the same version, which
+//! is the aggregation requirement Motivation 1 of the paper calls out.
+
+use portus::{PortusClient, PortusError, PortusResult};
+use portus_dnn::{IterationProfile, ModelInstance};
+use portus_sim::SimDuration;
+
+use crate::{TrainPolicy, Trainer, TrainerStats};
+
+/// A set of shard trainers stepped in lockstep.
+#[derive(Debug)]
+pub struct ShardedTrainer {
+    shards: Vec<Trainer>,
+}
+
+impl ShardedTrainer {
+    /// Builds one trainer per `(client, shard instance)` pair; all
+    /// shards share the profile and policy.
+    ///
+    /// # Errors
+    ///
+    /// Registration failures from any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(
+        shards: Vec<(PortusClient, ModelInstance)>,
+        profile: IterationProfile,
+        policy: TrainPolicy,
+    ) -> PortusResult<ShardedTrainer> {
+        assert!(!shards.is_empty(), "a sharded job needs at least one shard");
+        let shards = shards
+            .into_iter()
+            .map(|(client, model)| Trainer::new(client, model, profile, policy))
+            .collect::<PortusResult<Vec<_>>>()?;
+        Ok(ShardedTrainer { shards })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard trainers (e.g. to checksum individual shards).
+    pub fn shards(&self) -> &[Trainer] {
+        &self.shards
+    }
+
+    /// Global iteration counter (identical across shards by
+    /// construction).
+    pub fn step(&self) -> u64 {
+        self.shards[0].step()
+    }
+
+    /// The last iteration durable on PMem across **all** shards — the
+    /// whole-model recovery point (a version only counts when every
+    /// shard has it).
+    pub fn last_durable_step(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(Trainer::last_durable_step)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Runs `iterations` lockstep iterations on every shard. Returns
+    /// per-shard stats.
+    ///
+    /// Shards run their iteration batches sequentially here (one driver
+    /// thread); the *checkpoint pulls* still interleave on the daemon
+    /// side under the async policy because each shard has its own
+    /// connection/worker.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure aborts the step (as a real synchronous
+    /// job would).
+    pub fn run(&mut self, iterations: u64) -> PortusResult<Vec<TrainerStats>> {
+        // Step in interval-sized batches so shards stay aligned at
+        // checkpoint boundaries.
+        let mut out = vec![TrainerStats::default(); self.shards.len()];
+        let mut remaining = iterations;
+        while remaining > 0 {
+            let batch = remaining.min(1.max(
+                self.shards[0]
+                    .policy_interval()
+                    .unwrap_or(remaining),
+            ));
+            for (trainer, acc) in self.shards.iter_mut().zip(&mut out) {
+                let s = trainer.run(batch)?;
+                acc.iterations += s.iterations;
+                acc.checkpoints_completed += s.checkpoints_completed;
+                acc.bytes_checkpointed += s.bytes_checkpointed;
+                acc.bytes_carried_over += s.bytes_carried_over;
+                acc.checkpoint_stall += s.checkpoint_stall;
+                acc.compute_time += s.compute_time;
+            }
+            remaining -= batch;
+        }
+        Ok(out)
+    }
+
+    /// Recovers every shard to the whole-model recovery point. All
+    /// shards must restore the *same* version; a mismatch (possible if
+    /// a crash interleaved with a partially completed multi-shard
+    /// checkpoint round) is surfaced as an error rather than silently
+    /// mixing versions.
+    ///
+    /// # Errors
+    ///
+    /// Restore failures, or [`PortusError::Daemon`] on a version
+    /// mismatch across shards.
+    pub fn recover(&mut self) -> PortusResult<u64> {
+        let target = self.last_durable_step();
+        let mut lost_max = 0;
+        let mut versions = Vec::with_capacity(self.shards.len());
+        for trainer in &mut self.shards {
+            let lost = trainer.recover_to(target)?;
+            lost_max = lost_max.max(lost);
+            versions.push(trainer.last_restored_version());
+        }
+        if let (Some(first), true) = (
+            versions.first().copied().flatten(),
+            versions.windows(2).all(|w| w[0] == w[1]),
+        ) {
+            let _ = first;
+            Ok(lost_max)
+        } else {
+            Err(PortusError::Daemon(format!(
+                "shards restored mismatched versions: {versions:?}"
+            )))
+        }
+    }
+
+    /// Total virtual stall across shards (diagnostic).
+    pub fn total_stall(&self) -> SimDuration {
+        self.shards
+            .iter()
+            .map(|t| t.stats().checkpoint_stall)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portus::{DaemonConfig, PortusDaemon};
+    use portus_dnn::{shard_model, zoo, Materialization, ParallelConfig};
+    use portus_mem::GpuDevice;
+    use portus_pmem::{PmemDevice, PmemMode};
+    use portus_rdma::{Fabric, NodeId};
+    use portus_sim::SimContext;
+
+    fn sharded(policy: TrainPolicy) -> ShardedTrainer {
+        let ctx = SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        fabric.add_nic(NodeId(100));
+        let spec = zoo::gpt_with("sharded-gpt", 64, 2, 512);
+        let shards = shard_model(&spec, ParallelConfig::grid(2, 2));
+        let pmem = PmemDevice::new(
+            ctx.clone(),
+            PmemMode::DevDax,
+            4 * spec.total_bytes() + (64 << 20),
+        );
+        let daemon =
+            PortusDaemon::start(&fabric, NodeId(100), pmem, DaemonConfig::default()).unwrap();
+        let pairs = shards
+            .iter()
+            .enumerate()
+            .map(|(rank, shard)| {
+                let node = NodeId(rank as u32);
+                let nic = fabric.nic(node).unwrap_or_else(|_| fabric.add_nic(node));
+                let gpu = GpuDevice::new(ctx.clone(), rank as u32, 1 << 30);
+                let model = ModelInstance::materialize(
+                    &shard.spec,
+                    &gpu,
+                    rank as u64,
+                    Materialization::Owned,
+                )
+                .unwrap();
+                (PortusClient::connect(&daemon, nic), model)
+            })
+            .collect();
+        ShardedTrainer::new(
+            pairs,
+            IterationProfile::from_total(SimDuration::from_millis(30)),
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lockstep_run_keeps_shards_aligned() {
+        let mut st = sharded(TrainPolicy::Sync { every: 4 });
+        let stats = st.run(12).unwrap();
+        assert_eq!(st.shard_count(), 4);
+        assert!(stats.iter().all(|s| s.iterations == 12));
+        assert!(stats.iter().all(|s| s.checkpoints_completed == 3));
+        assert_eq!(st.step(), 12);
+        assert_eq!(st.last_durable_step(), 12);
+    }
+
+    #[test]
+    fn whole_model_recovery_point_is_the_minimum() {
+        let mut st = sharded(TrainPolicy::Sync { every: 5 });
+        st.run(13).unwrap();
+        assert_eq!(st.last_durable_step(), 10, "13 iters, ckpt at 5 and 10");
+    }
+
+    #[test]
+    fn sharded_recover_restores_a_consistent_version() {
+        let mut st = sharded(TrainPolicy::Sync { every: 5 });
+        st.run(12).unwrap();
+        let lost = st.recover().unwrap();
+        assert_eq!(lost, 2, "iterations 11-12 are lost");
+        assert_eq!(st.step(), 10);
+        // Training resumes cleanly across all shards.
+        st.run(5).unwrap();
+        assert_eq!(st.last_durable_step(), 15);
+    }
+
+    #[test]
+    fn async_sharded_run_completes_all_pulls() {
+        let mut st = sharded(TrainPolicy::Async { every: 3 });
+        let stats = st.run(9).unwrap();
+        assert!(stats.iter().all(|s| s.checkpoints_completed == 3));
+        assert_eq!(st.last_durable_step(), 9);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the Portus reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the integration
+//! tests in `tests/` and the runnable programs in `examples/` can pull
+//! the whole system from a single dependency.
+
+pub use portus;
+pub use portus_cluster;
+pub use portus_dnn;
+pub use portus_format;
+pub use portus_mem;
+pub use portus_pmem;
+pub use portus_rdma;
+pub use portus_sim;
+pub use portus_storage;
+pub use portus_train;

@@ -1,0 +1,152 @@
+//! Higher-order equivalence properties across the system.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use portus::{DaemonConfig, Index, PortusClient, PortusDaemon};
+use portus_dnn::{DType, Materialization, ModelInstance, ModelSpec, TensorMeta};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+// ---------------------------------------------------------------------
+// Delta checkpoints are semantically identical to full checkpoints.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any sequence of sparse updates and any dirty-mask usage, a
+    /// delta checkpoint restores to exactly the state a full checkpoint
+    /// would have captured.
+    #[test]
+    fn delta_checkpoint_equals_full_checkpoint(
+        touch_sets in vec(vec(0usize..6, 0..4), 1..5),
+    ) {
+        let ctx = SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        let compute = fabric.add_nic(NodeId(0));
+        fabric.add_nic(NodeId(1));
+        let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+        let daemon =
+            PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+        let gpu = GpuDevice::new(ctx, 0, 1 << 30);
+        let spec = portus_dnn::test_spec("equiv", 6, 32 * 1024);
+        let mut model =
+            ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+        let client = PortusClient::connect(&daemon, compute);
+        client.register_model(&model).unwrap();
+
+        // Base version.
+        model.train_step();
+        model.take_dirty();
+        client.checkpoint("equiv").unwrap();
+
+        for touches in &touch_sets {
+            model.train_step_sparse(touches);
+            let dirty = model.take_dirty();
+            let expected = model.model_checksum();
+            client.checkpoint_delta("equiv", &dirty).unwrap();
+
+            // Restore into a scratch-diverged model and compare.
+            model.train_step();
+            client.restore(&model).unwrap();
+            prop_assert_eq!(model.model_checksum(), expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PMem: bulk (page) and fine-grained (line) writes are equivalent.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Writing a blob as one bulk store or as many small stores yields
+    /// identical coherent reads and identical durable content after
+    /// persist — the page-coalescing optimization must be invisible.
+    #[test]
+    fn pmem_bulk_and_piecewise_writes_are_equivalent(
+        data in vec(any::<u8>(), 1..(3 * 4096)),
+        base in 0u64..4096,
+        piece in 1usize..257,
+    ) {
+        let ctx = SimContext::icdcs24();
+        let bulk = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 1 << 16);
+        let fine = PmemDevice::new(ctx, PmemMode::DevDax, 1 << 16);
+
+        bulk.write(base, &data).unwrap();
+        for (i, chunk) in data.chunks(piece).enumerate() {
+            fine.write(base + (i * piece) as u64, chunk).unwrap();
+        }
+
+        let mut a = vec![0u8; data.len()];
+        let mut b = vec![0u8; data.len()];
+        bulk.read(base, &mut a).unwrap();
+        fine.read(base, &mut b).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        bulk.persist(base, data.len() as u64).unwrap();
+        fine.persist(base, data.len() as u64).unwrap();
+        bulk.crash(portus_pmem::CrashSpec::LoseAll);
+        fine.crash(portus_pmem::CrashSpec::LoseAll);
+        bulk.read(base, &mut a).unwrap();
+        fine.read(base, &mut b).unwrap();
+        prop_assert_eq!(&a, &data);
+        prop_assert_eq!(&b, &data);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistent index round-trips arbitrary metadata.
+// ---------------------------------------------------------------------
+
+fn arb_meta(i: usize) -> impl Strategy<Value = TensorMeta> {
+    (
+        prop_oneof![
+            Just(DType::F16),
+            Just(DType::F32),
+            Just(DType::I64),
+            Just(DType::U8)
+        ],
+        vec(1u64..64, 0..4),
+        "[a-z][a-z0-9_.]{0,40}",
+    )
+        .prop_map(move |(dtype, shape, name)| {
+            TensorMeta::new(format!("{name}.{i}"), dtype, shape)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `create_model` → `load_mindex` is the identity on tensor
+    /// metadata, for arbitrary dtypes/shapes/names.
+    #[test]
+    fn index_round_trips_arbitrary_models(
+        metas in (1usize..12).prop_flat_map(|n| {
+            (0..n).map(arb_meta).collect::<Vec<_>>()
+        }),
+        name in "[a-z][a-z0-9-]{0,40}",
+    ) {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 64 << 20);
+        let index = Index::format(dev, 16, 128).unwrap();
+        let spec = ModelSpec::new(name.clone(), metas.clone());
+        let mi = index.create_model(&name, &spec.tensors).unwrap();
+        let loaded = index.load_mindex(mi.offset).unwrap();
+        prop_assert_eq!(&loaded.name, &name);
+        prop_assert_eq!(loaded.tensors.len(), metas.len());
+        for (rec, meta) in loaded.tensors.iter().zip(&metas) {
+            prop_assert_eq!(&rec.meta, meta);
+        }
+        // Relative offsets tile the payload exactly.
+        let mut cursor = 0u64;
+        for rec in &loaded.tensors {
+            prop_assert_eq!(rec.rel_off, cursor);
+            cursor += rec.meta.size_bytes();
+        }
+        prop_assert_eq!(cursor, loaded.total_bytes);
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-tenant concurrency: several training jobs share one Portus
+//! daemon (the workload CheckFreq struggles with, per §VII). Each
+//! tenant gets its own connection — and therefore its own daemon worker
+//! thread — and they checkpoint/restore concurrently.
+
+use std::sync::Arc;
+
+use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+const TENANTS: usize = 6;
+const ROUNDS: usize = 4;
+
+#[test]
+fn concurrent_tenants_stay_isolated() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(100));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 512 << 20);
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(100), pmem, DaemonConfig::default()).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..TENANTS {
+            let fabric = fabric.clone();
+            let ctx = ctx.clone();
+            let daemon = Arc::clone(&daemon);
+            s.spawn(move || {
+                let nic = fabric.add_nic(NodeId(t as u32));
+                let gpu = GpuDevice::new(ctx, t as u32, 1 << 30);
+                let spec = test_spec(&format!("tenant{t}"), 4 + t, 128 * 1024);
+                let mut model =
+                    ModelInstance::materialize(&spec, &gpu, t as u64, Materialization::Owned)
+                        .unwrap();
+                let client = PortusClient::connect(&daemon, nic);
+                client.register_model(&model).unwrap();
+
+                let mut last_state = 0;
+                for round in 0..ROUNDS {
+                    model.train_step();
+                    last_state = model.model_checksum();
+                    let r = client.checkpoint(&spec.name).unwrap();
+                    assert_eq!(r.version, round as u64 + 1);
+                }
+                // Diverge and restore: must get this tenant's own state.
+                model.train_step();
+                let r = client.restore(&model).unwrap();
+                assert_eq!(r.version, ROUNDS as u64);
+                assert_eq!(model.model_checksum(), last_state, "tenant {t} corrupted");
+            });
+        }
+    });
+
+    let models = daemon.summaries().unwrap();
+    assert_eq!(models.len(), TENANTS);
+    for m in &models {
+        assert_eq!(m.latest_version, Some(ROUNDS as u64));
+        assert_eq!(m.valid_versions, 2);
+    }
+}
+
+#[test]
+fn async_checkpoints_from_many_tenants_interleave() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(100));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(100), pmem, DaemonConfig::default()).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let fabric = fabric.clone();
+            let ctx = ctx.clone();
+            let daemon = Arc::clone(&daemon);
+            s.spawn(move || {
+                let nic = fabric.add_nic(NodeId(t as u32));
+                let gpu = GpuDevice::new(ctx, t as u32, 1 << 30);
+                let spec = test_spec(&format!("async{t}"), 6, 64 * 1024);
+                let mut model =
+                    ModelInstance::materialize(&spec, &gpu, t as u64, Materialization::Owned)
+                        .unwrap();
+                let client = PortusClient::connect(&daemon, nic);
+                client.register_model(&model).unwrap();
+
+                for _ in 0..3 {
+                    // Issue async, "compute", then guard before updating.
+                    client.checkpoint_async(&spec.name).unwrap();
+                    std::thread::yield_now();
+                    client.guard_update(&spec.name).unwrap();
+                    model.train_step();
+                }
+                assert!(!client.has_inflight(&spec.name));
+            });
+        }
+    });
+    assert_eq!(daemon.model_count(), 4);
+}
+
+#[test]
+fn same_connection_serves_multiple_models() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let nic = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx, 0, 1 << 30);
+    let client = PortusClient::connect(&daemon, nic);
+
+    let mut models = Vec::new();
+    for i in 0..3 {
+        let spec = test_spec(&format!("m{i}"), 3, 64 * 1024);
+        let mut model =
+            ModelInstance::materialize(&spec, &gpu, i, Materialization::Owned).unwrap();
+        client.register_model(&model).unwrap();
+        model.train_step();
+        client.checkpoint(&spec.name).unwrap();
+        models.push(model);
+    }
+    let listed = client.list_models().unwrap();
+    assert_eq!(listed.len(), 3);
+    // ModelMap iteration is name-ordered.
+    let names: Vec<&str> = listed.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, vec!["m0", "m1", "m2"]);
+    for model in &models {
+        let want = model.model_checksum();
+        client.restore(model).unwrap();
+        assert_eq!(model.model_checksum(), want);
+    }
+}

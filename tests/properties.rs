@@ -1,0 +1,295 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use portus::{name_hash, ModelMap};
+use portus_dnn::{DType, TensorMeta};
+use portus_format::{read_checkpoint, write_checkpoint, CheckpointEntry, PayloadSource};
+use portus_mem::MemorySegment;
+use portus_pmem::{CrashSpec, PmemAllocator, PmemDevice, PmemMode};
+use portus_sim::SimContext;
+
+// ---------------------------------------------------------------------
+// Allocator invariants
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u16),
+    Free(u8),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    vec(
+        prop_oneof![
+            (64u16..4096).prop_map(AllocOp::Alloc),
+            any::<u8>().prop_map(AllocOp::Free),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live allocations never overlap and always fall inside the heap,
+    /// whatever the alloc/free sequence; free bytes are conserved.
+    #[test]
+    fn allocator_never_overlaps(ops in alloc_ops()) {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 1 << 20);
+        let alloc = PmemAllocator::format(dev, 0, 128, 1 << 14, 1 << 20).unwrap();
+        let total_free = alloc.free_bytes();
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(a) = alloc.alloc(len as u64, 7) {
+                        live.push(a);
+                    }
+                }
+                AllocOp::Free(idx) => {
+                    if !live.is_empty() {
+                        let a = live.swap_remove(idx as usize % live.len());
+                        alloc.free(&a).unwrap();
+                    }
+                }
+            }
+            // Invariants after every step.
+            let mut sorted = alloc.live_allocations().unwrap();
+            sorted.sort_by_key(|a| a.offset);
+            let (heap_base, heap_end) = alloc.heap_bounds();
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].offset + w[0].len <= w[1].offset, "overlap");
+            }
+            for a in &sorted {
+                prop_assert!(a.offset >= heap_base && a.offset + a.len <= heap_end);
+            }
+            let used: u64 = sorted.iter().map(|a| a.len).sum();
+            // Free + used never exceeds the heap (alignment padding may
+            // be counted free, never double-counted used).
+            prop_assert!(alloc.free_bytes() + used <= total_free + used);
+            prop_assert!(alloc.free_bytes() + used >= total_free.min(alloc.free_bytes() + used));
+        }
+        // Freeing everything restores the single maximal extent.
+        for a in live {
+            alloc.free(&a).unwrap();
+        }
+        prop_assert_eq!(alloc.free_bytes(), total_free);
+        prop_assert_eq!(alloc.largest_free_extent(), total_free);
+    }
+
+    /// Recovery after a clean shutdown reproduces exactly the live set.
+    #[test]
+    fn allocator_recovery_is_exact(ops in alloc_ops()) {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 1 << 20);
+        let alloc = PmemAllocator::format(dev.clone(), 0, 128, 1 << 14, 1 << 20).unwrap();
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(a) = alloc.alloc(len as u64, u64::from(len)) {
+                        live.push(a);
+                    }
+                }
+                AllocOp::Free(idx) => {
+                    if !live.is_empty() {
+                        let a = live.swap_remove(idx as usize % live.len());
+                        alloc.free(&a).unwrap();
+                    }
+                }
+            }
+        }
+        let free_before = alloc.free_bytes();
+        let mut expect = alloc.live_allocations().unwrap();
+        expect.sort_by_key(|a| a.offset);
+        drop(alloc);
+        dev.crash(CrashSpec::LoseAll); // slot updates are persisted per-op
+
+        let rec = PmemAllocator::recover(dev, 0).unwrap();
+        let mut got = rec.live_allocations().unwrap();
+        got.sort_by_key(|a| a.offset);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(rec.free_bytes(), free_before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ModelMap vs reference
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u64),
+    Remove(u8),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The red-black ModelMap behaves exactly like BTreeMap and keeps
+    /// its invariants under arbitrary operation sequences.
+    #[test]
+    fn model_map_matches_btreemap(ops in vec(
+        prop_oneof![
+            (any::<u8>(), any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            any::<u8>().prop_map(MapOp::Remove),
+        ],
+        1..200,
+    )) {
+        let mut ours = ModelMap::new();
+        let mut reference = std::collections::BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let key = format!("model-{k:03}");
+                    prop_assert_eq!(ours.insert(key.clone(), v), reference.insert(key, v));
+                }
+                MapOp::Remove(k) => {
+                    let key = format!("model-{k:03}");
+                    prop_assert_eq!(ours.remove(&key), reference.remove(&key));
+                }
+            }
+            ours.check_invariants();
+            prop_assert_eq!(ours.len(), reference.len());
+        }
+        let a: Vec<(String, u64)> = ours.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let b: Vec<(String, u64)> = reference.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container round trip
+// ---------------------------------------------------------------------
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop_oneof![
+        Just(DType::F16),
+        Just(DType::BF16),
+        Just(DType::F32),
+        Just(DType::F64),
+        Just(DType::I32),
+        Just(DType::I64),
+        Just(DType::U8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// serialize → deserialize is the identity for arbitrary models.
+    #[test]
+    fn container_round_trips(
+        model_name in "[a-z][a-z0-9_./-]{0,40}",
+        tensors in vec((arb_dtype(), vec(1u64..8, 0..3), "[a-z][a-z0-9_.]{0,30}"), 0..12),
+    ) {
+        let entries: Vec<CheckpointEntry> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, (dtype, shape, name))| {
+                let meta = TensorMeta::new(format!("{name}{i}"), *dtype, shape.clone());
+                let payload: Vec<u8> = (0..meta.size_bytes()).map(|b| (b ^ i as u64) as u8).collect();
+                CheckpointEntry { meta, data: PayloadSource::Bytes(payload) }
+            })
+            .collect();
+        let mut file = Vec::new();
+        write_checkpoint(&mut file, &model_name, &entries).unwrap();
+        let decoded = read_checkpoint(&file[..]).unwrap();
+        prop_assert_eq!(&decoded.model_name, &model_name);
+        prop_assert_eq!(decoded.tensors.len(), entries.len());
+        for ((meta, data), entry) in decoded.tensors.iter().zip(&entries) {
+            prop_assert_eq!(meta, &entry.meta);
+            match &entry.data {
+                PayloadSource::Bytes(b) => prop_assert_eq!(data, b),
+                PayloadSource::Buffer(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// Any single-byte corruption of the container is detected.
+    #[test]
+    fn container_detects_any_single_byte_corruption(
+        flip_at in any::<prop::sample::Index>(),
+        flip_with in 1u8..=255,
+    ) {
+        let entries = vec![CheckpointEntry {
+            meta: TensorMeta::new("w", DType::F32, vec![32]),
+            data: PayloadSource::Bytes((0..128u8).collect()),
+        }];
+        let mut file = Vec::new();
+        write_checkpoint(&mut file, "m", &entries).unwrap();
+        let at = flip_at.index(file.len());
+        file[at] ^= flip_with;
+        prop_assert!(read_checkpoint(&file[..]).is_err(), "corruption at byte {} missed", at);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PMem persistence semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Persisted ranges always survive any crash; granularity of loss
+    /// for unpersisted data is whole cache lines.
+    #[test]
+    fn persisted_data_survives_any_crash(
+        persisted in vec(any::<u8>(), 1..512),
+        volatile in vec(any::<u8>(), 1..512),
+        seed in any::<u64>(),
+    ) {
+        let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 1 << 16);
+        dev.write(0, &persisted).unwrap();
+        dev.persist(0, persisted.len() as u64).unwrap();
+        dev.write(4096, &volatile).unwrap(); // never flushed
+        dev.crash(CrashSpec::Random { seed });
+
+        let mut got = vec![0u8; persisted.len()];
+        dev.read(0, &mut got).unwrap();
+        prop_assert_eq!(got, persisted);
+
+        // Volatile data is per-line all-or-nothing.
+        let mut v = vec![0u8; volatile.len()];
+        dev.read(4096, &mut v).unwrap();
+        for (line_idx, chunk) in volatile.chunks(64).enumerate() {
+            let got_line = &v[line_idx * 64..(line_idx * 64 + chunk.len())];
+            let zeros = vec![0u8; chunk.len()];
+            prop_assert!(
+                got_line == chunk || got_line == &zeros[..],
+                "line {} torn", line_idx
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Misc pure functions
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The ModelTable name hash is stable and collision-resistant
+    /// enough for distinct short names in practice.
+    #[test]
+    fn name_hash_is_deterministic(name in "[a-zA-Z0-9/._-]{1,64}") {
+        prop_assert_eq!(name_hash(&name), name_hash(&name));
+        prop_assert_ne!(name_hash(&name), name_hash(&format!("{name}x")));
+    }
+
+    /// Synthetic segments are pure functions of (seed, offset).
+    #[test]
+    fn synthetic_content_is_offset_stable(
+        seed in any::<u64>(),
+        offset in 0u64..4000,
+        len in 1usize..64,
+    ) {
+        let seg = MemorySegment::synthetic(4096, seed);
+        let mut full = vec![0u8; 4096];
+        seg.read_at(0, &mut full).unwrap();
+        let len = len.min((4096 - offset) as usize);
+        let mut window = vec![0u8; len];
+        seg.read_at(offset, &mut window).unwrap();
+        prop_assert_eq!(&window[..], &full[offset as usize..offset as usize + len]);
+    }
+}

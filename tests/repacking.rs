@@ -1,0 +1,135 @@
+//! The repacking tool (§III-D2, Fig. 7): reclaiming PMem from finished
+//! jobs and from checkpoints that crashed mid-write.
+
+use portus::{repack, DaemonConfig, PortusClient, PortusDaemon, SlotState};
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+struct World {
+    ctx: SimContext,
+    fabric: Fabric,
+    daemon: std::sync::Arc<PortusDaemon>,
+    gpu: std::sync::Arc<GpuDevice>,
+}
+
+fn world() -> World {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
+    World { ctx, fabric, daemon, gpu }
+}
+
+#[test]
+fn finished_jobs_shrink_to_one_version() {
+    let w = world();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("finished", 4, 512 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("finished").unwrap();
+    model.train_step();
+    let final_state = model.model_checksum();
+    client.checkpoint("finished").unwrap();
+    client.mark_complete("finished").unwrap();
+
+    let free_before = w.daemon.index().allocator().free_bytes();
+    let report = repack(&w.daemon, false).unwrap();
+    assert_eq!(report.scanned_models, 1);
+    assert_eq!(report.reclaimed_slots, 1, "the non-latest version goes");
+    assert!(report.freed_bytes >= spec.total_bytes());
+    assert!(w.daemon.index().allocator().free_bytes() > free_before);
+
+    // The latest version still restores bit-for-bit.
+    model.train_step();
+    let r = client.restore(&model).unwrap();
+    assert_eq!(r.version, 2);
+    assert_eq!(model.model_checksum(), final_state);
+    let _ = w.ctx;
+}
+
+#[test]
+fn crashed_active_slots_are_reclaimed_with_the_aggressive_pass() {
+    let w = world();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("crashy", 3, 256 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 2, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("crashy").unwrap();
+
+    // Simulate a checkpoint that died mid-pull: slot marked Active.
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    let target = mi.target_slot();
+    index.mark_slot_active(&mi, target, 2).unwrap();
+
+    // The safe pass leaves running jobs alone...
+    let safe = repack(&w.daemon, false).unwrap();
+    assert_eq!(safe.reclaimed_slots, 0);
+    // ...the post-recovery pass reclaims the collapsed slot.
+    let aggressive = repack(&w.daemon, true).unwrap();
+    assert_eq!(aggressive.reclaimed_slots, 1);
+    assert_eq!(aggressive.reclaimed_active, 1);
+
+    // The slot header is detached; the Done version is untouched.
+    let mi2 = index.load_mindex(off).unwrap();
+    assert_eq!(mi2.slots[target].state, SlotState::Empty);
+    assert_eq!(mi2.slots[target].data_off, 0);
+    assert_eq!(mi2.latest_done().unwrap().1.version, 1);
+}
+
+#[test]
+fn checkpointing_resumes_after_repack_by_reallocating_the_slot() {
+    let w = world();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("resume", 3, 128 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("resume").unwrap();
+
+    // Reclaim the idle second slot (job-complete path), then resume
+    // training: the daemon must lazily re-allocate a region.
+    client.mark_complete("resume").unwrap();
+    let report = repack(&w.daemon, false).unwrap();
+    assert_eq!(report.reclaimed_slots, 1);
+
+    model.train_step();
+    let state2 = model.model_checksum();
+    let r = client.checkpoint("resume").unwrap();
+    assert_eq!(r.version, 2);
+    model.train_step();
+    client.restore(&model).unwrap();
+    assert_eq!(model.model_checksum(), state2);
+}
+
+#[test]
+fn repack_is_idempotent() {
+    let w = world();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("idem", 2, 64 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 4, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("idem").unwrap();
+    client.mark_complete("idem").unwrap();
+
+    let first = repack(&w.daemon, true).unwrap();
+    assert!(first.reclaimed_slots > 0);
+    let second = repack(&w.daemon, true).unwrap();
+    assert_eq!(second.reclaimed_slots, 0, "nothing left to reclaim");
+    assert_eq!(second.freed_bytes, 0);
+}

@@ -1,0 +1,175 @@
+//! Structural datapath assertions — the paper's core claim, checked on
+//! counters rather than clocks.
+//!
+//! Portus checkpointing must perform exactly **one data movement per
+//! tensor** (the one-sided RDMA read), **zero serializer invocations**,
+//! and **zero kernel crossings**; the traditional datapath performs at
+//! least three copies and three crossings per checkpoint (Fig. 3/5).
+
+use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_mem::{GpuDevice, HostMemory};
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+use portus_storage::{Beegfs, Ext4Nvme, TorchCheckpointer};
+
+const LAYERS: usize = 10;
+
+#[test]
+fn portus_checkpoint_is_zero_copy_and_kernel_free() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 128 << 20);
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let spec = test_spec("zc", LAYERS, 256 * 1024);
+    let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+
+    let before = ctx.stats.snapshot();
+    client.checkpoint("zc").unwrap();
+    let d = ctx.stats.snapshot().since(&before);
+
+    assert_eq!(
+        d.data_copies, LAYERS as u64,
+        "exactly one data movement per tensor"
+    );
+    assert_eq!(d.rdma_one_sided_ops, LAYERS as u64, "one one-sided READ per tensor");
+    assert_eq!(d.rdma_two_sided_ops, 0, "no RPC protocol anywhere");
+    assert_eq!(d.serializations, 0, "serialization-free");
+    assert_eq!(d.deserializations, 0);
+    assert_eq!(d.kernel_crossings, 0, "no kernel involvement at all");
+    assert_eq!(
+        d.bytes_over_network,
+        spec.total_bytes(),
+        "each byte crosses the fabric exactly once"
+    );
+    assert!(d.pmem_fences > 0, "the daemon must persist the pulled data");
+    assert_eq!(d.control_messages, 2, "DO_CHECKPOINT + completion notification");
+}
+
+#[test]
+fn portus_restore_is_zero_copy_and_kernel_free() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 128 << 20);
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let spec = test_spec("zcr", LAYERS, 256 * 1024);
+    let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+    client.checkpoint("zcr").unwrap();
+
+    let before = ctx.stats.snapshot();
+    client.restore(&model).unwrap();
+    let d = ctx.stats.snapshot().since(&before);
+
+    assert_eq!(d.data_copies, LAYERS as u64);
+    assert_eq!(d.rdma_one_sided_ops, LAYERS as u64, "one one-sided WRITE per tensor");
+    assert_eq!(d.serializations + d.deserializations, 0, "no (de)serialization");
+    assert_eq!(d.kernel_crossings, 0);
+}
+
+#[test]
+fn traditional_beegfs_path_pays_three_copies_and_crossings() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let fs = Beegfs::mount(&fabric, NodeId(0), NodeId(1), 256 << 20);
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let host = HostMemory::new(ctx.clone(), 1 << 30);
+    let spec = test_spec("trad", LAYERS, 256 * 1024);
+    let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let saver = TorchCheckpointer::new(ctx.clone(), &fs, gpu, host);
+
+    let before = ctx.stats.snapshot();
+    saver.checkpoint(&model, "trad.ckpt").unwrap();
+    let d = ctx.stats.snapshot().since(&before);
+
+    // Fig. 3's "at least three redundant data copies": GPU→DRAM (per
+    // tensor), serialize staging, RPC payload, server DAX write.
+    assert!(
+        d.data_copies >= LAYERS as u64 + 3,
+        "expected >= {} copies, saw {}",
+        LAYERS + 3,
+        d.data_copies
+    );
+    assert_eq!(d.kernel_crossings, 3, "the three crossings of Fig. 3");
+    assert_eq!(d.serializations, 1);
+    assert!(d.rdma_two_sided_ops > 0, "two-sided RPC protocol");
+    assert_eq!(d.rdma_one_sided_ops, 0, "baseline never uses one-sided verbs");
+    // The serialized file is strictly larger than the payload (headers),
+    // and every file byte crosses the network.
+    assert!(d.bytes_over_network > spec.total_bytes());
+}
+
+#[test]
+fn local_ext4_path_still_copies_and_crosses() {
+    let ctx = SimContext::icdcs24();
+    let fs = Ext4Nvme::new(ctx.clone(), 256 << 20);
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let host = HostMemory::new(ctx.clone(), 1 << 30);
+    let spec = test_spec("local", LAYERS, 256 * 1024);
+    let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let saver = TorchCheckpointer::new(ctx.clone(), &fs, gpu, host);
+
+    let before = ctx.stats.snapshot();
+    saver.checkpoint(&model, "local.ckpt").unwrap();
+    let d = ctx.stats.snapshot().since(&before);
+
+    assert!(d.data_copies >= LAYERS as u64 + 2);
+    assert_eq!(d.kernel_crossings, 3, "open + write + fsync");
+    assert_eq!(d.serializations, 1);
+    assert_eq!(d.bytes_over_network, 0, "local path stays off the fabric");
+}
+
+#[test]
+fn portus_moves_fewer_bytes_total_than_the_baseline() {
+    // Same model through both paths: Portus's total moved bytes are
+    // exactly the payload; the baseline multiplies them.
+    let spec = test_spec("bytes", LAYERS, 256 * 1024);
+
+    let portus_bytes = {
+        let ctx = SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        let compute = fabric.add_nic(NodeId(0));
+        fabric.add_nic(NodeId(1));
+        let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 128 << 20);
+        let daemon =
+            PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+        let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+        let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+        let client = PortusClient::connect(&daemon, compute);
+        client.register_model(&model).unwrap();
+        let before = ctx.stats.snapshot();
+        client.checkpoint("bytes").unwrap();
+        ctx.stats.snapshot().since(&before).bytes_copied
+    };
+
+    let baseline_bytes = {
+        let ctx = SimContext::icdcs24();
+        let fs = Ext4Nvme::new(ctx.clone(), 256 << 20);
+        let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+        let host = HostMemory::new(ctx.clone(), 1 << 30);
+        let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+        let saver = TorchCheckpointer::new(ctx.clone(), &fs, gpu, host);
+        let before = ctx.stats.snapshot();
+        saver.checkpoint(&model, "b.ckpt").unwrap();
+        ctx.stats.snapshot().since(&before).bytes_copied
+    };
+
+    assert_eq!(portus_bytes, spec.total_bytes());
+    assert!(
+        baseline_bytes >= 3 * spec.total_bytes(),
+        "baseline must move every byte at least 3x (saw {}x)",
+        baseline_bytes / spec.total_bytes()
+    );
+}

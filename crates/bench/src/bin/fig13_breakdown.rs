@@ -15,7 +15,7 @@ fn main() {
     eprintln!("running BERT on the three systems (real data plane)...");
     let beegfs = realplane::bert_beegfs_breakdown(&spec);
     let ext4 = realplane::bert_ext4_breakdown(&spec);
-    let (portus_ckpt, _) = realplane::portus_times(&spec);
+    let portus = realplane::portus_breakdown(&spec);
 
     println!("Fig. 13 — BERT checkpoint breakdown (virtual seconds)");
     println!(
@@ -36,7 +36,18 @@ fn main() {
     }
     println!(
         "{:<14} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9.3}   (all RDMA)",
-        "Portus", "-", "-", "-", "-", "-", portus_ckpt.as_secs_f64()
+        "Portus", "-", "-", "-", "-", "-", portus.total
+    );
+    println!(
+        "\nPortus phases: pull {:.3}s, persist {:.3}s, checksum {:.3}s \
+         ({} WQEs in {} doorbell batches, {} coalesced WQEs / {} MiB)",
+        portus.pull,
+        portus.persist,
+        portus.checksum,
+        portus.posted_verbs,
+        portus.doorbell_batches,
+        portus.coalesced_verbs,
+        portus.coalesced_bytes >> 20,
     );
 
     let serial_memcpy_beegfs = (beegfs.gpu_copy + beegfs.serialize).as_secs_f64()
@@ -67,7 +78,17 @@ fn main() {
                 "serial_plus_memcpy_share": serial_memcpy_ext4,
                 "block_share": block_share_ext4,
             },
-            "portus_total": portus_ckpt.as_secs_f64(),
+            "portus": {
+                "total": portus.total,
+                "pull": portus.pull,
+                "persist": portus.persist,
+                "checksum": portus.checksum,
+                "posted_verbs": portus.posted_verbs,
+                "doorbell_batches": portus.doorbell_batches,
+                "coalesced_verbs": portus.coalesced_verbs,
+                "coalesced_bytes": portus.coalesced_bytes,
+            },
+            "portus_total": portus.total,
         }),
     );
     println!("wrote {}", path.display());

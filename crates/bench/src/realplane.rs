@@ -98,6 +98,83 @@ pub fn portus_times(spec: &ModelSpec) -> (SimDuration, SimDuration) {
     (t1.saturating_since(t0), t2.saturating_since(t1))
 }
 
+/// Measured phases of one Portus checkpoint on the posted-verb
+/// datapath (the Portus row of Fig. 13), plus the doorbell/coalescing
+/// counters that explain where the time went.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortusBreakdown {
+    /// Model name.
+    pub model: String,
+    /// Checkpoint payload bytes.
+    pub bytes: u64,
+    /// End-to-end checkpoint time (clock delta), virtual seconds.
+    pub total: f64,
+    /// One-sided RDMA pull phase (total minus persist/checksum),
+    /// virtual seconds.
+    pub pull: f64,
+    /// Persist phase (cache-line flushes + fence), virtual seconds.
+    pub persist: f64,
+    /// Checksum/verify phase (PMem read-back), virtual seconds.
+    pub checksum: f64,
+    /// Gather WQEs posted to the daemon's queue pair.
+    pub posted_verbs: u64,
+    /// Doorbells rung (verb batches issued).
+    pub doorbell_batches: u64,
+    /// WQEs that coalesced more than one tensor.
+    pub coalesced_verbs: u64,
+    /// Bytes moved by multi-tensor (coalesced) WQEs.
+    pub coalesced_bytes: u64,
+}
+
+/// Runs one checkpoint through Portus with real bytes and splits the
+/// time into datapath phases using the daemon's `SimStats` counters.
+///
+/// # Panics
+///
+/// Panics on any system error — harness code wants loud failures.
+pub fn portus_breakdown(spec: &ModelSpec) -> PortusBreakdown {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        2 * spec.total_bytes() + (64 << 20),
+    );
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
+    let gpu = GpuDevice::new(ctx.clone(), 0, 2 * spec.total_bytes() + (1 << 30));
+    let model =
+        ModelInstance::materialize(spec, &gpu, 42, Materialization::Owned).expect("materialize");
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).expect("register");
+
+    let before = ctx.stats.snapshot();
+    let t0 = ctx.clock.now();
+    client.checkpoint(&spec.name).expect("checkpoint");
+    let total = ctx.clock.now().saturating_since(t0);
+    let d = ctx.stats.snapshot().since(&before);
+
+    let persist = SimDuration::from_nanos(d.persist_ns);
+    let checksum = SimDuration::from_nanos(d.checksum_ns);
+    let pull = total
+        .saturating_sub(persist)
+        .saturating_sub(checksum);
+    PortusBreakdown {
+        model: spec.name.clone(),
+        bytes: spec.total_bytes(),
+        total: total.as_secs_f64(),
+        pull: pull.as_secs_f64(),
+        persist: persist.as_secs_f64(),
+        checksum: checksum.as_secs_f64(),
+        posted_verbs: d.posted_verbs,
+        doorbell_batches: d.doorbell_batches,
+        coalesced_verbs: d.coalesced_verbs,
+        coalesced_bytes: d.coalesced_bytes,
+    }
+}
+
 /// Runs one model through a `torch.save`/`torch.load(GDS)` baseline with
 /// real bytes; returns the breakdowns.
 ///

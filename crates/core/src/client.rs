@@ -192,17 +192,29 @@ impl PortusClient {
     /// Asynchronous checkpoint: sends `DO_CHECKPOINT` and returns
     /// immediately; training proceeds while the daemon pulls.
     ///
+    /// At most one checkpoint per model may be in flight on a
+    /// connection: a second `checkpoint_async` before the first is
+    /// waited on (via [`PortusClient::wait_checkpoint`] or
+    /// [`PortusClient::guard_update`]) is rejected rather than silently
+    /// orphaning the first reply.
+    ///
     /// # Errors
     ///
-    /// Channel failures only (daemon errors surface on wait).
+    /// [`PortusError::AlreadyInFlight`] if a checkpoint of `model` is
+    /// already in flight; channel failures (daemon errors surface on
+    /// wait).
     pub fn checkpoint_async(&self, model: &str) -> PortusResult<PendingCheckpoint> {
+        let mut inflight = self.inflight.lock();
+        if inflight.contains_key(model) {
+            return Err(PortusError::AlreadyInFlight(model.to_string()));
+        }
         let req_id = self.fresh_id();
         self.requests.send(Request::Checkpoint {
             req_id,
             model: model.to_string(),
         })?;
         let pending = PendingCheckpoint { req_id };
-        self.inflight.lock().insert(model.to_string(), pending);
+        inflight.insert(model.to_string(), pending);
         Ok(pending)
     }
 
@@ -210,14 +222,24 @@ impl PortusClient {
     ///
     /// # Errors
     ///
-    /// The daemon-side error of the operation, if it failed.
+    /// The daemon-side error of the operation, if it failed. The
+    /// in-flight entry is consumed on **every** exit path — success,
+    /// daemon error, or channel failure — so a failed async checkpoint
+    /// surfaces once and never wedges a later
+    /// [`PortusClient::guard_update`] on an already-consumed reply.
     pub fn wait_checkpoint(
         &self,
         model: &str,
         pending: PendingCheckpoint,
     ) -> PortusResult<CheckpointReport> {
-        let reply = Self::expect_ok(self.wait_reply(pending.req_id)?)?;
-        self.inflight.lock().remove(model);
+        let outcome = self.wait_reply(pending.req_id);
+        {
+            let mut inflight = self.inflight.lock();
+            if inflight.get(model) == Some(&pending) {
+                inflight.remove(model);
+            }
+        }
+        let reply = Self::expect_ok(outcome?)?;
         match reply {
             Reply::CheckpointDone { version, bytes, elapsed, .. } => Ok(CheckpointReport {
                 model: model.to_string(),

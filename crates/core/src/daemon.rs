@@ -1,9 +1,21 @@
 //! Portus Daemon: the user-space storage server.
 //!
 //! Owns a devdax PMem namespace, maintains the three-level index, and
-//! serves client connections. Each accepted connection gets a worker
-//! thread (the paper's ThreadPool dispatch) that handles control
-//! messages and drives the one-sided RDMA datapath:
+//! serves client connections. Each accepted connection gets a
+//! receive-and-dispatch thread; the actual request handling runs on a
+//! bounded shared worker pool (the paper's ThreadPool serves
+//! *requests*, not connections), so one client's in-flight checkpoint
+//! of model A no longer serializes behind its checkpoint of model B.
+//! Replies carry the request id and the client demultiplexes them, so
+//! out-of-order completion is fine.
+//!
+//! The datapath itself is **posted**, not blocking: the daemon builds
+//! one work-queue entry per run of up to [`portus_rdma::MAX_SGE`]
+//! tensors that are contiguous in the slot's TensorData region
+//! (`rel_off`-adjacent), posts every WQE of the operation in one
+//! doorbell batch through a [`portus_rdma::PostedQueuePair`], then
+//! drains the completion queue, mapping any error back to the tensors
+//! of its run:
 //!
 //! * checkpoint — the daemon **reads** every tensor out of the client's
 //!   GPU memory straight into the slot's TensorData region on PMem,
@@ -16,12 +28,17 @@
 //! assert via the datapath counters.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use portus_pmem::PmemDevice;
-use portus_rdma::{ControlChannel, Fabric, Nic, NodeId, QueuePair, RegionTarget};
+use portus_rdma::{
+    CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair,
+    RegionTarget, SgEntry, WrId, MAX_SGE,
+};
 use portus_sim::{SimContext, SimDuration};
 
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
@@ -40,6 +57,10 @@ pub struct DaemonConfig {
     /// Portus can use DRAM as alternatives". Persistence calls are
     /// skipped; a power failure loses everything, as DRAM would.
     pub dram_fallback: bool,
+    /// Size of the shared request-dispatch worker pool. Requests from
+    /// all connections are handled by this pool, so up to
+    /// `dispatch_workers` requests make progress concurrently.
+    pub dispatch_workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -49,6 +70,58 @@ impl Default for DaemonConfig {
             alloc_slots: 8192,
             verify_on_restore: true,
             dram_fallback: false,
+            dispatch_workers: 4,
+        }
+    }
+}
+
+/// A unit of work handed to the dispatch pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Bounded worker pool executing per-request jobs for all connections.
+struct Dispatcher {
+    tx: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Dispatcher {
+    fn new(workers: usize) -> Dispatcher {
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        Dispatcher {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    fn dispatch(&self, job: Job) {
+        let not_sent = {
+            let guard = self.tx.lock();
+            match guard.as_ref() {
+                Some(tx) => tx.send(job).err().map(|e| e.0),
+                None => Some(job),
+            }
+        };
+        if let Some(job) = not_sent {
+            // The pool is draining (shutdown raced a late request); run
+            // the job inline so the client still gets its reply.
+            job();
+        }
+    }
+
+    fn shutdown(&self) {
+        *self.tx.lock() = None;
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -71,6 +144,8 @@ pub(crate) struct DaemonState {
     pub(crate) sessions: Mutex<HashMap<String, Vec<TensorDesc>>>,
     model_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     cfg: DaemonConfig,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
 }
 
 /// The Portus storage daemon.
@@ -83,6 +158,7 @@ pub struct PortusDaemon {
     state: Arc<DaemonState>,
     nic: Arc<Nic>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    dispatcher: Arc<Dispatcher>,
 }
 
 impl std::fmt::Debug for PortusDaemon {
@@ -134,6 +210,7 @@ impl PortusDaemon {
         cfg: DaemonConfig,
     ) -> PortusResult<Arc<PortusDaemon>> {
         let nic = fabric.nic(node)?;
+        let dispatcher = Arc::new(Dispatcher::new(cfg.dispatch_workers));
         Ok(Arc::new(PortusDaemon {
             state: Arc::new(DaemonState {
                 ctx: fabric.ctx().clone(),
@@ -142,21 +219,28 @@ impl PortusDaemon {
                 sessions: Mutex::new(HashMap::new()),
                 model_locks: Mutex::new(HashMap::new()),
                 cfg,
+                in_flight: AtomicU64::new(0),
+                peak_in_flight: AtomicU64::new(0),
             }),
             nic,
             workers: Mutex::new(Vec::new()),
+            dispatcher,
         }))
     }
 
-    /// Accepts a connection from `client_nic`: spawns a worker thread
-    /// and returns the client's endpoints.
+    /// Accepts a connection from `client_nic`: spawns a
+    /// receive-and-dispatch thread and returns the client's endpoints.
+    /// Request handling itself runs on the shared dispatch pool.
     pub fn accept(&self, client_nic: Arc<Nic>) -> ClientEndpoints {
         let ctx = self.state.ctx.clone();
         let (req_client, req_daemon) = ControlChannel::pair(ctx.clone());
         let (rep_daemon, rep_client) = ControlChannel::pair(ctx);
         let (qp_daemon, qp_client) = QueuePair::connect(Arc::clone(&self.nic), client_nic);
         let state = Arc::clone(&self.state);
-        let handle = std::thread::spawn(move || serve(state, qp_daemon, req_daemon, rep_daemon));
+        let dispatcher = Arc::clone(&self.dispatcher);
+        let handle = std::thread::spawn(move || {
+            serve(state, dispatcher, Arc::new(qp_daemon), req_daemon, rep_daemon)
+        });
         self.workers.lock().push(handle);
         ClientEndpoints {
             requests: req_client,
@@ -165,12 +249,19 @@ impl PortusDaemon {
         }
     }
 
-    /// Waits for all worker threads to exit (they exit when their
-    /// client disconnects).
+    /// Waits for all connection threads to exit (they exit when their
+    /// client disconnects), then drains and joins the dispatch pool.
     pub fn shutdown(&self) {
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
+        self.dispatcher.shutdown();
+    }
+
+    /// High-water mark of requests in flight on the dispatch pool
+    /// (diagnostic; lets tests assert that requests actually overlap).
+    pub fn peak_in_flight(&self) -> u64 {
+        self.state.peak_in_flight.load(Ordering::Relaxed)
     }
 
     /// Summaries of all stored models (daemon-side view).
@@ -200,69 +291,152 @@ impl PortusDaemon {
 
 fn serve(
     state: Arc<DaemonState>,
-    qp: QueuePair,
+    dispatcher: Arc<Dispatcher>,
+    qp: Arc<QueuePair>,
     requests: ControlChannel<Request>,
     replies: ControlChannel<Reply>,
 ) {
+    let replies = Arc::new(replies);
     // Exits when the client disconnects (recv error) or says goodbye.
+    // Each request becomes one pool job; replies are sent as each job
+    // finishes, in completion order — the client demultiplexes by
+    // req_id.
     while let Ok(req) = requests.recv() {
-        let reply = match req {
-            Request::Disconnect => break,
-            Request::Register { req_id, model, tensors } => {
-                match state.register(&model, tensors) {
-                    Ok(()) => Reply::Registered { req_id, slots: crate::SLOT_COUNT as u8 },
-                    Err(e) => Reply::Error { req_id, message: e.to_string() },
-                }
+        if matches!(req, Request::Disconnect) {
+            break;
+        }
+        let state = Arc::clone(&state);
+        let qp = Arc::clone(&qp);
+        let replies = Arc::clone(&replies);
+        dispatcher.dispatch(Box::new(move || {
+            let n = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            state.peak_in_flight.fetch_max(n, Ordering::Relaxed);
+            let reply = handle_request(&state, &qp, req);
+            state.in_flight.fetch_sub(1, Ordering::Relaxed);
+            // The client may already be gone; nothing to do then.
+            let _ = replies.send(reply);
+        }));
+    }
+}
+
+/// Executes one request against the daemon state and builds its reply.
+fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Reply {
+    match req {
+        // The connection thread consumes Disconnect; answer defensively
+        // if one is ever routed here.
+        Request::Disconnect => Reply::Error {
+            req_id: 0,
+            message: "disconnect is handled by the connection thread".to_string(),
+        },
+        Request::Register { req_id, model, tensors } => {
+            match state.register(&model, tensors) {
+                Ok(()) => Reply::Registered { req_id, slots: crate::SLOT_COUNT as u8 },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
             }
-            Request::DeltaCheckpoint { req_id, model, dirty } => {
-                match state.delta_checkpoint(&qp, &model, &dirty) {
-                    Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
-                        req_id,
-                        version,
-                        pulled_bytes,
-                        copied_bytes,
-                        elapsed,
-                    },
-                    Err(e) => Reply::Error { req_id, message: e.to_string() },
-                }
+        }
+        Request::DeltaCheckpoint { req_id, model, dirty } => {
+            match state.delta_checkpoint(qp, &model, &dirty) {
+                Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
+                    req_id,
+                    version,
+                    pulled_bytes,
+                    copied_bytes,
+                    elapsed,
+                },
+                Err(e) => Reply::Error { req_id, message: e.to_string() },
             }
-            Request::Checkpoint { req_id, model } => match state.checkpoint(&qp, &model) {
-                Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
+        }
+        Request::Checkpoint { req_id, model } => match state.checkpoint(qp, &model) {
+            Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
+                req_id,
+                version,
+                bytes,
+                elapsed,
+            },
+            Err(e) => Reply::Error { req_id, message: e.to_string() },
+        },
+        Request::Restore { req_id, model, tensors } => {
+            match state.restore(qp, &model, &tensors) {
+                Ok((version, bytes, elapsed)) => Reply::RestoreDone {
                     req_id,
                     version,
                     bytes,
                     elapsed,
                 },
                 Err(e) => Reply::Error { req_id, message: e.to_string() },
-            },
-            Request::Restore { req_id, model, tensors } => {
-                match state.restore(&qp, &model, &tensors) {
-                    Ok((version, bytes, elapsed)) => Reply::RestoreDone {
-                        req_id,
-                        version,
-                        bytes,
-                        elapsed,
-                    },
-                    Err(e) => Reply::Error { req_id, message: e.to_string() },
-                }
             }
-            Request::MarkComplete { req_id, model } => match state.mark_complete(&model) {
-                Ok(()) => Reply::Completed { req_id },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
-            },
-            Request::Drop { req_id, model } => match state.drop_model(&model) {
-                Ok(()) => Reply::Dropped { req_id },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
-            },
-            Request::List { req_id } => match state.list_models() {
-                Ok(models) => Reply::Models { req_id, models },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
-            },
-        };
-        if replies.send(reply).is_err() {
-            break;
+        }
+        Request::MarkComplete { req_id, model } => match state.mark_complete(&model) {
+            Ok(()) => Reply::Completed { req_id },
+            Err(e) => Reply::Error { req_id, message: e.to_string() },
+        },
+        Request::Drop { req_id, model } => match state.drop_model(&model) {
+            Ok(()) => Reply::Dropped { req_id },
+            Err(e) => Reply::Error { req_id, message: e.to_string() },
+        },
+        Request::List { req_id } => match state.list_models() {
+            Ok(models) => Reply::Models { req_id, models },
+            Err(e) => Reply::Error { req_id, message: e.to_string() },
+        },
+    }
+}
+
+/// One tensor's contribution to a posted datapath operation.
+struct TensorVerb {
+    rel_off: u64,
+    len: u64,
+    rkey: u64,
+    name: String,
+}
+
+/// One work-queue entry: a run of tensors contiguous in the slot's
+/// TensorData region, moved by a single gather/scatter verb.
+struct VerbRun {
+    segs: Vec<SgEntry>,
+    names: Vec<String>,
+    base_rel: u64,
+    len: u64,
+}
+
+/// Groups tensors into runs that are contiguous by `rel_off` in the
+/// slot's TensorData region, capped at [`MAX_SGE`] segments per run.
+/// Each run becomes one WQE; a gap in the selected tensors (e.g. clean
+/// tensors skipped by a delta checkpoint) breaks the run.
+fn coalesce_runs(verbs: &[TensorVerb]) -> Vec<VerbRun> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < verbs.len() {
+        let base = verbs[i].rel_off;
+        let mut expected = base;
+        let mut segs = Vec::new();
+        let mut names = Vec::new();
+        while i < verbs.len() && segs.len() < MAX_SGE && verbs[i].rel_off == expected {
+            segs.push(SgEntry { rkey: verbs[i].rkey, offset: 0, len: verbs[i].len });
+            names.push(verbs[i].name.clone());
+            expected += verbs[i].len;
+            i += 1;
+        }
+        runs.push(VerbRun { segs, names, base_rel: base, len: expected - base });
+    }
+    runs
+}
+
+/// Drains `cq`, attributing the first failed completion back to the
+/// tensors of its run.
+fn drain_cq(cq: &CompletionQueue, posted: &[(WrId, &VerbRun)]) -> PortusResult<()> {
+    for wc in cq.poll(posted.len()) {
+        if let Err(e) = wc.result {
+            let names = posted
+                .iter()
+                .find(|(id, _)| *id == wc.wr_id)
+                .map(|(_, run)| run.names.join(", "))
+                .unwrap_or_default();
+            return Err(PortusError::Daemon(format!(
+                "posted verb for tensor(s) [{names}] failed: {e}"
+            )));
         }
     }
+    Ok(())
 }
 
 /// Chunked device-local copy within one PMem namespace (the carry-over
@@ -310,6 +484,80 @@ impl DaemonState {
         Ok(())
     }
 
+    /// Persists pulled data and records the phase time on the stats.
+    fn persist_phase(&self, off: u64, len: u64) -> PortusResult<()> {
+        let t0 = self.ctx.clock.now();
+        self.persist_data(off, len)?;
+        self.ctx
+            .stats
+            .record_persist_ns(self.ctx.clock.now().saturating_since(t0).as_nanos());
+        Ok(())
+    }
+
+    /// Checksums a slot, charging the DAX read of the slot's bytes and
+    /// recording the phase time on the stats.
+    fn checksum_phase(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
+        let t0 = self.ctx.clock.now();
+        let sum = self.index.slot_checksum(mi, slot)?;
+        self.ctx.charge(self.ctx.model.dax_read(mi.total_bytes));
+        self.ctx
+            .stats
+            .record_checksum_ns(self.ctx.clock.now().saturating_since(t0).as_nanos());
+        Ok(sum)
+    }
+
+    /// Posts one gather-READ WQE per run in a single doorbell batch
+    /// (GPU → PMem at `data_off`), then drains the completion queue.
+    fn pull_runs(
+        &self,
+        qp: &Arc<QueuePair>,
+        runs: &[VerbRun],
+        data_off: u64,
+    ) -> PortusResult<()> {
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let cq = CompletionQueue::new();
+        let pqp = PostedQueuePair::from_shared(Arc::clone(qp), cq.clone());
+        pqp.begin_batch();
+        let mut posted: Vec<(WrId, &VerbRun)> = Vec::with_capacity(runs.len());
+        for run in runs {
+            let dst = RegionTarget::Pmem {
+                dev: Arc::clone(self.index.device()),
+                base: data_off + run.base_rel,
+                len: run.len,
+            };
+            posted.push((pqp.post_read_gather(&run.segs, &dst, 0), run));
+        }
+        drain_cq(&cq, &posted)
+    }
+
+    /// Posts one scatter-WRITE WQE per run in a single doorbell batch
+    /// (PMem at `data_off` → GPU), then drains the completion queue.
+    fn push_runs(
+        &self,
+        qp: &Arc<QueuePair>,
+        runs: &[VerbRun],
+        data_off: u64,
+    ) -> PortusResult<()> {
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let cq = CompletionQueue::new();
+        let pqp = PostedQueuePair::from_shared(Arc::clone(qp), cq.clone());
+        pqp.begin_batch();
+        let mut posted: Vec<(WrId, &VerbRun)> = Vec::with_capacity(runs.len());
+        for run in runs {
+            let src = RegionTarget::Pmem {
+                dev: Arc::clone(self.index.device()),
+                base: data_off + run.base_rel,
+                len: run.len,
+            };
+            posted.push((pqp.post_write_scatter(&run.segs, &src, 0), run));
+        }
+        drain_cq(&cq, &posted)
+    }
+
     pub(crate) fn register(&self, model: &str, tensors: Vec<TensorDesc>) -> PortusResult<()> {
         let metas: Vec<_> = tensors.iter().map(TensorDesc::meta).collect();
         let lock = self.model_lock(model);
@@ -347,7 +595,7 @@ impl DaemonState {
 
     pub(crate) fn checkpoint(
         &self,
-        qp: &QueuePair,
+        qp: &Arc<QueuePair>,
         model: &str,
     ) -> PortusResult<(u64, u64, SimDuration)> {
         let lock = self.model_lock(model);
@@ -373,8 +621,10 @@ impl DaemonState {
         let hdr = self.index.ensure_slot_region(&mut mi, target)?;
         self.index.mark_slot_active(&mi, target, version)?;
 
-        let t0 = self.ctx.clock.now();
-        // The zero-copy pulls: one one-sided READ per tensor, GPU → PMem.
+        // Validate the whole session against the index before posting
+        // anything — a failed WQE must mean a fabric problem, not a
+        // structure mismatch discovered halfway through the pull.
+        let mut verbs = Vec::with_capacity(mi.tensors.len());
         for (rec, desc) in mi.tensors.iter().zip(&descs) {
             if desc.meta() != rec.meta {
                 return Err(PortusError::StructureMismatch(format!(
@@ -382,17 +632,21 @@ impl DaemonState {
                     desc.name
                 )));
             }
-            let len = rec.meta.size_bytes();
-            let dst = RegionTarget::Pmem {
-                dev: Arc::clone(self.index.device()),
-                base: hdr.data_off + rec.rel_off,
-                len,
-            };
-            qp.read(desc.rkey, 0, &dst, 0, len)?;
+            verbs.push(TensorVerb {
+                rel_off: rec.rel_off,
+                len: rec.meta.size_bytes(),
+                rkey: desc.rkey,
+                name: desc.name.clone(),
+            });
         }
+
+        let t0 = self.ctx.clock.now();
+        // The zero-copy pulls, GPU → PMem: coalesced gather WQEs, all
+        // posted under one doorbell, completions drained off the CQ.
+        self.pull_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
         // RDMA landed in the DDIO domain; make it durable (Wei et al.).
-        self.persist_data(hdr.data_off, hdr.data_len.max(1))?;
-        let checksum = self.index.slot_checksum(&mi, target)?;
+        self.persist_phase(hdr.data_off, hdr.data_len.max(1))?;
+        let checksum = self.checksum_phase(&mi, target)?;
         self.index.mark_slot_done(&mi, target, checksum)?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         Ok((version, mi.total_bytes, elapsed))
@@ -405,7 +659,7 @@ impl DaemonState {
     /// identical to a full checkpoint.
     pub(crate) fn delta_checkpoint(
         &self,
-        qp: &QueuePair,
+        qp: &Arc<QueuePair>,
         model: &str,
         dirty: &[bool],
     ) -> PortusResult<(u64, u64, u64, SimDuration)> {
@@ -436,6 +690,11 @@ impl DaemonState {
         let ctx = &self.ctx;
         let t0 = ctx.clock.now();
         let (mut pulled, mut copied) = (0u64, 0u64);
+        let prev_hdr = prev.map(|(_, h)| h);
+        // Clean tensors are carried over device-locally; dirty ones are
+        // collected into posted pull runs. Gaps left by clean tensors
+        // break runs, so only genuinely adjacent pulls coalesce.
+        let mut verbs = Vec::new();
         for ((rec, desc), &is_dirty) in mi.tensors.iter().zip(&descs).zip(dirty) {
             if desc.meta() != rec.meta {
                 return Err(PortusError::StructureMismatch(format!(
@@ -446,14 +705,13 @@ impl DaemonState {
             let len = rec.meta.size_bytes();
             // Without a previous complete version, everything must be
             // pulled regardless of the mask.
-            let prev_hdr = prev.map(|(_, h)| h);
             if is_dirty || prev_hdr.is_none() {
-                let dst = RegionTarget::Pmem {
-                    dev: Arc::clone(&dev),
-                    base: hdr.data_off + rec.rel_off,
+                verbs.push(TensorVerb {
+                    rel_off: rec.rel_off,
                     len,
-                };
-                qp.read(desc.rkey, 0, &dst, 0, len)?;
+                    rkey: desc.rkey,
+                    name: desc.name.clone(),
+                });
                 pulled += len;
             } else if let Some(prev_hdr) = prev_hdr {
                 copy_on_device(&dev, prev_hdr.data_off + rec.rel_off, hdr.data_off + rec.rel_off, len)?;
@@ -463,8 +721,9 @@ impl DaemonState {
                 copied += len;
             }
         }
-        self.persist_data(hdr.data_off, hdr.data_len.max(1))?;
-        let checksum = self.index.slot_checksum(&mi, target)?;
+        self.pull_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
+        self.persist_phase(hdr.data_off, hdr.data_len.max(1))?;
+        let checksum = self.checksum_phase(&mi, target)?;
         self.index.mark_slot_done(&mi, target, checksum)?;
         let elapsed = ctx.clock.now().saturating_since(t0);
         Ok((version, pulled, copied, elapsed))
@@ -472,7 +731,7 @@ impl DaemonState {
 
     pub(crate) fn restore(
         &self,
-        qp: &QueuePair,
+        qp: &Arc<QueuePair>,
         model: &str,
         descs: &[TensorDesc],
     ) -> PortusResult<(u64, u64, SimDuration)> {
@@ -490,7 +749,7 @@ impl DaemonState {
             )));
         }
         if self.cfg.verify_on_restore {
-            let computed = self.index.slot_checksum(&mi, slot)?;
+            let computed = self.checksum_phase(&mi, slot)?;
             if computed != hdr.checksum {
                 return Err(PortusError::ChecksumMismatch {
                     model: model.to_string(),
@@ -499,8 +758,7 @@ impl DaemonState {
             }
         }
 
-        let t0 = self.ctx.clock.now();
-        // One-sided WRITEs: PMem → GPU, no client CPU involvement.
+        let mut verbs = Vec::with_capacity(mi.tensors.len());
         for (rec, desc) in mi.tensors.iter().zip(descs) {
             if desc.meta() != rec.meta {
                 return Err(PortusError::StructureMismatch(format!(
@@ -508,30 +766,52 @@ impl DaemonState {
                     desc.name
                 )));
             }
-            let len = rec.meta.size_bytes();
-            let src = RegionTarget::Pmem {
-                dev: Arc::clone(self.index.device()),
-                base: hdr.data_off + rec.rel_off,
-                len,
-            };
-            qp.write(desc.rkey, 0, &src, 0, len)?;
+            verbs.push(TensorVerb {
+                rel_off: rec.rel_off,
+                len: rec.meta.size_bytes(),
+                rkey: desc.rkey,
+                name: desc.name.clone(),
+            });
         }
+
+        let t0 = self.ctx.clock.now();
+        // One-sided WRITEs, PMem → GPU: coalesced scatter WQEs under
+        // one doorbell, no client CPU involvement.
+        self.push_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         Ok((hdr.version, mi.total_bytes, elapsed))
     }
 
     pub(crate) fn mark_complete(&self, model: &str) -> PortusResult<()> {
+        // Slot flags may not change under a concurrent checkpoint of
+        // the same model: take the model lock like every other mutator.
+        let lock = self.model_lock(model);
+        let _guard = lock.lock();
         let mi = self.lookup(model)?;
         self.index.set_job_complete(&mi)
     }
 
     pub(crate) fn drop_model(&self, model: &str) -> PortusResult<()> {
-        let lock = self.model_lock(model);
-        let _guard = lock.lock();
-        let mi = self.lookup(model)?;
-        self.index.remove_model(&mi)?;
-        self.map.lock().remove(model);
-        self.sessions.lock().remove(model);
+        {
+            let lock = self.model_lock(model);
+            let _guard = lock.lock();
+            let mi = self.lookup(model)?;
+            self.index.remove_model(&mi)?;
+            self.map.lock().remove(model);
+            self.sessions.lock().remove(model);
+        }
+        // Reap the per-model lock entry, or a long-lived multi-tenant
+        // daemon grows `model_locks` without bound. Holding the map
+        // mutex means nobody can clone the Arc concurrently, so a
+        // strong count of 1 (the map's own reference) proves no waiter
+        // holds it; leave it for a contending thread to observe
+        // `ModelNotFound` otherwise.
+        let mut locks = self.model_locks.lock();
+        if let Some(l) = locks.get(model) {
+            if Arc::strong_count(l) == 1 {
+                locks.remove(model);
+            }
+        }
         Ok(())
     }
 

@@ -36,6 +36,9 @@ pub enum PortusError {
         /// The version whose data failed verification.
         version: u64,
     },
+    /// An asynchronous checkpoint of the model is already in flight;
+    /// wait on it (or call `guard_update`) before starting another.
+    AlreadyInFlight(String),
     /// A protocol violation or daemon-side failure, with the daemon's
     /// message.
     Daemon(String),
@@ -61,6 +64,9 @@ impl fmt::Display for PortusError {
             }
             PortusError::ChecksumMismatch { model, version } => {
                 write!(f, "checkpoint {model} v{version} failed integrity verification")
+            }
+            PortusError::AlreadyInFlight(m) => {
+                write!(f, "an async checkpoint of model {m} is already in flight")
             }
             PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
             PortusError::NameTooLong(name) => {

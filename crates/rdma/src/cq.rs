@@ -9,13 +9,20 @@
 //! the hood (the fabric is in-process), so posting N reads and polling
 //! once is semantically the batched pull a production Portus daemon
 //! would issue.
+//!
+//! Posts are **doorbell-batched**: all verbs posted between two
+//! [`PostedQueuePair::begin_batch`] calls share one doorbell, so the
+//! first pays the full per-verb base latency and the rest only the
+//! per-WQE increment ([`portus_sim::CostModel::rdma_posted_verb_ns`]).
+//! [`PostedQueuePair::post_read_gather`] additionally coalesces up to
+//! [`crate::MAX_SGE`] scatter/gather segments into a single WQE.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::{Completion, QueuePair, RdmaError, RegionTarget};
+use crate::{Completion, QueuePair, RdmaError, RegionTarget, SgEntry};
 
 /// Identifier of one posted work request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -100,18 +107,29 @@ impl CompletionQueue {
 /// ```
 #[derive(Debug)]
 pub struct PostedQueuePair {
-    qp: QueuePair,
+    qp: Arc<QueuePair>,
     cq: CompletionQueue,
     next_wr: Mutex<u64>,
+    posted_in_batch: Mutex<u64>,
 }
 
 impl PostedQueuePair {
-    /// Binds `qp`'s completions to `cq`.
+    /// Binds `qp`'s completions to `cq`. A fresh doorbell batch is open:
+    /// the first post pays the full per-verb latency, follow-on posts
+    /// ride the same doorbell until [`PostedQueuePair::begin_batch`].
     pub fn new(qp: QueuePair, cq: CompletionQueue) -> PostedQueuePair {
+        PostedQueuePair::from_shared(Arc::new(qp), cq)
+    }
+
+    /// As [`PostedQueuePair::new`], but over a queue pair that is also
+    /// used elsewhere (e.g. a daemon's per-client QP shared between
+    /// worker threads).
+    pub fn from_shared(qp: Arc<QueuePair>, cq: CompletionQueue) -> PostedQueuePair {
         PostedQueuePair {
             qp,
             cq,
             next_wr: Mutex::new(1),
+            posted_in_batch: Mutex::new(0),
         }
     }
 
@@ -120,6 +138,28 @@ impl PostedQueuePair {
         let id = WrId(*n);
         *n += 1;
         id
+    }
+
+    /// Rings the doorbell: ends the current batch, so the next post pays
+    /// the full per-verb base latency again. Posts between two
+    /// `begin_batch` calls share one doorbell and are discounted to
+    /// [`portus_sim::CostModel::rdma_posted_verb_ns`] each after the
+    /// first (paper §III-D request batching).
+    pub fn begin_batch(&self) {
+        *self.posted_in_batch.lock() = 0;
+    }
+
+    /// Accounts for one post; returns `true` when it opens a new batch.
+    fn note_post(&self) -> bool {
+        let ctx = self.qp.local_nic().ctx();
+        let mut n = self.posted_in_batch.lock();
+        let first = *n == 0;
+        *n += 1;
+        ctx.stats.record_posted_verb();
+        if first {
+            ctx.stats.record_doorbell_batch();
+        }
+        first
     }
 
     /// Posts a one-sided READ; the outcome lands on the completion
@@ -132,8 +172,21 @@ impl PostedQueuePair {
         dst_off: u64,
         len: u64,
     ) -> WrId {
+        self.post_read_gather(&[SgEntry { rkey, offset: remote_off, len }], dst, dst_off)
+    }
+
+    /// Posts a one-sided gather READ over `segs` (one WQE, up to
+    /// [`crate::MAX_SGE`] segments, packed into `dst` from `dst_off`);
+    /// the outcome lands on the completion queue.
+    pub fn post_read_gather(
+        &self,
+        segs: &[SgEntry],
+        dst: &RegionTarget,
+        dst_off: u64,
+    ) -> WrId {
         let wr_id = self.fresh_wr();
-        let result = self.qp.read(rkey, remote_off, dst, dst_off, len);
+        let first = self.note_post();
+        let result = self.qp.read_gather(segs, dst, dst_off, first);
         self.cq.push(WorkCompletion { wr_id, result });
         wr_id
     }
@@ -148,8 +201,21 @@ impl PostedQueuePair {
         src_off: u64,
         len: u64,
     ) -> WrId {
+        self.post_write_scatter(&[SgEntry { rkey, offset: remote_off, len }], src, src_off)
+    }
+
+    /// Posts a one-sided scatter WRITE over `segs` (one WQE, sourced
+    /// back to back from `src` at `src_off`); the outcome lands on the
+    /// completion queue.
+    pub fn post_write_scatter(
+        &self,
+        segs: &[SgEntry],
+        src: &RegionTarget,
+        src_off: u64,
+    ) -> WrId {
         let wr_id = self.fresh_wr();
-        let result = self.qp.write(rkey, remote_off, src, src_off, len);
+        let first = self.note_post();
+        let result = self.qp.write_scatter(segs, src, src_off, first);
         self.cq.push(WorkCompletion { wr_id, result });
         wr_id
     }
@@ -215,6 +281,45 @@ mod tests {
         let done = cq.poll(1);
         assert_eq!(done[0].wr_id, id);
         assert!(matches!(done[0].result, Err(RdmaError::InvalidRkey(0xBAD))));
+    }
+
+    #[test]
+    fn doorbell_batches_are_counted_and_discounted() {
+        let (qp, cq, rkey, dst) = setup();
+        let ctx = qp.qp().local_nic().ctx().clone();
+        let before = ctx.stats.snapshot();
+
+        for i in 0..4u64 {
+            qp.post_read(rkey, i * 4096, &dst, i * 4096, 4096);
+        }
+        qp.begin_batch();
+        for i in 0..4u64 {
+            qp.post_read(rkey, i * 4096, &dst, i * 4096, 4096);
+        }
+        let d = ctx.stats.snapshot().since(&before);
+        assert_eq!(d.posted_verbs, 8);
+        assert_eq!(d.doorbell_batches, 2);
+        assert_eq!(d.rdma_one_sided_ops, 8, "single-segment posts stay 1:1");
+
+        // Within a batch, follow-on verbs are cheaper than the opener.
+        let done = cq.poll(16);
+        let first = done[0].result.as_ref().unwrap();
+        let second = done[1].result.as_ref().unwrap();
+        assert!(second.end - second.start < first.end - first.start);
+    }
+
+    #[test]
+    fn gather_posts_complete_on_the_cq() {
+        let (qp, cq, rkey, dst) = setup();
+        let segs = [
+            SgEntry { rkey, offset: 0, len: 4096 },
+            SgEntry { rkey, offset: 4096, len: 4096 },
+        ];
+        let id = qp.post_read_gather(&segs, &dst, 0);
+        let done = cq.poll(4);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].wr_id, id);
+        assert_eq!(done[0].result.as_ref().unwrap().bytes, 8192);
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub enum RdmaError {
         /// Region length.
         region_len: u64,
     },
+    /// A gather/scatter verb was posted with an empty segment list.
+    EmptySgList,
     /// The peer endpoint is gone.
     Disconnected,
     /// No NIC is registered for the node.
@@ -52,6 +54,7 @@ impl fmt::Display for RdmaError {
                 f,
                 "access of {len} bytes at region offset {offset} exceeds region of {region_len} bytes"
             ),
+            RdmaError::EmptySgList => write!(f, "gather/scatter verb posted with no segments"),
             RdmaError::Disconnected => write!(f, "peer disconnected"),
             RdmaError::UnknownNode(node) => write!(f, "no NIC registered for node {node}"),
             RdmaError::Mem(e) => write!(f, "memory error: {e}"),

@@ -57,4 +57,4 @@ pub use cq::{CompletionQueue, PostedQueuePair, WorkCompletion, WrId};
 pub use error::{RdmaError, RdmaResult};
 pub use fabric::{Fabric, Nic, NodeId};
 pub use mr::{Access, MemoryRegion, RegionTarget};
-pub use qp::{Completion, QueuePair};
+pub use qp::{Completion, QueuePair, SgEntry, MAX_SGE};

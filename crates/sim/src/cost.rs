@@ -70,6 +70,15 @@ pub struct CostModel {
     pub rdma_ramp_bytes: f64,
     /// Per-verb base latency (ns): post + DMA engine start + completion.
     pub rdma_op_latency_ns: u64,
+    /// Incremental latency (ns) of each *additional* verb posted in the
+    /// same doorbell batch. The first verb of a batch pays the full
+    /// [`rdma_op_latency_ns`]; follow-on verbs ride the same doorbell and
+    /// DMA-engine wakeup, paying only the WQE fetch/processing cost
+    /// (paper §III-D: the daemon "batches the RDMA read requests of
+    /// tensors and issues them together").
+    ///
+    /// [`rdma_op_latency_ns`]: CostModel::rdma_op_latency_ns
+    pub rdma_posted_verb_ns: u64,
     /// Effective bandwidth of the two-sided RPC-over-RDMA protocol used by
     /// the BeeGFS baseline (bytes/s). Derived from Table I (30.0 % share).
     pub rpc_rdma_bw: f64,
@@ -166,6 +175,7 @@ impl CostModel {
             gpu_bar_read_bw: 5.8e9,
             rdma_ramp_bytes: 64.0 * 1024.0,
             rdma_op_latency_ns: 3_000,
+            rdma_posted_verb_ns: 180,
             rpc_rdma_bw: 2.43e9,
             rpc_op_latency_ns: 12_000,
             rpc_contention_per_stream: 0.062,
@@ -242,6 +252,27 @@ impl CostModel {
     /// Writes are posted and are not BAR-limited (Fig. 10d).
     pub fn rdma_write(&self, bytes: u64, _dst: MemoryKind) -> SimDuration {
         self.link_time(bytes, self.rdma_peak_bw, self.rdma_op_latency_ns)
+    }
+
+    /// Time for a one-sided RDMA READ of `bytes` posted as part of a
+    /// doorbell batch. The first verb of a batch pays the full per-verb
+    /// base latency; subsequent verbs pay only
+    /// [`rdma_posted_verb_ns`](CostModel::rdma_posted_verb_ns), which is
+    /// where the batched datapath's latency win comes from.
+    pub fn rdma_read_posted(&self, bytes: u64, src: MemoryKind, first_in_batch: bool) -> SimDuration {
+        let peak = match src {
+            MemoryKind::GpuHbm => self.gpu_bar_read_bw,
+            MemoryKind::HostDram | MemoryKind::Pmem => self.rdma_peak_bw,
+        };
+        let base = if first_in_batch { self.rdma_op_latency_ns } else { self.rdma_posted_verb_ns };
+        self.link_time(bytes, peak, base)
+    }
+
+    /// Time for a one-sided RDMA WRITE of `bytes` posted as part of a
+    /// doorbell batch (see [`rdma_read_posted`](CostModel::rdma_read_posted)).
+    pub fn rdma_write_posted(&self, bytes: u64, _dst: MemoryKind, first_in_batch: bool) -> SimDuration {
+        let base = if first_in_batch { self.rdma_op_latency_ns } else { self.rdma_posted_verb_ns };
+        self.link_time(bytes, self.rdma_peak_bw, base)
     }
 
     /// Time for a two-sided RPC-over-RDMA transfer of `bytes` (the BeeGFS
@@ -433,6 +464,17 @@ mod tests {
             m.rdma_op_latency_ns
         );
         assert_eq!(m.dax_write(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn doorbell_batching_discounts_follow_on_verbs() {
+        let m = CostModel::icdcs24();
+        let first = m.rdma_read_posted(4096, MemoryKind::GpuHbm, true);
+        let rest = m.rdma_read_posted(4096, MemoryKind::GpuHbm, false);
+        assert_eq!(first, m.rdma_read(4096, MemoryKind::GpuHbm));
+        assert!(rest < first, "batched verbs must be cheaper");
+        let saved = first.saturating_sub(rest).as_nanos();
+        assert_eq!(saved, m.rdma_op_latency_ns - m.rdma_posted_verb_ns);
     }
 
     #[test]

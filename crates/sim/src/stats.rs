@@ -31,6 +31,12 @@ struct StatsInner {
     control_messages: AtomicU64,
     pmem_flushes: AtomicU64,
     pmem_fences: AtomicU64,
+    posted_verbs: AtomicU64,
+    doorbell_batches: AtomicU64,
+    coalesced_verbs: AtomicU64,
+    coalesced_bytes: AtomicU64,
+    persist_ns: AtomicU64,
+    checksum_ns: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`Stats`], suitable for diffing.
@@ -59,6 +65,24 @@ pub struct StatsSnapshot {
     pub pmem_flushes: u64,
     /// Persistence fences issued against PMem.
     pub pmem_fences: u64,
+    /// Work-queue entries posted through the asynchronous posted-verb
+    /// interface (one per WQE, not per tensor: a coalesced gather WQE
+    /// counts once).
+    pub posted_verbs: u64,
+    /// Doorbell batches rung: groups of posted verbs that shared one
+    /// full-latency doorbell (paper §III-D request batching).
+    pub doorbell_batches: u64,
+    /// Posted WQEs that carried more than one scatter/gather segment
+    /// (coalesced runs of `rel_off`-contiguous tensors).
+    pub coalesced_verbs: u64,
+    /// Bytes moved by multi-segment (coalesced) WQEs.
+    pub coalesced_bytes: u64,
+    /// Virtual nanoseconds the daemon spent persisting pulled data
+    /// (flush + fence) — the "persist" phase of the checkpoint breakdown.
+    pub persist_ns: u64,
+    /// Virtual nanoseconds the daemon spent checksumming slot data — the
+    /// "checksum" phase of the checkpoint breakdown.
+    pub checksum_ns: u64,
 }
 
 impl Stats {
@@ -119,6 +143,35 @@ impl Stats {
         self.inner.pmem_fences.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one posted work-queue entry (WQE).
+    pub fn record_posted_verb(&self) {
+        self.inner.posted_verbs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one doorbell batch (a group of posted verbs sharing one
+    /// full-latency doorbell).
+    pub fn record_doorbell_batch(&self) {
+        self.inner.doorbell_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one multi-segment (coalesced) WQE moving `bytes`.
+    pub fn record_coalesced(&self, bytes: u64) {
+        self.inner.coalesced_verbs.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .coalesced_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accumulates `ns` virtual nanoseconds of persist-phase time.
+    pub fn record_persist_ns(&self, ns: u64) {
+        self.inner.persist_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulates `ns` virtual nanoseconds of checksum-phase time.
+    pub fn record_checksum_ns(&self, ns: u64) {
+        self.inner.checksum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = &self.inner;
@@ -134,6 +187,12 @@ impl Stats {
             control_messages: i.control_messages.load(Ordering::Relaxed),
             pmem_flushes: i.pmem_flushes.load(Ordering::Relaxed),
             pmem_fences: i.pmem_fences.load(Ordering::Relaxed),
+            posted_verbs: i.posted_verbs.load(Ordering::Relaxed),
+            doorbell_batches: i.doorbell_batches.load(Ordering::Relaxed),
+            coalesced_verbs: i.coalesced_verbs.load(Ordering::Relaxed),
+            coalesced_bytes: i.coalesced_bytes.load(Ordering::Relaxed),
+            persist_ns: i.persist_ns.load(Ordering::Relaxed),
+            checksum_ns: i.checksum_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,6 +222,14 @@ impl StatsSnapshot {
             control_messages: self.control_messages.saturating_sub(earlier.control_messages),
             pmem_flushes: self.pmem_flushes.saturating_sub(earlier.pmem_flushes),
             pmem_fences: self.pmem_fences.saturating_sub(earlier.pmem_fences),
+            posted_verbs: self.posted_verbs.saturating_sub(earlier.posted_verbs),
+            doorbell_batches: self
+                .doorbell_batches
+                .saturating_sub(earlier.doorbell_batches),
+            coalesced_verbs: self.coalesced_verbs.saturating_sub(earlier.coalesced_verbs),
+            coalesced_bytes: self.coalesced_bytes.saturating_sub(earlier.coalesced_bytes),
+            persist_ns: self.persist_ns.saturating_sub(earlier.persist_ns),
+            checksum_ns: self.checksum_ns.saturating_sub(earlier.checksum_ns),
         }
     }
 }
@@ -210,6 +277,27 @@ mod tests {
         assert_eq!(delta.bytes_copied, 5);
         assert_eq!(delta.pmem_flushes, 4);
         assert_eq!(delta.pmem_fences, 1);
+    }
+
+    #[test]
+    fn datapath_phase_counters_accumulate() {
+        let s = Stats::new();
+        s.record_doorbell_batch();
+        s.record_posted_verb();
+        s.record_posted_verb();
+        s.record_coalesced(4096);
+        s.record_persist_ns(1_000);
+        s.record_checksum_ns(250);
+        let before = s.snapshot();
+        assert_eq!(before.posted_verbs, 2);
+        assert_eq!(before.doorbell_batches, 1);
+        assert_eq!(before.coalesced_verbs, 1);
+        assert_eq!(before.coalesced_bytes, 4096);
+        s.record_persist_ns(500);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.persist_ns, 500);
+        assert_eq!(delta.checksum_ns, 0);
+        assert_eq!(delta.posted_verbs, 0);
     }
 
     #[test]

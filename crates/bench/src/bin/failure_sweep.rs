@@ -4,12 +4,23 @@
 //! every ~10 minutes, the rate Oobleck/Bamboo report for large jobs)
 //! and reports goodput per policy — showing why cheap checkpoints let
 //! you pick fine intervals that drown `torch.save`.
+//!
+//! A second section turns the failures inward: instead of whole-node
+//! crashes it injects **datapath faults** (failed RDMA verbs) into the
+//! real daemon and sweeps fault plans, reporting how many checkpoints
+//! the per-WQE retry loop saves, how many end in a rolled-back slot,
+//! and what the retries cost in virtual time.
 
+use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError};
 use portus_cluster::{run_with_failures, Backend, JobShape, Policy, TrainingConfig};
-use portus_dnn::{zoo, IterationProfile};
+use portus_dnn::{test_spec, zoo, IterationProfile, Materialization, ModelInstance};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, FaultSpec, NodeId};
 use portus_sim::{CostModel, SimDuration};
 
-fn main() {
+/// Whole-job failure schedule sweep (goodput per checkpoint policy).
+fn goodput_sweep() -> serde_json::Value {
     let m = CostModel::icdcs24();
     let spec = zoo::gpt_22b();
     let job = JobShape {
@@ -59,6 +70,93 @@ fn main() {
     }
     println!("shape: torch.save wants coarse intervals (overhead) but then loses big on");
     println!("failure; Portus-async keeps its goodput flat down to fine intervals.");
-    let path = portus_bench::write_experiment("failure_sweep", &serde_json::json!(rows));
+    serde_json::json!(rows)
+}
+
+/// Datapath fault-injection sweep against the real daemon: arm a fault
+/// plan on the daemon NIC, run a burst of checkpoints, and read the
+/// recovery counters off `SimStats`.
+fn datapath_fault_sweep() -> serde_json::Value {
+    let seed = 0xC0FFEE;
+    let cases: [(&str, Option<FaultSpec>); 6] = [
+        ("none", None),
+        ("nth-1", Some(FaultSpec::Nth(1))),
+        ("ratio-5", Some(FaultSpec::Ratio { permille: 5, seed })),
+        ("ratio-50", Some(FaultSpec::Ratio { permille: 50, seed })),
+        ("ratio-200", Some(FaultSpec::Ratio { permille: 200, seed })),
+        ("all", Some(FaultSpec::All)),
+    ];
+    let rounds = 8u64;
+
+    println!();
+    println!(
+        "Datapath fault injection — real daemon, 64 x 256 KiB tensors, \
+         {rounds} checkpoints per plan, {} retry rounds",
+        DaemonConfig::default().verb_retries
+    );
+    println!(
+        "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13}",
+        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "mean ckpt ms"
+    );
+    let mut rows = Vec::new();
+    for (label, fault) in cases {
+        let ctx = portus_sim::SimContext::icdcs24();
+        let fabric = Fabric::new(ctx.clone());
+        let compute = fabric.add_nic(NodeId(0));
+        fabric.add_nic(NodeId(1));
+        let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+        let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default())
+            .expect("daemon");
+        let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+        let mspec = test_spec("fault-sweep", 64, 256 * 1024);
+        let model = ModelInstance::materialize(&mspec, &gpu, 42, Materialization::Owned)
+            .expect("materialize");
+        let client = PortusClient::connect(&daemon, compute);
+        client.register_model(&model).expect("register");
+        if let Some(spec) = fault {
+            fabric.arm_faults(NodeId(1), spec).expect("arm faults");
+        }
+
+        let before = ctx.stats.snapshot();
+        let t0 = ctx.clock.now();
+        let (mut ok, mut failed) = (0u64, 0u64);
+        for _ in 0..rounds {
+            match client.checkpoint("fault-sweep") {
+                Ok(_) => ok += 1,
+                Err(PortusError::DatapathFailed { .. }) => failed += 1,
+                Err(e) => panic!("unexpected checkpoint error: {e}"),
+            }
+        }
+        let elapsed = ctx.clock.now().saturating_since(t0);
+        let d = ctx.stats.snapshot().since(&before);
+        let mean_ms = elapsed.as_secs_f64() * 1e3 / rounds as f64;
+        println!(
+            "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13.3}",
+            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots, mean_ms
+        );
+        rows.push(serde_json::json!({
+            "plan": label,
+            "checkpoints_ok": ok,
+            "checkpoints_failed": failed,
+            "failed_verbs": d.failed_verbs,
+            "retried_verbs": d.retried_verbs,
+            "rolled_back_slots": d.rolled_back_slots,
+            "mean_checkpoint_ms": mean_ms,
+        }));
+        drop(client);
+        daemon.shutdown();
+    }
+    println!("shape: sparse faults are absorbed by per-WQE retries at a small time cost;");
+    println!("only a saturated fabric fails checkpoints, and every failure rolls back.");
+    serde_json::json!(rows)
+}
+
+fn main() {
+    let goodput = goodput_sweep();
+    let faults = datapath_fault_sweep();
+    let path = portus_bench::write_experiment(
+        "failure_sweep",
+        &serde_json::json!({ "goodput": goodput, "datapath_faults": faults }),
+    );
     println!("wrote {}", path.display());
 }

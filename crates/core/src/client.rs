@@ -139,10 +139,14 @@ impl PortusClient {
     }
 
     fn expect_ok(reply: Reply) -> PortusResult<Reply> {
-        if let Reply::Error { message, .. } = reply {
-            Err(PortusError::Daemon(message))
-        } else {
-            Ok(reply)
+        match reply {
+            Reply::Error { message, .. } => Err(PortusError::Daemon(message)),
+            // Rebuild the typed datapath error so callers can match on
+            // it and read the per-tensor attribution / retry counts.
+            Reply::DatapathFailed { model, op, failures, .. } => {
+                Err(PortusError::DatapathFailed { model, op, failures })
+            }
+            ok => Ok(ok),
         }
     }
 

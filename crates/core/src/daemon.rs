@@ -26,6 +26,16 @@
 //! The remote CPU never participates in the data movement and no kernel
 //! boundary is crossed — the structural claim the integration tests
 //! assert via the datapath counters.
+//!
+//! Datapath errors are recovered per-WQE: failed work requests are
+//! re-posted for up to [`DaemonConfig::verb_retries`] rounds (each
+//! round charging an exponentially growing backoff to the virtual
+//! clock); if any stay failed, the target slot is rolled back to its
+//! pre-call header — or collapsed to `Empty` when partial data
+//! clobbered a previously complete version — and the client receives a
+//! typed [`PortusError::DatapathFailed`] with per-tensor attribution.
+//! The model's previous `Done` version is never touched, so restore
+//! keeps working after any failed checkpoint.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,13 +46,13 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use portus_pmem::PmemDevice;
 use portus_rdma::{
-    CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair,
+    CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair, RdmaError,
     RegionTarget, SgEntry, WrId, MAX_SGE,
 };
 use portus_sim::{SimContext, SimDuration};
 
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
-use crate::{Index, MIndex, ModelMap, PortusError, PortusResult};
+use crate::{Index, MIndex, ModelMap, PortusError, PortusResult, SlotHeader, SlotState, VerbFailure};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +71,12 @@ pub struct DaemonConfig {
     /// all connections are handled by this pool, so up to
     /// `dispatch_workers` requests make progress concurrently.
     pub dispatch_workers: usize,
+    /// How many rounds a failed datapath WQE is re-posted before the
+    /// operation is declared failed and the target slot rolled back.
+    /// Each round charges an exponentially growing backoff to the
+    /// virtual clock ([`portus_sim::CostModel::verb_retry_backoff`]).
+    /// `0` means a single error is immediately terminal.
+    pub verb_retries: u32,
 }
 
 impl Default for DaemonConfig {
@@ -71,6 +87,7 @@ impl Default for DaemonConfig {
             verify_on_restore: true,
             dram_fallback: false,
             dispatch_workers: 4,
+            verb_retries: 3,
         }
     }
 }
@@ -319,6 +336,20 @@ fn serve(
     }
 }
 
+/// Maps a handler error onto the wire. Datapath failures keep their
+/// structure (model, op, per-WQE tensor attribution and retry counts)
+/// so the client can rebuild the typed
+/// [`PortusError::DatapathFailed`]; everything else is rendered into
+/// [`Reply::Error`].
+fn error_reply(req_id: u64, e: PortusError) -> Reply {
+    match e {
+        PortusError::DatapathFailed { model, op, failures } => {
+            Reply::DatapathFailed { req_id, model, op, failures }
+        }
+        other => Reply::Error { req_id, message: other.to_string() },
+    }
+}
+
 /// Executes one request against the daemon state and builds its reply.
 fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Reply {
     match req {
@@ -331,7 +362,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
         Request::Register { req_id, model, tensors } => {
             match state.register(&model, tensors) {
                 Ok(()) => Reply::Registered { req_id, slots: crate::SLOT_COUNT as u8 },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
+                Err(e) => error_reply(req_id, e),
             }
         }
         Request::DeltaCheckpoint { req_id, model, dirty } => {
@@ -343,7 +374,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
                     copied_bytes,
                     elapsed,
                 },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
+                Err(e) => error_reply(req_id, e),
             }
         }
         Request::Checkpoint { req_id, model } => match state.checkpoint(qp, &model) {
@@ -353,7 +384,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
                 bytes,
                 elapsed,
             },
-            Err(e) => Reply::Error { req_id, message: e.to_string() },
+            Err(e) => error_reply(req_id, e),
         },
         Request::Restore { req_id, model, tensors } => {
             match state.restore(qp, &model, &tensors) {
@@ -363,20 +394,20 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
                     bytes,
                     elapsed,
                 },
-                Err(e) => Reply::Error { req_id, message: e.to_string() },
+                Err(e) => error_reply(req_id, e),
             }
         }
         Request::MarkComplete { req_id, model } => match state.mark_complete(&model) {
             Ok(()) => Reply::Completed { req_id },
-            Err(e) => Reply::Error { req_id, message: e.to_string() },
+            Err(e) => error_reply(req_id, e),
         },
         Request::Drop { req_id, model } => match state.drop_model(&model) {
             Ok(()) => Reply::Dropped { req_id },
-            Err(e) => Reply::Error { req_id, message: e.to_string() },
+            Err(e) => error_reply(req_id, e),
         },
         Request::List { req_id } => match state.list_models() {
             Ok(models) => Reply::Models { req_id, models },
-            Err(e) => Reply::Error { req_id, message: e.to_string() },
+            Err(e) => error_reply(req_id, e),
         },
     }
 }
@@ -421,22 +452,60 @@ fn coalesce_runs(verbs: &[TensorVerb]) -> Vec<VerbRun> {
     runs
 }
 
-/// Drains `cq`, attributing the first failed completion back to the
-/// tensors of its run.
-fn drain_cq(cq: &CompletionQueue, posted: &[(WrId, &VerbRun)]) -> PortusResult<()> {
-    for wc in cq.poll(posted.len()) {
-        if let Err(e) = wc.result {
-            let names = posted
-                .iter()
-                .find(|(id, _)| *id == wc.wr_id)
-                .map(|(_, run)| run.names.join(", "))
-                .unwrap_or_default();
-            return Err(PortusError::Daemon(format!(
-                "posted verb for tensor(s) [{names}] failed: {e}"
-            )));
+/// Which way a posted datapath operation moves bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Gather-READ, GPU → PMem (checkpoint pull).
+    Pull,
+    /// Scatter-WRITE, PMem → GPU (restore push).
+    Push,
+}
+
+/// A datapath operation whose WQEs exhausted their retries.
+struct DatapathFailure {
+    /// The terminally failed work requests, with tensor attribution.
+    failures: Vec<VerbFailure>,
+    /// Whether any WQE of the operation completed — i.e. whether bytes
+    /// landed in the target region before the operation was declared
+    /// failed. Decides revert-vs-collapse on rollback.
+    any_succeeded: bool,
+}
+
+impl DatapathFailure {
+    fn into_error(self, model: &str, op: &str) -> PortusError {
+        PortusError::DatapathFailed {
+            model: model.to_string(),
+            op: op.to_string(),
+            failures: self.failures,
         }
     }
-    Ok(())
+}
+
+/// Drains **every** posted completion off `cq` and returns the run
+/// indices that failed, with their errors. One bad WQE no longer masks
+/// the outcome of the others — the retry loop needs the full failed
+/// set, and a terminal error must attribute every failed run.
+fn drain_cq(cq: &CompletionQueue, posted: &[(WrId, usize)]) -> Vec<(usize, RdmaError)> {
+    let mut failed = Vec::new();
+    let mut polled = 0;
+    while polled < posted.len() {
+        let batch = cq.poll(posted.len() - polled);
+        if batch.is_empty() {
+            // Defensive: the in-process fabric completes eagerly, so
+            // every post already has a completion. Bail rather than
+            // spin if that invariant ever breaks.
+            break;
+        }
+        for wc in &batch {
+            if let Err(e) = &wc.result {
+                if let Some(&(_, run)) = posted.iter().find(|(id, _)| *id == wc.wr_id) {
+                    failed.push((run, e.clone()));
+                }
+            }
+        }
+        polled += batch.len();
+    }
+    failed
 }
 
 /// Chunked device-local copy within one PMem namespace (the carry-over
@@ -506,56 +575,125 @@ impl DaemonState {
         Ok(sum)
     }
 
-    /// Posts one gather-READ WQE per run in a single doorbell batch
-    /// (GPU → PMem at `data_off`), then drains the completion queue.
-    fn pull_runs(
+    /// Posts one WQE per run in a single doorbell batch (gather-READs
+    /// for [`Direction::Pull`], scatter-WRITEs for [`Direction::Push`],
+    /// with the PMem side at `data_off`), drains the completion queue,
+    /// and re-posts failed WQEs for up to
+    /// [`DaemonConfig::verb_retries`] rounds. Each round charges an
+    /// exponentially growing backoff to the virtual clock before the
+    /// fresh doorbell batch. Runs that stay failed after the last round
+    /// come back as a [`DatapathFailure`] with per-run tensor
+    /// attribution and retry counts.
+    fn execute_runs(
         &self,
         qp: &Arc<QueuePair>,
         runs: &[VerbRun],
         data_off: u64,
-    ) -> PortusResult<()> {
+        dir: Direction,
+    ) -> Result<(), DatapathFailure> {
         if runs.is_empty() {
             return Ok(());
         }
         let cq = CompletionQueue::new();
         let pqp = PostedQueuePair::from_shared(Arc::clone(qp), cq.clone());
-        pqp.begin_batch();
-        let mut posted: Vec<(WrId, &VerbRun)> = Vec::with_capacity(runs.len());
-        for run in runs {
-            let dst = RegionTarget::Pmem {
+        let post = |run: &VerbRun| -> WrId {
+            let region = RegionTarget::Pmem {
                 dev: Arc::clone(self.index.device()),
                 base: data_off + run.base_rel,
                 len: run.len,
             };
-            posted.push((pqp.post_read_gather(&run.segs, &dst, 0), run));
+            match dir {
+                Direction::Pull => pqp.post_read_gather(&run.segs, &region, 0),
+                Direction::Push => pqp.post_write_scatter(&run.segs, &region, 0),
+            }
+        };
+
+        pqp.begin_batch();
+        let posted: Vec<(WrId, usize)> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, run)| (post(run), i))
+            .collect();
+        let mut failed = drain_cq(&cq, &posted);
+        let mut any_succeeded = failed.len() < runs.len();
+        let mut retries = vec![0u32; runs.len()];
+        let mut round = 0u32;
+        while !failed.is_empty() && round < self.cfg.verb_retries {
+            round += 1;
+            self.ctx.charge(self.ctx.model.verb_retry_backoff(round));
+            pqp.begin_batch();
+            let reposted: Vec<(WrId, usize)> = failed
+                .iter()
+                .map(|&(i, _)| {
+                    retries[i] += 1;
+                    self.ctx.stats.record_retried_verb();
+                    (post(&runs[i]), i)
+                })
+                .collect();
+            let still_failed = drain_cq(&cq, &reposted);
+            if still_failed.len() < failed.len() {
+                any_succeeded = true;
+            }
+            failed = still_failed;
         }
-        drain_cq(&cq, &posted)
+        if failed.is_empty() {
+            return Ok(());
+        }
+        Err(DatapathFailure {
+            failures: failed
+                .into_iter()
+                .map(|(i, e)| VerbFailure {
+                    tensors: runs[i].names.clone(),
+                    retries: retries[i],
+                    error: e.to_string(),
+                })
+                .collect(),
+            any_succeeded,
+        })
     }
 
-    /// Posts one scatter-WRITE WQE per run in a single doorbell batch
-    /// (PMem at `data_off` → GPU), then drains the completion queue.
-    fn push_runs(
+    /// Rolls the target slot back after a failed checkpoint, so a
+    /// datapath error never strands the slot `Active`. When bytes
+    /// landed in a previously-`Done` slot, the old data is clobbered
+    /// and its checksum would falsely validate — the slot collapses to
+    /// `Empty`; otherwise the exact pre-call header is restored.
+    /// `latest_done` and restore are untouched either way.
+    fn rollback_slot(
         &self,
-        qp: &Arc<QueuePair>,
-        runs: &[VerbRun],
-        data_off: u64,
+        mi: &MIndex,
+        slot: usize,
+        pre: SlotHeader,
+        data_landed: bool,
     ) -> PortusResult<()> {
-        if runs.is_empty() {
-            return Ok(());
+        if data_landed && pre.state == SlotState::Done {
+            self.index.collapse_slot(mi, slot)?;
+        } else {
+            self.index.revert_slot(mi, slot, &pre)?;
         }
-        let cq = CompletionQueue::new();
-        let pqp = PostedQueuePair::from_shared(Arc::clone(qp), cq.clone());
-        pqp.begin_batch();
-        let mut posted: Vec<(WrId, &VerbRun)> = Vec::with_capacity(runs.len());
-        for run in runs {
-            let src = RegionTarget::Pmem {
-                dev: Arc::clone(self.index.device()),
-                base: data_off + run.base_rel,
-                len: run.len,
-            };
-            posted.push((pqp.post_write_scatter(&run.segs, &src, 0), run));
+        self.ctx.stats.record_rolled_back_slot();
+        Ok(())
+    }
+
+    /// Persists the pulled data, checksums the slot, and flips it to
+    /// `Done`. On any error the slot is rolled back (bytes definitely
+    /// landed by this point) and the original error is returned.
+    fn seal_slot(
+        &self,
+        mi: &MIndex,
+        slot: usize,
+        hdr: SlotHeader,
+        pre: SlotHeader,
+    ) -> PortusResult<()> {
+        let sealed = self
+            .persist_phase(hdr.data_off, hdr.data_len.max(1))
+            .and_then(|()| self.checksum_phase(mi, slot))
+            .and_then(|checksum| self.index.mark_slot_done(mi, slot, checksum));
+        if let Err(e) = sealed {
+            // Best-effort: the original error is what the client sees.
+            let _ = self.rollback_slot(mi, slot, pre, true);
+            return Err(e);
         }
-        drain_cq(&cq, &posted)
+        Ok(())
     }
 
     pub(crate) fn register(&self, model: &str, tensors: Vec<TensorDesc>) -> PortusResult<()> {
@@ -615,15 +753,11 @@ impl DaemonState {
             )));
         }
 
-        let target = mi.target_slot();
-        let version = mi.latest_done().map_or(0, |(_, s)| s.version) + 1;
-        // Re-attach a data region if the repacker reclaimed this slot.
-        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
-        self.index.mark_slot_active(&mi, target, version)?;
-
-        // Validate the whole session against the index before posting
-        // anything — a failed WQE must mean a fabric problem, not a
-        // structure mismatch discovered halfway through the pull.
+        // Validate the whole session against the index before the
+        // target slot is touched — a rejected request must leave both
+        // slot headers exactly as they were, and a failed WQE must mean
+        // a fabric problem, not a structure mismatch discovered halfway
+        // through the pull.
         let mut verbs = Vec::with_capacity(mi.tensors.len());
         for (rec, desc) in mi.tensors.iter().zip(&descs) {
             if desc.meta() != rec.meta {
@@ -640,14 +774,26 @@ impl DaemonState {
             });
         }
 
+        let target = mi.target_slot();
+        let version = mi.latest_done().map_or(0, |(_, s)| s.version) + 1;
+        // Re-attach a data region if the repacker reclaimed this slot.
+        // The returned header doubles as the rollback target: captured
+        // after region attachment (a fresh region is kept on failure)
+        // but before activation.
+        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        self.index.mark_slot_active(&mi, target, version)?;
+
         let t0 = self.ctx.clock.now();
         // The zero-copy pulls, GPU → PMem: coalesced gather WQEs, all
-        // posted under one doorbell, completions drained off the CQ.
-        self.pull_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
-        // RDMA landed in the DDIO domain; make it durable (Wei et al.).
-        self.persist_phase(hdr.data_off, hdr.data_len.max(1))?;
-        let checksum = self.checksum_phase(&mi, target)?;
-        self.index.mark_slot_done(&mi, target, checksum)?;
+        // posted under one doorbell, completions drained off the CQ,
+        // failed WQEs retried per-run.
+        if let Err(fail) = self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Pull) {
+            self.rollback_slot(&mi, target, hdr, fail.any_succeeded)?;
+            return Err(fail.into_error(model, "checkpoint"));
+        }
+        // RDMA landed in the DDIO domain; make it durable (Wei et al.),
+        // checksum, and flip to Done.
+        self.seal_slot(&mi, target, hdr, hdr)?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         Ok((version, mi.total_bytes, elapsed))
     }
@@ -681,20 +827,19 @@ impl DaemonState {
             )));
         }
         let prev = mi.latest_done();
-        let target = mi.target_slot();
-        let version = prev.map_or(0, |(_, s)| s.version) + 1;
-        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
-        self.index.mark_slot_active(&mi, target, version)?;
-
-        let dev = Arc::clone(self.index.device());
-        let ctx = &self.ctx;
-        let t0 = ctx.clock.now();
-        let (mut pulled, mut copied) = (0u64, 0u64);
         let prev_hdr = prev.map(|(_, h)| h);
-        // Clean tensors are carried over device-locally; dirty ones are
-        // collected into posted pull runs. Gaps left by clean tensors
-        // break runs, so only genuinely adjacent pulls coalesce.
+
+        // Validate the session and split the dirty mask into work lists
+        // BEFORE the slot is touched: a rejected request must leave
+        // both slot headers exactly as they were. Clean tensors become
+        // device-local carry-overs; dirty ones become posted pull runs.
+        // Gaps left by clean tensors break runs, so only genuinely
+        // adjacent pulls coalesce.
+        let (mut pulled, mut copied) = (0u64, 0u64);
         let mut verbs = Vec::new();
+        // Carry-overs as (src_off, rel_off, len): absolute source in the
+        // previous Done slot, destination rel_off in the target region.
+        let mut carries: Vec<(u64, u64, u64)> = Vec::new();
         for ((rec, desc), &is_dirty) in mi.tensors.iter().zip(&descs).zip(dirty) {
             if desc.meta() != rec.meta {
                 return Err(PortusError::StructureMismatch(format!(
@@ -705,26 +850,53 @@ impl DaemonState {
             let len = rec.meta.size_bytes();
             // Without a previous complete version, everything must be
             // pulled regardless of the mask.
-            if is_dirty || prev_hdr.is_none() {
-                verbs.push(TensorVerb {
-                    rel_off: rec.rel_off,
-                    len,
-                    rkey: desc.rkey,
-                    name: desc.name.clone(),
-                });
-                pulled += len;
-            } else if let Some(prev_hdr) = prev_hdr {
-                copy_on_device(&dev, prev_hdr.data_off + rec.rel_off, hdr.data_off + rec.rel_off, len)?;
-                let d = ctx.model.dax_read(len) + ctx.model.dax_write(len);
-                ctx.charge(d);
-                ctx.stats.record_copy(len);
-                copied += len;
+            match prev_hdr {
+                Some(ph) if !is_dirty => {
+                    carries.push((ph.data_off + rec.rel_off, rec.rel_off, len));
+                    copied += len;
+                }
+                _ => {
+                    verbs.push(TensorVerb {
+                        rel_off: rec.rel_off,
+                        len,
+                        rkey: desc.rkey,
+                        name: desc.name.clone(),
+                    });
+                    pulled += len;
+                }
             }
         }
-        self.pull_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
-        self.persist_phase(hdr.data_off, hdr.data_len.max(1))?;
-        let checksum = self.checksum_phase(&mi, target)?;
-        self.index.mark_slot_done(&mi, target, checksum)?;
+
+        let target = mi.target_slot();
+        let version = prev.map_or(0, |(_, s)| s.version) + 1;
+        // As in `checkpoint`: the post-attachment, pre-activation header
+        // is the rollback target.
+        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        self.index.mark_slot_active(&mi, target, version)?;
+
+        let dev = Arc::clone(self.index.device());
+        let ctx = &self.ctx;
+        let t0 = ctx.clock.now();
+        // Carry-overs first (device-local), then the posted pulls.
+        let mut carried = 0u64;
+        let carry_result: PortusResult<()> = carries.iter().try_for_each(|&(src, rel, len)| {
+            copy_on_device(&dev, src, hdr.data_off + rel, len)?;
+            ctx.charge(ctx.model.dax_read(len) + ctx.model.dax_write(len));
+            ctx.stats.record_copy(len);
+            carried += len;
+            Ok(())
+        });
+        if let Err(e) = carry_result {
+            let _ = self.rollback_slot(&mi, target, hdr, carried > 0);
+            return Err(e);
+        }
+        if let Err(fail) = self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Pull) {
+            // Bytes landed if any pull WQE succeeded — or if any
+            // carry-over copy already wrote into the slot.
+            self.rollback_slot(&mi, target, hdr, fail.any_succeeded || carried > 0)?;
+            return Err(fail.into_error(model, "delta-checkpoint"));
+        }
+        self.seal_slot(&mi, target, hdr, hdr)?;
         let elapsed = ctx.clock.now().saturating_since(t0);
         Ok((version, pulled, copied, elapsed))
     }
@@ -776,8 +948,11 @@ impl DaemonState {
 
         let t0 = self.ctx.clock.now();
         // One-sided WRITEs, PMem → GPU: coalesced scatter WQEs under
-        // one doorbell, no client CPU involvement.
-        self.push_runs(qp, &coalesce_runs(&verbs), hdr.data_off)?;
+        // one doorbell, no client CPU involvement. A terminal push
+        // failure touches no slot state — the stored version stays
+        // `Done` and a later restore can try again.
+        self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Push)
+            .map_err(|fail| fail.into_error(model, "restore"))?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         Ok((hdr.version, mi.total_bytes, elapsed))
     }
@@ -801,11 +976,11 @@ impl DaemonState {
             self.sessions.lock().remove(model);
         }
         // Reap the per-model lock entry, or a long-lived multi-tenant
-        // daemon grows `model_locks` without bound. Holding the map
-        // mutex means nobody can clone the Arc concurrently, so a
-        // strong count of 1 (the map's own reference) proves no waiter
-        // holds it; leave it for a contending thread to observe
-        // `ModelNotFound` otherwise.
+        // daemon grows `model_locks` without bound. Holding the
+        // `model_locks` mutex means nobody can clone the Arc
+        // concurrently, so a strong count of 1 (the map's own
+        // reference) proves no waiter holds it; leave it for a
+        // contending thread to observe `ModelNotFound` otherwise.
         let mut locks = self.model_locks.lock();
         if let Some(l) = locks.get(model) {
             if Arc::strong_count(l) == 1 {

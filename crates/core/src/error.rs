@@ -11,6 +11,31 @@ use portus_rdma::RdmaError;
 /// Result alias for Portus operations.
 pub type PortusResult<T> = Result<T, PortusError>;
 
+/// One work request that stayed failed after the daemon exhausted its
+/// per-WQE retries: which tensors rode the WQE, how often it was
+/// re-posted, and the final fabric error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerbFailure {
+    /// Names of the tensors coalesced into the failed work request.
+    pub tensors: Vec<String>,
+    /// How many times the daemon re-posted the WQE before giving up.
+    pub retries: u32,
+    /// The fabric error of the last attempt, rendered.
+    pub error: String,
+}
+
+impl fmt::Display for VerbFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] after {} retries: {}",
+            self.tensors.join(", "),
+            self.retries,
+            self.error
+        )
+    }
+}
+
 /// Errors raised by the Portus client, daemon, and tooling.
 #[derive(Debug)]
 pub enum PortusError {
@@ -39,6 +64,18 @@ pub enum PortusError {
     /// An asynchronous checkpoint of the model is already in flight;
     /// wait on it (or call `guard_update`) before starting another.
     AlreadyInFlight(String),
+    /// One or more datapath transfers stayed failed after the daemon's
+    /// per-WQE retries. The checkpoint slot was rolled back: the model's
+    /// previous complete version is untouched and still restorable.
+    DatapathFailed {
+        /// The model whose operation failed.
+        model: String,
+        /// Which operation was in flight (`"checkpoint"`,
+        /// `"delta-checkpoint"`, or `"restore"`).
+        op: String,
+        /// The work requests that exhausted their retries.
+        failures: Vec<VerbFailure>,
+    },
     /// A protocol violation or daemon-side failure, with the daemon's
     /// message.
     Daemon(String),
@@ -67,6 +104,17 @@ impl fmt::Display for PortusError {
             }
             PortusError::AlreadyInFlight(m) => {
                 write!(f, "an async checkpoint of model {m} is already in flight")
+            }
+            PortusError::DatapathFailed { model, op, failures } => {
+                write!(
+                    f,
+                    "{op} of model {model} failed on the datapath ({} WQE(s) exhausted retries):",
+                    failures.len()
+                )?;
+                for failure in failures {
+                    write!(f, " {failure};")?;
+                }
+                Ok(())
             }
             PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
             PortusError::NameTooLong(name) => {
@@ -132,6 +180,24 @@ mod tests {
         assert!(PortusError::ModelNotFound("bert".into())
             .to_string()
             .contains("bert"));
+    }
+
+    #[test]
+    fn datapath_failure_display_attributes_tensors() {
+        let e = PortusError::DatapathFailed {
+            model: "bert".into(),
+            op: "checkpoint".into(),
+            failures: vec![VerbFailure {
+                tensors: vec!["layer0".into(), "layer1".into()],
+                retries: 3,
+                error: "injected fault on verb #1".into(),
+            }],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("checkpoint of model bert"));
+        assert!(msg.contains("layer0, layer1"));
+        assert!(msg.contains("3 retries"));
+        assert!(msg.contains("injected fault"));
     }
 
     #[test]

@@ -541,6 +541,48 @@ impl Index {
         Ok(())
     }
 
+    /// Durably restores a slot header to `pre` — the header captured
+    /// just before [`Index::mark_slot_active`] — after a checkpoint that
+    /// moved **no** data into the slot failed. Only `version`,
+    /// `checksum`, and (last, so a crash mid-revert still leaves the
+    /// slot invalid) `state` are rewritten: `data_off`/`data_len` stay
+    /// as they are, because [`Index::ensure_slot_region`] may have
+    /// legitimately allocated a fresh region the slot keeps.
+    ///
+    /// Must not be used when any data landed in a previously-`Done`
+    /// slot — the old bytes are clobbered and the pre-call checksum
+    /// would falsely validate them; use [`Index::collapse_slot`] there.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn revert_slot(&self, mi: &MIndex, slot: usize, pre: &SlotHeader) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_VERSION, pre.version)?;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, pre.checksum)?;
+        self.dev.persist(sh + SH_VERSION, 16)?;
+        typed::write_u64(&self.dev, sh + SH_STATE, pre.state.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
+    /// Durably collapses a slot to `Empty` with version and checksum
+    /// cleared, abandoning whatever partial data a failed checkpoint
+    /// left in its region. The region itself stays attached for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn collapse_slot(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_VERSION, 0)?;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        self.dev.persist(sh + SH_VERSION, 16)?;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
     /// Durably detaches a slot's data region (repacker): the slot
     /// becomes `Empty` with `data_off = 0`. The region itself must be
     /// freed by the caller.
@@ -719,6 +761,39 @@ mod tests {
         assert_eq!(mi.latest_done().unwrap(), (1, mi.slots[1]));
         assert_eq!(mi.target_slot(), 0);
         assert_eq!(mi.valid_versions(), 2);
+    }
+
+    #[test]
+    fn revert_slot_restores_the_pre_call_header() {
+        let (_dev, index) = fresh();
+        let mut mi = index.create_model("m", &metas(1, 64)).unwrap();
+        // v1 lands in slot 0 and completes.
+        index.mark_slot_active(&mi, 0, 1).unwrap();
+        index.mark_slot_done(&mi, 0, 0xAB).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        // v2 targets slot 1; its pull fails with nothing landed.
+        let pre = mi.slots[1];
+        index.mark_slot_active(&mi, 1, 2).unwrap();
+        index.revert_slot(&mi, 1, &pre).unwrap();
+        let after = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(after.slots[1], pre, "slot 1 header must be byte-identical");
+        assert_eq!(after.latest_done().unwrap().1.version, 1);
+    }
+
+    #[test]
+    fn collapse_slot_empties_but_keeps_the_region() {
+        let (_dev, index) = fresh();
+        let mut mi = index.create_model("m", &metas(1, 64)).unwrap();
+        index.mark_slot_active(&mi, 0, 1).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        let data_off = mi.slots[0].data_off;
+        index.collapse_slot(&mi, 0).unwrap();
+        let after = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(after.slots[0].state, SlotState::Empty);
+        assert_eq!(after.slots[0].version, 0);
+        assert_eq!(after.slots[0].checksum, 0);
+        assert_eq!(after.slots[0].data_off, data_off, "region stays attached");
+        assert!(after.latest_done().is_none());
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod repack;
 
 pub use client::{CheckpointReport, DeltaReport, PendingCheckpoint, PortusClient, RestoreReport};
 pub use daemon::{ClientEndpoints, DaemonConfig, PortusDaemon};
-pub use error::{PortusError, PortusResult};
+pub use error::{PortusError, PortusResult, VerbFailure};
 pub use index::{
     name_hash, Index, MIndex, SlotHeader, SlotState, TensorRecord, FLAG_JOB_COMPLETE, SLOT_COUNT,
 };

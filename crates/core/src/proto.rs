@@ -197,6 +197,20 @@ pub enum Reply {
         /// What went wrong.
         message: String,
     },
+    /// The request failed on the datapath: one or more WQEs exhausted
+    /// their retries. Structured so the client can surface per-tensor
+    /// attribution ([`crate::PortusError::DatapathFailed`]); the daemon
+    /// has already rolled the target slot back.
+    DatapathFailed {
+        /// Echoed request id.
+        req_id: u64,
+        /// The model whose operation failed.
+        model: String,
+        /// Which operation was in flight.
+        op: String,
+        /// The work requests that stayed failed.
+        failures: Vec<crate::VerbFailure>,
+    },
 }
 
 impl Reply {
@@ -210,7 +224,8 @@ impl Reply {
             | Reply::Completed { req_id }
             | Reply::Dropped { req_id }
             | Reply::Models { req_id, .. }
-            | Reply::Error { req_id, .. } => *req_id,
+            | Reply::Error { req_id, .. }
+            | Reply::DatapathFailed { req_id, .. } => *req_id,
         }
     }
 }

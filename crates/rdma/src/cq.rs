@@ -187,6 +187,9 @@ impl PostedQueuePair {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
         let result = self.qp.read_gather(segs, dst, dst_off, first);
+        if result.is_err() {
+            self.qp.local_nic().ctx().stats.record_failed_verb();
+        }
         self.cq.push(WorkCompletion { wr_id, result });
         wr_id
     }
@@ -216,6 +219,9 @@ impl PostedQueuePair {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
         let result = self.qp.write_scatter(segs, src, src_off, first);
+        if result.is_err() {
+            self.qp.local_nic().ctx().stats.record_failed_verb();
+        }
         self.cq.push(WorkCompletion { wr_id, result });
         wr_id
     }

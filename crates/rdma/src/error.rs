@@ -33,6 +33,9 @@ pub enum RdmaError {
     },
     /// A gather/scatter verb was posted with an empty segment list.
     EmptySgList,
+    /// The verb was failed by an armed [`crate::FaultPlan`]; carries the
+    /// plan's verb sequence number for deterministic replay.
+    Injected(u64),
     /// The peer endpoint is gone.
     Disconnected,
     /// No NIC is registered for the node.
@@ -55,6 +58,7 @@ impl fmt::Display for RdmaError {
                 "access of {len} bytes at region offset {offset} exceeds region of {region_len} bytes"
             ),
             RdmaError::EmptySgList => write!(f, "gather/scatter verb posted with no segments"),
+            RdmaError::Injected(seq) => write!(f, "injected fault on verb #{seq}"),
             RdmaError::Disconnected => write!(f, "peer disconnected"),
             RdmaError::UnknownNode(node) => write!(f, "no NIC registered for node {node}"),
             RdmaError::Mem(e) => write!(f, "memory error: {e}"),

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use portus_sim::{Resource, SimContext};
 
-use crate::{Access, MemoryRegion, RdmaError, RdmaResult, RegionTarget};
+use crate::{Access, FaultPlan, FaultSpec, MemoryRegion, RdmaError, RdmaResult, RegionTarget};
 
 /// Identifies a node (machine) on the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,6 +30,7 @@ pub struct Nic {
     node: NodeId,
     resource: Resource,
     regions: RwLock<HashMap<u64, Arc<MemoryRegion>>>,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Nic {
@@ -87,6 +88,27 @@ impl Nic {
     pub fn region_count(&self) -> usize {
         self.regions.read().len()
     }
+
+    /// Arms a fault plan: every one-sided verb this NIC initiates from
+    /// now on is evaluated against `spec` and may complete with
+    /// [`RdmaError::Injected`]. Replaces any previously armed plan
+    /// (the verb sequence counter restarts at zero).
+    pub fn arm_faults(&self, spec: FaultSpec) -> Arc<FaultPlan> {
+        let plan = Arc::new(FaultPlan::new(spec));
+        *self.faults.write() = Some(Arc::clone(&plan));
+        plan
+    }
+
+    /// Disarms fault injection. Returns the retired plan, if any (its
+    /// counters stay readable for assertions).
+    pub fn clear_faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.write().take()
+    }
+
+    /// The currently armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.read().clone()
+    }
 }
 
 /// The switch connecting all NICs (the paper's Mellanox MSB7800).
@@ -121,6 +143,7 @@ impl Fabric {
             node,
             resource: Resource::new(&format!("rnic-{node}")),
             regions: RwLock::new(HashMap::new()),
+            faults: RwLock::new(None),
         });
         let prev = self.nics.write().insert(node, Arc::clone(&nic));
         assert!(prev.is_none(), "node {node} already has a NIC");
@@ -138,6 +161,24 @@ impl Fabric {
             .get(&node)
             .cloned()
             .ok_or(RdmaError::UnknownNode(node.0))
+    }
+
+    /// Arms a fault plan on `node`'s NIC (see [`Nic::arm_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::UnknownNode`] if the node has no NIC.
+    pub fn arm_faults(&self, node: NodeId, spec: FaultSpec) -> RdmaResult<Arc<FaultPlan>> {
+        Ok(self.nic(node)?.arm_faults(spec))
+    }
+
+    /// Disarms fault injection on `node`'s NIC.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::UnknownNode`] if the node has no NIC.
+    pub fn clear_faults(&self, node: NodeId) -> RdmaResult<Option<Arc<FaultPlan>>> {
+        Ok(self.nic(node)?.clear_faults())
     }
 }
 

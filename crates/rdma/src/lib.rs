@@ -49,6 +49,7 @@ mod control;
 mod cq;
 mod error;
 mod fabric;
+mod fault;
 mod mr;
 mod qp;
 
@@ -56,5 +57,6 @@ pub use control::ControlChannel;
 pub use cq::{CompletionQueue, PostedQueuePair, WorkCompletion, WrId};
 pub use error::{RdmaError, RdmaResult};
 pub use fabric::{Fabric, Nic, NodeId};
+pub use fault::{FaultPlan, FaultSpec};
 pub use mr::{Access, MemoryRegion, RegionTarget};
 pub use qp::{Completion, QueuePair, SgEntry, MAX_SGE};

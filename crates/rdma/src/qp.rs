@@ -89,6 +89,21 @@ impl QueuePair {
         &self.remote
     }
 
+    /// Consults the initiating NIC's armed fault plan, if any. On an
+    /// injected fault the verb transfers nothing but still charges the
+    /// per-verb base latency (the DMA engine flushes the WQE with an
+    /// error completion, it does not vanish for free).
+    fn fault_check(&self) -> RdmaResult<()> {
+        if let Some(plan) = self.local.fault_plan() {
+            if let Some(seq) = plan.note_verb() {
+                let ctx = self.local.ctx();
+                ctx.charge(SimDuration::from_nanos(ctx.model.rdma_op_latency_ns));
+                return Err(RdmaError::Injected(seq));
+            }
+        }
+        Ok(())
+    }
+
     /// Charges a transfer of `service` on both NICs' FIFO links and
     /// advances the shared clock to the completion instant.
     fn charge_transfer(&self, service: SimDuration) -> (SimTime, SimTime) {
@@ -121,6 +136,7 @@ impl QueuePair {
         dst_off: u64,
         len: u64,
     ) -> RdmaResult<Completion> {
+        self.fault_check()?;
         let mr = self.remote.lookup(rkey)?;
         if !mr.access().remote_read {
             return Err(RdmaError::AccessDenied { rkey, op: "remote read" });
@@ -159,6 +175,7 @@ impl QueuePair {
         src_off: u64,
         len: u64,
     ) -> RdmaResult<Completion> {
+        self.fault_check()?;
         let mr = self.remote.lookup(rkey)?;
         if !mr.access().remote_write {
             return Err(RdmaError::AccessDenied { rkey, op: "remote write" });
@@ -209,6 +226,7 @@ impl QueuePair {
         if segs.is_empty() {
             return Err(RdmaError::EmptySgList);
         }
+        self.fault_check()?;
         let mut mrs = Vec::with_capacity(segs.len());
         for seg in segs {
             let mr = self.remote.lookup(seg.rkey)?;
@@ -272,6 +290,7 @@ impl QueuePair {
         if segs.is_empty() {
             return Err(RdmaError::EmptySgList);
         }
+        self.fault_check()?;
         let mut mrs = Vec::with_capacity(segs.len());
         for seg in segs {
             let mr = self.remote.lookup(seg.rkey)?;

@@ -94,6 +94,10 @@ pub struct CostModel {
     pub rpc_contention_per_stream: f64,
     /// One-way latency of the TCP-over-IPoIB control channel (ns).
     pub control_one_way_ns: u64,
+    /// Base backoff (ns) charged before re-posting a failed verb; each
+    /// further retry of the same operation doubles it (see
+    /// [`CostModel::verb_retry_backoff`]).
+    pub verb_retry_backoff_ns: u64,
 
     // ---- PCIe / GPU ----
     /// `cudaMemcpy` device-to-host effective bandwidth (bytes/s) through
@@ -180,6 +184,7 @@ impl CostModel {
             rpc_op_latency_ns: 12_000,
             rpc_contention_per_stream: 0.062,
             control_one_way_ns: 15_000,
+            verb_retry_backoff_ns: 50_000,
 
             pcie_d2h_bw: 4.71e9,
             pcie_h2d_bw: 5.0e9,
@@ -390,6 +395,15 @@ impl CostModel {
     pub fn persist_lines(&self, lines: u64) -> SimDuration {
         SimDuration::from_nanos(self.clwb_ns * lines + self.sfence_ns)
     }
+
+    /// Backoff charged before the `attempt`-th re-post of a failed verb
+    /// (1-based): exponential over
+    /// [`verb_retry_backoff_ns`](CostModel::verb_retry_backoff_ns),
+    /// capped at 2¹⁶ doublings so the virtual clock never overflows.
+    pub fn verb_retry_backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        SimDuration::from_nanos(self.verb_retry_backoff_ns.saturating_mul(1 << exp))
+    }
 }
 
 impl Default for CostModel {
@@ -475,6 +489,21 @@ mod tests {
         assert!(rest < first, "batched verbs must be cheaper");
         let saved = first.saturating_sub(rest).as_nanos();
         assert_eq!(saved, m.rdma_op_latency_ns - m.rdma_posted_verb_ns);
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let m = CostModel::icdcs24();
+        assert_eq!(
+            m.verb_retry_backoff(1).as_nanos(),
+            m.verb_retry_backoff_ns
+        );
+        assert_eq!(
+            m.verb_retry_backoff(3).as_nanos(),
+            m.verb_retry_backoff_ns * 4
+        );
+        // Deep retry counts saturate instead of overflowing.
+        assert_eq!(m.verb_retry_backoff(100), m.verb_retry_backoff(17));
     }
 
     #[test]

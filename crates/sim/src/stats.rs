@@ -37,6 +37,9 @@ struct StatsInner {
     coalesced_bytes: AtomicU64,
     persist_ns: AtomicU64,
     checksum_ns: AtomicU64,
+    failed_verbs: AtomicU64,
+    retried_verbs: AtomicU64,
+    rolled_back_slots: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`Stats`], suitable for diffing.
@@ -83,6 +86,15 @@ pub struct StatsSnapshot {
     /// Virtual nanoseconds the daemon spent checksumming slot data — the
     /// "checksum" phase of the checkpoint breakdown.
     pub checksum_ns: u64,
+    /// Posted work-queue entries that completed with an error (injected
+    /// faults and genuine fabric failures alike).
+    pub failed_verbs: u64,
+    /// Failed WQEs that were re-posted by the daemon's datapath retry
+    /// loop (one count per re-post, not per WQE).
+    pub retried_verbs: u64,
+    /// Checkpoint target slots rolled back (flag reverted or collapsed)
+    /// after a datapath failure exhausted its retries.
+    pub rolled_back_slots: u64,
 }
 
 impl Stats {
@@ -172,6 +184,21 @@ impl Stats {
         self.inner.checksum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records one posted WQE that completed with an error.
+    pub fn record_failed_verb(&self) {
+        self.inner.failed_verbs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one re-post of a previously failed WQE.
+    pub fn record_retried_verb(&self) {
+        self.inner.retried_verbs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint slot rolled back after a datapath failure.
+    pub fn record_rolled_back_slot(&self) {
+        self.inner.rolled_back_slots.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = &self.inner;
@@ -193,6 +220,9 @@ impl Stats {
             coalesced_bytes: i.coalesced_bytes.load(Ordering::Relaxed),
             persist_ns: i.persist_ns.load(Ordering::Relaxed),
             checksum_ns: i.checksum_ns.load(Ordering::Relaxed),
+            failed_verbs: i.failed_verbs.load(Ordering::Relaxed),
+            retried_verbs: i.retried_verbs.load(Ordering::Relaxed),
+            rolled_back_slots: i.rolled_back_slots.load(Ordering::Relaxed),
         }
     }
 }
@@ -230,6 +260,11 @@ impl StatsSnapshot {
             coalesced_bytes: self.coalesced_bytes.saturating_sub(earlier.coalesced_bytes),
             persist_ns: self.persist_ns.saturating_sub(earlier.persist_ns),
             checksum_ns: self.checksum_ns.saturating_sub(earlier.checksum_ns),
+            failed_verbs: self.failed_verbs.saturating_sub(earlier.failed_verbs),
+            retried_verbs: self.retried_verbs.saturating_sub(earlier.retried_verbs),
+            rolled_back_slots: self
+                .rolled_back_slots
+                .saturating_sub(earlier.rolled_back_slots),
         }
     }
 }
@@ -298,6 +333,25 @@ mod tests {
         assert_eq!(delta.persist_ns, 500);
         assert_eq!(delta.checksum_ns, 0);
         assert_eq!(delta.posted_verbs, 0);
+    }
+
+    #[test]
+    fn failure_counters_accumulate() {
+        let s = Stats::new();
+        s.record_failed_verb();
+        s.record_failed_verb();
+        s.record_retried_verb();
+        s.record_rolled_back_slot();
+        let snap = s.snapshot();
+        assert_eq!(snap.failed_verbs, 2);
+        assert_eq!(snap.retried_verbs, 1);
+        assert_eq!(snap.rolled_back_slots, 1);
+        let before = snap;
+        s.record_failed_verb();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.failed_verbs, 1);
+        assert_eq!(delta.retried_verbs, 0);
+        assert_eq!(delta.rolled_back_slots, 0);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use proptest::prelude::*;
 
-use portus::{DaemonConfig, PortusClient, PortusDaemon, SlotState};
+use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError, SlotState};
 use portus_dnn::{test_spec, Materialization, ModelInstance};
 use portus_mem::GpuDevice;
 use portus_pmem::{CrashSpec, PmemDevice, PmemMode};
-use portus_rdma::{Fabric, NodeId};
+use portus_rdma::{Fabric, FaultSpec, NodeId};
 use portus_sim::SimContext;
 
 /// Runs `completed` checkpoints, then a torn in-flight one (garbage in
@@ -167,6 +167,120 @@ fn active_slot_is_never_served_after_recovery() {
     assert_eq!(hdr.version, 1, "only v1 completed");
     assert_ne!(done_slot, target);
     assert_eq!(mi2.slots[target].state, SlotState::Active, "torn slot stays marked invalid");
+}
+
+#[test]
+fn checkpoint_failing_mid_pull_restores_previous_done_version() {
+    // A datapath fault (not a power failure) kills the pull halfway:
+    // the daemon must roll the target slot back so the previous Done
+    // version stays the one restore serves.
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+    // No retry budget: the first fabric error is terminal.
+    let cfg = DaemonConfig { verb_retries: 0, ..DaemonConfig::default() };
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
+    let gpu = GpuDevice::new(ctx, 0, 1 << 30);
+    // 20 adjacent tensors coalesce into two gather WQEs (MAX_SGE = 16),
+    // so failing the second verb leaves the pull half landed.
+    let spec = test_spec("mid", 20, 4096);
+    let mut model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+
+    model.train_step();
+    let saved = model.model_checksum();
+    client.checkpoint("mid").unwrap(); // v1 completes cleanly
+
+    // The daemon NIC initiates the one-sided verbs, so arm it there.
+    fabric.arm_faults(NodeId(1), FaultSpec::Nth(2)).unwrap();
+    model.train_step();
+    let err = client.checkpoint("mid").unwrap_err();
+    assert!(
+        matches!(&err, PortusError::DatapathFailed { op, .. } if op == "checkpoint"),
+        "expected a typed datapath error, got: {err}"
+    );
+    fabric.clear_faults(NodeId(1)).unwrap();
+
+    // The half-pulled slot was rolled back: v1 is still the latest Done
+    // version and nothing is left Active.
+    let index = daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    assert_eq!(mi.latest_done().unwrap().1.version, 1);
+    assert_eq!(mi.valid_versions(), 1);
+    assert!(
+        mi.slots.iter().all(|s| s.state != SlotState::Active),
+        "no slot may stay Active after a failed pull"
+    );
+
+    // And restore serves the acknowledged v1 content.
+    model.train_step(); // diverge
+    let report = client.restore(&model).unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(model.model_checksum(), saved);
+    drop(client);
+    daemon.shutdown();
+}
+
+#[test]
+fn delta_failure_after_carry_over_copies_rolls_the_slot_back() {
+    // The delta path copies clean tensors into the target slot before
+    // pulling dirty ones. If the pull then fails, the slot already
+    // holds carried data — it must still be rolled back and the count
+    // of valid versions must not change.
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+    let cfg = DaemonConfig { verb_retries: 0, ..DaemonConfig::default() };
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let spec = test_spec("delta", 4, 4096);
+    let mut model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+
+    model.train_step();
+    let saved = model.model_checksum();
+    client.checkpoint("delta").unwrap(); // v1
+
+    let before = ctx.stats.snapshot();
+    fabric.arm_faults(NodeId(1), FaultSpec::All).unwrap();
+    // Only tensor 2 is dirty: tensors 0, 1, 3 are carried over from v1
+    // by device-local copies (unaffected by fabric faults), then the
+    // single pull WQE for tensor 2 fails terminally.
+    let err = client
+        .checkpoint_delta("delta", &[false, false, true, false])
+        .unwrap_err();
+    assert!(
+        matches!(&err, PortusError::DatapathFailed { op, .. } if op == "delta-checkpoint"),
+        "expected a typed datapath error, got: {err}"
+    );
+    fabric.clear_faults(NodeId(1)).unwrap();
+
+    let delta = ctx.stats.snapshot().since(&before);
+    assert_eq!(delta.rolled_back_slots, 1);
+
+    // valid_versions unchanged; the target slot is back to Empty.
+    let index = daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    assert_eq!(mi.valid_versions(), 1);
+    let (done_slot, hdr) = mi.latest_done().unwrap();
+    assert_eq!(hdr.version, 1);
+    assert_eq!(mi.slots[1 - done_slot].state, SlotState::Empty);
+
+    // The surviving v1 still restores byte-for-byte.
+    model.train_step(); // diverge
+    let report = client.restore(&model).unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(model.model_checksum(), saved);
+    drop(client);
+    daemon.shutdown();
 }
 
 #[test]

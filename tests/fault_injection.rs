@@ -1,0 +1,251 @@
+//! Deterministic fault injection on the simulated fabric: datapath
+//! verbs fail on command, the daemon retries per-WQE with simulated
+//! backoff, exhausted WQEs roll the target slot back, and the client
+//! receives a typed error attributing every failed tensor.
+
+use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError, SlotState};
+use portus_dnn::{test_spec, Materialization, ModelInstance};
+use portus_mem::GpuDevice;
+use portus_pmem::{PmemDevice, PmemMode};
+use portus_rdma::{Fabric, FaultSpec, NodeId};
+use portus_sim::SimContext;
+
+/// The daemon's NIC: one-sided verbs are initiated there, so that is
+/// where fault plans must be armed.
+const DAEMON_NODE: NodeId = NodeId(1);
+
+struct World {
+    ctx: SimContext,
+    fabric: Fabric,
+    daemon: std::sync::Arc<PortusDaemon>,
+    client: PortusClient,
+}
+
+/// Builds a one-daemon/one-client world with a registered model of
+/// `layers` adjacent 4 KiB tensors, already one train step in.
+fn world(name: &str, layers: usize, cfg: DaemonConfig) -> (World, ModelInstance) {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(DAEMON_NODE);
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+    let daemon = PortusDaemon::start(&fabric, DAEMON_NODE, pmem, cfg).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let spec = test_spec(name, layers, 4096);
+    let mut model = ModelInstance::materialize(&spec, &gpu, 7, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+    model.train_step();
+    (
+        World {
+            ctx,
+            fabric,
+            daemon,
+            client,
+        },
+        model,
+    )
+}
+
+#[test]
+fn transient_fault_is_absorbed_by_the_retry_loop() {
+    let (w, mut model) = world("transient", 4, DaemonConfig::default());
+    let saved = model.model_checksum();
+
+    let before = w.ctx.stats.snapshot();
+    let plan = w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
+    // Only the first verb fails; the retry round re-posts it cleanly.
+    let report = w.client.checkpoint("transient").unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(plan.injected(), 1);
+
+    let d = w.ctx.stats.snapshot().since(&before);
+    assert_eq!(d.failed_verbs, 1);
+    assert_eq!(d.retried_verbs, 1);
+    assert_eq!(d.rolled_back_slots, 0, "a recovered checkpoint must not roll back");
+
+    // The retry backoff was charged to the virtual clock: an identical
+    // world with no fault finishes the same checkpoint strictly sooner.
+    let (w2, _model2) = world("transient", 4, DaemonConfig::default());
+    let clean = w2.client.checkpoint("transient").unwrap();
+    assert!(
+        report.elapsed > clean.elapsed,
+        "retry must cost simulated time: {:?} !> {:?}",
+        report.elapsed,
+        clean.elapsed
+    );
+
+    // The recovered checkpoint is fully usable.
+    w.fabric.clear_faults(DAEMON_NODE).unwrap();
+    model.train_step(); // diverge
+    let r = w.client.restore(&model).unwrap();
+    assert_eq!(r.version, 1);
+    assert_eq!(model.model_checksum(), saved);
+
+    drop(w.client);
+    w.daemon.shutdown();
+    drop(w2.client);
+    w2.daemon.shutdown();
+}
+
+#[test]
+fn hard_outage_returns_typed_error_and_rolls_back() {
+    let (w, mut model) = world("outage", 4, DaemonConfig::default());
+    let saved = model.model_checksum();
+    w.client.checkpoint("outage").unwrap(); // v1 lands cleanly
+
+    let before = w.ctx.stats.snapshot();
+    w.fabric.arm_faults(DAEMON_NODE, FaultSpec::All).unwrap();
+    model.train_step();
+    let err = w.client.checkpoint("outage").unwrap_err();
+    match &err {
+        PortusError::DatapathFailed { model: m, op, failures } => {
+            assert_eq!(m, "outage");
+            assert_eq!(op, "checkpoint");
+            assert_eq!(failures.len(), 1, "4 adjacent tensors ride one gather WQE");
+            assert_eq!(failures[0].retries, DaemonConfig::default().verb_retries);
+            assert_eq!(failures[0].tensors.len(), 4);
+            assert!(failures[0].error.contains("injected fault"));
+        }
+        other => panic!("expected DatapathFailed, got: {other}"),
+    }
+
+    let d = w.ctx.stats.snapshot().since(&before);
+    assert_eq!(d.failed_verbs, 4, "initial post plus three retry rounds");
+    assert_eq!(d.retried_verbs, 3);
+    assert_eq!(d.rolled_back_slots, 1);
+
+    // Both slots are in their pre-call flag state: v1 Done, target Empty.
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    let (done_slot, hdr) = mi.latest_done().unwrap();
+    assert_eq!(hdr.version, 1);
+    assert_eq!(mi.slots[1 - done_slot].state, SlotState::Empty);
+
+    // Once the fabric heals, restore serves the last Done version.
+    w.fabric.clear_faults(DAEMON_NODE).unwrap();
+    model.train_step();
+    let r = w.client.restore(&model).unwrap();
+    assert_eq!(r.version, 1);
+    assert_eq!(model.model_checksum(), saved);
+
+    drop(w.client);
+    w.daemon.shutdown();
+}
+
+#[test]
+fn failed_restore_push_leaves_the_done_slot_intact() {
+    let cfg = DaemonConfig {
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    };
+    let (w, mut model) = world("push", 4, cfg);
+    let saved = model.model_checksum();
+    w.client.checkpoint("push").unwrap();
+
+    let before = w.ctx.stats.snapshot();
+    w.fabric.arm_faults(DAEMON_NODE, FaultSpec::All).unwrap();
+    model.train_step(); // diverge
+    let err = w.client.restore(&model).unwrap_err();
+    assert!(
+        matches!(&err, PortusError::DatapathFailed { op, .. } if op == "restore"),
+        "expected a typed datapath error, got: {err}"
+    );
+
+    // A failed push touches no persistent state: nothing to roll back,
+    // the stored version stays Done and checksum-valid.
+    let d = w.ctx.stats.snapshot().since(&before);
+    assert_eq!(d.rolled_back_slots, 0);
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    assert_eq!(mi.valid_versions(), 1);
+    assert_eq!(mi.latest_done().unwrap().1.version, 1);
+
+    w.fabric.clear_faults(DAEMON_NODE).unwrap();
+    let r = w.client.restore(&model).unwrap();
+    assert_eq!(r.version, 1);
+    assert_eq!(model.model_checksum(), saved);
+
+    drop(w.client);
+    w.daemon.shutdown();
+}
+
+#[test]
+fn every_failed_run_is_attributed_not_just_the_first() {
+    let cfg = DaemonConfig {
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    };
+    let (w, mut model) = world("multi", 4, cfg);
+    w.client.checkpoint("multi").unwrap(); // v1
+    model.train_step();
+
+    w.fabric.arm_faults(DAEMON_NODE, FaultSpec::All).unwrap();
+    // Dirty tensors 0 and 2: the clean gap at 1 splits the pull into
+    // two single-tensor WQEs — the error must report both, each with
+    // its own tensor attribution.
+    let err = w
+        .client
+        .checkpoint_delta("multi", &[true, false, true, false])
+        .unwrap_err();
+    match &err {
+        PortusError::DatapathFailed { op, failures, .. } => {
+            assert_eq!(op, "delta-checkpoint");
+            assert_eq!(failures.len(), 2);
+            assert_eq!(failures[0].tensors, ["multi.layer0.weight"]);
+            assert_eq!(failures[1].tensors, ["multi.layer2.weight"]);
+        }
+        other => panic!("expected DatapathFailed, got: {other}"),
+    }
+
+    drop(w.client);
+    w.daemon.shutdown();
+}
+
+#[test]
+fn ratio_faults_replay_identically_for_the_same_seed() {
+    // Ratio decisions hash (seed, seq) — no wall clock, no global RNG —
+    // so two identical worlds armed with the same seed observe exactly
+    // the same failures, retries, and outcome.
+    let run = |seed: u64| {
+        let (w, _model) = world("ratio", 32, DaemonConfig::default());
+        let before = w.ctx.stats.snapshot();
+        w.fabric
+            .arm_faults(DAEMON_NODE, FaultSpec::Ratio { permille: 400, seed })
+            .unwrap();
+        let outcome = w
+            .client
+            .checkpoint("ratio")
+            .map(|r| r.version)
+            .map_err(|e| e.to_string());
+        let d = w.ctx.stats.snapshot().since(&before);
+        drop(w.client);
+        w.daemon.shutdown();
+        (outcome, d.failed_verbs, d.retried_verbs, d.rolled_back_slots)
+    };
+    assert_eq!(run(3), run(3), "same seed must replay bit-for-bit");
+}
+
+#[test]
+fn rearming_a_fault_plan_restarts_its_counters() {
+    let (w, _model) = world("rearm", 4, DaemonConfig::default());
+    let first = w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
+    let _ = w.client.checkpoint("rearm").unwrap();
+    assert_eq!(first.injected(), 1);
+
+    // Arming a new plan replaces the old one; its counters start fresh
+    // and the old plan stops injecting.
+    let second = w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
+    assert_eq!(second.seen(), 0);
+    let _ = w.client.checkpoint("rearm").unwrap();
+    assert_eq!(second.injected(), 1);
+    assert_eq!(first.injected(), 1, "retired plan must stop counting");
+
+    assert!(w.fabric.clear_faults(DAEMON_NODE).unwrap().is_some());
+    assert!(w.fabric.clear_faults(DAEMON_NODE).unwrap().is_none());
+
+    drop(w.client);
+    w.daemon.shutdown();
+}

@@ -17,7 +17,7 @@ use portus_dnn::{test_spec, zoo, IterationProfile, Materialization, ModelInstanc
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
 use portus_rdma::{Fabric, FaultSpec, NodeId};
-use portus_sim::{CostModel, SimDuration};
+use portus_sim::{CostModel, SimDuration, Stage, TraceOp};
 
 /// Whole-job failure schedule sweep (goodput per checkpoint policy).
 fn goodput_sweep() -> serde_json::Value {
@@ -95,8 +95,8 @@ fn datapath_fault_sweep() -> serde_json::Value {
         DaemonConfig::default().verb_retries
     );
     println!(
-        "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13}",
-        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "mean ckpt ms"
+        "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13} {:>11} {:>11}",
+        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "mean ckpt ms", "p50 ms", "p99 ms"
     );
     let mut rows = Vec::new();
     for (label, fault) in cases {
@@ -130,9 +130,19 @@ fn datapath_fault_sweep() -> serde_json::Value {
         let elapsed = ctx.clock.now().saturating_since(t0);
         let d = ctx.stats.snapshot().since(&before);
         let mean_ms = elapsed.as_secs_f64() * 1e3 / rounds as f64;
+        // Tail latency of the successful checkpoints, from the daemon's
+        // per-stage histograms (virtual time; empty when every round
+        // failed, e.g. under the `all` plan).
+        let metrics = ctx.metrics.snapshot();
+        let (p50_ms, p99_ms) = metrics
+            .stage(TraceOp::Checkpoint, Stage::Total)
+            .map_or((0.0, 0.0), |h| {
+                (h.p50() as f64 / 1e6, h.p99() as f64 / 1e6)
+            });
         println!(
-            "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13.3}",
-            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots, mean_ms
+            "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13.3} {:>11.3} {:>11.3}",
+            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots, mean_ms,
+            p50_ms, p99_ms
         );
         rows.push(serde_json::json!({
             "plan": label,
@@ -142,6 +152,8 @@ fn datapath_fault_sweep() -> serde_json::Value {
             "retried_verbs": d.retried_verbs,
             "rolled_back_slots": d.rolled_back_slots,
             "mean_checkpoint_ms": mean_ms,
+            "p50_checkpoint_ms": p50_ms,
+            "p99_checkpoint_ms": p99_ms,
         }));
         drop(client);
         daemon.shutdown();

@@ -15,7 +15,10 @@ fn main() {
     eprintln!("running BERT on the three systems (real data plane)...");
     let beegfs = realplane::bert_beegfs_breakdown(&spec);
     let ext4 = realplane::bert_ext4_breakdown(&spec);
-    let portus = realplane::portus_breakdown(&spec);
+    // The traced variant derives the persist/checksum phases from the
+    // recorded spans (cross-checked against the stats counters) and
+    // hands back the run as Chrome trace-event JSON.
+    let (portus, trace_json) = realplane::portus_breakdown_traced(&spec);
 
     println!("Fig. 13 — BERT checkpoint breakdown (virtual seconds)");
     println!(
@@ -92,4 +95,9 @@ fn main() {
         }),
     );
     println!("wrote {}", path.display());
+    let trace_path = portus_bench::write_artifact("fig13_trace.json", &trace_json);
+    println!(
+        "wrote {} (load in chrome://tracing or Perfetto)",
+        trace_path.display()
+    );
 }

@@ -37,6 +37,24 @@ pub fn write_experiment(id: &str, value: &serde_json::Value) -> PathBuf {
     path
 }
 
+/// Writes a non-JSON artifact (e.g. a Chrome trace) to
+/// `target/experiments/<id>` and returns the path. The `id` carries
+/// its own extension (`"fig13_trace.json"`).
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness binaries want loud failures).
+pub fn write_artifact(id: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(id);
+    fs::write(&path, contents).expect("write experiment artifact");
+    path
+}
+
 /// Formats a virtual duration in seconds with 3 decimals.
 pub fn secs(d: SimDuration) -> String {
     format!("{:.3}", d.as_secs_f64())
@@ -58,6 +76,14 @@ mod tests {
         let back: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
         assert_eq!(back["ok"], true);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn artifacts_land_in_target() {
+        let p = write_artifact("selftest_artifact.txt", "payload");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "payload");
         std::fs::remove_file(p).ok();
     }
 

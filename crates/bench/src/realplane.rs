@@ -12,7 +12,7 @@ use portus_dnn::{Materialization, ModelInstance, ModelSpec};
 use portus_mem::{GpuDevice, HostMemory};
 use portus_pmem::{PmemDevice, PmemMode};
 use portus_rdma::{Fabric, NodeId};
-use portus_sim::{SimContext, SimDuration};
+use portus_sim::{SimContext, SimDuration, Stage, TraceOp};
 use portus_storage::{
     Beegfs, CheckpointBreakdown, Ext4Nvme, FileBackend, RestoreBreakdown, TorchCheckpointer,
 };
@@ -133,7 +133,23 @@ pub struct PortusBreakdown {
 ///
 /// Panics on any system error — harness code wants loud failures.
 pub fn portus_breakdown(spec: &ModelSpec) -> PortusBreakdown {
+    portus_breakdown_traced(spec).0
+}
+
+/// As [`portus_breakdown`], but with span recording enabled: the
+/// persist/checksum phase times are derived from the recorded spans
+/// (cross-checked against the `persist_ns`/`checksum_ns` counters —
+/// the two accountings must agree exactly on a deterministic run), and
+/// the whole request comes back as Chrome trace-event JSON, renderable
+/// in `chrome://tracing`/Perfetto.
+///
+/// # Panics
+///
+/// Panics on any system error, and if the span-derived phase totals
+/// disagree with the stats counters.
+pub fn portus_breakdown_traced(spec: &ModelSpec) -> (PortusBreakdown, String) {
     let ctx = SimContext::icdcs24();
+    ctx.tracer.enable();
     let fabric = Fabric::new(ctx.clone());
     let compute = fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
@@ -156,12 +172,34 @@ pub fn portus_breakdown(spec: &ModelSpec) -> PortusBreakdown {
     let total = ctx.clock.now().saturating_since(t0);
     let d = ctx.stats.snapshot().since(&before);
 
-    let persist = SimDuration::from_nanos(d.persist_ns);
-    let checksum = SimDuration::from_nanos(d.checksum_ns);
+    // Phase times from the recorded spans; the counter-based totals
+    // must agree exactly — same virtual clock, same deterministic run.
+    let stage_total = |stage: Stage| -> SimDuration {
+        ctx.tracer
+            .spans()
+            .iter()
+            .filter(|s| s.op == TraceOp::Checkpoint && s.stage == stage)
+            .map(|s| s.duration())
+            .sum()
+    };
+    let persist = stage_total(Stage::Persist);
+    let checksum = stage_total(Stage::Checksum);
+    assert_eq!(
+        persist.as_nanos(),
+        d.persist_ns,
+        "span-derived persist time must match the persist_ns counter"
+    );
+    assert_eq!(
+        checksum.as_nanos(),
+        d.checksum_ns,
+        "span-derived checksum time must match the checksum_ns counter"
+    );
+
+    let trace_json = ctx.tracer.to_chrome_trace();
     let pull = total
         .saturating_sub(persist)
         .saturating_sub(checksum);
-    PortusBreakdown {
+    let breakdown = PortusBreakdown {
         model: spec.name.clone(),
         bytes: spec.total_bytes(),
         total: total.as_secs_f64(),
@@ -172,7 +210,8 @@ pub fn portus_breakdown(spec: &ModelSpec) -> PortusBreakdown {
         doorbell_batches: d.doorbell_batches,
         coalesced_verbs: d.coalesced_verbs,
         coalesced_bytes: d.coalesced_bytes,
-    }
+    };
+    (breakdown, trace_json)
 }
 
 /// Runs one model through a `torch.save`/`torch.load(GDS)` baseline with

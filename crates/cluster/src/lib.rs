@@ -4,7 +4,8 @@
 //! operation costs for workloads too large to materialize ([`ops`]),
 //! the four checkpoint policies of Fig. 9 ([`Policy`]), the training
 //! harness behind Figs. 2/15 ([`run_training`]), GPU-utilization
-//! traces for Fig. 16 ([`utilization_trace`]), and failure injection
+//! traces for Fig. 16 ([`utilization_trace`], exportable as Chrome
+//! trace-event JSON via [`run_chrome_trace`]), and failure injection
 //! for the lost-work trade-off the paper motivates ([`run_with_failures`]).
 //!
 //! # Examples
@@ -39,4 +40,6 @@ pub use failure::{restore_cost, run_with_failures, FailureOutcome};
 pub use harness::{run_training, RunResult, Segment, TrainingConfig};
 pub use ops::{Backend, JobShape, OpCost};
 pub use policy::Policy;
-pub use trace::{mean_utilization, peak_utilization, segment, utilization_trace, UtilSample};
+pub use trace::{
+    mean_utilization, peak_utilization, run_chrome_trace, segment, utilization_trace, UtilSample,
+};

@@ -3,6 +3,7 @@
 //! ```text
 //! portusctl view DEVICE_IMAGE
 //! portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE
+//! portusctl stats SNAPSHOT.json
 //! ```
 
 use std::path::Path;
@@ -14,6 +15,7 @@ fn usage() -> ExitCode {
     eprintln!("USAGE:");
     eprintln!("  portusctl view DEVICE_IMAGE");
     eprintln!("  portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE");
+    eprintln!("  portusctl stats SNAPSHOT.json");
     ExitCode::from(2)
 }
 
@@ -48,6 +50,19 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("portusctl dump: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("stats") => {
+            let Some(snapshot) = args.get(2) else { return usage() };
+            match portus::portusctl::load_stats(Path::new(snapshot)) {
+                Ok(metrics) => {
+                    print!("{}", portus::portusctl::render_stats(&metrics));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl stats: {e}");
                     ExitCode::FAILURE
                 }
             }

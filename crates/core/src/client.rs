@@ -19,7 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use portus_dnn::ModelInstance;
 use portus_rdma::{Access, ControlChannel, MemoryRegion, Nic, QueuePair, RegionTarget};
-use portus_sim::{SimContext, SimDuration};
+use portus_sim::{MetricsSnapshot, SimContext, SimDuration, SimTime, SpanRecord, Stage, TraceOp};
 
 use crate::daemon::{ClientEndpoints, PortusDaemon};
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
@@ -70,6 +70,8 @@ pub struct DeltaReport {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingCheckpoint {
     req_id: u64,
+    /// Virtual instant the request was sent (start of the Rpc span).
+    sent: SimTime,
 }
 
 /// A client connection to a [`PortusDaemon`].
@@ -115,6 +117,25 @@ impl PortusClient {
 
     fn fresh_id(&self) -> u64 {
         self.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records the client-visible round trip of one datapath request
+    /// as an `Rpc` span (request sent → reply received, on the virtual
+    /// clock) into the shared tracer and metrics.
+    fn record_rpc(&self, req_id: u64, op: TraceOp, model: &str, sent: SimTime) {
+        let end = self.ctx.clock.now();
+        self.ctx
+            .metrics
+            .record_stage(op, Stage::Rpc, end.saturating_since(sent));
+        self.ctx.tracer.record(SpanRecord {
+            req_id,
+            op,
+            stage: Stage::Rpc,
+            model: model.to_string(),
+            start: sent,
+            end,
+            round: 0,
+        });
     }
 
     /// Demultiplexes replies: returns the reply for `req_id`, parking
@@ -213,11 +234,12 @@ impl PortusClient {
             return Err(PortusError::AlreadyInFlight(model.to_string()));
         }
         let req_id = self.fresh_id();
+        let sent = self.ctx.clock.now();
         self.requests.send(Request::Checkpoint {
             req_id,
             model: model.to_string(),
         })?;
-        let pending = PendingCheckpoint { req_id };
+        let pending = PendingCheckpoint { req_id, sent };
         inflight.insert(model.to_string(), pending);
         Ok(pending)
     }
@@ -237,6 +259,9 @@ impl PortusClient {
         pending: PendingCheckpoint,
     ) -> PortusResult<CheckpointReport> {
         let outcome = self.wait_reply(pending.req_id);
+        if outcome.is_ok() {
+            self.record_rpc(pending.req_id, TraceOp::Checkpoint, model, pending.sent);
+        }
         {
             let mut inflight = self.inflight.lock();
             if inflight.get(model) == Some(&pending) {
@@ -268,12 +293,15 @@ impl PortusClient {
     /// Daemon-side failures (unregistered model, mask length mismatch).
     pub fn checkpoint_delta(&self, model: &str, dirty: &[bool]) -> PortusResult<DeltaReport> {
         let req_id = self.fresh_id();
+        let sent = self.ctx.clock.now();
         self.requests.send(Request::DeltaCheckpoint {
             req_id,
             model: model.to_string(),
             dirty: dirty.to_vec(),
         })?;
-        match Self::expect_ok(self.wait_reply(req_id)?)? {
+        let reply = self.wait_reply(req_id)?;
+        self.record_rpc(req_id, TraceOp::DeltaCheckpoint, model, sent);
+        match Self::expect_ok(reply)? {
             Reply::DeltaDone { version, pulled_bytes, copied_bytes, elapsed, .. } => {
                 Ok(DeltaReport {
                     model: model.to_string(),
@@ -329,12 +357,17 @@ impl PortusClient {
             mrs.push(mr);
         }
         let req_id = self.fresh_id();
+        let sent = self.ctx.clock.now();
         self.requests.send(Request::Restore {
             req_id,
             model: model.spec().name.clone(),
             tensors: descs,
         })?;
-        let reply = Self::expect_ok(self.wait_reply(req_id)?);
+        let raw = self.wait_reply(req_id);
+        if raw.is_ok() {
+            self.record_rpc(req_id, TraceOp::Restore, &model.spec().name, sent);
+        }
+        let reply = raw.and_then(Self::expect_ok);
         // Restore registrations are transient; drop them either way.
         for mr in &mrs {
             self.nic.deregister(mr.rkey());
@@ -400,6 +433,23 @@ impl PortusClient {
             Reply::Models { models, .. } => Ok(models),
             other => Err(PortusError::Daemon(format!(
                 "unexpected reply to list: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the daemon's observability snapshot: per-stage latency
+    /// histograms (p50/p95/p99 derivable) and dispatch-queue gauges.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side failures.
+    pub fn stats(&self) -> PortusResult<MetricsSnapshot> {
+        let req_id = self.fresh_id();
+        self.requests.send(Request::Stats { req_id })?;
+        match Self::expect_ok(self.wait_reply(req_id)?)? {
+            Reply::Stats { metrics, .. } => Ok(metrics),
+            other => Err(PortusError::Daemon(format!(
+                "unexpected reply to stats: {other:?}"
             ))),
         }
     }

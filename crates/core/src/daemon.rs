@@ -42,14 +42,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use portus_pmem::PmemDevice;
 use portus_rdma::{
     CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair, RdmaError,
     RegionTarget, SgEntry, WrId, MAX_SGE,
 };
-use portus_sim::{SimContext, SimDuration};
+use portus_sim::{Metrics, SimContext, SimDuration, SimTime, SpanRecord, Stage, TraceOp};
 
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
 use crate::{Index, MIndex, ModelMap, PortusError, PortusResult, SlotHeader, SlotState, VerbFailure};
@@ -71,6 +71,12 @@ pub struct DaemonConfig {
     /// all connections are handled by this pool, so up to
     /// `dispatch_workers` requests make progress concurrently.
     pub dispatch_workers: usize,
+    /// Bound of the dispatch queue: at most this many requests wait
+    /// for a worker; once full, further dispatches block the
+    /// connection thread (backpressure) instead of queueing without
+    /// limit. Current depth, high-water mark, and this capacity are
+    /// exported as gauges on [`portus_sim::Metrics`].
+    pub dispatch_queue_depth: usize,
     /// How many rounds a failed datapath WQE is re-posted before the
     /// operation is declared failed and the target slot rolled back.
     /// Each round charges an exponentially growing backoff to the
@@ -87,6 +93,7 @@ impl Default for DaemonConfig {
             verify_on_restore: true,
             dram_fallback: false,
             dispatch_workers: 4,
+            dispatch_queue_depth: 64,
             verb_retries: 3,
         }
     }
@@ -96,19 +103,30 @@ impl Default for DaemonConfig {
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Bounded worker pool executing per-request jobs for all connections.
+/// The queue holds at most `queue_depth` waiting jobs; a full queue
+/// blocks the dispatching connection thread until a worker drains one
+/// (backpressure instead of unbounded buffering). Queue depth and its
+/// high-water mark are exported as gauges on the shared [`Metrics`].
 struct Dispatcher {
     tx: Mutex<Option<Sender<Job>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Metrics,
 }
 
 impl Dispatcher {
-    fn new(workers: usize) -> Dispatcher {
-        let (tx, rx) = unbounded::<Job>();
+    fn new(workers: usize, queue_depth: usize, metrics: Metrics) -> Dispatcher {
+        // `bounded(0)` is a rendezvous channel; keep at least one slot
+        // so dispatch-then-drain still decouples sender and worker.
+        let depth = queue_depth.max(1);
+        let (tx, rx) = bounded::<Job>(depth);
+        metrics.set_queue_capacity(depth as u64);
         let handles = (0..workers.max(1))
             .map(|_| {
                 let rx = rx.clone();
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        metrics.queue_exit();
                         job();
                     }
                 })
@@ -117,6 +135,7 @@ impl Dispatcher {
         Dispatcher {
             tx: Mutex::new(Some(tx)),
             handles: Mutex::new(handles),
+            metrics,
         }
     }
 
@@ -124,7 +143,18 @@ impl Dispatcher {
         let not_sent = {
             let guard = self.tx.lock();
             match guard.as_ref() {
-                Some(tx) => tx.send(job).err().map(|e| e.0),
+                Some(tx) => {
+                    // Gauge covers the send itself, so a dispatcher
+                    // blocked on a full queue shows up at capacity.
+                    self.metrics.queue_enter();
+                    match tx.send(job) {
+                        Ok(()) => None,
+                        Err(e) => {
+                            self.metrics.queue_exit();
+                            Some(e.0)
+                        }
+                    }
+                }
                 None => Some(job),
             }
         };
@@ -227,7 +257,11 @@ impl PortusDaemon {
         cfg: DaemonConfig,
     ) -> PortusResult<Arc<PortusDaemon>> {
         let nic = fabric.nic(node)?;
-        let dispatcher = Arc::new(Dispatcher::new(cfg.dispatch_workers));
+        let dispatcher = Arc::new(Dispatcher::new(
+            cfg.dispatch_workers,
+            cfg.dispatch_queue_depth,
+            fabric.ctx().metrics.clone(),
+        ));
         Ok(Arc::new(PortusDaemon {
             state: Arc::new(DaemonState {
                 ctx: fabric.ctx().clone(),
@@ -306,6 +340,54 @@ impl PortusDaemon {
     }
 }
 
+/// Records one request's stage timings into the shared tracer (a full
+/// span, when enabled) and metrics histograms. All instants come off
+/// the virtual clock — never the host wall clock — so deterministic
+/// runs record identical spans.
+struct SpanCtx<'a> {
+    ctx: &'a SimContext,
+    req_id: u64,
+    op: TraceOp,
+    model: String,
+}
+
+impl SpanCtx<'_> {
+    fn record(&self, stage: Stage, start: SimTime, end: SimTime, round: u32) {
+        self.ctx
+            .metrics
+            .record_stage(self.op, stage, end.saturating_since(start));
+        self.ctx.tracer.record(SpanRecord {
+            req_id: self.req_id,
+            op: self.op,
+            stage,
+            model: self.model.clone(),
+            start,
+            end,
+            round,
+        });
+    }
+
+    /// Records `stage` from `start` to the current virtual instant.
+    fn record_now(&self, stage: Stage, start: SimTime) {
+        self.record(stage, start, self.ctx.clock.now(), 0);
+    }
+}
+
+/// Span identity of a datapath request: `(req_id, op, model)` for the
+/// three traced operations, `None` for control-plane requests.
+fn span_meta(req: &Request) -> Option<(u64, TraceOp, String)> {
+    match req {
+        Request::Checkpoint { req_id, model } => {
+            Some((*req_id, TraceOp::Checkpoint, model.clone()))
+        }
+        Request::DeltaCheckpoint { req_id, model, .. } => {
+            Some((*req_id, TraceOp::DeltaCheckpoint, model.clone()))
+        }
+        Request::Restore { req_id, model, .. } => Some((*req_id, TraceOp::Restore, model.clone())),
+        _ => None,
+    }
+}
+
 fn serve(
     state: Arc<DaemonState>,
     dispatcher: Arc<Dispatcher>,
@@ -322,12 +404,26 @@ fn serve(
         if matches!(req, Request::Disconnect) {
             break;
         }
+        let meta = span_meta(&req);
+        let enqueued = state.ctx.clock.now();
         let state = Arc::clone(&state);
         let qp = Arc::clone(&qp);
         let replies = Arc::clone(&replies);
         dispatcher.dispatch(Box::new(move || {
             let n = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
             state.peak_in_flight.fetch_max(n, Ordering::Relaxed);
+            // Virtual time that passed between enqueue and pickup is
+            // the dispatch-queue wait (zero for an idle pool: queueing
+            // itself charges no virtual time).
+            if let Some((req_id, op, model)) = &meta {
+                let sc = SpanCtx {
+                    ctx: &state.ctx,
+                    req_id: *req_id,
+                    op: *op,
+                    model: model.clone(),
+                };
+                sc.record_now(Stage::DispatchWait, enqueued);
+            }
             let reply = handle_request(&state, &qp, req);
             state.in_flight.fetch_sub(1, Ordering::Relaxed);
             // The client may already be gone; nothing to do then.
@@ -366,7 +462,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
             }
         }
         Request::DeltaCheckpoint { req_id, model, dirty } => {
-            match state.delta_checkpoint(qp, &model, &dirty) {
+            match state.delta_checkpoint(qp, &model, &dirty, req_id) {
                 Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
                     req_id,
                     version,
@@ -377,7 +473,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
                 Err(e) => error_reply(req_id, e),
             }
         }
-        Request::Checkpoint { req_id, model } => match state.checkpoint(qp, &model) {
+        Request::Checkpoint { req_id, model } => match state.checkpoint(qp, &model, req_id) {
             Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
                 req_id,
                 version,
@@ -387,7 +483,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
             Err(e) => error_reply(req_id, e),
         },
         Request::Restore { req_id, model, tensors } => {
-            match state.restore(qp, &model, &tensors) {
+            match state.restore(qp, &model, &tensors, req_id) {
                 Ok((version, bytes, elapsed)) => Reply::RestoreDone {
                     req_id,
                     version,
@@ -408,6 +504,10 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
         Request::List { req_id } => match state.list_models() {
             Ok(models) => Reply::Models { req_id, models },
             Err(e) => error_reply(req_id, e),
+        },
+        Request::Stats { req_id } => Reply::Stats {
+            req_id,
+            metrics: state.ctx.metrics.snapshot(),
         },
     }
 }
@@ -482,11 +582,20 @@ impl DatapathFailure {
 }
 
 /// Drains **every** posted completion off `cq` and returns the run
-/// indices that failed, with their errors. One bad WQE no longer masks
-/// the outcome of the others — the retry loop needs the full failed
-/// set, and a terminal error must attribute every failed run.
-fn drain_cq(cq: &CompletionQueue, posted: &[(WrId, usize)]) -> Vec<(usize, RdmaError)> {
+/// indices that failed, with their errors, plus the fabric-side
+/// `(earliest start, latest end)` envelope over the successful
+/// transfers. One bad WQE no longer masks the outcome of the others —
+/// the retry loop needs the full failed set, and a terminal error must
+/// attribute every failed run. The envelope times the completion
+/// phase: the drain itself charges no virtual time (the in-process
+/// fabric completes eagerly at post), so the transfers' own instants
+/// are the honest span.
+fn drain_cq(
+    cq: &CompletionQueue,
+    posted: &[(WrId, usize)],
+) -> (Vec<(usize, RdmaError)>, Option<(SimTime, SimTime)>) {
     let mut failed = Vec::new();
+    let mut span: Option<(SimTime, SimTime)> = None;
     let mut polled = 0;
     while polled < posted.len() {
         let batch = cq.poll(posted.len() - polled);
@@ -497,15 +606,25 @@ fn drain_cq(cq: &CompletionQueue, posted: &[(WrId, usize)]) -> Vec<(usize, RdmaE
             break;
         }
         for wc in &batch {
-            if let Err(e) = &wc.result {
-                if let Some(&(_, run)) = posted.iter().find(|(id, _)| *id == wc.wr_id) {
-                    failed.push((run, e.clone()));
+            match &wc.result {
+                Err(e) => {
+                    if let Some(&(_, run)) = posted.iter().find(|(id, _)| *id == wc.wr_id) {
+                        failed.push((run, e.clone()));
+                    }
+                }
+                Ok(_) => {
+                    if let Some((start, end)) = wc.fabric_span() {
+                        span = Some(match span {
+                            Some((s, e)) => (s.min(start), e.max(end)),
+                            None => (start, end),
+                        });
+                    }
                 }
             }
         }
         polled += batch.len();
     }
-    failed
+    (failed, span)
 }
 
 /// Chunked device-local copy within one PMem namespace (the carry-over
@@ -553,25 +672,29 @@ impl DaemonState {
         Ok(())
     }
 
-    /// Persists pulled data and records the phase time on the stats.
-    fn persist_phase(&self, off: u64, len: u64) -> PortusResult<()> {
+    /// Persists pulled data, recording the phase time on the stats and
+    /// a `Persist` span on `sc`.
+    fn persist_phase(&self, off: u64, len: u64, sc: &SpanCtx<'_>) -> PortusResult<()> {
         let t0 = self.ctx.clock.now();
         self.persist_data(off, len)?;
         self.ctx
             .stats
             .record_persist_ns(self.ctx.clock.now().saturating_since(t0).as_nanos());
+        sc.record_now(Stage::Persist, t0);
         Ok(())
     }
 
     /// Checksums a slot, charging the DAX read of the slot's bytes and
-    /// recording the phase time on the stats.
-    fn checksum_phase(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
+    /// recording the phase time on the stats and a `Checksum` span on
+    /// `sc`.
+    fn checksum_phase(&self, mi: &MIndex, slot: usize, sc: &SpanCtx<'_>) -> PortusResult<u64> {
         let t0 = self.ctx.clock.now();
         let sum = self.index.slot_checksum(mi, slot)?;
         self.ctx.charge(self.ctx.model.dax_read(mi.total_bytes));
         self.ctx
             .stats
             .record_checksum_ns(self.ctx.clock.now().saturating_since(t0).as_nanos());
+        sc.record_now(Stage::Checksum, t0);
         Ok(sum)
     }
 
@@ -590,6 +713,7 @@ impl DaemonState {
         runs: &[VerbRun],
         data_off: u64,
         dir: Direction,
+        sc: &SpanCtx<'_>,
     ) -> Result<(), DatapathFailure> {
         if runs.is_empty() {
             return Ok(());
@@ -608,19 +732,27 @@ impl DaemonState {
             }
         };
 
+        let t_post = self.ctx.clock.now();
         pqp.begin_batch();
         let posted: Vec<(WrId, usize)> = runs
             .iter()
             .enumerate()
             .map(|(i, run)| (post(run), i))
             .collect();
-        let mut failed = drain_cq(&cq, &posted);
+        sc.record(Stage::DoorbellPost, t_post, self.ctx.clock.now(), 0);
+        let (mut failed, drain_span) = drain_cq(&cq, &posted);
+        if let Some((s, e)) = drain_span {
+            sc.record(Stage::CqDrain, s, e, 0);
+        }
         let mut any_succeeded = failed.len() < runs.len();
         let mut retries = vec![0u32; runs.len()];
         let mut round = 0u32;
         while !failed.is_empty() && round < self.cfg.verb_retries {
             round += 1;
+            let t_backoff = self.ctx.clock.now();
             self.ctx.charge(self.ctx.model.verb_retry_backoff(round));
+            sc.record(Stage::RetryBackoff, t_backoff, self.ctx.clock.now(), round);
+            let t_post = self.ctx.clock.now();
             pqp.begin_batch();
             let reposted: Vec<(WrId, usize)> = failed
                 .iter()
@@ -630,7 +762,11 @@ impl DaemonState {
                     (post(&runs[i]), i)
                 })
                 .collect();
-            let still_failed = drain_cq(&cq, &reposted);
+            sc.record(Stage::DoorbellPost, t_post, self.ctx.clock.now(), round);
+            let (still_failed, drain_span) = drain_cq(&cq, &reposted);
+            if let Some((s, e)) = drain_span {
+                sc.record(Stage::CqDrain, s, e, round);
+            }
             if still_failed.len() < failed.len() {
                 any_succeeded = true;
             }
@@ -683,11 +819,17 @@ impl DaemonState {
         slot: usize,
         hdr: SlotHeader,
         pre: SlotHeader,
+        sc: &SpanCtx<'_>,
     ) -> PortusResult<()> {
         let sealed = self
-            .persist_phase(hdr.data_off, hdr.data_len.max(1))
-            .and_then(|()| self.checksum_phase(mi, slot))
-            .and_then(|checksum| self.index.mark_slot_done(mi, slot, checksum));
+            .persist_phase(hdr.data_off, hdr.data_len.max(1), sc)
+            .and_then(|()| self.checksum_phase(mi, slot, sc))
+            .and_then(|checksum| {
+                let t0 = self.ctx.clock.now();
+                let done = self.index.mark_slot_done(mi, slot, checksum);
+                sc.record_now(Stage::HeaderFlip, t0);
+                done
+            });
         if let Err(e) = sealed {
             // Best-effort: the original error is what the client sees.
             let _ = self.rollback_slot(mi, slot, pre, true);
@@ -735,9 +877,17 @@ impl DaemonState {
         &self,
         qp: &Arc<QueuePair>,
         model: &str,
+        req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
+        let sc = SpanCtx {
+            ctx: &self.ctx,
+            req_id,
+            op: TraceOp::Checkpoint,
+            model: model.to_string(),
+        };
         let lock = self.model_lock(model);
         let _guard = lock.lock();
+        let t_op = self.ctx.clock.now();
         let mut mi = self.lookup(model)?;
         let descs = self
             .sessions
@@ -773,6 +923,11 @@ impl DaemonState {
                 name: desc.name.clone(),
             });
         }
+        sc.record_now(Stage::Validate, t_op);
+
+        let t_build = self.ctx.clock.now();
+        let runs = coalesce_runs(&verbs);
+        sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
         let version = mi.latest_done().map_or(0, |(_, s)| s.version) + 1;
@@ -787,14 +942,15 @@ impl DaemonState {
         // The zero-copy pulls, GPU → PMem: coalesced gather WQEs, all
         // posted under one doorbell, completions drained off the CQ,
         // failed WQEs retried per-run.
-        if let Err(fail) = self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Pull) {
+        if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
             self.rollback_slot(&mi, target, hdr, fail.any_succeeded)?;
             return Err(fail.into_error(model, "checkpoint"));
         }
         // RDMA landed in the DDIO domain; make it durable (Wei et al.),
         // checksum, and flip to Done.
-        self.seal_slot(&mi, target, hdr, hdr)?;
+        self.seal_slot(&mi, target, hdr, hdr, &sc)?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
+        sc.record_now(Stage::Total, t_op);
         Ok((version, mi.total_bytes, elapsed))
     }
 
@@ -808,9 +964,17 @@ impl DaemonState {
         qp: &Arc<QueuePair>,
         model: &str,
         dirty: &[bool],
+        req_id: u64,
     ) -> PortusResult<(u64, u64, u64, SimDuration)> {
+        let sc = SpanCtx {
+            ctx: &self.ctx,
+            req_id,
+            op: TraceOp::DeltaCheckpoint,
+            model: model.to_string(),
+        };
         let lock = self.model_lock(model);
         let _guard = lock.lock();
+        let t_op = self.ctx.clock.now();
         let mut mi = self.lookup(model)?;
         let descs = self
             .sessions
@@ -866,6 +1030,11 @@ impl DaemonState {
                 }
             }
         }
+        sc.record_now(Stage::Validate, t_op);
+
+        let t_build = self.ctx.clock.now();
+        let runs = coalesce_runs(&verbs);
+        sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
         let version = prev.map_or(0, |(_, s)| s.version) + 1;
@@ -886,18 +1055,22 @@ impl DaemonState {
             carried += len;
             Ok(())
         });
+        if !carries.is_empty() {
+            sc.record_now(Stage::CarryCopy, t0);
+        }
         if let Err(e) = carry_result {
             let _ = self.rollback_slot(&mi, target, hdr, carried > 0);
             return Err(e);
         }
-        if let Err(fail) = self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Pull) {
+        if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
             // Bytes landed if any pull WQE succeeded — or if any
             // carry-over copy already wrote into the slot.
             self.rollback_slot(&mi, target, hdr, fail.any_succeeded || carried > 0)?;
             return Err(fail.into_error(model, "delta-checkpoint"));
         }
-        self.seal_slot(&mi, target, hdr, hdr)?;
+        self.seal_slot(&mi, target, hdr, hdr, &sc)?;
         let elapsed = ctx.clock.now().saturating_since(t0);
+        sc.record_now(Stage::Total, t_op);
         Ok((version, pulled, copied, elapsed))
     }
 
@@ -906,9 +1079,17 @@ impl DaemonState {
         qp: &Arc<QueuePair>,
         model: &str,
         descs: &[TensorDesc],
+        req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
+        let sc = SpanCtx {
+            ctx: &self.ctx,
+            req_id,
+            op: TraceOp::Restore,
+            model: model.to_string(),
+        };
         let lock = self.model_lock(model);
         let _guard = lock.lock();
+        let t_op = self.ctx.clock.now();
         let mi = self.lookup(model)?;
         let (slot, hdr) = mi
             .latest_done()
@@ -921,7 +1102,7 @@ impl DaemonState {
             )));
         }
         if self.cfg.verify_on_restore {
-            let computed = self.checksum_phase(&mi, slot)?;
+            let computed = self.checksum_phase(&mi, slot, &sc)?;
             if computed != hdr.checksum {
                 return Err(PortusError::ChecksumMismatch {
                     model: model.to_string(),
@@ -930,6 +1111,7 @@ impl DaemonState {
             }
         }
 
+        let t_validate = self.ctx.clock.now();
         let mut verbs = Vec::with_capacity(mi.tensors.len());
         for (rec, desc) in mi.tensors.iter().zip(descs) {
             if desc.meta() != rec.meta {
@@ -945,15 +1127,21 @@ impl DaemonState {
                 name: desc.name.clone(),
             });
         }
+        sc.record_now(Stage::Validate, t_validate);
+
+        let t_build = self.ctx.clock.now();
+        let runs = coalesce_runs(&verbs);
+        sc.record_now(Stage::WqeBuild, t_build);
 
         let t0 = self.ctx.clock.now();
         // One-sided WRITEs, PMem → GPU: coalesced scatter WQEs under
         // one doorbell, no client CPU involvement. A terminal push
         // failure touches no slot state — the stored version stays
         // `Done` and a later restore can try again.
-        self.execute_runs(qp, &coalesce_runs(&verbs), hdr.data_off, Direction::Push)
+        self.execute_runs(qp, &runs, hdr.data_off, Direction::Push, &sc)
             .map_err(|fail| fail.into_error(model, "restore"))?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
+        sc.record_now(Stage::Total, t_op);
         Ok((hdr.version, mi.total_bytes, elapsed))
     }
 

@@ -76,6 +76,19 @@ pub enum PortusError {
         /// The work requests that exhausted their retries.
         failures: Vec<VerbFailure>,
     },
+    /// The persistent index and the allocator disagree: a slot header
+    /// points at a data region the allocator has no record of. This is
+    /// metadata corruption — the repacker surfaces it instead of
+    /// silently clearing the header (which would leak the bytes and
+    /// destroy the evidence).
+    AllocatorDivergence {
+        /// The model whose slot diverged.
+        model: String,
+        /// The slot index within the model's double mapping.
+        slot: usize,
+        /// The orphaned `data_off` the header points at.
+        data_off: u64,
+    },
     /// A protocol violation or daemon-side failure, with the daemon's
     /// message.
     Daemon(String),
@@ -115,6 +128,13 @@ impl fmt::Display for PortusError {
                     write!(f, " {failure};")?;
                 }
                 Ok(())
+            }
+            PortusError::AllocatorDivergence { model, slot, data_off } => {
+                write!(
+                    f,
+                    "index/allocator divergence: {model} slot {slot} points at \
+                     data_off {data_off:#x} with no matching allocation"
+                )
             }
             PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
             PortusError::NameTooLong(name) => {
@@ -198,6 +218,19 @@ mod tests {
         assert!(msg.contains("layer0, layer1"));
         assert!(msg.contains("3 retries"));
         assert!(msg.contains("injected fault"));
+    }
+
+    #[test]
+    fn allocator_divergence_display_names_the_slot() {
+        let e = PortusError::AllocatorDivergence {
+            model: "bert".into(),
+            slot: 1,
+            data_off: 0x4000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("divergence"));
+        assert!(msg.contains("bert slot 1"));
+        assert!(msg.contains("0x4000"));
     }
 
     #[test]

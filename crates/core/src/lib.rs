@@ -16,7 +16,13 @@
 //! * Double-mapping crash consistency (§III-D2): two slots per model;
 //!   at least one complete version always survives any crash.
 //! * [`repack`] — the PMem space reclaimer.
-//! * [`portusctl`] — view/dump tooling over device images.
+//! * [`portusctl`] — view/dump/stats tooling over device images and
+//!   metrics snapshots.
+//! * Observability: every checkpoint/delta/restore records per-stage
+//!   spans and latency histograms against the **virtual clock** (see
+//!   [`portus_sim::Tracer`] / [`portus_sim::Metrics`]); a run exports
+//!   as Chrome trace-event JSON, and [`PortusClient::stats`] queries
+//!   the daemon's aggregate snapshot over the wire.
 //!
 //! # Examples
 //!

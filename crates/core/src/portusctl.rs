@@ -5,7 +5,9 @@
 //! DEVICE` lists every model on a device image, and `portusctl dump
 //! DEVICE MODEL FILE` serializes a PMem-resident checkpoint into the
 //! portable container of [`portus_format`] — the only place Portus ever
-//! serializes, and it happens offline.
+//! serializes, and it happens offline. `portusctl stats SNAPSHOT.json`
+//! renders a [`MetricsSnapshot`] (as exported by the daemon's `Stats`
+//! request) into a per-stage latency table.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -13,7 +15,7 @@ use std::path::Path;
 
 use portus_format::{write_checkpoint, CheckpointEntry, PayloadSource};
 use portus_pmem::load_image;
-use portus_sim::SimContext;
+use portus_sim::{MetricsSnapshot, SimContext, SimDuration};
 
 use crate::proto::ModelSummary;
 use crate::{Index, ModelMap, PortusError, PortusResult};
@@ -123,9 +125,56 @@ pub fn render_view(models: &[ModelSummary]) -> String {
     out
 }
 
+/// Parses a metrics snapshot from its JSON serialization (the payload
+/// the daemon's `Stats` reply serializes to, written to a file by
+/// tooling or a bench run).
+///
+/// # Errors
+///
+/// [`PortusError::Io`] on read failures; [`PortusError::Daemon`] on
+/// malformed JSON.
+pub fn load_stats(path: &Path) -> PortusResult<MetricsSnapshot> {
+    let raw = std::fs::read_to_string(path)?;
+    serde_json::from_str(&raw)
+        .map_err(|e| PortusError::Daemon(format!("malformed metrics snapshot: {e}")))
+}
+
+/// Renders a metrics snapshot as the table `portusctl stats` prints:
+/// one row per `(op, stage)` histogram with count, total, mean, and
+/// derived p50/p95/p99/max (all virtual time), plus the dispatch-queue
+/// gauges.
+pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
+    let ns = |v: u64| SimDuration::from_nanos(v).to_string();
+    let mut out = String::from(
+        "OP               STAGE               COUNT        TOTAL         MEAN          P50          P95          P99          MAX\n",
+    );
+    for s in &snapshot.stages {
+        out.push_str(&format!(
+            "{:<16} {:<16} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            s.op.name(),
+            s.stage.name(),
+            s.hist.count,
+            ns(s.hist.total_ns),
+            ns(s.hist.mean_ns()),
+            ns(s.hist.p50()),
+            ns(s.hist.p95()),
+            ns(s.hist.p99()),
+            ns(s.hist.max_ns),
+        ));
+    }
+    out.push_str(&format!(
+        "dispatch queue: depth {} / peak {} / capacity {}\n",
+        snapshot.dispatch_queue_depth,
+        snapshot.dispatch_queue_peak,
+        snapshot.dispatch_queue_capacity,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use portus_sim::{Metrics, Stage, TraceOp};
 
     #[test]
     fn render_view_formats_rows() {
@@ -146,5 +195,44 @@ mod tests {
     #[test]
     fn view_missing_image_errors() {
         assert!(view(Path::new("/nonexistent/portus.img")).is_err());
+    }
+
+    #[test]
+    fn render_stats_formats_histograms_and_gauges() {
+        let m = Metrics::new();
+        m.set_queue_capacity(64);
+        m.record_stage(
+            TraceOp::Checkpoint,
+            Stage::Persist,
+            SimDuration::from_micros(120),
+        );
+        m.record_stage(
+            TraceOp::Checkpoint,
+            Stage::Persist,
+            SimDuration::from_micros(250),
+        );
+        let s = render_stats(&m.snapshot());
+        assert!(s.contains("checkpoint"));
+        assert!(s.contains("persist"));
+        assert!(s.contains("capacity 64"));
+        // Count column shows the two samples.
+        assert!(s.contains(" 2 "));
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.record_stage(TraceOp::Restore, Stage::Total, SimDuration::from_millis(3));
+        let snapshot = m.snapshot();
+        let json = serde_json::to_string(&snapshot).expect("serialize");
+        let dir = std::env::temp_dir().join("portusctl-stats-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("snapshot.json");
+        std::fs::write(&path, &json).expect("write");
+        let loaded = load_stats(&path).expect("load");
+        assert_eq!(loaded, snapshot);
+        assert!(load_stats(&dir.join("missing.json")).is_err());
+        std::fs::write(&path, "{not json").expect("write");
+        assert!(matches!(load_stats(&path), Err(PortusError::Daemon(_))));
     }
 }

@@ -8,7 +8,7 @@
 
 use portus_dnn::{DType, GpuTensor, TensorMeta};
 use portus_rdma::MemoryRegion;
-use portus_sim::SimDuration;
+use portus_sim::{MetricsSnapshot, SimDuration};
 
 /// One tensor's registration: its metadata plus the remote key of the
 /// GPU memory region holding it.
@@ -107,6 +107,12 @@ pub enum Request {
         /// Request id for reply matching.
         req_id: u64,
     },
+    /// Dump the daemon's observability snapshot: stage-latency
+    /// histograms and dispatch-queue gauges.
+    Stats {
+        /// Request id for reply matching.
+        req_id: u64,
+    },
     /// Close this connection.
     Disconnect,
 }
@@ -190,6 +196,14 @@ pub enum Reply {
         /// Stored models.
         models: Vec<ModelSummary>,
     },
+    /// Observability snapshot: per-stage latency histograms plus the
+    /// dispatch-queue gauges, all keyed to the virtual clock.
+    Stats {
+        /// Echoed request id.
+        req_id: u64,
+        /// The daemon's metrics at the time of the request.
+        metrics: MetricsSnapshot,
+    },
     /// The request failed; human-readable reason.
     Error {
         /// Echoed request id.
@@ -224,6 +238,7 @@ impl Reply {
             | Reply::Completed { req_id }
             | Reply::Dropped { req_id }
             | Reply::Models { req_id, .. }
+            | Reply::Stats { req_id, .. }
             | Reply::Error { req_id, .. }
             | Reply::DatapathFailed { req_id, .. } => *req_id,
         }

@@ -9,11 +9,23 @@
 //!    incomplete ("collapsed") data; its region is freed.
 //!
 //! Freed slots keep their header with `data_off = 0`; if the model
-//!    trains again, the daemon lazily re-allocates a region
-//!    ([`Index::ensure_slot_region`]).
+//! trains again, the daemon lazily re-allocates a region
+//! ([`Index::ensure_slot_region`]).
+//!
+//! A pass builds one offset-keyed view of the allocator's live
+//! allocations up front and resolves every slot against it, instead of
+//! rescanning `live_allocations()` per slot. A slot header pointing at
+//! an offset the allocator does not know is index/allocator
+//! **divergence**: the pass stops with
+//! [`PortusError::AllocatorDivergence`] and leaves the header untouched
+//! as evidence — clearing it would silently leak the region.
+
+use std::collections::HashMap;
+
+use portus_pmem::PmemAlloc;
 
 use crate::daemon::PortusDaemon;
-use crate::{Index, PortusResult, SlotState};
+use crate::{Index, PortusError, PortusResult, SlotState};
 
 /// What one repacking pass reclaimed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,10 +49,21 @@ pub struct RepackReport {
 ///
 /// # Errors
 ///
-/// Device/allocator errors.
+/// Device/allocator errors; [`PortusError::AllocatorDivergence`] if a
+/// slot header points at a region the allocator has no record of (the
+/// slot header is left as-is so the corruption stays inspectable).
 pub fn repack(daemon: &PortusDaemon, reclaim_active: bool) -> PortusResult<RepackReport> {
     let index = daemon.index();
     let mut report = RepackReport::default();
+    // One offset-keyed view of the live allocations for the whole
+    // pass; entries are consumed as slots free them, so a second slot
+    // claiming an already-freed offset also surfaces as divergence.
+    let mut by_offset: HashMap<u64, PmemAlloc> = index
+        .allocator()
+        .live_allocations()?
+        .into_iter()
+        .map(|a| (a.offset, a))
+        .collect();
     for (_hash, off) in index.live_entries()? {
         let mi = index.load_mindex(off)?;
         report.scanned_models += 1;
@@ -57,7 +80,7 @@ pub fn repack(daemon: &PortusDaemon, reclaim_active: bool) -> PortusResult<Repac
                 SlotState::Empty => job_complete,
             };
             if reclaim {
-                let freed = free_slot_region(index, &mi, s)?;
+                let freed = free_slot_region(index, &mi, s, &mut by_offset)?;
                 report.reclaimed_slots += 1;
                 report.freed_bytes += freed;
                 if hdr.state == SlotState::Active {
@@ -69,16 +92,30 @@ pub fn repack(daemon: &PortusDaemon, reclaim_active: bool) -> PortusResult<Repac
     Ok(report)
 }
 
-fn free_slot_region(index: &Index, mi: &crate::MIndex, slot: usize) -> PortusResult<u64> {
+/// Frees the allocation backing `slot` and clears the slot header.
+/// The allocation is resolved through `by_offset` (built once per
+/// pass) and consumed, so the same region cannot be freed twice.
+///
+/// # Errors
+///
+/// [`PortusError::AllocatorDivergence`] when no live allocation starts
+/// at the header's `data_off` — the header is **not** cleared in that
+/// case, so the corrupt state survives for inspection.
+fn free_slot_region(
+    index: &Index,
+    mi: &crate::MIndex,
+    slot: usize,
+    by_offset: &mut HashMap<u64, PmemAlloc>,
+) -> PortusResult<u64> {
     let hdr = mi.slots[slot];
-    let mut freed = 0;
-    for a in index.allocator().live_allocations()? {
-        if a.offset == hdr.data_off {
-            freed = a.len;
-            index.allocator().free(&a)?;
-            break;
-        }
-    }
+    let alloc = by_offset
+        .remove(&hdr.data_off)
+        .ok_or_else(|| PortusError::AllocatorDivergence {
+            model: mi.name.clone(),
+            slot,
+            data_off: hdr.data_off,
+        })?;
+    index.allocator().free(&alloc)?;
     index.clear_slot_region(mi, slot)?;
-    Ok(freed)
+    Ok(alloc.len)
 }

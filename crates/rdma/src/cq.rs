@@ -22,6 +22,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use portus_sim::SimTime;
+
 use crate::{Completion, QueuePair, RdmaError, RegionTarget, SgEntry};
 
 /// Identifier of one posted work request.
@@ -42,6 +44,17 @@ impl WorkCompletion {
     /// `true` when the work request succeeded.
     pub fn is_ok(&self) -> bool {
         self.result.is_ok()
+    }
+
+    /// The fabric-side `(start, end)` instants of a successful
+    /// transfer, on the virtual clock. `None` for failed requests.
+    ///
+    /// Because the in-process fabric completes transfers eagerly at
+    /// post time, a drain loop charges no virtual time of its own —
+    /// span-based timing of the completion phase is instead derived
+    /// from these fabric instants.
+    pub fn fabric_span(&self) -> Option<(SimTime, SimTime)> {
+        self.result.as_ref().ok().map(|c| (c.start, c.end))
     }
 }
 
@@ -326,6 +339,18 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].wr_id, id);
         assert_eq!(done[0].result.as_ref().unwrap().bytes, 8192);
+    }
+
+    #[test]
+    fn fabric_span_reports_transfer_instants() {
+        let (qp, cq, rkey, dst) = setup();
+        qp.post_read(rkey, 0, &dst, 0, 4096);
+        let bad = qp.post_read(0xBAD, 0, &dst, 0, 64);
+        let done = cq.poll(4);
+        let (start, end) = done[0].fabric_span().expect("success has a span");
+        assert!(end > start);
+        assert_eq!(done[1].wr_id, bad);
+        assert!(done[1].fabric_span().is_none());
     }
 
     #[test]

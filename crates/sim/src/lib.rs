@@ -26,22 +26,29 @@
 mod clock;
 mod cost;
 mod engine;
+mod metrics;
 mod resource;
 mod stats;
 mod time;
+mod trace;
 
 pub use clock::Clock;
 pub use cost::{CostModel, MemoryKind};
 pub use engine::Engine;
+pub use metrics::{
+    HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram, HISTOGRAM_BUCKETS,
+};
 pub use resource::{Grant, Resource};
 pub use stats::{Stats, StatsSnapshot};
 pub use time::{SimDuration, SimTime};
+pub use trace::{chrome_trace_json, SpanRecord, Stage, TraceEvent, TraceOp, Tracer};
 
 /// Shared simulation context: one virtual timeline, one calibrated cost
-/// model, one set of datapath counters.
+/// model, one set of datapath counters, one span recorder, and one
+/// metrics registry.
 ///
-/// Cloning shares the clock and counters (the model is copied; it is
-/// immutable in practice).
+/// Cloning shares the clock, counters, tracer, and metrics (the model
+/// is copied; it is immutable in practice).
 #[derive(Debug, Clone, Default)]
 pub struct SimContext {
     /// The shared virtual clock.
@@ -50,6 +57,11 @@ pub struct SimContext {
     pub model: CostModel,
     /// Shared datapath counters.
     pub stats: Stats,
+    /// Shared per-request span recorder (disabled until
+    /// [`Tracer::enable`]).
+    pub tracer: Tracer,
+    /// Shared stage-latency histograms and queue gauges.
+    pub metrics: Metrics,
 }
 
 impl SimContext {
@@ -59,6 +71,8 @@ impl SimContext {
             clock: Clock::new(),
             model: CostModel::icdcs24(),
             stats: Stats::new(),
+            tracer: Tracer::new(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -68,6 +82,8 @@ impl SimContext {
             clock: Clock::new(),
             model,
             stats: Stats::new(),
+            tracer: Tracer::new(),
+            metrics: Metrics::new(),
         }
     }
 

@@ -1,0 +1,337 @@
+//! Fixed-bucket latency histograms and gauges keyed to virtual time.
+//!
+//! Where [`crate::Tracer`] keeps every span for timeline export,
+//! [`Metrics`] aggregates: each `(op, stage)` pair gets a 64-bucket
+//! power-of-two histogram of stage durations, cheap enough to leave on
+//! permanently. Quantiles (p50/p95/p99) are derived from the bucket
+//! counts on demand — no floats are stored, so snapshots stay `Eq` and
+//! replays of a deterministic run snapshot identically.
+//!
+//! The same registry carries the daemon's dispatch-queue gauges
+//! (current depth, high-water mark, configured capacity), giving the
+//! bounded dispatch pool observable backpressure.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Stage, TraceOp};
+use crate::SimDuration;
+
+/// Number of power-of-two buckets; bucket `i` counts durations `d`
+/// with `floor(log2(d)) == i` (bucket 0 also takes `d == 0`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+fn bucket_of(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        (63 - nanos.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Lower bound (inclusive) of bucket `i`, in nanoseconds.
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0u64; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(nanos);
+        self.min_ns = self.min_ns.min(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+        self.buckets[bucket_of(nanos)] += 1;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            total_ns: self.total_ns,
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            buckets: self.buckets.to_vec(),
+        }
+    }
+}
+
+/// An immutable view of one `(op, stage)` histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all sample durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Power-of-two bucket counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: the lower bound of
+    /// the bucket holding the `ceil(q * count)`-th sample, clamped to
+    /// the observed `[min, max]` range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+/// One `(op, stage)` histogram inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageHistogram {
+    /// The operation.
+    pub op: TraceOp,
+    /// The stage within the operation.
+    pub stage: Stage,
+    /// The aggregated distribution.
+    pub hist: HistogramSnapshot,
+}
+
+/// A point-in-time view of every histogram and gauge.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-`(op, stage)` histograms, sorted by `(op, stage)`.
+    pub stages: Vec<StageHistogram>,
+    /// Jobs currently queued on the daemon dispatch pool.
+    pub dispatch_queue_depth: u64,
+    /// High-water mark of queued jobs.
+    pub dispatch_queue_peak: u64,
+    /// Configured bound of the dispatch queue (0 = not configured).
+    pub dispatch_queue_capacity: u64,
+}
+
+impl MetricsSnapshot {
+    /// The histogram for `(op, stage)`, if any samples were recorded.
+    pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<&HistogramSnapshot> {
+        self.stages
+            .iter()
+            .find(|s| s.op == op && s.stage == stage)
+            .map(|s| &s.hist)
+    }
+
+    /// Total nanoseconds recorded for `(op, stage)` (0 if absent).
+    pub fn stage_total_ns(&self, op: TraceOp, stage: Stage) -> u64 {
+        self.stage(op, stage).map_or(0, |h| h.total_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    hists: Mutex<BTreeMap<(TraceOp, Stage), Hist>>,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    queue_capacity: AtomicU64,
+}
+
+/// Shared metrics registry. Cloning shares the underlying histograms
+/// and gauges (like [`crate::Stats`]); recording is always on — a
+/// sample is one mutex-guarded bucket increment.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one stage duration sample.
+    pub fn record_stage(&self, op: TraceOp, stage: Stage, d: SimDuration) {
+        let mut hists = self.inner.hists.lock();
+        hists
+            .entry((op, stage))
+            .or_insert_with(Hist::new)
+            .record(d.as_nanos());
+    }
+
+    /// Notes a job entering the dispatch queue; updates the peak gauge.
+    pub fn queue_enter(&self) {
+        let depth = self.inner.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Notes a job leaving the dispatch queue for a worker.
+    pub fn queue_exit(&self) {
+        // Saturate rather than wrap if exit/enter ever race at zero.
+        let _ = self.inner.queue_depth.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |d| Some(d.saturating_sub(1)),
+        );
+    }
+
+    /// Records the configured dispatch-queue bound.
+    pub fn set_queue_capacity(&self, capacity: u64) {
+        self.inner.queue_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The histogram snapshot for `(op, stage)`, if any samples exist.
+    pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
+        self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
+    }
+
+    /// A consistent view of all histograms and gauges. Deterministic:
+    /// stages are emitted in `(op, stage)` order regardless of the
+    /// recording interleaving.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let stages = self
+            .inner
+            .hists
+            .lock()
+            .iter()
+            .map(|(&(op, stage), h)| StageHistogram { op, stage, hist: h.snapshot() })
+            .collect();
+        MetricsSnapshot {
+            stages,
+            dispatch_queue_depth: self.inner.queue_depth.load(Ordering::Relaxed),
+            dispatch_queue_peak: self.inner.queue_peak.load(Ordering::Relaxed),
+            dispatch_queue_capacity: self.inner.queue_capacity.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(10), 1024);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let m = Metrics::new();
+        for ns in [100u64, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 1_000_000] {
+            m.record_stage(TraceOp::Checkpoint, Stage::Persist, SimDuration::from_nanos(ns));
+        }
+        let h = m.stage(TraceOp::Checkpoint, Stage::Persist).unwrap();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min_ns, 100);
+        assert_eq!(h.max_ns, 1_000_000);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max_ns);
+        assert!(h.quantile(0.0) >= h.min_ns);
+        assert!(h.quantile(1.0) <= h.max_ns);
+        assert_eq!(h.mean_ns(), (100 + 200 + 400 + 800 + 1_600 + 3_200 + 6_400 + 12_800 + 25_600 + 1_000_000) / 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        let m = Metrics::new();
+        assert!(m.stage(TraceOp::Restore, Stage::Total).is_none());
+        assert_eq!(m.snapshot().stage_total_ns(TraceOp::Restore, Stage::Total), 0);
+    }
+
+    #[test]
+    fn queue_gauges_track_depth_and_peak() {
+        let m = Metrics::new();
+        m.set_queue_capacity(8);
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        m.queue_enter();
+        let s = m.snapshot();
+        assert_eq!(s.dispatch_queue_depth, 2);
+        assert_eq!(s.dispatch_queue_peak, 2);
+        assert_eq!(s.dispatch_queue_capacity, 8);
+        m.queue_exit();
+        m.queue_exit();
+        m.queue_exit(); // extra exit saturates at zero
+        assert_eq!(m.snapshot().dispatch_queue_depth, 0);
+    }
+
+    #[test]
+    fn clones_share_state_and_snapshots_are_deterministic() {
+        let a = Metrics::new();
+        let b = a.clone();
+        b.record_stage(TraceOp::Restore, Stage::Total, SimDuration::from_micros(5));
+        a.record_stage(TraceOp::Checkpoint, Stage::Total, SimDuration::from_micros(3));
+        let s = a.snapshot();
+        assert_eq!(s.stages.len(), 2);
+        // BTreeMap ordering: Checkpoint < Restore by declaration order.
+        assert_eq!(s.stages[0].op, TraceOp::Checkpoint);
+        assert_eq!(s.stages[1].op, TraceOp::Restore);
+        assert_eq!(s, b.snapshot());
+        assert_eq!(s.stage_total_ns(TraceOp::Checkpoint, Stage::Total), 3_000);
+    }
+}

@@ -1,11 +1,11 @@
 //! The repacking tool (§III-D2, Fig. 7): reclaiming PMem from finished
 //! jobs and from checkpoints that crashed mid-write.
 
-use portus::{repack, DaemonConfig, PortusClient, PortusDaemon, SlotState};
+use portus::{repack, DaemonConfig, PortusClient, PortusDaemon, PortusError, SlotState};
 use portus_dnn::{test_spec, Materialization, ModelInstance};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
-use portus_rdma::{Fabric, NodeId};
+use portus_rdma::{Fabric, FaultSpec, NodeId};
 use portus_sim::SimContext;
 
 struct World {
@@ -16,12 +16,16 @@ struct World {
 }
 
 fn world() -> World {
+    world_cfg(DaemonConfig::default())
+}
+
+fn world_cfg(cfg: DaemonConfig) -> World {
     let ctx = SimContext::icdcs24();
     let fabric = Fabric::new(ctx.clone());
     fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
-    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
     World { ctx, fabric, daemon, gpu }
 }
@@ -113,6 +117,130 @@ fn checkpointing_resumes_after_repack_by_reallocating_the_slot() {
     model.train_step();
     client.restore(&model).unwrap();
     assert_eq!(model.model_checksum(), state2);
+}
+
+/// A partially-failed delta collapses a previously-Done slot (PR 2's
+/// rollback): the header empties but keeps its region, the safe repack
+/// pass leaves the collapsed slot of the still-running job alone, the
+/// next checkpoint re-uses the region through `ensure_slot_region`,
+/// and only job completion lets repack reclaim the non-latest version.
+#[test]
+fn collapsed_slot_survives_safe_repack_and_is_reused() {
+    let w = world_cfg(DaemonConfig {
+        verb_retries: 0, // one failed WQE is terminal — forces the rollback
+        ..DaemonConfig::default()
+    });
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("collapse", 4, 128 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("collapse").unwrap();
+    model.train_step();
+    client.checkpoint("collapse").unwrap();
+
+    // Delta v3 targets the slot holding Done v1. Dirty tensors 0 and 2
+    // become two non-adjacent pull runs; fail the second verb so run 1
+    // lands data in the slot (collapse, not revert) and the delta dies.
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let target = index.load_mindex(off).unwrap().target_slot();
+    w.fabric.arm_faults(NodeId(1), FaultSpec::Nth(2)).unwrap();
+    model.train_step();
+    let err = client
+        .checkpoint_delta("collapse", &[true, false, true, false])
+        .unwrap_err();
+    assert!(matches!(err, PortusError::DatapathFailed { .. }), "got {err}");
+
+    let mi = index.load_mindex(off).unwrap();
+    assert_eq!(mi.slots[target].state, SlotState::Empty, "collapsed");
+    assert_ne!(mi.slots[target].data_off, 0, "collapse keeps the region");
+    assert_eq!(mi.latest_done().unwrap().1.version, 2, "v2 untouched");
+
+    // Safe repack must not touch the collapsed slot of a running job.
+    let safe = repack(&w.daemon, false).unwrap();
+    assert_eq!(safe.reclaimed_slots, 0);
+    assert_eq!(safe.freed_bytes, 0);
+
+    // Training resumes: the next checkpoint re-attaches the kept
+    // region (no fresh allocation needed) and restores bit-for-bit.
+    w.fabric.clear_faults(NodeId(1)).unwrap();
+    model.train_step();
+    let state3 = model.model_checksum();
+    let r = client.checkpoint("collapse").unwrap();
+    assert_eq!(r.version, 3);
+    let mi3 = index.load_mindex(off).unwrap();
+    assert_eq!(mi3.slots[target].state, SlotState::Done);
+    assert_eq!(
+        mi3.slots[target].data_off, mi.slots[target].data_off,
+        "ensure_slot_region re-used the collapsed slot's region"
+    );
+    model.train_step();
+    client.restore(&model).unwrap();
+    assert_eq!(model.model_checksum(), state3);
+
+    // Only once the job completes does repack reclaim the non-latest
+    // version's region.
+    client.mark_complete("collapse").unwrap();
+    let done = repack(&w.daemon, false).unwrap();
+    assert_eq!(done.reclaimed_slots, 1);
+    assert!(done.freed_bytes >= spec.total_bytes());
+    let _ = w.ctx;
+}
+
+/// A slot header pointing at a region the allocator has no record of is
+/// index/allocator divergence: repack must stop with the typed error
+/// and leave the header untouched — not clear it and report
+/// `freed_bytes = 0` as if the pass had succeeded.
+#[test]
+fn repack_surfaces_allocator_divergence_and_preserves_the_header() {
+    let w = world();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("diverge", 2, 64 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 6, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("diverge").unwrap();
+    client.mark_complete("diverge").unwrap();
+
+    // Corrupt the metadata: free the allocation backing the idle slot
+    // behind the allocator's back, so the header now points at a
+    // region the allocator no longer knows.
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    let (victim, hdr) = mi
+        .slots
+        .iter()
+        .enumerate()
+        .find(|(_, h)| h.state == SlotState::Empty && h.data_off != 0)
+        .expect("idle slot with a region");
+    let stale_off = hdr.data_off;
+    let alloc = index
+        .allocator()
+        .live_allocations()
+        .unwrap()
+        .into_iter()
+        .find(|a| a.offset == stale_off)
+        .expect("backing allocation");
+    index.allocator().free(&alloc).unwrap();
+
+    let err = repack(&w.daemon, false).unwrap_err();
+    match err {
+        PortusError::AllocatorDivergence { model, slot, data_off } => {
+            assert_eq!(model, "diverge");
+            assert_eq!(slot, victim);
+            assert_eq!(data_off, stale_off);
+        }
+        other => panic!("expected AllocatorDivergence, got {other}"),
+    }
+    // The corrupt header survives as evidence.
+    let after = index.load_mindex(off).unwrap();
+    assert_eq!(after.slots[victim].data_off, stale_off);
+    assert_eq!(after.slots[victim].state, SlotState::Empty);
+    let _ = w.ctx;
 }
 
 #[test]

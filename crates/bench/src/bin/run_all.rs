@@ -13,6 +13,7 @@ const BINS: &[&str] = &[
     "fig16_gpu_util",
     "ablations",
     "failure_sweep",
+    "space_sweep",
     "advisor",
     "models_sweep",
     // Real-data-plane experiments last (the heavy ones).

@@ -4,6 +4,7 @@
 //! portusctl view DEVICE_IMAGE
 //! portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE
 //! portusctl stats SNAPSHOT.json
+//! portusctl space SNAPSHOT.json
 //! ```
 
 use std::path::Path;
@@ -16,6 +17,7 @@ fn usage() -> ExitCode {
     eprintln!("  portusctl view DEVICE_IMAGE");
     eprintln!("  portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE");
     eprintln!("  portusctl stats SNAPSHOT.json");
+    eprintln!("  portusctl space SNAPSHOT.json");
     ExitCode::from(2)
 }
 
@@ -63,6 +65,19 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("portusctl stats: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("space") => {
+            let Some(snapshot) = args.get(2) else { return usage() };
+            match portus::portusctl::load_stats(Path::new(snapshot)) {
+                Ok(metrics) => {
+                    print!("{}", portus::portusctl::render_space(&metrics));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl space: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -167,6 +167,9 @@ impl PortusClient {
             Reply::DatapathFailed { model, op, failures, .. } => {
                 Err(PortusError::DatapathFailed { model, op, failures })
             }
+            Reply::OutOfSpace { needed, free, largest_extent, .. } => {
+                Err(PortusError::OutOfSpace { needed, free, largest_extent })
+            }
             ok => Ok(ok),
         }
     }

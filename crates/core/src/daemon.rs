@@ -37,14 +37,14 @@
 //! The model's previous `Done` version is never touched, so restore
 //! keeps working after any failed checkpoint.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use portus_pmem::PmemDevice;
+use portus_pmem::{PmemDevice, PmemError};
 use portus_rdma::{
     CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair, RdmaError,
     RegionTarget, SgEntry, WrId, MAX_SGE,
@@ -83,6 +83,15 @@ pub struct DaemonConfig {
     /// virtual clock ([`portus_sim::CostModel::verb_retry_backoff`]).
     /// `0` means a single error is immediately terminal.
     pub verb_retries: u32,
+    /// Low free-byte watermark: when free PMem drops below this after a
+    /// request, the dispatch worker runs a repack pass *inline* before
+    /// picking up more work (synchronous backpressure). `0` disables.
+    pub space_low_watermark: u64,
+    /// High free-byte watermark: when free PMem drops below this after
+    /// a request (but stays above the low watermark), the background
+    /// repacker thread is woken to compact concurrently with traffic.
+    /// `0` disables background compaction entirely.
+    pub space_high_watermark: u64,
 }
 
 impl Default for DaemonConfig {
@@ -95,6 +104,8 @@ impl Default for DaemonConfig {
             dispatch_workers: 4,
             dispatch_queue_depth: 64,
             verb_retries: 3,
+            space_low_watermark: 0,
+            space_high_watermark: 0,
         }
     }
 }
@@ -193,6 +204,22 @@ pub(crate) struct DaemonState {
     cfg: DaemonConfig,
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
+    /// The recovery-epoch gate for `Active`-slot reclaim: the
+    /// `(mindex_offset, slot, version)` keys of every slot that was
+    /// already `Active` when this daemon instance recovered its index.
+    /// Those are crash debris — no thread of *this* process can be
+    /// mid-pull into them — so an aggressive repack pass may reclaim
+    /// them. An `Active` slot not in this set belongs to a live (or
+    /// live-ish) checkpoint and is never touched, regardless of what
+    /// the caller asked for.
+    pub(crate) stale_active: Mutex<HashSet<(u64, usize, u64)>>,
+    /// Monotonic repack-pass counter (span `req_id`s for
+    /// [`TraceOp::Repack`]).
+    repack_seq: AtomicU64,
+    /// Wake-up channel of the background repacker thread (present only
+    /// when `space_high_watermark > 0`); dropped on shutdown so the
+    /// thread exits.
+    repack_tx: Mutex<Option<Sender<()>>>,
 }
 
 /// The Portus storage daemon.
@@ -206,6 +233,7 @@ pub struct PortusDaemon {
     nic: Arc<Nic>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     dispatcher: Arc<Dispatcher>,
+    repacker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for PortusDaemon {
@@ -262,20 +290,54 @@ impl PortusDaemon {
             cfg.dispatch_queue_depth,
             fabric.ctx().metrics.clone(),
         ));
+        // The recovery epoch: any slot already `Active` at daemon start
+        // is crash debris from a previous incarnation — no thread of
+        // this process can be pulling into it. Only these slots are
+        // eligible for aggressive (`reclaim_active`) repacking.
+        let mut stale_active = HashSet::new();
+        for (_name, off) in map.iter() {
+            let mi = index.load_mindex(off)?;
+            for (s, hdr) in mi.slots.iter().enumerate() {
+                if hdr.state == SlotState::Active {
+                    stale_active.insert((mi.offset, s, hdr.version));
+                }
+            }
+        }
+        let high_watermark = cfg.space_high_watermark;
+        let state = Arc::new(DaemonState {
+            ctx: fabric.ctx().clone(),
+            index,
+            map: Mutex::new(map),
+            sessions: Mutex::new(HashMap::new()),
+            model_locks: Mutex::new(HashMap::new()),
+            cfg,
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            stale_active: Mutex::new(stale_active),
+            repack_seq: AtomicU64::new(0),
+            repack_tx: Mutex::new(None),
+        });
+        state.refresh_space_gauges();
+        let repacker = if high_watermark > 0 {
+            // A `bounded(1)` wake-up channel: while a pass runs, at most
+            // one further wake-up is parked; extra triggers coalesce.
+            let (tx, rx) = bounded::<()>(1);
+            *state.repack_tx.lock() = Some(tx);
+            let st = Arc::clone(&state);
+            Some(std::thread::spawn(move || {
+                while rx.recv().is_ok() {
+                    let _ = crate::repack::repack_pass(&st, false, Some(high_watermark));
+                }
+            }))
+        } else {
+            None
+        };
         Ok(Arc::new(PortusDaemon {
-            state: Arc::new(DaemonState {
-                ctx: fabric.ctx().clone(),
-                index,
-                map: Mutex::new(map),
-                sessions: Mutex::new(HashMap::new()),
-                model_locks: Mutex::new(HashMap::new()),
-                cfg,
-                in_flight: AtomicU64::new(0),
-                peak_in_flight: AtomicU64::new(0),
-            }),
+            state,
             nic,
             workers: Mutex::new(Vec::new()),
             dispatcher,
+            repacker: Mutex::new(repacker),
         }))
     }
 
@@ -301,12 +363,18 @@ impl PortusDaemon {
     }
 
     /// Waits for all connection threads to exit (they exit when their
-    /// client disconnects), then drains and joins the dispatch pool.
+    /// client disconnects), then drains and joins the dispatch pool and
+    /// the background repacker.
     pub fn shutdown(&self) {
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
         self.dispatcher.shutdown();
+        // Dropping the sender ends the repacker's recv loop.
+        *self.state.repack_tx.lock() = None;
+        if let Some(handle) = self.repacker.lock().take() {
+            let _ = handle.join();
+        }
     }
 
     /// High-water mark of requests in flight on the dispatch pool
@@ -337,6 +405,11 @@ impl PortusDaemon {
     /// The daemon's simulation context.
     pub fn ctx(&self) -> &SimContext {
         &self.state.ctx
+    }
+
+    /// The shared daemon state (for the repacker).
+    pub(crate) fn state(&self) -> &Arc<DaemonState> {
+        &self.state
     }
 }
 
@@ -428,6 +501,11 @@ fn serve(
             state.in_flight.fetch_sub(1, Ordering::Relaxed);
             // The client may already be gone; nothing to do then.
             let _ = replies.send(reply);
+            // Watermark check after the reply is on the wire: a request
+            // that dipped free space below a watermark triggers
+            // compaction (inline below low, background below high)
+            // without adding latency to its own reply.
+            state.maybe_trigger_repack();
         }));
     }
 }
@@ -441,6 +519,9 @@ fn error_reply(req_id: u64, e: PortusError) -> Reply {
     match e {
         PortusError::DatapathFailed { model, op, failures } => {
             Reply::DatapathFailed { req_id, model, op, failures }
+        }
+        PortusError::OutOfSpace { needed, free, largest_extent } => {
+            Reply::OutOfSpace { req_id, needed, free, largest_extent }
         }
         other => Reply::Error { req_id, message: other.to_string() },
     }
@@ -505,10 +586,16 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
             Ok(models) => Reply::Models { req_id, models },
             Err(e) => error_reply(req_id, e),
         },
-        Request::Stats { req_id } => Reply::Stats {
-            req_id,
-            metrics: state.ctx.metrics.snapshot(),
-        },
+        Request::Stats { req_id } => {
+            // Space gauges are refreshed lazily; a stats query must
+            // report the allocator's current view, not the last
+            // repack's.
+            state.refresh_space_gauges();
+            Reply::Stats {
+                req_id,
+                metrics: state.ctx.metrics.snapshot(),
+            }
+        }
     }
 }
 
@@ -647,13 +734,86 @@ fn copy_on_device(
 }
 
 impl DaemonState {
-    fn model_lock(&self, model: &str) -> Arc<Mutex<()>> {
+    pub(crate) fn model_lock(&self, model: &str) -> Arc<Mutex<()>> {
         Arc::clone(
             self.model_locks
                 .lock()
                 .entry(model.to_string())
                 .or_default(),
         )
+    }
+
+    /// The next repack-pass id (span `req_id`s for [`TraceOp::Repack`]).
+    pub(crate) fn next_repack_id(&self) -> u64 {
+        self.repack_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pushes the allocator's current free/used/largest-extent view
+    /// into the shared metrics gauges.
+    pub(crate) fn refresh_space_gauges(&self) {
+        let alloc = self.index.allocator();
+        self.ctx.metrics.set_space(
+            alloc.free_bytes(),
+            alloc.used_bytes(),
+            alloc.largest_free_extent(),
+        );
+    }
+
+    /// Watermark-driven compaction hook, run by dispatch workers after
+    /// each reply. Below the low watermark the pass runs inline
+    /// (synchronous backpressure: this worker reclaims before taking
+    /// more work); between the watermarks the background repacker is
+    /// woken. Disabled watermarks (`0`) cost one atomic-free field read.
+    fn maybe_trigger_repack(&self) {
+        let high = self.cfg.space_high_watermark;
+        if high == 0 {
+            return;
+        }
+        let free = self.index.allocator().free_bytes();
+        if free >= high {
+            return;
+        }
+        if self.cfg.space_low_watermark > 0 && free < self.cfg.space_low_watermark {
+            let _ = crate::repack::repack_pass(self, true, Some(high));
+        } else if let Some(tx) = self.repack_tx.lock().as_ref() {
+            // A parked wake-up already covers us; drop extras.
+            let _ = tx.try_send(());
+        }
+    }
+
+    /// [`Index::ensure_slot_region`] with the `OutOfSpace` recovery
+    /// loop: on an allocator `OutOfSpace`, run one aggressive (but
+    /// epoch-gated, so still safe) repack pass and retry the allocation
+    /// once. If the device genuinely cannot hold the region, surface
+    /// the typed [`PortusError::OutOfSpace`] carrying the allocator's
+    /// final view. The caller holds this model's lock; the pass
+    /// `try_lock`s and simply skips the busy model.
+    fn ensure_region_or_reclaim(
+        &self,
+        mi: &mut MIndex,
+        slot: usize,
+    ) -> PortusResult<SlotHeader> {
+        match self.index.ensure_slot_region(mi, slot) {
+            Err(PortusError::Pmem(PmemError::OutOfSpace { .. })) => {
+                let _ = crate::repack::repack_pass(self, true, None);
+                match self.index.ensure_slot_region(mi, slot) {
+                    Ok(hdr) => {
+                        self.ctx.stats.record_oos_recovery();
+                        Ok(hdr)
+                    }
+                    Err(PortusError::Pmem(PmemError::OutOfSpace { requested, .. })) => {
+                        let alloc = self.index.allocator();
+                        Err(PortusError::OutOfSpace {
+                            needed: requested,
+                            free: alloc.free_bytes(),
+                            largest_extent: alloc.largest_free_extent(),
+                        })
+                    }
+                    other => other,
+                }
+            }
+            other => other,
+        }
     }
 
     fn lookup(&self, model: &str) -> PortusResult<MIndex> {
@@ -810,6 +970,22 @@ impl DaemonState {
         Ok(())
     }
 
+    /// [`Self::rollback_slot`], best-effort: a rollback that itself
+    /// fails must never mask the datapath error the caller is about to
+    /// return — it is only counted. (The slot is then stranded `Active`
+    /// until the next recovery epoch reclaims it.)
+    fn rollback_best_effort(
+        &self,
+        mi: &MIndex,
+        slot: usize,
+        pre: SlotHeader,
+        data_landed: bool,
+    ) {
+        if self.rollback_slot(mi, slot, pre, data_landed).is_err() {
+            self.ctx.stats.record_rollback_failure();
+        }
+    }
+
     /// Persists the pulled data, checksums the slot, and flips it to
     /// `Done`. On any error the slot is rolled back (bytes definitely
     /// landed by this point) and the original error is returned.
@@ -832,7 +1008,7 @@ impl DaemonState {
             });
         if let Err(e) = sealed {
             // Best-effort: the original error is what the client sees.
-            let _ = self.rollback_slot(mi, slot, pre, true);
+            self.rollback_best_effort(mi, slot, pre, true);
             return Err(e);
         }
         Ok(())
@@ -930,12 +1106,15 @@ impl DaemonState {
         sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
-        let version = mi.latest_done().map_or(0, |(_, s)| s.version) + 1;
+        // Max over *both* headers, not `latest_done`: a collapsed or
+        // reverted slot keeps its issued version as a high-water mark,
+        // so a number handed to a failed checkpoint is never reused.
+        let version = mi.next_version();
         // Re-attach a data region if the repacker reclaimed this slot.
         // The returned header doubles as the rollback target: captured
         // after region attachment (a fresh region is kept on failure)
         // but before activation.
-        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        let hdr = self.ensure_region_or_reclaim(&mut mi, target)?;
         self.index.mark_slot_active(&mi, target, version)?;
 
         let t0 = self.ctx.clock.now();
@@ -943,7 +1122,7 @@ impl DaemonState {
         // posted under one doorbell, completions drained off the CQ,
         // failed WQEs retried per-run.
         if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
-            self.rollback_slot(&mi, target, hdr, fail.any_succeeded)?;
+            self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded);
             return Err(fail.into_error(model, "checkpoint"));
         }
         // RDMA landed in the DDIO domain; make it durable (Wei et al.),
@@ -1037,10 +1216,12 @@ impl DaemonState {
         sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
-        let version = prev.map_or(0, |(_, s)| s.version) + 1;
+        // As in `checkpoint`: the high-water mark across both headers,
+        // not the latest `Done` version.
+        let version = mi.next_version();
         // As in `checkpoint`: the post-attachment, pre-activation header
         // is the rollback target.
-        let hdr = self.index.ensure_slot_region(&mut mi, target)?;
+        let hdr = self.ensure_region_or_reclaim(&mut mi, target)?;
         self.index.mark_slot_active(&mi, target, version)?;
 
         let dev = Arc::clone(self.index.device());
@@ -1055,17 +1236,19 @@ impl DaemonState {
             carried += len;
             Ok(())
         });
+        if let Err(e) = carry_result {
+            self.rollback_best_effort(&mi, target, hdr, carried > 0);
+            return Err(e);
+        }
+        // Only a carry loop that ran to completion gets a span — a
+        // midway error must not be attributed as a finished stage.
         if !carries.is_empty() {
             sc.record_now(Stage::CarryCopy, t0);
-        }
-        if let Err(e) = carry_result {
-            let _ = self.rollback_slot(&mi, target, hdr, carried > 0);
-            return Err(e);
         }
         if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
             // Bytes landed if any pull WQE succeeded — or if any
             // carry-over copy already wrote into the slot.
-            self.rollback_slot(&mi, target, hdr, fail.any_succeeded || carried > 0)?;
+            self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded || carried > 0);
             return Err(fail.into_error(model, "delta-checkpoint"));
         }
         self.seal_slot(&mi, target, hdr, hdr, &sc)?;
@@ -1101,17 +1284,6 @@ impl DaemonState {
                 mi.tensors.len()
             )));
         }
-        if self.cfg.verify_on_restore {
-            let computed = self.checksum_phase(&mi, slot, &sc)?;
-            if computed != hdr.checksum {
-                return Err(PortusError::ChecksumMismatch {
-                    model: model.to_string(),
-                    version: hdr.version,
-                });
-            }
-        }
-
-        let t_validate = self.ctx.clock.now();
         let mut verbs = Vec::with_capacity(mi.tensors.len());
         for (rec, desc) in mi.tensors.iter().zip(descs) {
             if desc.meta() != rec.meta {
@@ -1127,7 +1299,20 @@ impl DaemonState {
                 name: desc.name.clone(),
             });
         }
-        sc.record_now(Stage::Validate, t_validate);
+        // Validate covers the index/descriptor reconciliation only; it
+        // is recorded before the (separately staged) checksum pass so
+        // the two spans do not overlap in the trace.
+        sc.record_now(Stage::Validate, t_op);
+
+        if self.cfg.verify_on_restore {
+            let computed = self.checksum_phase(&mi, slot, &sc)?;
+            if computed != hdr.checksum {
+                return Err(PortusError::ChecksumMismatch {
+                    model: model.to_string(),
+                    version: hdr.version,
+                });
+            }
+        }
 
         let t_build = self.ctx.clock.now();
         let runs = coalesce_runs(&verbs);

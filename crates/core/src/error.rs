@@ -89,6 +89,19 @@ pub enum PortusError {
         /// The orphaned `data_off` the header points at.
         data_off: u64,
     },
+    /// The device cannot hold the checkpoint even after a repack pass
+    /// reclaimed everything reclaimable. Carries the allocator's view
+    /// at the moment of the final failed allocation so the operator can
+    /// tell exhaustion (`free < needed`) from fragmentation
+    /// (`free >= needed > largest_extent`).
+    OutOfSpace {
+        /// Bytes the failed allocation asked for.
+        needed: u64,
+        /// Total free bytes at the time of failure.
+        free: u64,
+        /// Largest contiguous free extent at the time of failure.
+        largest_extent: u64,
+    },
     /// A protocol violation or daemon-side failure, with the daemon's
     /// message.
     Daemon(String),
@@ -134,6 +147,13 @@ impl fmt::Display for PortusError {
                     f,
                     "index/allocator divergence: {model} slot {slot} points at \
                      data_off {data_off:#x} with no matching allocation"
+                )
+            }
+            PortusError::OutOfSpace { needed, free, largest_extent } => {
+                write!(
+                    f,
+                    "out of PMem space after repacking: need {needed} bytes, \
+                     {free} free, largest extent {largest_extent}"
                 )
             }
             PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
@@ -231,6 +251,16 @@ mod tests {
         assert!(msg.contains("divergence"));
         assert!(msg.contains("bert slot 1"));
         assert!(msg.contains("0x4000"));
+    }
+
+    #[test]
+    fn out_of_space_display_reports_the_allocator_view() {
+        let e = PortusError::OutOfSpace { needed: 8192, free: 4096, largest_extent: 1024 };
+        let msg = e.to_string();
+        assert!(msg.contains("out of PMem space"));
+        assert!(msg.contains("8192"));
+        assert!(msg.contains("4096"));
+        assert!(msg.contains("1024"));
     }
 
     #[test]

@@ -182,6 +182,16 @@ impl MIndex {
             .filter(|s| s.state == SlotState::Done)
             .count() as u8
     }
+
+    /// The version the next checkpoint must use: one past the largest
+    /// version either slot header carries, *regardless of state*.
+    /// `latest_done()` alone is not enough — after a rollback collapses
+    /// the newest `Done` slot, its issued version must not be reused
+    /// (a client may have observed it), so collapsed/reverted headers
+    /// keep their version as a high-water mark.
+    pub fn next_version(&self) -> u64 {
+        self.slots.iter().map(|s| s.version).max().unwrap_or(0) + 1
+    }
 }
 
 /// FNV-1a over a string (the ModelTable name hash).
@@ -549,6 +559,14 @@ impl Index {
     /// as they are, because [`Index::ensure_slot_region`] may have
     /// legitimately allocated a fresh region the slot keeps.
     ///
+    /// The version field is special-cased to keep
+    /// [`MIndex::next_version`]'s high-water invariant: when `pre` was
+    /// `Done` the exact pre-call version is restored (the header must
+    /// keep describing its still-valid data), but for a non-`Done` `pre`
+    /// the *larger* of the pre-call version and the just-issued on-media
+    /// version is kept, so the failed checkpoint's version number is
+    /// never reissued.
+    ///
     /// Must not be used when any data landed in a previously-`Done`
     /// slot — the old bytes are clobbered and the pre-call checksum
     /// would falsely validate them; use [`Index::collapse_slot`] there.
@@ -558,7 +576,12 @@ impl Index {
     /// Device errors.
     pub fn revert_slot(&self, mi: &MIndex, slot: usize, pre: &SlotHeader) -> PortusResult<()> {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
-        typed::write_u64(&self.dev, sh + SH_VERSION, pre.version)?;
+        let version = if pre.state == SlotState::Done {
+            pre.version
+        } else {
+            pre.version.max(typed::read_u64(&self.dev, sh + SH_VERSION)?)
+        };
+        typed::write_u64(&self.dev, sh + SH_VERSION, version)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, pre.checksum)?;
         self.dev.persist(sh + SH_VERSION, 16)?;
         typed::write_u64(&self.dev, sh + SH_STATE, pre.state.to_u64())?;
@@ -566,18 +589,20 @@ impl Index {
         Ok(())
     }
 
-    /// Durably collapses a slot to `Empty` with version and checksum
-    /// cleared, abandoning whatever partial data a failed checkpoint
-    /// left in its region. The region itself stays attached for reuse.
+    /// Durably collapses a slot to `Empty` with the checksum cleared,
+    /// abandoning whatever partial data a failed checkpoint left in its
+    /// region. The region itself stays attached for reuse, and the
+    /// slot's version is deliberately *kept*: it was already issued to
+    /// the failed checkpoint, and [`MIndex::next_version`] uses it as a
+    /// high-water mark so the number is never handed out twice.
     ///
     /// # Errors
     ///
     /// Device errors.
     pub fn collapse_slot(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
-        typed::write_u64(&self.dev, sh + SH_VERSION, 0)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
-        self.dev.persist(sh + SH_VERSION, 16)?;
+        self.dev.persist(sh + SH_CHECKSUM, 8)?;
         typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
         self.dev.persist(sh + SH_STATE, 8)?;
         Ok(())
@@ -585,7 +610,10 @@ impl Index {
 
     /// Durably detaches a slot's data region (repacker): the slot
     /// becomes `Empty` with `data_off = 0`. The region itself must be
-    /// freed by the caller.
+    /// freed by the caller. Unlike [`Index::collapse_slot`], the version
+    /// is zeroed too: reclaiming a slot is an explicit statement that
+    /// its never-acknowledged version is forgotten, so the model's
+    /// version sequence resumes from the surviving headers.
     ///
     /// # Errors
     ///
@@ -593,6 +621,7 @@ impl Index {
     pub fn clear_slot_region(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
         typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+        typed::write_u64(&self.dev, sh + SH_VERSION, 0)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
         typed::write_u64(&self.dev, sh + SH_DATA_OFF, 0)?;
         self.dev.persist(sh, SLOT_HDR_SIZE)?;
@@ -776,8 +805,29 @@ mod tests {
         index.mark_slot_active(&mi, 1, 2).unwrap();
         index.revert_slot(&mi, 1, &pre).unwrap();
         let after = index.load_mindex(mi.offset).unwrap();
-        assert_eq!(after.slots[1], pre, "slot 1 header must be byte-identical");
+        assert_eq!(after.slots[1].state, pre.state);
+        assert_eq!(after.slots[1].checksum, pre.checksum);
+        assert_eq!(after.slots[1].data_off, pre.data_off);
+        // The issued version survives as a high-water mark: v2 was
+        // handed out, so the next checkpoint must be v3, not v2 again.
+        assert_eq!(after.slots[1].version, 2);
+        assert_eq!(after.next_version(), 3);
         assert_eq!(after.latest_done().unwrap().1.version, 1);
+    }
+
+    #[test]
+    fn revert_of_a_done_pre_header_is_byte_identical() {
+        let (_dev, index) = fresh();
+        let mut mi = index.create_model("m", &metas(1, 64)).unwrap();
+        index.mark_slot_active(&mi, 0, 5).unwrap();
+        index.mark_slot_done(&mi, 0, 0xAB).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        let pre = mi.slots[0];
+        // A restore-side caller reverting a Done header gets it back
+        // exactly: the data is still valid and the checksum must match.
+        index.revert_slot(&mi, 0, &pre).unwrap();
+        let after = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(after.slots[0], pre);
     }
 
     #[test]
@@ -790,10 +840,28 @@ mod tests {
         index.collapse_slot(&mi, 0).unwrap();
         let after = index.load_mindex(mi.offset).unwrap();
         assert_eq!(after.slots[0].state, SlotState::Empty);
-        assert_eq!(after.slots[0].version, 0);
+        assert_eq!(
+            after.slots[0].version, 1,
+            "the issued version is the high-water mark"
+        );
+        assert_eq!(after.next_version(), 2);
         assert_eq!(after.slots[0].checksum, 0);
         assert_eq!(after.slots[0].data_off, data_off, "region stays attached");
         assert!(after.latest_done().is_none());
+    }
+
+    #[test]
+    fn clear_slot_region_forgets_the_version() {
+        let (_dev, index) = fresh();
+        let mut mi = index.create_model("m", &metas(1, 64)).unwrap();
+        index.mark_slot_active(&mi, 0, 7).unwrap();
+        mi = index.load_mindex(mi.offset).unwrap();
+        index.clear_slot_region(&mi, 0).unwrap();
+        let after = index.load_mindex(mi.offset).unwrap();
+        assert_eq!(after.slots[0].state, SlotState::Empty);
+        assert_eq!(after.slots[0].version, 0, "explicit reclaim resets");
+        assert_eq!(after.slots[0].data_off, 0);
+        assert_eq!(after.next_version(), 1);
     }
 
     #[test]

@@ -171,6 +171,45 @@ pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders the space-management view `portusctl space` prints: the
+/// PMem free/used gauges, the largest contiguous extent, the derived
+/// fragmentation ratio, and the repacker's lifetime reclaim counters.
+pub fn render_space(snapshot: &MetricsSnapshot) -> String {
+    let frag = snapshot.fragmentation_permille();
+    let mut out = String::from("PMEM SPACE\n");
+    out.push_str(&format!(
+        "  free bytes           {:>16}\n",
+        snapshot.pmem_free_bytes
+    ));
+    out.push_str(&format!(
+        "  used bytes           {:>16}\n",
+        snapshot.pmem_used_bytes
+    ));
+    out.push_str(&format!(
+        "  largest free extent  {:>16}\n",
+        snapshot.pmem_largest_free_extent
+    ));
+    out.push_str(&format!(
+        "  fragmentation        {:>13}.{}%\n",
+        frag / 10,
+        frag % 10
+    ));
+    out.push_str("REPACKER\n");
+    out.push_str(&format!(
+        "  passes               {:>16}\n",
+        snapshot.repack_passes
+    ));
+    out.push_str(&format!(
+        "  reclaimed slots      {:>16}\n",
+        snapshot.reclaimed_slots
+    ));
+    out.push_str(&format!(
+        "  reclaimed bytes      {:>16}\n",
+        snapshot.reclaimed_bytes
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +256,23 @@ mod tests {
         assert!(s.contains("capacity 64"));
         // Count column shows the two samples.
         assert!(s.contains(" 2 "));
+    }
+
+    #[test]
+    fn render_space_reports_gauges_and_fragmentation() {
+        let m = Metrics::new();
+        m.set_space(1000, 3000, 250);
+        m.record_reclaimed(8192);
+        m.record_repack_pass();
+        let s = render_space(&m.snapshot());
+        assert!(s.contains("free bytes"));
+        assert!(s.contains("1000"));
+        assert!(s.contains("3000"));
+        assert!(s.contains("250"));
+        // 750 permille renders as 75.0%.
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("reclaimed bytes"));
+        assert!(s.contains("8192"));
     }
 
     #[test]

@@ -225,6 +225,19 @@ pub enum Reply {
         /// The work requests that stayed failed.
         failures: Vec<crate::VerbFailure>,
     },
+    /// The request failed because the device cannot hold the checkpoint
+    /// even after the daemon's automatic repack-and-retry. Structured so
+    /// the client can rebuild [`crate::PortusError::OutOfSpace`].
+    OutOfSpace {
+        /// Echoed request id.
+        req_id: u64,
+        /// Bytes the failed allocation asked for.
+        needed: u64,
+        /// Total free bytes at the time of failure.
+        free: u64,
+        /// Largest contiguous free extent at the time of failure.
+        largest_extent: u64,
+    },
 }
 
 impl Reply {
@@ -240,7 +253,8 @@ impl Reply {
             | Reply::Models { req_id, .. }
             | Reply::Stats { req_id, .. }
             | Reply::Error { req_id, .. }
-            | Reply::DatapathFailed { req_id, .. } => *req_id,
+            | Reply::DatapathFailed { req_id, .. }
+            | Reply::OutOfSpace { req_id, .. } => *req_id,
         }
     }
 }
@@ -271,5 +285,7 @@ mod tests {
         };
         assert_eq!(r.req_id(), 42);
         assert_eq!(Reply::Dropped { req_id: 9 }.req_id(), 9);
+        let oos = Reply::OutOfSpace { req_id: 11, needed: 1, free: 0, largest_extent: 0 };
+        assert_eq!(oos.req_id(), 11);
     }
 }

@@ -328,6 +328,11 @@ impl PmemAllocator {
         self.inner.lock().free.values().copied().max().unwrap_or(0)
     }
 
+    /// Bytes of the heap span currently allocated (span minus free).
+    pub fn used_bytes(&self) -> u64 {
+        (self.heap_end - self.heap_base).saturating_sub(self.free_bytes())
+    }
+
     /// Heap bounds `[base, end)`.
     pub fn heap_bounds(&self) -> (u64, u64) {
         (self.heap_base, self.heap_end)
@@ -383,6 +388,18 @@ mod tests {
         alloc.free(&a).unwrap();
         assert_eq!(alloc.free_bytes(), total);
         assert_eq!(alloc.largest_free_extent(), total);
+    }
+
+    #[test]
+    fn used_bytes_tracks_the_heap_span() {
+        let (_pm, alloc) = setup();
+        let (base, end) = alloc.heap_bounds();
+        assert_eq!(alloc.used_bytes(), (end - base) - alloc.free_bytes());
+        let a = alloc.alloc(4096, 1).unwrap();
+        let used = alloc.used_bytes();
+        assert!(used >= 4096);
+        alloc.free(&a).unwrap();
+        assert_eq!(alloc.used_bytes(), used - 4096);
     }
 
     #[test]

@@ -163,6 +163,24 @@ pub struct MetricsSnapshot {
     pub dispatch_queue_peak: u64,
     /// Configured bound of the dispatch queue (0 = not configured).
     pub dispatch_queue_capacity: u64,
+    /// Free bytes in the PMem allocator at the last refresh.
+    #[serde(default)]
+    pub pmem_free_bytes: u64,
+    /// Used bytes (heap span minus free) at the last refresh.
+    #[serde(default)]
+    pub pmem_used_bytes: u64,
+    /// Largest contiguous free extent at the last refresh.
+    #[serde(default)]
+    pub pmem_largest_free_extent: u64,
+    /// Slot regions reclaimed by repack passes so far.
+    #[serde(default)]
+    pub reclaimed_slots: u64,
+    /// Bytes returned to the allocator by those reclaims.
+    #[serde(default)]
+    pub reclaimed_bytes: u64,
+    /// Repack passes completed so far.
+    #[serde(default)]
+    pub repack_passes: u64,
 }
 
 impl MetricsSnapshot {
@@ -178,6 +196,17 @@ impl MetricsSnapshot {
     pub fn stage_total_ns(&self, op: TraceOp, stage: Stage) -> u64 {
         self.stage(op, stage).map_or(0, |h| h.total_ns)
     }
+
+    /// External fragmentation in permille (integer-only, so snapshots
+    /// stay `Eq`): `1000 * (1 - largest_extent / free)`. Zero when free
+    /// space is zero or one contiguous extent.
+    pub fn fragmentation_permille(&self) -> u64 {
+        if self.pmem_free_bytes == 0 {
+            return 0;
+        }
+        let contiguous = self.pmem_largest_free_extent.min(self.pmem_free_bytes);
+        1000 - contiguous.saturating_mul(1000) / self.pmem_free_bytes
+    }
 }
 
 #[derive(Debug, Default)]
@@ -186,6 +215,12 @@ struct MetricsInner {
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
     queue_capacity: AtomicU64,
+    pmem_free_bytes: AtomicU64,
+    pmem_used_bytes: AtomicU64,
+    pmem_largest_free_extent: AtomicU64,
+    reclaimed_slots: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    repack_passes: AtomicU64,
 }
 
 /// Shared metrics registry. Cloning shares the underlying histograms
@@ -232,6 +267,28 @@ impl Metrics {
         self.inner.queue_capacity.store(capacity, Ordering::Relaxed);
     }
 
+    /// Refreshes the PMem space gauges from the allocator's view.
+    pub fn set_space(&self, free: u64, used: u64, largest_extent: u64) {
+        self.inner.pmem_free_bytes.store(free, Ordering::Relaxed);
+        self.inner.pmem_used_bytes.store(used, Ordering::Relaxed);
+        self.inner
+            .pmem_largest_free_extent
+            .store(largest_extent, Ordering::Relaxed);
+    }
+
+    /// Records one reclaimed slot region returning `bytes`.
+    pub fn record_reclaimed(&self, bytes: u64) {
+        self.inner.reclaimed_slots.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .reclaimed_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one completed repack pass.
+    pub fn record_repack_pass(&self) {
+        self.inner.repack_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
@@ -253,6 +310,15 @@ impl Metrics {
             dispatch_queue_depth: self.inner.queue_depth.load(Ordering::Relaxed),
             dispatch_queue_peak: self.inner.queue_peak.load(Ordering::Relaxed),
             dispatch_queue_capacity: self.inner.queue_capacity.load(Ordering::Relaxed),
+            pmem_free_bytes: self.inner.pmem_free_bytes.load(Ordering::Relaxed),
+            pmem_used_bytes: self.inner.pmem_used_bytes.load(Ordering::Relaxed),
+            pmem_largest_free_extent: self
+                .inner
+                .pmem_largest_free_extent
+                .load(Ordering::Relaxed),
+            reclaimed_slots: self.inner.reclaimed_slots.load(Ordering::Relaxed),
+            reclaimed_bytes: self.inner.reclaimed_bytes.load(Ordering::Relaxed),
+            repack_passes: self.inner.repack_passes.load(Ordering::Relaxed),
         }
     }
 }
@@ -318,6 +384,28 @@ mod tests {
         m.queue_exit();
         m.queue_exit(); // extra exit saturates at zero
         assert_eq!(m.snapshot().dispatch_queue_depth, 0);
+    }
+
+    #[test]
+    fn space_gauges_and_fragmentation() {
+        let m = Metrics::new();
+        m.set_space(1000, 3000, 250);
+        m.record_reclaimed(4096);
+        m.record_reclaimed(4096);
+        m.record_repack_pass();
+        let s = m.snapshot();
+        assert_eq!(s.pmem_free_bytes, 1000);
+        assert_eq!(s.pmem_used_bytes, 3000);
+        assert_eq!(s.pmem_largest_free_extent, 250);
+        assert_eq!(s.reclaimed_slots, 2);
+        assert_eq!(s.reclaimed_bytes, 8192);
+        assert_eq!(s.repack_passes, 1);
+        // 1 - 250/1000 = 75%.
+        assert_eq!(s.fragmentation_permille(), 750);
+        m.set_space(1000, 3000, 1000);
+        assert_eq!(m.snapshot().fragmentation_permille(), 0);
+        m.set_space(0, 4000, 0);
+        assert_eq!(m.snapshot().fragmentation_permille(), 0);
     }
 
     #[test]

@@ -40,6 +40,11 @@ struct StatsInner {
     failed_verbs: AtomicU64,
     retried_verbs: AtomicU64,
     rolled_back_slots: AtomicU64,
+    rollback_failures: AtomicU64,
+    repack_passes: AtomicU64,
+    reclaimed_slots: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    oos_recoveries: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`Stats`], suitable for diffing.
@@ -95,6 +100,19 @@ pub struct StatsSnapshot {
     /// Checkpoint target slots rolled back (flag reverted or collapsed)
     /// after a datapath failure exhausted its retries.
     pub rolled_back_slots: u64,
+    /// Best-effort slot rollbacks that themselves failed (the original
+    /// datapath error is still the one surfaced to the client).
+    pub rollback_failures: u64,
+    /// Space-management repack passes completed (manual, watermark, and
+    /// `OutOfSpace`-recovery passes alike).
+    pub repack_passes: u64,
+    /// Checkpoint slots whose regions repack passes reclaimed.
+    pub reclaimed_slots: u64,
+    /// Bytes those reclaimed regions returned to the allocator.
+    pub reclaimed_bytes: u64,
+    /// Checkpoints that first failed allocation with `OutOfSpace` and
+    /// then succeeded after the automatic repack-and-retry.
+    pub oos_recoveries: u64,
 }
 
 impl Stats {
@@ -199,6 +217,30 @@ impl Stats {
         self.inner.rolled_back_slots.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one best-effort slot rollback that itself failed.
+    pub fn record_rollback_failure(&self) {
+        self.inner.rollback_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed repack pass.
+    pub fn record_repack_pass(&self) {
+        self.inner.repack_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one slot region reclaimed by repacking, returning `bytes`.
+    pub fn record_reclaimed_slot(&self, bytes: u64) {
+        self.inner.reclaimed_slots.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .reclaimed_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint saved by the automatic repack-and-retry
+    /// after an `OutOfSpace` allocation failure.
+    pub fn record_oos_recovery(&self) {
+        self.inner.oos_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = &self.inner;
@@ -223,6 +265,11 @@ impl Stats {
             failed_verbs: i.failed_verbs.load(Ordering::Relaxed),
             retried_verbs: i.retried_verbs.load(Ordering::Relaxed),
             rolled_back_slots: i.rolled_back_slots.load(Ordering::Relaxed),
+            rollback_failures: i.rollback_failures.load(Ordering::Relaxed),
+            repack_passes: i.repack_passes.load(Ordering::Relaxed),
+            reclaimed_slots: i.reclaimed_slots.load(Ordering::Relaxed),
+            reclaimed_bytes: i.reclaimed_bytes.load(Ordering::Relaxed),
+            oos_recoveries: i.oos_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -265,6 +312,13 @@ impl StatsSnapshot {
             rolled_back_slots: self
                 .rolled_back_slots
                 .saturating_sub(earlier.rolled_back_slots),
+            rollback_failures: self
+                .rollback_failures
+                .saturating_sub(earlier.rollback_failures),
+            repack_passes: self.repack_passes.saturating_sub(earlier.repack_passes),
+            reclaimed_slots: self.reclaimed_slots.saturating_sub(earlier.reclaimed_slots),
+            reclaimed_bytes: self.reclaimed_bytes.saturating_sub(earlier.reclaimed_bytes),
+            oos_recoveries: self.oos_recoveries.saturating_sub(earlier.oos_recoveries),
         }
     }
 }
@@ -352,6 +406,28 @@ mod tests {
         assert_eq!(delta.failed_verbs, 1);
         assert_eq!(delta.retried_verbs, 0);
         assert_eq!(delta.rolled_back_slots, 0);
+    }
+
+    #[test]
+    fn space_management_counters_accumulate() {
+        let s = Stats::new();
+        s.record_repack_pass();
+        s.record_reclaimed_slot(4096);
+        s.record_reclaimed_slot(8192);
+        s.record_oos_recovery();
+        s.record_rollback_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.repack_passes, 1);
+        assert_eq!(snap.reclaimed_slots, 2);
+        assert_eq!(snap.reclaimed_bytes, 12288);
+        assert_eq!(snap.oos_recoveries, 1);
+        assert_eq!(snap.rollback_failures, 1);
+        let before = snap;
+        s.record_repack_pass();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.repack_passes, 1);
+        assert_eq!(delta.reclaimed_slots, 0);
+        assert_eq!(delta.reclaimed_bytes, 0);
     }
 
     #[test]

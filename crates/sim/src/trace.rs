@@ -34,6 +34,9 @@ pub enum TraceOp {
     DeltaCheckpoint,
     /// A restore push.
     Restore,
+    /// A space-management repack pass (not a client request; `req_id`
+    /// is the daemon's pass counter).
+    Repack,
 }
 
 impl TraceOp {
@@ -43,6 +46,7 @@ impl TraceOp {
             TraceOp::Checkpoint => "checkpoint",
             TraceOp::DeltaCheckpoint => "delta-checkpoint",
             TraceOp::Restore => "restore",
+            TraceOp::Repack => "repack",
         }
     }
 }
@@ -84,6 +88,8 @@ pub enum Stage {
     Checksum,
     /// Durable slot-header flip to `Done`.
     HeaderFlip,
+    /// One space-management repack pass over the model table.
+    Repack,
     /// The whole daemon-side operation, end to end.
     Total,
 }
@@ -103,6 +109,7 @@ impl Stage {
             Stage::Persist => "persist",
             Stage::Checksum => "checksum",
             Stage::HeaderFlip => "header-flip",
+            Stage::Repack => "repack",
             Stage::Total => "total",
         }
     }

@@ -210,6 +210,118 @@ fn histogram_quantiles_are_monotone() {
     assert!(h.mean_ns() >= h.min_ns && h.mean_ns() <= h.max_ns);
 }
 
+/// The restore pipeline validates the registration against the index
+/// BEFORE running the integrity pass, and the spans must reflect that
+/// order: a `Validate` span that starts after `Checksum` would be
+/// charging the wrong phase (the PR 4 fix).
+#[test]
+fn restore_validate_span_precedes_the_checksum_pass() {
+    let w = world();
+    w.ctx.tracer.enable();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("order", 3, 64 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 12, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("order").unwrap();
+    model.train_step();
+    client.restore(&model).unwrap();
+
+    let spans = w.ctx.tracer.spans();
+    let find = |stage: Stage| {
+        spans
+            .iter()
+            .find(|s| s.op == TraceOp::Restore && s.stage == stage)
+            .cloned()
+            .unwrap_or_else(|| panic!("restore missing {stage}"))
+    };
+    let validate = find(Stage::Validate);
+    let checksum = find(Stage::Checksum);
+    assert!(
+        validate.end <= checksum.start,
+        "validation ({:?}..{:?}) must complete before the integrity pass ({:?}..)",
+        validate.start,
+        validate.end,
+        checksum.start
+    );
+}
+
+/// A delta's carry-overs are device-local copies that finish before any
+/// WQE is posted; its `CarryCopy` span must therefore end at or before
+/// the first `DoorbellPost` begins.
+#[test]
+fn carry_copy_span_completes_before_the_doorbell() {
+    let w = world();
+    w.ctx.tracer.enable();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("carry", 4, 64 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 13, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("carry").unwrap();
+    model.train_step();
+    client
+        .checkpoint_delta("carry", &[true, false, true, false])
+        .unwrap();
+
+    let spans = w.ctx.tracer.spans();
+    let carry = spans
+        .iter()
+        .find(|s| s.op == TraceOp::DeltaCheckpoint && s.stage == Stage::CarryCopy)
+        .expect("delta missing CarryCopy");
+    let first_doorbell = spans
+        .iter()
+        .filter(|s| s.op == TraceOp::DeltaCheckpoint && s.stage == Stage::DoorbellPost)
+        .map(|s| s.start)
+        .min()
+        .expect("delta missing DoorbellPost");
+    assert!(
+        carry.end <= first_doorbell,
+        "carry-overs are charged before the posted pulls"
+    );
+}
+
+/// A delta that dies on the datapath records only the stages it truly
+/// finished: the completed carry loop keeps its `CarryCopy` span, but
+/// no `Persist`/`Checksum`/`HeaderFlip`/`Total` may appear for the
+/// failed request.
+#[test]
+fn failed_delta_records_only_completed_stages() {
+    let w = world_cfg(DaemonConfig {
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    });
+    w.ctx.tracer.enable();
+    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+    let spec = test_spec("dies", 4, 64 * 1024);
+    let mut model =
+        ModelInstance::materialize(&spec, &w.gpu, 14, Materialization::Owned).unwrap();
+    client.register_model(&model).unwrap();
+    model.train_step();
+    client.checkpoint("dies").unwrap();
+
+    use portus_rdma::FaultSpec;
+    w.fabric.arm_faults(NodeId(1), FaultSpec::All).unwrap();
+    model.train_step();
+    client
+        .checkpoint_delta("dies", &[true, false, true, false])
+        .unwrap_err();
+
+    let spans = w.ctx.tracer.spans();
+    let has = |stage: Stage| {
+        spans
+            .iter()
+            .any(|s| s.op == TraceOp::DeltaCheckpoint && s.stage == stage)
+    };
+    assert!(has(Stage::Validate));
+    assert!(has(Stage::CarryCopy), "the carry loop did run to completion");
+    assert!(!has(Stage::Persist), "failed delta never persisted");
+    assert!(!has(Stage::HeaderFlip), "failed delta never flipped");
+    assert!(!has(Stage::Total), "failed requests record no Total");
+}
+
 #[test]
 fn stats_query_round_trips_over_the_wire() {
     let w = world();

@@ -61,33 +61,53 @@ fn finished_jobs_shrink_to_one_version() {
 }
 
 #[test]
-fn crashed_active_slots_are_reclaimed_with_the_aggressive_pass() {
-    let w = world();
-    let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+fn crashed_active_slots_need_a_recovery_epoch_to_be_reclaimed() {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+    let daemon =
+        PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), DaemonConfig::default()).unwrap();
+    let gpu = GpuDevice::new(ctx, 0, 2 << 30);
     let spec = test_spec("crashy", 3, 256 * 1024);
     let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 2, Materialization::Owned).unwrap();
+        ModelInstance::materialize(&spec, &gpu, 2, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("crashy").unwrap();
 
     // Simulate a checkpoint that died mid-pull: slot marked Active.
-    let index = w.daemon.index();
+    let index = daemon.index();
     let (_, off) = index.live_entries().unwrap()[0];
     let mi = index.load_mindex(off).unwrap();
     let target = mi.target_slot();
     index.mark_slot_active(&mi, target, 2).unwrap();
 
     // The safe pass leaves running jobs alone...
-    let safe = repack(&w.daemon, false).unwrap();
+    let safe = repack(&daemon, false).unwrap();
     assert_eq!(safe.reclaimed_slots, 0);
-    // ...the post-recovery pass reclaims the collapsed slot.
-    let aggressive = repack(&w.daemon, true).unwrap();
+    // ...and so does the aggressive pass on the LIVE daemon: the slot
+    // went Active during this incarnation, so for all the repacker
+    // knows a pull is in flight into it. The recovery-epoch gate
+    // refuses to treat it as crash debris.
+    let live = repack(&daemon, true).unwrap();
+    assert_eq!(live.reclaimed_slots, 0, "live Active slots are fenced");
+
+    // After a restart the slot is provably stale — no thread of the
+    // new incarnation can be writing into it — and the aggressive
+    // pass reclaims it.
+    drop(client);
+    daemon.shutdown();
+    let daemon2 =
+        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let aggressive = repack(&daemon2, true).unwrap();
     assert_eq!(aggressive.reclaimed_slots, 1);
     assert_eq!(aggressive.reclaimed_active, 1);
 
     // The slot header is detached; the Done version is untouched.
-    let mi2 = index.load_mindex(off).unwrap();
+    let mi2 = daemon2.index().load_mindex(off).unwrap();
     assert_eq!(mi2.slots[target].state, SlotState::Empty);
     assert_eq!(mi2.slots[target].data_off, 0);
     assert_eq!(mi2.latest_done().unwrap().1.version, 1);
@@ -169,7 +189,9 @@ fn collapsed_slot_survives_safe_repack_and_is_reused() {
     model.train_step();
     let state3 = model.model_checksum();
     let r = client.checkpoint("collapse").unwrap();
-    assert_eq!(r.version, 3);
+    // Not 3: the collapsed delta burned version 3, and the monotonicity
+    // invariant (PR 4) forbids reissuing it.
+    assert_eq!(r.version, 4);
     let mi3 = index.load_mindex(off).unwrap();
     assert_eq!(mi3.slots[target].state, SlotState::Done);
     assert_eq!(

@@ -51,7 +51,7 @@ fn run_job(
     versions: u32,
     seed: u64,
 ) -> ModelInstance {
-    let spec = test_spec(name, layers, layer_bytes);
+    let spec = test_spec(name, layers as usize, layer_bytes);
     let mut m = ModelInstance::materialize(&spec, &w.gpu, seed, Materialization::Owned)
         .expect("materialize");
     client.register_model(&m).expect("register");

@@ -214,6 +214,87 @@ pub fn portus_breakdown_traced(spec: &ModelSpec) -> (PortusBreakdown, String) {
     (breakdown, trace_json)
 }
 
+/// One point of the QP-striping sweep: the same checkpoint on a pool
+/// of `qps` lane-pinned queue pairs over `qps`-engine NICs.
+#[derive(Debug, Clone, Serialize)]
+pub struct QpSweepPoint {
+    /// Queue pairs per connection (= NIC DMA engines on both ends).
+    pub qps: usize,
+    /// End-to-end checkpoint time (clock delta), virtual seconds.
+    pub total: f64,
+    /// Persist stage service time (from the `persist_ns` counter),
+    /// virtual seconds. Overlapped with the fabric when `qps > 1`.
+    pub persist: f64,
+    /// Checksum stage service time, virtual seconds.
+    pub checksum: f64,
+    /// Share of persist+checksum service granted while WQE completions
+    /// were still draining, in permille (the pipeline-overlap gauge;
+    /// 0 on the classic serial path).
+    pub overlap_permille: u64,
+    /// Gather WQEs posted.
+    pub posted_verbs: u64,
+    /// Doorbells rung — one per lane per round when striping.
+    pub doorbell_batches: u64,
+}
+
+/// Runs one checkpoint per entry of `qps_list`, each in a fresh world
+/// whose NICs have as many DMA engines as the connection has QPs, and
+/// reports how the total shrinks as the doorbell batch stripes across
+/// lanes and the persist+checksum seal pipelines behind the fabric.
+/// The first checkpoint of each world is traced; the `qps = 4` trace
+/// (if present) is returned alongside for Chrome-trace inspection.
+///
+/// # Panics
+///
+/// Panics on any system error — harness code wants loud failures.
+pub fn portus_qp_sweep(spec: &ModelSpec, qps_list: &[usize]) -> (Vec<QpSweepPoint>, Option<String>) {
+    let mut points = Vec::new();
+    let mut qp4_trace = None;
+    for &qps in qps_list {
+        let ctx = SimContext::icdcs24();
+        ctx.tracer.enable();
+        let fabric = Fabric::new(ctx.clone());
+        let compute = fabric.add_nic_with_engines(NodeId(0), qps);
+        fabric.add_nic_with_engines(NodeId(1), qps);
+        let pmem = PmemDevice::new(
+            ctx.clone(),
+            PmemMode::DevDax,
+            2 * spec.total_bytes() + (64 << 20),
+        );
+        let cfg = DaemonConfig {
+            qps_per_connection: qps,
+            ..DaemonConfig::default()
+        };
+        let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).expect("daemon");
+        let gpu = GpuDevice::new(ctx.clone(), 0, 2 * spec.total_bytes() + (1 << 30));
+        let model = ModelInstance::materialize(spec, &gpu, 42, Materialization::Owned)
+            .expect("materialize");
+        let client = PortusClient::connect(&daemon, compute);
+        client.register_model(&model).expect("register");
+
+        let before = ctx.stats.snapshot();
+        let t0 = ctx.clock.now();
+        client.checkpoint(&spec.name).expect("checkpoint");
+        let total = ctx.clock.now().saturating_since(t0);
+        let d = ctx.stats.snapshot().since(&before);
+        if qps == 4 {
+            qp4_trace = Some(ctx.tracer.to_chrome_trace());
+        }
+        points.push(QpSweepPoint {
+            qps,
+            total: total.as_secs_f64(),
+            persist: SimDuration::from_nanos(d.persist_ns).as_secs_f64(),
+            checksum: SimDuration::from_nanos(d.checksum_ns).as_secs_f64(),
+            overlap_permille: ctx.metrics.snapshot().pipeline_overlap_permille,
+            posted_verbs: d.posted_verbs,
+            doorbell_batches: d.doorbell_batches,
+        });
+        drop(client);
+        daemon.shutdown();
+    }
+    (points, qp4_trace)
+}
+
 /// Runs one model through a `torch.save`/`torch.load(GDS)` baseline with
 /// real bytes; returns the breakdowns.
 ///

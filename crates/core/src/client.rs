@@ -81,6 +81,7 @@ pub struct PortusClient {
     requests: ControlChannel<Request>,
     replies: ControlChannel<Reply>,
     _qp: QueuePair,
+    _extra_qps: Vec<QueuePair>,
     next_req: AtomicU64,
     pending: Mutex<HashMap<u64, Reply>>,
     recv_gate: Mutex<()>,
@@ -100,13 +101,15 @@ impl std::fmt::Debug for PortusClient {
 impl PortusClient {
     /// Connects to `daemon` from `client_nic`.
     pub fn connect(daemon: &PortusDaemon, client_nic: Arc<Nic>) -> PortusClient {
-        let ClientEndpoints { requests, replies, qp } = daemon.accept(Arc::clone(&client_nic));
+        let ClientEndpoints { requests, replies, qp, extra_qps } =
+            daemon.accept(Arc::clone(&client_nic));
         PortusClient {
             ctx: client_nic.ctx().clone(),
             nic: client_nic,
             requests,
             replies,
             _qp: qp,
+            _extra_qps: extra_qps,
             next_req: AtomicU64::new(1),
             pending: Mutex::new(HashMap::new()),
             recv_gate: Mutex::new(()),
@@ -135,6 +138,7 @@ impl PortusClient {
             start: sent,
             end,
             round: 0,
+            lane: 0,
         });
     }
 

@@ -49,7 +49,7 @@ use portus_rdma::{
     CompletionQueue, ControlChannel, Fabric, Nic, NodeId, PostedQueuePair, QueuePair, RdmaError,
     RegionTarget, SgEntry, WrId, MAX_SGE,
 };
-use portus_sim::{Metrics, SimContext, SimDuration, SimTime, SpanRecord, Stage, TraceOp};
+use portus_sim::{Metrics, Resource, SimContext, SimDuration, SimTime, SpanRecord, Stage, TraceOp};
 
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
 use crate::{Index, MIndex, ModelMap, PortusError, PortusResult, SlotHeader, SlotState, VerbFailure};
@@ -92,6 +92,15 @@ pub struct DaemonConfig {
     /// repacker thread is woken to compact concurrently with traffic.
     /// `0` disables background compaction entirely.
     pub space_high_watermark: u64,
+    /// Queue pairs opened per client connection (clamped to at least
+    /// one). With more than one, each datapath operation **stripes**
+    /// its doorbell batch across the pool — every QP is pinned to its
+    /// own NIC DMA-engine lane ([`portus_rdma::QueuePair::connect_lane`]),
+    /// so runs on different QPs transfer in parallel up to the NICs'
+    /// engine counts, and completed runs flow into a pipelined
+    /// persist+checksum stage while later WQEs are still in flight.
+    /// `1` keeps the classic single-QP datapath, bit-for-bit.
+    pub qps_per_connection: usize,
 }
 
 impl Default for DaemonConfig {
@@ -106,6 +115,7 @@ impl Default for DaemonConfig {
             verb_retries: 3,
             space_low_watermark: 0,
             space_high_watermark: 0,
+            qps_per_connection: 1,
         }
     }
 }
@@ -193,6 +203,29 @@ pub struct ClientEndpoints {
     pub replies: ControlChannel<Reply>,
     /// The client's queue pair (its NIC is the local end).
     pub qp: QueuePair,
+    /// Client ends of the extra striped queue pairs (lanes `1..N` when
+    /// [`DaemonConfig::qps_per_connection`] is above one). The client
+    /// never initiates verbs on them — the daemon's one-sided datapath
+    /// does — but dropping an end disconnects the pair, so the client
+    /// keeps them alive for the life of the connection.
+    pub extra_qps: Vec<QueuePair>,
+}
+
+/// The daemon-side queue pairs of one connection: one lane-pinned QP
+/// per configured stripe. A pool of one is the classic datapath.
+pub(crate) struct QpPool {
+    qps: Vec<Arc<QueuePair>>,
+}
+
+impl QpPool {
+    fn len(&self) -> usize {
+        self.qps.len()
+    }
+
+    /// The lane-0 QP — the only one a single-QP connection has.
+    fn primary(&self) -> &Arc<QueuePair> {
+        &self.qps[0]
+    }
 }
 
 pub(crate) struct DaemonState {
@@ -344,21 +377,33 @@ impl PortusDaemon {
     /// Accepts a connection from `client_nic`: spawns a
     /// receive-and-dispatch thread and returns the client's endpoints.
     /// Request handling itself runs on the shared dispatch pool.
+    /// [`DaemonConfig::qps_per_connection`] queue pairs are opened, one
+    /// per DMA-engine lane; datapath operations stripe across them.
     pub fn accept(&self, client_nic: Arc<Nic>) -> ClientEndpoints {
         let ctx = self.state.ctx.clone();
         let (req_client, req_daemon) = ControlChannel::pair(ctx.clone());
         let (rep_daemon, rep_client) = ControlChannel::pair(ctx);
-        let (qp_daemon, qp_client) = QueuePair::connect(Arc::clone(&self.nic), client_nic);
+        let lanes = self.state.cfg.qps_per_connection.max(1);
+        let mut daemon_qps = Vec::with_capacity(lanes);
+        let mut client_qps = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (qp_daemon, qp_client) =
+                QueuePair::connect_lane(Arc::clone(&self.nic), Arc::clone(&client_nic), lane);
+            daemon_qps.push(Arc::new(qp_daemon));
+            client_qps.push(qp_client);
+        }
+        let pool = Arc::new(QpPool { qps: daemon_qps });
         let state = Arc::clone(&self.state);
         let dispatcher = Arc::clone(&self.dispatcher);
-        let handle = std::thread::spawn(move || {
-            serve(state, dispatcher, Arc::new(qp_daemon), req_daemon, rep_daemon)
-        });
+        let handle =
+            std::thread::spawn(move || serve(state, dispatcher, pool, req_daemon, rep_daemon));
         self.workers.lock().push(handle);
+        let qp_client = client_qps.remove(0);
         ClientEndpoints {
             requests: req_client,
             replies: rep_client,
             qp: qp_client,
+            extra_qps: client_qps,
         }
     }
 
@@ -421,23 +466,37 @@ struct SpanCtx<'a> {
     ctx: &'a SimContext,
     req_id: u64,
     op: TraceOp,
-    model: String,
+    /// The model name for span records — captured only while the tracer
+    /// is recording, so the disabled-tracer fast path never allocates.
+    model: Option<String>,
 }
 
-impl SpanCtx<'_> {
+impl<'a> SpanCtx<'a> {
+    fn new(ctx: &'a SimContext, req_id: u64, op: TraceOp, model: &str) -> SpanCtx<'a> {
+        let model = ctx.tracer.is_enabled().then(|| model.to_string());
+        SpanCtx { ctx, req_id, op, model }
+    }
+
     fn record(&self, stage: Stage, start: SimTime, end: SimTime, round: u32) {
+        self.record_lane(stage, start, end, round, 0);
+    }
+
+    fn record_lane(&self, stage: Stage, start: SimTime, end: SimTime, round: u32, lane: u32) {
         self.ctx
             .metrics
             .record_stage(self.op, stage, end.saturating_since(start));
-        self.ctx.tracer.record(SpanRecord {
-            req_id: self.req_id,
-            op: self.op,
-            stage,
-            model: self.model.clone(),
-            start,
-            end,
-            round,
-        });
+        if let Some(model) = &self.model {
+            self.ctx.tracer.record(SpanRecord {
+                req_id: self.req_id,
+                op: self.op,
+                stage,
+                model: model.clone(),
+                start,
+                end,
+                round,
+                lane,
+            });
+        }
     }
 
     /// Records `stage` from `start` to the current virtual instant.
@@ -464,7 +523,7 @@ fn span_meta(req: &Request) -> Option<(u64, TraceOp, String)> {
 fn serve(
     state: Arc<DaemonState>,
     dispatcher: Arc<Dispatcher>,
-    qp: Arc<QueuePair>,
+    pool: Arc<QpPool>,
     requests: ControlChannel<Request>,
     replies: ControlChannel<Reply>,
 ) {
@@ -480,7 +539,7 @@ fn serve(
         let meta = span_meta(&req);
         let enqueued = state.ctx.clock.now();
         let state = Arc::clone(&state);
-        let qp = Arc::clone(&qp);
+        let pool = Arc::clone(&pool);
         let replies = Arc::clone(&replies);
         dispatcher.dispatch(Box::new(move || {
             let n = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
@@ -489,15 +548,10 @@ fn serve(
             // the dispatch-queue wait (zero for an idle pool: queueing
             // itself charges no virtual time).
             if let Some((req_id, op, model)) = &meta {
-                let sc = SpanCtx {
-                    ctx: &state.ctx,
-                    req_id: *req_id,
-                    op: *op,
-                    model: model.clone(),
-                };
+                let sc = SpanCtx::new(&state.ctx, *req_id, *op, model);
                 sc.record_now(Stage::DispatchWait, enqueued);
             }
-            let reply = handle_request(&state, &qp, req);
+            let reply = handle_request(&state, &pool, req);
             state.in_flight.fetch_sub(1, Ordering::Relaxed);
             // The client may already be gone; nothing to do then.
             let _ = replies.send(reply);
@@ -528,7 +582,7 @@ fn error_reply(req_id: u64, e: PortusError) -> Reply {
 }
 
 /// Executes one request against the daemon state and builds its reply.
-fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Reply {
+fn handle_request(state: &DaemonState, pool: &QpPool, req: Request) -> Reply {
     match req {
         // The connection thread consumes Disconnect; answer defensively
         // if one is ever routed here.
@@ -543,7 +597,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
             }
         }
         Request::DeltaCheckpoint { req_id, model, dirty } => {
-            match state.delta_checkpoint(qp, &model, &dirty, req_id) {
+            match state.delta_checkpoint(pool, &model, &dirty, req_id) {
                 Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
                     req_id,
                     version,
@@ -554,7 +608,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
                 Err(e) => error_reply(req_id, e),
             }
         }
-        Request::Checkpoint { req_id, model } => match state.checkpoint(qp, &model, req_id) {
+        Request::Checkpoint { req_id, model } => match state.checkpoint(pool, &model, req_id) {
             Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
                 req_id,
                 version,
@@ -564,7 +618,7 @@ fn handle_request(state: &DaemonState, qp: &Arc<QueuePair>, req: Request) -> Rep
             Err(e) => error_reply(req_id, e),
         },
         Request::Restore { req_id, model, tensors } => {
-            match state.restore(qp, &model, &tensors, req_id) {
+            match state.restore(pool, &model, &tensors, req_id) {
                 Ok((version, bytes, elapsed)) => Reply::RestoreDone {
                     req_id,
                     version,
@@ -668,21 +722,54 @@ impl DatapathFailure {
     }
 }
 
+/// What a successful posted operation leaves behind: each run's fabric
+/// `(start, end)` completion window, indexed like the input runs. Only
+/// the striped datapath fills this in (the single-QP path seals with
+/// the classic full-region pass and needs no per-run times).
+struct RunOutcome {
+    completions: Vec<Option<(SimTime, SimTime)>>,
+}
+
+/// One extent of a striped checkpoint whose bytes are already in the
+/// slot's data region, queued for the pipelined persist+checksum stage.
+struct SealPiece {
+    /// Slot-relative offset of the extent.
+    rel_off: u64,
+    /// Extent length in bytes.
+    len: u64,
+    /// Virtual instant the bytes were in place: the fabric completion
+    /// end for pulled runs, the copy completion for carry-overs.
+    arrival: SimTime,
+    /// Digest already computed from in-flight bytes (carry-overs hash
+    /// the bounce buffer they stage through); `None` means the stage
+    /// reads the extent back from PMem, charging the DAX read.
+    digest: Option<u64>,
+}
+
 /// Drains **every** posted completion off `cq` and returns the run
-/// indices that failed, with their errors, plus the fabric-side
+/// indices that failed, with their errors, the fabric-side
 /// `(earliest start, latest end)` envelope over the successful
-/// transfers. One bad WQE no longer masks the outcome of the others —
-/// the retry loop needs the full failed set, and a terminal error must
-/// attribute every failed run. The envelope times the completion
-/// phase: the drain itself charges no virtual time (the in-process
-/// fabric completes eagerly at post), so the transfers' own instants
-/// are the honest span.
+/// transfers, and each successful run's own `(start, end)` window. One
+/// bad WQE no longer masks the outcome of the others — the retry loop
+/// needs the full failed set, and a terminal error must attribute
+/// every failed run. The per-run windows feed the striped seal stage,
+/// which starts persisting an extent the instant its transfer
+/// completed. The envelope times the completion phase: the drain
+/// itself charges no virtual time (the in-process fabric completes
+/// eagerly at post), so the transfers' own instants are the honest
+/// span.
+#[allow(clippy::type_complexity)]
 fn drain_cq(
     cq: &CompletionQueue,
     posted: &[(WrId, usize)],
-) -> (Vec<(usize, RdmaError)>, Option<(SimTime, SimTime)>) {
+) -> (
+    Vec<(usize, RdmaError)>,
+    Option<(SimTime, SimTime)>,
+    Vec<(usize, SimTime, SimTime)>,
+) {
     let mut failed = Vec::new();
     let mut span: Option<(SimTime, SimTime)> = None;
+    let mut succeeded = Vec::new();
     let mut polled = 0;
     while polled < posted.len() {
         let batch = cq.poll(posted.len() - polled);
@@ -693,14 +780,18 @@ fn drain_cq(
             break;
         }
         for wc in &batch {
+            let run = posted.iter().find(|(id, _)| *id == wc.wr_id).map(|&(_, r)| r);
             match &wc.result {
                 Err(e) => {
-                    if let Some(&(_, run)) = posted.iter().find(|(id, _)| *id == wc.wr_id) {
+                    if let Some(run) = run {
                         failed.push((run, e.clone()));
                     }
                 }
                 Ok(_) => {
                     if let Some((start, end)) = wc.fabric_span() {
+                        if let Some(run) = run {
+                            succeeded.push((run, start, end));
+                        }
                         span = Some(match span {
                             Some((s, e)) => (s.min(start), e.max(end)),
                             None => (start, end),
@@ -711,26 +802,32 @@ fn drain_cq(
         }
         polled += batch.len();
     }
-    (failed, span)
+    (failed, span, succeeded)
 }
 
 /// Chunked device-local copy within one PMem namespace (the carry-over
-/// path of incremental checkpoints).
+/// path of incremental checkpoints). Returns the positional digest of
+/// the copied bytes keyed at slot-relative `rel_off` — computed from
+/// the bounce buffer the copy already staged through, so a striped
+/// seal gets the extent's digest without a second read pass.
 fn copy_on_device(
     dev: &PmemDevice,
     src_off: u64,
     dst_off: u64,
     len: u64,
-) -> PortusResult<()> {
+    rel_off: u64,
+) -> PortusResult<u64> {
     let mut buf = vec![0u8; 256 * 1024];
     let mut done = 0u64;
+    let mut digest = 0u64;
     while done < len {
         let chunk = ((len - done) as usize).min(buf.len());
         dev.read(src_off + done, &mut buf[..chunk])?;
         dev.write(dst_off + done, &buf[..chunk])?;
+        digest = crate::combine_digests(digest, crate::region_digest(&buf[..chunk], rel_off + done));
         done += chunk as u64;
     }
-    Ok(())
+    Ok(digest)
 }
 
 impl DaemonState {
@@ -858,26 +955,90 @@ impl DaemonState {
         Ok(sum)
     }
 
-    /// Posts one WQE per run in a single doorbell batch (gather-READs
-    /// for [`Direction::Pull`], scatter-WRITEs for [`Direction::Push`],
-    /// with the PMem side at `data_off`), drains the completion queue,
-    /// and re-posts failed WQEs for up to
-    /// [`DaemonConfig::verb_retries`] rounds. Each round charges an
-    /// exponentially growing backoff to the virtual clock before the
-    /// fresh doorbell batch. Runs that stay failed after the last round
-    /// come back as a [`DatapathFailure`] with per-run tensor
-    /// attribution and retry counts.
+    /// [`DaemonState::checksum_phase`] for digest-sealed slots
+    /// ([`crate::CKSUM_KIND_DIGEST`]): recomputes the positional digest
+    /// of the region at the same DAX read charge.
+    fn digest_phase(&self, mi: &MIndex, slot: usize, sc: &SpanCtx<'_>) -> PortusResult<u64> {
+        let t0 = self.ctx.clock.now();
+        let digest = self.index.slot_digest(mi, slot)?;
+        self.ctx.charge(self.ctx.model.dax_read(mi.total_bytes));
+        self.ctx
+            .stats
+            .record_checksum_ns(self.ctx.clock.now().saturating_since(t0).as_nanos());
+        sc.record_now(Stage::Checksum, t0);
+        Ok(digest)
+    }
+
+    /// Verifies a `Done` slot before serving a restore, dispatching on
+    /// how the sealing write path validated it: digest-sealed slots
+    /// (striped checkpoints) recompute the positional digest; FNV
+    /// slots (classic checkpoints, and any header written before the
+    /// striped datapath existed) recompute the sequential checksum.
+    /// Both paths charge the same full-region DAX read.
+    fn verify_slot(
+        &self,
+        mi: &MIndex,
+        slot: usize,
+        hdr: &SlotHeader,
+        model: &str,
+        sc: &SpanCtx<'_>,
+    ) -> PortusResult<()> {
+        let ok = if hdr.cksum_kind == crate::CKSUM_KIND_DIGEST {
+            self.digest_phase(mi, slot, sc)? == hdr.digest
+        } else {
+            self.checksum_phase(mi, slot, sc)? == hdr.checksum
+        };
+        if !ok {
+            return Err(PortusError::ChecksumMismatch {
+                model: model.to_string(),
+                version: hdr.version,
+            });
+        }
+        Ok(())
+    }
+
+    /// Posts one WQE per run (gather-READs for [`Direction::Pull`],
+    /// scatter-WRITEs for [`Direction::Push`], with the PMem side at
+    /// `data_off`), drains the completion queue(s), and re-posts failed
+    /// WQEs for up to [`DaemonConfig::verb_retries`] rounds. Each round
+    /// charges an exponentially growing backoff to the virtual clock
+    /// before the fresh doorbell batch. Runs that stay failed after the
+    /// last round come back as a [`DatapathFailure`] with per-run
+    /// tensor attribution and retry counts.
+    ///
+    /// A single-QP pool posts everything in one doorbell batch on the
+    /// classic eager path — bit-for-bit the pre-striping datapath. With
+    /// more QPs, runs are sharded largest-first across the pool's
+    /// lane-pinned QPs and posted deferred, so transfers overlap on
+    /// independent NIC engines and each run's completion window comes
+    /// back in [`RunOutcome`] for the pipelined seal.
     fn execute_runs(
+        &self,
+        pool: &QpPool,
+        runs: &[VerbRun],
+        data_off: u64,
+        dir: Direction,
+        sc: &SpanCtx<'_>,
+    ) -> Result<RunOutcome, DatapathFailure> {
+        if runs.is_empty() {
+            return Ok(RunOutcome { completions: Vec::new() });
+        }
+        if pool.len() > 1 {
+            return self.execute_runs_striped(pool, runs, data_off, dir, sc);
+        }
+        self.execute_runs_single(pool.primary(), runs, data_off, dir, sc)
+    }
+
+    /// The classic single-QP datapath: one eager doorbell batch, one
+    /// completion queue, whole-batch retry rounds.
+    fn execute_runs_single(
         &self,
         qp: &Arc<QueuePair>,
         runs: &[VerbRun],
         data_off: u64,
         dir: Direction,
         sc: &SpanCtx<'_>,
-    ) -> Result<(), DatapathFailure> {
-        if runs.is_empty() {
-            return Ok(());
-        }
+    ) -> Result<RunOutcome, DatapathFailure> {
         let cq = CompletionQueue::new();
         let pqp = PostedQueuePair::from_shared(Arc::clone(qp), cq.clone());
         let post = |run: &VerbRun| -> WrId {
@@ -900,7 +1061,7 @@ impl DaemonState {
             .map(|(i, run)| (post(run), i))
             .collect();
         sc.record(Stage::DoorbellPost, t_post, self.ctx.clock.now(), 0);
-        let (mut failed, drain_span) = drain_cq(&cq, &posted);
+        let (mut failed, drain_span, _) = drain_cq(&cq, &posted);
         if let Some((s, e)) = drain_span {
             sc.record(Stage::CqDrain, s, e, 0);
         }
@@ -923,7 +1084,7 @@ impl DaemonState {
                 })
                 .collect();
             sc.record(Stage::DoorbellPost, t_post, self.ctx.clock.now(), round);
-            let (still_failed, drain_span) = drain_cq(&cq, &reposted);
+            let (still_failed, drain_span, _) = drain_cq(&cq, &reposted);
             if let Some((s, e)) = drain_span {
                 sc.record(Stage::CqDrain, s, e, round);
             }
@@ -933,7 +1094,7 @@ impl DaemonState {
             failed = still_failed;
         }
         if failed.is_empty() {
-            return Ok(());
+            return Ok(RunOutcome { completions: Vec::new() });
         }
         Err(DatapathFailure {
             failures: failed
@@ -946,6 +1107,138 @@ impl DaemonState {
                 .collect(),
             any_succeeded,
         })
+    }
+
+    /// The striped datapath: runs are sharded **largest-first onto the
+    /// least-loaded lane** (deterministic: ties break on run index and
+    /// lane number) and posted *deferred* on each lane's own
+    /// [`PostedQueuePair`], so one posting instant fans out across the
+    /// NICs' DMA engines and equal-size shards finish together instead
+    /// of serializing. Every lane gets its own doorbell/drain spans
+    /// (tagged with the lane), and the shared clock advances once per
+    /// round, to the slowest lane's last completion.
+    ///
+    /// Retries keep **lane affinity**: a failed run is re-posted on the
+    /// QP it originally rode — its connection state, not a random
+    /// stripe, is what the retry exercises — while the other lanes'
+    /// completed runs are never touched again.
+    fn execute_runs_striped(
+        &self,
+        pool: &QpPool,
+        runs: &[VerbRun],
+        data_off: u64,
+        dir: Direction,
+        sc: &SpanCtx<'_>,
+    ) -> Result<RunOutcome, DatapathFailure> {
+        let lanes = pool.len();
+        let mut order: Vec<usize> = (0..runs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(runs[i].len), i));
+        let mut lane_bytes = vec![0u64; lanes];
+        let mut lane_of = vec![0usize; runs.len()];
+        for &i in &order {
+            let lane = (0..lanes)
+                .min_by_key(|&l| (lane_bytes[l], l))
+                .expect("pool is non-empty");
+            lane_of[i] = lane;
+            lane_bytes[lane] += runs[i].len;
+        }
+        let endpoints: Vec<(PostedQueuePair, CompletionQueue)> = pool
+            .qps
+            .iter()
+            .map(|qp| {
+                let cq = CompletionQueue::new();
+                let pqp = PostedQueuePair::from_shared_deferred(Arc::clone(qp), cq.clone());
+                (pqp, cq)
+            })
+            .collect();
+        let post = |lane: usize, run: &VerbRun| -> WrId {
+            let region = RegionTarget::Pmem {
+                dev: Arc::clone(self.index.device()),
+                base: data_off + run.base_rel,
+                len: run.len,
+            };
+            match dir {
+                Direction::Pull => endpoints[lane].0.post_read_gather(&run.segs, &region, 0),
+                Direction::Push => endpoints[lane].0.post_write_scatter(&run.segs, &region, 0),
+            }
+        };
+
+        let mut completions: Vec<Option<(SimTime, SimTime)>> = vec![None; runs.len()];
+        let mut retries = vec![0u32; runs.len()];
+        let mut any_succeeded = false;
+        let mut pending: Vec<usize> = (0..runs.len()).collect();
+        let mut round = 0u32;
+        loop {
+            let t_post = self.ctx.clock.now();
+            let mut posted: Vec<Vec<(WrId, usize)>> = vec![Vec::new(); lanes];
+            for lane in 0..lanes {
+                let mine: Vec<usize> =
+                    pending.iter().copied().filter(|&i| lane_of[i] == lane).collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                endpoints[lane].0.begin_batch();
+                for i in mine {
+                    posted[lane].push((post(lane, &runs[i]), i));
+                }
+            }
+            let mut failed: Vec<(usize, RdmaError)> = Vec::new();
+            let mut round_end: Option<SimTime> = None;
+            for lane in 0..lanes {
+                if posted[lane].is_empty() {
+                    continue;
+                }
+                let (lane_failed, envelope, succeeded) = drain_cq(&endpoints[lane].1, &posted[lane]);
+                // Doorbell ring → the lane's first byte is the queueing
+                // window; the envelope is the lane's drain. A lane whose
+                // every WQE failed still rang its doorbell (zero-width).
+                let first = envelope.map_or(t_post, |(s, _)| s);
+                sc.record_lane(Stage::DoorbellPost, t_post, first, round, lane as u32);
+                if let Some((s, e)) = envelope {
+                    sc.record_lane(Stage::CqDrain, s, e, round, lane as u32);
+                    round_end = Some(round_end.map_or(e, |r| r.max(e)));
+                }
+                for (i, s, e) in succeeded {
+                    completions[i] = Some((s, e));
+                    any_succeeded = true;
+                }
+                failed.extend(lane_failed);
+            }
+            // Deferred posts left the clock at the doorbell instant; the
+            // round is over when its slowest lane drains.
+            if let Some(e) = round_end {
+                self.ctx.clock.advance_to(e);
+            }
+            if failed.is_empty() {
+                return Ok(RunOutcome { completions });
+            }
+            failed.sort_by_key(|&(i, _)| i);
+            if round >= self.cfg.verb_retries {
+                return Err(DatapathFailure {
+                    failures: failed
+                        .into_iter()
+                        .map(|(i, e)| VerbFailure {
+                            tensors: runs[i].names.clone(),
+                            retries: retries[i],
+                            error: e.to_string(),
+                        })
+                        .collect(),
+                    any_succeeded,
+                });
+            }
+            round += 1;
+            let t_backoff = self.ctx.clock.now();
+            self.ctx.charge(self.ctx.model.verb_retry_backoff(round));
+            sc.record(Stage::RetryBackoff, t_backoff, self.ctx.clock.now(), round);
+            pending = failed
+                .into_iter()
+                .map(|(i, _)| {
+                    retries[i] += 1;
+                    self.ctx.stats.record_retried_verb();
+                    i
+                })
+                .collect();
+        }
     }
 
     /// Rolls the target slot back after a failed checkpoint, so a
@@ -988,7 +1281,9 @@ impl DaemonState {
 
     /// Persists the pulled data, checksums the slot, and flips it to
     /// `Done`. On any error the slot is rolled back (bytes definitely
-    /// landed by this point) and the original error is returned.
+    /// landed by this point) and the original error is returned. An
+    /// empty data region skips the persist phase entirely — no span,
+    /// no counter — instead of flushing a phantom byte.
     fn seal_slot(
         &self,
         mi: &MIndex,
@@ -997,8 +1292,12 @@ impl DaemonState {
         pre: SlotHeader,
         sc: &SpanCtx<'_>,
     ) -> PortusResult<()> {
-        let sealed = self
-            .persist_phase(hdr.data_off, hdr.data_len.max(1), sc)
+        let persisted = if hdr.data_len == 0 {
+            Ok(())
+        } else {
+            self.persist_phase(hdr.data_off, hdr.data_len, sc)
+        };
+        let sealed = persisted
             .and_then(|()| self.checksum_phase(mi, slot, sc))
             .and_then(|checksum| {
                 let t0 = self.ctx.clock.now();
@@ -1012,6 +1311,100 @@ impl DaemonState {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// The striped seal: instead of one full-region persist pass plus a
+    /// second full read for the checksum, each extent rides a FIFO
+    /// persist+digest pipeline **as its transfer completes** — work for
+    /// early runs overlaps, in virtual time, with later runs still in
+    /// flight on the NIC engines. Per-extent digests
+    /// ([`crate::region_digest`]) combine order-independently into the
+    /// slot digest the header is sealed with
+    /// ([`Index::mark_slot_done_digest`]); restore recomputes the same
+    /// value from the region regardless of how the extents were
+    /// partitioned. On any error the slot is rolled back exactly as in
+    /// [`DaemonState::seal_slot`].
+    fn seal_slot_pipelined(
+        &self,
+        mi: &MIndex,
+        slot: usize,
+        hdr: SlotHeader,
+        pre: SlotHeader,
+        pieces: Vec<SealPiece>,
+        sc: &SpanCtx<'_>,
+    ) -> PortusResult<()> {
+        if let Err(e) = self.seal_pipeline(mi, slot, hdr, pieces, sc) {
+            self.rollback_best_effort(mi, slot, pre, true);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn seal_pipeline(
+        &self,
+        mi: &MIndex,
+        slot: usize,
+        hdr: SlotHeader,
+        mut pieces: Vec<SealPiece>,
+        sc: &SpanCtx<'_>,
+    ) -> PortusResult<()> {
+        let ctx = &self.ctx;
+        // The stage's own FIFO: extents enter in arrival order, so an
+        // extent whose transfer finished first is durable first.
+        let pipe = Resource::new("seal-pipe");
+        pieces.sort_by_key(|p| (p.arrival, p.rel_off));
+        let fabric_end = pieces
+            .iter()
+            .map(|p| p.arrival)
+            .max()
+            .unwrap_or_else(|| ctx.clock.now());
+        let dev = self.index.device();
+        let mut digest = 0u64;
+        let mut buf = Vec::new();
+        // Overlap accounting for the pipeline gauge: stage work granted
+        // before the last fabric completion ran in the transfer's
+        // shadow.
+        let mut stage_busy = SimDuration::ZERO;
+        let mut stage_overlapped = SimDuration::ZERO;
+        let mut track = |start: SimTime, end: SimTime, service: SimDuration| {
+            stage_busy += service;
+            stage_overlapped += end.min(fabric_end).saturating_since(start.min(fabric_end));
+        };
+        for piece in &pieces {
+            if piece.len > 0 && !self.cfg.dram_fallback {
+                let cost = dev.persist_deferred(hdr.data_off + piece.rel_off, piece.len)?;
+                let g = pipe.schedule(piece.arrival, cost);
+                ctx.stats.record_persist_ns(cost.as_nanos());
+                sc.record(Stage::Persist, g.start, g.end, 0);
+                track(g.start, g.end, cost);
+            }
+            let d = match piece.digest {
+                Some(d) => d,
+                None => {
+                    buf.resize(piece.len as usize, 0);
+                    dev.read(hdr.data_off + piece.rel_off, &mut buf)?;
+                    let cost = ctx.model.dax_read(piece.len);
+                    let g = pipe.schedule(piece.arrival, cost);
+                    ctx.stats.record_checksum_ns(cost.as_nanos());
+                    sc.record(Stage::Checksum, g.start, g.end, 0);
+                    track(g.start, g.end, cost);
+                    crate::region_digest(&buf, piece.rel_off)
+                }
+            };
+            digest = crate::combine_digests(digest, d);
+        }
+        // The request completes when the pipeline drains (advance_to is
+        // monotonic, so an already-later clock is left alone).
+        ctx.clock.advance_to(pipe.busy_until());
+        if stage_busy > SimDuration::ZERO {
+            ctx.metrics.set_pipeline_overlap_permille(
+                stage_overlapped.as_nanos() * 1000 / stage_busy.as_nanos(),
+            );
+        }
+        let t0 = ctx.clock.now();
+        let done = self.index.mark_slot_done_digest(mi, slot, digest);
+        sc.record_now(Stage::HeaderFlip, t0);
+        done
     }
 
     pub(crate) fn register(&self, model: &str, tensors: Vec<TensorDesc>) -> PortusResult<()> {
@@ -1051,16 +1444,11 @@ impl DaemonState {
 
     pub(crate) fn checkpoint(
         &self,
-        qp: &Arc<QueuePair>,
+        pool: &QpPool,
         model: &str,
         req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
-        let sc = SpanCtx {
-            ctx: &self.ctx,
-            req_id,
-            op: TraceOp::Checkpoint,
-            model: model.to_string(),
-        };
+        let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::Checkpoint, model);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1118,16 +1506,35 @@ impl DaemonState {
         self.index.mark_slot_active(&mi, target, version)?;
 
         let t0 = self.ctx.clock.now();
-        // The zero-copy pulls, GPU → PMem: coalesced gather WQEs, all
-        // posted under one doorbell, completions drained off the CQ,
-        // failed WQEs retried per-run.
-        if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
-            self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded);
-            return Err(fail.into_error(model, "checkpoint"));
-        }
+        // The zero-copy pulls, GPU → PMem: coalesced gather WQEs posted
+        // under one doorbell per QP stripe, completions drained off the
+        // CQs, failed WQEs retried per-run on their own lane.
+        let outcome = match self.execute_runs(pool, &runs, hdr.data_off, Direction::Pull, &sc) {
+            Ok(outcome) => outcome,
+            Err(fail) => {
+                self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded);
+                return Err(fail.into_error(model, "checkpoint"));
+            }
+        };
         // RDMA landed in the DDIO domain; make it durable (Wei et al.),
-        // checksum, and flip to Done.
-        self.seal_slot(&mi, target, hdr, hdr, &sc)?;
+        // checksum, and flip to Done. The striped datapath pipelines
+        // per-run persist+digest work against the transfers themselves.
+        if pool.len() > 1 {
+            let now = self.ctx.clock.now();
+            let pieces = runs
+                .iter()
+                .zip(&outcome.completions)
+                .map(|(run, c)| SealPiece {
+                    rel_off: run.base_rel,
+                    len: run.len,
+                    arrival: c.map_or(now, |(_, end)| end),
+                    digest: None,
+                })
+                .collect();
+            self.seal_slot_pipelined(&mi, target, hdr, hdr, pieces, &sc)?;
+        } else {
+            self.seal_slot(&mi, target, hdr, hdr, &sc)?;
+        }
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);
         Ok((version, mi.total_bytes, elapsed))
@@ -1140,17 +1547,12 @@ impl DaemonState {
     /// identical to a full checkpoint.
     pub(crate) fn delta_checkpoint(
         &self,
-        qp: &Arc<QueuePair>,
+        pool: &QpPool,
         model: &str,
         dirty: &[bool],
         req_id: u64,
     ) -> PortusResult<(u64, u64, u64, SimDuration)> {
-        let sc = SpanCtx {
-            ctx: &self.ctx,
-            req_id,
-            op: TraceOp::DeltaCheckpoint,
-            model: model.to_string(),
-        };
+        let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::DeltaCheckpoint, model);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1226,14 +1628,26 @@ impl DaemonState {
 
         let dev = Arc::clone(self.index.device());
         let ctx = &self.ctx;
+        let striped = pool.len() > 1;
         let t0 = ctx.clock.now();
-        // Carry-overs first (device-local), then the posted pulls.
+        // Carry-overs first (device-local), then the posted pulls. A
+        // striped seal reuses the digest each copy computed from its
+        // bounce buffer, so carried bytes are never read a second time.
         let mut carried = 0u64;
+        let mut carry_pieces: Vec<SealPiece> = Vec::new();
         let carry_result: PortusResult<()> = carries.iter().try_for_each(|&(src, rel, len)| {
-            copy_on_device(&dev, src, hdr.data_off + rel, len)?;
+            let digest = copy_on_device(&dev, src, hdr.data_off + rel, len, rel)?;
             ctx.charge(ctx.model.dax_read(len) + ctx.model.dax_write(len));
             ctx.stats.record_copy(len);
             carried += len;
+            if striped {
+                carry_pieces.push(SealPiece {
+                    rel_off: rel,
+                    len,
+                    arrival: ctx.clock.now(),
+                    digest: Some(digest),
+                });
+            }
             Ok(())
         });
         if let Err(e) = carry_result {
@@ -1245,13 +1659,28 @@ impl DaemonState {
         if !carries.is_empty() {
             sc.record_now(Stage::CarryCopy, t0);
         }
-        if let Err(fail) = self.execute_runs(qp, &runs, hdr.data_off, Direction::Pull, &sc) {
-            // Bytes landed if any pull WQE succeeded — or if any
-            // carry-over copy already wrote into the slot.
-            self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded || carried > 0);
-            return Err(fail.into_error(model, "delta-checkpoint"));
+        let outcome = match self.execute_runs(pool, &runs, hdr.data_off, Direction::Pull, &sc) {
+            Ok(outcome) => outcome,
+            Err(fail) => {
+                // Bytes landed if any pull WQE succeeded — or if any
+                // carry-over copy already wrote into the slot.
+                self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded || carried > 0);
+                return Err(fail.into_error(model, "delta-checkpoint"));
+            }
+        };
+        if striped {
+            let now = ctx.clock.now();
+            let mut pieces = carry_pieces;
+            pieces.extend(runs.iter().zip(&outcome.completions).map(|(run, c)| SealPiece {
+                rel_off: run.base_rel,
+                len: run.len,
+                arrival: c.map_or(now, |(_, end)| end),
+                digest: None,
+            }));
+            self.seal_slot_pipelined(&mi, target, hdr, hdr, pieces, &sc)?;
+        } else {
+            self.seal_slot(&mi, target, hdr, hdr, &sc)?;
         }
-        self.seal_slot(&mi, target, hdr, hdr, &sc)?;
         let elapsed = ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);
         Ok((version, pulled, copied, elapsed))
@@ -1259,17 +1688,12 @@ impl DaemonState {
 
     pub(crate) fn restore(
         &self,
-        qp: &Arc<QueuePair>,
+        pool: &QpPool,
         model: &str,
         descs: &[TensorDesc],
         req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
-        let sc = SpanCtx {
-            ctx: &self.ctx,
-            req_id,
-            op: TraceOp::Restore,
-            model: model.to_string(),
-        };
+        let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::Restore, model);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1305,13 +1729,7 @@ impl DaemonState {
         sc.record_now(Stage::Validate, t_op);
 
         if self.cfg.verify_on_restore {
-            let computed = self.checksum_phase(&mi, slot, &sc)?;
-            if computed != hdr.checksum {
-                return Err(PortusError::ChecksumMismatch {
-                    model: model.to_string(),
-                    version: hdr.version,
-                });
-            }
+            self.verify_slot(&mi, slot, &hdr, model, &sc)?;
         }
 
         let t_build = self.ctx.clock.now();
@@ -1323,7 +1741,7 @@ impl DaemonState {
         // one doorbell, no client CPU involvement. A terminal push
         // failure touches no slot state — the stored version stays
         // `Done` and a later restore can try again.
-        self.execute_runs(qp, &runs, hdr.data_off, Direction::Push, &sc)
+        self.execute_runs(pool, &runs, hdr.data_off, Direction::Push, &sc)
             .map_err(|fail| fail.into_error(model, "restore"))?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);

@@ -61,12 +61,24 @@ const TREC_MAX_DIMS: usize = 4;
 const TREC_LEN: u64 = 168;
 const TREC_RELOFF: u64 = 176;
 
-// Slot header fields (relative to the slot header offset).
+// Slot header fields (relative to the slot header offset). All eight
+// words live in the header's single 64-byte cache line, so writing the
+// digest fields adds no flush cost over the original five-word header.
 const SH_STATE: u64 = 0;
 const SH_VERSION: u64 = 8;
 const SH_CHECKSUM: u64 = 16;
 const SH_DATA_OFF: u64 = 24;
 const SH_DATA_LEN: u64 = 32;
+const SH_DIGEST: u64 = 40;
+const SH_CKSUM_KIND: u64 = 48;
+
+/// `cksum_kind`: the slot's integrity word is the legacy sequential
+/// FNV-1a of the data region (in `checksum`).
+pub const CKSUM_KIND_FNV: u64 = 0;
+/// `cksum_kind`: the slot's integrity word is the order-independent
+/// positional digest (in `digest`), combined incrementally per WQE run
+/// by the striped datapath; `checksum` is 0.
+pub const CKSUM_KIND_DIGEST: u64 = 1;
 
 /// Flag bit: the training job using this model finished (repacker may
 /// reclaim everything but the latest version).
@@ -115,12 +127,19 @@ pub struct SlotHeader {
     pub state: SlotState,
     /// Version number of the checkpoint in this slot.
     pub version: u64,
-    /// FNV-1a over the slot's data region (valid when `Done`).
+    /// FNV-1a over the slot's data region (valid when `Done` and
+    /// `cksum_kind == CKSUM_KIND_FNV`).
     pub checksum: u64,
     /// Absolute PMem offset of the slot's TensorData region.
     pub data_off: u64,
     /// Region length (= the model's total bytes).
     pub data_len: u64,
+    /// Positional digest of the data region (valid when `Done` and
+    /// `cksum_kind == CKSUM_KIND_DIGEST`). See [`region_digest`].
+    pub digest: u64,
+    /// Which integrity word validates the slot: [`CKSUM_KIND_FNV`] or
+    /// [`CKSUM_KIND_DIGEST`].
+    pub cksum_kind: u64,
 }
 
 /// One tensor's record in an MIndex.
@@ -192,6 +211,38 @@ impl MIndex {
     pub fn next_version(&self) -> u64 {
         self.slots.iter().map(|s| s.version).max().unwrap_or(0) + 1
     }
+}
+
+/// SplitMix64 finalizer — position weights for [`region_digest`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Positional digest of `bytes`, which sit at slot-relative offset
+/// `base` within their data region: each byte contributes
+/// `(b + 1) * splitmix64(base + i)` and contributions combine with
+/// wrapping addition. Because addition is commutative and associative,
+/// digests of disjoint chunks that tile a region can be computed in any
+/// order — or on any queue pair — and summed with [`combine_digests`]
+/// to equal the whole region's digest, which is what lets the striped
+/// datapath checksum each WQE run as its completion drains instead of
+/// re-reading the full slot afterwards. The `+ 1` keeps zero bytes from
+/// vanishing, so a region of zeros at the wrong offset still mismatches.
+pub fn region_digest(bytes: &[u8], base: u64) -> u64 {
+    let mut acc = 0u64;
+    for (i, &b) in bytes.iter().enumerate() {
+        acc = acc.wrapping_add((b as u64 + 1).wrapping_mul(splitmix64(base + i as u64)));
+    }
+    acc
+}
+
+/// Combines the positional digests of two disjoint chunks of one data
+/// region (order-independent).
+pub fn combine_digests(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
 }
 
 /// FNV-1a over a string (the ModelTable name hash).
@@ -371,6 +422,8 @@ impl Index {
             typed::write_u64(dev, sh + SH_CHECKSUM, 0)?;
             typed::write_u64(dev, sh + SH_DATA_OFF, d.offset)?;
             typed::write_u64(dev, sh + SH_DATA_LEN, total_bytes)?;
+            typed::write_u64(dev, sh + SH_DIGEST, 0)?;
+            typed::write_u64(dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
         }
         // Tensor records.
         let mut rel = 0u64;
@@ -430,6 +483,8 @@ impl Index {
                     checksum: 0,
                     data_off: data[0].offset,
                     data_len: total_bytes,
+                    digest: 0,
+                    cksum_kind: CKSUM_KIND_FNV,
                 },
                 SlotHeader {
                     state: SlotState::Empty,
@@ -437,6 +492,8 @@ impl Index {
                     checksum: 0,
                     data_off: data[1].offset,
                     data_len: total_bytes,
+                    digest: 0,
+                    cksum_kind: CKSUM_KIND_FNV,
                 },
             ],
         })
@@ -465,6 +522,8 @@ impl Index {
             checksum: 0,
             data_off: 0,
             data_len: 0,
+            digest: 0,
+            cksum_kind: CKSUM_KIND_FNV,
         }; SLOT_COUNT];
         for (s, slot) in slots.iter_mut().enumerate() {
             let sh = off + MI_SLOT0 + s as u64 * SLOT_HDR_SIZE;
@@ -474,6 +533,8 @@ impl Index {
                 checksum: typed::read_u64(dev, sh + SH_CHECKSUM)?,
                 data_off: typed::read_u64(dev, sh + SH_DATA_OFF)?,
                 data_len: typed::read_u64(dev, sh + SH_DATA_LEN)?,
+                digest: typed::read_u64(dev, sh + SH_DIGEST)?,
+                cksum_kind: typed::read_u64(dev, sh + SH_CKSUM_KIND)?,
             };
         }
 
@@ -517,6 +578,10 @@ impl Index {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
         typed::write_u64(&self.dev, sh + SH_VERSION, version)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, 0)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
+        // One cache line holds the whole header, so this flush also
+        // covers the digest words at no extra cost.
         self.dev.persist(sh + SH_VERSION, 16)?;
         typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Active.to_u64())?;
         self.dev.persist(sh + SH_STATE, 8)?;
@@ -533,6 +598,27 @@ impl Index {
     pub fn mark_slot_done(&self, mi: &MIndex, slot: usize, checksum: u64) -> PortusResult<()> {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, checksum)?;
+        self.dev.persist(sh + SH_CHECKSUM, 8)?;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Done.to_u64())?;
+        self.dev.persist(sh + SH_STATE, 8)?;
+        Ok(())
+    }
+
+    /// Durably transitions a slot to `Done` validated by the positional
+    /// `digest` ([`CKSUM_KIND_DIGEST`]) instead of the sequential FNV —
+    /// the form the striped datapath uses after combining per-run
+    /// digests. Same persistence ordering as [`Index::mark_slot_done`];
+    /// the digest words share the header's cache line so the flip costs
+    /// exactly the same flushes.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn mark_slot_done_digest(&self, mi: &MIndex, slot: usize, digest: u64) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, digest)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_DIGEST)?;
         self.dev.persist(sh + SH_CHECKSUM, 8)?;
         typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Done.to_u64())?;
         self.dev.persist(sh + SH_STATE, 8)?;
@@ -583,6 +669,8 @@ impl Index {
         };
         typed::write_u64(&self.dev, sh + SH_VERSION, version)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, pre.checksum)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, pre.digest)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, pre.cksum_kind)?;
         self.dev.persist(sh + SH_VERSION, 16)?;
         typed::write_u64(&self.dev, sh + SH_STATE, pre.state.to_u64())?;
         self.dev.persist(sh + SH_STATE, 8)?;
@@ -602,6 +690,8 @@ impl Index {
     pub fn collapse_slot(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
         let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, 0)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
         self.dev.persist(sh + SH_CHECKSUM, 8)?;
         typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
         self.dev.persist(sh + SH_STATE, 8)?;
@@ -624,6 +714,8 @@ impl Index {
         typed::write_u64(&self.dev, sh + SH_VERSION, 0)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
         typed::write_u64(&self.dev, sh + SH_DATA_OFF, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, 0)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
         self.dev.persist(sh, SLOT_HDR_SIZE)?;
         Ok(())
     }
@@ -682,6 +774,30 @@ impl Index {
             pos += chunk as u64;
         }
         Ok(hash)
+    }
+
+    /// Positional digest of a slot's data region (reads PMem) — the
+    /// [`CKSUM_KIND_DIGEST`] counterpart of [`Index::slot_checksum`].
+    /// Because [`region_digest`] keys each byte by its slot-relative
+    /// offset and chunks combine with [`combine_digests`], this matches
+    /// the sum of per-run digests the striped datapath sealed with, in
+    /// any order and at any chunking.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn slot_digest(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
+        let hdr = mi.slots[slot];
+        let mut acc: u64 = 0;
+        let mut buf = vec![0u8; 256 * 1024];
+        let mut pos = 0u64;
+        while pos < hdr.data_len {
+            let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
+            self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
+            acc = combine_digests(acc, region_digest(&buf[..chunk], pos));
+            pos += chunk as u64;
+        }
+        Ok(acc)
     }
 
     /// Removes a model: clears its table entry first (so recovery never
@@ -955,6 +1071,33 @@ mod tests {
         dev.write(mi.slots[0].data_off, &[7u8; 100]).unwrap();
         let c1 = index.slot_checksum(&mi, 0).unwrap();
         assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn region_digest_tiles_commute() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = region_digest(&data, 0);
+        // Any partition into offset-tagged tiles sums to the whole,
+        // regardless of combine order.
+        let a = region_digest(&data[..100], 0);
+        let b = region_digest(&data[100..700], 100);
+        let c = region_digest(&data[700..], 700);
+        assert_eq!(combine_digests(combine_digests(a, b), c), whole);
+        assert_eq!(combine_digests(c, combine_digests(b, a)), whole);
+        // Position matters: the same bytes at a different base differ.
+        assert_ne!(region_digest(&data[..100], 0), region_digest(&data[..100], 4));
+    }
+
+    #[test]
+    fn slot_digest_matches_run_combination() {
+        let (dev, index) = fresh();
+        let mi = index.create_model("m", &metas(1, 4096)).unwrap();
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        dev.write(mi.slots[0].data_off, &payload).unwrap();
+        let full = index.slot_digest(&mi, 0).unwrap();
+        let d0 = region_digest(&payload[..1500], 0);
+        let d1 = region_digest(&payload[1500..], 1500);
+        assert_eq!(combine_digests(d1, d0), full);
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub use client::{CheckpointReport, DeltaReport, PendingCheckpoint, PortusClient,
 pub use daemon::{ClientEndpoints, DaemonConfig, PortusDaemon};
 pub use error::{PortusError, PortusResult, VerbFailure};
 pub use index::{
-    name_hash, Index, MIndex, SlotHeader, SlotState, TensorRecord, FLAG_JOB_COMPLETE, SLOT_COUNT,
+    combine_digests, name_hash, region_digest, Index, MIndex, SlotHeader, SlotState, TensorRecord,
+    CKSUM_KIND_DIGEST, CKSUM_KIND_FNV, FLAG_JOB_COMPLETE, SLOT_COUNT,
 };
 pub use model_map::{Iter, ModelMap};
 pub use proto::{ModelSummary, Reply, Request, TensorDesc};

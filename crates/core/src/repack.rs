@@ -116,6 +116,7 @@ pub(crate) fn repack_pass(
         start: t0,
         end,
         round: 0,
+        lane: 0,
     });
     scan.map(|()| report)
 }

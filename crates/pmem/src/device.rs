@@ -310,9 +310,20 @@ impl PmemDevice {
     ///
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds capacity.
     pub fn flush(&self, offset: u64, len: u64) -> PmemResult<()> {
+        let d = self.flush_internal(offset, len)?;
+        if !d.is_zero() {
+            self.ctx.charge(d);
+        }
+        Ok(())
+    }
+
+    /// [`PmemDevice::flush`] minus the clock charge: performs the same
+    /// dirty→pending transitions and flush accounting, but returns the
+    /// `clwb` cost instead of advancing the clock.
+    fn flush_internal(&self, offset: u64, len: u64) -> PmemResult<portus_sim::SimDuration> {
         self.check(offset, len)?;
         if len == 0 {
-            return Ok(());
+            return Ok(portus_sim::SimDuration::ZERO);
         }
         let first_line = offset / CACHE_LINE;
         let last_line = (offset + len - 1) / CACHE_LINE;
@@ -345,18 +356,26 @@ impl PmemDevice {
             }
         }
         drop(inner);
-        if flushed_lines > 0 {
-            self.ctx.stats.record_pmem_flushes(flushed_lines);
-            self.ctx.charge(portus_sim::SimDuration::from_nanos(
-                self.ctx.model.clwb_ns * flushed_lines.min(1024),
-            ));
+        if flushed_lines == 0 {
+            return Ok(portus_sim::SimDuration::ZERO);
         }
-        Ok(())
+        self.ctx.stats.record_pmem_flushes(flushed_lines);
+        Ok(portus_sim::SimDuration::from_nanos(
+            self.ctx.model.clwb_ns * flushed_lines.min(1024),
+        ))
     }
 
     /// Persistence fence (`sfence`): everything previously flushed is now
     /// durable on media.
     pub fn fence(&self) {
+        let d = self.fence_internal();
+        self.ctx.charge(d);
+    }
+
+    /// [`PmemDevice::fence`] minus the clock charge: pending data
+    /// reaches media and the fence is counted, but the `sfence` cost is
+    /// returned instead of advancing the clock.
+    fn fence_internal(&self) -> portus_sim::SimDuration {
         let mut inner = self.inner.lock();
         let pending_lines = std::mem::take(&mut inner.volatile.pending_lines);
         for (line, content) in pending_lines {
@@ -368,8 +387,7 @@ impl PmemDevice {
         }
         drop(inner);
         self.ctx.stats.record_pmem_fence();
-        self.ctx
-            .charge(portus_sim::SimDuration::from_nanos(self.ctx.model.sfence_ns));
+        portus_sim::SimDuration::from_nanos(self.ctx.model.sfence_ns)
     }
 
     /// Convenience: flush the range and fence.
@@ -381,6 +399,21 @@ impl PmemDevice {
         self.flush(offset, len)?;
         self.fence();
         Ok(())
+    }
+
+    /// [`PmemDevice::persist`] for pipelined callers: the range becomes
+    /// durable (same state transitions and flush/fence accounting), but
+    /// the `clwb + sfence` cost is *returned* instead of charged so the
+    /// caller can schedule it on its own timeline — e.g. overlapped
+    /// with an in-flight fabric transfer — and advance the shared clock
+    /// once, when the whole pipeline drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn persist_deferred(&self, offset: u64, len: u64) -> PmemResult<portus_sim::SimDuration> {
+        let flush = self.flush_internal(offset, len)?;
+        Ok(flush + self.fence_internal())
     }
 
     /// Atomic 8-byte compare-and-swap at `offset` (must be 8-aligned),

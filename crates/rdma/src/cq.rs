@@ -124,6 +124,7 @@ pub struct PostedQueuePair {
     cq: CompletionQueue,
     next_wr: Mutex<u64>,
     posted_in_batch: Mutex<u64>,
+    deferred: bool,
 }
 
 impl PostedQueuePair {
@@ -143,7 +144,31 @@ impl PostedQueuePair {
             cq,
             next_wr: Mutex::new(1),
             posted_in_batch: Mutex::new(0),
+            deferred: false,
         }
+    }
+
+    /// As [`PostedQueuePair::from_shared`], but posts ride the
+    /// *deferred* verbs ([`QueuePair::read_gather_deferred`] /
+    /// [`QueuePair::write_scatter_deferred`]): WQEs are scheduled on
+    /// the QP's lane engines without advancing the shared clock, so
+    /// several striped queue pairs can post from one instant and
+    /// overlap on independent NIC engines. The driver must advance the
+    /// clock itself when it drains the round (to the max completion
+    /// `end` it observed).
+    pub fn from_shared_deferred(qp: Arc<QueuePair>, cq: CompletionQueue) -> PostedQueuePair {
+        PostedQueuePair {
+            qp,
+            cq,
+            next_wr: Mutex::new(1),
+            posted_in_batch: Mutex::new(0),
+            deferred: true,
+        }
+    }
+
+    /// Whether this endpoint posts with deferred clock charging.
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
     }
 
     fn fresh_wr(&self) -> WrId {
@@ -199,7 +224,11 @@ impl PostedQueuePair {
     ) -> WrId {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
-        let result = self.qp.read_gather(segs, dst, dst_off, first);
+        let result = if self.deferred {
+            self.qp.read_gather_deferred(segs, dst, dst_off, first)
+        } else {
+            self.qp.read_gather(segs, dst, dst_off, first)
+        };
         if result.is_err() {
             self.qp.local_nic().ctx().stats.record_failed_verb();
         }
@@ -231,7 +260,11 @@ impl PostedQueuePair {
     ) -> WrId {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
-        let result = self.qp.write_scatter(segs, src, src_off, first);
+        let result = if self.deferred {
+            self.qp.write_scatter_deferred(segs, src, src_off, first)
+        } else {
+            self.qp.write_scatter(segs, src, src_off, first)
+        };
         if result.is_err() {
             self.qp.local_nic().ctx().stats.record_failed_verb();
         }

@@ -24,11 +24,17 @@ static NEXT_RKEY: AtomicU64 = AtomicU64::new(0x1000);
 /// One RNIC. Registration hands out process-unique remote keys; the NIC
 /// is also the FIFO bandwidth resource all its transfers serialize on
 /// (one 100 Gb/s port per node, as in the paper's testbed).
+///
+/// A NIC added with [`Fabric::add_nic_with_engines`] exposes several
+/// independent DMA engines: transfers on different engines proceed in
+/// parallel (the striped multi-QP datapath maps each queue pair to one
+/// engine), while transfers sharing an engine still serialize FIFO.
+/// [`Fabric::add_nic`] keeps the single-engine model.
 #[derive(Debug)]
 pub struct Nic {
     ctx: SimContext,
     node: NodeId,
-    resource: Resource,
+    engines: Vec<Resource>,
     regions: RwLock<HashMap<u64, Arc<MemoryRegion>>>,
     faults: RwLock<Option<Arc<FaultPlan>>>,
 }
@@ -44,9 +50,21 @@ impl Nic {
         &self.ctx
     }
 
-    /// The NIC's FIFO link resource.
+    /// The NIC's FIFO link resource (the first DMA engine).
     pub fn resource(&self) -> &Resource {
-        &self.resource
+        &self.engines[0]
+    }
+
+    /// The DMA engine serving `lane`. Lanes beyond the engine count
+    /// wrap around, so any lane number maps to a valid engine and a
+    /// single-engine NIC serializes every lane on its one port.
+    pub fn engine(&self, lane: usize) -> &Resource {
+        &self.engines[lane % self.engines.len()]
+    }
+
+    /// Number of independent DMA engines this NIC models.
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
     }
 
     /// Registers `target` as a memory region with the given remote
@@ -132,16 +150,37 @@ impl Fabric {
         &self.ctx
     }
 
-    /// Adds a NIC for `node` and returns it.
+    /// Adds a single-engine NIC for `node` and returns it.
     ///
     /// # Panics
     ///
     /// Panics if the node already has a NIC.
     pub fn add_nic(&self, node: NodeId) -> Arc<Nic> {
+        self.add_nic_with_engines(node, 1)
+    }
+
+    /// Adds a NIC for `node` with `engines` independent DMA engines
+    /// (clamped to at least one). Engine 0 keeps the classic
+    /// `rnic-{node}` name so single-engine behaviour and diagnostics
+    /// are unchanged; extra engines are `rnic-{node}-e{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node already has a NIC.
+    pub fn add_nic_with_engines(&self, node: NodeId, engines: usize) -> Arc<Nic> {
+        let engines = (0..engines.max(1))
+            .map(|i| {
+                if i == 0 {
+                    Resource::new(&format!("rnic-{node}"))
+                } else {
+                    Resource::new(&format!("rnic-{node}-e{i}"))
+                }
+            })
+            .collect();
         let nic = Arc::new(Nic {
             ctx: self.ctx.clone(),
             node,
-            resource: Resource::new(&format!("rnic-{node}")),
+            engines,
             regions: RwLock::new(HashMap::new()),
             faults: RwLock::new(None),
         });
@@ -218,6 +257,29 @@ mod tests {
         let buf = Buffer::new(MemoryKind::GpuHbm, MemorySegment::synthetic(1 << 20, 0));
         nic.register(RegionTarget::Buffer(buf), Access::READ);
         assert!(fabric.ctx().clock.now() > before);
+    }
+
+    #[test]
+    fn engines_are_independent_resources() {
+        let fabric = Fabric::new(SimContext::icdcs24());
+        let nic = fabric.add_nic_with_engines(NodeId(0), 4);
+        assert_eq!(nic.engine_count(), 4);
+        assert_eq!(nic.engine(0).name(), "rnic-node0");
+        assert_eq!(nic.engine(2).name(), "rnic-node0-e2");
+        // Lanes wrap around the engine pool.
+        assert_eq!(nic.engine(6).name(), nic.engine(2).name());
+        // engine(0) is the classic single resource.
+        assert_eq!(nic.resource().name(), nic.engine(0).name());
+        let single = fabric.add_nic(NodeId(1));
+        assert_eq!(single.engine_count(), 1);
+        assert_eq!(single.engine(3).name(), "rnic-node1");
+    }
+
+    #[test]
+    fn zero_engine_request_clamps_to_one() {
+        let fabric = Fabric::new(SimContext::icdcs24());
+        let nic = fabric.add_nic_with_engines(NodeId(0), 0);
+        assert_eq!(nic.engine_count(), 1);
     }
 
     #[test]

@@ -53,26 +53,38 @@ pub struct Completion {
 pub struct QueuePair {
     local: Arc<Nic>,
     remote: Arc<Nic>,
+    lane: usize,
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
 }
 
 impl QueuePair {
     /// Connects a pair of QPs between `a` and `b`; returns the endpoint
-    /// at `a` and the endpoint at `b`.
+    /// at `a` and the endpoint at `b`. The connection rides lane 0 —
+    /// the classic single-QP datapath.
     pub fn connect(a: Arc<Nic>, b: Arc<Nic>) -> (QueuePair, QueuePair) {
+        QueuePair::connect_lane(a, b, 0)
+    }
+
+    /// Connects a pair of QPs pinned to DMA-engine `lane` on both NICs
+    /// (lanes wrap around each NIC's engine count, see
+    /// [`Nic::engine`]). Striped connections open one QP per lane so
+    /// their doorbell batches ride independent engines.
+    pub fn connect_lane(a: Arc<Nic>, b: Arc<Nic>, lane: usize) -> (QueuePair, QueuePair) {
         let (tx_ab, rx_ab) = unbounded();
         let (tx_ba, rx_ba) = unbounded();
         (
             QueuePair {
                 local: Arc::clone(&a),
                 remote: Arc::clone(&b),
+                lane,
                 tx: tx_ab,
                 rx: rx_ba,
             },
             QueuePair {
                 local: b,
                 remote: a,
+                lane,
                 tx: tx_ba,
                 rx: rx_ab,
             },
@@ -87,6 +99,11 @@ impl QueuePair {
     /// The NIC at the other end.
     pub fn remote_nic(&self) -> &Arc<Nic> {
         &self.remote
+    }
+
+    /// The DMA-engine lane this QP is pinned to (0 for unstriped QPs).
+    pub fn lane(&self) -> usize {
+        self.lane
     }
 
     /// Consults the initiating NIC's armed fault plan, if any. On an
@@ -104,16 +121,45 @@ impl QueuePair {
         Ok(())
     }
 
-    /// Charges a transfer of `service` on both NICs' FIFO links and
-    /// advances the shared clock to the completion instant.
+    /// Charges a transfer of `service` on both NICs' engines for this
+    /// QP's lane and advances the shared clock to the completion
+    /// instant.
     fn charge_transfer(&self, service: SimDuration) -> (SimTime, SimTime) {
         let ctx = self.local.ctx();
         let now = ctx.clock.now();
-        let g_local = self.local.resource().schedule(now, service);
-        let g_remote = self.remote.resource().schedule(now, service);
+        let g_local = self.local.engine(self.lane).schedule(now, service);
+        let g_remote = self.remote.engine(self.lane).schedule(now, service);
         let start = g_local.start.max(g_remote.start);
         let end = g_local.end.max(g_remote.end);
         ctx.clock.advance_to(end);
+        (start, end)
+    }
+
+    /// Schedules a transfer of `service` on both NICs' engines for this
+    /// QP's lane **without advancing the shared clock** — the striped
+    /// datapath posts WQEs on several lanes from one instant and only
+    /// advances the clock when it drains the completions, which is what
+    /// lets transfers on different engines overlap in virtual time.
+    ///
+    /// A verb landing on an engine that is already busy (more QPs than
+    /// engines, or several in-flight WQEs on one lane) pays the
+    /// [`portus_sim::CostModel::nic_engine_contention`] arbitration
+    /// penalty on top of the FIFO queueing delay itself.
+    fn charge_transfer_deferred(&self, service: SimDuration) -> (SimTime, SimTime) {
+        let ctx = self.local.ctx();
+        let now = ctx.clock.now();
+        let local = self.local.engine(self.lane);
+        let remote = self.remote.engine(self.lane);
+        let contended = local.busy_until() > now || remote.busy_until() > now;
+        let service = if contended {
+            service + ctx.model.nic_engine_contention()
+        } else {
+            service
+        };
+        let g_local = local.schedule(now, service);
+        let g_remote = remote.schedule(now, service);
+        let start = g_local.start.max(g_remote.start);
+        let end = g_local.end.max(g_remote.end);
         (start, end)
     }
 
@@ -223,6 +269,37 @@ impl QueuePair {
         dst_off: u64,
         first_in_batch: bool,
     ) -> RdmaResult<Completion> {
+        self.read_gather_inner(segs, dst, dst_off, first_in_batch, false)
+    }
+
+    /// [`QueuePair::read_gather`] for striped posting: the WQE is
+    /// scheduled on this QP's lane engines but the shared clock is
+    /// **not** advanced — the returned [`Completion`] carries the
+    /// `(start, end)` window and the caller advances the clock once
+    /// when it drains the whole posting round (see
+    /// [`QueuePair::charge_transfer_deferred`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueuePair::read_gather`].
+    pub fn read_gather_deferred(
+        &self,
+        segs: &[SgEntry],
+        dst: &RegionTarget,
+        dst_off: u64,
+        first_in_batch: bool,
+    ) -> RdmaResult<Completion> {
+        self.read_gather_inner(segs, dst, dst_off, first_in_batch, true)
+    }
+
+    fn read_gather_inner(
+        &self,
+        segs: &[SgEntry],
+        dst: &RegionTarget,
+        dst_off: u64,
+        first_in_batch: bool,
+        deferred: bool,
+    ) -> RdmaResult<Completion> {
         if segs.is_empty() {
             return Err(RdmaError::EmptySgList);
         }
@@ -250,7 +327,11 @@ impl QueuePair {
         let ctx = self.local.ctx();
         let submitted = ctx.clock.now();
         let service = ctx.model.rdma_read_posted(total, src_kind, first_in_batch);
-        let (start, end) = self.charge_transfer(service);
+        let (start, end) = if deferred {
+            self.charge_transfer_deferred(service)
+        } else {
+            self.charge_transfer(service)
+        };
         // One *logical* data movement per tensor segment: the structural
         // zero-copy counters see through the WQE packing.
         for seg in segs {
@@ -287,6 +368,33 @@ impl QueuePair {
         src_off: u64,
         first_in_batch: bool,
     ) -> RdmaResult<Completion> {
+        self.write_scatter_inner(segs, src, src_off, first_in_batch, false)
+    }
+
+    /// [`QueuePair::write_scatter`] for striped posting; deferred
+    /// charging as in [`QueuePair::read_gather_deferred`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QueuePair::write_scatter`].
+    pub fn write_scatter_deferred(
+        &self,
+        segs: &[SgEntry],
+        src: &RegionTarget,
+        src_off: u64,
+        first_in_batch: bool,
+    ) -> RdmaResult<Completion> {
+        self.write_scatter_inner(segs, src, src_off, first_in_batch, true)
+    }
+
+    fn write_scatter_inner(
+        &self,
+        segs: &[SgEntry],
+        src: &RegionTarget,
+        src_off: u64,
+        first_in_batch: bool,
+        deferred: bool,
+    ) -> RdmaResult<Completion> {
         if segs.is_empty() {
             return Err(RdmaError::EmptySgList);
         }
@@ -311,7 +419,11 @@ impl QueuePair {
         let service = ctx
             .model
             .rdma_write_posted(total, mrs[0].target().kind(), first_in_batch);
-        let (start, end) = self.charge_transfer(service);
+        let (start, end) = if deferred {
+            self.charge_transfer_deferred(service)
+        } else {
+            self.charge_transfer(service)
+        };
         for seg in segs {
             ctx.stats.record_one_sided(seg.len);
             ctx.stats.record_copy(seg.len);
@@ -496,6 +608,62 @@ mod tests {
         let c2 = qb.read(mr.rkey(), 0, &sink, 0, len).unwrap();
         assert!(c2.start >= c1.end, "second transfer must queue behind first");
         assert_eq!(f.ctx().stats.snapshot().rdma_one_sided_ops, 2);
+    }
+
+    #[test]
+    fn deferred_posts_overlap_across_lanes_without_moving_the_clock() {
+        let fabric = Fabric::new(SimContext::icdcs24());
+        let a = fabric.add_nic_with_engines(NodeId(0), 2);
+        let b = fabric.add_nic_with_engines(NodeId(1), 2);
+        let len = 4 << 20;
+        let buf = Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(len));
+        let mr = a.register(RegionTarget::Buffer(buf), Access::READ);
+        let sink = RegionTarget::Buffer(Buffer::new(
+            MemoryKind::HostDram,
+            MemorySegment::zeroed(len),
+        ));
+        let (_qa0, q0) = QueuePair::connect_lane(Arc::clone(&a), Arc::clone(&b), 0);
+        let (_qa1, q1) = QueuePair::connect_lane(a, b, 1);
+        assert_eq!(q1.lane(), 1);
+        let before = fabric.ctx().clock.now();
+        let seg = [SgEntry { rkey: mr.rkey(), offset: 0, len }];
+        let c0 = q0.read_gather_deferred(&seg, &sink, 0, true).unwrap();
+        let c1 = q1.read_gather_deferred(&seg, &sink, 0, true).unwrap();
+        assert_eq!(
+            fabric.ctx().clock.now(),
+            before,
+            "deferred posts must not advance the shared clock"
+        );
+        assert_eq!(c0.start, c1.start, "independent engines start together");
+        assert_eq!(c0.end, c1.end, "equal transfers on idle engines overlap fully");
+    }
+
+    #[test]
+    fn oversubscribed_engines_queue_and_pay_contention() {
+        let fabric = Fabric::new(SimContext::icdcs24());
+        let a = fabric.add_nic(NodeId(0));
+        let b = fabric.add_nic(NodeId(1));
+        let len = 1 << 20;
+        let buf = Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(len));
+        let mr = a.register(RegionTarget::Buffer(buf), Access::READ);
+        let sink = RegionTarget::Buffer(Buffer::new(
+            MemoryKind::HostDram,
+            MemorySegment::zeroed(len),
+        ));
+        // Two lanes, one engine: lane 1 wraps onto the same port.
+        let (_qa0, q0) = QueuePair::connect_lane(Arc::clone(&a), Arc::clone(&b), 0);
+        let (_qa1, q1) = QueuePair::connect_lane(a, b, 1);
+        let seg = [SgEntry { rkey: mr.rkey(), offset: 0, len }];
+        let c0 = q0.read_gather_deferred(&seg, &sink, 0, true).unwrap();
+        let c1 = q1.read_gather_deferred(&seg, &sink, 0, true).unwrap();
+        assert_eq!(c1.start, c0.end, "second WQE queues behind the first");
+        let base = c0.end - c0.start;
+        let contended = c1.end - c1.start;
+        assert_eq!(
+            contended,
+            base + fabric.ctx().model.nic_engine_contention(),
+            "busy-engine post pays the arbitration penalty"
+        );
     }
 
     #[test]

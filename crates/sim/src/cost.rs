@@ -98,6 +98,14 @@ pub struct CostModel {
     /// further retry of the same operation doubles it (see
     /// [`CostModel::verb_retry_backoff`]).
     pub verb_retry_backoff_ns: u64,
+    /// Scheduling penalty (ns) charged when a verb is posted to a NIC
+    /// DMA engine that is still busy with earlier work: the WQE sits in
+    /// the engine's queue and pays an extra arbitration/wakeup cost on
+    /// top of the queueing delay itself. Only the striped (multi-QP)
+    /// datapath posts to potentially-busy engines, so single-QP runs
+    /// never observe this constant.
+    #[serde(default)]
+    pub nic_engine_contention_ns: u64,
 
     // ---- PCIe / GPU ----
     /// `cudaMemcpy` device-to-host effective bandwidth (bytes/s) through
@@ -185,6 +193,7 @@ impl CostModel {
             rpc_contention_per_stream: 0.062,
             control_one_way_ns: 15_000,
             verb_retry_backoff_ns: 50_000,
+            nic_engine_contention_ns: 2_000,
 
             pcie_d2h_bw: 4.71e9,
             pcie_h2d_bw: 5.0e9,
@@ -394,6 +403,13 @@ impl CostModel {
     /// Flushing `lines` cache lines plus one fence.
     pub fn persist_lines(&self, lines: u64) -> SimDuration {
         SimDuration::from_nanos(self.clwb_ns * lines + self.sfence_ns)
+    }
+
+    /// Penalty paid by a verb that lands on a NIC DMA engine which is
+    /// already busy at post time (see
+    /// [`nic_engine_contention_ns`](CostModel::nic_engine_contention_ns)).
+    pub fn nic_engine_contention(&self) -> SimDuration {
+        SimDuration::from_nanos(self.nic_engine_contention_ns)
     }
 
     /// Backoff charged before the `attempt`-th re-post of a failed verb

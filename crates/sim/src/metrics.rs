@@ -181,6 +181,13 @@ pub struct MetricsSnapshot {
     /// Repack passes completed so far.
     #[serde(default)]
     pub repack_passes: u64,
+    /// Share (in permille) of the last striped checkpoint's
+    /// persist+checksum work that overlapped the fabric transfer —
+    /// `1000` means the seal pipeline ran entirely in the shadow of the
+    /// CQ drain, `0` means it ran strictly after (the unstriped
+    /// behaviour). Stays `0` until a multi-QP checkpoint completes.
+    #[serde(default)]
+    pub pipeline_overlap_permille: u64,
 }
 
 impl MetricsSnapshot {
@@ -221,6 +228,7 @@ struct MetricsInner {
     reclaimed_slots: AtomicU64,
     reclaimed_bytes: AtomicU64,
     repack_passes: AtomicU64,
+    pipeline_overlap_permille: AtomicU64,
 }
 
 /// Shared metrics registry. Cloning shares the underlying histograms
@@ -289,6 +297,15 @@ impl Metrics {
         self.inner.repack_passes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records how much of a striped checkpoint's seal pipeline ran in
+    /// the shadow of the fabric transfer, in permille of the pipeline's
+    /// busy time (clamped to `1000`).
+    pub fn set_pipeline_overlap_permille(&self, permille: u64) {
+        self.inner
+            .pipeline_overlap_permille
+            .store(permille.min(1000), Ordering::Relaxed);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
@@ -319,6 +336,10 @@ impl Metrics {
             reclaimed_slots: self.inner.reclaimed_slots.load(Ordering::Relaxed),
             reclaimed_bytes: self.inner.reclaimed_bytes.load(Ordering::Relaxed),
             repack_passes: self.inner.repack_passes.load(Ordering::Relaxed),
+            pipeline_overlap_permille: self
+                .inner
+                .pipeline_overlap_permille
+                .load(Ordering::Relaxed),
         }
     }
 }
@@ -406,6 +427,16 @@ mod tests {
         assert_eq!(m.snapshot().fragmentation_permille(), 0);
         m.set_space(0, 4000, 0);
         assert_eq!(m.snapshot().fragmentation_permille(), 0);
+    }
+
+    #[test]
+    fn pipeline_overlap_gauge_clamps_to_permille() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 0);
+        m.set_pipeline_overlap_permille(640);
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 640);
+        m.set_pipeline_overlap_permille(5000);
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 1000);
     }
 
     #[test]

@@ -139,6 +139,10 @@ pub struct SpanRecord {
     pub end: SimTime,
     /// Retry round, for per-round stages (`0` = the initial posting).
     pub round: u32,
+    /// NIC engine lane the span's verbs rode, for per-QP stages
+    /// (`0` = the sole lane of an unstriped connection).
+    #[serde(default)]
+    pub lane: u32,
 }
 
 impl SpanRecord {
@@ -288,8 +292,8 @@ impl Tracer {
     pub fn spans(&self) -> Vec<SpanRecord> {
         let mut spans = self.inner.spans.lock().clone();
         spans.sort_by(|a, b| {
-            (a.start, a.end, a.req_id, a.op, a.stage, a.round)
-                .cmp(&(b.start, b.end, b.req_id, b.op, b.stage, b.round))
+            (a.start, a.end, a.req_id, a.op, a.stage, a.round, a.lane)
+                .cmp(&(b.start, b.end, b.req_id, b.op, b.stage, b.round, b.lane))
         });
         spans
     }
@@ -302,17 +306,26 @@ impl Tracer {
         let events: Vec<TraceEvent> = self
             .spans()
             .iter()
-            .map(|s| TraceEvent {
-                name: s.stage.name().to_string(),
-                cat: s.op.name().to_string(),
-                pid: 1,
-                tid: s.req_id,
-                start: s.start,
-                end: s.end,
-                args: vec![
+            .map(|s| {
+                let mut args = vec![
                     ("model".to_string(), s.model.clone()),
                     ("round".to_string(), s.round.to_string()),
-                ],
+                ];
+                // Lane 0 is the only lane of an unstriped connection;
+                // omitting it keeps single-QP exports byte-identical
+                // to traces recorded before striping existed.
+                if s.lane > 0 {
+                    args.push(("lane".to_string(), s.lane.to_string()));
+                }
+                TraceEvent {
+                    name: s.stage.name().to_string(),
+                    cat: s.op.name().to_string(),
+                    pid: 1,
+                    tid: s.req_id,
+                    start: s.start,
+                    end: s.end,
+                    args,
+                }
             })
             .collect();
         chrome_trace_json(&events)
@@ -332,6 +345,7 @@ mod tests {
             start: SimTime::from_nanos(start),
             end: SimTime::from_nanos(end),
             round: 0,
+            lane: 0,
         }
     }
 
@@ -387,6 +401,19 @@ mod tests {
         assert!(a.contains("\"ts\":1.500"));
         assert!(a.contains("\"dur\":3.000"));
         assert!(a.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn lane_arg_appears_only_on_striped_spans() {
+        let t = Tracer::new();
+        t.enable();
+        t.record(span(1, Stage::DoorbellPost, 0, 10));
+        let mut striped = span(1, Stage::DoorbellPost, 10, 20);
+        striped.lane = 3;
+        t.record(striped);
+        let json = t.to_chrome_trace();
+        assert_eq!(json.matches("\"lane\":\"3\"").count(), 1);
+        assert!(!json.contains("\"lane\":\"0\""), "lane 0 must stay implicit");
     }
 
     #[test]

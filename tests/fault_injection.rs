@@ -8,7 +8,7 @@ use portus_dnn::{test_spec, Materialization, ModelInstance};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
 use portus_rdma::{Fabric, FaultSpec, NodeId};
-use portus_sim::SimContext;
+use portus_sim::{SimContext, Stage};
 
 /// The daemon's NIC: one-sided verbs are initiated there, so that is
 /// where fault plans must be armed.
@@ -28,6 +28,32 @@ fn world(name: &str, layers: usize, cfg: DaemonConfig) -> (World, ModelInstance)
     let fabric = Fabric::new(ctx.clone());
     let compute = fabric.add_nic(NodeId(0));
     fabric.add_nic(DAEMON_NODE);
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
+    let daemon = PortusDaemon::start(&fabric, DAEMON_NODE, pmem, cfg).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
+    let spec = test_spec(name, layers, 4096);
+    let mut model = ModelInstance::materialize(&spec, &gpu, 7, Materialization::Owned).unwrap();
+    let client = PortusClient::connect(&daemon, compute);
+    client.register_model(&model).unwrap();
+    model.train_step();
+    (
+        World {
+            ctx,
+            fabric,
+            daemon,
+            client,
+        },
+        model,
+    )
+}
+
+/// [`world`], but with 4-engine NICs on both nodes so a
+/// `qps_per_connection = 4` config actually stripes.
+fn striped_world(name: &str, layers: usize, cfg: DaemonConfig) -> (World, ModelInstance) {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    let compute = fabric.add_nic_with_engines(NodeId(0), 4);
+    fabric.add_nic_with_engines(DAEMON_NODE, 4);
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
     let daemon = PortusDaemon::start(&fabric, DAEMON_NODE, pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
@@ -199,6 +225,115 @@ fn every_failed_run_is_attributed_not_just_the_first() {
         }
         other => panic!("expected DatapathFailed, got: {other}"),
     }
+
+    drop(w.client);
+    w.daemon.shutdown();
+}
+
+#[test]
+fn striped_retry_stays_on_the_failing_lane() {
+    let cfg = DaemonConfig {
+        qps_per_connection: 4,
+        ..DaemonConfig::default()
+    };
+    let (w, mut model) = striped_world("lane", 8, cfg);
+    w.client.checkpoint("lane").unwrap(); // v1, clean
+    let _ = model.take_dirty(); // v1 covered everything up to here
+
+    // Dirty every other tensor: the gaps split the pull into four
+    // single-tensor WQEs, one per lane.
+    let evens: Vec<usize> = (0..8).step_by(2).collect();
+    model.train_step_sparse(&evens);
+    let dirty = model.take_dirty();
+
+    let before = w.ctx.stats.snapshot();
+    w.ctx.tracer.enable();
+    w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
+    let report = w.client.checkpoint_delta("lane", &dirty).unwrap();
+    assert_eq!(report.version, 2);
+
+    // One WQE failed, one retry absorbed it, nothing rolled back —
+    // the other lanes' completed runs were never re-posted.
+    let d = w.ctx.stats.snapshot().since(&before);
+    assert_eq!(d.failed_verbs, 1);
+    assert_eq!(d.retried_verbs, 1);
+    assert_eq!(d.rolled_back_slots, 0);
+
+    // Round 0 fanned out across lanes; the retry round posted on
+    // exactly the lane that failed.
+    let spans = w.ctx.tracer.spans();
+    let lanes_in = |round: u32| -> std::collections::BTreeSet<u32> {
+        spans
+            .iter()
+            .filter(|s| {
+                s.round == round && matches!(s.stage, Stage::DoorbellPost | Stage::CqDrain)
+            })
+            .map(|s| s.lane)
+            .collect()
+    };
+    let round0 = lanes_in(0);
+    let round1 = lanes_in(1);
+    assert!(round0.len() >= 2, "expected a striped first round, got {round0:?}");
+    assert_eq!(round1.len(), 1, "retry must stay on its lane, got {round1:?}");
+    assert!(
+        round0.contains(round1.iter().next().unwrap()),
+        "retry lane must be one of the original stripes"
+    );
+
+    drop(w.client);
+    w.daemon.shutdown();
+}
+
+#[test]
+fn striped_exhaustion_rolls_back_once_and_keeps_latest_done() {
+    let cfg = DaemonConfig {
+        qps_per_connection: 4,
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    };
+    let (w, mut model) = striped_world("stripe-roll", 8, cfg);
+    let saved = model.model_checksum();
+    w.client.checkpoint("stripe-roll").unwrap(); // v1, clean
+    let _ = model.take_dirty(); // v1 covered everything up to here
+
+    let evens: Vec<usize> = (0..8).step_by(2).collect();
+    model.train_step_sparse(&evens);
+    let dirty = model.take_dirty();
+
+    let before = w.ctx.stats.snapshot();
+    w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
+    let err = w.client.checkpoint_delta("stripe-roll", &dirty).unwrap_err();
+    match &err {
+        PortusError::DatapathFailed { op, failures, .. } => {
+            assert_eq!(op, "delta-checkpoint");
+            // Exactly one lane's WQE died; the other three lanes
+            // completed and are not attributed as failures.
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].retries, 0);
+            assert_eq!(failures[0].tensors.len(), 1);
+        }
+        other => panic!("expected DatapathFailed, got: {other}"),
+    }
+
+    // The slot collapsed exactly once even though three lanes
+    // succeeded, and the surviving version is untouched.
+    let d = w.ctx.stats.snapshot().since(&before);
+    assert_eq!(d.failed_verbs, 1);
+    assert_eq!(d.retried_verbs, 0);
+    assert_eq!(d.rolled_back_slots, 1);
+    let index = w.daemon.index();
+    let (_, off) = index.live_entries().unwrap()[0];
+    let mi = index.load_mindex(off).unwrap();
+    let (done_slot, hdr) = mi.latest_done().unwrap();
+    assert_eq!(hdr.version, 1);
+    assert_eq!(mi.slots[1 - done_slot].state, SlotState::Empty);
+
+    // The fabric heals; v1 restores and verifies (digest-sealed by the
+    // striped write path).
+    w.fabric.clear_faults(DAEMON_NODE).unwrap();
+    let r = w.client.restore(&model).unwrap();
+    assert_eq!(r.version, 1);
+    assert_eq!(model.model_checksum(), saved);
 
     drop(w.client);
     w.daemon.shutdown();

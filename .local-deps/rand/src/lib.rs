@@ -1,0 +1,108 @@
+//! Offline stand-in for `rand`: a splitmix64-backed `StdRng` covering
+//! the seed-and-sample surface this workspace uses.
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self.next_u64(), range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub trait Sample {
+    fn sample(raw: u64) -> Self;
+}
+
+impl Sample for bool {
+    fn sample(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+impl Sample for u8 {
+    fn sample(raw: u64) -> u8 {
+        raw as u8
+    }
+}
+
+impl Sample for u32 {
+    fn sample(raw: u64) -> u32 {
+        raw as u32
+    }
+}
+
+impl Sample for u64 {
+    fn sample(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Sample for f64 {
+    fn sample(raw: u64) -> f64 {
+        raw as f64 / u64::MAX as f64
+    }
+}
+
+pub trait SampleRange: Sized {
+    fn sample_range(raw: u64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(raw: u64, range: std::ops::Range<Self>) -> Self {
+                let span = (range.end - range.start) as u128;
+                assert!(span > 0, "empty range");
+                range.start + (raw as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    /// splitmix64: deterministic, full-period 64-bit generator.
+    pub struct StdRng {
+        state: u64,
+    }
+
+    pub type SmallRng = StdRng;
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for `serde`: a concrete value-tree data model with
+//! derivable `Serialize`/`Deserialize` traits. The derive macros come
+//! from the sibling `serde_derive` stub and generate field-wise
+//! conversions to and from [`value::Value`], which the `serde_json`
+//! stub parses and prints. Round-trips are self-consistent; the wire
+//! format matches serde's externally-tagged defaults closely enough
+//! for this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    use std::collections::BTreeMap;
+
+    /// The JSON-shaped data model everything serializes through.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        pub fn is_number(&self) -> bool {
+            matches!(self, Value::U64(_) | Value::I64(_) | Value::F64(_))
+        }
+
+        pub fn is_string(&self) -> bool {
+            matches!(self, Value::String(_))
+        }
+
+        pub fn is_array(&self) -> bool {
+            matches!(self, Value::Array(_))
+        }
+
+        pub fn is_object(&self) -> bool {
+            matches!(self, Value::Object(_))
+        }
+
+        pub fn is_boolean(&self) -> bool {
+            matches!(self, Value::Bool(_))
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) => u64::try_from(*n).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::I64(n) => Some(*n),
+                Value::U64(n) => i64::try_from(*n).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::F64(n) => Some(*n),
+                Value::U64(n) => Some(*n as f64),
+                Value::I64(n) => Some(*n as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+    }
+
+    const NULL: Value = Value::Null;
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+
+        fn index(&self, i: usize) -> &Value {
+            match self {
+                Value::Array(a) => a.get(i).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<Value> for &str {
+        fn eq(&self, other: &Value) -> bool {
+            other.as_str() == Some(*self)
+        }
+    }
+
+    impl PartialEq<str> for Value {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+
+    impl PartialEq<u64> for Value {
+        fn eq(&self, other: &u64) -> bool {
+            self.as_u64() == Some(*other)
+        }
+    }
+}
+
+pub use value::Value;
+
+/// Conversion into the stub data model (what `#[derive(Serialize)]`
+/// implements).
+pub trait Serialize {
+    fn to_stub_value(&self) -> Value;
+}
+
+/// Conversion out of the stub data model (what `#[derive(Deserialize)]`
+/// implements).
+pub trait Deserialize: Sized {
+    fn from_stub_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_stub_value(&self) -> Value {
+        (**self).to_stub_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_stub_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_stub_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| "expected bool".to_string())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_stub_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_stub_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_u64().ok_or_else(|| "expected unsigned integer".to_string())?;
+                <$t>::try_from(n).map_err(|_| "integer out of range".to_string())
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_stub_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_stub_value(v: &Value) -> Result<Self, String> {
+                let n = v.as_i64().ok_or_else(|| "expected integer".to_string())?;
+                <$t>::try_from(n).map_err(|_| "integer out of range".to_string())
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_stub_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| "expected number".to_string())
+    }
+}
+
+impl Serialize for f32 {
+    fn to_stub_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| "expected number".to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_stub_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "expected string".to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_stub_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_stub_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_stub_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| "expected array".to_string())?
+            .iter()
+            .map(T::from_stub_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_stub_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_stub_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_stub_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_stub_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_stub_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_stub_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_stub_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_stub_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_stub_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_stub_value(v: &Value) -> Result<Self, String> {
+        v.as_object()
+            .ok_or_else(|| "expected object".to_string())?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_stub_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_stub_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_stub_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_stub_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_stub_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_stub_value(v: &Value) -> Result<Self, String> {
+                let a = v.as_array().ok_or_else(|| "expected array".to_string())?;
+                Ok(($($name::from_stub_value(
+                    a.get($idx).ok_or_else(|| "tuple too short".to_string())?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// --- helpers the derive macro expands to -----------------------------
+
+pub type StubMap = std::collections::BTreeMap<String, Value>;
+
+pub fn map_new() -> StubMap {
+    StubMap::new()
+}
+
+pub fn single_object(tag: &str, inner: Value) -> Value {
+    let mut m = StubMap::new();
+    m.insert(tag.to_string(), inner);
+    Value::Object(m)
+}
+
+pub fn expect_object(v: &Value) -> Result<&StubMap, String> {
+    v.as_object().ok_or_else(|| "expected object".to_string())
+}
+
+pub fn expect_array(v: &Value) -> Result<&Vec<Value>, String> {
+    v.as_array().ok_or_else(|| "expected array".to_string())
+}
+
+pub fn de_field<T: Deserialize>(m: &StubMap, key: &str) -> Result<T, String> {
+    match m.get(key) {
+        Some(v) => T::from_stub_value(v).map_err(|e| format!("field `{key}`: {e}")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+pub fn de_field_default<T: Deserialize + Default>(m: &StubMap, key: &str) -> Result<T, String> {
+    match m.get(key) {
+        Some(v) => T::from_stub_value(v).map_err(|e| format!("field `{key}`: {e}")),
+        None => Ok(T::default()),
+    }
+}
+
+pub fn de_index<T: Deserialize>(a: &[Value], idx: usize) -> Result<T, String> {
+    match a.get(idx) {
+        Some(v) => T::from_stub_value(v),
+        None => Err(format!("missing tuple element {idx}")),
+    }
+}

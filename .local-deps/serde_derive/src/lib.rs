@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`: parses the item token stream by
+//! hand (no `syn`/`quote` available offline) and generates field-wise
+//! conversions to and from the stub `serde::Value` tree. Supports the
+//! shapes this workspace derives on: named structs, tuple/newtype
+//! structs, and enums with unit/tuple/struct variants, plus the
+//! `#[serde(default)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_serde_default_attr(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(i), TokenTree::Group(inner)] if i.to_string() == "serde" => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if is_serde_default_attr(g) {
+                    default = true;
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
+}
+
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field-list token stream at top-level commas (angle-bracket
+/// depth aware; groups are atomic token trees already).
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    let mut k = 0usize;
+    while k < toks.len() {
+        match &toks[k] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    angle -= 1;
+                } else if c == '-' {
+                    // `->` in a type: skip the '>' so depth stays true.
+                    if let Some(TokenTree::Punct(q)) = toks.get(k + 1) {
+                        if q.as_char() == '>' {
+                            cur.push(toks[k].clone());
+                            k += 1;
+                        }
+                    }
+                } else if c == ',' && angle == 0 {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    k += 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        cur.push(toks[k].clone());
+        k += 1;
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&toks)
+        .into_iter()
+        .filter_map(|field_toks| {
+            let (i, default) = skip_attrs(&field_toks, 0);
+            let i = skip_vis(&field_toks, i);
+            match field_toks.get(i) {
+                Some(TokenTree::Ident(id)) => Some(Field { name: id.to_string(), default }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&toks).len()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("stub serde_derive: generic type {name} unsupported"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(parse_tuple_arity(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            let vtoks: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for var in split_top_level(&vtoks) {
+                let (j, _) = skip_attrs(&var, 0);
+                let vname = match var.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => continue,
+                };
+                let vbody = match var.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Body::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Body::Tuple(parse_tuple_arity(g))
+                    }
+                    _ => Body::Unit,
+                };
+                variants.push(Variant { name: vname, body: vbody });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+fn named_ser_expr(fields: &[Field], access_prefix: &str) -> String {
+    let mut s = String::from("{ let mut __m = ::serde::map_new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_stub_value({p}{n}));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    s.push_str("::serde::Value::Object(__m) }");
+    s
+}
+
+fn named_de_fields(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default { "de_field_default" } else { "de_field" };
+            format!("{n}: ::serde::{helper}({map_var}, \"{n}\")?,", n = f.name)
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn derive_ser(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_expr = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Tuple(1) => {
+                    "::serde::Serialize::to_stub_value(&self.0)".to_string()
+                }
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_stub_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Body::Named(fields) => named_ser_expr(fields, "&self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_stub_value(&self) -> ::serde::Value {{ {body_expr} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Body::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::single_object(\"{vn}\", \
+                         ::serde::Serialize::to_stub_value(__f0)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_stub_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::single_object(\"{vn}\", \
+                             ::serde::Value::Array(vec![{elems}])),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_ser_expr(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => \
+                             ::serde::single_object(\"{vn}\", {inner}),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_stub_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn derive_de(item: &Item) -> String {
+    let sig = "fn from_stub_value(__v: &::serde::Value) -> \
+               ::std::result::Result<Self, ::std::string::String>";
+    match item {
+        Item::Struct { name, body } => {
+            let body_expr = match body {
+                Body::Unit => format!("::std::result::Result::Ok({name})"),
+                Body::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_stub_value(__v)?))"
+                ),
+                Body::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::de_index(__a, {i})?")).collect();
+                    format!(
+                        "{{ let __a = ::serde::expect_array(__v)?;\n\
+                         ::std::result::Result::Ok({name}({})) }}",
+                        elems.join(", ")
+                    )
+                }
+                Body::Named(fields) => format!(
+                    "{{ let __m = ::serde::expect_object(__v)?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}}) }}",
+                    named_de_fields(fields, "__m")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n{sig} {{ {body_expr} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Body::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_stub_value(__inner)?)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de_index(__a, {i})?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __a = ::serde::expect_array(__inner)?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => {{ let __o = ::serde::expect_object(__inner)?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}) }}\n",
+                        named_de_fields(fields, "__o")
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n{sig} {{\n\
+                 match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 format!(\"unknown variant `{{}}`\", __other)),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().unwrap();\n\
+                 let _ = __inner;\n\
+                 match __k.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(\
+                 format!(\"unknown variant `{{}}`\", __other)),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::std::string::String::from(\"invalid enum value\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, which: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => which(&item)
+            .parse()
+            .unwrap_or_else(|e| panic!("stub serde_derive produced invalid code: {e:?}")),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, derive_ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, derive_de)
+}

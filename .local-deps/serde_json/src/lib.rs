@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde_json`: a real JSON parser and printer
+//! over the stub `serde::Value` tree, plus the `json!` macro.
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_stub_value())
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_stub_value(&value).map_err(Error)
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_stub_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_stub_value(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_stub_value(&v).map_err(Error)
+}
+
+// --- printer ---------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f == f.trunc() && f.abs() < 1e15 {
+        // Match serde_json: whole floats print with a trailing ".0".
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, el) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_value(out, el, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, el)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, el, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+// --- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut a = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(a));
+                }
+                loop {
+                    a.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(a));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut m = std::collections::BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    m.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let e = self
+                        .peek()
+                        .ok_or_else(|| Error("bad escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            let cp = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !self.eat_lit("\\u") {
+                                    return Err(Error("lone surrogate".into()));
+                                }
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error("bad surrogate".into()))?;
+                                self.pos += 4;
+                                let lo = u32::from_str_radix(
+                                    std::str::from_utf8(hex2)
+                                        .map_err(|_| Error("bad surrogate".into()))?,
+                                    16,
+                                )
+                                .map_err(|_| Error("bad surrogate".into()))?;
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                s.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| Error("bad surrogate".into()))?,
+                                );
+                            } else {
+                                s.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error("bad codepoint".into()))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
+// --- json! macro -----------------------------------------------------
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal!(@object {} $($tt)*) };
+    ($other:expr) => {
+        <_ as $crate::__SerializeExt>::__to_json_value(&$other)
+    };
+}
+
+/// Helper so `json!(expr)` works for anything `Serialize`.
+pub trait __SerializeExt {
+    fn __to_json_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> __SerializeExt for T {
+    fn __to_json_value(&self) -> Value {
+        self.to_stub_value()
+    }
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate parsed elements in [..] ----
+    (@array [$($done:expr),*]) => {
+        $crate::Value::Array(vec![$($done),*])
+    };
+    (@array [$($done:expr),*] ,) => {
+        $crate::Value::Array(vec![$($done),*])
+    };
+    (@array [$($done:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    (@array [$($done:expr),*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!([ $($inner)* ])] $($($rest)*)?)
+    };
+    (@array [$($done:expr),*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!({ $($inner)* })] $($($rest)*)?)
+    };
+    (@array [$($done:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!($next)] $($($rest)*)?)
+    };
+
+    // ---- objects: insert entries into a map expression ----
+    (@object {$($done:tt)*}) => {{
+        #[allow(unused_mut)]
+        let mut __m = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_internal!(@insert __m {$($done)*});
+        $crate::Value::Object(__m)
+    }};
+    (@object {$($done:tt)*} $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object {$($done)* ($key, $crate::Value::Null)} $($($rest)*)?)
+    };
+    (@object {$($done:tt)*} $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object {$($done)* ($key, $crate::json!([ $($inner)* ]))} $($($rest)*)?)
+    };
+    (@object {$($done:tt)*} $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object {$($done)* ($key, $crate::json!({ $($inner)* }))} $($($rest)*)?)
+    };
+    (@object {$($done:tt)*} $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object {$($done)* ($key, $crate::json!($val))} $($($rest)*)?)
+    };
+
+    (@insert $map:ident {$(($key:literal, $val:expr))*}) => {
+        $(
+            $map.insert(::std::string::String::from($key), $val);
+        )*
+    };
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-30a917fffaaa8b24.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-30a917fffaaa8b24.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

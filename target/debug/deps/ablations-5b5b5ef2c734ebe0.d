@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-5b5b5ef2c734ebe0.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-5b5b5ef2c734ebe0.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-7b66cdf322636739.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-7b66cdf322636739.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

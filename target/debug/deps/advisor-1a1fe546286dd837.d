@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-1a1fe546286dd837.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/libadvisor-1a1fe546286dd837.rmeta: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/advisor-50021705380d9c2a.d: crates/bench/src/bin/advisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadvisor-50021705380d9c2a.rmeta: crates/bench/src/bin/advisor.rs Cargo.toml
+
+crates/bench/src/bin/advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-a2be068ea7dc050e.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/libadvisor-a2be068ea7dc050e.rmeta: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/advisor-ced275e568b0c12e.d: crates/bench/src/bin/advisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadvisor-ced275e568b0c12e.rmeta: crates/bench/src/bin/advisor.rs Cargo.toml
+
+crates/bench/src/bin/advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

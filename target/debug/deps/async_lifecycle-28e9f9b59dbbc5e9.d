@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_lifecycle-28e9f9b59dbbc5e9.d: tests/async_lifecycle.rs
+
+/root/repo/target/debug/deps/libasync_lifecycle-28e9f9b59dbbc5e9.rmeta: tests/async_lifecycle.rs
+
+tests/async_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_lifecycle-3f70f263c269b49e.d: tests/async_lifecycle.rs
+
+/root/repo/target/debug/deps/async_lifecycle-3f70f263c269b49e: tests/async_lifecycle.rs
+
+tests/async_lifecycle.rs:

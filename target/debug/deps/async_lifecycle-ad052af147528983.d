@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_lifecycle-ad052af147528983.d: tests/async_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_lifecycle-ad052af147528983.rmeta: tests/async_lifecycle.rs Cargo.toml
+
+tests/async_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batched_datapath-2225c1c3c1816c41.d: tests/batched_datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatched_datapath-2225c1c3c1816c41.rmeta: tests/batched_datapath.rs Cargo.toml
+
+tests/batched_datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

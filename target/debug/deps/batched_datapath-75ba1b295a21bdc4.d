@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batched_datapath-75ba1b295a21bdc4.d: tests/batched_datapath.rs
+
+/root/repo/target/debug/deps/libbatched_datapath-75ba1b295a21bdc4.rmeta: tests/batched_datapath.rs
+
+tests/batched_datapath.rs:

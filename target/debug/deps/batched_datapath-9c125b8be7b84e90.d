@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batched_datapath-9c125b8be7b84e90.d: tests/batched_datapath.rs
+
+/root/repo/target/debug/deps/batched_datapath-9c125b8be7b84e90: tests/batched_datapath.rs
+
+tests/batched_datapath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/container_codec-500242f5efcb0309.d: crates/bench/benches/container_codec.rs
+
+/root/repo/target/debug/deps/libcontainer_codec-500242f5efcb0309.rmeta: crates/bench/benches/container_codec.rs
+
+crates/bench/benches/container_codec.rs:

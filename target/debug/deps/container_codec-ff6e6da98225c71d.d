@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/container_codec-ff6e6da98225c71d.d: crates/bench/benches/container_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainer_codec-ff6e6da98225c71d.rmeta: crates/bench/benches/container_codec.rs Cargo.toml
+
+crates/bench/benches/container_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

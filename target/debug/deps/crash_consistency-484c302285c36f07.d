@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-484c302285c36f07.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/libcrash_consistency-484c302285c36f07.rmeta: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

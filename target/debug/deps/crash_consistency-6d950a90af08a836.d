@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-6d950a90af08a836.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-6d950a90af08a836: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

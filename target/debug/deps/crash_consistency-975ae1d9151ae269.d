@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_consistency-975ae1d9151ae269.d: tests/crash_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_consistency-975ae1d9151ae269.rmeta: tests/crash_consistency.rs Cargo.toml
+
+tests/crash_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

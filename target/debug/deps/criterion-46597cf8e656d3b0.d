@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-46597cf8e656d3b0.d: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-46597cf8e656d3b0.rmeta: .local-deps/criterion/src/lib.rs
+
+.local-deps/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-19b7acc8a5ec547d.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-19b7acc8a5ec547d.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

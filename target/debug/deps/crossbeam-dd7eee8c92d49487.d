@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-dd7eee8c92d49487.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-dd7eee8c92d49487.rlib: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-dd7eee8c92d49487.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath_fig10-2ab8269a1a06a90e.d: tests/datapath_fig10.rs
+
+/root/repo/target/debug/deps/libdatapath_fig10-2ab8269a1a06a90e.rmeta: tests/datapath_fig10.rs
+
+tests/datapath_fig10.rs:

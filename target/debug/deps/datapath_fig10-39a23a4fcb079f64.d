@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datapath_fig10-39a23a4fcb079f64.d: tests/datapath_fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatapath_fig10-39a23a4fcb079f64.rmeta: tests/datapath_fig10.rs Cargo.toml
+
+tests/datapath_fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

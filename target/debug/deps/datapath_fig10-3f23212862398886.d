@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath_fig10-3f23212862398886.d: tests/datapath_fig10.rs
+
+/root/repo/target/debug/deps/datapath_fig10-3f23212862398886: tests/datapath_fig10.rs
+
+tests/datapath_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_spans-8065656f4d090182.d: tests/dbg_spans.rs
+
+/root/repo/target/debug/deps/dbg_spans-8065656f4d090182: tests/dbg_spans.rs
+
+tests/dbg_spans.rs:

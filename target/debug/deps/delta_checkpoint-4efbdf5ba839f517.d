@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delta_checkpoint-4efbdf5ba839f517.d: tests/delta_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelta_checkpoint-4efbdf5ba839f517.rmeta: tests/delta_checkpoint.rs Cargo.toml
+
+tests/delta_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

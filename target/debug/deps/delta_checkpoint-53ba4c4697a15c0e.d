@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delta_checkpoint-53ba4c4697a15c0e.d: tests/delta_checkpoint.rs
+
+/root/repo/target/debug/deps/delta_checkpoint-53ba4c4697a15c0e: tests/delta_checkpoint.rs
+
+tests/delta_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delta_checkpoint-d5edd768b1230eb0.d: tests/delta_checkpoint.rs
+
+/root/repo/target/debug/deps/libdelta_checkpoint-d5edd768b1230eb0.rmeta: tests/delta_checkpoint.rs
+
+tests/delta_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-2aa8674922d42cc6.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/libdistributed-2aa8674922d42cc6.rmeta: tests/distributed.rs
+
+tests/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-acc9211851834db4.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-acc9211851834db4: tests/distributed.rs
+
+tests/distributed.rs:

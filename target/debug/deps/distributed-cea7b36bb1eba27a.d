@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-cea7b36bb1eba27a.d: tests/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-cea7b36bb1eba27a.rmeta: tests/distributed.rs Cargo.toml
+
+tests/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-770062717bdf47f6.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/libedge_cases-770062717bdf47f6.rmeta: tests/edge_cases.rs
+
+tests/edge_cases.rs:

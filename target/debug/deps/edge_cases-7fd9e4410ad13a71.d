@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-7fd9e4410ad13a71.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-7fd9e4410ad13a71: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1dc577c568099b11.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1dc577c568099b11: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-75dee6c7640d75f0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-75dee6c7640d75f0.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_properties-6bace8c8b18ebb5d.d: tests/equivalence_properties.rs
+
+/root/repo/target/debug/deps/equivalence_properties-6bace8c8b18ebb5d: tests/equivalence_properties.rs
+
+tests/equivalence_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_properties-a03c604c52e53bf9.d: tests/equivalence_properties.rs
+
+/root/repo/target/debug/deps/libequivalence_properties-a03c604c52e53bf9.rmeta: tests/equivalence_properties.rs
+
+tests/equivalence_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_properties-e30f950a43603299.d: tests/equivalence_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_properties-e30f950a43603299.rmeta: tests/equivalence_properties.rs Cargo.toml
+
+tests/equivalence_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

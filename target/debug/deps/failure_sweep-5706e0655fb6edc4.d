@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_sweep-5706e0655fb6edc4.d: crates/bench/src/bin/failure_sweep.rs
+
+/root/repo/target/debug/deps/libfailure_sweep-5706e0655fb6edc4.rmeta: crates/bench/src/bin/failure_sweep.rs
+
+crates/bench/src/bin/failure_sweep.rs:

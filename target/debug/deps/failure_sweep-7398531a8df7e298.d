@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_sweep-7398531a8df7e298.d: crates/bench/src/bin/failure_sweep.rs
+
+/root/repo/target/debug/deps/libfailure_sweep-7398531a8df7e298.rmeta: crates/bench/src/bin/failure_sweep.rs
+
+crates/bench/src/bin/failure_sweep.rs:

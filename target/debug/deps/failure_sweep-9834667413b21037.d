@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_sweep-9834667413b21037.d: crates/bench/src/bin/failure_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_sweep-9834667413b21037.rmeta: crates/bench/src/bin/failure_sweep.rs Cargo.toml
+
+crates/bench/src/bin/failure_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

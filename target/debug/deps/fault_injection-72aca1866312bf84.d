@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-72aca1866312bf84.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-72aca1866312bf84.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-beafd67112a4e23c.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-beafd67112a4e23c: tests/fault_injection.rs
+
+tests/fault_injection.rs:

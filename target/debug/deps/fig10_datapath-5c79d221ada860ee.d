@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_datapath-5c79d221ada860ee.d: crates/bench/src/bin/fig10_datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_datapath-5c79d221ada860ee.rmeta: crates/bench/src/bin/fig10_datapath.rs Cargo.toml
+
+crates/bench/src/bin/fig10_datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_datapath-902ab9e7166f2081.d: crates/bench/src/bin/fig10_datapath.rs
+
+/root/repo/target/debug/deps/libfig10_datapath-902ab9e7166f2081.rmeta: crates/bench/src/bin/fig10_datapath.rs
+
+crates/bench/src/bin/fig10_datapath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_datapath-9d15319db4a9bb27.d: crates/bench/benches/fig10_datapath.rs
+
+/root/repo/target/debug/deps/libfig10_datapath-9d15319db4a9bb27.rmeta: crates/bench/benches/fig10_datapath.rs
+
+crates/bench/benches/fig10_datapath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_datapath-d5ac2d2d12cffae9.d: crates/bench/src/bin/fig10_datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_datapath-d5ac2d2d12cffae9.rmeta: crates/bench/src/bin/fig10_datapath.rs Cargo.toml
+
+crates/bench/src/bin/fig10_datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

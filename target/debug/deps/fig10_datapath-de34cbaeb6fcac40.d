@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_datapath-de34cbaeb6fcac40.d: crates/bench/benches/fig10_datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_datapath-de34cbaeb6fcac40.rmeta: crates/bench/benches/fig10_datapath.rs Cargo.toml
+
+crates/bench/benches/fig10_datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_datapath-ff11d6fb8bc100ce.d: crates/bench/src/bin/fig10_datapath.rs
+
+/root/repo/target/debug/deps/libfig10_datapath-ff11d6fb8bc100ce.rmeta: crates/bench/src/bin/fig10_datapath.rs
+
+crates/bench/src/bin/fig10_datapath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_checkpoint-12867ff49e39a73e.d: crates/bench/benches/fig11_checkpoint.rs
+
+/root/repo/target/debug/deps/libfig11_checkpoint-12867ff49e39a73e.rmeta: crates/bench/benches/fig11_checkpoint.rs
+
+crates/bench/benches/fig11_checkpoint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_checkpoint-1af11d02072c8df2.d: crates/bench/src/bin/fig11_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_checkpoint-1af11d02072c8df2.rmeta: crates/bench/src/bin/fig11_checkpoint.rs Cargo.toml
+
+crates/bench/src/bin/fig11_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_checkpoint-2431b071b4de54bf.d: crates/bench/src/bin/fig11_checkpoint.rs
+
+/root/repo/target/debug/deps/libfig11_checkpoint-2431b071b4de54bf.rmeta: crates/bench/src/bin/fig11_checkpoint.rs
+
+crates/bench/src/bin/fig11_checkpoint.rs:

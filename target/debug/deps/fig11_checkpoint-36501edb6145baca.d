@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_checkpoint-36501edb6145baca.d: crates/bench/src/bin/fig11_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_checkpoint-36501edb6145baca.rmeta: crates/bench/src/bin/fig11_checkpoint.rs Cargo.toml
+
+crates/bench/src/bin/fig11_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_checkpoint-71dfc7ca15a2aab1.d: crates/bench/benches/fig11_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_checkpoint-71dfc7ca15a2aab1.rmeta: crates/bench/benches/fig11_checkpoint.rs Cargo.toml
+
+crates/bench/benches/fig11_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_checkpoint-f13ccaa3bd67e6f3.d: crates/bench/src/bin/fig11_checkpoint.rs
+
+/root/repo/target/debug/deps/libfig11_checkpoint-f13ccaa3bd67e6f3.rmeta: crates/bench/src/bin/fig11_checkpoint.rs
+
+crates/bench/src/bin/fig11_checkpoint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_restore-7d82207be70d0947.d: crates/bench/src/bin/fig12_restore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_restore-7d82207be70d0947.rmeta: crates/bench/src/bin/fig12_restore.rs Cargo.toml
+
+crates/bench/src/bin/fig12_restore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

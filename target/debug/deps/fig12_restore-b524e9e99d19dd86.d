@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_restore-b524e9e99d19dd86.d: crates/bench/src/bin/fig12_restore.rs
+
+/root/repo/target/debug/deps/libfig12_restore-b524e9e99d19dd86.rmeta: crates/bench/src/bin/fig12_restore.rs
+
+crates/bench/src/bin/fig12_restore.rs:

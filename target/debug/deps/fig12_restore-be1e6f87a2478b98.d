@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_restore-be1e6f87a2478b98.d: crates/bench/src/bin/fig12_restore.rs
+
+/root/repo/target/debug/deps/libfig12_restore-be1e6f87a2478b98.rmeta: crates/bench/src/bin/fig12_restore.rs
+
+crates/bench/src/bin/fig12_restore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_breakdown-433d8da71d45f299.d: crates/bench/src/bin/fig13_breakdown.rs
+
+/root/repo/target/debug/deps/libfig13_breakdown-433d8da71d45f299.rmeta: crates/bench/src/bin/fig13_breakdown.rs
+
+crates/bench/src/bin/fig13_breakdown.rs:

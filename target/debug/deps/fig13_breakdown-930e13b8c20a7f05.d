@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_breakdown-930e13b8c20a7f05.d: crates/bench/src/bin/fig13_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_breakdown-930e13b8c20a7f05.rmeta: crates/bench/src/bin/fig13_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig13_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

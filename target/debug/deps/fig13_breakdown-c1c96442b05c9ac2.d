@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_breakdown-c1c96442b05c9ac2.d: crates/bench/src/bin/fig13_breakdown.rs
+
+/root/repo/target/debug/deps/libfig13_breakdown-c1c96442b05c9ac2.rmeta: crates/bench/src/bin/fig13_breakdown.rs
+
+crates/bench/src/bin/fig13_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpt_scale-9ccac9ea5158a60b.d: crates/bench/src/bin/fig14_gpt_scale.rs
+
+/root/repo/target/debug/deps/libfig14_gpt_scale-9ccac9ea5158a60b.rmeta: crates/bench/src/bin/fig14_gpt_scale.rs
+
+crates/bench/src/bin/fig14_gpt_scale.rs:

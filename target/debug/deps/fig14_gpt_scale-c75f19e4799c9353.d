@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_gpt_scale-c75f19e4799c9353.d: crates/bench/src/bin/fig14_gpt_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_gpt_scale-c75f19e4799c9353.rmeta: crates/bench/src/bin/fig14_gpt_scale.rs Cargo.toml
+
+crates/bench/src/bin/fig14_gpt_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpt_scale-d43b989074cc0ce9.d: crates/bench/src/bin/fig14_gpt_scale.rs
+
+/root/repo/target/debug/deps/libfig14_gpt_scale-d43b989074cc0ce9.rmeta: crates/bench/src/bin/fig14_gpt_scale.rs
+
+crates/bench/src/bin/fig14_gpt_scale.rs:

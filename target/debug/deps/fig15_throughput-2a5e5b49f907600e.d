@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_throughput-2a5e5b49f907600e.d: crates/bench/src/bin/fig15_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_throughput-2a5e5b49f907600e.rmeta: crates/bench/src/bin/fig15_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig15_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

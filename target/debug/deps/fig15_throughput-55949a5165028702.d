@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_throughput-55949a5165028702.d: crates/bench/src/bin/fig15_throughput.rs
+
+/root/repo/target/debug/deps/libfig15_throughput-55949a5165028702.rmeta: crates/bench/src/bin/fig15_throughput.rs
+
+crates/bench/src/bin/fig15_throughput.rs:

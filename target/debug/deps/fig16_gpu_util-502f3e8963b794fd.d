@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_gpu_util-502f3e8963b794fd.d: crates/bench/src/bin/fig16_gpu_util.rs
+
+/root/repo/target/debug/deps/libfig16_gpu_util-502f3e8963b794fd.rmeta: crates/bench/src/bin/fig16_gpu_util.rs
+
+crates/bench/src/bin/fig16_gpu_util.rs:

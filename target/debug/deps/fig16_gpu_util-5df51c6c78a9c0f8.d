@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_gpu_util-5df51c6c78a9c0f8.d: crates/bench/src/bin/fig16_gpu_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_gpu_util-5df51c6c78a9c0f8.rmeta: crates/bench/src/bin/fig16_gpu_util.rs Cargo.toml
+
+crates/bench/src/bin/fig16_gpu_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

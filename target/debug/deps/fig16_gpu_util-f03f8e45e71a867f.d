@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_gpu_util-f03f8e45e71a867f.d: crates/bench/src/bin/fig16_gpu_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_gpu_util-f03f8e45e71a867f.rmeta: crates/bench/src/bin/fig16_gpu_util.rs Cargo.toml
+
+crates/bench/src/bin/fig16_gpu_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

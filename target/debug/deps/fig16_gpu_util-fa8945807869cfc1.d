@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_gpu_util-fa8945807869cfc1.d: crates/bench/src/bin/fig16_gpu_util.rs
+
+/root/repo/target/debug/deps/libfig16_gpu_util-fa8945807869cfc1.rmeta: crates/bench/src/bin/fig16_gpu_util.rs
+
+crates/bench/src/bin/fig16_gpu_util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_overhead-11adb2a62481e10a.d: crates/bench/src/bin/fig2_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_overhead-11adb2a62481e10a.rmeta: crates/bench/src/bin/fig2_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig2_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_overhead-d9a24186b656fcd5.d: crates/bench/src/bin/fig2_overhead.rs
+
+/root/repo/target/debug/deps/libfig2_overhead-d9a24186b656fcd5.rmeta: crates/bench/src/bin/fig2_overhead.rs
+
+crates/bench/src/bin/fig2_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_overhead-f174d829258b8c7d.d: crates/bench/src/bin/fig2_overhead.rs
+
+/root/repo/target/debug/deps/libfig2_overhead-f174d829258b8c7d.rmeta: crates/bench/src/bin/fig2_overhead.rs
+
+crates/bench/src/bin/fig2_overhead.rs:

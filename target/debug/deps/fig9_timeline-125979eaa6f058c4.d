@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_timeline-125979eaa6f058c4.d: crates/bench/src/bin/fig9_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_timeline-125979eaa6f058c4.rmeta: crates/bench/src/bin/fig9_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig9_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_timeline-48c279505ecfd79e.d: crates/bench/src/bin/fig9_timeline.rs
+
+/root/repo/target/debug/deps/libfig9_timeline-48c279505ecfd79e.rmeta: crates/bench/src/bin/fig9_timeline.rs
+
+crates/bench/src/bin/fig9_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_timeline-572ee25069370f2c.d: crates/bench/src/bin/fig9_timeline.rs
+
+/root/repo/target/debug/deps/libfig9_timeline-572ee25069370f2c.rmeta: crates/bench/src/bin/fig9_timeline.rs
+
+crates/bench/src/bin/fig9_timeline.rs:

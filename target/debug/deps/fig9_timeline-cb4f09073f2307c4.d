@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_timeline-cb4f09073f2307c4.d: crates/bench/src/bin/fig9_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_timeline-cb4f09073f2307c4.rmeta: crates/bench/src/bin/fig9_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig9_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_capture-6b3c810eded9a655.d: tests/golden_capture.rs
+
+/root/repo/target/debug/deps/libgolden_capture-6b3c810eded9a655.rmeta: tests/golden_capture.rs
+
+tests/golden_capture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_capture-6c3866370cc22f9b.d: tests/golden_capture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_capture-6c3866370cc22f9b.rmeta: tests/golden_capture.rs Cargo.toml
+
+tests/golden_capture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_capture-fcae4e2d4c9a2dca.d: tests/golden_capture.rs
+
+/root/repo/target/debug/deps/golden_capture-fcae4e2d4c9a2dca: tests/golden_capture.rs
+
+tests/golden_capture.rs:

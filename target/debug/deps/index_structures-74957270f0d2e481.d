@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_structures-74957270f0d2e481.d: crates/bench/benches/index_structures.rs
+
+/root/repo/target/debug/deps/libindex_structures-74957270f0d2e481.rmeta: crates/bench/benches/index_structures.rs
+
+crates/bench/benches/index_structures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_structures-e3529feefd73dd94.d: crates/bench/benches/index_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_structures-e3529feefd73dd94.rmeta: crates/bench/benches/index_structures.rs Cargo.toml
+
+crates/bench/benches/index_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

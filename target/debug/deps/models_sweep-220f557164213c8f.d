@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models_sweep-220f557164213c8f.d: crates/bench/src/bin/models_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels_sweep-220f557164213c8f.rmeta: crates/bench/src/bin/models_sweep.rs Cargo.toml
+
+crates/bench/src/bin/models_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_sweep-bd267c045b73e2c2.d: crates/bench/src/bin/models_sweep.rs
+
+/root/repo/target/debug/deps/libmodels_sweep-bd267c045b73e2c2.rmeta: crates/bench/src/bin/models_sweep.rs
+
+crates/bench/src/bin/models_sweep.rs:

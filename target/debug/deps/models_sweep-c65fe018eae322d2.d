@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_sweep-c65fe018eae322d2.d: crates/bench/src/bin/models_sweep.rs
+
+/root/repo/target/debug/deps/libmodels_sweep-c65fe018eae322d2.rmeta: crates/bench/src/bin/models_sweep.rs
+
+crates/bench/src/bin/models_sweep.rs:

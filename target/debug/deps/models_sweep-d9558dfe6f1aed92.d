@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models_sweep-d9558dfe6f1aed92.d: crates/bench/src/bin/models_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels_sweep-d9558dfe6f1aed92.rmeta: crates/bench/src/bin/models_sweep.rs Cargo.toml
+
+crates/bench/src/bin/models_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_tenant-7d3dd66ecd6563ae.d: tests/multi_tenant.rs
+
+/root/repo/target/debug/deps/libmulti_tenant-7d3dd66ecd6563ae.rmeta: tests/multi_tenant.rs
+
+tests/multi_tenant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_tenant-7e19f3622f5b5481.d: tests/multi_tenant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_tenant-7e19f3622f5b5481.rmeta: tests/multi_tenant.rs Cargo.toml
+
+tests/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

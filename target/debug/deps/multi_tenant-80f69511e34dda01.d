@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_tenant-80f69511e34dda01.d: tests/multi_tenant.rs
+
+/root/repo/target/debug/deps/multi_tenant-80f69511e34dda01: tests/multi_tenant.rs
+
+tests/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-7cc733c23bb2d41c.d: tests/observability.rs
+
+/root/repo/target/debug/deps/libobservability-7cc733c23bb2d41c.rmeta: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-800b6ede0b4ff050.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-800b6ede0b4ff050: tests/observability.rs
+
+tests/observability.rs:

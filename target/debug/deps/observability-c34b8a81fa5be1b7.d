@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-c34b8a81fa5be1b7.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-c34b8a81fa5be1b7.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

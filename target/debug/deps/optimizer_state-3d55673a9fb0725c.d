@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_state-3d55673a9fb0725c.d: tests/optimizer_state.rs
+
+/root/repo/target/debug/deps/liboptimizer_state-3d55673a9fb0725c.rmeta: tests/optimizer_state.rs
+
+tests/optimizer_state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_state-e4cc1ebbc7defd18.d: tests/optimizer_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_state-e4cc1ebbc7defd18.rmeta: tests/optimizer_state.rs Cargo.toml
+
+tests/optimizer_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

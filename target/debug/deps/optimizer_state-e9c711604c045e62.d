@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_state-e9c711604c045e62.d: tests/optimizer_state.rs
+
+/root/repo/target/debug/deps/optimizer_state-e9c711604c045e62: tests/optimizer_state.rs
+
+tests/optimizer_state.rs:

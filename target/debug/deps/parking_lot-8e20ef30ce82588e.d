@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-8e20ef30ce82588e.d: .local-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8e20ef30ce82588e.rlib: .local-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8e20ef30ce82588e.rmeta: .local-deps/parking_lot/src/lib.rs
+
+.local-deps/parking_lot/src/lib.rs:

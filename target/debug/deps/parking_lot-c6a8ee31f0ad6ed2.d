@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c6a8ee31f0ad6ed2.d: .local-deps/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c6a8ee31f0ad6ed2.rmeta: .local-deps/parking_lot/src/lib.rs
+
+.local-deps/parking_lot/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/portus-89f5ac12b001651f.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+
+/root/repo/target/debug/deps/libportus-89f5ac12b001651f.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/daemon.rs:
+crates/core/src/error.rs:
+crates/core/src/index.rs:
+crates/core/src/model_map.rs:
+crates/core/src/portusctl.rs:
+crates/core/src/proto.rs:
+crates/core/src/repack.rs:

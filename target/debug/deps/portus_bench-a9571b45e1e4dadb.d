@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/portus_bench-a9571b45e1e4dadb.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_bench-a9571b45e1e4dadb.rmeta: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portus_bench-ef1d59d4fb39857c.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/debug/deps/libportus_bench-ef1d59d4fb39857c.rmeta: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:

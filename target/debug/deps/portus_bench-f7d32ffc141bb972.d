@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portus_bench-f7d32ffc141bb972.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/debug/deps/libportus_bench-f7d32ffc141bb972.rmeta: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:

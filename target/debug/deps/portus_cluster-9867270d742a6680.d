@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/portus_cluster-9867270d742a6680.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libportus_cluster-9867270d742a6680.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/advisor.rs:
+crates/cluster/src/failure.rs:
+crates/cluster/src/harness.rs:
+crates/cluster/src/ops.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/trace.rs:

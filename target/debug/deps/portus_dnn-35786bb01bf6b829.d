@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/portus_dnn-35786bb01bf6b829.d: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_dnn-35786bb01bf6b829.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dtype.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/optimizer.rs:
+crates/dnn/src/parallel.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

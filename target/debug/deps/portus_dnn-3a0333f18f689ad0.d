@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_dnn-3a0333f18f689ad0.d: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/libportus_dnn-3a0333f18f689ad0.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dtype.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/optimizer.rs:
+crates/dnn/src/parallel.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_dnn-f90f9c0aa7fabb48.d: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/libportus_dnn-f90f9c0aa7fabb48.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dtype.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/optimizer.rs:
+crates/dnn/src/parallel.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:

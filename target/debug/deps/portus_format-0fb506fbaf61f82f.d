@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_format-0fb506fbaf61f82f.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_format-0fb506fbaf61f82f.rmeta: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs Cargo.toml
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/portus_format-27716ce318a55b0f.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/debug/deps/libportus_format-27716ce318a55b0f.rmeta: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:

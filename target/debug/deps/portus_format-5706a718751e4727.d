@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_format-5706a718751e4727.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/debug/deps/libportus_format-5706a718751e4727.rlib: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/debug/deps/libportus_format-5706a718751e4727.rmeta: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/portus_format-e6719e21a5470bb3.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/debug/deps/libportus_format-e6719e21a5470bb3.rmeta: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:

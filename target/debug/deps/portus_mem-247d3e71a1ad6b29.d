@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/portus_mem-247d3e71a1ad6b29.d: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_mem-247d3e71a1ad6b29.rmeta: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/error.rs:
+crates/mem/src/gpu.rs:
+crates/mem/src/host.rs:
+crates/mem/src/segment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_mem-44543e86dfecbacb.d: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/libportus_mem-44543e86dfecbacb.rlib: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/libportus_mem-44543e86dfecbacb.rmeta: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/error.rs:
+crates/mem/src/gpu.rs:
+crates/mem/src/host.rs:
+crates/mem/src/segment.rs:

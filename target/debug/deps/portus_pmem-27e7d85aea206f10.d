@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_pmem-27e7d85aea206f10.d: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/debug/deps/libportus_pmem-27e7d85aea206f10.rmeta: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/alloc.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/error.rs:
+crates/pmem/src/image.rs:
+crates/pmem/src/typed.rs:

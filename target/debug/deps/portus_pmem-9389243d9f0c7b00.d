@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/portus_pmem-9389243d9f0c7b00.d: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_pmem-9389243d9f0c7b00.rmeta: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/alloc.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/error.rs:
+crates/pmem/src/image.rs:
+crates/pmem/src/typed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_pmem-dc901a55e021faf7.d: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/debug/deps/libportus_pmem-dc901a55e021faf7.rlib: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/debug/deps/libportus_pmem-dc901a55e021faf7.rmeta: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/alloc.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/error.rs:
+crates/pmem/src/image.rs:
+crates/pmem/src/typed.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_pmem-f4a487189f5b5541.d: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/debug/deps/portus_pmem-f4a487189f5b5541: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/alloc.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/error.rs:
+crates/pmem/src/image.rs:
+crates/pmem/src/typed.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/portus_rdma-0d10a034efefa8f6.d: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_rdma-0d10a034efefa8f6.rmeta: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs Cargo.toml
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/control.rs:
+crates/rdma/src/cq.rs:
+crates/rdma/src/error.rs:
+crates/rdma/src/fabric.rs:
+crates/rdma/src/fault.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/qp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/portus_rdma-f25c726e4407df07.d: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+/root/repo/target/debug/deps/libportus_rdma-f25c726e4407df07.rlib: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+/root/repo/target/debug/deps/libportus_rdma-f25c726e4407df07.rmeta: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/control.rs:
+crates/rdma/src/cq.rs:
+crates/rdma/src/error.rs:
+crates/rdma/src/fabric.rs:
+crates/rdma/src/fault.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/qp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portus_repro-1f366081e12aa616.d: src/lib.rs
+
+/root/repo/target/debug/deps/libportus_repro-1f366081e12aa616.rmeta: src/lib.rs
+
+src/lib.rs:

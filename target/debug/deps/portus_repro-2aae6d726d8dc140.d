@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portus_repro-2aae6d726d8dc140.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_repro-2aae6d726d8dc140.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

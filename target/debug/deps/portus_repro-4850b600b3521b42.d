@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portus_repro-4850b600b3521b42.d: src/lib.rs
+
+/root/repo/target/debug/deps/portus_repro-4850b600b3521b42: src/lib.rs
+
+src/lib.rs:

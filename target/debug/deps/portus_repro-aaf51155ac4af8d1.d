@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portus_repro-aaf51155ac4af8d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libportus_repro-aaf51155ac4af8d1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libportus_repro-aaf51155ac4af8d1.rmeta: src/lib.rs
+
+src/lib.rs:

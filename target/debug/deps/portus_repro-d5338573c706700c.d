@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portus_repro-d5338573c706700c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_repro-d5338573c706700c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

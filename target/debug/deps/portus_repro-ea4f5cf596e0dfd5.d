@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portus_repro-ea4f5cf596e0dfd5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libportus_repro-ea4f5cf596e0dfd5.rmeta: src/lib.rs
+
+src/lib.rs:

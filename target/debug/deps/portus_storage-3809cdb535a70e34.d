@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_storage-3809cdb535a70e34.d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/debug/deps/libportus_storage-3809cdb535a70e34.rmeta: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backend.rs:
+crates/storage/src/beegfs.rs:
+crates/storage/src/checkpointer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/local.rs:

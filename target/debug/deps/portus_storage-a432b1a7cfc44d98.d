@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_storage-a432b1a7cfc44d98.d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/debug/deps/libportus_storage-a432b1a7cfc44d98.rmeta: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backend.rs:
+crates/storage/src/beegfs.rs:
+crates/storage/src/checkpointer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/local.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/portus_storage-b3637d432b6ec1b3.d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/debug/deps/libportus_storage-b3637d432b6ec1b3.rlib: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/debug/deps/libportus_storage-b3637d432b6ec1b3.rmeta: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backend.rs:
+crates/storage/src/beegfs.rs:
+crates/storage/src/checkpointer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/local.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/portus_train-415419bfa0a7df75.d: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/debug/deps/libportus_train-415419bfa0a7df75.rlib: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/debug/deps/libportus_train-415419bfa0a7df75.rmeta: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/portus_train-562134b2e01a3d5d.d: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/debug/deps/libportus_train-562134b2e01a3d5d.rmeta: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:

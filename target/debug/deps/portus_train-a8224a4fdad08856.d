@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/portus_train-a8224a4fdad08856.d: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/debug/deps/libportus_train-a8224a4fdad08856.rmeta: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_train-b62545f9e9fa1d59.d: crates/train/src/lib.rs crates/train/src/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportus_train-b62545f9e9fa1d59.rmeta: crates/train/src/lib.rs crates/train/src/sharded.rs Cargo.toml
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

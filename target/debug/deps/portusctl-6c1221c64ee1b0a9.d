@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portusctl-6c1221c64ee1b0a9.d: crates/core/src/bin/portusctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportusctl-6c1221c64ee1b0a9.rmeta: crates/core/src/bin/portusctl.rs Cargo.toml
+
+crates/core/src/bin/portusctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portusctl-705617199cdb7c73.d: crates/core/src/bin/portusctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportusctl-705617199cdb7c73.rmeta: crates/core/src/bin/portusctl.rs Cargo.toml
+
+crates/core/src/bin/portusctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portusctl-9ac57368f043ba1f.d: crates/core/src/bin/portusctl.rs
+
+/root/repo/target/debug/deps/libportusctl-9ac57368f043ba1f.rmeta: crates/core/src/bin/portusctl.rs
+
+crates/core/src/bin/portusctl.rs:

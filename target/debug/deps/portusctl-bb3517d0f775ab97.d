@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portusctl-bb3517d0f775ab97.d: crates/core/src/bin/portusctl.rs
+
+/root/repo/target/debug/deps/libportusctl-bb3517d0f775ab97.rmeta: crates/core/src/bin/portusctl.rs
+
+crates/core/src/bin/portusctl.rs:

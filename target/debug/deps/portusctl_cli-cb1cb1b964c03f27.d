@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portusctl_cli-cb1cb1b964c03f27.d: crates/core/tests/portusctl_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportusctl_cli-cb1cb1b964c03f27.rmeta: crates/core/tests/portusctl_cli.rs Cargo.toml
+
+crates/core/tests/portusctl_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_portusctl=placeholder:portusctl
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portusctl_cli-fd6676d96076b857.d: crates/core/tests/portusctl_cli.rs
+
+/root/repo/target/debug/deps/libportusctl_cli-fd6676d96076b857.rmeta: crates/core/tests/portusctl_cli.rs
+
+crates/core/tests/portusctl_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_portusctl=placeholder:portusctl

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/posted_verbs-92161656fd9c881b.d: tests/posted_verbs.rs
+
+/root/repo/target/debug/deps/posted_verbs-92161656fd9c881b: tests/posted_verbs.rs
+
+tests/posted_verbs.rs:

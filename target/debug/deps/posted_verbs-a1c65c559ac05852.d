@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/posted_verbs-a1c65c559ac05852.d: tests/posted_verbs.rs
+
+/root/repo/target/debug/deps/libposted_verbs-a1c65c559ac05852.rmeta: tests/posted_verbs.rs
+
+tests/posted_verbs.rs:

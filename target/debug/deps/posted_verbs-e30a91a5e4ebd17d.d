@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/posted_verbs-e30a91a5e4ebd17d.d: tests/posted_verbs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libposted_verbs-e30a91a5e4ebd17d.rmeta: tests/posted_verbs.rs Cargo.toml
+
+tests/posted_verbs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

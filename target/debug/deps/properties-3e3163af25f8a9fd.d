@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3e3163af25f8a9fd.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3e3163af25f8a9fd.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5880e4381ff38336.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5880e4381ff38336: tests/properties.rs
+
+tests/properties.rs:

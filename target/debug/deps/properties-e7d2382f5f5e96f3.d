@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e7d2382f5f5e96f3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-e7d2382f5f5e96f3.rmeta: tests/properties.rs
+
+tests/properties.rs:

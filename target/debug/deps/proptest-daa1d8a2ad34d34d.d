@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-daa1d8a2ad34d34d.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-daa1d8a2ad34d34d.rlib: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-daa1d8a2ad34d34d.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

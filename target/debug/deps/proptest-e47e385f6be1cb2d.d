@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e47e385f6be1cb2d.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e47e385f6be1cb2d.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

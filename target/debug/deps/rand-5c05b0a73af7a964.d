@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5c05b0a73af7a964.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5c05b0a73af7a964.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a68cf9fe23858ae9.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a68cf9fe23858ae9.rlib: .local-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a68cf9fe23858ae9.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-19770cad23889b20.d: tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-19770cad23889b20.rmeta: tests/recovery.rs Cargo.toml
+
+tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-1ab5c80ebedca684.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-1ab5c80ebedca684: tests/recovery.rs
+
+tests/recovery.rs:

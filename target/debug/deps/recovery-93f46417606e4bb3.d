@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-93f46417606e4bb3.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/librecovery-93f46417606e4bb3.rmeta: tests/recovery.rs
+
+tests/recovery.rs:

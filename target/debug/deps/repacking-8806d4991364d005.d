@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repacking-8806d4991364d005.d: tests/repacking.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepacking-8806d4991364d005.rmeta: tests/repacking.rs Cargo.toml
+
+tests/repacking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repacking-89fe6438da0efed9.d: tests/repacking.rs
+
+/root/repo/target/debug/deps/librepacking-89fe6438da0efed9.rmeta: tests/repacking.rs
+
+tests/repacking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repacking-9c76299638addc75.d: tests/repacking.rs
+
+/root/repo/target/debug/deps/repacking-9c76299638addc75: tests/repacking.rs
+
+tests/repacking.rs:

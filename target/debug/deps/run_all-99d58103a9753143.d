@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-99d58103a9753143.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/librun_all-99d58103a9753143.rmeta: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-b9b1a0c62f268fe2.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/librun_all-b9b1a0c62f268fe2.rmeta: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-d8c689d63b91d4c7.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-d8c689d63b91d4c7.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0798fea20488e90b.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0798fea20488e90b.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-80e7a56366569056.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-80e7a56366569056.rlib: .local-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-80e7a56366569056.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7c3e634a358849a4.d: .local-deps/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-7c3e634a358849a4.so: .local-deps/serde_derive/src/lib.rs
+
+.local-deps/serde_derive/src/lib.rs:

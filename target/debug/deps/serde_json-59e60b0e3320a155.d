@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-59e60b0e3320a155.d: .local-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-59e60b0e3320a155.rmeta: .local-deps/serde_json/src/lib.rs
+
+.local-deps/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a44e5912e2e3e377.d: .local-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a44e5912e2e3e377.rlib: .local-deps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a44e5912e2e3e377.rmeta: .local-deps/serde_json/src/lib.rs
+
+.local-deps/serde_json/src/lib.rs:

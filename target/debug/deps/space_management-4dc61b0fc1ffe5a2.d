@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_management-4dc61b0fc1ffe5a2.d: tests/space_management.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_management-4dc61b0fc1ffe5a2.rmeta: tests/space_management.rs Cargo.toml
+
+tests/space_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_management-834e37d13fac1ac9.d: tests/space_management.rs
+
+/root/repo/target/debug/deps/libspace_management-834e37d13fac1ac9.rmeta: tests/space_management.rs
+
+tests/space_management.rs:

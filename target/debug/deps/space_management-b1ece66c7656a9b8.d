@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_management-b1ece66c7656a9b8.d: tests/space_management.rs
+
+/root/repo/target/debug/deps/space_management-b1ece66c7656a9b8: tests/space_management.rs
+
+tests/space_management.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_sweep-33fede7dc167ef80.d: crates/bench/src/bin/space_sweep.rs
+
+/root/repo/target/debug/deps/libspace_sweep-33fede7dc167ef80.rmeta: crates/bench/src/bin/space_sweep.rs
+
+crates/bench/src/bin/space_sweep.rs:

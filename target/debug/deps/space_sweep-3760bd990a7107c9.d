@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_sweep-3760bd990a7107c9.d: crates/bench/src/bin/space_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_sweep-3760bd990a7107c9.rmeta: crates/bench/src/bin/space_sweep.rs Cargo.toml
+
+crates/bench/src/bin/space_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

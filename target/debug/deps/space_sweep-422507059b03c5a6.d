@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_sweep-422507059b03c5a6.d: crates/bench/src/bin/space_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_sweep-422507059b03c5a6.rmeta: crates/bench/src/bin/space_sweep.rs Cargo.toml
+
+crates/bench/src/bin/space_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

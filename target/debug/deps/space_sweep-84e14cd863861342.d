@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_sweep-84e14cd863861342.d: crates/bench/src/bin/space_sweep.rs
+
+/root/repo/target/debug/deps/libspace_sweep-84e14cd863861342.rmeta: crates/bench/src/bin/space_sweep.rs
+
+crates/bench/src/bin/space_sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/striping-0e91b746c1fec22c.d: tests/striping.rs tests/golden/single_qp_trace.json Cargo.toml
+
+/root/repo/target/debug/deps/libstriping-0e91b746c1fec22c.rmeta: tests/striping.rs tests/golden/single_qp_trace.json Cargo.toml
+
+tests/striping.rs:
+tests/golden/single_qp_trace.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

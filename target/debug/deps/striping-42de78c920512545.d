@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/striping-42de78c920512545.d: tests/striping.rs tests/golden/single_qp_trace.json
+
+/root/repo/target/debug/deps/striping-42de78c920512545: tests/striping.rs tests/golden/single_qp_trace.json
+
+tests/striping.rs:
+tests/golden/single_qp_trace.json:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_breakdown-08389dd5de4d23fb.d: crates/bench/src/bin/table1_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_breakdown-08389dd5de4d23fb.rmeta: crates/bench/src/bin/table1_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/table1_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

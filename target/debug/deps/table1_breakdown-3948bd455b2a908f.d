@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-3948bd455b2a908f.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/libtable1_breakdown-3948bd455b2a908f.rmeta: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

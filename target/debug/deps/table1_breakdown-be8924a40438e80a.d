@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-be8924a40438e80a.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/libtable1_breakdown-be8924a40438e80a.rmeta: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

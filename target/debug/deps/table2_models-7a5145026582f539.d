@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-7a5145026582f539.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/libtable2_models-7a5145026582f539.rmeta: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-9c2156f3446e653a.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/libtable2_models-9c2156f3446e653a.rmeta: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

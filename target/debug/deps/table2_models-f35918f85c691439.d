@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_models-f35918f85c691439.d: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_models-f35918f85c691439.rmeta: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+crates/bench/src/bin/table2_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trainer-5ad77f46d1828423.d: tests/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrainer-5ad77f46d1828423.rmeta: tests/trainer.rs Cargo.toml
+
+tests/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trainer-a1c565934f2ed9c6.d: tests/trainer.rs
+
+/root/repo/target/debug/deps/trainer-a1c565934f2ed9c6: tests/trainer.rs
+
+tests/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trainer-df5112f79ebf8f59.d: tests/trainer.rs
+
+/root/repo/target/debug/deps/libtrainer-df5112f79ebf8f59.rmeta: tests/trainer.rs
+
+tests/trainer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy-2733dd47981d0fa1.d: tests/zero_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy-2733dd47981d0fa1.rmeta: tests/zero_copy.rs Cargo.toml
+
+tests/zero_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

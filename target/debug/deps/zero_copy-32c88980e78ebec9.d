@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-32c88980e78ebec9.d: tests/zero_copy.rs
+
+/root/repo/target/debug/deps/zero_copy-32c88980e78ebec9: tests/zero_copy.rs
+
+tests/zero_copy.rs:

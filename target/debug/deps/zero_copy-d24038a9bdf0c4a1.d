@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-d24038a9bdf0c4a1.d: tests/zero_copy.rs
+
+/root/repo/target/debug/deps/libzero_copy-d24038a9bdf0c4a1.rmeta: tests/zero_copy.rs
+
+tests/zero_copy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_training-0d3e507054199b4b.d: examples/async_training.rs
+
+/root/repo/target/debug/examples/libasync_training-0d3e507054199b4b.rmeta: examples/async_training.rs
+
+examples/async_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_training-25057be00b86d776.d: examples/async_training.rs
+
+/root/repo/target/debug/examples/async_training-25057be00b86d776: examples/async_training.rs
+
+examples/async_training.rs:

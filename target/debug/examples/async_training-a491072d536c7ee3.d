@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_training-a491072d536c7ee3.d: examples/async_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_training-a491072d536c7ee3.rmeta: examples/async_training.rs Cargo.toml
+
+examples/async_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-04a594fda883a040.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-04a594fda883a040: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-338f9c548685f021.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/libcrash_recovery-338f9c548685f021.rmeta: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_recovery-63970485b9b338ad.d: examples/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_recovery-63970485b9b338ad.rmeta: examples/crash_recovery.rs Cargo.toml
+
+examples/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

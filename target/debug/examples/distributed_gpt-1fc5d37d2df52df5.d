@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_gpt-1fc5d37d2df52df5.d: examples/distributed_gpt.rs
+
+/root/repo/target/debug/examples/libdistributed_gpt-1fc5d37d2df52df5.rmeta: examples/distributed_gpt.rs
+
+examples/distributed_gpt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_gpt-20859a97a961513b.d: examples/distributed_gpt.rs
+
+/root/repo/target/debug/examples/distributed_gpt-20859a97a961513b: examples/distributed_gpt.rs
+
+examples/distributed_gpt.rs:

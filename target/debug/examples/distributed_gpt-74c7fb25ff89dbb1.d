@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_gpt-74c7fb25ff89dbb1.d: examples/distributed_gpt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_gpt-74c7fb25ff89dbb1.rmeta: examples/distributed_gpt.rs Cargo.toml
+
+examples/distributed_gpt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

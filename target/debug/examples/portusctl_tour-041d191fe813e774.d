@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/portusctl_tour-041d191fe813e774.d: examples/portusctl_tour.rs
+
+/root/repo/target/debug/examples/portusctl_tour-041d191fe813e774: examples/portusctl_tour.rs
+
+examples/portusctl_tour.rs:

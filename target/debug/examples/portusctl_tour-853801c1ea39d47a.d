@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/portusctl_tour-853801c1ea39d47a.d: examples/portusctl_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libportusctl_tour-853801c1ea39d47a.rmeta: examples/portusctl_tour.rs Cargo.toml
+
+examples/portusctl_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

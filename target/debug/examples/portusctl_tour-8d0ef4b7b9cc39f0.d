@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/portusctl_tour-8d0ef4b7b9cc39f0.d: examples/portusctl_tour.rs
+
+/root/repo/target/debug/examples/libportusctl_tour-8d0ef4b7b9cc39f0.rmeta: examples/portusctl_tour.rs
+
+examples/portusctl_tour.rs:

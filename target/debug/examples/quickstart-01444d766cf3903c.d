@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-01444d766cf3903c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-01444d766cf3903c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

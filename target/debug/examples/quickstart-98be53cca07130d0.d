@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-98be53cca07130d0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-98be53cca07130d0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c73670fded0778c5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c73670fded0778c5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommender_delta-1dc3a7be3a5fe9ef.d: examples/recommender_delta.rs
+
+/root/repo/target/debug/examples/librecommender_delta-1dc3a7be3a5fe9ef.rmeta: examples/recommender_delta.rs
+
+examples/recommender_delta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommender_delta-299ef828c33698c0.d: examples/recommender_delta.rs
+
+/root/repo/target/debug/examples/recommender_delta-299ef828c33698c0: examples/recommender_delta.rs
+
+examples/recommender_delta.rs:

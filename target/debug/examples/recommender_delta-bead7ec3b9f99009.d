@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recommender_delta-bead7ec3b9f99009.d: examples/recommender_delta.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecommender_delta-bead7ec3b9f99009.rmeta: examples/recommender_delta.rs Cargo.toml
+
+examples/recommender_delta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

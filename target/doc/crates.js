@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["portus_repro"];
+//{"start":21,"fragment_lengths":[14]}

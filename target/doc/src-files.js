@@ -1,0 +1,2 @@
+createSrcSidebar('[["portus_repro",["",[],["lib.rs"]]]]');
+//{"start":19,"fragment_lengths":[35]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-2892c81b73a70cd7.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2892c81b73a70cd7.rlib: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2892c81b73a70cd7.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_sweep-9f8c89a14cc9bde1.d: crates/bench/src/bin/failure_sweep.rs
+
+/root/repo/target/release/deps/failure_sweep-9f8c89a14cc9bde1: crates/bench/src/bin/failure_sweep.rs
+
+crates/bench/src/bin/failure_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_breakdown-09e7128d1aae46ae.d: crates/bench/src/bin/fig13_breakdown.rs
+
+/root/repo/target/release/deps/fig13_breakdown-09e7128d1aae46ae: crates/bench/src/bin/fig13_breakdown.rs
+
+crates/bench/src/bin/fig13_breakdown.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-ff79f7fb71f61b7b.d: .local-deps/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-ff79f7fb71f61b7b.rlib: .local-deps/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-ff79f7fb71f61b7b.rmeta: .local-deps/parking_lot/src/lib.rs
+
+.local-deps/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/portus_bench-5f751c760f10e205.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/release/deps/libportus_bench-5f751c760f10e205.rlib: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/release/deps/libportus_bench-5f751c760f10e205.rmeta: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/portus_dnn-0cae1529e3111927.d: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libportus_dnn-0cae1529e3111927.rlib: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libportus_dnn-0cae1529e3111927.rmeta: crates/dnn/src/lib.rs crates/dnn/src/dtype.rs crates/dnn/src/model.rs crates/dnn/src/optimizer.rs crates/dnn/src/parallel.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/dtype.rs:
+crates/dnn/src/model.rs:
+crates/dnn/src/optimizer.rs:
+crates/dnn/src/parallel.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/portus_format-89930b389f679acd.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/release/deps/libportus_format-89930b389f679acd.rlib: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/release/deps/libportus_format-89930b389f679acd.rmeta: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:

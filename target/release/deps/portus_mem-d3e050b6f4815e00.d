@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/portus_mem-d3e050b6f4815e00.d: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+/root/repo/target/release/deps/libportus_mem-d3e050b6f4815e00.rlib: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+/root/repo/target/release/deps/libportus_mem-d3e050b6f4815e00.rmeta: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/error.rs:
+crates/mem/src/gpu.rs:
+crates/mem/src/host.rs:
+crates/mem/src/segment.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/portus_pmem-6849caf03fdf5d2f.d: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/release/deps/libportus_pmem-6849caf03fdf5d2f.rlib: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+/root/repo/target/release/deps/libportus_pmem-6849caf03fdf5d2f.rmeta: crates/pmem/src/lib.rs crates/pmem/src/alloc.rs crates/pmem/src/device.rs crates/pmem/src/error.rs crates/pmem/src/image.rs crates/pmem/src/typed.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/alloc.rs:
+crates/pmem/src/device.rs:
+crates/pmem/src/error.rs:
+crates/pmem/src/image.rs:
+crates/pmem/src/typed.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/portus_rdma-066834faf8074c58.d: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+/root/repo/target/release/deps/libportus_rdma-066834faf8074c58.rlib: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+/root/repo/target/release/deps/libportus_rdma-066834faf8074c58.rmeta: crates/rdma/src/lib.rs crates/rdma/src/control.rs crates/rdma/src/cq.rs crates/rdma/src/error.rs crates/rdma/src/fabric.rs crates/rdma/src/fault.rs crates/rdma/src/mr.rs crates/rdma/src/qp.rs
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/control.rs:
+crates/rdma/src/cq.rs:
+crates/rdma/src/error.rs:
+crates/rdma/src/fabric.rs:
+crates/rdma/src/fault.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/qp.rs:

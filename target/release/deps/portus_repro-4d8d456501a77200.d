@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portus_repro-4d8d456501a77200.d: src/lib.rs
+
+/root/repo/target/release/deps/portus_repro-4d8d456501a77200: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/portus_repro-a3e5dcf9f289f340.d: src/lib.rs
+
+/root/repo/target/release/deps/libportus_repro-a3e5dcf9f289f340.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libportus_repro-a3e5dcf9f289f340.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/portus_storage-a5bdffe04102ac87.d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/release/deps/libportus_storage-a5bdffe04102ac87.rlib: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/release/deps/libportus_storage-a5bdffe04102ac87.rmeta: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backend.rs:
+crates/storage/src/beegfs.rs:
+crates/storage/src/checkpointer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/local.rs:

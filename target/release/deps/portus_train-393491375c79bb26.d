@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/portus_train-393491375c79bb26.d: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/release/deps/libportus_train-393491375c79bb26.rlib: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/release/deps/libportus_train-393491375c79bb26.rmeta: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:

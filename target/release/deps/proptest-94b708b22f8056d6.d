@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-94b708b22f8056d6.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-94b708b22f8056d6.rlib: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-94b708b22f8056d6.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

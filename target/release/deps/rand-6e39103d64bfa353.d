@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6e39103d64bfa353.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6e39103d64bfa353.rlib: .local-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6e39103d64bfa353.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e6438ef7c52c62f5.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e6438ef7c52c62f5.rlib: .local-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e6438ef7c52c62f5.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

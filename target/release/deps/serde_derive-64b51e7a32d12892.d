@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-64b51e7a32d12892.d: .local-deps/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-64b51e7a32d12892.so: .local-deps/serde_derive/src/lib.rs
+
+.local-deps/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c4e2dd36aa2eab8c.d: .local-deps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c4e2dd36aa2eab8c.rlib: .local-deps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c4e2dd36aa2eab8c.rmeta: .local-deps/serde_json/src/lib.rs
+
+.local-deps/serde_json/src/lib.rs:

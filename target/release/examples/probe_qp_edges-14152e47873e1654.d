@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_qp_edges-14152e47873e1654.d: examples/probe_qp_edges.rs
+
+/root/repo/target/release/examples/probe_qp_edges-14152e47873e1654: examples/probe_qp_edges.rs
+
+examples/probe_qp_edges.rs:

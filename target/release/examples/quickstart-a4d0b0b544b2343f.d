@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a4d0b0b544b2343f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a4d0b0b544b2343f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -16,6 +16,7 @@ const BINS: &[&str] = &[
     "space_sweep",
     "advisor",
     "models_sweep",
+    "fleet_sweep",
     // Real-data-plane experiments last (the heavy ones).
     "table1_breakdown",
     "fig13_breakdown",

@@ -1,0 +1,566 @@
+//! Multi-daemon fleet simulation on the discrete-event core.
+//!
+//! [`crate::run_training`] replays *one* client against analytic costs
+//! on a private timeline. This module drives a whole fleet — N storage
+//! daemons and M training clients — as event **actors** on one
+//! [`Engine`]: every iteration, checkpoint submission, and completion
+//! is a plan on the deterministic `(instant, plan id)` queue, each
+//! actor keeps its own local-time cursor, and daemon NICs are shared
+//! [`Resource`]s.
+//!
+//! That fixes the concurrent time-inflation of the shared additive
+//! clock: two clients checkpointing at the same instant against
+//! *different* daemons finish at the **max** of their durations (they
+//! physically overlap), while clients contending for **one** daemon's
+//! NIC still serialize FIFO — exactly the semantics DESIGN.md §15
+//! specifies. Runs are a pure function of `(config, seed)`: the event
+//! log, the span stream, and the metrics snapshot replay bit-for-bit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use portus_dnn::IterationProfile;
+use portus_sim::{
+    ActorId, CostModel, Engine, Metrics, MetricsSnapshot, ProgressReport, Resource, SimDuration,
+    SimTime, SpanRecord, Stage, TraceOp, Tracer,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{portus_checkpoint_cost, torch_save_cost, JobShape};
+use crate::policy::Policy;
+
+/// One training client of the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Diagnostic name (also the actor name and event-log key).
+    pub name: String,
+    /// Index of the daemon whose NIC serves this client's Portus ops.
+    pub daemon: usize,
+    /// The job's size/shape.
+    pub job: JobShape,
+    /// Per-iteration phase timing.
+    pub profile: IterationProfile,
+    /// The checkpoint policy under test.
+    pub policy: Policy,
+    /// Iterations to run.
+    pub iterations: u64,
+}
+
+/// A fleet run's static configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Storage daemons (each owns one NIC resource).
+    pub daemons: usize,
+    /// DMA engines per daemon NIC (jobs run `engines`-wide in
+    /// parallel before queueing; 1 = the classic FIFO pipe).
+    pub nic_engines: usize,
+    /// Seed for every random decision in the run.
+    pub seed: u64,
+    /// Each client's start is jittered uniformly in `[0, start_jitter)`
+    /// by its forked seed stream (zero = everyone starts at the origin).
+    pub start_jitter: SimDuration,
+    /// Sample a progress report every this much virtual time
+    /// (`None` = no reports).
+    pub progress_every: Option<SimDuration>,
+    /// The training clients.
+    pub clients: Vec<ClientSpec>,
+}
+
+impl FleetConfig {
+    /// A uniform fleet: `clients` identical clients round-robined over
+    /// `daemons` daemons.
+    pub fn uniform(
+        daemons: usize,
+        clients: usize,
+        job: JobShape,
+        profile: IterationProfile,
+        policy: Policy,
+        iterations: u64,
+    ) -> FleetConfig {
+        FleetConfig {
+            daemons,
+            nic_engines: 1,
+            seed: 0,
+            start_jitter: SimDuration::ZERO,
+            progress_every: None,
+            clients: (0..clients)
+                .map(|i| ClientSpec {
+                    name: format!("client-{i}"),
+                    daemon: i % daemons.max(1),
+                    job,
+                    profile,
+                    policy,
+                    iterations,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One executed event, for deterministic-replay comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// The event's instant.
+    pub at: SimTime,
+    /// The acting client's name.
+    pub actor: String,
+    /// What happened (`start`, `iter#k`, `ckpt#n->daemonD`, `done`).
+    pub kind: String,
+}
+
+/// One client's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientResult {
+    /// The client's name.
+    pub name: String,
+    /// The daemon that served it.
+    pub daemon: usize,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// The instant the client finished (including drain of in-flight
+    /// background work).
+    pub finished_at: SimTime,
+    /// Total time training was stalled on checkpointing.
+    pub checkpoint_stall: SimDuration,
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Per-client outcomes, in config order.
+    pub clients: Vec<ClientResult>,
+    /// Every executed event, in execution order.
+    pub events: Vec<EventRecord>,
+    /// The canonical span stream (checkpoint submissions and
+    /// completions on the virtual timeline).
+    pub spans: Vec<SpanRecord>,
+    /// Aggregated stage histograms.
+    pub metrics: MetricsSnapshot,
+    /// Periodic progress samples (empty unless configured).
+    pub progress: Vec<ProgressReport>,
+    /// When the whole fleet (clients + daemon NIC drains) finished.
+    pub makespan: SimDuration,
+    /// Events executed by the engine.
+    pub events_run: u64,
+}
+
+/// Mutable per-client run state.
+struct ClientRun {
+    spec: ClientSpec,
+    actor: ActorId,
+    done: u64,
+    checkpoints: u64,
+    stall: SimDuration,
+    /// CheckFreq's background persist drain instant.
+    background_until: SimTime,
+    /// Portus-async in-flight pull drain instant.
+    pull_until: SimTime,
+    finished_at: SimTime,
+}
+
+/// Fleet-wide shared state threaded through event closures.
+struct Fleet {
+    model: CostModel,
+    nics: Vec<Resource>,
+    daemon_actors: Vec<ActorId>,
+    clients: Vec<ClientRun>,
+    tracer: Tracer,
+    metrics: Metrics,
+    events: Vec<EventRecord>,
+    next_req_id: u64,
+}
+
+impl Fleet {
+    fn log(&mut self, at: SimTime, client: usize, kind: String) {
+        self.events.push(EventRecord {
+            at,
+            actor: self.clients[client].spec.name.clone(),
+            kind,
+        });
+    }
+
+    /// Submits one Portus pull for `client` at `submit` on its daemon's
+    /// NIC; records spans/histograms and returns the completion grant
+    /// end. The daemon actor's cursor follows its NIC drain.
+    fn submit_pull(&mut self, eng: &mut Engine, client: usize, submit: SimTime) -> SimTime {
+        let (daemon, job, model) = {
+            let c = &self.clients[client];
+            (c.spec.daemon, c.spec.job, c.spec.name.clone())
+        };
+        let cost = portus_checkpoint_cost(&self.model, job);
+        let grant = self.nics[daemon].schedule(submit, cost);
+        eng.advance_actor_to(self.daemon_actors[daemon], grant.end);
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        for (stage, start, end) in [
+            (Stage::DispatchWait, submit, grant.start),
+            (Stage::Total, submit, grant.end),
+        ] {
+            self.tracer.record(SpanRecord {
+                req_id,
+                op: TraceOp::Checkpoint,
+                stage,
+                model: model.clone(),
+                start,
+                end,
+                round: 0,
+                lane: 0,
+            });
+            self.metrics
+                .record_stage(TraceOp::Checkpoint, stage, end.saturating_since(start));
+        }
+        grant.end
+    }
+}
+
+/// Runs one iteration event for `client`, then schedules the next one
+/// at the client's new cursor.
+fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
+    let mut f = fleet.borrow_mut();
+    let (actor, profile, policy, iterations) = {
+        let c = &f.clients[client];
+        (c.actor, c.spec.profile, c.spec.policy, c.spec.iterations)
+    };
+    let mut cursor = eng.actor_now(actor).max(eng.now());
+    let i = f.clients[client].done + 1;
+    f.log(cursor, client, format!("iter#{i}"));
+
+    let trigger = policy
+        .interval()
+        .is_some_and(|k| k > 0 && i.is_multiple_of(k as u64));
+
+    // --- checkpoint actions at the start of the iteration ---
+    if trigger {
+        f.clients[client].checkpoints += 1;
+        let n = f.clients[client].checkpoints;
+        let daemon = f.clients[client].spec.daemon;
+        f.log(cursor, client, format!("ckpt#{n}->daemon{daemon}"));
+        match policy {
+            Policy::None => {}
+            Policy::TorchSave { backend, .. } => {
+                // The baseline path bypasses the Portus daemons: the
+                // whole save stalls the client on its own actor.
+                let job = f.clients[client].spec.job;
+                let op = torch_save_cost(&f.model, job, backend).total();
+                cursor += op;
+                f.clients[client].stall += op;
+            }
+            Policy::CheckFreq { backend, .. } => {
+                let job = f.clients[client].spec.job;
+                let op = torch_save_cost(&f.model, job, backend);
+                let wait = f.clients[client].background_until.saturating_since(cursor);
+                cursor = cursor + wait + op.snapshot;
+                f.clients[client].stall += wait + op.snapshot;
+                f.clients[client].background_until = cursor + op.persist_side();
+            }
+            Policy::PortusSync { .. } => {
+                let end = f.submit_pull(eng, client, cursor);
+                f.clients[client].stall += end.saturating_since(cursor);
+                cursor = end;
+            }
+            Policy::PortusAsync { .. } => {
+                // A new pull waits for the previous one to drain.
+                let wait = f.clients[client].pull_until.saturating_since(cursor);
+                cursor += wait;
+                f.clients[client].stall += wait;
+                let end = f.submit_pull(eng, client, cursor);
+                f.clients[client].pull_until = end;
+            }
+        }
+    }
+
+    // --- the iteration itself ---
+    let busy = profile.gpu_busy();
+    let intrinsic_idle = profile.total() - busy;
+    let update_start = cursor + profile.forward + profile.backward;
+    let mut iter_stall = SimDuration::ZERO;
+    if matches!(policy, Policy::PortusAsync { .. }) && f.clients[client].pull_until > update_start
+    {
+        // The update phase begins while tensors are still being
+        // pulled: it defers by (up to) one update-phase length.
+        iter_stall = profile
+            .update
+            .min(f.clients[client].pull_until.saturating_since(update_start));
+        f.clients[client].stall += iter_stall;
+    }
+    cursor = cursor + busy + intrinsic_idle + iter_stall;
+    eng.advance_actor_to(actor, cursor);
+
+    f.clients[client].done = i;
+    if i < iterations {
+        drop(f);
+        let fleet = fleet.clone();
+        eng.schedule_at(cursor, move |e| step_client(&fleet, e, client));
+    } else {
+        // Drain outstanding background work so runs are comparable.
+        let c = &f.clients[client];
+        let drain_to = c.background_until.max(c.pull_until).max(cursor);
+        f.clients[client].finished_at = drain_to;
+        eng.advance_actor_to(actor, drain_to);
+        f.log(drain_to, client, "done".to_string());
+    }
+}
+
+/// Simulates the whole fleet; deterministic for a given `(cfg, seed)`.
+///
+/// # Panics
+///
+/// Panics if `cfg.daemons` is zero, `cfg.clients` is empty, or a client
+/// names a daemon index out of range.
+pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
+    assert!(cfg.daemons > 0, "a fleet needs at least one daemon");
+    assert!(!cfg.clients.is_empty(), "a fleet needs at least one client");
+    for c in &cfg.clients {
+        assert!(
+            c.daemon < cfg.daemons,
+            "client {} names daemon {} of {}",
+            c.name,
+            c.daemon,
+            cfg.daemons
+        );
+    }
+
+    let mut eng = Engine::with_seed(cfg.seed);
+    if let Some(every) = cfg.progress_every {
+        eng.report_every(every);
+    }
+
+    let tracer = Tracer::new();
+    tracer.enable();
+    let daemon_actors: Vec<ActorId> = (0..cfg.daemons)
+        .map(|d| eng.add_actor(&format!("daemon-{d}")))
+        .collect();
+    let nics: Vec<Resource> = (0..cfg.daemons)
+        .map(|d| Resource::with_capacity(&format!("daemon-{d}/nic"), cfg.nic_engines))
+        .collect();
+    let clients: Vec<ClientRun> = cfg
+        .clients
+        .iter()
+        .map(|spec| ClientRun {
+            spec: spec.clone(),
+            actor: eng.add_actor(&spec.name),
+            done: 0,
+            checkpoints: 0,
+            stall: SimDuration::ZERO,
+            background_until: SimTime::ZERO,
+            pull_until: SimTime::ZERO,
+            finished_at: SimTime::ZERO,
+        })
+        .collect();
+
+    let fleet = Rc::new(RefCell::new(Fleet {
+        model: m.clone(),
+        nics,
+        daemon_actors,
+        clients,
+        tracer,
+        metrics: Metrics::new(),
+        events: Vec::new(),
+        next_req_id: 1,
+    }));
+
+    // Seeded start jitter: each client gets its own forked stream, so
+    // adding a client never perturbs another client's draw.
+    for idx in 0..cfg.clients.len() {
+        let start = if cfg.start_jitter.is_zero() {
+            SimTime::ZERO
+        } else {
+            let mut rng = eng.fork_rng(idx as u64);
+            SimTime::ZERO + SimDuration::from_nanos(rng.gen_range(cfg.start_jitter.as_nanos()))
+        };
+        {
+            let mut f = fleet.borrow_mut();
+            let actor = f.clients[idx].actor;
+            eng.advance_actor_to(actor, start);
+            f.log(start, idx, "start".to_string());
+        }
+        let fleet = fleet.clone();
+        eng.schedule_at(start, move |e| step_client(&fleet, e, idx));
+    }
+
+    eng.run();
+
+    let f = fleet.borrow();
+    let nic_drain = f
+        .nics
+        .iter()
+        .map(Resource::busy_until)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let makespan = f
+        .clients
+        .iter()
+        .map(|c| c.finished_at)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .max(nic_drain)
+        .saturating_since(SimTime::ZERO);
+    FleetResult {
+        clients: f
+            .clients
+            .iter()
+            .map(|c| ClientResult {
+                name: c.spec.name.clone(),
+                daemon: c.spec.daemon,
+                iterations: c.done,
+                checkpoints: c.checkpoints,
+                finished_at: c.finished_at,
+                checkpoint_stall: c.stall,
+            })
+            .collect(),
+        events: f.events.clone(),
+        spans: f.tracer.spans(),
+        metrics: f.metrics.snapshot(),
+        progress: eng.progress_reports().to_vec(),
+        makespan,
+        events_run: eng.events_run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portus_sim::SimDuration;
+
+    fn small_job() -> JobShape {
+        JobShape::single(1_000_000_000, 300)
+    }
+
+    fn profile() -> IterationProfile {
+        IterationProfile::from_total(SimDuration::from_millis(350))
+    }
+
+    fn fleet(daemons: usize, clients: usize) -> FleetConfig {
+        FleetConfig::uniform(
+            daemons,
+            clients,
+            small_job(),
+            profile(),
+            Policy::PortusSync { every: 10 },
+            50,
+        )
+    }
+
+    #[test]
+    fn independent_daemons_overlap_contended_daemons_serialize() {
+        let m = CostModel::icdcs24();
+        let solo = run_fleet(&m, &fleet(1, 1));
+        // 4 clients, each with its own daemon: true overlap, the fleet
+        // finishes in ~1x the solo makespan.
+        let spread = run_fleet(&m, &fleet(4, 4));
+        let ratio = spread.makespan.as_secs_f64() / solo.makespan.as_secs_f64();
+        assert!(
+            (0.99..1.05).contains(&ratio),
+            "independent clients must overlap, got {ratio:.3}x"
+        );
+        // 4 clients hammering one daemon: pulls serialize on its NIC,
+        // so the fleet is measurably slower than solo but far below 4x
+        // (compute still overlaps).
+        let packed = run_fleet(&m, &fleet(1, 4));
+        assert!(
+            packed.makespan > spread.makespan,
+            "contention must cost virtual time"
+        );
+        let p99_packed = packed
+            .metrics
+            .stage(TraceOp::Checkpoint, Stage::Total)
+            .unwrap()
+            .p99();
+        let p99_spread = spread
+            .metrics
+            .stage(TraceOp::Checkpoint, Stage::Total)
+            .unwrap()
+            .p99();
+        assert!(
+            p99_packed > p99_spread,
+            "queueing on one NIC must show up in checkpoint latency"
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_bit_for_bit() {
+        let m = CostModel::icdcs24();
+        let mut cfg = fleet(2, 6);
+        cfg.seed = 42;
+        cfg.start_jitter = SimDuration::from_millis(100);
+        cfg.progress_every = Some(SimDuration::from_secs(1));
+        let a = run_fleet(&m, &cfg);
+        let b = run_fleet(&m, &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.progress, b.progress);
+        assert_eq!(a.makespan, b.makespan);
+
+        let mut other = cfg.clone();
+        other.seed = 43;
+        let c = run_fleet(&m, &other);
+        assert_ne!(a.events, c.events, "a different seed must shift the jitter");
+    }
+
+    #[test]
+    fn fleet_clients_match_the_analytic_harness_solo() {
+        // One client, one daemon: the event path must agree with the
+        // single-timeline analytic harness on totals.
+        let m = CostModel::icdcs24();
+        let cfg = fleet(1, 1);
+        let out = run_fleet(&m, &cfg);
+        let spec = &cfg.clients[0];
+        let analytic = crate::run_training(
+            &m,
+            &crate::TrainingConfig {
+                job: spec.job,
+                profile: spec.profile,
+                policy: spec.policy,
+            },
+            spec.iterations,
+        );
+        let c = &out.clients[0];
+        assert_eq!(c.iterations, analytic.iterations);
+        assert_eq!(c.checkpoints, analytic.checkpoints);
+        assert_eq!(c.checkpoint_stall, analytic.checkpoint_stall);
+        assert_eq!(c.finished_at.saturating_since(SimTime::ZERO), analytic.elapsed);
+    }
+
+    #[test]
+    fn async_fleet_overlaps_pulls_with_compute() {
+        let m = CostModel::icdcs24();
+        let mut cfg = fleet(2, 4);
+        for c in &mut cfg.clients {
+            c.policy = Policy::PortusAsync { every: 10 };
+        }
+        let out = run_fleet(&m, &cfg);
+        for c in &out.clients {
+            assert_eq!(c.checkpoints, 5);
+            let sync_cost = portus_checkpoint_cost(&m, small_job());
+            assert!(
+                c.checkpoint_stall < sync_cost * c.checkpoints,
+                "async stalls must undercut synchronous pulls"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_engine_nics_absorb_concurrent_pulls() {
+        let m = CostModel::icdcs24();
+        let narrow = run_fleet(&m, &fleet(1, 4));
+        let mut wide_cfg = fleet(1, 4);
+        wide_cfg.nic_engines = 4;
+        let wide = run_fleet(&m, &wide_cfg);
+        assert!(
+            wide.makespan < narrow.makespan,
+            "4 NIC engines must beat 1 under 4-way contention"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "names daemon")]
+    fn out_of_range_daemon_panics() {
+        let m = CostModel::icdcs24();
+        let mut cfg = fleet(1, 1);
+        cfg.clients[0].daemon = 3;
+        run_fleet(&m, &cfg);
+    }
+}

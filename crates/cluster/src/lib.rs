@@ -5,8 +5,11 @@
 //! the four checkpoint policies of Fig. 9 ([`Policy`]), the training
 //! harness behind Figs. 2/15 ([`run_training`]), GPU-utilization
 //! traces for Fig. 16 ([`utilization_trace`], exportable as Chrome
-//! trace-event JSON via [`run_chrome_trace`]), and failure injection
-//! for the lost-work trade-off the paper motivates ([`run_with_failures`]).
+//! trace-event JSON via [`run_chrome_trace`]), failure injection
+//! for the lost-work trade-off the paper motivates ([`run_with_failures`]),
+//! and a multi-daemon fleet harness on the discrete-event core
+//! ([`run_fleet`]) where overlapping clients finish at the *max*, not
+//! the sum, of their durations.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod advisor;
+mod event;
 mod failure;
 mod harness;
 pub mod ops;
@@ -36,6 +40,7 @@ mod policy;
 mod trace;
 
 pub use advisor::{advise, stall_per_checkpoint, Advice};
+pub use event::{run_fleet, ClientResult, ClientSpec, EventRecord, FleetConfig, FleetResult};
 pub use failure::{restore_cost, run_with_failures, FailureOutcome};
 pub use harness::{run_training, RunResult, Segment, TrainingConfig};
 pub use ops::{Backend, JobShape, OpCost};

@@ -1396,11 +1396,7 @@ impl DaemonState {
         // The request completes when the pipeline drains (advance_to is
         // monotonic, so an already-later clock is left alone).
         ctx.clock.advance_to(pipe.busy_until());
-        if stage_busy > SimDuration::ZERO {
-            ctx.metrics.set_pipeline_overlap_permille(
-                stage_overlapped.as_nanos() * 1000 / stage_busy.as_nanos(),
-            );
-        }
+        ctx.metrics.set_pipeline_overlap(stage_overlapped, stage_busy);
         let t0 = ctx.clock.now();
         let done = self.index.mark_slot_done_digest(mi, slot, digest);
         sc.record_now(Stage::HeaderFlip, t0);

@@ -1,44 +1,62 @@
-//! A minimal discrete-event engine.
+//! The discrete-event engine, built on the [`PlanQueue`].
 //!
-//! The end-to-end training experiments (Figs. 14–16) interleave compute
-//! phases, asynchronous checkpoint pulls, and policy decisions on one
-//! virtual timeline. [`Engine`] provides the classic event-heap loop:
-//! events are closures scheduled at absolute instants; popping an event
-//! advances the engine clock to its timestamp.
+//! The end-to-end experiments (Figs. 14–16) and the multi-daemon fleet
+//! harness interleave compute phases, asynchronous checkpoint pulls,
+//! and policy decisions on one virtual timeline. [`Engine`] provides
+//! the event loop: events are closures scheduled at absolute instants
+//! on a [`PlanQueue`]; popping an event advances the engine clock to
+//! its timestamp. Ordering is deterministic — `(instant, plan id)` —
+//! so two runs that make the same schedule calls execute events in
+//! exactly the same order.
+//!
+//! Beyond the classic loop the engine carries the run-wide services an
+//! ixa-style simulation needs:
+//!
+//! * **seeded randomness** ([`Engine::with_seed`], [`Engine::rng`],
+//!   [`Engine::fork_rng`]) so stochastic runs replay bit-for-bit;
+//! * **per-actor local time** ([`Engine::add_actor`],
+//!   [`Engine::advance_actor`]): each daemon or training client keeps
+//!   its own cursor on the shared timeline, so operations running on
+//!   *different* actors overlap (both finish at `max`, not `sum`, of
+//!   their durations) while work charged on one actor serializes;
+//! * **periodic progress reports** ([`Engine::report_every`],
+//!   [`Engine::progress_reports`]) sampling events-run and queue depth
+//!   at fixed virtual intervals;
+//! * **cancellation** ([`Engine::cancel`]) for timeout-style plans
+//!   that are usually superseded.
 
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
-
+use crate::plan::{PlanId, PlanQueue};
+use crate::rng::SimRng;
 use crate::{SimDuration, SimTime};
 
 type EventFn = Box<dyn FnOnce(&mut Engine)>;
 
-struct Event {
-    at: SimTime,
-    seq: u64,
-    run: EventFn,
+/// Identifies one actor registered with [`Engine::add_actor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(usize);
+
+impl ActorId {
+    /// The actor's registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+struct Actor {
+    name: String,
+    local_now: SimTime,
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event, with
-        // sequence number as the FIFO tie-breaker.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+
+/// One periodic progress sample (see [`Engine::report_every`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// The virtual instant of the sample (a multiple of the report
+    /// interval).
+    pub at: SimTime,
+    /// Events executed since the run began.
+    pub events_run: u64,
+    /// Plans still pending at the sample instant.
+    pub pending: usize,
 }
 
 /// A single-threaded discrete-event simulator.
@@ -55,26 +73,53 @@ impl Ord for Event {
 /// eng.run();
 /// assert_eq!(eng.now().as_secs_f64(), 3.0);
 /// ```
-#[derive(Default)]
 pub struct Engine {
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Event>,
+    queue: PlanQueue<EventFn>,
+    rng: SimRng,
+    actors: Vec<Actor>,
+    events_run: u64,
+    report_every: Option<SimDuration>,
+    next_report_at: SimTime,
+    reports: Vec<ProgressReport>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::with_seed(0)
+    }
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.queue.len())
+            .field("events_run", &self.events_run)
+            .field("actors", &self.actors.len())
             .finish()
     }
 }
 
 impl Engine {
-    /// Creates an engine at the timeline origin with no pending events.
+    /// Creates an engine at the timeline origin with no pending events
+    /// and seed 0.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Creates an engine whose random stream is seeded with `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: PlanQueue::new(),
+            rng: SimRng::new(seed),
+            actors: Vec::new(),
+            events_run: 0,
+            report_every: None,
+            next_report_at: SimTime::ZERO,
+            reports: Vec::new(),
+        }
     }
 
     /// The engine's current instant (the timestamp of the last event run).
@@ -84,47 +129,148 @@ impl Engine {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
-    /// Schedules `f` to run at absolute instant `at`.
+    /// Events executed so far.
+    pub fn events_run(&self) -> u64 {
+        self.events_run
+    }
+
+    /// The engine's seeded random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// An independent child stream keyed by `label` (see
+    /// [`SimRng::fork`]); use one per actor so draws never interleave.
+    pub fn fork_rng(&self, label: u64) -> SimRng {
+        self.rng.fork(label)
+    }
+
+    // --- actors -----------------------------------------------------
+
+    /// Registers an actor with its own local-time cursor (starting at
+    /// the origin) and returns its id.
+    pub fn add_actor(&mut self, name: &str) -> ActorId {
+        self.actors.push(Actor {
+            name: name.to_string(),
+            local_now: SimTime::ZERO,
+        });
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// The diagnostic name given at registration.
+    pub fn actor_name(&self, actor: ActorId) -> &str {
+        &self.actors[actor.0].name
+    }
+
+    /// The actor's local-time cursor: when its last charged operation
+    /// completes.
+    pub fn actor_now(&self, actor: ActorId) -> SimTime {
+        self.actors[actor.0].local_now
+    }
+
+    /// Charges `d` of work on `actor`'s local timeline, starting no
+    /// earlier than the engine's current instant, and returns the
+    /// completion instant. Work charged on one actor serializes;
+    /// work on different actors overlaps.
+    pub fn advance_actor(&mut self, actor: ActorId, d: SimDuration) -> SimTime {
+        let a = &mut self.actors[actor.0];
+        a.local_now = a.local_now.max(self.now) + d;
+        a.local_now
+    }
+
+    /// Moves `actor`'s cursor to `t` if `t` is later (e.g. after a
+    /// grant on a shared [`crate::Resource`] ends at `t`). Returns the
+    /// cursor.
+    pub fn advance_actor_to(&mut self, actor: ActorId, t: SimTime) -> SimTime {
+        let a = &mut self.actors[actor.0];
+        a.local_now = a.local_now.max(t);
+        a.local_now
+    }
+
+    // --- progress reports -------------------------------------------
+
+    /// Samples a [`ProgressReport`] every `every` of virtual time while
+    /// the run executes (the first sample lands at `every`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn report_every(&mut self, every: SimDuration) {
+        assert!(!every.is_zero(), "progress interval must be positive");
+        self.report_every = Some(every);
+        self.next_report_at = self.now + every;
+    }
+
+    /// The progress samples collected so far.
+    pub fn progress_reports(&self) -> &[ProgressReport] {
+        &self.reports
+    }
+
+    fn emit_reports_up_to(&mut self, t: SimTime) {
+        let Some(every) = self.report_every else {
+            return;
+        };
+        while self.next_report_at <= t {
+            self.reports.push(ProgressReport {
+                at: self.next_report_at,
+                events_run: self.events_run,
+                pending: self.queue.len(),
+            });
+            self.next_report_at += every;
+        }
+    }
+
+    // --- scheduling -------------------------------------------------
+
+    /// Schedules `f` to run at absolute instant `at`; returns the plan
+    /// id (usable with [`Engine::cancel`]).
     ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the engine's current instant
     /// (events cannot run in the past).
-    pub fn schedule_at<F: FnOnce(&mut Engine) + 'static>(&mut self, at: SimTime, f: F) {
+    pub fn schedule_at<F: FnOnce(&mut Engine) + 'static>(&mut self, at: SimTime, f: F) -> PlanId {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: {at} < {}",
             self.now
         );
-        self.seq += 1;
-        self.heap.push(Event {
-            at,
-            seq: self.seq,
-            run: Box::new(f),
-        });
+        self.queue.add(at, Box::new(f))
     }
 
     /// Schedules `f` to run `delay` after the current instant.
-    pub fn schedule_in<F: FnOnce(&mut Engine) + 'static>(&mut self, delay: SimDuration, f: F) {
-        self.schedule_at(self.now + delay, f);
+    pub fn schedule_in<F: FnOnce(&mut Engine) + 'static>(
+        &mut self,
+        delay: SimDuration,
+        f: F,
+    ) -> PlanId {
+        self.schedule_at(self.now + delay, f)
     }
+
+    /// Cancels a pending plan; returns whether it was still pending.
+    pub fn cancel(&mut self, id: PlanId) -> bool {
+        self.queue.cancel(id).is_some()
+    }
+
+    // --- the loop ---------------------------------------------------
 
     /// Runs a single event if one is pending; returns whether it did.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
-            Some(ev) => {
-                self.now = ev.at;
-                (ev.run)(self);
-                true
-            }
-            None => false,
-        }
+        let Some((at, _)) = self.queue.peek() else {
+            return false;
+        };
+        self.emit_reports_up_to(at);
+        let (at, _, run) = self.queue.pop().expect("peeked plan vanished");
+        self.now = at;
+        self.events_run += 1;
+        run(self);
+        true
     }
 
-    /// Runs events until the heap is empty.
+    /// Runs events until the queue is empty.
     pub fn run(&mut self) {
         while self.step() {}
     }
@@ -132,12 +278,13 @@ impl Engine {
     /// Runs events with timestamps `<= until`, leaving later events
     /// pending, and advances the clock to exactly `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.at > until {
+        while let Some((at, _)) = self.queue.peek() {
+            if at > until {
                 break;
             }
             self.step();
         }
+        self.emit_reports_up_to(until);
         self.now = self.now.max(until);
     }
 }
@@ -160,11 +307,12 @@ mod tests {
         }
         eng.run();
         assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
-        assert_eq!(eng.now().as_millis_total(), 30);
+        assert_eq!(eng.now().as_nanos(), 30_000_000);
+        assert_eq!(eng.events_run(), 3);
     }
 
     #[test]
-    fn same_time_events_are_fifo() {
+    fn same_time_events_pop_in_plan_id_order() {
         let order = Rc::new(RefCell::new(Vec::new()));
         let mut eng = Engine::new();
         for tag in ["first", "second", "third"] {
@@ -212,12 +360,79 @@ mod tests {
         eng.run();
     }
 
-    trait MillisTotal {
-        fn as_millis_total(&self) -> u64;
+    #[test]
+    fn cancelled_plans_do_not_run() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        let h = hits.clone();
+        let timeout = eng.schedule_in(SimDuration::from_secs(10), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        assert!(eng.cancel(timeout));
+        assert!(!eng.cancel(timeout), "second cancel is a no-op");
+        eng.run();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(eng.now(), SimTime::ZERO, "cancelled plan must not drag the clock");
     }
-    impl MillisTotal for SimTime {
-        fn as_millis_total(&self) -> u64 {
-            self.as_nanos() / 1_000_000
+
+    #[test]
+    fn actors_keep_local_time() {
+        let mut eng = Engine::new();
+        let a = eng.add_actor("daemon-0");
+        let b = eng.add_actor("daemon-1");
+        assert_eq!(eng.actor_name(a), "daemon-0");
+        // Both actors charge 5s of work starting at t=0: they overlap.
+        let end_a = eng.advance_actor(a, SimDuration::from_secs(5));
+        let end_b = eng.advance_actor(b, SimDuration::from_secs(5));
+        assert_eq!(end_a, end_b);
+        assert_eq!(end_a.as_secs_f64(), 5.0);
+        // More work on the same actor serializes after its cursor.
+        let end_a2 = eng.advance_actor(a, SimDuration::from_secs(1));
+        assert_eq!(end_a2.as_secs_f64(), 6.0);
+        assert_eq!(eng.actor_now(b).as_secs_f64(), 5.0);
+        // advance_actor_to is monotone.
+        eng.advance_actor_to(b, SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(eng.actor_now(b).as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn actor_charges_start_no_earlier_than_engine_now() {
+        let mut eng = Engine::new();
+        let a = eng.add_actor("client");
+        eng.schedule_in(SimDuration::from_secs(3), |_| {});
+        eng.run();
+        // The actor was idle until t=3; a charge starts there.
+        let end = eng.advance_actor(a, SimDuration::from_secs(1));
+        assert_eq!(end.as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn seeded_rng_replays() {
+        let mut a = Engine::with_seed(11);
+        let mut b = Engine::with_seed(11);
+        let draws_a: Vec<u64> = (0..5).map(|_| a.rng().next_u64()).collect();
+        let draws_b: Vec<u64> = (0..5).map(|_| b.rng().next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+        let mut fork = a.fork_rng(1);
+        assert_ne!(fork.next_u64(), a.rng().next_u64());
+    }
+
+    #[test]
+    fn progress_reports_sample_fixed_intervals() {
+        let mut eng = Engine::new();
+        eng.report_every(SimDuration::from_secs(1));
+        for s in [1u64, 2, 5] {
+            eng.schedule_at(SimTime::ZERO + SimDuration::from_millis(s * 1000 + 500), |_| {});
         }
+        eng.run();
+        let reports = eng.progress_reports();
+        // Samples at 1..=5s (the last event at 5.5s crosses the 5s mark).
+        assert_eq!(reports.len(), 5);
+        assert_eq!(reports[0].at.as_secs_f64(), 1.0);
+        assert_eq!(reports[0].events_run, 0);
+        assert_eq!(reports[0].pending, 3);
+        assert_eq!(reports[4].at.as_secs_f64(), 5.0);
+        assert_eq!(reports[4].events_run, 2);
+        assert_eq!(reports[4].pending, 1);
     }
 }

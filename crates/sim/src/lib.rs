@@ -3,8 +3,13 @@
 //! Virtual-time foundation for the Portus reproduction: a shared
 //! monotonic [`Clock`], the calibrated [`CostModel`] standing in for the
 //! paper's testbed hardware, FIFO [`Resource`]s for contended links, the
-//! datapath [`Stats`] counters behind the zero-copy assertions, and a
-//! small discrete-event [`Engine`] for end-to-end training timelines.
+//! datapath [`Stats`] counters behind the zero-copy assertions, and the
+//! discrete-event core — a deterministic [`PlanQueue`] of events at
+//! absolute virtual instants driven by the [`Engine`], with per-actor
+//! local time, seeded randomness ([`SimRng`]), and periodic progress
+//! reports — for end-to-end training timelines and multi-daemon fleet
+//! runs where overlapping operations must finish at the *max*, not the
+//! sum, of their durations.
 //!
 //! Everything timing-related in the workspace flows through a
 //! [`SimContext`], which bundles a clock, a cost model, and counters.
@@ -27,18 +32,22 @@ mod clock;
 mod cost;
 mod engine;
 mod metrics;
+mod plan;
 mod resource;
+mod rng;
 mod stats;
 mod time;
 mod trace;
 
-pub use clock::Clock;
+pub use clock::{Clock, ClockOverflow};
 pub use cost::{CostModel, MemoryKind};
-pub use engine::Engine;
+pub use engine::{ActorId, Engine, ProgressReport};
 pub use metrics::{
     HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram, HISTOGRAM_BUCKETS,
 };
+pub use plan::{PlanId, PlanQueue};
 pub use resource::{Grant, Resource};
+pub use rng::SimRng;
 pub use stats::{Stats, StatsSnapshot};
 pub use time::{SimDuration, SimTime};
 pub use trace::{chrome_trace_json, SpanRecord, Stage, TraceEvent, TraceOp, Tracer};

@@ -99,13 +99,26 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Estimated value at quantile `q` in `[0, 1]`: the lower bound of
     /// the bucket holding the `ceil(q * count)`-th sample, clamped to
-    /// the observed `[min, max]` range. Returns 0 when empty.
+    /// the observed `[min, max]` range.
+    ///
+    /// Pinned boundary semantics:
+    /// * empty histogram — always 0, for any `q`;
+    /// * `q <= 0.0` (and NaN) — exactly `min_ns`;
+    /// * `q >= 1.0` — exactly `max_ns`;
+    /// * single sample — the sample itself, for any `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        // NaN survives the clamp; pin it to the same floor as q <= 0.
+        if q.is_nan() || q <= 0.0 {
+            return self.min_ns;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -133,11 +146,7 @@ impl HistogramSnapshot {
 
     /// Mean sample duration in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 
@@ -206,13 +215,16 @@ impl MetricsSnapshot {
 
     /// External fragmentation in permille (integer-only, so snapshots
     /// stay `Eq`): `1000 * (1 - largest_extent / free)`. Zero when free
-    /// space is zero or one contiguous extent.
+    /// space is zero (an empty or exhausted allocator has nothing to
+    /// fragment) or one contiguous extent; the ratio is computed in
+    /// 128-bit so byte counts near `u64::MAX` cannot overflow into a
+    /// garbage gauge.
     pub fn fragmentation_permille(&self) -> u64 {
         if self.pmem_free_bytes == 0 {
             return 0;
         }
         let contiguous = self.pmem_largest_free_extent.min(self.pmem_free_bytes);
-        1000 - contiguous.saturating_mul(1000) / self.pmem_free_bytes
+        1000 - (contiguous as u128 * 1000 / self.pmem_free_bytes as u128) as u64
     }
 }
 
@@ -306,6 +318,20 @@ impl Metrics {
             .store(permille.min(1000), Ordering::Relaxed);
     }
 
+    /// Computes and records the pipeline-overlap gauge from raw
+    /// durations: `overlapped / busy` in permille. A checkpoint that
+    /// granted no seal service at all (`busy` is zero — e.g. an empty
+    /// or fully delta-carried slot) leaves the gauge untouched instead
+    /// of dividing by zero; the ratio is computed in 128-bit so huge
+    /// virtual durations cannot overflow into a garbage reading.
+    pub fn set_pipeline_overlap(&self, overlapped: SimDuration, busy: SimDuration) {
+        if busy.is_zero() {
+            return;
+        }
+        let permille = (overlapped.as_nanos() as u128 * 1000 / busy.as_nanos() as u128) as u64;
+        self.set_pipeline_overlap_permille(permille);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
@@ -380,6 +406,44 @@ mod tests {
     }
 
     #[test]
+    fn quantile_boundary_semantics_are_pinned() {
+        // Empty: 0 for every q, including the boundaries and NaN.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN, -1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+
+        // Single sample: the sample itself for every q.
+        let m = Metrics::new();
+        m.record_stage(TraceOp::Checkpoint, Stage::Total, SimDuration::from_nanos(777));
+        let one = m.stage(TraceOp::Checkpoint, Stage::Total).unwrap();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 777, "q={q}");
+        }
+
+        // Boundaries hit the observed extremes exactly, out-of-range
+        // and NaN q values clamp to them.
+        let m = Metrics::new();
+        for ns in [100u64, 5_000, 90_000] {
+            m.record_stage(TraceOp::Restore, Stage::Total, SimDuration::from_nanos(ns));
+        }
+        let h = m.stage(TraceOp::Restore, Stage::Total).unwrap();
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!(h.quantile(-3.0), 100);
+        assert_eq!(h.quantile(f64::NAN), 100);
+        assert_eq!(h.quantile(1.0), 90_000);
+        assert_eq!(h.quantile(7.0), 90_000);
+        // Interior quantiles stay within [min, max] and monotone.
+        let mut prev = h.quantile(0.0);
+        for i in 1..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "quantile must be monotone in q");
+            assert!((h.min_ns..=h.max_ns).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
     fn empty_histogram_is_zeroed() {
         let h = HistogramSnapshot::default();
         assert_eq!(h.p50(), 0);
@@ -437,6 +501,44 @@ mod tests {
         assert_eq!(m.snapshot().pipeline_overlap_permille, 640);
         m.set_pipeline_overlap_permille(5000);
         assert_eq!(m.snapshot().pipeline_overlap_permille, 1000);
+    }
+
+    #[test]
+    fn pipeline_overlap_from_durations_guards_zero_busy() {
+        let m = Metrics::new();
+        m.set_pipeline_overlap_permille(500);
+        // No seal service granted: the gauge must not divide by zero
+        // or clobber the last real reading.
+        m.set_pipeline_overlap(SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 500);
+        m.set_pipeline_overlap(SimDuration::from_millis(640), SimDuration::from_secs(1));
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 640);
+        // Huge virtual durations must not overflow the ratio.
+        let huge = SimDuration::from_nanos(u64::MAX);
+        m.set_pipeline_overlap(huge, huge);
+        assert_eq!(m.snapshot().pipeline_overlap_permille, 1000);
+    }
+
+    #[test]
+    fn fragmentation_handles_zero_and_huge_denominators() {
+        let s = MetricsSnapshot {
+            pmem_free_bytes: 0,
+            pmem_largest_free_extent: 0,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.fragmentation_permille(), 0, "empty allocator");
+        let s = MetricsSnapshot {
+            pmem_free_bytes: u64::MAX,
+            pmem_largest_free_extent: u64::MAX / 2,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.fragmentation_permille(), 501, "no 128-bit overflow");
+        let s = MetricsSnapshot {
+            pmem_free_bytes: 100,
+            pmem_largest_free_extent: 400, // stale gauge larger than free
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.fragmentation_permille(), 0, "extent clamped to free");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The discrete-event plan queue.
+//!
+//! A `PlanQueue` holds *plans*: payloads scheduled at absolute virtual
+//! instants. Popping always yields the earliest plan; two plans at the
+//! same instant pop in the order they were added (the monotone
+//! [`PlanId`] is the tie-breaker), so execution order is a pure
+//! function of the schedule calls and never of heap internals, hash
+//! seeds, or thread interleavings. This is the ordering contract the
+//! deterministic-replay suite pins.
+//!
+//! Plans can be cancelled by id ([`PlanQueue::cancel`]); a cancelled
+//! plan's payload is returned to the caller and the queue entry is
+//! lazily skipped on pop, so cancellation is O(1).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::SimTime;
+
+/// Identifies one scheduled plan. Ids are handed out monotonically by a
+/// [`PlanQueue`] and double as the deterministic tie-breaker between
+/// plans scheduled at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanId(u64);
+
+impl PlanId {
+    /// The raw monotone counter value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PlanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan#{}", self.0)
+    }
+}
+
+/// A heap entry: `(instant, id)` with inverted ordering so the
+/// `BinaryHeap` max-heap pops the earliest instant, lowest id first.
+#[derive(Debug, PartialEq, Eq)]
+struct Slot {
+    at: SimTime,
+    id: PlanId,
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A queue of payloads scheduled at absolute virtual instants with
+/// deterministic `(instant, plan id)` ordering.
+///
+/// # Examples
+///
+/// ```
+/// use portus_sim::{PlanQueue, SimTime};
+///
+/// let mut q = PlanQueue::new();
+/// q.add(SimTime::from_nanos(20), "late");
+/// q.add(SimTime::from_nanos(10), "early");
+/// let (at, _, data) = q.pop().unwrap();
+/// assert_eq!((at.as_nanos(), data), (10, "early"));
+/// ```
+#[derive(Debug)]
+pub struct PlanQueue<T> {
+    heap: BinaryHeap<Slot>,
+    data: HashMap<u64, T>,
+    next_id: u64,
+}
+
+impl<T> Default for PlanQueue<T> {
+    fn default() -> Self {
+        PlanQueue {
+            heap: BinaryHeap::new(),
+            data: HashMap::new(),
+            next_id: 0,
+        }
+    }
+}
+
+impl<T> PlanQueue<T> {
+    /// An empty queue; the first plan gets id 0.
+    pub fn new() -> Self {
+        PlanQueue::default()
+    }
+
+    /// Schedules `data` at instant `at` and returns its [`PlanId`].
+    pub fn add(&mut self, at: SimTime, data: T) -> PlanId {
+        let id = PlanId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Slot { at, id });
+        self.data.insert(id.0, data);
+        id
+    }
+
+    /// Cancels the plan with `id`, returning its payload if it was
+    /// still pending. The heap entry is skipped lazily on pop.
+    pub fn cancel(&mut self, id: PlanId) -> Option<T> {
+        self.data.remove(&id.0)
+    }
+
+    /// The instant and id of the next live plan without removing it.
+    pub fn peek(&mut self) -> Option<(SimTime, PlanId)> {
+        self.skip_cancelled();
+        self.heap.peek().map(|s| (s.at, s.id))
+    }
+
+    /// Removes and returns the earliest live plan.
+    pub fn pop(&mut self) -> Option<(SimTime, PlanId, T)> {
+        self.skip_cancelled();
+        let slot = self.heap.pop()?;
+        let data = self
+            .data
+            .remove(&slot.id.0)
+            .expect("skip_cancelled left a live heap head");
+        Some((slot.at, slot.id, data))
+    }
+
+    /// Number of live (non-cancelled) plans.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no live plans remain.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drops heap entries whose plan was cancelled so `peek`/`pop` see
+    /// a live head.
+    fn skip_cancelled(&mut self) {
+        while let Some(slot) = self.heap.peek() {
+            if self.data.contains_key(&slot.id.0) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_then_id_order() {
+        let mut q = PlanQueue::new();
+        let _b = q.add(t(20), "b");
+        let _a = q.add(t(10), "a");
+        let _c = q.add(t(20), "c"); // same instant as b, later id
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, d)| d)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ids_are_monotone() {
+        let mut q = PlanQueue::new();
+        let a = q.add(t(5), ());
+        let b = q.add(t(1), ());
+        assert!(b > a, "ids reflect schedule order, not instant order");
+    }
+
+    #[test]
+    fn cancel_removes_a_pending_plan() {
+        let mut q = PlanQueue::new();
+        let a = q.add(t(10), "a");
+        let _b = q.add(t(20), "b");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let (at, _, d) = q.pop().unwrap();
+        assert_eq!((at, d), (t(20), "b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = PlanQueue::new();
+        let a = q.add(t(1), "a");
+        q.add(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek().map(|(at, _)| at), Some(t(2)));
+    }
+
+    #[test]
+    fn interleaved_adds_and_pops_stay_ordered() {
+        let mut q = PlanQueue::new();
+        q.add(t(30), 30);
+        q.add(t(10), 10);
+        let (at, _, d) = q.pop().unwrap();
+        assert_eq!((at, d), (t(10), 10));
+        q.add(t(20), 20);
+        let (at, _, d) = q.pop().unwrap();
+        assert_eq!((at, d), (t(20), 20));
+        let (at, _, d) = q.pop().unwrap();
+        assert_eq!((at, d), (t(30), 30));
+        assert_eq!(q.pop().map(|(_, _, d)| d), None);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-97eb37738a970554.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-97eb37738a970554: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advisor-a906b272270ec835.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/debug/deps/advisor-a906b272270ec835: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

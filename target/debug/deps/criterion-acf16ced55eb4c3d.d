@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-acf16ced55eb4c3d.d: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-acf16ced55eb4c3d.rlib: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-acf16ced55eb4c3d.rmeta: .local-deps/criterion/src/lib.rs
+
+.local-deps/criterion/src/lib.rs:

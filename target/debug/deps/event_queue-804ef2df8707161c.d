@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_queue-804ef2df8707161c.d: tests/event_queue.rs
+
+/root/repo/target/debug/deps/event_queue-804ef2df8707161c: tests/event_queue.rs
+
+tests/event_queue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_queue-e70d8cdf2e85a269.d: tests/event_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_queue-e70d8cdf2e85a269.rmeta: tests/event_queue.rs Cargo.toml
+
+tests/event_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

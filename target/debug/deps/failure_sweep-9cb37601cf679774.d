@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_sweep-9cb37601cf679774.d: crates/bench/src/bin/failure_sweep.rs
+
+/root/repo/target/debug/deps/failure_sweep-9cb37601cf679774: crates/bench/src/bin/failure_sweep.rs
+
+crates/bench/src/bin/failure_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_datapath-3353248ea133056d.d: crates/bench/src/bin/fig10_datapath.rs
+
+/root/repo/target/debug/deps/fig10_datapath-3353248ea133056d: crates/bench/src/bin/fig10_datapath.rs
+
+crates/bench/src/bin/fig10_datapath.rs:

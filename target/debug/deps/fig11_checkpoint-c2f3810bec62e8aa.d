@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_checkpoint-c2f3810bec62e8aa.d: crates/bench/src/bin/fig11_checkpoint.rs
+
+/root/repo/target/debug/deps/fig11_checkpoint-c2f3810bec62e8aa: crates/bench/src/bin/fig11_checkpoint.rs
+
+crates/bench/src/bin/fig11_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_restore-01ed3600b8b6bb9a.d: crates/bench/src/bin/fig12_restore.rs
+
+/root/repo/target/debug/deps/fig12_restore-01ed3600b8b6bb9a: crates/bench/src/bin/fig12_restore.rs
+
+crates/bench/src/bin/fig12_restore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_breakdown-92567fcafdce9912.d: crates/bench/src/bin/fig13_breakdown.rs
+
+/root/repo/target/debug/deps/fig13_breakdown-92567fcafdce9912: crates/bench/src/bin/fig13_breakdown.rs
+
+crates/bench/src/bin/fig13_breakdown.rs:

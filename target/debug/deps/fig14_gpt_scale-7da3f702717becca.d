@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_gpt_scale-7da3f702717becca.d: crates/bench/src/bin/fig14_gpt_scale.rs
+
+/root/repo/target/debug/deps/fig14_gpt_scale-7da3f702717becca: crates/bench/src/bin/fig14_gpt_scale.rs
+
+crates/bench/src/bin/fig14_gpt_scale.rs:

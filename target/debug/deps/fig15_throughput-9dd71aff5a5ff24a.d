@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_throughput-9dd71aff5a5ff24a.d: crates/bench/src/bin/fig15_throughput.rs
+
+/root/repo/target/debug/deps/fig15_throughput-9dd71aff5a5ff24a: crates/bench/src/bin/fig15_throughput.rs
+
+crates/bench/src/bin/fig15_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_gpu_util-e656c8f259ffb5cd.d: crates/bench/src/bin/fig16_gpu_util.rs
+
+/root/repo/target/debug/deps/fig16_gpu_util-e656c8f259ffb5cd: crates/bench/src/bin/fig16_gpu_util.rs
+
+crates/bench/src/bin/fig16_gpu_util.rs:

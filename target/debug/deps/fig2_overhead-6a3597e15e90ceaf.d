@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_overhead-6a3597e15e90ceaf.d: crates/bench/src/bin/fig2_overhead.rs
+
+/root/repo/target/debug/deps/fig2_overhead-6a3597e15e90ceaf: crates/bench/src/bin/fig2_overhead.rs
+
+crates/bench/src/bin/fig2_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_timeline-660b98468940ba0d.d: crates/bench/src/bin/fig9_timeline.rs
+
+/root/repo/target/debug/deps/fig9_timeline-660b98468940ba0d: crates/bench/src/bin/fig9_timeline.rs
+
+crates/bench/src/bin/fig9_timeline.rs:

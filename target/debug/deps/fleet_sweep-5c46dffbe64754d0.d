@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_sweep-5c46dffbe64754d0.d: crates/bench/src/bin/fleet_sweep.rs
+
+/root/repo/target/debug/deps/fleet_sweep-5c46dffbe64754d0: crates/bench/src/bin/fleet_sweep.rs
+
+crates/bench/src/bin/fleet_sweep.rs:

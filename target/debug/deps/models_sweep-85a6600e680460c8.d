@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_sweep-85a6600e680460c8.d: crates/bench/src/bin/models_sweep.rs
+
+/root/repo/target/debug/deps/models_sweep-85a6600e680460c8: crates/bench/src/bin/models_sweep.rs
+
+crates/bench/src/bin/models_sweep.rs:

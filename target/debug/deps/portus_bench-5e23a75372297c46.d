@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portus_bench-5e23a75372297c46.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/debug/deps/portus_bench-5e23a75372297c46: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:

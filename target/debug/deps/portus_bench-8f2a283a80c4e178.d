@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portus_bench-8f2a283a80c4e178.d: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/debug/deps/libportus_bench-8f2a283a80c4e178.rlib: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+/root/repo/target/debug/deps/libportus_bench-8f2a283a80c4e178.rmeta: crates/bench/src/lib.rs crates/bench/src/analytic.rs crates/bench/src/realplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analytic.rs:
+crates/bench/src/realplane.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/portus_format-bb675f6d08849f7f.d: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+/root/repo/target/debug/deps/portus_format-bb675f6d08849f7f: crates/format/src/lib.rs crates/format/src/container.rs crates/format/src/cost.rs crates/format/src/error.rs
+
+crates/format/src/lib.rs:
+crates/format/src/container.rs:
+crates/format/src/cost.rs:
+crates/format/src/error.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_mem-e9e578c4c0009521.d: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+/root/repo/target/debug/deps/portus_mem-e9e578c4c0009521: crates/mem/src/lib.rs crates/mem/src/buffer.rs crates/mem/src/error.rs crates/mem/src/gpu.rs crates/mem/src/host.rs crates/mem/src/segment.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/error.rs:
+crates/mem/src/gpu.rs:
+crates/mem/src/host.rs:
+crates/mem/src/segment.rs:

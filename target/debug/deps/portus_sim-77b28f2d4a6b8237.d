@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/portus_sim-77b28f2d4a6b8237.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/resource.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/portus_sim-77b28f2d4a6b8237.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/plan.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libportus_sim-77b28f2d4a6b8237.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/resource.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libportus_sim-77b28f2d4a6b8237.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/plan.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/clock.rs:
 crates/sim/src/cost.rs:
 crates/sim/src/engine.rs:
 crates/sim/src/metrics.rs:
+crates/sim/src/plan.rs:
 crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:
 crates/sim/src/trace.rs:

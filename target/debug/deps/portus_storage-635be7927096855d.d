@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/portus_storage-635be7927096855d.d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+/root/repo/target/debug/deps/portus_storage-635be7927096855d: crates/storage/src/lib.rs crates/storage/src/backend.rs crates/storage/src/beegfs.rs crates/storage/src/checkpointer.rs crates/storage/src/error.rs crates/storage/src/local.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backend.rs:
+crates/storage/src/beegfs.rs:
+crates/storage/src/checkpointer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/local.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/portus_train-878651402a353e83.d: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+/root/repo/target/debug/deps/portus_train-878651402a353e83: crates/train/src/lib.rs crates/train/src/sharded.rs
+
+crates/train/src/lib.rs:
+crates/train/src/sharded.rs:

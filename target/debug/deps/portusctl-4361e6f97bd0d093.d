@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portusctl-4361e6f97bd0d093.d: crates/core/src/bin/portusctl.rs
+
+/root/repo/target/debug/deps/portusctl-4361e6f97bd0d093: crates/core/src/bin/portusctl.rs
+
+crates/core/src/bin/portusctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portusctl-fd917bf2b97ea708.d: crates/core/src/bin/portusctl.rs
+
+/root/repo/target/debug/deps/portusctl-fd917bf2b97ea708: crates/core/src/bin/portusctl.rs
+
+crates/core/src/bin/portusctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/portusctl_cli-acd2def6dc2460a4.d: crates/core/tests/portusctl_cli.rs
+
+/root/repo/target/debug/deps/portusctl_cli-acd2def6dc2460a4: crates/core/tests/portusctl_cli.rs
+
+crates/core/tests/portusctl_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_portusctl=/root/repo/target/debug/portusctl

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-23be3035b2e53ea1.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-23be3035b2e53ea1: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

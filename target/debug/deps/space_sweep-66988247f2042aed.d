@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_sweep-66988247f2042aed.d: crates/bench/src/bin/space_sweep.rs
+
+/root/repo/target/debug/deps/space_sweep-66988247f2042aed: crates/bench/src/bin/space_sweep.rs
+
+crates/bench/src/bin/space_sweep.rs:

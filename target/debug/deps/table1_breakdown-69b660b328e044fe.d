@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-69b660b328e044fe.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/table1_breakdown-69b660b328e044fe: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

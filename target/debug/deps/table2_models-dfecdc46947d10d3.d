@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-dfecdc46947d10d3.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-dfecdc46947d10d3: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_throughput-01d26397c701ab98.d: crates/bench/src/bin/fig15_throughput.rs
+
+/root/repo/target/release/deps/fig15_throughput-01d26397c701ab98: crates/bench/src/bin/fig15_throughput.rs
+
+crates/bench/src/bin/fig15_throughput.rs:

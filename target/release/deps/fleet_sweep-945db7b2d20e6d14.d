@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_sweep-945db7b2d20e6d14.d: crates/bench/src/bin/fleet_sweep.rs
+
+/root/repo/target/release/deps/fleet_sweep-945db7b2d20e6d14: crates/bench/src/bin/fleet_sweep.rs
+
+crates/bench/src/bin/fleet_sweep.rs:

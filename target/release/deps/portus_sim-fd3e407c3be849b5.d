@@ -1,15 +1,17 @@
-/root/repo/target/release/deps/portus_sim-fd3e407c3be849b5.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/resource.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/portus_sim-fd3e407c3be849b5.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/plan.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libportus_sim-fd3e407c3be849b5.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/resource.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libportus_sim-fd3e407c3be849b5.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/plan.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libportus_sim-fd3e407c3be849b5.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/resource.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libportus_sim-fd3e407c3be849b5.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/plan.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/clock.rs:
 crates/sim/src/cost.rs:
 crates/sim/src/engine.rs:
 crates/sim/src/metrics.rs:
+crates/sim/src/plan.rs:
 crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:
 crates/sim/src/trace.rs:

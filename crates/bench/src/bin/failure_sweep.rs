@@ -12,7 +12,10 @@
 //! and what the retries cost in virtual time.
 
 use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError};
-use portus_cluster::{run_with_failures, Backend, JobShape, Policy, TrainingConfig};
+use portus_cluster::{
+    daemon_loss_report, replica_set, run_fleet, run_with_failures, Backend, FleetConfig, JobShape,
+    PlacementConfig, Policy, TrainingConfig,
+};
 use portus_dnn::{test_spec, zoo, IterationProfile, Materialization, ModelInstance};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
@@ -95,8 +98,9 @@ fn datapath_fault_sweep() -> serde_json::Value {
         DaemonConfig::default().verb_retries
     );
     println!(
-        "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13} {:>11} {:>11}",
-        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "mean ckpt ms", "p50 ms", "p99 ms"
+        "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>9} {:>13} {:>11} {:>11}",
+        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "rb fails", "mean ckpt ms",
+        "p50 ms", "p99 ms"
     );
     let mut rows = Vec::new();
     for (label, fault) in cases {
@@ -140,9 +144,9 @@ fn datapath_fault_sweep() -> serde_json::Value {
                 (h.p50() as f64 / 1e6, h.p99() as f64 / 1e6)
             });
         println!(
-            "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13.3} {:>11.3} {:>11.3}",
-            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots, mean_ms,
-            p50_ms, p99_ms
+            "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>9} {:>13.3} {:>11.3} {:>11.3}",
+            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots,
+            metrics.rollback_failures, mean_ms, p50_ms, p99_ms
         );
         rows.push(serde_json::json!({
             "plan": label,
@@ -151,6 +155,7 @@ fn datapath_fault_sweep() -> serde_json::Value {
             "failed_verbs": d.failed_verbs,
             "retried_verbs": d.retried_verbs,
             "rolled_back_slots": d.rolled_back_slots,
+            "rollback_failures": metrics.rollback_failures,
             "mean_checkpoint_ms": mean_ms,
             "p50_checkpoint_ms": p50_ms,
             "p99_checkpoint_ms": p99_ms,
@@ -238,16 +243,98 @@ fn striped_fault_sweep() -> serde_json::Value {
     serde_json::json!(rows)
 }
 
+/// Daemon-loss sweep on the fleet simulation: kill one daemon
+/// mid-checkpoint and compare replication factors. At k=1 every
+/// checkpoint whose only copy lived on the dead daemon is gone; at
+/// k=2 the surviving replica keeps every client at zero validated
+/// loss while the recovery epoch fences the dead daemon's in-flight
+/// writes and re-replicates its stripes onto survivors.
+fn daemon_kill_sweep() -> serde_json::Value {
+    let m = CostModel::icdcs24();
+    let fleet = |k: usize| {
+        let mut cfg = FleetConfig::uniform(
+            4,
+            4,
+            JobShape::single(1 << 30, 64),
+            IterationProfile::from_total(SimDuration::from_millis(350)),
+            Policy::PortusSync { every: 10 },
+            60,
+        );
+        cfg.seed = 7;
+        cfg.with_placement(PlacementConfig::mirrored(k))
+    };
+    // Aim the kill at the midpoint of client-0's second checkpoint
+    // pull (located on a kill-free dry run) and point it at client-0's
+    // rendezvous primary — a genuinely mid-checkpoint loss on a daemon
+    // that holds checkpoints that matter.
+    let dry = run_fleet(&m, &fleet(1));
+    let span = dry
+        .spans
+        .iter()
+        .filter(|s| s.model == "client-0" && s.op == TraceOp::Checkpoint && s.stage == Stage::Total)
+        .nth(1)
+        .expect("client-0 checkpoints at least twice");
+    let at = (span.start + span.end.saturating_since(span.start) / 2)
+        .saturating_since(portus_sim::SimTime::ZERO);
+    let victim = replica_set("client-0", &[true; 4], 1)[0];
+
+    println!();
+    println!(
+        "Daemon-loss sweep — 4 clients / 4 daemons, 1 GiB jobs, kill daemon {victim} at {:.1} s",
+        at.as_secs_f64()
+    );
+    println!(
+        "{:<9} {:>11} {:>7} {:>8} {:>13} {:>10} {:>9} {:>10}",
+        "replicas", "lost ckpts", "fenced", "repairs", "repair bytes", "failovers", "lost it",
+        "zero-loss"
+    );
+    let mut rows = Vec::new();
+    for k in [1usize, 2] {
+        let cfg = fleet(k).with_kill(victim, at);
+        let out = run_fleet(&m, &cfg);
+        let report = daemon_loss_report(&cfg, &out);
+        println!(
+            "{:<9} {:>11} {:>7} {:>8} {:>13} {:>10} {:>9} {:>10}",
+            k,
+            report.failed_checkpoints,
+            report.fenced_active,
+            report.repairs,
+            report.repair_bytes,
+            report.restore_failovers,
+            report.lost_iterations,
+            if report.zero_loss { "yes" } else { "no" },
+        );
+        rows.push(serde_json::json!({
+            "replicas": k,
+            "killed": report.killed,
+            "failed_checkpoints": report.failed_checkpoints,
+            "fenced_active": report.fenced_active,
+            "repairs": report.repairs,
+            "repair_bytes": report.repair_bytes,
+            "restore_failovers": report.restore_failovers,
+            "lost_iterations": report.lost_iterations,
+            "zero_loss": report.zero_loss,
+            "makespan_seconds": out.makespan.as_secs_f64(),
+            "recovery_epoch": out.epoch,
+        }));
+    }
+    println!("shape: one replica loses whatever only the dead daemon held; two replicas");
+    println!("fence, repair onto survivors, and lose nothing validated.");
+    serde_json::json!(rows)
+}
+
 fn main() {
     let goodput = goodput_sweep();
     let faults = datapath_fault_sweep();
     let striped = striped_fault_sweep();
+    let kills = daemon_kill_sweep();
     let path = portus_bench::write_experiment(
         "failure_sweep",
         &serde_json::json!({
             "goodput": goodput,
             "datapath_faults": faults,
             "striped_datapath_faults": striped,
+            "daemon_kills": kills,
         }),
     );
     println!("wrote {}", path.display());

@@ -8,7 +8,7 @@
 //! *contending* for one daemon's NIC serialize their pulls (makespan
 //! and checkpoint-latency p99 grow with the client count).
 
-use portus_cluster::{run_fleet, FleetConfig, JobShape, Policy};
+use portus_cluster::{run_fleet, FleetConfig, JobShape, PlacementConfig, Policy};
 use portus_dnn::IterationProfile;
 use portus_sim::{CostModel, SimDuration, Stage, TraceOp};
 
@@ -69,6 +69,55 @@ fn main() {
     println!(
         "\nIndependent daemons hold makespan at 1x solo; a shared NIC serializes only the pulls."
     );
-    let path = portus_bench::write_experiment("fleet_sweep", &serde_json::json!(json));
+
+    // Replication axis: the same fleet with every checkpoint mirrored
+    // to k rendezvous-placed daemons. k=2 doubles the pull work, so
+    // its makespan must not come in below k=1 — the sanity check CI
+    // leans on.
+    println!("\nReplication axis — 4 clients / 4 daemons, rendezvous placement");
+    println!(
+        "{:<9} {:>12} {:>16} {:>14}",
+        "replicas", "makespan(s)", "replica writes", "stall/client(s)"
+    );
+    let mut makespans = Vec::new();
+    let mut replication = Vec::new();
+    for k in [1usize, 2] {
+        let cfg = config(4, 4).with_placement(PlacementConfig::mirrored(k));
+        let out = run_fleet(&m, &cfg);
+        let replica_writes: u64 = out.metrics.fleet.iter().map(|d| d.replica_writes).sum();
+        let stall: f64 = out
+            .clients
+            .iter()
+            .map(|c| c.checkpoint_stall.as_secs_f64())
+            .sum::<f64>()
+            / out.clients.len() as f64;
+        println!(
+            "{:<9} {:>12.1} {:>16} {:>14.2}",
+            k,
+            out.makespan.as_secs_f64(),
+            replica_writes,
+            stall
+        );
+        makespans.push(out.makespan);
+        replication.push(serde_json::json!({
+            "replicas": k,
+            "makespan_seconds": out.makespan.as_secs_f64(),
+            "replica_writes": replica_writes,
+            "mean_client_stall_seconds": stall,
+        }));
+    }
+    assert!(
+        makespans[1] >= makespans[0],
+        "mirroring to 2 daemons cannot beat 1 replica: {:?}",
+        makespans
+    );
+
+    let path = portus_bench::write_experiment(
+        "fleet_sweep",
+        &serde_json::json!({
+            "topology": json,
+            "replication": replication,
+        }),
+    );
     println!("wrote {}", path.display());
 }

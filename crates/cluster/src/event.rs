@@ -21,12 +21,13 @@ use std::rc::Rc;
 
 use portus_dnn::IterationProfile;
 use portus_sim::{
-    ActorId, CostModel, Engine, Metrics, MetricsSnapshot, ProgressReport, Resource, SimDuration,
-    SimTime, SpanRecord, Stage, TraceOp, Tracer,
+    ActorId, CostModel, DaemonFleetStats, Engine, Metrics, MetricsSnapshot, ProgressReport,
+    Resource, SimDuration, SimTime, SpanRecord, Stage, TraceOp, Tracer,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::ops::{portus_checkpoint_cost, torch_save_cost, JobShape};
+use crate::placement::{replica_order, stripe_plan, PlacementConfig};
 use crate::policy::Policy;
 
 /// One training client of the fleet.
@@ -46,6 +47,17 @@ pub struct ClientSpec {
     pub iterations: u64,
 }
 
+/// A scheduled daemon loss: at `at`, the daemon's NIC stops granting,
+/// its in-flight Active writes are fenced by the recovery epoch, and
+/// a rebalance pass re-registers its models on survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonKill {
+    /// Index of the daemon to kill.
+    pub daemon: usize,
+    /// Virtual instant of the loss (offset from the run origin).
+    pub at: SimDuration,
+}
+
 /// A fleet run's static configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -62,6 +74,15 @@ pub struct FleetConfig {
     /// Sample a progress report every this much virtual time
     /// (`None` = no reports).
     pub progress_every: Option<SimDuration>,
+    /// Rendezvous placement with k-way replication and striping.
+    /// `None` (the default) keeps the legacy pinned-daemon datapath:
+    /// every Portus pull goes to `ClientSpec::daemon`, bit-for-bit
+    /// with pre-placement runs.
+    #[serde(default)]
+    pub placement: Option<PlacementConfig>,
+    /// Deterministic daemon-loss schedule (requires `placement`).
+    #[serde(default)]
+    pub kills: Vec<DaemonKill>,
     /// The training clients.
     pub clients: Vec<ClientSpec>,
 }
@@ -69,6 +90,12 @@ pub struct FleetConfig {
 impl FleetConfig {
     /// A uniform fleet: `clients` identical clients round-robined over
     /// `daemons` daemons.
+    /// # Panics
+    ///
+    /// Panics if `daemons` is zero: round-robining over an empty fleet
+    /// has no consistent meaning, and deferring the failure to
+    /// [`run_fleet`] would hand out a config that silently pinned
+    /// every client to daemon 0.
     pub fn uniform(
         daemons: usize,
         clients: usize,
@@ -77,16 +104,22 @@ impl FleetConfig {
         policy: Policy,
         iterations: u64,
     ) -> FleetConfig {
+        assert!(
+            daemons > 0,
+            "FleetConfig::uniform needs at least one daemon (got 0)"
+        );
         FleetConfig {
             daemons,
             nic_engines: 1,
             seed: 0,
             start_jitter: SimDuration::ZERO,
             progress_every: None,
+            placement: None,
+            kills: Vec::new(),
             clients: (0..clients)
                 .map(|i| ClientSpec {
                     name: format!("client-{i}"),
-                    daemon: i % daemons.max(1),
+                    daemon: i % daemons,
                     job,
                     profile,
                     policy,
@@ -95,6 +128,18 @@ impl FleetConfig {
                 .collect(),
         }
     }
+
+    /// Enables rendezvous placement (replication/striping) on `self`.
+    pub fn with_placement(mut self, p: PlacementConfig) -> FleetConfig {
+        self.placement = Some(p);
+        self
+    }
+
+    /// Schedules a daemon loss at `at`.
+    pub fn with_kill(mut self, daemon: usize, at: SimDuration) -> FleetConfig {
+        self.kills.push(DaemonKill { daemon, at });
+        self
+    }
 }
 
 /// One executed event, for deterministic-replay comparison.
@@ -102,9 +147,10 @@ impl FleetConfig {
 pub struct EventRecord {
     /// The event's instant.
     pub at: SimTime,
-    /// The acting client's name.
+    /// The acting client's name (or `daemon-D` for kill/repair events).
     pub actor: String,
-    /// What happened (`start`, `iter#k`, `ckpt#n->daemonD`, `done`).
+    /// What happened (`start`, `iter#k`, `ckpt#n->daemonD`, `kill`,
+    /// `repair ...`, `done`).
     pub kind: String,
 }
 
@@ -113,17 +159,45 @@ pub struct EventRecord {
 pub struct ClientResult {
     /// The client's name.
     pub name: String,
-    /// The daemon that served it.
+    /// The daemon that served it (the configured pin; under placement,
+    /// the rendezvous order decides per checkpoint).
     pub daemon: usize,
     /// Iterations executed.
     pub iterations: u64,
-    /// Checkpoints completed.
+    /// Checkpoints completed (under placement: attempts where at least
+    /// one replica of every stripe survived to validation).
     pub checkpoints: u64,
+    /// Checkpoint attempts that lost every replica of some stripe to a
+    /// daemon kill (always zero without a kill schedule).
+    #[serde(default)]
+    pub failed_checkpoints: u64,
+    /// Highest checkpoint version the client saw validate (`None` on
+    /// the legacy pinned path, where every checkpoint validates).
+    #[serde(default)]
+    pub latest_done_version: Option<u64>,
     /// The instant the client finished (including drain of in-flight
     /// background work).
     pub finished_at: SimTime,
     /// Total time training was stalled on checkpointing.
     pub checkpoint_stall: SimDuration,
+}
+
+/// End-of-run restore accounting for one client's model: which version
+/// a post-run restore would serve, from where, and how many dead
+/// replicas the client would fall through (the `DatapathFailed`
+/// fall-through count) on the way.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelRestore {
+    /// The owning client/model name.
+    pub client: String,
+    /// Latest version with every stripe on a surviving daemon
+    /// (`None` = nothing restorable, i.e. lost work).
+    pub version: Option<u64>,
+    /// Surviving daemons that serve the stripes, in rendezvous order.
+    pub served_by: Vec<usize>,
+    /// Dead replicas contacted (and failed over) before the version
+    /// was fully served.
+    pub failovers: u64,
 }
 
 /// The outcome of a fleet run.
@@ -144,6 +218,27 @@ pub struct FleetResult {
     pub makespan: SimDuration,
     /// Events executed by the engine.
     pub events_run: u64,
+    /// Final recovery epoch (one bump per daemon loss; 0 = no losses).
+    pub epoch: u64,
+    /// Post-run restore accounting, in client order (empty without
+    /// placement).
+    pub restores: Vec<ModelRestore>,
+}
+
+/// One replicated stripe write under placement: where a copy landed
+/// and when its pull completed on that daemon's NIC.
+struct WriteRec {
+    stripe: u32,
+    daemon: usize,
+    end: SimTime,
+    bytes: u64,
+}
+
+/// One checkpoint attempt's placement record.
+struct CkptRec {
+    version: u64,
+    stripes: u32,
+    writes: Vec<WriteRec>,
 }
 
 /// Mutable per-client run state.
@@ -152,12 +247,16 @@ struct ClientRun {
     actor: ActorId,
     done: u64,
     checkpoints: u64,
+    failed_checkpoints: u64,
+    latest_done: Option<u64>,
     stall: SimDuration,
     /// CheckFreq's background persist drain instant.
     background_until: SimTime,
     /// Portus-async in-flight pull drain instant.
     pull_until: SimTime,
     finished_at: SimTime,
+    /// Placement write history (empty on the legacy pinned path).
+    ckpts: Vec<CkptRec>,
 }
 
 /// Fleet-wide shared state threaded through event closures.
@@ -170,6 +269,14 @@ struct Fleet {
     metrics: Metrics,
     events: Vec<EventRecord>,
     next_req_id: u64,
+    placement: Option<PlacementConfig>,
+    /// Liveness as of the current virtual instant.
+    alive: Vec<bool>,
+    /// Static kill schedule per daemon (`None` = survives the run).
+    kill_at: Vec<Option<SimTime>>,
+    /// Cluster-wide recovery epoch: bumped once per daemon loss.
+    epoch: u64,
+    per_daemon: Vec<DaemonFleetStats>,
 }
 
 impl Fleet {
@@ -213,6 +320,239 @@ impl Fleet {
         }
         grant.end
     }
+
+    /// Whether daemon `d` is up at instant `t` under the static kill
+    /// schedule.
+    fn up_at(&self, d: usize, t: SimTime) -> bool {
+        self.kill_at[d].is_none_or(|k| t < k)
+    }
+
+    /// Whether a stripe write survived to validation: its pull drained
+    /// before its daemon's kill instant (always true for survivors).
+    fn validated(&self, w: &WriteRec) -> bool {
+        self.kill_at[w.daemon].is_none_or(|k| w.end <= k)
+    }
+
+    /// Submits one *replicated* checkpoint for `client` under the
+    /// placement config: every stripe is pulled by each of its target
+    /// daemons' NICs, the client completes at the max of the surviving
+    /// pulls, and the attempt validates iff every stripe keeps at
+    /// least one copy that drained before its daemon died. Returns
+    /// `(client-visible end, validated)`.
+    fn submit_replicated(
+        &mut self,
+        eng: &mut Engine,
+        client: usize,
+        submit: SimTime,
+        version: u64,
+    ) -> (SimTime, bool) {
+        let (job, model) = {
+            let c = &self.clients[client];
+            (c.spec.job, c.spec.name.clone())
+        };
+        let p = self.placement.expect("placement path needs a config");
+        let plan = stripe_plan(&model, job, &self.alive, &p);
+        if plan.is_empty() {
+            // Every daemon is dead: the checkpoint has nowhere to go.
+            return (submit, false);
+        }
+        let stripes = plan.len() as u32;
+        let mut rec = CkptRec { version, stripes, writes: Vec::new() };
+        let mut client_end = submit;
+        let mut first_start = SimTime::ZERO + SimDuration::from_nanos(u64::MAX);
+        let mut all_ok = true;
+        for stripe in &plan {
+            let sjob = JobShape {
+                total_bytes: stripe.bytes,
+                tensor_count: stripe.tensors,
+                ..job
+            };
+            let cost = portus_checkpoint_cost(&self.model, sjob);
+            let mut stripe_ok = false;
+            for (j, &d) in stripe.targets.iter().enumerate() {
+                let grant = self.nics[d].schedule(submit, cost);
+                eng.advance_actor_to(self.daemon_actors[d], grant.end);
+                first_start = first_start.min(grant.start);
+                self.per_daemon[d].writes += 1;
+                self.per_daemon[d].bytes += stripe.bytes;
+                if j > 0 {
+                    self.per_daemon[d].replica_writes += 1;
+                }
+                let w = WriteRec {
+                    stripe: stripe.index,
+                    daemon: d,
+                    end: grant.end,
+                    bytes: stripe.bytes,
+                };
+                // A pull racing its daemon's death completes (from the
+                // client's view) at the kill: the connection drops and
+                // the client stops waiting on that replica.
+                let visible = match self.kill_at[d] {
+                    Some(k) if grant.end > k => k,
+                    _ => grant.end,
+                };
+                client_end = client_end.max(visible);
+                stripe_ok |= self.validated(&w);
+                rec.writes.push(w);
+            }
+            all_ok &= stripe_ok;
+        }
+        self.clients[client].ckpts.push(rec);
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        for (stage, start, end) in [
+            (Stage::DispatchWait, submit, first_start),
+            (Stage::Total, submit, client_end),
+        ] {
+            self.tracer.record(SpanRecord {
+                req_id,
+                op: TraceOp::Checkpoint,
+                stage,
+                model: model.clone(),
+                start,
+                end,
+                round: 0,
+                lane: 0,
+            });
+            self.metrics
+                .record_stage(TraceOp::Checkpoint, stage, end.saturating_since(start));
+        }
+        (client_end, all_ok)
+    }
+
+    /// The latest version of `client`'s model whose every stripe has a
+    /// copy validated by `ok(write)` — the fleet-level Done check.
+    fn restorable_version(&self, client: usize, ok: impl Fn(&WriteRec) -> bool) -> Option<u64> {
+        self.clients[client]
+            .ckpts
+            .iter()
+            .rev()
+            .find(|c| {
+                (0..c.stripes).all(|s| c.writes.iter().any(|w| w.stripe == s && ok(w)))
+            })
+            .map(|c| c.version)
+    }
+}
+
+/// Kills daemon `d` at the engine's current instant: bumps the
+/// recovery epoch, fences its in-flight Active writes, and runs the
+/// rebalance pass — every model's latest validated version is
+/// re-replicated onto its post-loss rendezvous targets by copying
+/// stripes from surviving holders (grants on both NICs).
+fn kill_daemon(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, d: usize) {
+    let mut f = fleet.borrow_mut();
+    if !f.alive[d] {
+        return;
+    }
+    let now = eng.now();
+    f.alive[d] = false;
+    f.epoch += 1;
+    f.per_daemon[d].killed = true;
+    let epoch = f.epoch;
+    f.events.push(EventRecord {
+        at: now,
+        actor: format!("daemon-{d}"),
+        kind: format!("kill epoch#{epoch}"),
+    });
+
+    // Fence: writes in flight on the dead daemon are Active slots its
+    // MIndex will never seal; the epoch marks them reclaim-eligible
+    // without touching any live replica.
+    let fenced: u64 = f
+        .clients
+        .iter()
+        .flat_map(|c| c.ckpts.iter())
+        .flat_map(|c| c.writes.iter())
+        .filter(|w| w.daemon == d && w.end > now)
+        .count() as u64;
+    f.per_daemon[d].fenced_active += fenced;
+
+    // Rebalance: re-register each model on its post-loss replica
+    // targets and repair missing stripe copies from survivors.
+    let p = f.placement.expect("kills require placement");
+    for ci in 0..f.clients.len() {
+        // A copy is repair-eligible as a source if it validated before
+        // `now` on a daemon still up at `now`.
+        let Some(target_version) = f.restorable_version(ci, |w| {
+            w.end <= now && f.up_at(w.daemon, now) && f.validated(w)
+        }) else {
+            continue;
+        };
+        let (model, job) = {
+            let c = &f.clients[ci];
+            (c.spec.name.clone(), c.spec.job)
+        };
+        let order = replica_order(&model, &f.alive);
+        if order.is_empty() {
+            continue;
+        }
+        let k = p.replicas.clamp(1, order.len());
+        let rec_idx = f.clients[ci]
+            .ckpts
+            .iter()
+            .position(|c| c.version == target_version)
+            .expect("restorable version exists");
+        let stripes = f.clients[ci].ckpts[rec_idx].stripes;
+        let mut rebalanced: Vec<usize> = Vec::new();
+        for s in 0..stripes {
+            let holders: Vec<usize> = f.clients[ci].ckpts[rec_idx]
+                .writes
+                .iter()
+                .filter(|w| {
+                    w.stripe == s && w.end <= now && f.up_at(w.daemon, now) && f.validated(w)
+                })
+                .map(|w| w.daemon)
+                .collect();
+            let Some(&src) = holders.first() else { continue };
+            let bytes = f.clients[ci].ckpts[rec_idx]
+                .writes
+                .iter()
+                .find(|w| w.stripe == s)
+                .map_or(0, |w| w.bytes);
+            for j in 0..k {
+                let t = order[(s as usize + j) % order.len()];
+                if holders.contains(&t) {
+                    continue;
+                }
+                // Copy the stripe survivor→target over the fabric:
+                // a read grant on the source NIC, a write grant on
+                // the target NIC, completion at the max.
+                let sjob = JobShape {
+                    total_bytes: bytes,
+                    tensor_count: (job.tensor_count * bytes)
+                        .checked_div(job.total_bytes)
+                        .unwrap_or(0)
+                        .max(1),
+                    ..job
+                };
+                let cost = portus_checkpoint_cost(&f.model, sjob);
+                let read = f.nics[src].schedule(now, cost);
+                let write = f.nics[t].schedule(now, cost);
+                let end = read.end.max(write.end);
+                eng.advance_actor_to(f.daemon_actors[src], read.end);
+                eng.advance_actor_to(f.daemon_actors[t], write.end);
+                f.per_daemon[t].repairs_in += 1;
+                f.per_daemon[t].repair_bytes += bytes;
+                if !rebalanced.contains(&t) {
+                    rebalanced.push(t);
+                    f.per_daemon[t].rebalanced_in += 1;
+                }
+                f.events.push(EventRecord {
+                    at: now,
+                    actor: format!("daemon-{d}"),
+                    kind: format!(
+                        "repair {model} v{target_version} stripe{s} daemon{src}->daemon{t}"
+                    ),
+                });
+                f.clients[ci].ckpts[rec_idx].writes.push(WriteRec {
+                    stripe: s,
+                    daemon: t,
+                    end,
+                    bytes,
+                });
+            }
+        }
+    }
 }
 
 /// Runs one iteration event for `client`, then schedules the next one
@@ -232,7 +572,47 @@ fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
         .is_some_and(|k| k > 0 && i.is_multiple_of(k as u64));
 
     // --- checkpoint actions at the start of the iteration ---
-    if trigger {
+    let placed = f.placement.is_some()
+        && matches!(policy, Policy::PortusSync { .. } | Policy::PortusAsync { .. });
+    if trigger && placed {
+        // Placement path: the pull fans out to the rendezvous targets
+        // (k replicas per stripe) instead of the configured pin.
+        let version =
+            f.clients[client].checkpoints + f.clients[client].failed_checkpoints + 1;
+        if matches!(policy, Policy::PortusAsync { .. }) {
+            let wait = f.clients[client].pull_until.saturating_since(cursor);
+            cursor += wait;
+            f.clients[client].stall += wait;
+        }
+        let targets: Vec<usize> = {
+            let spec_job = f.clients[client].spec.job;
+            let name = f.clients[client].spec.name.clone();
+            let p = f.placement.expect("placed path");
+            let mut t: Vec<usize> = stripe_plan(&name, spec_job, &f.alive, &p)
+                .iter()
+                .flat_map(|s| s.targets.iter().copied())
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        f.log(cursor, client, format!("ckpt#{version}->daemons{targets:?}"));
+        let (end, ok) = f.submit_replicated(eng, client, cursor, version);
+        if ok {
+            f.clients[client].checkpoints += 1;
+            f.clients[client].latest_done = Some(version);
+        } else {
+            f.clients[client].failed_checkpoints += 1;
+            f.log(end, client, format!("ckpt#{version} lost (no surviving replica)"));
+        }
+        match policy {
+            Policy::PortusSync { .. } => {
+                f.clients[client].stall += end.saturating_since(cursor);
+                cursor = end;
+            }
+            _ => f.clients[client].pull_until = end,
+        }
+    } else if trigger {
         f.clients[client].checkpoints += 1;
         let n = f.clients[client].checkpoints;
         let daemon = f.clients[client].spec.daemon;
@@ -307,8 +687,10 @@ fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
 ///
 /// # Panics
 ///
-/// Panics if `cfg.daemons` is zero, `cfg.clients` is empty, or a client
-/// names a daemon index out of range.
+/// Panics if `cfg.daemons` is zero, `cfg.clients` is empty, a client
+/// names a daemon index out of range, a kill names a daemon out of
+/// range, or kills are scheduled without a placement config (there is
+/// no replication to survive them).
 pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
     assert!(cfg.daemons > 0, "a fleet needs at least one daemon");
     assert!(!cfg.clients.is_empty(), "a fleet needs at least one client");
@@ -320,6 +702,22 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
             c.daemon,
             cfg.daemons
         );
+    }
+    assert!(
+        cfg.kills.is_empty() || cfg.placement.is_some(),
+        "a kill schedule needs a placement config"
+    );
+    for k in &cfg.kills {
+        assert!(
+            k.daemon < cfg.daemons,
+            "kill names daemon {} of {}",
+            k.daemon,
+            cfg.daemons
+        );
+    }
+    if let Some(p) = &cfg.placement {
+        assert!(p.replicas >= 1, "placement needs at least one replica");
+        assert!(p.stripe_width >= 1, "placement needs stripe width >= 1");
     }
 
     let mut eng = Engine::with_seed(cfg.seed);
@@ -343,12 +741,22 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
             actor: eng.add_actor(&spec.name),
             done: 0,
             checkpoints: 0,
+            failed_checkpoints: 0,
+            latest_done: None,
             stall: SimDuration::ZERO,
             background_until: SimTime::ZERO,
             pull_until: SimTime::ZERO,
             finished_at: SimTime::ZERO,
+            ckpts: Vec::new(),
         })
         .collect();
+
+    // The static kill schedule: earliest kill wins per daemon.
+    let mut kill_at: Vec<Option<SimTime>> = vec![None; cfg.daemons];
+    for k in &cfg.kills {
+        let at = SimTime::ZERO + k.at;
+        kill_at[k.daemon] = Some(kill_at[k.daemon].map_or(at, |p: SimTime| p.min(at)));
+    }
 
     let fleet = Rc::new(RefCell::new(Fleet {
         model: m.clone(),
@@ -359,7 +767,21 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
         metrics: Metrics::new(),
         events: Vec::new(),
         next_req_id: 1,
+        placement: cfg.placement,
+        alive: vec![true; cfg.daemons],
+        kill_at: kill_at.clone(),
+        epoch: 0,
+        per_daemon: (0..cfg.daemons)
+            .map(|d| DaemonFleetStats { daemon: d as u64, ..DaemonFleetStats::default() })
+            .collect(),
     }));
+
+    for (d, at) in kill_at.iter().enumerate() {
+        if let Some(at) = *at {
+            let fleet = fleet.clone();
+            eng.schedule_at(at, move |e| kill_daemon(&fleet, e, d));
+        }
+    }
 
     // Seeded start jitter: each client gets its own forked stream, so
     // adding a client never perturbs another client's draw.
@@ -383,10 +805,16 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
     eng.run();
 
     let f = fleet.borrow();
+    // A dead daemon's NIC stops granting at its kill: whatever queue
+    // it had drains nowhere and must not stretch the makespan.
     let nic_drain = f
         .nics
         .iter()
-        .map(Resource::busy_until)
+        .enumerate()
+        .map(|(d, n)| match f.kill_at[d] {
+            Some(k) => n.busy_until().min(k),
+            None => n.busy_until(),
+        })
         .max()
         .unwrap_or(SimTime::ZERO);
     let makespan = f
@@ -397,6 +825,63 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
         .unwrap_or(SimTime::ZERO)
         .max(nic_drain)
         .saturating_since(SimTime::ZERO);
+
+    // Post-run restore accounting: for each model, the version a
+    // restore would serve and the dead replicas it falls through
+    // (each a `DatapathFailed` before the next replica answers).
+    let mut restores = Vec::new();
+    let mut restore_failovers = 0u64;
+    if cfg.placement.is_some() {
+        for (ci, c) in f.clients.iter().enumerate() {
+            let version = f.restorable_version(ci, |w| {
+                f.kill_at[w.daemon].is_none() && f.validated(w)
+            });
+            let mut served_by = Vec::new();
+            let mut failovers = 0u64;
+            if let Some(v) = version {
+                let rec = c.ckpts.iter().find(|r| r.version == v).expect("restorable");
+                let mut remaining: Vec<u32> = (0..rec.stripes).collect();
+                for d in replica_order(&c.spec.name, &vec![true; cfg.daemons]) {
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    let holds: Vec<u32> = rec
+                        .writes
+                        .iter()
+                        .filter(|w| w.daemon == d && remaining.contains(&w.stripe))
+                        .map(|w| w.stripe)
+                        .collect();
+                    if holds.is_empty() {
+                        continue;
+                    }
+                    if f.kill_at[d].is_some() {
+                        // The placement says this daemon holds stripes
+                        // we still need; contacting it fails and the
+                        // restore falls through to the next replica.
+                        failovers += 1;
+                    } else {
+                        remaining.retain(|s| !holds.contains(s));
+                        served_by.push(d);
+                    }
+                }
+            }
+            restore_failovers += failovers;
+            restores.push(ModelRestore {
+                client: c.spec.name.clone(),
+                version,
+                served_by,
+                failovers,
+            });
+        }
+    }
+
+    let mut metrics = f.metrics.snapshot();
+    if cfg.placement.is_some() {
+        metrics.fleet = f.per_daemon.clone();
+        metrics.recovery_epoch = f.epoch;
+        metrics.restore_failovers = restore_failovers;
+    }
+
     FleetResult {
         clients: f
             .clients
@@ -406,16 +891,20 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
                 daemon: c.spec.daemon,
                 iterations: c.done,
                 checkpoints: c.checkpoints,
+                failed_checkpoints: c.failed_checkpoints,
+                latest_done_version: c.latest_done,
                 finished_at: c.finished_at,
                 checkpoint_stall: c.stall,
             })
             .collect(),
         events: f.events.clone(),
         spans: f.tracer.spans(),
-        metrics: f.metrics.snapshot(),
+        metrics,
         progress: eng.progress_reports().to_vec(),
         makespan,
         events_run: eng.events_run(),
+        epoch: f.epoch,
+        restores,
     }
 }
 
@@ -562,5 +1051,119 @@ mod tests {
         let mut cfg = fleet(1, 1);
         cfg.clients[0].daemon = 3;
         run_fleet(&m, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one daemon (got 0)")]
+    fn uniform_rejects_zero_daemons_up_front() {
+        // The old `i % daemons.max(1)` masked this into a config that
+        // pinned everyone to daemon 0 and let run_fleet panic later.
+        fleet(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "kill schedule needs a placement config")]
+    fn kills_without_placement_panic() {
+        let m = CostModel::icdcs24();
+        let cfg = fleet(2, 2).with_kill(0, SimDuration::from_secs(1));
+        run_fleet(&m, &cfg);
+    }
+
+    use crate::placement::PlacementConfig;
+
+    fn replicated(daemons: usize, clients: usize, k: usize) -> FleetConfig {
+        fleet(daemons, clients).with_placement(PlacementConfig::mirrored(k))
+    }
+
+    #[test]
+    fn replication_fans_every_checkpoint_out_to_k_daemons() {
+        let m = CostModel::icdcs24();
+        let out = run_fleet(&m, &replicated(4, 2, 2));
+        for c in &out.clients {
+            assert_eq!(c.checkpoints, 5);
+            assert_eq!(c.failed_checkpoints, 0);
+        }
+        let fleet_stats = &out.metrics.fleet;
+        assert_eq!(fleet_stats.len(), 4);
+        let writes: u64 = fleet_stats.iter().map(|d| d.writes).sum();
+        let replicas: u64 = fleet_stats.iter().map(|d| d.replica_writes).sum();
+        // 2 clients x 5 checkpoints x 2 copies, half of them replicas.
+        assert_eq!(writes, 20);
+        assert_eq!(replicas, 10);
+        assert_eq!(out.epoch, 0);
+        for r in &out.restores {
+            assert_eq!(r.version, Some(5));
+            assert_eq!(r.failovers, 0);
+        }
+    }
+
+    #[test]
+    fn unreplicated_kill_loses_work_replicated_kill_does_not() {
+        let m = CostModel::icdcs24();
+        // Kill client-0's primary daemon after its last checkpoint
+        // validated (the 50-iteration run checkpoints for the 5th and
+        // final time around 18.4 s). With k=1 every copy it ever wrote
+        // lived on that daemon; with k=2 the replica survives.
+        let primary = crate::placement::replica_set("client-0", &[true, true, true], 1)[0];
+        let at = SimDuration::from_secs(19);
+        let lossy = run_fleet(&m, &replicated(3, 3, 1).with_kill(primary, at));
+        let safe = run_fleet(&m, &replicated(3, 3, 2).with_kill(primary, at));
+        assert_eq!(lossy.epoch, 1);
+        assert_eq!(safe.epoch, 1);
+        let lost = lossy.restores.iter().find(|r| r.client == "client-0").unwrap();
+        assert_eq!(
+            lost.version, None,
+            "k=1 must lose every checkpoint held only by the dead primary"
+        );
+        for r in &safe.restores {
+            assert_eq!(
+                r.version,
+                Some(5),
+                "k=2 must restore the latest version for {}",
+                r.client
+            );
+            assert!(
+                r.served_by.iter().all(|&d| d != primary),
+                "dead daemons cannot serve"
+            );
+        }
+        let served = safe.restores.iter().find(|r| r.client == "client-0").unwrap();
+        assert!(
+            served.failovers >= 1,
+            "restoring past a dead primary must fall through it"
+        );
+        assert!(safe.metrics.fleet[primary].killed);
+    }
+
+    #[test]
+    fn kill_schedules_replay_bit_for_bit() {
+        let m = CostModel::icdcs24();
+        let mut cfg = replicated(4, 6, 2)
+            .with_kill(2, SimDuration::from_secs(5))
+            .with_kill(0, SimDuration::from_secs(9));
+        cfg.seed = 99;
+        cfg.start_jitter = SimDuration::from_millis(150);
+        let a = run_fleet(&m, &cfg);
+        let b = run_fleet(&m, &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.restores, b.restores);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.epoch, 2);
+    }
+
+    #[test]
+    fn placement_none_stays_bit_for_bit_with_legacy() {
+        // The placement field must be inert when unset: a config that
+        // never mentions it replays the pre-placement event stream.
+        let m = CostModel::icdcs24();
+        let mut cfg = fleet(2, 4);
+        cfg.seed = 7;
+        let out = run_fleet(&m, &cfg);
+        assert!(out.metrics.fleet.is_empty());
+        assert!(out.restores.is_empty());
+        assert_eq!(out.epoch, 0);
+        assert!(out.events.iter().all(|e| !e.kind.starts_with("ckpt#1->daemons[")));
     }
 }

@@ -9,6 +9,7 @@
 use portus_sim::{CostModel, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::event::{FleetConfig, FleetResult};
 use crate::harness::TrainingConfig;
 use crate::ops::{portus_restore_cost, torch_load_gds_cost};
 use crate::policy::Policy;
@@ -34,6 +35,63 @@ impl FailureOutcome {
     pub fn goodput(&self) -> f64 {
         self.target_iterations as f64 / self.total_time.as_secs_f64()
     }
+}
+
+/// Fleet-level lost-work accounting after a daemon-kill schedule:
+/// what a [`crate::run_fleet`] run with kills actually cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonLossReport {
+    /// Daemons the schedule took down.
+    pub killed: Vec<usize>,
+    /// Checkpoint attempts that lost every replica of some stripe.
+    pub failed_checkpoints: u64,
+    /// In-flight Active writes fenced by the recovery epoch.
+    pub fenced_active: u64,
+    /// Stripe copies rebalance repaired onto survivors.
+    pub repairs: u64,
+    /// Bytes of repair traffic.
+    pub repair_bytes: u64,
+    /// Dead replicas restores fell through before being served.
+    pub restore_failovers: u64,
+    /// Iterations past each model's restorable version, summed: the
+    /// re-training the kills would cost.
+    pub lost_iterations: u64,
+    /// Whether every client restores its *latest validated* version —
+    /// the zero-loss criterion k-way replication exists to meet.
+    pub zero_loss: bool,
+}
+
+/// Summarizes daemon-loss damage from a placement-enabled fleet run.
+/// Covered iterations are derived from each client's checkpoint
+/// interval: version `v` was taken at iteration `v * interval`.
+pub fn daemon_loss_report(cfg: &FleetConfig, out: &FleetResult) -> DaemonLossReport {
+    let mut report = DaemonLossReport {
+        killed: out
+            .metrics
+            .fleet
+            .iter()
+            .filter(|d| d.killed)
+            .map(|d| d.daemon as usize)
+            .collect(),
+        restore_failovers: out.metrics.restore_failovers,
+        zero_loss: true,
+        ..DaemonLossReport::default()
+    };
+    for d in &out.metrics.fleet {
+        report.fenced_active += d.fenced_active;
+        report.repairs += d.repairs_in;
+        report.repair_bytes += d.repair_bytes;
+    }
+    for ((spec, c), r) in cfg.clients.iter().zip(&out.clients).zip(&out.restores) {
+        report.failed_checkpoints += c.failed_checkpoints;
+        let interval = u64::from(spec.policy.interval().unwrap_or(0));
+        let covered = r.version.map_or(0, |v| (v * interval).min(c.iterations));
+        report.lost_iterations += c.iterations - covered;
+        if r.version != c.latest_done_version {
+            report.zero_loss = false;
+        }
+    }
+    report
 }
 
 /// Cost of one restore under the run's policy (baselines use
@@ -129,6 +187,54 @@ mod tests {
             profile: IterationProfile::from_total(SimDuration::from_millis(350)),
             policy,
         }
+    }
+
+    #[test]
+    fn daemon_loss_report_sums_fleet_damage() {
+        use crate::placement::{replica_set, PlacementConfig};
+        use portus_sim::{Stage, TraceOp};
+        let m = CostModel::icdcs24();
+        let base = |k: usize| {
+            crate::event::FleetConfig::uniform(
+                4,
+                4,
+                JobShape::single(1_000_000_000, 300),
+                IterationProfile::from_total(SimDuration::from_millis(350)),
+                Policy::PortusSync { every: 10 },
+                50,
+            )
+            .with_placement(PlacementConfig::mirrored(k))
+        };
+        // Find client-0's second checkpoint on a dry run and kill its
+        // primary daemon at the pull's midpoint — a genuinely
+        // mid-checkpoint loss, deterministic per (config, seed).
+        let dry = crate::event::run_fleet(&m, &base(1));
+        let span = dry
+            .spans
+            .iter()
+            .filter(|s| {
+                s.model == "client-0" && s.op == TraceOp::Checkpoint && s.stage == Stage::Total
+            })
+            .nth(1)
+            .expect("client-0 checkpoints at least twice");
+        let mid = (span.start + span.end.saturating_since(span.start) / 2)
+            .saturating_since(portus_sim::SimTime::ZERO);
+        let primary = replica_set("client-0", &[true; 4], 1)[0];
+
+        let lossy_cfg = base(1).with_kill(primary, mid);
+        let lossy = daemon_loss_report(&lossy_cfg, &crate::event::run_fleet(&m, &lossy_cfg));
+        assert_eq!(lossy.killed, vec![primary]);
+        assert!(
+            lossy.failed_checkpoints > 0,
+            "k=1 loses the checkpoint in flight on the dead primary"
+        );
+        assert!(lossy.fenced_active > 0, "the epoch fences the in-flight write");
+
+        let safe_cfg = base(2).with_kill(primary, mid);
+        let safe = daemon_loss_report(&safe_cfg, &crate::event::run_fleet(&m, &safe_cfg));
+        assert!(safe.zero_loss, "k=2 must survive one mid-checkpoint loss");
+        assert_eq!(safe.failed_checkpoints, 0);
+        assert_eq!(safe.lost_iterations, 0, "every interval stays covered");
     }
 
     #[test]

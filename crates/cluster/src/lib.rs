@@ -36,14 +36,21 @@ mod event;
 mod failure;
 mod harness;
 pub mod ops;
+pub mod placement;
 mod policy;
 mod trace;
 
 pub use advisor::{advise, stall_per_checkpoint, Advice};
-pub use event::{run_fleet, ClientResult, ClientSpec, EventRecord, FleetConfig, FleetResult};
-pub use failure::{restore_cost, run_with_failures, FailureOutcome};
+pub use event::{
+    run_fleet, ClientResult, ClientSpec, DaemonKill, EventRecord, FleetConfig, FleetResult,
+    ModelRestore,
+};
+pub use failure::{
+    daemon_loss_report, restore_cost, run_with_failures, DaemonLossReport, FailureOutcome,
+};
 pub use harness::{run_training, RunResult, Segment, TrainingConfig};
 pub use ops::{Backend, JobShape, OpCost};
+pub use placement::{replica_order, replica_set, stripe_plan, PlacementConfig, Stripe};
 pub use policy::Policy;
 pub use trace::{
     mean_utilization, peak_utilization, run_chrome_trace, segment, utilization_trace, UtilSample,

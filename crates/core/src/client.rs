@@ -354,6 +354,23 @@ impl PortusClient {
     /// [`PortusError::Daemon`] wrapping `NoValidCheckpoint`, checksum
     /// failures, or structure mismatches.
     pub fn restore(&self, model: &ModelInstance) -> PortusResult<RestoreReport> {
+        self.restore_version(model, None)
+    }
+
+    /// [`Self::restore`], pinned to a specific `Done` version
+    /// (`None` = latest). Replicated and sharded clients use the pin
+    /// to settle every participant on one common checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`PortusError::NoValidCheckpoint`] if the requested version is
+    /// no longer on the daemon's PMem, plus everything
+    /// [`Self::restore`] can return.
+    pub fn restore_version(
+        &self,
+        model: &ModelInstance,
+        version: Option<u64>,
+    ) -> PortusResult<RestoreReport> {
         let mut mrs = Vec::with_capacity(model.tensors().len());
         let mut descs = Vec::with_capacity(model.tensors().len());
         for t in model.tensors() {
@@ -369,6 +386,7 @@ impl PortusClient {
             req_id,
             model: model.spec().name.clone(),
             tensors: descs,
+            version,
         })?;
         let raw = self.wait_reply(req_id);
         if raw.is_ok() {

@@ -617,8 +617,8 @@ fn handle_request(state: &DaemonState, pool: &QpPool, req: Request) -> Reply {
             },
             Err(e) => error_reply(req_id, e),
         },
-        Request::Restore { req_id, model, tensors } => {
-            match state.restore(pool, &model, &tensors, req_id) {
+        Request::Restore { req_id, model, tensors, version } => {
+            match state.restore(pool, &model, &tensors, version, req_id) {
                 Ok((version, bytes, elapsed)) => Reply::RestoreDone {
                     req_id,
                     version,
@@ -1276,6 +1276,7 @@ impl DaemonState {
     ) {
         if self.rollback_slot(mi, slot, pre, data_landed).is_err() {
             self.ctx.stats.record_rollback_failure();
+            self.ctx.metrics.record_rollback_failure();
         }
     }
 
@@ -1687,6 +1688,7 @@ impl DaemonState {
         pool: &QpPool,
         model: &str,
         descs: &[TensorDesc],
+        version: Option<u64>,
         req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
         let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::Restore, model);
@@ -1694,9 +1696,14 @@ impl DaemonState {
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
         let mi = self.lookup(model)?;
-        let (slot, hdr) = mi
-            .latest_done()
-            .ok_or_else(|| PortusError::NoValidCheckpoint(model.to_string()))?;
+        // Version-pinned restores let a replicated or sharded client
+        // settle every participant on one common checkpoint even when
+        // some daemons hold a newer version in their other slot.
+        let (slot, hdr) = match version {
+            None => mi.latest_done(),
+            Some(v) => mi.done_version(v),
+        }
+        .ok_or_else(|| PortusError::NoValidCheckpoint(model.to_string()))?;
         if descs.len() != mi.tensors.len() {
             return Err(PortusError::StructureMismatch(format!(
                 "{model}: restore registered {} tensors, index has {}",
@@ -1793,6 +1800,7 @@ impl DaemonState {
                 bytes: mi.total_bytes,
                 latest_version: mi.latest_done().map(|(_, s)| s.version),
                 valid_versions: mi.valid_versions(),
+                done_versions: mi.done_versions(),
                 complete: mi.flags & crate::FLAG_JOB_COMPLETE != 0,
             });
         }

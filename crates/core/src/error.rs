@@ -36,6 +36,25 @@ impl fmt::Display for VerbFailure {
     }
 }
 
+/// One shard's failure inside a lockstep barrier: which shard, which
+/// model, and the error it hit (rendered, so the aggregate stays
+/// `Clone + Eq`-friendly for reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard's index in the sharded trainer.
+    pub shard: usize,
+    /// The shard's model name.
+    pub model: String,
+    /// The failure, rendered.
+    pub error: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} ({}): {}", self.shard, self.model, self.error)
+    }
+}
+
 /// Errors raised by the Portus client, daemon, and tooling.
 #[derive(Debug)]
 pub enum PortusError {
@@ -102,6 +121,28 @@ pub enum PortusError {
         /// Largest contiguous free extent at the time of failure.
         largest_extent: u64,
     },
+    /// One or more shards of a lockstep barrier failed their
+    /// checkpoint. Every shard was still driven to the barrier
+    /// iteration (none silently falls behind); the failures carry
+    /// per-shard attribution so the caller can retry or recover to a
+    /// common version.
+    ShardBarrier {
+        /// The iteration every shard was driven to.
+        barrier_step: u64,
+        /// The shards that failed, in shard order.
+        failures: Vec<ShardFailure>,
+    },
+    /// Every replica of a replicated operation failed. Carries the
+    /// per-replica attempts (replica index, rendered error) in the
+    /// order they were tried.
+    ReplicasExhausted {
+        /// The model whose operation failed everywhere.
+        model: String,
+        /// Which operation was in flight.
+        op: String,
+        /// `(replica index, rendered error)` per attempt.
+        attempts: Vec<(usize, String)>,
+    },
     /// A protocol violation or daemon-side failure, with the daemon's
     /// message.
     Daemon(String),
@@ -155,6 +196,28 @@ impl fmt::Display for PortusError {
                     "out of PMem space after repacking: need {needed} bytes, \
                      {free} free, largest extent {largest_extent}"
                 )
+            }
+            PortusError::ShardBarrier { barrier_step, failures } => {
+                write!(
+                    f,
+                    "{} shard(s) failed their checkpoint at barrier step {barrier_step}:",
+                    failures.len()
+                )?;
+                for failure in failures {
+                    write!(f, " {failure};")?;
+                }
+                Ok(())
+            }
+            PortusError::ReplicasExhausted { model, op, attempts } => {
+                write!(
+                    f,
+                    "{op} of model {model} failed on all {} replica(s):",
+                    attempts.len()
+                )?;
+                for (replica, error) in attempts {
+                    write!(f, " replica {replica}: {error};")?;
+                }
+                Ok(())
             }
             PortusError::Daemon(msg) => write!(f, "daemon error: {msg}"),
             PortusError::NameTooLong(name) => {
@@ -261,6 +324,36 @@ mod tests {
         assert!(msg.contains("8192"));
         assert!(msg.contains("4096"));
         assert!(msg.contains("1024"));
+    }
+
+    #[test]
+    fn shard_barrier_display_attributes_shards() {
+        let e = PortusError::ShardBarrier {
+            barrier_step: 40,
+            failures: vec![ShardFailure {
+                shard: 2,
+                model: "gpt/shard-2".into(),
+                error: "datapath failed".into(),
+            }],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("barrier step 40"));
+        assert!(msg.contains("shard 2 (gpt/shard-2)"));
+        assert!(msg.contains("datapath failed"));
+    }
+
+    #[test]
+    fn replicas_exhausted_display_lists_attempts() {
+        let e = PortusError::ReplicasExhausted {
+            model: "bert".into(),
+            op: "restore".into(),
+            attempts: vec![(0, "fabric down".into()), (1, "no valid checkpoint".into())],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("restore of model bert"));
+        assert!(msg.contains("all 2 replica(s)"));
+        assert!(msg.contains("replica 0: fabric down"));
+        assert!(msg.contains("replica 1: no valid checkpoint"));
     }
 
     #[test]

@@ -202,6 +202,27 @@ impl MIndex {
             .count() as u8
     }
 
+    /// The `Done` slot holding exactly `version`, if still on PMem.
+    pub fn done_version(&self, version: u64) -> Option<(usize, SlotHeader)> {
+        self.slots
+            .iter()
+            .copied()
+            .enumerate()
+            .find(|(_, s)| s.state == SlotState::Done && s.version == version)
+    }
+
+    /// Every `Done` version currently on PMem, ascending.
+    pub fn done_versions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|s| s.state == SlotState::Done)
+            .map(|s| s.version)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// The version the next checkpoint must use: one past the largest
     /// version either slot header carries, *regardless of state*.
     /// `latest_done()` alone is not enough — after a rollback collapses

@@ -75,10 +75,11 @@ mod model_map;
 pub mod portusctl;
 mod proto;
 mod repack;
+mod replica;
 
 pub use client::{CheckpointReport, DeltaReport, PendingCheckpoint, PortusClient, RestoreReport};
 pub use daemon::{ClientEndpoints, DaemonConfig, PortusDaemon};
-pub use error::{PortusError, PortusResult, VerbFailure};
+pub use error::{PortusError, PortusResult, ShardFailure, VerbFailure};
 pub use index::{
     combine_digests, name_hash, region_digest, Index, MIndex, SlotHeader, SlotState, TensorRecord,
     CKSUM_KIND_DIGEST, CKSUM_KIND_FNV, FLAG_JOB_COMPLETE, SLOT_COUNT,
@@ -86,3 +87,4 @@ pub use index::{
 pub use model_map::{Iter, ModelMap};
 pub use proto::{ModelSummary, Reply, Request, TensorDesc};
 pub use repack::{repack, RepackReport};
+pub use replica::{ReplicatedCheckpoint, ReplicatedClient};

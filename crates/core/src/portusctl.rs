@@ -55,6 +55,7 @@ pub fn view(image: &Path) -> PortusResult<Vec<ModelSummary>> {
             bytes: mi.total_bytes,
             latest_version: mi.latest_done().map(|(_, s)| s.version),
             valid_versions: mi.valid_versions(),
+            done_versions: mi.done_versions(),
             complete: mi.flags & crate::FLAG_JOB_COMPLETE != 0,
         });
     }
@@ -168,6 +169,33 @@ pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
         snapshot.dispatch_queue_peak,
         snapshot.dispatch_queue_capacity,
     ));
+    out.push_str(&format!(
+        "rollback failures: {}\n",
+        snapshot.rollback_failures
+    ));
+    if !snapshot.fleet.is_empty() {
+        out.push_str(&format!(
+            "FLEET  (recovery epoch {}, restore failovers {})\n",
+            snapshot.recovery_epoch, snapshot.restore_failovers,
+        ));
+        out.push_str(
+            "DAEMON     WRITES        BYTES  REPLICA  FENCED  REPAIRS-IN  REPAIR-BYTES  REBALANCED  KILLED\n",
+        );
+        for d in &snapshot.fleet {
+            out.push_str(&format!(
+                "{:<8} {:>8} {:>12} {:>8} {:>7} {:>11} {:>13} {:>11}  {}\n",
+                d.daemon,
+                d.writes,
+                d.bytes,
+                d.replica_writes,
+                d.fenced_active,
+                d.repairs_in,
+                d.repair_bytes,
+                d.rebalanced_in,
+                if d.killed { "yes" } else { "no" },
+            ));
+        }
+    }
     out
 }
 
@@ -223,6 +251,7 @@ mod tests {
             bytes: 1024,
             latest_version: Some(3),
             valid_versions: 2,
+            done_versions: vec![2, 3],
             complete: true,
         }];
         let s = render_view(&rows);
@@ -256,6 +285,35 @@ mod tests {
         assert!(s.contains("capacity 64"));
         // Count column shows the two samples.
         assert!(s.contains(" 2 "));
+    }
+
+    #[test]
+    fn render_stats_surfaces_rollback_failures_and_fleet() {
+        let m = Metrics::new();
+        m.record_rollback_failure();
+        let mut snap = m.snapshot();
+        let s = render_stats(&snap);
+        assert!(s.contains("rollback failures: 1"));
+        assert!(!s.contains("FLEET"));
+
+        snap.recovery_epoch = 2;
+        snap.restore_failovers = 3;
+        snap.fleet = vec![portus_sim::DaemonFleetStats {
+            daemon: 1,
+            writes: 4,
+            bytes: 1024,
+            replica_writes: 2,
+            fenced_active: 1,
+            repairs_in: 5,
+            repair_bytes: 2048,
+            rebalanced_in: 1,
+            killed: true,
+        }];
+        let s = render_stats(&snap);
+        assert!(s.contains("FLEET  (recovery epoch 2, restore failovers 3)"));
+        assert!(s.contains("REPAIR-BYTES"));
+        assert!(s.contains("2048"));
+        assert!(s.trim_end().ends_with("yes"));
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub enum Request {
         /// Model to checkpoint.
         model: String,
     },
-    /// Push the latest complete checkpoint back into freshly registered
-    /// GPU regions.
+    /// Push a complete checkpoint back into freshly registered GPU
+    /// regions.
     Restore {
         /// Request id for reply matching.
         req_id: u64,
@@ -86,6 +86,10 @@ pub enum Request {
         model: String,
         /// Write-registered GPU regions, in layer order.
         tensors: Vec<TensorDesc>,
+        /// Which Done version to serve (`None` = latest). Replicated
+        /// restores pin the version so every shard/replica settles on
+        /// the same checkpoint.
+        version: Option<u64>,
     },
     /// Mark the training job complete (both checkpoint versions beyond
     /// the latest become reclaimable by the repacker).
@@ -130,6 +134,9 @@ pub struct ModelSummary {
     pub latest_version: Option<u64>,
     /// Number of complete versions currently on PMem (0–2).
     pub valid_versions: u8,
+    /// Every Done version currently on PMem, ascending (what a
+    /// version-pinned [`Request::Restore`] may ask for).
+    pub done_versions: Vec<u64>,
     /// Whether the training job was marked complete.
     pub complete: bool,
 }

@@ -43,7 +43,8 @@ pub use clock::{Clock, ClockOverflow};
 pub use cost::{CostModel, MemoryKind};
 pub use engine::{ActorId, Engine, ProgressReport};
 pub use metrics::{
-    HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram, HISTOGRAM_BUCKETS,
+    DaemonFleetStats, HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram,
+    HISTOGRAM_BUCKETS,
 };
 pub use plan::{PlanId, PlanQueue};
 pub use resource::{Grant, Resource};

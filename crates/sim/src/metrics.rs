@@ -150,6 +150,31 @@ impl HistogramSnapshot {
     }
 }
 
+/// Per-daemon fleet counters: replicated writes, fenced Active slots,
+/// and rebalance repair traffic. Integer-only so snapshots stay `Eq`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonFleetStats {
+    /// The daemon's index in the fleet.
+    pub daemon: u64,
+    /// Slot writes (primary + replica) this daemon served.
+    pub writes: u64,
+    /// Bytes those writes carried.
+    pub bytes: u64,
+    /// Writes where this daemon was a non-primary replica.
+    pub replica_writes: u64,
+    /// In-flight Active slots fenced by the recovery epoch when this
+    /// daemon was killed (its own losses, not a survivor's).
+    pub fenced_active: u64,
+    /// Stripe copies this daemon received from rebalance repair.
+    pub repairs_in: u64,
+    /// Bytes of repair traffic it received.
+    pub repair_bytes: u64,
+    /// Models re-registered onto this daemon by a rebalance pass.
+    pub rebalanced_in: u64,
+    /// Whether the kill schedule took this daemon down.
+    pub killed: bool,
+}
+
 /// One `(op, stage)` histogram inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageHistogram {
@@ -197,6 +222,22 @@ pub struct MetricsSnapshot {
     /// behaviour). Stays `0` until a multi-QP checkpoint completes.
     #[serde(default)]
     pub pipeline_overlap_permille: u64,
+    /// Best-effort slot rollbacks that themselves failed (the slot was
+    /// left Active for the recovery epoch to reap).
+    #[serde(default)]
+    pub rollback_failures: u64,
+    /// Cluster-wide recovery epoch: bumped once per daemon loss; zero
+    /// for single-daemon runs and fleets with no kills.
+    #[serde(default)]
+    pub recovery_epoch: u64,
+    /// Restores that had to fall through a dead replica before a
+    /// surviving one served the checkpoint.
+    #[serde(default)]
+    pub restore_failovers: u64,
+    /// Per-daemon replication/rebalance counters, in daemon order.
+    /// Empty outside placement-enabled fleet runs.
+    #[serde(default)]
+    pub fleet: Vec<DaemonFleetStats>,
 }
 
 impl MetricsSnapshot {
@@ -241,6 +282,7 @@ struct MetricsInner {
     reclaimed_bytes: AtomicU64,
     repack_passes: AtomicU64,
     pipeline_overlap_permille: AtomicU64,
+    rollback_failures: AtomicU64,
 }
 
 /// Shared metrics registry. Cloning shares the underlying histograms
@@ -332,6 +374,13 @@ impl Metrics {
         self.set_pipeline_overlap_permille(permille);
     }
 
+    /// Records one best-effort rollback that failed and left its slot
+    /// Active (mirrors [`crate::Stats::record_rollback_failure`], but
+    /// on the operator-facing snapshot surface).
+    pub fn record_rollback_failure(&self) {
+        self.inner.rollback_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
@@ -366,6 +415,10 @@ impl Metrics {
                 .inner
                 .pipeline_overlap_permille
                 .load(Ordering::Relaxed),
+            rollback_failures: self.inner.rollback_failures.load(Ordering::Relaxed),
+            recovery_epoch: 0,
+            restore_failovers: 0,
+            fleet: Vec::new(),
         }
     }
 }
@@ -539,6 +592,21 @@ mod tests {
             ..MetricsSnapshot::default()
         };
         assert_eq!(s.fragmentation_permille(), 0, "extent clamped to free");
+    }
+
+    #[test]
+    fn rollback_failures_surface_in_the_snapshot() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().rollback_failures, 0);
+        m.record_rollback_failure();
+        m.record_rollback_failure();
+        let s = m.snapshot();
+        assert_eq!(s.rollback_failures, 2);
+        // Fleet gauges default empty/zero outside fleet runs; the
+        // fleet harness fills them on its own snapshot copy.
+        assert_eq!(s.recovery_epoch, 0);
+        assert_eq!(s.restore_failovers, 0);
+        assert!(s.fleet.is_empty());
     }
 
     #[test]

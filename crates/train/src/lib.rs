@@ -58,6 +58,8 @@ mod sharded;
 
 pub use sharded::ShardedTrainer;
 
+use std::collections::BTreeMap;
+
 use portus::{CheckpointReport, PortusClient, PortusResult};
 use portus_dnn::{IterationProfile, ModelInstance};
 use portus_sim::SimDuration;
@@ -130,6 +132,12 @@ pub struct Trainer {
     last_durable_step: u64,
     /// Version loaded by the most recent recover, if any.
     last_restored_version: Option<u64>,
+    /// Completed checkpoint versions → the iteration each one covers.
+    /// Version numbers count *successful* checkpoints, so after a
+    /// failed round they stop tracking `step / interval`; this map is
+    /// the ground truth sharded recovery uses to translate a common
+    /// version back into a step.
+    durable_versions: BTreeMap<u64, u64>,
     stats: TrainerStats,
 }
 
@@ -155,6 +163,7 @@ impl Trainer {
             step: 0,
             last_durable_step: 0,
             last_restored_version: None,
+            durable_versions: BTreeMap::new(),
             stats: TrainerStats::default(),
         })
     }
@@ -208,6 +217,7 @@ impl Trainer {
         self.stats.checkpoints_completed += 1;
         self.stats.bytes_checkpointed += report.bytes;
         self.last_durable_step = self.last_durable_step.max(covered_step);
+        self.durable_versions.insert(report.version, covered_step);
     }
 
     /// Runs `iterations` training iterations under the policy.
@@ -276,6 +286,7 @@ impl Trainer {
                     self.stats.bytes_carried_over += report.copied_bytes;
                     self.stats.checkpoints_completed += 1;
                     self.last_durable_step = self.step;
+                    self.durable_versions.insert(report.version, self.step);
                 }
             }
         }
@@ -325,7 +336,48 @@ impl Trainer {
     ///
     /// Restore failures.
     pub fn recover_to(&mut self, target_step: u64) -> PortusResult<u64> {
-        let report = self.client.restore(&self.model)?;
+        self.recover_version_to(None, target_step)
+    }
+
+    /// Every `Done` version the daemon can currently serve for this
+    /// model, ascending. Sharded recovery intersects these across
+    /// shards to find the newest version *every* shard still holds.
+    ///
+    /// # Errors
+    ///
+    /// Listing failures (daemon unreachable).
+    pub fn available_versions(&self) -> PortusResult<Vec<u64>> {
+        let name = &self.model.spec().name;
+        Ok(self
+            .client
+            .list_models()?
+            .into_iter()
+            .find(|m| &m.name == name)
+            .map(|m| m.done_versions)
+            .unwrap_or_default())
+    }
+
+    /// The iteration a completed checkpoint version covers, if this
+    /// trainer observed it complete.
+    pub fn covered_step_of(&self, version: u64) -> Option<u64> {
+        self.durable_versions.get(&version).copied()
+    }
+
+    /// Like [`Trainer::recover_to`], but pinned to a specific `Done`
+    /// `version` (`None` = the daemon's latest). Sharded recovery pins
+    /// every shard to the newest *common* version this way, so no
+    /// restore can mix versions across shards.
+    ///
+    /// # Errors
+    ///
+    /// Restore failures; `NoValidCheckpoint` if `version` is no longer
+    /// on PMem.
+    pub fn recover_version_to(
+        &mut self,
+        version: Option<u64>,
+        target_step: u64,
+    ) -> PortusResult<u64> {
+        let report = self.client.restore_version(&self.model, version)?;
         self.last_restored_version = Some(report.version);
         let lost = self.step.saturating_sub(target_step);
         self.step = target_step;

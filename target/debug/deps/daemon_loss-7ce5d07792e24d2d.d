@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daemon_loss-7ce5d07792e24d2d.d: tests/daemon_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaemon_loss-7ce5d07792e24d2d.rmeta: tests/daemon_loss.rs Cargo.toml
+
+tests/daemon_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

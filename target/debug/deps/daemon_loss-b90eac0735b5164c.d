@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daemon_loss-b90eac0735b5164c.d: tests/daemon_loss.rs
+
+/root/repo/target/debug/deps/daemon_loss-b90eac0735b5164c: tests/daemon_loss.rs
+
+tests/daemon_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_sweep-30d05ee6accee0c7.d: crates/bench/src/bin/fleet_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_sweep-30d05ee6accee0c7.rmeta: crates/bench/src/bin/fleet_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fleet_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/portus-198bc859dda82645.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs Cargo.toml
+/root/repo/target/debug/deps/portus-198bc859dda82645.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs Cargo.toml
 
-/root/repo/target/debug/deps/libportus-198bc859dda82645.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs Cargo.toml
+/root/repo/target/debug/deps/libportus-198bc859dda82645.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -11,6 +11,7 @@ crates/core/src/model_map.rs:
 crates/core/src/portusctl.rs:
 crates/core/src/proto.rs:
 crates/core/src/repack.rs:
+crates/core/src/replica.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

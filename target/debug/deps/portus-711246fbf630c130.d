@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/portus-711246fbf630c130.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+/root/repo/target/debug/deps/portus-711246fbf630c130.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs
 
-/root/repo/target/debug/deps/libportus-711246fbf630c130.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+/root/repo/target/debug/deps/libportus-711246fbf630c130.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs
 
-/root/repo/target/debug/deps/libportus-711246fbf630c130.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+/root/repo/target/debug/deps/libportus-711246fbf630c130.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -13,3 +13,4 @@ crates/core/src/model_map.rs:
 crates/core/src/portusctl.rs:
 crates/core/src/proto.rs:
 crates/core/src/repack.rs:
+crates/core/src/replica.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/portus-d466f5093669b07c.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+/root/repo/target/debug/deps/portus-d466f5093669b07c.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs
 
-/root/repo/target/debug/deps/libportus-d466f5093669b07c.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs
+/root/repo/target/debug/deps/libportus-d466f5093669b07c.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/daemon.rs crates/core/src/error.rs crates/core/src/index.rs crates/core/src/model_map.rs crates/core/src/portusctl.rs crates/core/src/proto.rs crates/core/src/repack.rs crates/core/src/replica.rs
 
 crates/core/src/lib.rs:
 crates/core/src/client.rs:
@@ -11,3 +11,4 @@ crates/core/src/model_map.rs:
 crates/core/src/portusctl.rs:
 crates/core/src/proto.rs:
 crates/core/src/repack.rs:
+crates/core/src/replica.rs:

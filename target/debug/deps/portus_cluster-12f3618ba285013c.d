@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/portus_cluster-12f3618ba285013c.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/debug/deps/portus_cluster-12f3618ba285013c.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
-/root/repo/target/debug/deps/libportus_cluster-12f3618ba285013c.rlib: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/debug/deps/libportus_cluster-12f3618ba285013c.rlib: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
-/root/repo/target/debug/deps/libportus_cluster-12f3618ba285013c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/debug/deps/libportus_cluster-12f3618ba285013c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/advisor.rs:
@@ -10,5 +10,6 @@ crates/cluster/src/event.rs:
 crates/cluster/src/failure.rs:
 crates/cluster/src/harness.rs:
 crates/cluster/src/ops.rs:
+crates/cluster/src/placement.rs:
 crates/cluster/src/policy.rs:
 crates/cluster/src/trace.rs:

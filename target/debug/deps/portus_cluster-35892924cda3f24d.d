@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/portus_cluster-35892924cda3f24d.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/portus_cluster-35892924cda3f24d.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libportus_cluster-35892924cda3f24d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libportus_cluster-35892924cda3f24d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs Cargo.toml
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/advisor.rs:
@@ -8,6 +8,7 @@ crates/cluster/src/event.rs:
 crates/cluster/src/failure.rs:
 crates/cluster/src/harness.rs:
 crates/cluster/src/ops.rs:
+crates/cluster/src/placement.rs:
 crates/cluster/src/policy.rs:
 crates/cluster/src/trace.rs:
 Cargo.toml:

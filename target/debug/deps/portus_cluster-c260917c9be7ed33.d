@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/portus_cluster-c260917c9be7ed33.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/debug/deps/portus_cluster-c260917c9be7ed33.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
-/root/repo/target/debug/deps/libportus_cluster-c260917c9be7ed33.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/debug/deps/libportus_cluster-c260917c9be7ed33.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/advisor.rs:
@@ -8,5 +8,6 @@ crates/cluster/src/event.rs:
 crates/cluster/src/failure.rs:
 crates/cluster/src/harness.rs:
 crates/cluster/src/ops.rs:
+crates/cluster/src/placement.rs:
 crates/cluster/src/policy.rs:
 crates/cluster/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7ee3fb655984b412.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7ee3fb655984b412: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

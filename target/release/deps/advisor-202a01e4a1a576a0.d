@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/advisor-202a01e4a1a576a0.d: crates/bench/src/bin/advisor.rs
+
+/root/repo/target/release/deps/advisor-202a01e4a1a576a0: crates/bench/src/bin/advisor.rs
+
+crates/bench/src/bin/advisor.rs:

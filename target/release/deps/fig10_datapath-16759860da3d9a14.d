@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_datapath-16759860da3d9a14.d: crates/bench/src/bin/fig10_datapath.rs
+
+/root/repo/target/release/deps/fig10_datapath-16759860da3d9a14: crates/bench/src/bin/fig10_datapath.rs
+
+crates/bench/src/bin/fig10_datapath.rs:

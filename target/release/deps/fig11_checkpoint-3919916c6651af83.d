@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_checkpoint-3919916c6651af83.d: crates/bench/src/bin/fig11_checkpoint.rs
+
+/root/repo/target/release/deps/fig11_checkpoint-3919916c6651af83: crates/bench/src/bin/fig11_checkpoint.rs
+
+crates/bench/src/bin/fig11_checkpoint.rs:

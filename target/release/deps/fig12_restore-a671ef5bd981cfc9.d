@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_restore-a671ef5bd981cfc9.d: crates/bench/src/bin/fig12_restore.rs
+
+/root/repo/target/release/deps/fig12_restore-a671ef5bd981cfc9: crates/bench/src/bin/fig12_restore.rs
+
+crates/bench/src/bin/fig12_restore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_gpt_scale-6b73eeb006a154df.d: crates/bench/src/bin/fig14_gpt_scale.rs
+
+/root/repo/target/release/deps/fig14_gpt_scale-6b73eeb006a154df: crates/bench/src/bin/fig14_gpt_scale.rs
+
+crates/bench/src/bin/fig14_gpt_scale.rs:

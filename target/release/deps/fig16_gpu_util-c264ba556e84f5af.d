@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_gpu_util-c264ba556e84f5af.d: crates/bench/src/bin/fig16_gpu_util.rs
+
+/root/repo/target/release/deps/fig16_gpu_util-c264ba556e84f5af: crates/bench/src/bin/fig16_gpu_util.rs
+
+crates/bench/src/bin/fig16_gpu_util.rs:

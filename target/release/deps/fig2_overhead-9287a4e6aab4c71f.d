@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_overhead-9287a4e6aab4c71f.d: crates/bench/src/bin/fig2_overhead.rs
+
+/root/repo/target/release/deps/fig2_overhead-9287a4e6aab4c71f: crates/bench/src/bin/fig2_overhead.rs
+
+crates/bench/src/bin/fig2_overhead.rs:

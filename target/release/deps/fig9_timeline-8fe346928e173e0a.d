@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_timeline-8fe346928e173e0a.d: crates/bench/src/bin/fig9_timeline.rs
+
+/root/repo/target/release/deps/fig9_timeline-8fe346928e173e0a: crates/bench/src/bin/fig9_timeline.rs
+
+crates/bench/src/bin/fig9_timeline.rs:

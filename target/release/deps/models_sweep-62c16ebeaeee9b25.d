@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/models_sweep-62c16ebeaeee9b25.d: crates/bench/src/bin/models_sweep.rs
+
+/root/repo/target/release/deps/models_sweep-62c16ebeaeee9b25: crates/bench/src/bin/models_sweep.rs
+
+crates/bench/src/bin/models_sweep.rs:

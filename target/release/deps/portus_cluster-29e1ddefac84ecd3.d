@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/portus_cluster-29e1ddefac84ecd3.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/release/deps/portus_cluster-29e1ddefac84ecd3.d: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
-/root/repo/target/release/deps/libportus_cluster-29e1ddefac84ecd3.rlib: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/release/deps/libportus_cluster-29e1ddefac84ecd3.rlib: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
-/root/repo/target/release/deps/libportus_cluster-29e1ddefac84ecd3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
+/root/repo/target/release/deps/libportus_cluster-29e1ddefac84ecd3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/advisor.rs crates/cluster/src/event.rs crates/cluster/src/failure.rs crates/cluster/src/harness.rs crates/cluster/src/ops.rs crates/cluster/src/placement.rs crates/cluster/src/policy.rs crates/cluster/src/trace.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/advisor.rs:
@@ -10,5 +10,6 @@ crates/cluster/src/event.rs:
 crates/cluster/src/failure.rs:
 crates/cluster/src/harness.rs:
 crates/cluster/src/ops.rs:
+crates/cluster/src/placement.rs:
 crates/cluster/src/policy.rs:
 crates/cluster/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-d7b32cc6e6bd6103.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-d7b32cc6e6bd6103: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

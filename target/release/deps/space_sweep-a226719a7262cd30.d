@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/space_sweep-a226719a7262cd30.d: crates/bench/src/bin/space_sweep.rs
+
+/root/repo/target/release/deps/space_sweep-a226719a7262cd30: crates/bench/src/bin/space_sweep.rs
+
+crates/bench/src/bin/space_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_breakdown-c8b8e9d0f1a85d54.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/release/deps/table1_breakdown-c8b8e9d0f1a85d54: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

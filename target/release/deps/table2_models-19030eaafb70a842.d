@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_models-19030eaafb70a842.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/release/deps/table2_models-19030eaafb70a842: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/portusctl_tour-26df3c870dac1e66.d: examples/portusctl_tour.rs
+
+/root/repo/target/release/examples/portusctl_tour-26df3c870dac1e66: examples/portusctl_tour.rs
+
+examples/portusctl_tour.rs:

@@ -25,7 +25,11 @@ fn bench_datapath(c: &mut Criterion) {
     let mr_gpu_w = compute.register(RegionTarget::Buffer(gpu_writable), Access::WRITE);
     let mr_dram = compute.register(RegionTarget::Buffer(dram), Access::READ_WRITE);
     let pmem = PmemDevice::new(ctx, PmemMode::DevDax, (max as u64) * 2);
-    let dst = RegionTarget::Pmem { dev: pmem, base: 0, len: max as u64 };
+    let dst = RegionTarget::Pmem {
+        dev: pmem,
+        base: 0,
+        len: max as u64,
+    };
 
     let (_qc, qs) = QueuePair::connect(compute, storage);
 

@@ -31,8 +31,7 @@ fn bench_checkpoint(c: &mut Criterion) {
         let daemon =
             PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
         let gpu = GpuDevice::new(ctx, 0, 2 * bytes + (1 << 28));
-        let model =
-            ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
+        let model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();
         let client = PortusClient::connect(&daemon, compute);
         client.register_model(&model).unwrap();
         b.iter(|| client.checkpoint(&spec.name).unwrap());

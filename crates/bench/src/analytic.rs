@@ -54,8 +54,12 @@ pub fn fig11_rows(m: &CostModel) -> Vec<SpeedupRow> {
                 model: card.spec.name.clone(),
                 bytes: card.spec.total_bytes(),
                 portus: portus_checkpoint_cost(m, job).as_secs_f64(),
-                beegfs: torch_save_cost(m, job, Backend::BeegfsPmem).total().as_secs_f64(),
-                ext4: torch_save_cost(m, job, Backend::Ext4Nvme).total().as_secs_f64(),
+                beegfs: torch_save_cost(m, job, Backend::BeegfsPmem)
+                    .total()
+                    .as_secs_f64(),
+                ext4: torch_save_cost(m, job, Backend::Ext4Nvme)
+                    .total()
+                    .as_secs_f64(),
             }
         })
         .collect()
@@ -149,12 +153,24 @@ pub fn gpt22_config(policy: Policy) -> TrainingConfig {
 /// Fig. 15: end-to-end GPT-22.4B training under CheckFreq vs Portus.
 pub fn fig15_runs(m: &CostModel, iterations: u64) -> Vec<(String, RunResult)> {
     [
-        Policy::CheckFreq { every: FIG15_INTERVAL, backend: Backend::BeegfsPmem },
-        Policy::PortusSync { every: FIG15_INTERVAL },
-        Policy::PortusAsync { every: FIG15_INTERVAL },
+        Policy::CheckFreq {
+            every: FIG15_INTERVAL,
+            backend: Backend::BeegfsPmem,
+        },
+        Policy::PortusSync {
+            every: FIG15_INTERVAL,
+        },
+        Policy::PortusAsync {
+            every: FIG15_INTERVAL,
+        },
     ]
     .into_iter()
-    .map(|p| (p.label().to_string(), run_training(m, &gpt22_config(p), iterations)))
+    .map(|p| {
+        (
+            p.label().to_string(),
+            run_training(m, &gpt22_config(p), iterations),
+        )
+    })
     .collect()
 }
 
@@ -163,8 +179,13 @@ pub fn fig16_traces(m: &CostModel) -> Vec<(String, Vec<UtilSample>, f64)> {
     let horizon = SimDuration::from_secs(500);
     let window = SimDuration::from_secs(10);
     [
-        Policy::CheckFreq { every: FIG15_INTERVAL, backend: Backend::BeegfsPmem },
-        Policy::PortusAsync { every: FIG15_INTERVAL },
+        Policy::CheckFreq {
+            every: FIG15_INTERVAL,
+            backend: Backend::BeegfsPmem,
+        },
+        Policy::PortusAsync {
+            every: FIG15_INTERVAL,
+        },
     ]
     .into_iter()
     .map(|p| {
@@ -217,7 +238,10 @@ pub fn fig2_rows(m: &CostModel) -> Vec<OverheadRow> {
             let cfg = TrainingConfig {
                 job,
                 profile,
-                policy: Policy::TorchSave { every, backend: Backend::BeegfsPmem },
+                policy: Policy::TorchSave {
+                    every,
+                    backend: Backend::BeegfsPmem,
+                },
             };
             let run = run_training(m, &cfg, 5 * every as u64);
             OverheadRow {
@@ -294,7 +318,10 @@ mod tests {
         assert!((4.0..7.5).contains(&avg_beegfs), "beegfs {avg_beegfs:.2}");
         assert!((3.0..6.0).contains(&avg_ext4), "ext4 {avg_ext4:.2}");
         let ckpt_avg = mean(fig11_rows(&m).iter().map(SpeedupRow::speedup_beegfs));
-        assert!(avg_beegfs < ckpt_avg, "restore gains must trail checkpoint gains");
+        assert!(
+            avg_beegfs < ckpt_avg,
+            "restore gains must trail checkpoint gains"
+        );
     }
 
     #[test]
@@ -302,8 +329,16 @@ mod tests {
         let m = CostModel::icdcs24();
         let rows = fig2_rows(&m);
         // Paper: "at least 24.9%" (ViT) ... "up to 41%" (GPT-22.4B).
-        assert!((0.22..0.30).contains(&rows[0].share), "vit {:.3}", rows[0].share);
-        assert!((0.36..0.45).contains(&rows[2].share), "gpt22 {:.3}", rows[2].share);
+        assert!(
+            (0.22..0.30).contains(&rows[0].share),
+            "vit {:.3}",
+            rows[0].share
+        );
+        assert!(
+            (0.36..0.45).contains(&rows[2].share),
+            "gpt22 {:.3}",
+            rows[2].share
+        );
         assert!(rows[0].share < rows[1].share && rows[1].share < rows[2].share);
     }
 

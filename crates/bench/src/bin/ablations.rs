@@ -41,7 +41,12 @@ fn main() {
         ("bert_large (1 GPU)", JobShape::single(1_344_798_720, 396)),
         (
             "gpt-22.4b (16 GPU)",
-            JobShape { total_bytes: 90_100_000_000, tensor_count: 600, shards: 16, nodes: 2 },
+            JobShape {
+                total_bytes: 90_100_000_000,
+                tensor_count: 600,
+                shards: 16,
+                nodes: 2,
+            },
         ),
     ];
 

@@ -43,13 +43,26 @@ fn main() {
             "Policy", "C (s)", "MTBF 10min", "MTBF 1h", "MTBF 1day"
         );
         for policy in [
-            Policy::TorchSave { every: 1, backend: Backend::BeegfsPmem },
-            Policy::CheckFreq { every: 1, backend: Backend::BeegfsPmem },
+            Policy::TorchSave {
+                every: 1,
+                backend: Backend::BeegfsPmem,
+            },
+            Policy::CheckFreq {
+                every: 1,
+                backend: Backend::BeegfsPmem,
+            },
             Policy::PortusSync { every: 1 },
             Policy::PortusAsync { every: 1 },
         ] {
-            let cfg = TrainingConfig { job: *job, profile: *profile, policy };
-            let advices: Vec<_> = mtbfs.iter().map(|(_, m_t)| advise(&m, &cfg, *m_t)).collect();
+            let cfg = TrainingConfig {
+                job: *job,
+                profile: *profile,
+                policy,
+            };
+            let advices: Vec<_> = mtbfs
+                .iter()
+                .map(|(_, m_t)| advise(&m, &cfg, *m_t))
+                .collect();
             println!(
                 "{:<14} {:>9.2} | {:>9} it {:>4.1}% {:>9} it {:>4.1}% {:>9} it {:>4.1}%",
                 policy.label(),

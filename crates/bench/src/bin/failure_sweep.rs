@@ -45,11 +45,21 @@ fn goodput_sweep() -> serde_json::Value {
     let mut rows = Vec::new();
     for every in [10u32, 26, 100, 500] {
         for policy in [
-            Policy::TorchSave { every, backend: Backend::BeegfsPmem },
-            Policy::CheckFreq { every, backend: Backend::BeegfsPmem },
+            Policy::TorchSave {
+                every,
+                backend: Backend::BeegfsPmem,
+            },
+            Policy::CheckFreq {
+                every,
+                backend: Backend::BeegfsPmem,
+            },
             Policy::PortusAsync { every },
         ] {
-            let cfg = TrainingConfig { job, profile, policy };
+            let cfg = TrainingConfig {
+                job,
+                profile,
+                policy,
+            };
             let out = run_with_failures(&m, &cfg, target, &failures);
             println!(
                 "{:<14} {:>8} {:>12.0} {:>10} {:>10} {:>12.0}",
@@ -86,7 +96,13 @@ fn datapath_fault_sweep() -> serde_json::Value {
         ("nth-1", Some(FaultSpec::Nth(1))),
         ("ratio-5", Some(FaultSpec::Ratio { permille: 5, seed })),
         ("ratio-50", Some(FaultSpec::Ratio { permille: 50, seed })),
-        ("ratio-200", Some(FaultSpec::Ratio { permille: 200, seed })),
+        (
+            "ratio-200",
+            Some(FaultSpec::Ratio {
+                permille: 200,
+                seed,
+            }),
+        ),
         ("all", Some(FaultSpec::All)),
     ];
     let rounds = 8u64;
@@ -99,8 +115,16 @@ fn datapath_fault_sweep() -> serde_json::Value {
     );
     println!(
         "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>9} {:>13} {:>11} {:>11}",
-        "plan", "ok", "failed", "failed verbs", "retries", "rollbacks", "rb fails", "mean ckpt ms",
-        "p50 ms", "p99 ms"
+        "plan",
+        "ok",
+        "failed",
+        "failed verbs",
+        "retries",
+        "rollbacks",
+        "rb fails",
+        "mean ckpt ms",
+        "p50 ms",
+        "p99 ms"
     );
     let mut rows = Vec::new();
     for (label, fault) in cases {
@@ -109,8 +133,8 @@ fn datapath_fault_sweep() -> serde_json::Value {
         let compute = fabric.add_nic(NodeId(0));
         fabric.add_nic(NodeId(1));
         let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
-        let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default())
-            .expect("daemon");
+        let daemon =
+            PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
         let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
         let mspec = test_spec("fault-sweep", 64, 256 * 1024);
         let model = ModelInstance::materialize(&mspec, &gpu, 42, Materialization::Owned)
@@ -140,13 +164,19 @@ fn datapath_fault_sweep() -> serde_json::Value {
         let metrics = ctx.metrics.snapshot();
         let (p50_ms, p99_ms) = metrics
             .stage(TraceOp::Checkpoint, Stage::Total)
-            .map_or((0.0, 0.0), |h| {
-                (h.p50() as f64 / 1e6, h.p99() as f64 / 1e6)
-            });
+            .map_or((0.0, 0.0), |h| (h.p50() as f64 / 1e6, h.p99() as f64 / 1e6));
         println!(
             "{:<10} {:>4} {:>7} {:>12} {:>9} {:>10} {:>9} {:>13.3} {:>11.3} {:>11.3}",
-            label, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots,
-            metrics.rollback_failures, mean_ms, p50_ms, p99_ms
+            label,
+            ok,
+            failed,
+            d.failed_verbs,
+            d.retried_verbs,
+            d.rolled_back_slots,
+            metrics.rollback_failures,
+            mean_ms,
+            p50_ms,
+            p99_ms
         );
         rows.push(serde_json::json!({
             "plan": label,
@@ -222,7 +252,13 @@ fn striped_fault_sweep() -> serde_json::Value {
         let overlap = ctx.metrics.snapshot().pipeline_overlap_permille;
         println!(
             "{:<5} {:>4} {:>7} {:>12} {:>9} {:>10} {:>13.3} {:>8.1}%",
-            qps, ok, failed, d.failed_verbs, d.retried_verbs, d.rolled_back_slots, mean_ms,
+            qps,
+            ok,
+            failed,
+            d.failed_verbs,
+            d.retried_verbs,
+            d.rolled_back_slots,
+            mean_ms,
             overlap as f64 / 10.0
         );
         rows.push(serde_json::json!({
@@ -285,7 +321,13 @@ fn daemon_kill_sweep() -> serde_json::Value {
     );
     println!(
         "{:<9} {:>11} {:>7} {:>8} {:>13} {:>10} {:>9} {:>10}",
-        "replicas", "lost ckpts", "fenced", "repairs", "repair bytes", "failovers", "lost it",
+        "replicas",
+        "lost ckpts",
+        "fenced",
+        "repairs",
+        "repair bytes",
+        "failovers",
+        "lost it",
         "zero-loss"
     );
     let mut rows = Vec::new();

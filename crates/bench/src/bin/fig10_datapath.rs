@@ -46,8 +46,11 @@ fn main() {
         }));
     }
     println!("\nserver-side DRAM vs PMem targets are indistinguishable (network-bound),");
-    println!("GPU reads cap at {:.1} GB/s (BAR), writes at {:.1} GB/s (RNIC peak).",
-        m.gpu_bar_read_bw / 1e9, m.rdma_peak_bw / 1e9);
+    println!(
+        "GPU reads cap at {:.1} GB/s (BAR), writes at {:.1} GB/s (RNIC peak).",
+        m.gpu_bar_read_bw / 1e9,
+        m.rdma_peak_bw / 1e9
+    );
     let path = portus_bench::write_experiment("fig10_datapath", &serde_json::json!(rows));
     println!("wrote {}", path.display());
 }

@@ -19,7 +19,11 @@ fn main() {
     let mut rows = Vec::new();
     let (mut sum_b, mut sum_e) = (0.0, 0.0);
     for card in zoo::table2_cards() {
-        eprintln!("  running {} ({} MiB)...", card.spec.name, card.spec.total_bytes() >> 20);
+        eprintln!(
+            "  running {} ({} MiB)...",
+            card.spec.name,
+            card.spec.total_bytes() >> 20
+        );
         let cmp = realplane::compare_systems(&card.spec);
         println!(
             "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>8.2}x {:>8.2}x",
@@ -37,7 +41,12 @@ fn main() {
     let n = rows.len() as f64;
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>8.2}x {:>8.2}x   (paper: 5.15x / 3.83x)",
-        "average", "", "", "", sum_b / n, sum_e / n
+        "average",
+        "",
+        "",
+        "",
+        sum_b / n,
+        sum_e / n
     );
     let path = portus_bench::write_experiment(
         "fig12_restore",

@@ -80,14 +80,20 @@ fn main() {
          drain while earlier runs persist and checksum, so the seal hides in the fabric."
     );
 
-    let serial_memcpy_beegfs = (beegfs.gpu_copy + beegfs.serialize).as_secs_f64()
-        / beegfs.total().as_secs_f64();
+    let serial_memcpy_beegfs =
+        (beegfs.gpu_copy + beegfs.serialize).as_secs_f64() / beegfs.total().as_secs_f64();
     let serial_memcpy_ext4 =
         (ext4.gpu_copy + ext4.serialize).as_secs_f64() / ext4.total().as_secs_f64();
     let block_share_ext4 = ext4.persist.as_secs_f64() / ext4.total().as_secs_f64();
-    println!("\nserialize+cuMemcpy share: BeeGFS {:.1}% (paper 57.2%), ext4 {:.1}% (paper 46.5%)",
-        serial_memcpy_beegfs * 100.0, serial_memcpy_ext4 * 100.0);
-    println!("ext4 block-path share: {:.1}% (paper 53.7%)", block_share_ext4 * 100.0);
+    println!(
+        "\nserialize+cuMemcpy share: BeeGFS {:.1}% (paper 57.2%), ext4 {:.1}% (paper 46.5%)",
+        serial_memcpy_beegfs * 100.0,
+        serial_memcpy_ext4 * 100.0
+    );
+    println!(
+        "ext4 block-path share: {:.1}% (paper 53.7%)",
+        block_share_ext4 * 100.0
+    );
 
     let path = portus_bench::write_experiment(
         "fig13_breakdown",
@@ -130,6 +136,9 @@ fn main() {
     );
     if let Some(qp4) = qp4_trace {
         let p = portus_bench::write_artifact("fig13_trace_qp4.json", &qp4);
-        println!("wrote {} (striped datapath, lane-tagged spans)", p.display());
+        println!(
+            "wrote {} (striped datapath, lane-tagged spans)",
+            p.display()
+        );
     }
 }

@@ -30,7 +30,12 @@ fn main() {
     }
     println!(
         "{:<12} {:>9} {:>9} {:>12} {:>9} {:>8.2}x   (paper avg: 8.18x)",
-        "average", "", "", "", "", sum / pts.len() as f64
+        "average",
+        "",
+        "",
+        "",
+        "",
+        sum / pts.len() as f64
     );
     let path = portus_bench::write_experiment(
         "fig14_gpt_scale",

@@ -23,14 +23,24 @@ fn main() {
         "Policy", "elapsed(s)", "stall(s)", "stall/ckpt", "util"
     );
     let policies = [
-        Policy::TorchSave { every, backend: Backend::BeegfsPmem },
-        Policy::CheckFreq { every, backend: Backend::BeegfsPmem },
+        Policy::TorchSave {
+            every,
+            backend: Backend::BeegfsPmem,
+        },
+        Policy::CheckFreq {
+            every,
+            backend: Backend::BeegfsPmem,
+        },
         Policy::PortusSync { every },
         Policy::PortusAsync { every },
     ];
     let mut json = Vec::new();
     for p in policies {
-        let cfg = TrainingConfig { job, profile, policy: p };
+        let cfg = TrainingConfig {
+            job,
+            profile,
+            policy: p,
+        };
         let run = run_training(&m, &cfg, iterations);
         println!(
             "{:<14} {:>11.2} {:>11.2} {:>11.3} {:>7.1}%",

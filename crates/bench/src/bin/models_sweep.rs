@@ -28,8 +28,12 @@ fn main() {
         let spec = test_spec(&format!("sweep-{i:02}"), layers, per_layer);
         let job = JobShape::single(spec.total_bytes(), spec.layer_count() as u64);
         let portus = portus_checkpoint_cost(&m, job).as_secs_f64();
-        let beegfs = torch_save_cost(&m, job, Backend::BeegfsPmem).total().as_secs_f64();
-        let ext4 = torch_save_cost(&m, job, Backend::Ext4Nvme).total().as_secs_f64();
+        let beegfs = torch_save_cost(&m, job, Backend::BeegfsPmem)
+            .total()
+            .as_secs_f64();
+        let ext4 = torch_save_cost(&m, job, Backend::Ext4Nvme)
+            .total()
+            .as_secs_f64();
         let (sb, se) = (beegfs / portus, ext4 / portus);
         min_b = min_b.min(sb);
         max_b = max_b.max(sb);

@@ -37,7 +37,12 @@ fn world(device_bytes: u64) -> World {
     let daemon =
         PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-    World { ctx, fabric, daemon, gpu }
+    World {
+        ctx,
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 /// Registers `name`, checkpoints it `versions` times, and returns the
@@ -66,7 +71,14 @@ fn repack_scaling_sweep() -> serde_json::Value {
     println!("Repack scaling — one active job + N completed jobs on a 256 MiB device");
     println!(
         "{:<8} {:>9} {:>12} {:>13} {:>13} {:>12} {:>12} {:>10}",
-        "garbage", "reclaimed", "bytes", "free before", "free after", "extent", "frag after", "pass us"
+        "garbage",
+        "reclaimed",
+        "bytes",
+        "free before",
+        "free after",
+        "extent",
+        "frag after",
+        "pass us"
     );
     let mut rows = Vec::new();
     for garbage_jobs in [0u64, 2, 4, 8, 16] {
@@ -146,7 +158,11 @@ fn oos_recovery_cases() -> serde_json::Value {
         probe.train_step();
         let outcome = match client.checkpoint("probe") {
             Ok(r) => format!("recovered (v{})", r.version),
-            Err(PortusError::OutOfSpace { needed, free, largest_extent }) => {
+            Err(PortusError::OutOfSpace {
+                needed,
+                free,
+                largest_extent,
+            }) => {
                 format!("typed OutOfSpace: need {needed}, free {free}, extent {largest_extent}")
             }
             Err(e) => panic!("unexpected error: {e}"),

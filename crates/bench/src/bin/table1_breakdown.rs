@@ -16,11 +16,19 @@ fn main() {
     let shares = analytic::table1_shares(bd.gpu_copy, bd.serialize, bd.transmit, bd.persist);
 
     println!("Table I — DNN checkpointing overhead (BERT-Large → BeeGFS-PMem)");
-    println!("{:<24} {:>10} {:>10} {:>8}", "Operation", "Time (s)", "Share", "Paper");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "Operation", "Time (s)", "Share", "Paper"
+    );
     let rows = [
         ("GPU to Main Memory", bd.gpu_copy, shares.gpu_to_dram, 15.5),
         ("Serialization", bd.serialize, shares.serialization, 41.7),
-        ("Transmission (RDMA)", bd.transmit, shares.transmission, 30.0),
+        (
+            "Transmission (RDMA)",
+            bd.transmit,
+            shares.transmission,
+            30.0,
+        ),
         ("Server DAX write", bd.persist, shares.dax_write, 12.8),
     ];
     for (name, t, share, paper) in rows {

@@ -4,7 +4,10 @@ use portus_dnn::zoo;
 
 fn main() {
     println!("Table II — DNN model specifications (generated zoo vs published)");
-    println!("{:<16} {:>7} {:>12} {:>10} {:>14}", "Model", "Layers", "Params", "Size", "Published");
+    println!(
+        "{:<16} {:>7} {:>12} {:>10} {:>14}",
+        "Model", "Layers", "Params", "Size", "Published"
+    );
     let mut rows = Vec::new();
     for card in zoo::table2_cards() {
         let mib = card.spec.total_bytes() as f64 / (1 << 20) as f64;

@@ -26,14 +26,16 @@ use portus_sim::SimDuration;
 ///
 /// Panics on I/O failure (harness binaries want loud failures).
 pub fn write_experiment(id: &str, value: &serde_json::Value) -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     let path = dir.join(format!("{id}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write experiment json");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write experiment json");
     path
 }
 
@@ -45,10 +47,9 @@ pub fn write_experiment(id: &str, value: &serde_json::Value) -> PathBuf {
 ///
 /// Panics on I/O failure (harness binaries want loud failures).
 pub fn write_artifact(id: &str, contents: &str) -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     let path = dir.join(id);
     fs::write(&path, contents).expect("write experiment artifact");

@@ -6,7 +6,6 @@
 //! pipelines. Virtual time is read off the shared clock; the bytes are
 //! verified end to end by the integration tests.
 
-
 use portus::{DaemonConfig, PortusClient, PortusDaemon};
 use portus_dnn::{Materialization, ModelInstance, ModelSpec};
 use portus_mem::{GpuDevice, HostMemory};
@@ -196,9 +195,7 @@ pub fn portus_breakdown_traced(spec: &ModelSpec) -> (PortusBreakdown, String) {
     );
 
     let trace_json = ctx.tracer.to_chrome_trace();
-    let pull = total
-        .saturating_sub(persist)
-        .saturating_sub(checksum);
+    let pull = total.saturating_sub(persist).saturating_sub(checksum);
     let breakdown = PortusBreakdown {
         model: spec.name.clone(),
         bytes: spec.total_bytes(),
@@ -247,7 +244,10 @@ pub struct QpSweepPoint {
 /// # Panics
 ///
 /// Panics on any system error — harness code wants loud failures.
-pub fn portus_qp_sweep(spec: &ModelSpec, qps_list: &[usize]) -> (Vec<QpSweepPoint>, Option<String>) {
+pub fn portus_qp_sweep(
+    spec: &ModelSpec,
+    qps_list: &[usize],
+) -> (Vec<QpSweepPoint>, Option<String>) {
     let mut points = Vec::new();
     let mut qp4_trace = None;
     for &qps in qps_list {
@@ -331,7 +331,12 @@ pub fn compare_systems(spec: &ModelSpec) -> SystemComparison {
         let fabric = Fabric::new(ctx.clone());
         fabric.add_nic(NodeId(0));
         fabric.add_nic(NodeId(1));
-        let fs = Beegfs::mount(&fabric, NodeId(0), NodeId(1), 4 * spec.total_bytes() + (1 << 26));
+        let fs = Beegfs::mount(
+            &fabric,
+            NodeId(0),
+            NodeId(1),
+            4 * spec.total_bytes() + (1 << 26),
+        );
         baseline_times(spec, &fs, &ctx)
     };
 
@@ -364,7 +369,12 @@ pub fn bert_beegfs_breakdown(spec: &ModelSpec) -> CheckpointBreakdown {
     let fabric = Fabric::new(ctx.clone());
     fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
-    let fs = Beegfs::mount(&fabric, NodeId(0), NodeId(1), 4 * spec.total_bytes() + (1 << 26));
+    let fs = Beegfs::mount(
+        &fabric,
+        NodeId(0),
+        NodeId(1),
+        4 * spec.total_bytes() + (1 << 26),
+    );
     let (ckpt, _) = baseline_times(spec, &fs, &ctx);
     ckpt
 }

@@ -104,7 +104,14 @@ mod tests {
     fn portus_supports_much_finer_intervals() {
         let m = CostModel::icdcs24();
         let mtbf = SimDuration::from_secs(600); // failures every 10 min
-        let torch = advise(&m, &cfg(Policy::TorchSave { every: 1, backend: Backend::BeegfsPmem }), mtbf);
+        let torch = advise(
+            &m,
+            &cfg(Policy::TorchSave {
+                every: 1,
+                backend: Backend::BeegfsPmem,
+            }),
+            mtbf,
+        );
         let portus = advise(&m, &cfg(Policy::PortusAsync { every: 1 }), mtbf);
         assert!(
             portus.interval_iterations * 2 <= torch.interval_iterations,
@@ -118,7 +125,10 @@ mod tests {
     #[test]
     fn checkfreq_interval_respects_pipeline_drain() {
         let m = CostModel::icdcs24();
-        let c = cfg(Policy::CheckFreq { every: 1, backend: Backend::BeegfsPmem });
+        let c = cfg(Policy::CheckFreq {
+            every: 1,
+            backend: Backend::BeegfsPmem,
+        });
         let advice = advise(&m, &c, SimDuration::from_secs(600));
         let persist = torch_save_cost(&m, c.job, Backend::BeegfsPmem).persist_side();
         assert!(

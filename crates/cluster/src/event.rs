@@ -30,11 +30,22 @@ use crate::ops::{portus_checkpoint_cost, torch_save_cost, JobShape};
 use crate::placement::{replica_order, stripe_plan, PlacementConfig};
 use crate::policy::Policy;
 
+/// The tenant every client belongs to unless the config says
+/// otherwise — mirrors the daemon's `accept` ⇒ `accept_as("default")`
+/// delegation, so untagged fleets aggregate under one bucket.
+fn default_tenant() -> String {
+    "default".to_string()
+}
+
 /// One training client of the fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientSpec {
     /// Diagnostic name (also the actor name and event-log key).
     pub name: String,
+    /// QoS tenant this client's checkpoints are attributed to in the
+    /// fleet metrics (`"default"` when the config predates tagging).
+    #[serde(default = "default_tenant")]
+    pub tenant: String,
     /// Index of the daemon whose NIC serves this client's Portus ops.
     pub daemon: usize,
     /// The job's size/shape.
@@ -119,6 +130,7 @@ impl FleetConfig {
             clients: (0..clients)
                 .map(|i| ClientSpec {
                     name: format!("client-{i}"),
+                    tenant: default_tenant(),
                     daemon: i % daemons,
                     job,
                     profile,
@@ -292,9 +304,14 @@ impl Fleet {
     /// NIC; records spans/histograms and returns the completion grant
     /// end. The daemon actor's cursor follows its NIC drain.
     fn submit_pull(&mut self, eng: &mut Engine, client: usize, submit: SimTime) -> SimTime {
-        let (daemon, job, model) = {
+        let (daemon, job, model, tenant) = {
             let c = &self.clients[client];
-            (c.spec.daemon, c.spec.job, c.spec.name.clone())
+            (
+                c.spec.daemon,
+                c.spec.job,
+                c.spec.name.clone(),
+                c.spec.tenant.clone(),
+            )
         };
         let cost = portus_checkpoint_cost(&self.model, job);
         let grant = self.nics[daemon].schedule(submit, cost);
@@ -318,6 +335,12 @@ impl Fleet {
             self.metrics
                 .record_stage(TraceOp::Checkpoint, stage, end.saturating_since(start));
         }
+        self.metrics.tenant_admitted(&tenant, job.total_bytes);
+        self.metrics.record_tenant_op(
+            &tenant,
+            TraceOp::Checkpoint,
+            grant.end.saturating_since(submit),
+        );
         grant.end
     }
 
@@ -346,9 +369,9 @@ impl Fleet {
         submit: SimTime,
         version: u64,
     ) -> (SimTime, bool) {
-        let (job, model) = {
+        let (job, model, tenant) = {
             let c = &self.clients[client];
-            (c.spec.job, c.spec.name.clone())
+            (c.spec.job, c.spec.name.clone(), c.spec.tenant.clone())
         };
         let p = self.placement.expect("placement path needs a config");
         let plan = stripe_plan(&model, job, &self.alive, &p);
@@ -357,7 +380,11 @@ impl Fleet {
             return (submit, false);
         }
         let stripes = plan.len() as u32;
-        let mut rec = CkptRec { version, stripes, writes: Vec::new() };
+        let mut rec = CkptRec {
+            version,
+            stripes,
+            writes: Vec::new(),
+        };
         let mut client_end = submit;
         let mut first_start = SimTime::ZERO + SimDuration::from_nanos(u64::MAX);
         let mut all_ok = true;
@@ -417,6 +444,12 @@ impl Fleet {
             self.metrics
                 .record_stage(TraceOp::Checkpoint, stage, end.saturating_since(start));
         }
+        self.metrics.tenant_admitted(&tenant, job.total_bytes);
+        self.metrics.record_tenant_op(
+            &tenant,
+            TraceOp::Checkpoint,
+            client_end.saturating_since(submit),
+        );
         (client_end, all_ok)
     }
 
@@ -427,9 +460,7 @@ impl Fleet {
             .ckpts
             .iter()
             .rev()
-            .find(|c| {
-                (0..c.stripes).all(|s| c.writes.iter().any(|w| w.stripe == s && ok(w)))
-            })
+            .find(|c| (0..c.stripes).all(|s| c.writes.iter().any(|w| w.stripe == s && ok(w))))
             .map(|c| c.version)
     }
 }
@@ -503,7 +534,9 @@ fn kill_daemon(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, d: usize) {
                 })
                 .map(|w| w.daemon)
                 .collect();
-            let Some(&src) = holders.first() else { continue };
+            let Some(&src) = holders.first() else {
+                continue;
+            };
             let bytes = f.clients[ci].ckpts[rec_idx]
                 .writes
                 .iter()
@@ -573,12 +606,14 @@ fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
 
     // --- checkpoint actions at the start of the iteration ---
     let placed = f.placement.is_some()
-        && matches!(policy, Policy::PortusSync { .. } | Policy::PortusAsync { .. });
+        && matches!(
+            policy,
+            Policy::PortusSync { .. } | Policy::PortusAsync { .. }
+        );
     if trigger && placed {
         // Placement path: the pull fans out to the rendezvous targets
         // (k replicas per stripe) instead of the configured pin.
-        let version =
-            f.clients[client].checkpoints + f.clients[client].failed_checkpoints + 1;
+        let version = f.clients[client].checkpoints + f.clients[client].failed_checkpoints + 1;
         if matches!(policy, Policy::PortusAsync { .. }) {
             let wait = f.clients[client].pull_until.saturating_since(cursor);
             cursor += wait;
@@ -596,14 +631,22 @@ fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
             t.dedup();
             t
         };
-        f.log(cursor, client, format!("ckpt#{version}->daemons{targets:?}"));
+        f.log(
+            cursor,
+            client,
+            format!("ckpt#{version}->daemons{targets:?}"),
+        );
         let (end, ok) = f.submit_replicated(eng, client, cursor, version);
         if ok {
             f.clients[client].checkpoints += 1;
             f.clients[client].latest_done = Some(version);
         } else {
             f.clients[client].failed_checkpoints += 1;
-            f.log(end, client, format!("ckpt#{version} lost (no surviving replica)"));
+            f.log(
+                end,
+                client,
+                format!("ckpt#{version} lost (no surviving replica)"),
+            );
         }
         match policy {
             Policy::PortusSync { .. } => {
@@ -656,8 +699,7 @@ fn step_client(fleet: &Rc<RefCell<Fleet>>, eng: &mut Engine, client: usize) {
     let intrinsic_idle = profile.total() - busy;
     let update_start = cursor + profile.forward + profile.backward;
     let mut iter_stall = SimDuration::ZERO;
-    if matches!(policy, Policy::PortusAsync { .. }) && f.clients[client].pull_until > update_start
-    {
+    if matches!(policy, Policy::PortusAsync { .. }) && f.clients[client].pull_until > update_start {
         // The update phase begins while tensors are still being
         // pulled: it defers by (up to) one update-phase length.
         iter_stall = profile
@@ -772,7 +814,10 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
         kill_at: kill_at.clone(),
         epoch: 0,
         per_daemon: (0..cfg.daemons)
-            .map(|d| DaemonFleetStats { daemon: d as u64, ..DaemonFleetStats::default() })
+            .map(|d| DaemonFleetStats {
+                daemon: d as u64,
+                ..DaemonFleetStats::default()
+            })
             .collect(),
     }));
 
@@ -833,9 +878,8 @@ pub fn run_fleet(m: &CostModel, cfg: &FleetConfig) -> FleetResult {
     let mut restore_failovers = 0u64;
     if cfg.placement.is_some() {
         for (ci, c) in f.clients.iter().enumerate() {
-            let version = f.restorable_version(ci, |w| {
-                f.kill_at[w.daemon].is_none() && f.validated(w)
-            });
+            let version =
+                f.restorable_version(ci, |w| f.kill_at[w.daemon].is_none() && f.validated(w));
             let mut served_by = Vec::new();
             let mut failovers = 0u64;
             if let Some(v) = version {
@@ -1010,7 +1054,10 @@ mod tests {
         assert_eq!(c.iterations, analytic.iterations);
         assert_eq!(c.checkpoints, analytic.checkpoints);
         assert_eq!(c.checkpoint_stall, analytic.checkpoint_stall);
-        assert_eq!(c.finished_at.saturating_since(SimTime::ZERO), analytic.elapsed);
+        assert_eq!(
+            c.finished_at.saturating_since(SimTime::ZERO),
+            analytic.elapsed
+        );
     }
 
     #[test]
@@ -1110,7 +1157,11 @@ mod tests {
         let safe = run_fleet(&m, &replicated(3, 3, 2).with_kill(primary, at));
         assert_eq!(lossy.epoch, 1);
         assert_eq!(safe.epoch, 1);
-        let lost = lossy.restores.iter().find(|r| r.client == "client-0").unwrap();
+        let lost = lossy
+            .restores
+            .iter()
+            .find(|r| r.client == "client-0")
+            .unwrap();
         assert_eq!(
             lost.version, None,
             "k=1 must lose every checkpoint held only by the dead primary"
@@ -1127,7 +1178,11 @@ mod tests {
                 "dead daemons cannot serve"
             );
         }
-        let served = safe.restores.iter().find(|r| r.client == "client-0").unwrap();
+        let served = safe
+            .restores
+            .iter()
+            .find(|r| r.client == "client-0")
+            .unwrap();
         assert!(
             served.failovers >= 1,
             "restoring past a dead primary must fall through it"
@@ -1154,6 +1209,28 @@ mod tests {
     }
 
     #[test]
+    fn fleet_metrics_attribute_checkpoints_to_tenants() {
+        let m = CostModel::icdcs24();
+        let mut cfg = fleet(2, 4);
+        cfg.clients[0].tenant = "research".to_string();
+        cfg.clients[1].tenant = "research".to_string();
+        let out = run_fleet(&m, &cfg);
+        let research = out.metrics.tenant("research").expect("tagged tenant");
+        let untagged = out.metrics.tenant("default").expect("untagged default");
+        // 4 clients x 5 checkpoints each, split evenly across tenants.
+        assert_eq!(research.admitted_ops, 10);
+        assert_eq!(untagged.admitted_ops, 10);
+        assert_eq!(research.checkpoint.count, 10);
+        assert_eq!(
+            research.admitted_bytes,
+            10 * small_job().total_bytes,
+            "admitted bytes must sum the tagged clients' jobs"
+        );
+        assert_eq!(research.throttled_ops, 0);
+        assert_eq!(research.restore.count, 0);
+    }
+
+    #[test]
     fn placement_none_stays_bit_for_bit_with_legacy() {
         // The placement field must be inert when unset: a config that
         // never mentions it replays the pre-placement event stream.
@@ -1164,6 +1241,9 @@ mod tests {
         assert!(out.metrics.fleet.is_empty());
         assert!(out.restores.is_empty());
         assert_eq!(out.epoch, 0);
-        assert!(out.events.iter().all(|e| !e.kind.starts_with("ckpt#1->daemons[")));
+        assert!(out
+            .events
+            .iter()
+            .all(|e| !e.kind.starts_with("ckpt#1->daemons[")));
     }
 }

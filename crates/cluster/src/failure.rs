@@ -102,9 +102,7 @@ pub fn restore_cost(m: &CostModel, cfg: &TrainingConfig) -> SimDuration {
         Policy::TorchSave { backend, .. } | Policy::CheckFreq { backend, .. } => {
             torch_load_gds_cost(m, cfg.job, backend).total()
         }
-        Policy::PortusSync { .. } | Policy::PortusAsync { .. } => {
-            portus_restore_cost(m, cfg.job)
-        }
+        Policy::PortusSync { .. } | Policy::PortusAsync { .. } => portus_restore_cost(m, cfg.job),
     }
 }
 
@@ -125,9 +123,8 @@ pub fn run_with_failures(
     // Steady-state per-iteration time under the policy.
     let probe_iters = cfg.policy.interval().map_or(100, |k| (k as u64) * 10);
     let probe = crate::run_training(m, cfg, probe_iters);
-    let per_iter = SimDuration::from_secs_f64(
-        probe.elapsed.as_secs_f64() / probe.iterations as f64,
-    );
+    let per_iter =
+        SimDuration::from_secs_f64(probe.elapsed.as_secs_f64() / probe.iterations as f64);
     let interval = cfg.policy.interval().map(u64::from);
     let restore = restore_cost(m, cfg);
 
@@ -228,7 +225,10 @@ mod tests {
             lossy.failed_checkpoints > 0,
             "k=1 loses the checkpoint in flight on the dead primary"
         );
-        assert!(lossy.fenced_active > 0, "the epoch fences the in-flight write");
+        assert!(
+            lossy.fenced_active > 0,
+            "the epoch fences the in-flight write"
+        );
 
         let safe_cfg = base(2).with_kill(primary, mid);
         let safe = daemon_loss_report(&safe_cfg, &crate::event::run_fleet(&m, &safe_cfg));
@@ -262,20 +262,10 @@ mod tests {
     #[test]
     fn finer_checkpoints_lose_less_on_failure() {
         let m = CostModel::icdcs24();
-        let failures: Vec<SimDuration> =
-            (1..=5).map(|i| SimDuration::from_secs(i * 37)).collect();
-        let coarse = run_with_failures(
-            &m,
-            &cfg(Policy::PortusAsync { every: 100 }),
-            400,
-            &failures,
-        );
-        let fine = run_with_failures(
-            &m,
-            &cfg(Policy::PortusAsync { every: 5 }),
-            400,
-            &failures,
-        );
+        let failures: Vec<SimDuration> = (1..=5).map(|i| SimDuration::from_secs(i * 37)).collect();
+        let coarse =
+            run_with_failures(&m, &cfg(Policy::PortusAsync { every: 100 }), 400, &failures);
+        let fine = run_with_failures(&m, &cfg(Policy::PortusAsync { every: 5 }), 400, &failures);
         assert!(
             fine.lost_iterations < coarse.lost_iterations,
             "fine {} vs coarse {}",
@@ -290,17 +280,14 @@ mod tests {
         // afford fine intervals and lose little on failure, without
         // paying big steady-state overheads.
         let m = CostModel::icdcs24();
-        let failures: Vec<SimDuration> =
-            (1..=3).map(|i| SimDuration::from_secs(i * 53)).collect();
-        let portus = run_with_failures(
-            &m,
-            &cfg(Policy::PortusAsync { every: 5 }),
-            300,
-            &failures,
-        );
+        let failures: Vec<SimDuration> = (1..=3).map(|i| SimDuration::from_secs(i * 53)).collect();
+        let portus = run_with_failures(&m, &cfg(Policy::PortusAsync { every: 5 }), 300, &failures);
         let torch = run_with_failures(
             &m,
-            &cfg(Policy::TorchSave { every: 5, backend: Backend::BeegfsPmem }),
+            &cfg(Policy::TorchSave {
+                every: 5,
+                backend: Backend::BeegfsPmem,
+            }),
             300,
             &failures,
         );

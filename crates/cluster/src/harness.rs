@@ -220,12 +220,18 @@ mod tests {
         let every = 26;
         let torch = run_training(
             &m,
-            &gpt22_cfg(Policy::TorchSave { every, backend: Backend::BeegfsPmem }),
+            &gpt22_cfg(Policy::TorchSave {
+                every,
+                backend: Backend::BeegfsPmem,
+            }),
             260,
         );
         let cf = run_training(
             &m,
-            &gpt22_cfg(Policy::CheckFreq { every, backend: Backend::BeegfsPmem }),
+            &gpt22_cfg(Policy::CheckFreq {
+                every,
+                backend: Backend::BeegfsPmem,
+            }),
             260,
         );
         let psync = run_training(&m, &gpt22_cfg(Policy::PortusSync { every }), 260);
@@ -234,7 +240,10 @@ mod tests {
             torch.elapsed > cf.elapsed,
             "CheckFreq must beat synchronous torch.save"
         );
-        assert!(cf.elapsed > psync.elapsed, "Portus-sync must beat CheckFreq");
+        assert!(
+            cf.elapsed > psync.elapsed,
+            "Portus-sync must beat CheckFreq"
+        );
         assert!(psync.elapsed > pasync.elapsed, "async must beat sync");
     }
 
@@ -248,7 +257,10 @@ mod tests {
         let every = 26;
         let cf = run_training(
             &m,
-            &gpt22_cfg(Policy::CheckFreq { every, backend: Backend::BeegfsPmem }),
+            &gpt22_cfg(Policy::CheckFreq {
+                every,
+                backend: Backend::BeegfsPmem,
+            }),
             520,
         );
         let pa = run_training(&m, &gpt22_cfg(Policy::PortusAsync { every }), 520);
@@ -267,7 +279,10 @@ mod tests {
         let m = CostModel::icdcs24();
         let r = run_training(
             &m,
-            &gpt22_cfg(Policy::TorchSave { every: 100, backend: Backend::BeegfsPmem }),
+            &gpt22_cfg(Policy::TorchSave {
+                every: 100,
+                backend: Backend::BeegfsPmem,
+            }),
             500,
         );
         let share = r.checkpoint_share();
@@ -278,10 +293,7 @@ mod tests {
     fn async_pull_overlaps_compute() {
         let m = CostModel::icdcs24();
         let r = run_training(&m, &gpt22_cfg(Policy::PortusAsync { every: 26 }), 260);
-        let op = portus_checkpoint_cost(
-            &m,
-            gpt22_cfg(Policy::None).job,
-        );
+        let op = portus_checkpoint_cost(&m, gpt22_cfg(Policy::None).job);
         // Stall per checkpoint must be far below the full pull time.
         let stall_per_ckpt = r.checkpoint_stall.as_secs_f64() / r.checkpoints as f64;
         assert!(

@@ -206,7 +206,11 @@ mod tests {
         let m = CostModel::icdcs24();
         let one = torch_save_cost(
             &m,
-            JobShape { shards: 1, nodes: 2, ..gpt22() },
+            JobShape {
+                shards: 1,
+                nodes: 2,
+                ..gpt22()
+            },
             Backend::BeegfsPmem,
         );
         let sixteen = torch_save_cost(&m, gpt22(), Backend::BeegfsPmem);

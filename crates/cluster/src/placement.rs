@@ -120,12 +120,7 @@ pub fn replica_set(model: &str, alive: &[bool], k: usize) -> Vec<usize> {
 /// Plans one checkpoint: stripes (largest first) with per-stripe
 /// replica targets. Empty when no daemon is alive — the checkpoint
 /// has nowhere to go and must fail.
-pub fn stripe_plan(
-    model: &str,
-    job: JobShape,
-    alive: &[bool],
-    p: &PlacementConfig,
-) -> Vec<Stripe> {
+pub fn stripe_plan(model: &str, job: JobShape, alive: &[bool], p: &PlacementConfig) -> Vec<Stripe> {
     let order = replica_order(model, alive);
     if order.is_empty() {
         return Vec::new();
@@ -152,7 +147,9 @@ pub fn stripe_plan(
                 // Stripe i starts at offset i of the order, replicas
                 // follow consecutively (wrapping): copies of one
                 // stripe always land on distinct daemons.
-                targets: (0..k).map(|j| order[(i as usize + j) % order.len()]).collect(),
+                targets: (0..k)
+                    .map(|j| order[(i as usize + j) % order.len()])
+                    .collect(),
             }
         })
         .collect();
@@ -189,8 +186,7 @@ mod tests {
         let mut down = alive(8);
         down[full[1]] = false;
         let after = replica_order("resnet", &down);
-        let expect: Vec<usize> =
-            full.iter().copied().filter(|&d| d != full[1]).collect();
+        let expect: Vec<usize> = full.iter().copied().filter(|&d| d != full[1]).collect();
         assert_eq!(after, expect, "rendezvous must not reshuffle survivors");
     }
 
@@ -198,7 +194,11 @@ mod tests {
     fn replica_set_clamps_to_alive_count() {
         assert_eq!(replica_set("m", &alive(2), 5).len(), 2);
         assert_eq!(replica_set("m", &alive(8), 3).len(), 3);
-        assert_eq!(replica_set("m", &alive(8), 0).len(), 1, "k=0 still places once");
+        assert_eq!(
+            replica_set("m", &alive(8), 0).len(),
+            1,
+            "k=0 still places once"
+        );
         assert!(replica_set("m", &[false, false], 2).is_empty());
     }
 

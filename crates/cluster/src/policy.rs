@@ -97,7 +97,10 @@ mod tests {
     fn portus_op_is_cheaper_than_torch_save() {
         let m = CostModel::icdcs24();
         let job = JobShape::single(1_000_000_000, 300);
-        let ts = Policy::TorchSave { every: 10, backend: Backend::BeegfsPmem };
+        let ts = Policy::TorchSave {
+            every: 10,
+            backend: Backend::BeegfsPmem,
+        };
         let ps = Policy::PortusSync { every: 10 };
         assert!(ps.op_cost(&m, job) * 5 < ts.op_cost(&m, job));
     }

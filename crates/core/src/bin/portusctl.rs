@@ -5,6 +5,7 @@
 //! portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE
 //! portusctl stats SNAPSHOT.json
 //! portusctl space SNAPSHOT.json
+//! portusctl tenants SNAPSHOT.json
 //! ```
 
 use std::path::Path;
@@ -18,6 +19,7 @@ fn usage() -> ExitCode {
     eprintln!("  portusctl dump DEVICE_IMAGE MODEL OUTPUT_FILE");
     eprintln!("  portusctl stats SNAPSHOT.json");
     eprintln!("  portusctl space SNAPSHOT.json");
+    eprintln!("  portusctl tenants SNAPSHOT.json");
     ExitCode::from(2)
 }
 
@@ -25,7 +27,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("view") => {
-            let Some(image) = args.get(2) else { return usage() };
+            let Some(image) = args.get(2) else {
+                return usage();
+            };
             match portus::portusctl::view(Path::new(image)) {
                 Ok(models) => {
                     print!("{}", portus::portusctl::render_view(&models));
@@ -57,7 +61,9 @@ fn main() -> ExitCode {
             }
         }
         Some("stats") => {
-            let Some(snapshot) = args.get(2) else { return usage() };
+            let Some(snapshot) = args.get(2) else {
+                return usage();
+            };
             match portus::portusctl::load_stats(Path::new(snapshot)) {
                 Ok(metrics) => {
                     print!("{}", portus::portusctl::render_stats(&metrics));
@@ -69,8 +75,25 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("tenants") => {
+            let Some(snapshot) = args.get(2) else {
+                return usage();
+            };
+            match portus::portusctl::load_stats(Path::new(snapshot)) {
+                Ok(metrics) => {
+                    print!("{}", portus::portusctl::render_tenants(&metrics));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl tenants: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("space") => {
-            let Some(snapshot) = args.get(2) else { return usage() };
+            let Some(snapshot) = args.get(2) else {
+                return usage();
+            };
             match portus::portusctl::load_stats(Path::new(snapshot)) {
                 Ok(metrics) => {
                     print!("{}", portus::portusctl::render_space(&metrics));

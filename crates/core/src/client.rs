@@ -87,6 +87,10 @@ pub struct PortusClient {
     recv_gate: Mutex<()>,
     registered: Mutex<HashMap<String, Vec<Arc<MemoryRegion>>>>,
     inflight: Mutex<HashMap<String, PendingCheckpoint>>,
+    /// How many times a synchronous checkpoint honors a `Throttled`
+    /// reply's `retry_after` hint before surfacing the error (0 =
+    /// sheds surface immediately).
+    throttle_retries: AtomicU64,
 }
 
 impl std::fmt::Debug for PortusClient {
@@ -99,10 +103,23 @@ impl std::fmt::Debug for PortusClient {
 }
 
 impl PortusClient {
-    /// Connects to `daemon` from `client_nic`.
+    /// Connects to `daemon` from `client_nic` as the `"default"`
+    /// tenant; use [`PortusClient::connect_as`] to name one.
     pub fn connect(daemon: &PortusDaemon, client_nic: Arc<Nic>) -> PortusClient {
-        let ClientEndpoints { requests, replies, qp, extra_qps } =
-            daemon.accept(Arc::clone(&client_nic));
+        Self::connect_as(daemon, client_nic, "default")
+    }
+
+    /// Connects to `daemon` with an explicit tenant identity: the
+    /// daemon charges this connection's checkpoints to `tenant`'s token
+    /// buckets, confines it to its weighted-fair lane share, and breaks
+    /// out its metrics per tenant (see [`crate::TenantQos`]).
+    pub fn connect_as(daemon: &PortusDaemon, client_nic: Arc<Nic>, tenant: &str) -> PortusClient {
+        let ClientEndpoints {
+            requests,
+            replies,
+            qp,
+            extra_qps,
+        } = daemon.accept_as(Arc::clone(&client_nic), tenant);
         PortusClient {
             ctx: client_nic.ctx().clone(),
             nic: client_nic,
@@ -115,7 +132,16 @@ impl PortusClient {
             recv_gate: Mutex::new(()),
             registered: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
+            throttle_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Lets synchronous checkpoints honor up to `retries` consecutive
+    /// [`PortusError::Throttled`] sheds: each retry waits out the
+    /// daemon's `retry_after` hint on the virtual clock and re-sends.
+    /// Zero (the default) surfaces the first shed to the caller.
+    pub fn set_throttle_retries(&self, retries: u64) {
+        self.throttle_retries.store(retries, Ordering::Relaxed);
     }
 
     fn fresh_id(&self) -> u64 {
@@ -168,11 +194,28 @@ impl PortusClient {
             Reply::Error { message, .. } => Err(PortusError::Daemon(message)),
             // Rebuild the typed datapath error so callers can match on
             // it and read the per-tensor attribution / retry counts.
-            Reply::DatapathFailed { model, op, failures, .. } => {
-                Err(PortusError::DatapathFailed { model, op, failures })
-            }
-            Reply::OutOfSpace { needed, free, largest_extent, .. } => {
-                Err(PortusError::OutOfSpace { needed, free, largest_extent })
+            Reply::DatapathFailed {
+                model,
+                op,
+                failures,
+                ..
+            } => Err(PortusError::DatapathFailed {
+                model,
+                op,
+                failures,
+            }),
+            Reply::OutOfSpace {
+                needed,
+                free,
+                largest_extent,
+                ..
+            } => Err(PortusError::OutOfSpace {
+                needed,
+                free,
+                largest_extent,
+            }),
+            Reply::Throttled { retry_after_ns, .. } => {
+                Err(PortusError::Throttled { retry_after_ns })
             }
             ok => Ok(ok),
         }
@@ -211,14 +254,28 @@ impl PortusClient {
     }
 
     /// Synchronous checkpoint: sends `DO_CHECKPOINT` and waits for the
-    /// pull to complete.
+    /// pull to complete. A `Throttled` shed is retried up to
+    /// [`PortusClient::set_throttle_retries`] times, waiting out each
+    /// `retry_after` hint on the virtual clock.
     ///
     /// # Errors
     ///
-    /// Daemon-side failures (unregistered model, fabric errors).
+    /// Daemon-side failures (unregistered model, fabric errors);
+    /// [`PortusError::Throttled`] once the retry budget is spent.
     pub fn checkpoint(&self, model: &str) -> PortusResult<CheckpointReport> {
-        let pending = self.checkpoint_async(model)?;
-        self.wait_checkpoint(model, pending)
+        let mut attempts = self.throttle_retries.load(Ordering::Relaxed);
+        loop {
+            let pending = self.checkpoint_async(model)?;
+            match self.wait_checkpoint(model, pending) {
+                Err(PortusError::Throttled { retry_after_ns }) if attempts > 0 => {
+                    attempts -= 1;
+                    self.ctx
+                        .clock
+                        .advance_by(SimDuration::from_nanos(retry_after_ns));
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Asynchronous checkpoint: sends `DO_CHECKPOINT` and returns
@@ -277,7 +334,12 @@ impl PortusClient {
         }
         let reply = Self::expect_ok(outcome?)?;
         match reply {
-            Reply::CheckpointDone { version, bytes, elapsed, .. } => Ok(CheckpointReport {
+            Reply::CheckpointDone {
+                version,
+                bytes,
+                elapsed,
+                ..
+            } => Ok(CheckpointReport {
                 model: model.to_string(),
                 version,
                 bytes,
@@ -297,8 +359,25 @@ impl PortusClient {
     ///
     /// # Errors
     ///
-    /// Daemon-side failures (unregistered model, mask length mismatch).
+    /// Daemon-side failures (unregistered model, mask length mismatch);
+    /// [`PortusError::Throttled`] once the
+    /// [`PortusClient::set_throttle_retries`] budget is spent.
     pub fn checkpoint_delta(&self, model: &str, dirty: &[bool]) -> PortusResult<DeltaReport> {
+        let mut attempts = self.throttle_retries.load(Ordering::Relaxed);
+        loop {
+            match self.checkpoint_delta_once(model, dirty) {
+                Err(PortusError::Throttled { retry_after_ns }) if attempts > 0 => {
+                    attempts -= 1;
+                    self.ctx
+                        .clock
+                        .advance_by(SimDuration::from_nanos(retry_after_ns));
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn checkpoint_delta_once(&self, model: &str, dirty: &[bool]) -> PortusResult<DeltaReport> {
         let req_id = self.fresh_id();
         let sent = self.ctx.clock.now();
         self.requests.send(Request::DeltaCheckpoint {
@@ -309,15 +388,19 @@ impl PortusClient {
         let reply = self.wait_reply(req_id)?;
         self.record_rpc(req_id, TraceOp::DeltaCheckpoint, model, sent);
         match Self::expect_ok(reply)? {
-            Reply::DeltaDone { version, pulled_bytes, copied_bytes, elapsed, .. } => {
-                Ok(DeltaReport {
-                    model: model.to_string(),
-                    version,
-                    pulled_bytes,
-                    copied_bytes,
-                    elapsed,
-                })
-            }
+            Reply::DeltaDone {
+                version,
+                pulled_bytes,
+                copied_bytes,
+                elapsed,
+                ..
+            } => Ok(DeltaReport {
+                model: model.to_string(),
+                version,
+                pulled_bytes,
+                copied_bytes,
+                elapsed,
+            }),
             other => Err(PortusError::Daemon(format!(
                 "unexpected reply to delta checkpoint: {other:?}"
             ))),
@@ -398,7 +481,12 @@ impl PortusClient {
             self.nic.deregister(mr.rkey());
         }
         match reply? {
-            Reply::RestoreDone { version, bytes, elapsed, .. } => Ok(RestoreReport {
+            Reply::RestoreDone {
+                version,
+                bytes,
+                elapsed,
+                ..
+            } => Ok(RestoreReport {
                 model: model.spec().name.clone(),
                 version,
                 bytes,

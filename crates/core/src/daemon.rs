@@ -36,11 +36,21 @@
 //! typed [`PortusError::DatapathFailed`] with per-tensor attribution.
 //! The model's previous `Done` version is never touched, so restore
 //! keeps working after any failed checkpoint.
+//!
+//! Multi-tenant QoS (see [`crate::qos`]) sits in front of all of this:
+//! each connection carries a tenant identity
+//! ([`PortusDaemon::accept_as`]), checkpoint traffic passes per-tenant
+//! token buckets before it may queue (over budget → typed
+//! [`Reply::Throttled`] with a `retry_after` hint), the dispatch pool
+//! runs two classes so restores overtake queued checkpoints, and the
+//! striped datapath confines concurrent tenants to weighted-fair lane
+//! shares.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
@@ -52,7 +62,10 @@ use portus_rdma::{
 use portus_sim::{Metrics, Resource, SimContext, SimDuration, SimTime, SpanRecord, Stage, TraceOp};
 
 use crate::proto::{ModelSummary, Reply, Request, TensorDesc};
-use crate::{Index, MIndex, ModelMap, PortusError, PortusResult, SlotHeader, SlotState, VerbFailure};
+use crate::qos::{QosConfig, QosState, TenantCtx};
+use crate::{
+    Index, MIndex, ModelMap, PortusError, PortusResult, SlotHeader, SlotState, VerbFailure,
+};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -71,11 +84,15 @@ pub struct DaemonConfig {
     /// all connections are handled by this pool, so up to
     /// `dispatch_workers` requests make progress concurrently.
     pub dispatch_workers: usize,
-    /// Bound of the dispatch queue: at most this many requests wait
-    /// for a worker; once full, further dispatches block the
-    /// connection thread (backpressure) instead of queueing without
-    /// limit. Current depth, high-water mark, and this capacity are
-    /// exported as gauges on [`portus_sim::Metrics`].
+    /// Bound of the dispatch queue's **normal class** (checkpoint
+    /// traffic): at most this many requests wait for a worker. Once
+    /// full, a further checkpoint dispatch waits up to
+    /// [`DaemonConfig::shed_wait`] for space and is then **shed** with
+    /// a typed [`Reply::Throttled`] — overload is surfaced to the
+    /// client instead of silently blocking the connection thread.
+    /// Restores and control-plane requests ride the urgent class and
+    /// are never shed. Current depth, high-water mark, and this
+    /// capacity are exported as gauges on [`portus_sim::Metrics`].
     pub dispatch_queue_depth: usize,
     /// How many rounds a failed datapath WQE is re-posted before the
     /// operation is declared failed and the target slot rolled back.
@@ -101,6 +118,27 @@ pub struct DaemonConfig {
     /// persist+checksum stage while later WQEs are still in flight.
     /// `1` keeps the classic single-QP datapath, bit-for-bit.
     pub qps_per_connection: usize,
+    /// Multi-tenant QoS policy: per-tenant token buckets (admission)
+    /// and lane weights (weighted-fair striping). The default is
+    /// policy-free — unlimited buckets, equal weights — and leaves the
+    /// daemon's behaviour exactly as it was before QoS existed.
+    pub qos: QosConfig,
+    /// Route restores onto the dispatch pool's **urgent class**: they
+    /// bypass the token buckets and jump ahead of every queued
+    /// checkpoint, keeping restore latency flat through a checkpoint
+    /// storm. Disabled, restores queue behind checkpoints in the
+    /// bounded normal class (but are still never shed).
+    pub priority_restore: bool,
+    /// How long (host wall clock — queueing charges no virtual time) a
+    /// checkpoint dispatch may wait for space on a full normal queue
+    /// before it is shed with [`Reply::Throttled`]. Generous by
+    /// default so a briefly-full queue still backpressures rather than
+    /// shedding.
+    pub shed_wait: Duration,
+    /// The `retry_after` hint carried by a queue-shed
+    /// [`Reply::Throttled`] (virtual time; admission sheds compute the
+    /// token bucket's exact deficit instead).
+    pub shed_retry_after: SimDuration,
 }
 
 impl Default for DaemonConfig {
@@ -116,6 +154,10 @@ impl Default for DaemonConfig {
             space_low_watermark: 0,
             space_high_watermark: 0,
             qps_per_connection: 1,
+            qos: QosConfig::default(),
+            priority_restore: true,
+            shed_wait: Duration::from_millis(500),
+            shed_retry_after: SimDuration::from_millis(1),
         }
     }
 }
@@ -123,71 +165,178 @@ impl Default for DaemonConfig {
 /// A unit of work handed to the dispatch pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Which of the dispatch pool's two classes a job rides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobClass {
+    /// Restores (when [`DaemonConfig::priority_restore`] is on) and all
+    /// control-plane requests: unbounded, drained before any normal
+    /// job, never shed.
+    Urgent,
+    /// Checkpoint traffic (and restores with priority disabled):
+    /// bounded by [`DaemonConfig::dispatch_queue_depth`].
+    Normal,
+}
+
+/// What became of a dispatched job. The shed and closed variants hand
+/// the job back so the caller can reply `Throttled` or run it inline.
+enum DispatchOutcome {
+    /// Queued; a worker will run it.
+    Queued,
+    /// The normal queue stayed full past the shed wait.
+    Shed(Job),
+    /// The pool is draining (shutdown raced a late request).
+    Closed(Job),
+}
+
+/// The two-class dispatch queue, guarded by one mutex.
+struct QueueInner {
+    urgent: VecDeque<Job>,
+    normal: VecDeque<Job>,
+    capacity: usize,
+    closed: bool,
+}
+
 /// Bounded worker pool executing per-request jobs for all connections.
-/// The queue holds at most `queue_depth` waiting jobs; a full queue
-/// blocks the dispatching connection thread until a worker drains one
-/// (backpressure instead of unbounded buffering). Queue depth and its
-/// high-water mark are exported as gauges on the shared [`Metrics`].
+///
+/// Two classes share the pool: an **urgent** queue (restores and
+/// control plane — unbounded, drained first, never shed) and a
+/// **normal** queue (checkpoints) holding at most `queue_depth` waiting
+/// jobs. A full normal queue backpressures the dispatching connection
+/// thread for a bounded wait, then **sheds** the job back to the caller
+/// ([`DispatchOutcome::Shed`]) so overload turns into a typed
+/// [`Reply::Throttled`] instead of an indefinitely blocked connection.
+/// Queue depth and its high-water mark are exported as gauges on the
+/// shared [`Metrics`].
 struct Dispatcher {
-    tx: Mutex<Option<Sender<Job>>>,
+    // std sync primitives here, not parking_lot: the producers need
+    // condvar waits (with timeout) that the workspace's parking_lot
+    // build does not provide.
+    inner: StdMutex<QueueInner>,
+    /// Signalled when a job is queued (workers wait on it).
+    jobs_ready: StdCondvar,
+    /// Signalled when a normal job is drained (producers wait on it).
+    space_ready: StdCondvar,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Metrics,
 }
 
 impl Dispatcher {
-    fn new(workers: usize, queue_depth: usize, metrics: Metrics) -> Dispatcher {
-        // `bounded(0)` is a rendezvous channel; keep at least one slot
-        // so dispatch-then-drain still decouples sender and worker.
+    fn new(workers: usize, queue_depth: usize, metrics: Metrics) -> Arc<Dispatcher> {
         let depth = queue_depth.max(1);
-        let (tx, rx) = bounded::<Job>(depth);
         metrics.set_queue_capacity(depth as u64);
+        let dispatcher = Arc::new(Dispatcher {
+            inner: StdMutex::new(QueueInner {
+                urgent: VecDeque::new(),
+                normal: VecDeque::new(),
+                capacity: depth,
+                closed: false,
+            }),
+            jobs_ready: StdCondvar::new(),
+            space_ready: StdCondvar::new(),
+            handles: Mutex::new(Vec::new()),
+            metrics,
+        });
         let handles = (0..workers.max(1))
             .map(|_| {
-                let rx = rx.clone();
-                let metrics = metrics.clone();
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        metrics.queue_exit();
-                        job();
-                    }
-                })
+                let d = Arc::clone(&dispatcher);
+                std::thread::spawn(move || d.worker_loop())
             })
             .collect();
-        Dispatcher {
-            tx: Mutex::new(Some(tx)),
-            handles: Mutex::new(handles),
-            metrics,
+        *dispatcher.handles.lock() = handles;
+        dispatcher
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.lock_queue();
+                loop {
+                    // Urgent first — a queued restore overtakes every
+                    // waiting checkpoint.
+                    if let Some(job) = q.urgent.pop_front() {
+                        break Some(job);
+                    }
+                    if let Some(job) = q.normal.pop_front() {
+                        self.space_ready.notify_one();
+                        break Some(job);
+                    }
+                    if q.closed {
+                        break None;
+                    }
+                    q = self
+                        .jobs_ready
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            match job {
+                Some(job) => {
+                    self.metrics.queue_exit();
+                    job();
+                }
+                None => return,
+            }
         }
     }
 
-    fn dispatch(&self, job: Job) {
-        let not_sent = {
-            let guard = self.tx.lock();
-            match guard.as_ref() {
-                Some(tx) => {
-                    // Gauge covers the send itself, so a dispatcher
-                    // blocked on a full queue shows up at capacity.
-                    self.metrics.queue_enter();
-                    match tx.send(job) {
-                        Ok(()) => None,
-                        Err(e) => {
-                            self.metrics.queue_exit();
-                            Some(e.0)
+    /// Queues `job` on its class. Normal-class jobs wait for space on a
+    /// full queue: up to `shed_wait` host-clock time when given (then
+    /// [`DispatchOutcome::Shed`]), indefinitely when `None` (restores
+    /// demoted to the normal class must never be shed). Queueing
+    /// charges no virtual time either way.
+    fn dispatch(&self, job: Job, class: JobClass, shed_wait: Option<Duration>) -> DispatchOutcome {
+        let mut q = self.lock_queue();
+        if class == JobClass::Normal {
+            match shed_wait {
+                Some(wait) => {
+                    let deadline = Instant::now() + wait;
+                    while q.normal.len() >= q.capacity && !q.closed {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return DispatchOutcome::Shed(job);
                         }
+                        q = self
+                            .space_ready
+                            .wait_timeout(q, remaining)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
                     }
                 }
-                None => Some(job),
+                None => {
+                    while q.normal.len() >= q.capacity && !q.closed {
+                        q = self
+                            .space_ready
+                            .wait(q)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
             }
-        };
-        if let Some(job) = not_sent {
-            // The pool is draining (shutdown raced a late request); run
-            // the job inline so the client still gets its reply.
-            job();
         }
+        if q.closed {
+            return DispatchOutcome::Closed(job);
+        }
+        match class {
+            JobClass::Urgent => q.urgent.push_back(job),
+            JobClass::Normal => q.normal.push_back(job),
+        }
+        self.metrics.queue_enter();
+        self.jobs_ready.notify_one();
+        DispatchOutcome::Queued
     }
 
     fn shutdown(&self) {
-        *self.tx.lock() = None;
+        {
+            let mut q = self.lock_queue();
+            q.closed = true;
+        }
+        // Workers drain whatever is already queued, then exit; blocked
+        // producers wake and fall back to inline execution.
+        self.jobs_ready.notify_all();
+        self.space_ready.notify_all();
         for handle in self.handles.lock().drain(..) {
             let _ = handle.join();
         }
@@ -235,6 +384,8 @@ pub(crate) struct DaemonState {
     pub(crate) sessions: Mutex<HashMap<String, Vec<TensorDesc>>>,
     model_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     cfg: DaemonConfig,
+    /// Admission buckets and the lane arbiter (built from `cfg.qos`).
+    qos: QosState,
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
     /// The recovery-epoch gate for `Active`-slot reclaim: the
@@ -318,11 +469,11 @@ impl PortusDaemon {
         cfg: DaemonConfig,
     ) -> PortusResult<Arc<PortusDaemon>> {
         let nic = fabric.nic(node)?;
-        let dispatcher = Arc::new(Dispatcher::new(
+        let dispatcher = Dispatcher::new(
             cfg.dispatch_workers,
             cfg.dispatch_queue_depth,
             fabric.ctx().metrics.clone(),
-        ));
+        );
         // The recovery epoch: any slot already `Active` at daemon start
         // is crash debris from a previous incarnation — no thread of
         // this process can be pulling into it. Only these slots are
@@ -337,6 +488,7 @@ impl PortusDaemon {
             }
         }
         let high_watermark = cfg.space_high_watermark;
+        let qos = QosState::new(cfg.qos.clone());
         let state = Arc::new(DaemonState {
             ctx: fabric.ctx().clone(),
             index,
@@ -344,6 +496,7 @@ impl PortusDaemon {
             sessions: Mutex::new(HashMap::new()),
             model_locks: Mutex::new(HashMap::new()),
             cfg,
+            qos,
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             stale_active: Mutex::new(stale_active),
@@ -379,7 +532,19 @@ impl PortusDaemon {
     /// Request handling itself runs on the shared dispatch pool.
     /// [`DaemonConfig::qps_per_connection`] queue pairs are opened, one
     /// per DMA-engine lane; datapath operations stripe across them.
+    ///
+    /// The connection is attributed to the `"default"` tenant; use
+    /// [`PortusDaemon::accept_as`] to name one.
     pub fn accept(&self, client_nic: Arc<Nic>) -> ClientEndpoints {
+        self.accept_as(client_nic, "default")
+    }
+
+    /// [`PortusDaemon::accept`] with an explicit tenant identity: every
+    /// request on the connection is charged to `tenant`'s token buckets
+    /// ([`crate::TenantQos`] via [`DaemonConfig::qos`]), confined to its
+    /// weighted-fair share of the striped QP lanes, and attributed to
+    /// its per-tenant metrics breakdown.
+    pub fn accept_as(&self, client_nic: Arc<Nic>, tenant: &str) -> ClientEndpoints {
         let ctx = self.state.ctx.clone();
         let (req_client, req_daemon) = ControlChannel::pair(ctx.clone());
         let (rep_daemon, rep_client) = ControlChannel::pair(ctx);
@@ -395,8 +560,10 @@ impl PortusDaemon {
         let pool = Arc::new(QpPool { qps: daemon_qps });
         let state = Arc::clone(&self.state);
         let dispatcher = Arc::clone(&self.dispatcher);
-        let handle =
-            std::thread::spawn(move || serve(state, dispatcher, pool, req_daemon, rep_daemon));
+        let tenant = self.state.qos.tenant_ctx(tenant);
+        let handle = std::thread::spawn(move || {
+            serve(state, dispatcher, pool, tenant, req_daemon, rep_daemon)
+        });
         self.workers.lock().push(handle);
         let qp_client = client_qps.remove(0);
         ClientEndpoints {
@@ -474,7 +641,12 @@ struct SpanCtx<'a> {
 impl<'a> SpanCtx<'a> {
     fn new(ctx: &'a SimContext, req_id: u64, op: TraceOp, model: &str) -> SpanCtx<'a> {
         let model = ctx.tracer.is_enabled().then(|| model.to_string());
-        SpanCtx { ctx, req_id, op, model }
+        SpanCtx {
+            ctx,
+            req_id,
+            op,
+            model,
+        }
     }
 
     fn record(&self, stage: Stage, start: SimTime, end: SimTime, round: u32) {
@@ -520,10 +692,44 @@ fn span_meta(req: &Request) -> Option<(u64, TraceOp, String)> {
     }
 }
 
+/// Checkpoint payload bytes `req` will pull, for admission accounting
+/// (`None` for anything that is not checkpoint traffic). A model with
+/// no registered session costs 0 — the handler rejects it with the
+/// proper error, and charging nothing keeps the shed path honest. A
+/// delta's cost is its dirty-masked byte sum (the carry-over bytes
+/// never cross the fabric; a first delta with no previous version pulls
+/// everything, but the mask is the client's own declared intent).
+fn checkpoint_cost(state: &DaemonState, req: &Request) -> Option<u64> {
+    match req {
+        Request::Checkpoint { model, .. } => Some(session_bytes(state, model, None)),
+        Request::DeltaCheckpoint { model, dirty, .. } => {
+            Some(session_bytes(state, model, Some(dirty)))
+        }
+        _ => None,
+    }
+}
+
+fn session_bytes(state: &DaemonState, model: &str, dirty: Option<&[bool]>) -> u64 {
+    let sessions = state.sessions.lock();
+    let Some(descs) = sessions.get(model) else {
+        return 0;
+    };
+    match dirty {
+        None => descs.iter().map(TensorDesc::size_bytes).sum(),
+        Some(mask) => descs
+            .iter()
+            .zip(mask)
+            .filter(|&(_, &is_dirty)| is_dirty)
+            .map(|(d, _)| d.size_bytes())
+            .sum(),
+    }
+}
+
 fn serve(
     state: Arc<DaemonState>,
     dispatcher: Arc<Dispatcher>,
     pool: Arc<QpPool>,
+    tenant: TenantCtx,
     requests: ControlChannel<Request>,
     replies: ControlChannel<Reply>,
 ) {
@@ -536,31 +742,91 @@ fn serve(
         if matches!(req, Request::Disconnect) {
             break;
         }
+        let metrics = &state.ctx.metrics;
+        // Token-bucket admission: checkpoint traffic only. Restores are
+        // latency-critical recovery traffic and bypass the buckets; the
+        // control plane is too cheap to meter.
+        if let Some(bytes) = checkpoint_cost(&state, &req) {
+            let now = state.ctx.clock.now();
+            if let Err(wait) = state.qos.admit(&tenant, bytes, now) {
+                metrics.tenant_throttled(&tenant.name);
+                let _ = replies.send(Reply::Throttled {
+                    req_id: req.req_id().unwrap_or(0),
+                    retry_after_ns: wait.as_nanos(),
+                });
+                continue;
+            }
+            metrics.tenant_admitted(&tenant.name, bytes);
+        } else if let Request::Restore { tensors, .. } = &req {
+            let bytes = tensors.iter().map(TensorDesc::size_bytes).sum();
+            metrics.tenant_admitted(&tenant.name, bytes);
+        }
+        let is_checkpoint = matches!(
+            req,
+            Request::Checkpoint { .. } | Request::DeltaCheckpoint { .. }
+        );
+        let class = match &req {
+            Request::Checkpoint { .. } | Request::DeltaCheckpoint { .. } => JobClass::Normal,
+            Request::Restore { .. } if !state.cfg.priority_restore => JobClass::Normal,
+            _ => JobClass::Urgent,
+        };
+        let req_id = req.req_id().unwrap_or(0);
         let meta = span_meta(&req);
         let enqueued = state.ctx.clock.now();
-        let state = Arc::clone(&state);
-        let pool = Arc::clone(&pool);
-        let replies = Arc::clone(&replies);
-        dispatcher.dispatch(Box::new(move || {
-            let n = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-            state.peak_in_flight.fetch_max(n, Ordering::Relaxed);
-            // Virtual time that passed between enqueue and pickup is
-            // the dispatch-queue wait (zero for an idle pool: queueing
-            // itself charges no virtual time).
-            if let Some((req_id, op, model)) = &meta {
-                let sc = SpanCtx::new(&state.ctx, *req_id, *op, model);
-                sc.record_now(Stage::DispatchWait, enqueued);
+        let job: Job = Box::new({
+            let state = Arc::clone(&state);
+            let pool = Arc::clone(&pool);
+            let replies = Arc::clone(&replies);
+            let tenant = tenant.clone();
+            move || {
+                let n = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                state.peak_in_flight.fetch_max(n, Ordering::Relaxed);
+                // Virtual time that passed between enqueue and pickup is
+                // the dispatch-queue wait (zero for an idle pool: queueing
+                // itself charges no virtual time).
+                let op = meta.as_ref().map(|(_, op, _)| *op);
+                if let Some((req_id, op, model)) = &meta {
+                    let sc = SpanCtx::new(&state.ctx, *req_id, *op, model);
+                    sc.record_now(Stage::DispatchWait, enqueued);
+                }
+                let reply = handle_request(&state, &pool, &tenant, req);
+                state.in_flight.fetch_sub(1, Ordering::Relaxed);
+                // Per-tenant end-to-end latency (dispatch wait included
+                // — exactly what a tenant experiences).
+                if let Some(op) = op {
+                    state.ctx.metrics.record_tenant_op(
+                        &tenant.name,
+                        op,
+                        state.ctx.clock.now().saturating_since(enqueued),
+                    );
+                }
+                // The client may already be gone; nothing to do then.
+                let _ = replies.send(reply);
+                // Watermark check after the reply is on the wire: a request
+                // that dipped free space below a watermark triggers
+                // compaction (inline below low, background below high)
+                // without adding latency to its own reply.
+                state.maybe_trigger_repack();
             }
-            let reply = handle_request(&state, &pool, req);
-            state.in_flight.fetch_sub(1, Ordering::Relaxed);
-            // The client may already be gone; nothing to do then.
-            let _ = replies.send(reply);
-            // Watermark check after the reply is on the wire: a request
-            // that dipped free space below a watermark triggers
-            // compaction (inline below low, background below high)
-            // without adding latency to its own reply.
-            state.maybe_trigger_repack();
-        }));
+        });
+        // Checkpoints shed after the bounded wait; a restore demoted to
+        // the normal class (priority disabled) waits forever — restores
+        // are never shed.
+        let shed_wait = is_checkpoint.then_some(state.cfg.shed_wait);
+        match dispatcher.dispatch(job, class, shed_wait) {
+            DispatchOutcome::Queued => {}
+            DispatchOutcome::Shed(job) => {
+                drop(job);
+                state.ctx.metrics.tenant_shed(&tenant.name);
+                let _ = replies.send(Reply::Throttled {
+                    req_id,
+                    retry_after_ns: state.cfg.shed_retry_after.as_nanos(),
+                });
+            }
+            // The pool is draining (shutdown raced a late request); run
+            // the job inline so the client still gets its reply.
+            DispatchOutcome::Closed(job) => job(),
+        }
     }
 }
 
@@ -571,18 +837,35 @@ fn serve(
 /// [`Reply::Error`].
 fn error_reply(req_id: u64, e: PortusError) -> Reply {
     match e {
-        PortusError::DatapathFailed { model, op, failures } => {
-            Reply::DatapathFailed { req_id, model, op, failures }
-        }
-        PortusError::OutOfSpace { needed, free, largest_extent } => {
-            Reply::OutOfSpace { req_id, needed, free, largest_extent }
-        }
-        other => Reply::Error { req_id, message: other.to_string() },
+        PortusError::DatapathFailed {
+            model,
+            op,
+            failures,
+        } => Reply::DatapathFailed {
+            req_id,
+            model,
+            op,
+            failures,
+        },
+        PortusError::OutOfSpace {
+            needed,
+            free,
+            largest_extent,
+        } => Reply::OutOfSpace {
+            req_id,
+            needed,
+            free,
+            largest_extent,
+        },
+        other => Reply::Error {
+            req_id,
+            message: other.to_string(),
+        },
     }
 }
 
 /// Executes one request against the daemon state and builds its reply.
-fn handle_request(state: &DaemonState, pool: &QpPool, req: Request) -> Reply {
+fn handle_request(state: &DaemonState, pool: &QpPool, tenant: &TenantCtx, req: Request) -> Reply {
     match req {
         // The connection thread consumes Disconnect; answer defensively
         // if one is ever routed here.
@@ -590,36 +873,34 @@ fn handle_request(state: &DaemonState, pool: &QpPool, req: Request) -> Reply {
             req_id: 0,
             message: "disconnect is handled by the connection thread".to_string(),
         },
-        Request::Register { req_id, model, tensors } => {
-            match state.register(&model, tensors) {
-                Ok(()) => Reply::Registered { req_id, slots: crate::SLOT_COUNT as u8 },
-                Err(e) => error_reply(req_id, e),
-            }
-        }
-        Request::DeltaCheckpoint { req_id, model, dirty } => {
-            match state.delta_checkpoint(pool, &model, &dirty, req_id) {
-                Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
-                    req_id,
-                    version,
-                    pulled_bytes,
-                    copied_bytes,
-                    elapsed,
-                },
-                Err(e) => error_reply(req_id, e),
-            }
-        }
-        Request::Checkpoint { req_id, model } => match state.checkpoint(pool, &model, req_id) {
-            Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
+        Request::Register {
+            req_id,
+            model,
+            tensors,
+        } => match state.register(&model, tensors) {
+            Ok(()) => Reply::Registered {
+                req_id,
+                slots: crate::SLOT_COUNT as u8,
+            },
+            Err(e) => error_reply(req_id, e),
+        },
+        Request::DeltaCheckpoint {
+            req_id,
+            model,
+            dirty,
+        } => match state.delta_checkpoint(pool, tenant, &model, &dirty, req_id) {
+            Ok((version, pulled_bytes, copied_bytes, elapsed)) => Reply::DeltaDone {
                 req_id,
                 version,
-                bytes,
+                pulled_bytes,
+                copied_bytes,
                 elapsed,
             },
             Err(e) => error_reply(req_id, e),
         },
-        Request::Restore { req_id, model, tensors, version } => {
-            match state.restore(pool, &model, &tensors, version, req_id) {
-                Ok((version, bytes, elapsed)) => Reply::RestoreDone {
+        Request::Checkpoint { req_id, model } => {
+            match state.checkpoint(pool, tenant, &model, req_id) {
+                Ok((version, bytes, elapsed)) => Reply::CheckpointDone {
                     req_id,
                     version,
                     bytes,
@@ -628,6 +909,20 @@ fn handle_request(state: &DaemonState, pool: &QpPool, req: Request) -> Reply {
                 Err(e) => error_reply(req_id, e),
             }
         }
+        Request::Restore {
+            req_id,
+            model,
+            tensors,
+            version,
+        } => match state.restore(pool, tenant, &model, &tensors, version, req_id) {
+            Ok((version, bytes, elapsed)) => Reply::RestoreDone {
+                req_id,
+                version,
+                bytes,
+                elapsed,
+            },
+            Err(e) => error_reply(req_id, e),
+        },
         Request::MarkComplete { req_id, model } => match state.mark_complete(&model) {
             Ok(()) => Reply::Completed { req_id },
             Err(e) => error_reply(req_id, e),
@@ -683,12 +978,21 @@ fn coalesce_runs(verbs: &[TensorVerb]) -> Vec<VerbRun> {
         let mut segs = Vec::new();
         let mut names = Vec::new();
         while i < verbs.len() && segs.len() < MAX_SGE && verbs[i].rel_off == expected {
-            segs.push(SgEntry { rkey: verbs[i].rkey, offset: 0, len: verbs[i].len });
+            segs.push(SgEntry {
+                rkey: verbs[i].rkey,
+                offset: 0,
+                len: verbs[i].len,
+            });
             names.push(verbs[i].name.clone());
             expected += verbs[i].len;
             i += 1;
         }
-        runs.push(VerbRun { segs, names, base_rel: base, len: expected - base });
+        runs.push(VerbRun {
+            segs,
+            names,
+            base_rel: base,
+            len: expected - base,
+        });
     }
     runs
 }
@@ -780,7 +1084,10 @@ fn drain_cq(
             break;
         }
         for wc in &batch {
-            let run = posted.iter().find(|(id, _)| *id == wc.wr_id).map(|&(_, r)| r);
+            let run = posted
+                .iter()
+                .find(|(id, _)| *id == wc.wr_id)
+                .map(|&(_, r)| r);
             match &wc.result {
                 Err(e) => {
                     if let Some(run) = run {
@@ -824,7 +1131,8 @@ fn copy_on_device(
         let chunk = ((len - done) as usize).min(buf.len());
         dev.read(src_off + done, &mut buf[..chunk])?;
         dev.write(dst_off + done, &buf[..chunk])?;
-        digest = crate::combine_digests(digest, crate::region_digest(&buf[..chunk], rel_off + done));
+        digest =
+            crate::combine_digests(digest, crate::region_digest(&buf[..chunk], rel_off + done));
         done += chunk as u64;
     }
     Ok(digest)
@@ -885,11 +1193,7 @@ impl DaemonState {
     /// the typed [`PortusError::OutOfSpace`] carrying the allocator's
     /// final view. The caller holds this model's lock; the pass
     /// `try_lock`s and simply skips the busy model.
-    fn ensure_region_or_reclaim(
-        &self,
-        mi: &mut MIndex,
-        slot: usize,
-    ) -> PortusResult<SlotHeader> {
+    fn ensure_region_or_reclaim(&self, mi: &mut MIndex, slot: usize) -> PortusResult<SlotHeader> {
         match self.index.ensure_slot_region(mi, slot) {
             Err(PortusError::Pmem(PmemError::OutOfSpace { .. })) => {
                 let _ = crate::repack::repack_pass(self, true, None);
@@ -1015,16 +1319,19 @@ impl DaemonState {
     fn execute_runs(
         &self,
         pool: &QpPool,
+        tenant: &TenantCtx,
         runs: &[VerbRun],
         data_off: u64,
         dir: Direction,
         sc: &SpanCtx<'_>,
     ) -> Result<RunOutcome, DatapathFailure> {
         if runs.is_empty() {
-            return Ok(RunOutcome { completions: Vec::new() });
+            return Ok(RunOutcome {
+                completions: Vec::new(),
+            });
         }
         if pool.len() > 1 {
-            return self.execute_runs_striped(pool, runs, data_off, dir, sc);
+            return self.execute_runs_striped(pool, tenant, runs, data_off, dir, sc);
         }
         self.execute_runs_single(pool.primary(), runs, data_off, dir, sc)
     }
@@ -1094,7 +1401,9 @@ impl DaemonState {
             failed = still_failed;
         }
         if failed.is_empty() {
-            return Ok(RunOutcome { completions: Vec::new() });
+            return Ok(RunOutcome {
+                completions: Vec::new(),
+            });
         }
         Err(DatapathFailure {
             failures: failed
@@ -1122,25 +1431,37 @@ impl DaemonState {
     /// QP it originally rode — its connection state, not a random
     /// stripe, is what the retry exercises — while the other lanes'
     /// completed runs are never touched again.
+    ///
+    /// Lane selection is **weighted-fair**: the tenant may only stripe
+    /// across the lanes its [`crate::qos::LaneArbiter`] share allows
+    /// right now. A lone tenant is allowed every lane, which keeps the
+    /// pre-QoS sharding bit-for-bit; concurrent tenants are confined to
+    /// their weighted quota and steered toward the lanes they have
+    /// charged the least.
     fn execute_runs_striped(
         &self,
         pool: &QpPool,
+        tenant: &TenantCtx,
         runs: &[VerbRun],
         data_off: u64,
         dir: Direction,
         sc: &SpanCtx<'_>,
     ) -> Result<RunOutcome, DatapathFailure> {
         let lanes = pool.len();
+        let allowed = self.qos.arbiter.allowed_lanes(tenant, lanes);
         let mut order: Vec<usize> = (0..runs.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(runs[i].len), i));
         let mut lane_bytes = vec![0u64; lanes];
         let mut lane_of = vec![0usize; runs.len()];
         for &i in &order {
-            let lane = (0..lanes)
+            let lane = allowed
+                .iter()
+                .copied()
                 .min_by_key(|&l| (lane_bytes[l], l))
-                .expect("pool is non-empty");
+                .expect("allowed lane set is non-empty");
             lane_of[i] = lane;
             lane_bytes[lane] += runs[i].len;
+            self.qos.arbiter.charge(tenant, lane, runs[i].len);
         }
         let endpoints: Vec<(PostedQueuePair, CompletionQueue)> = pool
             .qps
@@ -1172,8 +1493,11 @@ impl DaemonState {
             let t_post = self.ctx.clock.now();
             let mut posted: Vec<Vec<(WrId, usize)>> = vec![Vec::new(); lanes];
             for lane in 0..lanes {
-                let mine: Vec<usize> =
-                    pending.iter().copied().filter(|&i| lane_of[i] == lane).collect();
+                let mine: Vec<usize> = pending
+                    .iter()
+                    .copied()
+                    .filter(|&i| lane_of[i] == lane)
+                    .collect();
                 if mine.is_empty() {
                     continue;
                 }
@@ -1188,7 +1512,8 @@ impl DaemonState {
                 if posted[lane].is_empty() {
                     continue;
                 }
-                let (lane_failed, envelope, succeeded) = drain_cq(&endpoints[lane].1, &posted[lane]);
+                let (lane_failed, envelope, succeeded) =
+                    drain_cq(&endpoints[lane].1, &posted[lane]);
                 // Doorbell ring → the lane's first byte is the queueing
                 // window; the envelope is the lane's drain. A lane whose
                 // every WQE failed still rang its doorbell (zero-width).
@@ -1267,13 +1592,7 @@ impl DaemonState {
     /// fails must never mask the datapath error the caller is about to
     /// return — it is only counted. (The slot is then stranded `Active`
     /// until the next recovery epoch reclaims it.)
-    fn rollback_best_effort(
-        &self,
-        mi: &MIndex,
-        slot: usize,
-        pre: SlotHeader,
-        data_landed: bool,
-    ) {
+    fn rollback_best_effort(&self, mi: &MIndex, slot: usize, pre: SlotHeader, data_landed: bool) {
         if self.rollback_slot(mi, slot, pre, data_landed).is_err() {
             self.ctx.stats.record_rollback_failure();
             self.ctx.metrics.record_rollback_failure();
@@ -1397,7 +1716,8 @@ impl DaemonState {
         // The request completes when the pipeline drains (advance_to is
         // monotonic, so an already-later clock is left alone).
         ctx.clock.advance_to(pipe.busy_until());
-        ctx.metrics.set_pipeline_overlap(stage_overlapped, stage_busy);
+        ctx.metrics
+            .set_pipeline_overlap(stage_overlapped, stage_busy);
         let t0 = ctx.clock.now();
         let done = self.index.mark_slot_done_digest(mi, slot, digest);
         sc.record_now(Stage::HeaderFlip, t0);
@@ -1442,10 +1762,12 @@ impl DaemonState {
     pub(crate) fn checkpoint(
         &self,
         pool: &QpPool,
+        tenant: &TenantCtx,
         model: &str,
         req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
         let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::Checkpoint, model);
+        let _active = self.qos.arbiter.op_guard(tenant);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1506,13 +1828,14 @@ impl DaemonState {
         // The zero-copy pulls, GPU → PMem: coalesced gather WQEs posted
         // under one doorbell per QP stripe, completions drained off the
         // CQs, failed WQEs retried per-run on their own lane.
-        let outcome = match self.execute_runs(pool, &runs, hdr.data_off, Direction::Pull, &sc) {
-            Ok(outcome) => outcome,
-            Err(fail) => {
-                self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded);
-                return Err(fail.into_error(model, "checkpoint"));
-            }
-        };
+        let outcome =
+            match self.execute_runs(pool, tenant, &runs, hdr.data_off, Direction::Pull, &sc) {
+                Ok(outcome) => outcome,
+                Err(fail) => {
+                    self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded);
+                    return Err(fail.into_error(model, "checkpoint"));
+                }
+            };
         // RDMA landed in the DDIO domain; make it durable (Wei et al.),
         // checksum, and flip to Done. The striped datapath pipelines
         // per-run persist+digest work against the transfers themselves.
@@ -1545,11 +1868,13 @@ impl DaemonState {
     pub(crate) fn delta_checkpoint(
         &self,
         pool: &QpPool,
+        tenant: &TenantCtx,
         model: &str,
         dirty: &[bool],
         req_id: u64,
     ) -> PortusResult<(u64, u64, u64, SimDuration)> {
         let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::DeltaCheckpoint, model);
+        let _active = self.qos.arbiter.op_guard(tenant);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1656,24 +1981,29 @@ impl DaemonState {
         if !carries.is_empty() {
             sc.record_now(Stage::CarryCopy, t0);
         }
-        let outcome = match self.execute_runs(pool, &runs, hdr.data_off, Direction::Pull, &sc) {
-            Ok(outcome) => outcome,
-            Err(fail) => {
-                // Bytes landed if any pull WQE succeeded — or if any
-                // carry-over copy already wrote into the slot.
-                self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded || carried > 0);
-                return Err(fail.into_error(model, "delta-checkpoint"));
-            }
-        };
+        let outcome =
+            match self.execute_runs(pool, tenant, &runs, hdr.data_off, Direction::Pull, &sc) {
+                Ok(outcome) => outcome,
+                Err(fail) => {
+                    // Bytes landed if any pull WQE succeeded — or if any
+                    // carry-over copy already wrote into the slot.
+                    self.rollback_best_effort(&mi, target, hdr, fail.any_succeeded || carried > 0);
+                    return Err(fail.into_error(model, "delta-checkpoint"));
+                }
+            };
         if striped {
             let now = ctx.clock.now();
             let mut pieces = carry_pieces;
-            pieces.extend(runs.iter().zip(&outcome.completions).map(|(run, c)| SealPiece {
-                rel_off: run.base_rel,
-                len: run.len,
-                arrival: c.map_or(now, |(_, end)| end),
-                digest: None,
-            }));
+            pieces.extend(
+                runs.iter()
+                    .zip(&outcome.completions)
+                    .map(|(run, c)| SealPiece {
+                        rel_off: run.base_rel,
+                        len: run.len,
+                        arrival: c.map_or(now, |(_, end)| end),
+                        digest: None,
+                    }),
+            );
             self.seal_slot_pipelined(&mi, target, hdr, hdr, pieces, &sc)?;
         } else {
             self.seal_slot(&mi, target, hdr, hdr, &sc)?;
@@ -1686,12 +2016,14 @@ impl DaemonState {
     pub(crate) fn restore(
         &self,
         pool: &QpPool,
+        tenant: &TenantCtx,
         model: &str,
         descs: &[TensorDesc],
         version: Option<u64>,
         req_id: u64,
     ) -> PortusResult<(u64, u64, SimDuration)> {
         let sc = SpanCtx::new(&self.ctx, req_id, TraceOp::Restore, model);
+        let _active = self.qos.arbiter.op_guard(tenant);
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
@@ -1744,7 +2076,7 @@ impl DaemonState {
         // one doorbell, no client CPU involvement. A terminal push
         // failure touches no slot state — the stored version stays
         // `Done` and a later restore can try again.
-        self.execute_runs(pool, &runs, hdr.data_off, Direction::Push, &sc)
+        self.execute_runs(pool, tenant, &runs, hdr.data_off, Direction::Push, &sc)
             .map_err(|fail| fail.into_error(model, "restore"))?;
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);

@@ -108,6 +108,16 @@ pub enum PortusError {
         /// The orphaned `data_off` the header points at.
         data_off: u64,
     },
+    /// The daemon shed the request: the tenant is over its token-bucket
+    /// budget, or the dispatch queue stayed full past the shed wait.
+    /// Nothing was done — no slot was touched, no version consumed.
+    /// Retrying after the hinted wait (virtual time) will usually
+    /// succeed; [`crate::PortusClient::set_throttle_retries`] makes the
+    /// client honor the hint automatically.
+    Throttled {
+        /// Virtual nanoseconds to wait before retrying.
+        retry_after_ns: u64,
+    },
     /// The device cannot hold the checkpoint even after a repack pass
     /// reclaimed everything reclaimable. Carries the allocator's view
     /// at the moment of the final failed allocation so the operator can
@@ -167,12 +177,19 @@ impl fmt::Display for PortusError {
                 write!(f, "no complete checkpoint version for model {m}")
             }
             PortusError::ChecksumMismatch { model, version } => {
-                write!(f, "checkpoint {model} v{version} failed integrity verification")
+                write!(
+                    f,
+                    "checkpoint {model} v{version} failed integrity verification"
+                )
             }
             PortusError::AlreadyInFlight(m) => {
                 write!(f, "an async checkpoint of model {m} is already in flight")
             }
-            PortusError::DatapathFailed { model, op, failures } => {
+            PortusError::DatapathFailed {
+                model,
+                op,
+                failures,
+            } => {
                 write!(
                     f,
                     "{op} of model {model} failed on the datapath ({} WQE(s) exhausted retries):",
@@ -183,21 +200,38 @@ impl fmt::Display for PortusError {
                 }
                 Ok(())
             }
-            PortusError::AllocatorDivergence { model, slot, data_off } => {
+            PortusError::AllocatorDivergence {
+                model,
+                slot,
+                data_off,
+            } => {
                 write!(
                     f,
                     "index/allocator divergence: {model} slot {slot} points at \
                      data_off {data_off:#x} with no matching allocation"
                 )
             }
-            PortusError::OutOfSpace { needed, free, largest_extent } => {
+            PortusError::Throttled { retry_after_ns } => {
+                write!(
+                    f,
+                    "request throttled by the daemon; retry after {retry_after_ns}ns"
+                )
+            }
+            PortusError::OutOfSpace {
+                needed,
+                free,
+                largest_extent,
+            } => {
                 write!(
                     f,
                     "out of PMem space after repacking: need {needed} bytes, \
                      {free} free, largest extent {largest_extent}"
                 )
             }
-            PortusError::ShardBarrier { barrier_step, failures } => {
+            PortusError::ShardBarrier {
+                barrier_step,
+                failures,
+            } => {
                 write!(
                     f,
                     "{} shard(s) failed their checkpoint at barrier step {barrier_step}:",
@@ -208,7 +242,11 @@ impl fmt::Display for PortusError {
                 }
                 Ok(())
             }
-            PortusError::ReplicasExhausted { model, op, attempts } => {
+            PortusError::ReplicasExhausted {
+                model,
+                op,
+                attempts,
+            } => {
                 write!(
                     f,
                     "{op} of model {model} failed on all {} replica(s):",
@@ -318,7 +356,11 @@ mod tests {
 
     #[test]
     fn out_of_space_display_reports_the_allocator_view() {
-        let e = PortusError::OutOfSpace { needed: 8192, free: 4096, largest_extent: 1024 };
+        let e = PortusError::OutOfSpace {
+            needed: 8192,
+            free: 4096,
+            largest_extent: 1024,
+        };
         let msg = e.to_string();
         assert!(msg.contains("out of PMem space"));
         assert!(msg.contains("8192"));
@@ -354,6 +396,16 @@ mod tests {
         assert!(msg.contains("all 2 replica(s)"));
         assert!(msg.contains("replica 0: fabric down"));
         assert!(msg.contains("replica 1: no valid checkpoint"));
+    }
+
+    #[test]
+    fn throttled_display_carries_the_retry_hint() {
+        let e = PortusError::Throttled {
+            retry_after_ns: 2_500_000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("throttled"));
+        assert!(msg.contains("2500000ns"));
     }
 
     #[test]

@@ -315,7 +315,8 @@ impl Index {
         dev.write(table_base, &vec![0u8; table_size as usize])?;
         dev.persist(0, table_base + table_size)?;
 
-        let alloc = PmemAllocator::format(dev.clone(), alloc_base, alloc_slots, heap_base, heap_end)?;
+        let alloc =
+            PmemAllocator::format(dev.clone(), alloc_base, alloc_slots, heap_base, heap_end)?;
         Ok(Index {
             dev,
             alloc,
@@ -686,7 +687,8 @@ impl Index {
         let version = if pre.state == SlotState::Done {
             pre.version
         } else {
-            pre.version.max(typed::read_u64(&self.dev, sh + SH_VERSION)?)
+            pre.version
+                .max(typed::read_u64(&self.dev, sh + SH_VERSION)?)
         };
         typed::write_u64(&self.dev, sh + SH_VERSION, version)?;
         typed::write_u64(&self.dev, sh + SH_CHECKSUM, pre.checksum)?;
@@ -1106,7 +1108,10 @@ mod tests {
         assert_eq!(combine_digests(combine_digests(a, b), c), whole);
         assert_eq!(combine_digests(c, combine_digests(b, a)), whole);
         // Position matters: the same bytes at a different base differ.
-        assert_ne!(region_digest(&data[..100], 0), region_digest(&data[..100], 4));
+        assert_ne!(
+            region_digest(&data[..100], 0),
+            region_digest(&data[..100], 4)
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod index;
 mod model_map;
 pub mod portusctl;
 mod proto;
+pub mod qos;
 mod repack;
 mod replica;
 
@@ -86,5 +87,6 @@ pub use index::{
 };
 pub use model_map::{Iter, ModelMap};
 pub use proto::{ModelSummary, Reply, Request, TensorDesc};
+pub use qos::{QosConfig, TenantQos, TokenBucket};
 pub use repack::{repack, RepackReport};
 pub use replica::{ReplicatedCheckpoint, ReplicatedClient};

@@ -425,8 +425,16 @@ impl ModelMap {
         }
         let n = &self.nodes[x];
         if n.color == Color::Red {
-            assert_eq!(self.color(n.left), Color::Black, "red node with red left child");
-            assert_eq!(self.color(n.right), Color::Black, "red node with red right child");
+            assert_eq!(
+                self.color(n.left),
+                Color::Black,
+                "red node with red left child"
+            );
+            assert_eq!(
+                self.color(n.right),
+                Color::Black,
+                "red node with red right child"
+            );
         }
         if n.left != NIL {
             assert!(self.nodes[n.left].key < n.key, "BST order violated");
@@ -549,12 +557,17 @@ mod tests {
         let mut reference = BTreeMap::new();
         let mut state = 0x12345678u64;
         for _ in 0..2000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = format!("k{}", state % 200);
             let op = (state >> 32) % 3;
             match op {
                 0 | 1 => {
-                    assert_eq!(ours.insert(key.clone(), state), reference.insert(key, state));
+                    assert_eq!(
+                        ours.insert(key.clone(), state),
+                        reference.insert(key, state)
+                    );
                 }
                 _ => {
                     assert_eq!(ours.remove(&key), reference.remove(&key));

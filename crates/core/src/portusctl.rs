@@ -199,6 +199,36 @@ pub fn render_stats(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders the multi-tenant view `portusctl tenants` prints: one row
+/// per tenant with its admission counters (admitted/throttled/shed and
+/// admitted bytes) and the p50/p99 of its checkpoint and restore
+/// end-to-end latency histograms (virtual time, dispatch wait
+/// included).
+pub fn render_tenants(snapshot: &MetricsSnapshot) -> String {
+    let ns = |v: u64| SimDuration::from_nanos(v).to_string();
+    let mut out = String::from(
+        "TENANT                   ADMITTED  THROTTLED   SHED        BYTES      CKPT-P50      CKPT-P99       RST-P50       RST-P99\n",
+    );
+    for t in &snapshot.tenants {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>6} {:>12} {:>13} {:>13} {:>13} {:>13}\n",
+            t.tenant,
+            t.admitted_ops,
+            t.throttled_ops,
+            t.shed_ops,
+            t.admitted_bytes,
+            ns(t.checkpoint.p50()),
+            ns(t.checkpoint.p99()),
+            ns(t.restore.p50()),
+            ns(t.restore.p99()),
+        ));
+    }
+    if snapshot.tenants.is_empty() {
+        out.push_str("(no tenant-attributed requests recorded)\n");
+    }
+    out
+}
+
 /// Renders the space-management view `portusctl space` prints: the
 /// PMem free/used gauges, the largest contiguous extent, the derived
 /// fragmentation ratio, and the repacker's lifetime reclaim counters.
@@ -314,6 +344,24 @@ mod tests {
         assert!(s.contains("REPAIR-BYTES"));
         assert!(s.contains("2048"));
         assert!(s.trim_end().ends_with("yes"));
+    }
+
+    #[test]
+    fn render_tenants_formats_rows_and_empty_note() {
+        let m = Metrics::new();
+        let empty = render_tenants(&m.snapshot());
+        assert!(empty.contains("no tenant-attributed requests"));
+
+        m.tenant_admitted("team-a", 4096);
+        m.tenant_throttled("team-a");
+        m.tenant_shed("team-a");
+        m.record_tenant_op("team-a", TraceOp::Checkpoint, SimDuration::from_micros(100));
+        m.record_tenant_op("team-a", TraceOp::Restore, SimDuration::from_micros(7));
+        let s = render_tenants(&m.snapshot());
+        assert!(s.contains("team-a"));
+        assert!(s.contains("4096"));
+        assert!(s.contains("THROTTLED"));
+        assert!(!s.contains("no tenant-attributed requests"));
     }
 
     #[test]

@@ -121,6 +121,24 @@ pub enum Request {
     Disconnect,
 }
 
+impl Request {
+    /// The request id carried by this request (`None` for
+    /// [`Request::Disconnect`], which has no reply).
+    pub fn req_id(&self) -> Option<u64> {
+        match self {
+            Request::Register { req_id, .. }
+            | Request::DeltaCheckpoint { req_id, .. }
+            | Request::Checkpoint { req_id, .. }
+            | Request::Restore { req_id, .. }
+            | Request::MarkComplete { req_id, .. }
+            | Request::Drop { req_id, .. }
+            | Request::List { req_id }
+            | Request::Stats { req_id } => Some(*req_id),
+            Request::Disconnect => None,
+        }
+    }
+}
+
 /// A model as reported by [`Request::List`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelSummary {
@@ -232,6 +250,18 @@ pub enum Reply {
         /// The work requests that stayed failed.
         failures: Vec<crate::VerbFailure>,
     },
+    /// The request was shed by admission control (token bucket over
+    /// budget) or by a dispatch queue that stayed full past the shed
+    /// wait. Typed overload: the client rebuilds
+    /// [`crate::PortusError::Throttled`] and may honor the retry hint.
+    Throttled {
+        /// Echoed request id.
+        req_id: u64,
+        /// Virtual nanoseconds the daemon suggests waiting before a
+        /// retry (the token bucket's exact deficit, or the configured
+        /// queue-shed hint).
+        retry_after_ns: u64,
+    },
     /// The request failed because the device cannot hold the checkpoint
     /// even after the daemon's automatic repack-and-retry. Structured so
     /// the client can rebuild [`crate::PortusError::OutOfSpace`].
@@ -261,6 +291,7 @@ impl Reply {
             | Reply::Stats { req_id, .. }
             | Reply::Error { req_id, .. }
             | Reply::DatapathFailed { req_id, .. }
+            | Reply::Throttled { req_id, .. }
             | Reply::OutOfSpace { req_id, .. } => *req_id,
         }
     }
@@ -292,7 +323,31 @@ mod tests {
         };
         assert_eq!(r.req_id(), 42);
         assert_eq!(Reply::Dropped { req_id: 9 }.req_id(), 9);
-        let oos = Reply::OutOfSpace { req_id: 11, needed: 1, free: 0, largest_extent: 0 };
+        let oos = Reply::OutOfSpace {
+            req_id: 11,
+            needed: 1,
+            free: 0,
+            largest_extent: 0,
+        };
         assert_eq!(oos.req_id(), 11);
+        let throttled = Reply::Throttled {
+            req_id: 13,
+            retry_after_ns: 1_000_000,
+        };
+        assert_eq!(throttled.req_id(), 13);
+    }
+
+    #[test]
+    fn request_req_id_extraction() {
+        assert_eq!(Request::List { req_id: 5 }.req_id(), Some(5));
+        assert_eq!(
+            Request::Checkpoint {
+                req_id: 6,
+                model: "m".into()
+            }
+            .req_id(),
+            Some(6)
+        );
+        assert_eq!(Request::Disconnect.req_id(), None);
     }
 }

@@ -221,13 +221,14 @@ fn free_slot_region(
     by_offset: &mut HashMap<u64, PmemAlloc>,
 ) -> PortusResult<u64> {
     let hdr = mi.slots[slot];
-    let alloc = by_offset
-        .remove(&hdr.data_off)
-        .ok_or_else(|| PortusError::AllocatorDivergence {
-            model: mi.name.clone(),
-            slot,
-            data_off: hdr.data_off,
-        })?;
+    let alloc =
+        by_offset
+            .remove(&hdr.data_off)
+            .ok_or_else(|| PortusError::AllocatorDivergence {
+                model: mi.name.clone(),
+                slot,
+                data_off: hdr.data_off,
+            })?;
     index.allocator().free(&alloc)?;
     index.clear_slot_region(mi, slot)?;
     Ok(alloc.len)

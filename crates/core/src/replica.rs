@@ -191,10 +191,7 @@ impl ReplicatedClient {
         let advertised = self.available_versions(&model.spec().name);
         let mut order: Vec<usize> = (0..self.clients.len()).collect();
         order.sort_by_key(|&i| {
-            let v = advertised
-                .iter()
-                .find(|(r, _)| *r == i)
-                .map(|(_, v)| *v);
+            let v = advertised.iter().find(|(r, _)| *r == i).map(|(_, v)| *v);
             // Highest advertised version first; unreachable/empty
             // replicas (None) sink to the end; replica order breaks
             // ties.
@@ -260,7 +257,11 @@ mod tests {
             );
         }
         let gpu = GpuDevice::new(ctx, 0, 1 << 30);
-        Rig { fabric, daemons: out, gpu }
+        Rig {
+            fabric,
+            daemons: out,
+            gpu,
+        }
     }
 
     fn client(r: &Rig) -> ReplicatedClient {
@@ -290,10 +291,7 @@ mod tests {
         assert_eq!(out.survivors(), 3);
         assert!(out.failed.is_empty());
         assert_eq!(out.version(), 1);
-        assert_eq!(
-            c.available_versions("bert"),
-            vec![(0, 1), (1, 1), (2, 1)]
-        );
+        assert_eq!(c.available_versions("bert"), vec![(0, 1), (1, 1), (2, 1)]);
     }
 
     #[test]
@@ -350,7 +348,11 @@ mod tests {
         }
         let err = c.restore(&model).expect_err("no replica left");
         match err {
-            PortusError::ReplicasExhausted { model, op, attempts } => {
+            PortusError::ReplicasExhausted {
+                model,
+                op,
+                attempts,
+            } => {
                 assert_eq!(model, "bert");
                 assert_eq!(op, "restore");
                 assert_eq!(attempts.len(), 2);

@@ -49,7 +49,12 @@ fn view_and_dump_via_the_binary() {
     // portusctl dump IMAGE MODEL OUT
     let dumped = dir.join("cli-model.ckpt");
     let out = Command::new(bin)
-        .args(["dump", image.to_str().unwrap(), "cli-model", dumped.to_str().unwrap()])
+        .args([
+            "dump",
+            image.to_str().unwrap(),
+            "cli-model",
+            dumped.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "dump failed: {out:?}");
@@ -60,7 +65,12 @@ fn view_and_dump_via_the_binary() {
 
     // Error paths exit non-zero with a message.
     let out = Command::new(bin)
-        .args(["dump", image.to_str().unwrap(), "no-such-model", "/dev/null"])
+        .args([
+            "dump",
+            image.to_str().unwrap(),
+            "no-such-model",
+            "/dev/null",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -185,7 +185,8 @@ impl ModelInstance {
                 continue;
             }
             let window = 64.min(len);
-            let offset = (self.step.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ (i as u64)) % (len - window + 1);
+            let offset =
+                (self.step.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ (i as u64)) % (len - window + 1);
             let mut patch = [0u8; 64];
             for (j, b) in patch[..window as usize].iter_mut().enumerate() {
                 *b = (self.step as u8)
@@ -219,9 +220,7 @@ impl ModelInstance {
     pub fn model_checksum(&self) -> u64 {
         self.tensor_checksums()
             .into_iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |acc, c| {
-                acc.rotate_left(13) ^ c
-            })
+            .fold(0xcbf2_9ce4_8422_2325u64, |acc, c| acc.rotate_left(13) ^ c)
     }
 
     /// Releases the GPU memory accounting for this instance's tensors.
@@ -240,10 +239,7 @@ fn fill_deterministic(buf: &portus_mem::Buffer, seed: u64) {
         let n = ((len - pos) as usize).min(chunk.len());
         for (j, b) in chunk[..n].iter_mut().enumerate() {
             let abs = pos + j as u64;
-            *b = ((seed
-                .wrapping_add(abs)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                >> 32) as u8;
+            *b = ((seed.wrapping_add(abs).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as u8;
         }
         buf.write_at(pos, &chunk[..n]).expect("in bounds");
         pos += n as u64;

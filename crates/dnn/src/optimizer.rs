@@ -56,9 +56,8 @@ impl CheckpointContent {
         match self {
             CheckpointContent::WeightsOnly => spec.clone(),
             CheckpointContent::WithOptimizer(opt) => {
-                let mut tensors = Vec::with_capacity(
-                    spec.tensors.len() * (1 + opt.state_tensors_per_param()),
-                );
+                let mut tensors =
+                    Vec::with_capacity(spec.tensors.len() * (1 + opt.state_tensors_per_param()));
                 for t in &spec.tensors {
                     tensors.push(t.clone());
                     for suffix in opt.state_suffixes() {

@@ -25,11 +25,19 @@ pub struct ParallelConfig {
 
 impl ParallelConfig {
     /// Single-GPU training.
-    pub const SINGLE: ParallelConfig = ParallelConfig { tensor: 1, pipeline: 1, data: 1 };
+    pub const SINGLE: ParallelConfig = ParallelConfig {
+        tensor: 1,
+        pipeline: 1,
+        data: 1,
+    };
 
     /// A tensor×pipeline grid with no data parallelism.
     pub fn grid(tensor: u32, pipeline: u32) -> ParallelConfig {
-        ParallelConfig { tensor, pipeline, data: 1 }
+        ParallelConfig {
+            tensor,
+            pipeline,
+            data: 1,
+        }
     }
 
     /// GPUs used by the job.
@@ -90,10 +98,7 @@ pub fn shard_model(spec: &ModelSpec, cfg: ParallelConfig) -> Vec<ModelShard> {
             shards.push(ModelShard {
                 pp_rank: pp_rank as u32,
                 tp_rank,
-                spec: ModelSpec::new(
-                    format!("{}/pp{}tp{}", spec.name, pp_rank, tp_rank),
-                    tensors,
-                ),
+                spec: ModelSpec::new(format!("{}/pp{}tp{}", spec.name, pp_rank, tp_rank), tensors),
             });
         }
     }
@@ -191,7 +196,11 @@ mod tests {
 
     #[test]
     fn gpu_count_accounting() {
-        let cfg = ParallelConfig { tensor: 8, pipeline: 2, data: 1 };
+        let cfg = ParallelConfig {
+            tensor: 8,
+            pipeline: 2,
+            data: 1,
+        };
         assert_eq!(cfg.gpu_count(), 16); // the paper's 16×A40 setup
         assert_eq!(cfg.checkpointing_shards(), 16);
     }

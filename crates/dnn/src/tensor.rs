@@ -37,7 +37,9 @@ impl TensorMeta {
     /// checkpoint header) degrades to a size mismatch instead of a
     /// panic.
     pub fn numel(&self) -> u64 {
-        self.shape.iter().fold(1u64, |acc, &d| acc.saturating_mul(d))
+        self.shape
+            .iter()
+            .fold(1u64, |acc, &d| acc.saturating_mul(d))
     }
 
     /// Payload size in bytes (saturating, see [`TensorMeta::numel`]).
@@ -48,7 +50,14 @@ impl TensorMeta {
 
 impl fmt::Display for TensorMeta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}{:?} ({} B)", self.name, self.dtype, self.shape, self.size_bytes())
+        write!(
+            f,
+            "{}: {}{:?} ({} B)",
+            self.name,
+            self.dtype,
+            self.shape,
+            self.size_bytes()
+        )
     }
 }
 

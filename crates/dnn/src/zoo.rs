@@ -97,20 +97,76 @@ macro_rules! zoo_model {
     };
 }
 
-zoo_model!(alexnet, alexnet_card, "alexnet", 16, 61_100_000, 233, 90,
-    "AlexNet: 16 layers, 61.1 M params, 233 MiB (Table II).");
-zoo_model!(convnext_base, convnext_base_card, "convnext_base", 344, 88_600_000, 338, 210,
-    "ConvNeXt-Base: 344 layers, 88.6 M params, 338 MiB (Table II).");
-zoo_model!(resnet50, resnet50_card, "resnet50", 161, 25_600_000, 97, 180,
-    "ResNet-50: 161 layers, 25.6 M params, 97 MiB (Table II).");
-zoo_model!(swin_b, swin_b_card, "swin_b", 329, 87_800_000, 335, 230,
-    "Swin-B: 329 layers, 87.8 M params, 335 MiB (Table II).");
-zoo_model!(vgg19_bn, vgg19_bn_card, "vgg19_bn", 70, 143_700_000, 548, 240,
-    "VGG19-BN: 70 layers, 143.7 M params, 548 MiB (Table II).");
-zoo_model!(vit_l_32, vit_l_32_card, "vit_l_32", 296, 306_500_000, 1169, 69,
-    "ViT-L/32: 296 layers, 306.5 M params, 1169 MiB (Table II).");
-zoo_model!(bert_large, bert_large_card, "bert_large", 396, 336_200_000, 1282, 350,
-    "BERT-Large-Uncased: 396 layers, 336.2 M params, 1282 MiB (Table II).");
+zoo_model!(
+    alexnet,
+    alexnet_card,
+    "alexnet",
+    16,
+    61_100_000,
+    233,
+    90,
+    "AlexNet: 16 layers, 61.1 M params, 233 MiB (Table II)."
+);
+zoo_model!(
+    convnext_base,
+    convnext_base_card,
+    "convnext_base",
+    344,
+    88_600_000,
+    338,
+    210,
+    "ConvNeXt-Base: 344 layers, 88.6 M params, 338 MiB (Table II)."
+);
+zoo_model!(
+    resnet50,
+    resnet50_card,
+    "resnet50",
+    161,
+    25_600_000,
+    97,
+    180,
+    "ResNet-50: 161 layers, 25.6 M params, 97 MiB (Table II)."
+);
+zoo_model!(
+    swin_b,
+    swin_b_card,
+    "swin_b",
+    329,
+    87_800_000,
+    335,
+    230,
+    "Swin-B: 329 layers, 87.8 M params, 335 MiB (Table II)."
+);
+zoo_model!(
+    vgg19_bn,
+    vgg19_bn_card,
+    "vgg19_bn",
+    70,
+    143_700_000,
+    548,
+    240,
+    "VGG19-BN: 70 layers, 143.7 M params, 548 MiB (Table II)."
+);
+zoo_model!(
+    vit_l_32,
+    vit_l_32_card,
+    "vit_l_32",
+    296,
+    306_500_000,
+    1169,
+    69,
+    "ViT-L/32: 296 layers, 306.5 M params, 1169 MiB (Table II)."
+);
+zoo_model!(
+    bert_large,
+    bert_large_card,
+    "bert_large",
+    396,
+    336_200_000,
+    1282,
+    350,
+    "BERT-Large-Uncased: 396 layers, 336.2 M params, 1282 MiB (Table II)."
+);
 
 /// All seven Table II models, in the paper's order.
 pub fn table2_cards() -> Vec<ModelCard> {
@@ -152,21 +208,77 @@ pub fn gpt_with(name: &str, hidden: u64, layers: u64, vocab: u64) -> ModelSpec {
     ));
     for l in 0..layers {
         let p = format!("{name}.transformer.layer{l}");
-        tensors.push(TensorMeta::new(format!("{p}.ln1.weight"), DType::F32, vec![h]));
-        tensors.push(TensorMeta::new(format!("{p}.ln1.bias"), DType::F32, vec![h]));
-        tensors.push(TensorMeta::new(format!("{p}.attn.qkv.weight"), DType::F32, vec![3 * h, h]));
-        tensors.push(TensorMeta::new(format!("{p}.attn.qkv.bias"), DType::F32, vec![3 * h]));
-        tensors.push(TensorMeta::new(format!("{p}.attn.out.weight"), DType::F32, vec![h, h]));
-        tensors.push(TensorMeta::new(format!("{p}.attn.out.bias"), DType::F32, vec![h]));
-        tensors.push(TensorMeta::new(format!("{p}.ln2.weight"), DType::F32, vec![h]));
-        tensors.push(TensorMeta::new(format!("{p}.ln2.bias"), DType::F32, vec![h]));
-        tensors.push(TensorMeta::new(format!("{p}.mlp.fc1.weight"), DType::F32, vec![4 * h, h]));
-        tensors.push(TensorMeta::new(format!("{p}.mlp.fc1.bias"), DType::F32, vec![4 * h]));
-        tensors.push(TensorMeta::new(format!("{p}.mlp.fc2.weight"), DType::F32, vec![h, 4 * h]));
-        tensors.push(TensorMeta::new(format!("{p}.mlp.fc2.bias"), DType::F32, vec![h]));
+        tensors.push(TensorMeta::new(
+            format!("{p}.ln1.weight"),
+            DType::F32,
+            vec![h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.ln1.bias"),
+            DType::F32,
+            vec![h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.attn.qkv.weight"),
+            DType::F32,
+            vec![3 * h, h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.attn.qkv.bias"),
+            DType::F32,
+            vec![3 * h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.attn.out.weight"),
+            DType::F32,
+            vec![h, h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.attn.out.bias"),
+            DType::F32,
+            vec![h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.ln2.weight"),
+            DType::F32,
+            vec![h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.ln2.bias"),
+            DType::F32,
+            vec![h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.mlp.fc1.weight"),
+            DType::F32,
+            vec![4 * h, h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.mlp.fc1.bias"),
+            DType::F32,
+            vec![4 * h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.mlp.fc2.weight"),
+            DType::F32,
+            vec![h, 4 * h],
+        ));
+        tensors.push(TensorMeta::new(
+            format!("{p}.mlp.fc2.bias"),
+            DType::F32,
+            vec![h],
+        ));
     }
-    tensors.push(TensorMeta::new(format!("{name}.final_ln.weight"), DType::F32, vec![h]));
-    tensors.push(TensorMeta::new(format!("{name}.final_ln.bias"), DType::F32, vec![h]));
+    tensors.push(TensorMeta::new(
+        format!("{name}.final_ln.weight"),
+        DType::F32,
+        vec![h],
+    ));
+    tensors.push(TensorMeta::new(
+        format!("{name}.final_ln.bias"),
+        DType::F32,
+        vec![h],
+    ));
     ModelSpec::new(name, tensors)
 }
 

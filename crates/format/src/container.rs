@@ -97,7 +97,10 @@ struct HashingWriter<W> {
 
 impl<W: Write> HashingWriter<W> {
     fn new(inner: W) -> Self {
-        HashingWriter { inner, hash: 0xcbf2_9ce4_8422_2325 }
+        HashingWriter {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
     }
 }
 
@@ -123,7 +126,10 @@ struct HashingReader<R> {
 
 impl<R: Read> HashingReader<R> {
     fn new(inner: R) -> Self {
-        HashingReader { inner, hash: 0xcbf2_9ce4_8422_2325 }
+        HashingReader {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
     }
 
     fn read_exact_hashed(&mut self, buf: &mut [u8]) -> FormatResult<()> {
@@ -263,12 +269,17 @@ pub fn read_checkpoint<R: Read>(r: R) -> FormatResult<CheckpointFile> {
     }
     let expected = r.hash;
     let mut trailer = [0u8; 8];
-    r.inner.read_exact(&mut trailer).map_err(FormatError::from)?;
+    r.inner
+        .read_exact(&mut trailer)
+        .map_err(FormatError::from)?;
     let found = u64::from_le_bytes(trailer);
     if found != expected {
         return Err(FormatError::ChecksumMismatch { expected, found });
     }
-    Ok(CheckpointFile { model_name, tensors })
+    Ok(CheckpointFile {
+        model_name,
+        tensors,
+    })
 }
 
 fn read_str<R: Read>(r: &mut HashingReader<R>) -> FormatResult<String> {
@@ -319,10 +330,13 @@ mod tests {
         assert_eq!(file.tensors[0].0.name, "a.weight");
         assert_eq!(file.tensors[0].1, (0..32u8).collect::<Vec<_>>());
         assert_eq!(file.tensor("a.bias").unwrap().1, vec![9; 6]);
-        assert_eq!(out.len() as u64, encoded_size("toy", &[
-            file.tensors[0].0.clone(),
-            file.tensors[1].0.clone(),
-        ]));
+        assert_eq!(
+            out.len() as u64,
+            encoded_size(
+                "toy",
+                &[file.tensors[0].0.clone(), file.tensors[1].0.clone(),]
+            )
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod tests {
         let e = FormatError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
         assert!(e.to_string().contains("eof"));
         assert!(Error::source(&e).is_some());
-        let m = FormatError::ChecksumMismatch { expected: 1, found: 2 };
+        let m = FormatError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        };
         assert!(m.to_string().contains("mismatch"));
     }
 }

@@ -38,8 +38,7 @@ mod cost;
 mod error;
 
 pub use container::{
-    encoded_size, read_checkpoint, write_checkpoint, CheckpointEntry, CheckpointFile,
-    PayloadSource,
+    encoded_size, read_checkpoint, write_checkpoint, CheckpointEntry, CheckpointFile, PayloadSource,
 };
 pub use cost::{charge_deserialize, charge_serialize};
 pub use error::{FormatError, FormatResult};

@@ -55,7 +55,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MemError::OutOfBounds { offset: 4, len: 8, size: 10 };
+        let e = MemError::OutOfBounds {
+            offset: 4,
+            len: 8,
+            size: 10,
+        };
         assert!(e.to_string().contains("offset 4"));
         assert!(!MemError::NotWritable.to_string().is_empty());
     }

@@ -69,7 +69,10 @@ impl HostMemory {
                 Err(actual) => cur = actual,
             }
         }
-        Ok(Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(len)))
+        Ok(Buffer::new(
+            MemoryKind::HostDram,
+            MemorySegment::zeroed(len),
+        ))
     }
 
     /// Releases accounting for a buffer allocated from this pool.

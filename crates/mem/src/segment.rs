@@ -101,11 +101,17 @@ impl MemorySegment {
     }
 
     fn check_range(&self, offset: u64, len: u64) -> MemResult<()> {
-        let end = offset
-            .checked_add(len)
-            .ok_or(MemError::OutOfBounds { offset, len, size: self.len })?;
+        let end = offset.checked_add(len).ok_or(MemError::OutOfBounds {
+            offset,
+            len,
+            size: self.len,
+        })?;
         if end > self.len {
-            return Err(MemError::OutOfBounds { offset, len, size: self.len });
+            return Err(MemError::OutOfBounds {
+                offset,
+                len,
+                size: self.len,
+            });
         }
         Ok(())
     }

@@ -405,7 +405,9 @@ mod tests {
     #[test]
     fn allocations_do_not_overlap() {
         let (_pm, alloc) = setup();
-        let regions: Vec<_> = (0..16).map(|i| alloc.alloc(100 + i * 7, i).unwrap()).collect();
+        let regions: Vec<_> = (0..16)
+            .map(|i| alloc.alloc(100 + i * 7, i).unwrap())
+            .collect();
         let mut sorted = regions.clone();
         sorted.sort_by_key(|a| a.offset);
         for pair in sorted.windows(2) {

@@ -267,11 +267,17 @@ impl PmemDevice {
     }
 
     fn check(&self, offset: u64, len: u64) -> PmemResult<()> {
-        let end = offset
-            .checked_add(len)
-            .ok_or(PmemError::OutOfBounds { offset, len, capacity: self.capacity })?;
+        let end = offset.checked_add(len).ok_or(PmemError::OutOfBounds {
+            offset,
+            len,
+            capacity: self.capacity,
+        })?;
         if end > self.capacity {
-            return Err(PmemError::OutOfBounds { offset, len, capacity: self.capacity });
+            return Err(PmemError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -429,12 +435,7 @@ impl PmemDevice {
     /// Returns [`PmemError::Unaligned`] for misaligned offsets and
     /// [`PmemError::OutOfBounds`] past capacity. A failed comparison
     /// returns `Ok(Err(actual))`.
-    pub fn cas_u64(
-        &self,
-        offset: u64,
-        expected: u64,
-        new: u64,
-    ) -> PmemResult<Result<(), u64>> {
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> PmemResult<Result<(), u64>> {
         if !offset.is_multiple_of(8) {
             return Err(PmemError::Unaligned { offset, align: 8 });
         }

@@ -41,7 +41,8 @@ pub fn save_image(dev: &PmemDevice, path: &Path) -> PmemResult<()> {
     };
     w.write_all(&[mode]).map_err(io_err)?;
     w.write_all(&dev.capacity().to_le_bytes()).map_err(io_err)?;
-    w.write_all(&(pages.len() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(pages.len() as u64).to_le_bytes())
+        .map_err(io_err)?;
     for (idx, content) in pages {
         w.write_all(&idx.to_le_bytes()).map_err(io_err)?;
         w.write_all(&content[..]).map_err(io_err)?;

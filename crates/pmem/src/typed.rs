@@ -57,10 +57,7 @@ pub fn read_str(dev: &PmemDevice, offset: u64) -> PmemResult<(String, u64)> {
     let len = u16::from_le_bytes(lbuf) as usize;
     let mut sbuf = vec![0u8; len];
     dev.read(offset + 2, &mut sbuf)?;
-    Ok((
-        String::from_utf8_lossy(&sbuf).into_owned(),
-        2 + len as u64,
-    ))
+    Ok((String::from_utf8_lossy(&sbuf).into_owned(), 2 + len as u64))
 }
 
 /// Writes a length-prefixed (u16) UTF-8 string at `offset`; returns the
@@ -75,7 +72,10 @@ pub fn read_str(dev: &PmemDevice, offset: u64) -> PmemResult<(String, u64)> {
 /// Panics if the string exceeds `u16::MAX` bytes.
 pub fn write_str(dev: &PmemDevice, offset: u64, s: &str) -> PmemResult<u64> {
     let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "string too long for u16 prefix");
+    assert!(
+        bytes.len() <= u16::MAX as usize,
+        "string too long for u16 prefix"
+    );
     dev.write(offset, &(bytes.len() as u16).to_le_bytes())?;
     dev.write(offset + 2, bytes)?;
     Ok(2 + bytes.len() as u64)

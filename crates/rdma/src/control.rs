@@ -39,8 +39,16 @@ impl<T: Send> ControlChannel<T> {
         let (tx_ab, rx_ab) = unbounded();
         let (tx_ba, rx_ba) = unbounded();
         (
-            ControlChannel { ctx: ctx.clone(), tx: tx_ab, rx: rx_ba },
-            ControlChannel { ctx, tx: tx_ba, rx: rx_ab },
+            ControlChannel {
+                ctx: ctx.clone(),
+                tx: tx_ab,
+                rx: rx_ba,
+            },
+            ControlChannel {
+                ctx,
+                tx: tx_ba,
+                rx: rx_ab,
+            },
         )
     }
 
@@ -133,9 +141,7 @@ mod tests {
     fn recv_timeout_returns_none_when_quiet() {
         let ctx = SimContext::icdcs24();
         let (a, _b) = ControlChannel::<u8>::pair(ctx);
-        let got = a
-            .recv_timeout(std::time::Duration::from_millis(5))
-            .unwrap();
+        let got = a.recv_timeout(std::time::Duration::from_millis(5)).unwrap();
         assert_eq!(got, None);
     }
 

@@ -210,18 +210,21 @@ impl PostedQueuePair {
         dst_off: u64,
         len: u64,
     ) -> WrId {
-        self.post_read_gather(&[SgEntry { rkey, offset: remote_off, len }], dst, dst_off)
+        self.post_read_gather(
+            &[SgEntry {
+                rkey,
+                offset: remote_off,
+                len,
+            }],
+            dst,
+            dst_off,
+        )
     }
 
     /// Posts a one-sided gather READ over `segs` (one WQE, up to
     /// [`crate::MAX_SGE`] segments, packed into `dst` from `dst_off`);
     /// the outcome lands on the completion queue.
-    pub fn post_read_gather(
-        &self,
-        segs: &[SgEntry],
-        dst: &RegionTarget,
-        dst_off: u64,
-    ) -> WrId {
+    pub fn post_read_gather(&self, segs: &[SgEntry], dst: &RegionTarget, dst_off: u64) -> WrId {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
         let result = if self.deferred {
@@ -246,18 +249,21 @@ impl PostedQueuePair {
         src_off: u64,
         len: u64,
     ) -> WrId {
-        self.post_write_scatter(&[SgEntry { rkey, offset: remote_off, len }], src, src_off)
+        self.post_write_scatter(
+            &[SgEntry {
+                rkey,
+                offset: remote_off,
+                len,
+            }],
+            src,
+            src_off,
+        )
     }
 
     /// Posts a one-sided scatter WRITE over `segs` (one WQE, sourced
     /// back to back from `src` at `src_off`); the outcome lands on the
     /// completion queue.
-    pub fn post_write_scatter(
-        &self,
-        segs: &[SgEntry],
-        src: &RegionTarget,
-        src_off: u64,
-    ) -> WrId {
+    pub fn post_write_scatter(&self, segs: &[SgEntry], src: &RegionTarget, src_off: u64) -> WrId {
         let wr_id = self.fresh_wr();
         let first = self.note_post();
         let result = if self.deferred {
@@ -364,8 +370,16 @@ mod tests {
     fn gather_posts_complete_on_the_cq() {
         let (qp, cq, rkey, dst) = setup();
         let segs = [
-            SgEntry { rkey, offset: 0, len: 4096 },
-            SgEntry { rkey, offset: 4096, len: 4096 },
+            SgEntry {
+                rkey,
+                offset: 0,
+                len: 4096,
+            },
+            SgEntry {
+                rkey,
+                offset: 4096,
+                len: 4096,
+            },
         ];
         let id = qp.post_read_gather(&segs, &dst, 0);
         let done = cq.poll(4);

@@ -235,7 +235,10 @@ mod tests {
         let mr = nic.register(RegionTarget::Buffer(buf), Access::READ);
         assert_eq!(nic.lookup(mr.rkey()).unwrap().rkey(), mr.rkey());
         assert!(nic.deregister(mr.rkey()));
-        assert!(matches!(nic.lookup(mr.rkey()), Err(RdmaError::InvalidRkey(_))));
+        assert!(matches!(
+            nic.lookup(mr.rkey()),
+            Err(RdmaError::InvalidRkey(_))
+        ));
     }
 
     #[test]
@@ -285,7 +288,10 @@ mod tests {
     #[test]
     fn unknown_node_is_an_error() {
         let fabric = Fabric::new(SimContext::icdcs24());
-        assert!(matches!(fabric.nic(NodeId(9)), Err(RdmaError::UnknownNode(9))));
+        assert!(matches!(
+            fabric.nic(NodeId(9)),
+            Err(RdmaError::UnknownNode(9))
+        ));
     }
 
     #[test]

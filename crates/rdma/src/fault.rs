@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn ratio_is_deterministic_per_seed() {
         let run = |seed| -> Vec<bool> {
-            let p = FaultPlan::new(FaultSpec::Ratio { permille: 300, seed });
+            let p = FaultPlan::new(FaultSpec::Ratio {
+                permille: 300,
+                seed,
+            });
             (0..100).map(|_| p.note_verb().is_some()).collect()
         };
         assert_eq!(run(7), run(7), "same seed must replay identically");
@@ -152,9 +155,15 @@ mod tests {
 
     #[test]
     fn ratio_extremes() {
-        let never = FaultPlan::new(FaultSpec::Ratio { permille: 0, seed: 1 });
+        let never = FaultPlan::new(FaultSpec::Ratio {
+            permille: 0,
+            seed: 1,
+        });
         assert!((0..50).all(|_| never.note_verb().is_none()));
-        let always = FaultPlan::new(FaultSpec::Ratio { permille: 1000, seed: 1 });
+        let always = FaultPlan::new(FaultSpec::Ratio {
+            permille: 1000,
+            seed: 1,
+        });
         assert!((0..50).all(|_| always.note_verb().is_some()));
     }
 }

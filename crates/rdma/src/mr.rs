@@ -27,12 +27,21 @@ pub struct Access {
 impl Access {
     /// Read-only remote access (how Portus registers tensors for
     /// checkpointing: the daemon pulls, nobody writes).
-    pub const READ: Access = Access { remote_read: true, remote_write: false };
+    pub const READ: Access = Access {
+        remote_read: true,
+        remote_write: false,
+    };
     /// Write-only remote access (how tensors are registered for
     /// restore: the daemon pushes).
-    pub const WRITE: Access = Access { remote_read: false, remote_write: true };
+    pub const WRITE: Access = Access {
+        remote_read: false,
+        remote_write: true,
+    };
     /// Full remote access.
-    pub const READ_WRITE: Access = Access { remote_read: true, remote_write: true };
+    pub const READ_WRITE: Access = Access {
+        remote_read: true,
+        remote_write: true,
+    };
 }
 
 /// What a region's bytes live in.
@@ -202,7 +211,11 @@ mod tests {
     #[test]
     fn pmem_window_is_bounded() {
         let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 1 << 16);
-        let t = RegionTarget::Pmem { dev, base: 1024, len: 256 };
+        let t = RegionTarget::Pmem {
+            dev,
+            base: 1024,
+            len: 256,
+        };
         assert_eq!(t.len(), 256);
         assert_eq!(t.kind(), MemoryKind::Pmem);
         let mut out = [0u8; 16];
@@ -216,7 +229,11 @@ mod tests {
     #[test]
     fn pmem_window_offsets_are_relative() {
         let dev = PmemDevice::new(SimContext::icdcs24(), PmemMode::DevDax, 1 << 16);
-        let t = RegionTarget::Pmem { dev: dev.clone(), base: 4096, len: 64 };
+        let t = RegionTarget::Pmem {
+            dev: dev.clone(),
+            base: 4096,
+            len: 64,
+        };
         t.write_at(0, b"hello").unwrap();
         let mut out = [0u8; 5];
         dev.read(4096, &mut out).unwrap();

@@ -185,7 +185,10 @@ impl QueuePair {
         self.fault_check()?;
         let mr = self.remote.lookup(rkey)?;
         if !mr.access().remote_read {
-            return Err(RdmaError::AccessDenied { rkey, op: "remote read" });
+            return Err(RdmaError::AccessDenied {
+                rkey,
+                op: "remote read",
+            });
         }
         copy_between_targets(mr.target(), remote_off, dst, dst_off, len)?;
 
@@ -224,7 +227,10 @@ impl QueuePair {
         self.fault_check()?;
         let mr = self.remote.lookup(rkey)?;
         if !mr.access().remote_write {
-            return Err(RdmaError::AccessDenied { rkey, op: "remote write" });
+            return Err(RdmaError::AccessDenied {
+                rkey,
+                op: "remote write",
+            });
         }
         copy_between_targets(src, src_off, mr.target(), remote_off, len)?;
 
@@ -308,7 +314,10 @@ impl QueuePair {
         for seg in segs {
             let mr = self.remote.lookup(seg.rkey)?;
             if !mr.access().remote_read {
-                return Err(RdmaError::AccessDenied { rkey: seg.rkey, op: "remote read" });
+                return Err(RdmaError::AccessDenied {
+                    rkey: seg.rkey,
+                    op: "remote read",
+                });
             }
             mrs.push(mr);
         }
@@ -403,7 +412,10 @@ impl QueuePair {
         for seg in segs {
             let mr = self.remote.lookup(seg.rkey)?;
             if !mr.access().remote_write {
-                return Err(RdmaError::AccessDenied { rkey: seg.rkey, op: "remote write" });
+                return Err(RdmaError::AccessDenied {
+                    rkey: seg.rkey,
+                    op: "remote write",
+                });
             }
             mrs.push(mr);
         }
@@ -529,7 +541,11 @@ mod tests {
         let mr = compute.register(RegionTarget::Buffer(tensor.clone()), Access::READ);
         // PMem window on the storage node.
         let pm = PmemDevice::new(fabric.ctx().clone(), PmemMode::DevDax, 1 << 21);
-        let dst = RegionTarget::Pmem { dev: pm.clone(), base: 0, len: 1 << 20 };
+        let dst = RegionTarget::Pmem {
+            dev: pm.clone(),
+            base: 0,
+            len: 1 << 20,
+        };
 
         let (_at_compute, at_storage) = QueuePair::connect(compute, storage);
         let c = at_storage.read(mr.rkey(), 0, &dst, 0, 1 << 20).unwrap();
@@ -567,10 +583,8 @@ mod tests {
         let (_f, a, b) = two_nodes();
         let buf = Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(64));
         let mr = a.register(RegionTarget::Buffer(buf), Access::READ);
-        let scratch = RegionTarget::Buffer(Buffer::new(
-            MemoryKind::HostDram,
-            MemorySegment::zeroed(64),
-        ));
+        let scratch =
+            RegionTarget::Buffer(Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(64)));
         let (_qa, qb) = QueuePair::connect(a, b);
         assert!(qb.read(mr.rkey(), 0, &scratch, 0, 64).is_ok());
         assert!(matches!(
@@ -582,10 +596,8 @@ mod tests {
     #[test]
     fn invalid_rkey_is_rejected() {
         let (_f, a, b) = two_nodes();
-        let scratch = RegionTarget::Buffer(Buffer::new(
-            MemoryKind::HostDram,
-            MemorySegment::zeroed(64),
-        ));
+        let scratch =
+            RegionTarget::Buffer(Buffer::new(MemoryKind::HostDram, MemorySegment::zeroed(64)));
         let (_qa, qb) = QueuePair::connect(a, b);
         assert!(matches!(
             qb.read(0xBAD, 0, &scratch, 0, 1),
@@ -606,7 +618,10 @@ mod tests {
         let (_qa, qb) = QueuePair::connect(a, b);
         let c1 = qb.read(mr.rkey(), 0, &sink, 0, len).unwrap();
         let c2 = qb.read(mr.rkey(), 0, &sink, 0, len).unwrap();
-        assert!(c2.start >= c1.end, "second transfer must queue behind first");
+        assert!(
+            c2.start >= c1.end,
+            "second transfer must queue behind first"
+        );
         assert_eq!(f.ctx().stats.snapshot().rdma_one_sided_ops, 2);
     }
 
@@ -626,7 +641,11 @@ mod tests {
         let (_qa1, q1) = QueuePair::connect_lane(a, b, 1);
         assert_eq!(q1.lane(), 1);
         let before = fabric.ctx().clock.now();
-        let seg = [SgEntry { rkey: mr.rkey(), offset: 0, len }];
+        let seg = [SgEntry {
+            rkey: mr.rkey(),
+            offset: 0,
+            len,
+        }];
         let c0 = q0.read_gather_deferred(&seg, &sink, 0, true).unwrap();
         let c1 = q1.read_gather_deferred(&seg, &sink, 0, true).unwrap();
         assert_eq!(
@@ -635,7 +654,10 @@ mod tests {
             "deferred posts must not advance the shared clock"
         );
         assert_eq!(c0.start, c1.start, "independent engines start together");
-        assert_eq!(c0.end, c1.end, "equal transfers on idle engines overlap fully");
+        assert_eq!(
+            c0.end, c1.end,
+            "equal transfers on idle engines overlap fully"
+        );
     }
 
     #[test]
@@ -653,7 +675,11 @@ mod tests {
         // Two lanes, one engine: lane 1 wraps onto the same port.
         let (_qa0, q0) = QueuePair::connect_lane(Arc::clone(&a), Arc::clone(&b), 0);
         let (_qa1, q1) = QueuePair::connect_lane(a, b, 1);
-        let seg = [SgEntry { rkey: mr.rkey(), offset: 0, len }];
+        let seg = [SgEntry {
+            rkey: mr.rkey(),
+            offset: 0,
+            len,
+        }];
         let c0 = q0.read_gather_deferred(&seg, &sink, 0, true).unwrap();
         let c1 = q1.read_gather_deferred(&seg, &sink, 0, true).unwrap();
         assert_eq!(c1.start, c0.end, "second WQE queues behind the first");
@@ -682,8 +708,16 @@ mod tests {
 
         let before = fabric.ctx().stats.snapshot();
         let segs = [
-            SgEntry { rkey: mr0.rkey(), offset: 0, len: seg_len },
-            SgEntry { rkey: mr1.rkey(), offset: 0, len: seg_len },
+            SgEntry {
+                rkey: mr0.rkey(),
+                offset: 0,
+                len: seg_len,
+            },
+            SgEntry {
+                rkey: mr1.rkey(),
+                offset: 0,
+                len: seg_len,
+            },
         ];
         let c = qb.read_gather(&segs, &dst, 0, true).unwrap();
         let d = fabric.ctx().stats.snapshot().since(&before);
@@ -729,8 +763,16 @@ mod tests {
         ));
         let (_qa, qb) = QueuePair::connect(a, b);
         let segs = [
-            SgEntry { rkey: mr0.rkey(), offset: 0, len: seg_len },
-            SgEntry { rkey: mr1.rkey(), offset: 0, len: seg_len },
+            SgEntry {
+                rkey: mr0.rkey(),
+                offset: 0,
+                len: seg_len,
+            },
+            SgEntry {
+                rkey: mr1.rkey(),
+                offset: 0,
+                len: seg_len,
+            },
         ];
         let c = qb.write_scatter(&segs, &src, 0, true).unwrap();
         assert_eq!(c.bytes, 2 * seg_len);
@@ -750,8 +792,16 @@ mod tests {
         let dst = RegionTarget::Buffer(dst_buf.clone());
         let (_qa, qb) = QueuePair::connect(a, b);
         let segs = [
-            SgEntry { rkey: mr.rkey(), offset: 0, len: 4096 },
-            SgEntry { rkey: 0xBAD, offset: 0, len: 4096 },
+            SgEntry {
+                rkey: mr.rkey(),
+                offset: 0,
+                len: 4096,
+            },
+            SgEntry {
+                rkey: 0xBAD,
+                offset: 0,
+                len: 4096,
+            },
         ];
         assert!(matches!(
             qb.read_gather(&segs, &dst, 0, true),

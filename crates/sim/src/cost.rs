@@ -273,19 +273,37 @@ impl CostModel {
     /// base latency; subsequent verbs pay only
     /// [`rdma_posted_verb_ns`](CostModel::rdma_posted_verb_ns), which is
     /// where the batched datapath's latency win comes from.
-    pub fn rdma_read_posted(&self, bytes: u64, src: MemoryKind, first_in_batch: bool) -> SimDuration {
+    pub fn rdma_read_posted(
+        &self,
+        bytes: u64,
+        src: MemoryKind,
+        first_in_batch: bool,
+    ) -> SimDuration {
         let peak = match src {
             MemoryKind::GpuHbm => self.gpu_bar_read_bw,
             MemoryKind::HostDram | MemoryKind::Pmem => self.rdma_peak_bw,
         };
-        let base = if first_in_batch { self.rdma_op_latency_ns } else { self.rdma_posted_verb_ns };
+        let base = if first_in_batch {
+            self.rdma_op_latency_ns
+        } else {
+            self.rdma_posted_verb_ns
+        };
         self.link_time(bytes, peak, base)
     }
 
     /// Time for a one-sided RDMA WRITE of `bytes` posted as part of a
     /// doorbell batch (see [`rdma_read_posted`](CostModel::rdma_read_posted)).
-    pub fn rdma_write_posted(&self, bytes: u64, _dst: MemoryKind, first_in_batch: bool) -> SimDuration {
-        let base = if first_in_batch { self.rdma_op_latency_ns } else { self.rdma_posted_verb_ns };
+    pub fn rdma_write_posted(
+        &self,
+        bytes: u64,
+        _dst: MemoryKind,
+        first_in_batch: bool,
+    ) -> SimDuration {
+        let base = if first_in_batch {
+            self.rdma_op_latency_ns
+        } else {
+            self.rdma_posted_verb_ns
+        };
         self.link_time(bytes, self.rdma_peak_bw, base)
     }
 
@@ -299,8 +317,8 @@ impl CostModel {
     /// Two-sided RPC transfer of `bytes` with `streams` concurrent
     /// shard streams contending for the receiver CPU.
     pub fn rpc_rdma_transfer_contended(&self, bytes: u64, streams: u32) -> SimDuration {
-        let eff = self.rpc_rdma_bw
-            / (1.0 + self.rpc_contention_per_stream * (streams.max(1) - 1) as f64);
+        let eff =
+            self.rpc_rdma_bw / (1.0 + self.rpc_contention_per_stream * (streams.max(1) - 1) as f64);
         self.link_time(bytes, eff, self.rpc_op_latency_ns)
     }
 
@@ -450,7 +468,10 @@ mod tests {
         let m = CostModel::icdcs24();
         // Past 512 KB the effective bandwidth is within 15% of peak.
         let bw_512k = m.rdma_effective_bw(512 * 1024, MemoryKind::HostDram);
-        assert!(bw_512k > 0.85 * m.rdma_peak_bw, "bw at 512KB: {bw_512k:.3e}");
+        assert!(
+            bw_512k > 0.85 * m.rdma_peak_bw,
+            "bw at 512KB: {bw_512k:.3e}"
+        );
         // At 4 KB we are latency-bound, far from peak.
         let bw_4k = m.rdma_effective_bw(4 * 1024, MemoryKind::HostDram);
         assert!(bw_4k < 0.20 * m.rdma_peak_bw, "bw at 4KB: {bw_4k:.3e}");
@@ -483,7 +504,10 @@ mod tests {
         let t = m.ext4_nvme_write(one_gib).as_secs_f64();
         let eff = one_gib as f64 / t;
         assert!(eff < 2.7e9, "full path must be below raw device rate");
-        assert!(eff > 0.8e9, "full path should stay near 1 GB/s, got {eff:.3e}");
+        assert!(
+            eff > 0.8e9,
+            "full path should stay near 1 GB/s, got {eff:.3e}"
+        );
     }
 
     #[test]
@@ -510,10 +534,7 @@ mod tests {
     #[test]
     fn retry_backoff_is_exponential_and_capped() {
         let m = CostModel::icdcs24();
-        assert_eq!(
-            m.verb_retry_backoff(1).as_nanos(),
-            m.verb_retry_backoff_ns
-        );
+        assert_eq!(m.verb_retry_backoff(1).as_nanos(), m.verb_retry_backoff_ns);
         assert_eq!(
             m.verb_retry_backoff(3).as_nanos(),
             m.verb_retry_backoff_ns * 4

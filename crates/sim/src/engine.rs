@@ -372,7 +372,11 @@ mod tests {
         assert!(!eng.cancel(timeout), "second cancel is a no-op");
         eng.run();
         assert_eq!(*hits.borrow(), 0);
-        assert_eq!(eng.now(), SimTime::ZERO, "cancelled plan must not drag the clock");
+        assert_eq!(
+            eng.now(),
+            SimTime::ZERO,
+            "cancelled plan must not drag the clock"
+        );
     }
 
     #[test]
@@ -422,7 +426,10 @@ mod tests {
         let mut eng = Engine::new();
         eng.report_every(SimDuration::from_secs(1));
         for s in [1u64, 2, 5] {
-            eng.schedule_at(SimTime::ZERO + SimDuration::from_millis(s * 1000 + 500), |_| {});
+            eng.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(s * 1000 + 500),
+                |_| {},
+            );
         }
         eng.run();
         let reports = eng.progress_reports();

@@ -43,7 +43,7 @@ pub use clock::{Clock, ClockOverflow};
 pub use cost::{CostModel, MemoryKind};
 pub use engine::{ActorId, Engine, ProgressReport};
 pub use metrics::{
-    DaemonFleetStats, HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram,
+    DaemonFleetStats, HistogramSnapshot, Metrics, MetricsSnapshot, StageHistogram, TenantSnapshot,
     HISTOGRAM_BUCKETS,
 };
 pub use plan::{PlanId, PlanQueue};

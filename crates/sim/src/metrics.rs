@@ -175,6 +175,55 @@ pub struct DaemonFleetStats {
     pub killed: bool,
 }
 
+/// Mutable per-tenant counters and latency histograms.
+#[derive(Debug)]
+struct TenantStat {
+    admitted_ops: u64,
+    throttled_ops: u64,
+    shed_ops: u64,
+    admitted_bytes: u64,
+    checkpoint: Hist,
+    restore: Hist,
+}
+
+impl TenantStat {
+    fn new() -> TenantStat {
+        TenantStat {
+            admitted_ops: 0,
+            throttled_ops: 0,
+            shed_ops: 0,
+            admitted_bytes: 0,
+            checkpoint: Hist::new(),
+            restore: Hist::new(),
+        }
+    }
+}
+
+/// One tenant's slice of a [`MetricsSnapshot`]: admission counters and
+/// end-to-end latency histograms, split checkpoint vs restore. Integer
+/// only, so snapshots stay `Eq`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// The tenant's name (the identity its connections were accepted
+    /// under).
+    pub tenant: String,
+    /// Datapath requests admitted past the token buckets (restores
+    /// count too — they bypass the buckets but are still admitted).
+    pub admitted_ops: u64,
+    /// Checkpoint requests shed by token-bucket admission control.
+    pub throttled_ops: u64,
+    /// Checkpoint requests shed by a dispatch queue that stayed full
+    /// past the shed wait.
+    pub shed_ops: u64,
+    /// Payload bytes the admitted requests carried.
+    pub admitted_bytes: u64,
+    /// End-to-end latency (dispatch wait included) of checkpoint and
+    /// delta-checkpoint requests.
+    pub checkpoint: HistogramSnapshot,
+    /// End-to-end latency of restore requests.
+    pub restore: HistogramSnapshot,
+}
+
 /// One `(op, stage)` histogram inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageHistogram {
@@ -238,6 +287,10 @@ pub struct MetricsSnapshot {
     /// Empty outside placement-enabled fleet runs.
     #[serde(default)]
     pub fleet: Vec<DaemonFleetStats>,
+    /// Per-tenant admission counters and latency breakdowns, sorted by
+    /// tenant name. Empty until a tenant-attributed request arrives.
+    #[serde(default)]
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -252,6 +305,11 @@ impl MetricsSnapshot {
     /// Total nanoseconds recorded for `(op, stage)` (0 if absent).
     pub fn stage_total_ns(&self, op: TraceOp, stage: Stage) -> u64 {
         self.stage(op, stage).map_or(0, |h| h.total_ns)
+    }
+
+    /// The named tenant's breakdown, if it recorded anything.
+    pub fn tenant(&self, name: &str) -> Option<&TenantSnapshot> {
+        self.tenants.iter().find(|t| t.tenant == name)
     }
 
     /// External fragmentation in permille (integer-only, so snapshots
@@ -272,6 +330,7 @@ impl MetricsSnapshot {
 #[derive(Debug, Default)]
 struct MetricsInner {
     hists: Mutex<BTreeMap<(TraceOp, Stage), Hist>>,
+    tenants: Mutex<BTreeMap<String, TenantStat>>,
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
     queue_capacity: AtomicU64,
@@ -308,6 +367,54 @@ impl Metrics {
             .record(d.as_nanos());
     }
 
+    /// Records one admitted datapath request of `bytes` payload for
+    /// `tenant` (checkpoints charged past the token buckets, and
+    /// restores, which bypass them).
+    pub fn tenant_admitted(&self, tenant: &str, bytes: u64) {
+        let mut tenants = self.inner.tenants.lock();
+        let t = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(TenantStat::new);
+        t.admitted_ops += 1;
+        t.admitted_bytes += bytes;
+    }
+
+    /// Records one checkpoint request shed by token-bucket admission.
+    pub fn tenant_throttled(&self, tenant: &str) {
+        self.inner
+            .tenants
+            .lock()
+            .entry(tenant.to_string())
+            .or_insert_with(TenantStat::new)
+            .throttled_ops += 1;
+    }
+
+    /// Records one checkpoint request shed by a full dispatch queue.
+    pub fn tenant_shed(&self, tenant: &str) {
+        self.inner
+            .tenants
+            .lock()
+            .entry(tenant.to_string())
+            .or_insert_with(TenantStat::new)
+            .shed_ops += 1;
+    }
+
+    /// Records one completed datapath request's end-to-end latency for
+    /// `tenant`. Checkpoints and delta checkpoints land in the
+    /// checkpoint histogram, restores in the restore histogram; other
+    /// ops are not tracked per tenant.
+    pub fn record_tenant_op(&self, tenant: &str, op: TraceOp, d: SimDuration) {
+        let mut tenants = self.inner.tenants.lock();
+        let t = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(TenantStat::new);
+        match op {
+            TraceOp::Checkpoint | TraceOp::DeltaCheckpoint => t.checkpoint.record(d.as_nanos()),
+            TraceOp::Restore => t.restore.record(d.as_nanos()),
+            _ => {}
+        }
+    }
+
     /// Notes a job entering the dispatch queue; updates the peak gauge.
     pub fn queue_enter(&self) {
         let depth = self.inner.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -317,11 +424,12 @@ impl Metrics {
     /// Notes a job leaving the dispatch queue for a worker.
     pub fn queue_exit(&self) {
         // Saturate rather than wrap if exit/enter ever race at zero.
-        let _ = self.inner.queue_depth.fetch_update(
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-            |d| Some(d.saturating_sub(1)),
-        );
+        let _ = self
+            .inner
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
     }
 
     /// Records the configured dispatch-queue bound.
@@ -383,7 +491,11 @@ impl Metrics {
 
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
-        self.inner.hists.lock().get(&(op, stage)).map(Hist::snapshot)
+        self.inner
+            .hists
+            .lock()
+            .get(&(op, stage))
+            .map(Hist::snapshot)
     }
 
     /// A consistent view of all histograms and gauges. Deterministic:
@@ -395,26 +507,40 @@ impl Metrics {
             .hists
             .lock()
             .iter()
-            .map(|(&(op, stage), h)| StageHistogram { op, stage, hist: h.snapshot() })
+            .map(|(&(op, stage), h)| StageHistogram {
+                op,
+                stage,
+                hist: h.snapshot(),
+            })
+            .collect();
+        let tenants = self
+            .inner
+            .tenants
+            .lock()
+            .iter()
+            .map(|(name, t)| TenantSnapshot {
+                tenant: name.clone(),
+                admitted_ops: t.admitted_ops,
+                throttled_ops: t.throttled_ops,
+                shed_ops: t.shed_ops,
+                admitted_bytes: t.admitted_bytes,
+                checkpoint: t.checkpoint.snapshot(),
+                restore: t.restore.snapshot(),
+            })
             .collect();
         MetricsSnapshot {
             stages,
+            tenants,
             dispatch_queue_depth: self.inner.queue_depth.load(Ordering::Relaxed),
             dispatch_queue_peak: self.inner.queue_peak.load(Ordering::Relaxed),
             dispatch_queue_capacity: self.inner.queue_capacity.load(Ordering::Relaxed),
             pmem_free_bytes: self.inner.pmem_free_bytes.load(Ordering::Relaxed),
             pmem_used_bytes: self.inner.pmem_used_bytes.load(Ordering::Relaxed),
-            pmem_largest_free_extent: self
-                .inner
-                .pmem_largest_free_extent
-                .load(Ordering::Relaxed),
+            pmem_largest_free_extent: self.inner.pmem_largest_free_extent.load(Ordering::Relaxed),
             reclaimed_slots: self.inner.reclaimed_slots.load(Ordering::Relaxed),
             reclaimed_bytes: self.inner.reclaimed_bytes.load(Ordering::Relaxed),
             repack_passes: self.inner.repack_passes.load(Ordering::Relaxed),
-            pipeline_overlap_permille: self
-                .inner
-                .pipeline_overlap_permille
-                .load(Ordering::Relaxed),
+            pipeline_overlap_permille: self.inner.pipeline_overlap_permille.load(Ordering::Relaxed),
             rollback_failures: self.inner.rollback_failures.load(Ordering::Relaxed),
             recovery_epoch: 0,
             restore_failovers: 0,
@@ -443,8 +569,14 @@ mod tests {
     #[test]
     fn histogram_quantiles_are_ordered() {
         let m = Metrics::new();
-        for ns in [100u64, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 1_000_000] {
-            m.record_stage(TraceOp::Checkpoint, Stage::Persist, SimDuration::from_nanos(ns));
+        for ns in [
+            100u64, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 1_000_000,
+        ] {
+            m.record_stage(
+                TraceOp::Checkpoint,
+                Stage::Persist,
+                SimDuration::from_nanos(ns),
+            );
         }
         let h = m.stage(TraceOp::Checkpoint, Stage::Persist).unwrap();
         assert_eq!(h.count, 10);
@@ -455,7 +587,10 @@ mod tests {
         assert!(h.p99() <= h.max_ns);
         assert!(h.quantile(0.0) >= h.min_ns);
         assert!(h.quantile(1.0) <= h.max_ns);
-        assert_eq!(h.mean_ns(), (100 + 200 + 400 + 800 + 1_600 + 3_200 + 6_400 + 12_800 + 25_600 + 1_000_000) / 10);
+        assert_eq!(
+            h.mean_ns(),
+            (100 + 200 + 400 + 800 + 1_600 + 3_200 + 6_400 + 12_800 + 25_600 + 1_000_000) / 10
+        );
     }
 
     #[test]
@@ -468,7 +603,11 @@ mod tests {
 
         // Single sample: the sample itself for every q.
         let m = Metrics::new();
-        m.record_stage(TraceOp::Checkpoint, Stage::Total, SimDuration::from_nanos(777));
+        m.record_stage(
+            TraceOp::Checkpoint,
+            Stage::Total,
+            SimDuration::from_nanos(777),
+        );
         let one = m.stage(TraceOp::Checkpoint, Stage::Total).unwrap();
         for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
             assert_eq!(one.quantile(q), 777, "q={q}");
@@ -503,7 +642,10 @@ mod tests {
         assert_eq!(h.mean_ns(), 0);
         let m = Metrics::new();
         assert!(m.stage(TraceOp::Restore, Stage::Total).is_none());
-        assert_eq!(m.snapshot().stage_total_ns(TraceOp::Restore, Stage::Total), 0);
+        assert_eq!(
+            m.snapshot().stage_total_ns(TraceOp::Restore, Stage::Total),
+            0
+        );
     }
 
     #[test]
@@ -610,11 +752,47 @@ mod tests {
     }
 
     #[test]
+    fn tenant_breakdowns_aggregate_and_sort_by_name() {
+        let m = Metrics::new();
+        assert!(m.snapshot().tenants.is_empty());
+        m.tenant_admitted("zeta", 4096);
+        m.tenant_admitted("alpha", 100);
+        m.tenant_admitted("alpha", 200);
+        m.tenant_throttled("alpha");
+        m.tenant_shed("alpha");
+        m.record_tenant_op("alpha", TraceOp::Checkpoint, SimDuration::from_micros(10));
+        m.record_tenant_op(
+            "alpha",
+            TraceOp::DeltaCheckpoint,
+            SimDuration::from_micros(20),
+        );
+        m.record_tenant_op("alpha", TraceOp::Restore, SimDuration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, "alpha");
+        assert_eq!(s.tenants[1].tenant, "zeta");
+        let a = s.tenant("alpha").unwrap();
+        assert_eq!(a.admitted_ops, 2);
+        assert_eq!(a.throttled_ops, 1);
+        assert_eq!(a.shed_ops, 1);
+        assert_eq!(a.admitted_bytes, 300);
+        // Checkpoint + delta land in one histogram, restore in the other.
+        assert_eq!(a.checkpoint.count, 2);
+        assert_eq!(a.restore.count, 1);
+        assert_eq!(a.restore.max_ns, 5_000);
+        assert!(s.tenant("nobody").is_none());
+    }
+
+    #[test]
     fn clones_share_state_and_snapshots_are_deterministic() {
         let a = Metrics::new();
         let b = a.clone();
         b.record_stage(TraceOp::Restore, Stage::Total, SimDuration::from_micros(5));
-        a.record_stage(TraceOp::Checkpoint, Stage::Total, SimDuration::from_micros(3));
+        a.record_stage(
+            TraceOp::Checkpoint,
+            Stage::Total,
+            SimDuration::from_micros(3),
+        );
         let s = a.snapshot();
         assert_eq!(s.stages.len(), 2);
         // BTreeMap ordering: Checkpoint < Restore by declaration order.

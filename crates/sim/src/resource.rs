@@ -215,7 +215,10 @@ mod tests {
         let r = Resource::with_capacity("nic", 2);
         r.schedule(SimTime::ZERO, SimDuration::from_secs(10)); // engine 0 busy till 10
         r.schedule(SimTime::ZERO, SimDuration::from_secs(1)); // engine 1 busy till 1
-        let g = r.schedule(SimTime::ZERO + SimDuration::from_secs(2), SimDuration::from_secs(1));
+        let g = r.schedule(
+            SimTime::ZERO + SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
         // Engine 1 freed at 1 < arrival 2: start immediately.
         assert_eq!(g.start.as_secs_f64(), 2.0);
         assert_eq!(g.end.as_secs_f64(), 3.0);

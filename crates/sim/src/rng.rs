@@ -48,7 +48,10 @@ impl SimRng {
     /// The next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         self.counter = self.counter.wrapping_add(1);
-        splitmix64(self.seed.wrapping_add(self.counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        splitmix64(
+            self.seed
+                .wrapping_add(self.counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        )
     }
 
     /// A draw uniform in `[0, n)`. Returns 0 when `n == 0`.
@@ -103,7 +106,10 @@ mod tests {
         parent.next_u64();
         parent.next_u64();
         let fork_after = parent.fork(5);
-        assert_eq!(fork_before, fork_after, "forking must not consume parent draws");
+        assert_eq!(
+            fork_before, fork_after,
+            "forking must not consume parent draws"
+        );
         assert_ne!(parent.fork(5), parent.fork(6));
     }
 

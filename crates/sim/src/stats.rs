@@ -144,7 +144,9 @@ impl Stats {
 
     /// Records a one-sided RDMA verb moving `bytes`.
     pub fn record_one_sided(&self, bytes: u64) {
-        self.inner.rdma_one_sided_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .rdma_one_sided_ops
+            .fetch_add(1, Ordering::Relaxed);
         self.inner
             .bytes_over_network
             .fetch_add(bytes, Ordering::Relaxed);
@@ -152,7 +154,9 @@ impl Stats {
 
     /// Records a two-sided RDMA exchange moving `bytes`.
     pub fn record_two_sided(&self, bytes: u64) {
-        self.inner.rdma_two_sided_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .rdma_two_sided_ops
+            .fetch_add(1, Ordering::Relaxed);
         self.inner
             .bytes_over_network
             .fetch_add(bytes, Ordering::Relaxed);
@@ -296,7 +300,9 @@ impl StatsSnapshot {
             bytes_over_network: self
                 .bytes_over_network
                 .saturating_sub(earlier.bytes_over_network),
-            control_messages: self.control_messages.saturating_sub(earlier.control_messages),
+            control_messages: self
+                .control_messages
+                .saturating_sub(earlier.control_messages),
             pmem_flushes: self.pmem_flushes.saturating_sub(earlier.pmem_flushes),
             pmem_fences: self.pmem_fences.saturating_sub(earlier.pmem_fences),
             posted_verbs: self.posted_verbs.saturating_sub(earlier.posted_verbs),

@@ -275,8 +275,14 @@ mod tests {
     #[test]
     fn time_arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(1);
-        assert_eq!((t + SimDuration::from_secs(2)) - t, SimDuration::from_secs(2));
-        assert_eq!(t.saturating_since(t + SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            (t + SimDuration::from_secs(2)) - t,
+            SimDuration::from_secs(2)
+        );
+        assert_eq!(
+            t.saturating_since(t + SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::{SimDuration, SimTime};
 
 /// Which client-visible operation a span belongs to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceOp {
     /// A full `DO_CHECKPOINT` pull.
     Checkpoint,
@@ -58,9 +56,7 @@ impl std::fmt::Display for TraceOp {
 }
 
 /// One stage of a request's datapath, in rough execution order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
     /// Client-side round trip: request sent → reply demultiplexed.
     Rpc,
@@ -413,7 +409,10 @@ mod tests {
         t.record(striped);
         let json = t.to_chrome_trace();
         assert_eq!(json.matches("\"lane\":\"3\"").count(), 1);
-        assert!(!json.contains("\"lane\":\"0\""), "lane 0 must stay implicit");
+        assert!(
+            !json.contains("\"lane\":\"0\""),
+            "lane 0 must stay implicit"
+        );
     }
 
     #[test]

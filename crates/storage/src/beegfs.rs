@@ -128,7 +128,11 @@ impl FileBackend for Beegfs {
         *used -= files.get(path).map_or(0, |f| f.len() as u64);
         *used += len;
         files.insert(path.to_string(), assembled);
-        Ok(WriteBreakdown { metadata, transmit, persist })
+        Ok(WriteBreakdown {
+            metadata,
+            transmit,
+            persist,
+        })
     }
 
     fn read_file(&self, path: &str) -> StorageResult<(Vec<u8>, ReadBreakdown)> {
@@ -167,7 +171,14 @@ impl FileBackend for Beegfs {
         ctx.stats.record_kernel_crossings(1);
         let transmit = ctx.clock.now().saturating_since(t0);
 
-        Ok((back, ReadBreakdown { metadata, transmit, media }))
+        Ok((
+            back,
+            ReadBreakdown {
+                metadata,
+                transmit,
+                media,
+            },
+        ))
     }
 
     fn delete(&self, path: &str) -> bool {
@@ -222,7 +233,10 @@ mod tests {
         fs.write_file("f", vec![0u8; 9 << 20]).unwrap();
         let d = ctx.stats.snapshot().since(&before);
         assert_eq!(d.rdma_two_sided_ops, 3, "9 MiB in 4 MiB chunks = 3 RPCs");
-        assert_eq!(d.rdma_one_sided_ops, 0, "baseline never uses one-sided verbs");
+        assert_eq!(
+            d.rdma_one_sided_ops, 0,
+            "baseline never uses one-sided verbs"
+        );
         assert_eq!(d.kernel_crossings, 3, "the three crossings of Fig. 3");
     }
 

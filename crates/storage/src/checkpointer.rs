@@ -79,7 +79,12 @@ impl<'a, B: FileBackend + ?Sized> TorchCheckpointer<'a, B> {
         gpu: Arc<GpuDevice>,
         host: Arc<HostMemory>,
     ) -> Self {
-        TorchCheckpointer { ctx, backend, gpu, host }
+        TorchCheckpointer {
+            ctx,
+            backend,
+            gpu,
+            host,
+        }
     }
 
     /// `torch.save(model, path)`: snapshot, serialize, write.
@@ -193,7 +198,11 @@ impl<'a, B: FileBackend + ?Sized> TorchCheckpointer<'a, B> {
             }
         }
         let transfer = ctx.clock.now().saturating_since(t0);
-        Ok(RestoreBreakdown { read, deserialize, transfer })
+        Ok(RestoreBreakdown {
+            read,
+            deserialize,
+            transfer,
+        })
     }
 }
 
@@ -261,21 +270,13 @@ mod tests {
         let (ctx, gpu, host) = setup();
         let fs = Ext4Nvme::new(ctx.clone(), 1 << 30);
         let ckpt = TorchCheckpointer::new(ctx.clone(), &fs, gpu.clone(), host.clone());
-        let model = ModelInstance::materialize(
-            &test_spec("a", 2, 1024),
-            &gpu,
-            1,
-            Materialization::Owned,
-        )
-        .unwrap();
+        let model =
+            ModelInstance::materialize(&test_spec("a", 2, 1024), &gpu, 1, Materialization::Owned)
+                .unwrap();
         ckpt.checkpoint(&model, "a.ckpt").unwrap();
-        let other = ModelInstance::materialize(
-            &test_spec("b", 3, 1024),
-            &gpu,
-            1,
-            Materialization::Owned,
-        )
-        .unwrap();
+        let other =
+            ModelInstance::materialize(&test_spec("b", 3, 1024), &gpu, 1, Materialization::Owned)
+                .unwrap();
         assert!(matches!(
             ckpt.restore(&other, "a.ckpt", false),
             Err(StorageError::ModelMismatch(_))

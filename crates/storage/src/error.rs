@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(StorageError::NotFound("x.ckpt".into()).to_string().contains("x.ckpt"));
+        assert!(StorageError::NotFound("x.ckpt".into())
+            .to_string()
+            .contains("x.ckpt"));
         let e = StorageError::from(MemError::NotWritable);
         assert!(Error::source(&e).is_some());
     }

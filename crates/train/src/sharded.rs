@@ -154,7 +154,10 @@ impl ShardedTrainer {
         if failures.is_empty() {
             Ok(out)
         } else {
-            Err(PortusError::ShardBarrier { barrier_step, failures })
+            Err(PortusError::ShardBarrier {
+                barrier_step,
+                failures,
+            })
         }
     }
 
@@ -210,10 +213,7 @@ impl ShardedTrainer {
 
     /// Total virtual stall across shards (diagnostic).
     pub fn total_stall(&self) -> SimDuration {
-        self.shards
-            .iter()
-            .map(|t| t.stats().checkpoint_stall)
-            .sum()
+        self.shards.iter().map(|t| t.stats().checkpoint_stall).sum()
     }
 }
 
@@ -348,12 +348,13 @@ mod tests {
 
         // Daemon 1 (shards 1 and 3) loses its datapath; the pulls it
         // initiates all fail.
-        fabric
-            .arm_faults(NodeId(101), FaultSpec::All)
-            .expect("arm");
+        fabric.arm_faults(NodeId(101), FaultSpec::All).expect("arm");
         let err = st.run(8).expect_err("half the shards lost their daemon");
         match err {
-            PortusError::ShardBarrier { barrier_step, failures } => {
+            PortusError::ShardBarrier {
+                barrier_step,
+                failures,
+            } => {
                 assert_eq!(barrier_step, 12);
                 let shards: Vec<usize> = failures.iter().map(|f| f.shard).collect();
                 assert_eq!(shards, vec![1, 3]);
@@ -374,9 +375,7 @@ mod tests {
     fn recover_pins_all_shards_to_the_newest_common_version() {
         let (fabric, mut st) = sharded_fleet(TrainPolicy::Sync { every: 4 });
         st.run(4).unwrap(); // version 1 everywhere
-        fabric
-            .arm_faults(NodeId(101), FaultSpec::All)
-            .expect("arm");
+        fabric.arm_faults(NodeId(101), FaultSpec::All).expect("arm");
         // Version 2 lands only on daemon 0's shards; 1 and 3 fail.
         assert!(st.run(4).is_err());
 
@@ -402,9 +401,7 @@ mod tests {
     fn recover_with_no_common_version_is_a_typed_error() {
         let (fabric, mut st) = sharded_fleet(TrainPolicy::Sync { every: 4 });
         st.run(4).unwrap();
-        fabric
-            .arm_faults(NodeId(101), FaultSpec::All)
-            .expect("arm");
+        fabric.arm_faults(NodeId(101), FaultSpec::All).expect("arm");
         // Two more successful rounds on daemon 0 cycle its double
         // mapping past version 1, so the survivors hold {2, 3} while
         // the sick shards hold only {1}: no common version remains.

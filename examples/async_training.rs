@@ -80,8 +80,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile: IterationProfile::from_total(SimDuration::from_millis(100)),
         policy,
     };
-    let sync = run_training(&m, &cfg(Policy::PortusSync { every: EVERY as u32 }), ITERS);
-    let asynch = run_training(&m, &cfg(Policy::PortusAsync { every: EVERY as u32 }), ITERS);
+    let sync = run_training(
+        &m,
+        &cfg(Policy::PortusSync {
+            every: EVERY as u32,
+        }),
+        ITERS,
+    );
+    let asynch = run_training(
+        &m,
+        &cfg(Policy::PortusAsync {
+            every: EVERY as u32,
+        }),
+        ITERS,
+    );
     println!(
         "policy harness over {ITERS} iterations: sync {} vs async {}",
         sync.elapsed, asynch.elapsed
@@ -89,8 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(asynch.elapsed <= sync.elapsed);
     println!(
         "async hides {:.1}% of the checkpoint stall ({} -> {})",
-        100.0
-            * (sync.checkpoint_stall - asynch.checkpoint_stall).as_secs_f64()
+        100.0 * (sync.checkpoint_stall - asynch.checkpoint_stall).as_secs_f64()
             / sync.checkpoint_stall.as_secs_f64().max(1e-12),
         sync.checkpoint_stall,
         asynch.checkpoint_stall

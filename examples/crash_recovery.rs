@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Unflushed garbage lands over the old v1 slot's data region...
     let summaries = daemon.summaries()?;
-    println!("before crash: {} model(s), latest v{:?}", summaries.len(), summaries[0].latest_version);
+    println!(
+        "before crash: {} model(s), latest v{:?}",
+        summaries.len(),
+        summaries[0].latest_version
+    );
     pmem.crash(CrashSpec::Random { seed: 0xBAD_C0FFEE });
     println!("power failure injected (random in-flight line survival)");
 
@@ -83,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             slot.state, slot.version, slot.data_len
         );
         if slot.state == SlotState::Done {
-            assert_eq!(index.slot_checksum(&mi, i)?, slot.checksum, "checksum intact");
+            assert_eq!(
+                index.slot_checksum(&mi, i)?,
+                slot.checksum,
+                "checksum intact"
+            );
         }
     }
     Ok(())

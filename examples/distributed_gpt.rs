@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Storage node.
     let storage_node = NodeId(100);
     fabric.add_nic(storage_node);
-    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 4 * spec.total_bytes() + (1 << 28));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        4 * spec.total_bytes() + (1 << 28),
+    );
     let daemon = PortusDaemon::start(&fabric, storage_node, pmem, DaemonConfig::default())?;
 
     // Two compute nodes, four GPUs each; each shard gets a GPU and its

@@ -66,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let original = &originals[0];
     for ((meta, payload), tensor) in decoded.tensors.iter().zip(original.tensors()) {
         assert_eq!(meta.name, tensor.meta.name);
-        assert_eq!(payload, &tensor.buffer.to_vec(), "tensor {} differs", meta.name);
+        assert_eq!(
+            payload,
+            &tensor.buffer.to_vec(),
+            "tensor {} differs",
+            meta.name
+        );
     }
     println!("dumped container verified against the live GPU tensors");
 

@@ -35,8 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pre-builds the checkpoint structure on PMem.
     let client = PortusClient::connect(&daemon, compute_nic);
     client.register_model(&model)?;
-    println!("registered {} ({} tensors, {} MiB)",
-        spec.name, spec.layer_count(), spec.total_bytes() >> 20);
+    println!(
+        "registered {} ({} tensors, {} MiB)",
+        spec.name,
+        spec.layer_count(),
+        spec.total_bytes() >> 20
+    );
 
     // Train a little, checkpoint, train more, crash-and-restore.
     for _ in 0..3 {
@@ -59,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "restored v{} in {} (virtual) — one-sided writes into GPU memory",
         restore.version, restore.elapsed
     );
-    assert_eq!(model.model_checksum(), saved_state, "bytes must match exactly");
+    assert_eq!(
+        model.model_checksum(),
+        saved_state,
+        "bytes must match exactly"
+    );
     println!("restored state verified bit-for-bit");
 
     // What's on the device?

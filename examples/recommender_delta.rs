@@ -20,8 +20,16 @@ fn recommender_spec() -> ModelSpec {
     let mut tensors: Vec<TensorMeta> = (0..16)
         .map(|i| TensorMeta::new(format!("embedding.shard{i}"), DType::F32, vec![16384, 64]))
         .collect();
-    tensors.push(TensorMeta::new("dense.fc1.weight", DType::F32, vec![512, 64]));
-    tensors.push(TensorMeta::new("dense.fc2.weight", DType::F32, vec![64, 512]));
+    tensors.push(TensorMeta::new(
+        "dense.fc1.weight",
+        DType::F32,
+        vec![512, 64],
+    ));
+    tensors.push(TensorMeta::new(
+        "dense.fc2.weight",
+        DType::F32,
+        vec![64, 512],
+    ));
     ModelSpec::new("dlrm-mini", tensors)
 }
 
@@ -31,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compute = fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
     let spec = recommender_spec();
-    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 4 * spec.total_bytes() + (64 << 20));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        4 * spec.total_bytes() + (64 << 20),
+    );
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default())?;
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
     let mut model = ModelInstance::materialize(&spec, &gpu, 2026, Materialization::Owned)?;
@@ -49,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.train_step();
     model.take_dirty();
     let full = client.checkpoint(&spec.name)?;
-    println!("v1 (full): {} bytes over the fabric in {}", full.bytes, full.elapsed);
+    println!(
+        "v1 (full): {} bytes over the fabric in {}",
+        full.bytes, full.elapsed
+    );
 
     // Ten sparse batches: each touches 2 embedding shards + the dense
     // tower (indices 16, 17).

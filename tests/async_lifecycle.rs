@@ -30,7 +30,12 @@ fn world(pmem_bytes: u64) -> World {
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
     let client = PortusClient::connect(&daemon, compute);
-    World { ctx, daemon, client, gpu }
+    World {
+        ctx,
+        daemon,
+        client,
+        gpu,
+    }
 }
 
 #[test]

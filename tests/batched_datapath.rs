@@ -34,7 +34,11 @@ fn batched_checkpoint_beats_the_unbatched_per_verb_bound() {
     // The WQE view: 128 contiguous tensors coalesce into ceil(128/16)
     // gather verbs, all posted under a single doorbell.
     let wqes = (LAYERS as u64).div_ceil(MAX_SGE as u64);
-    assert_eq!(d.posted_verbs, wqes, "{} tensors -> {} gather WQEs", LAYERS, wqes);
+    assert_eq!(
+        d.posted_verbs, wqes,
+        "{} tensors -> {} gather WQEs",
+        LAYERS, wqes
+    );
     assert_eq!(d.doorbell_batches, 1, "one doorbell for the whole pull");
     assert_eq!(d.coalesced_verbs, wqes);
     assert_eq!(d.coalesced_bytes, spec.total_bytes());
@@ -51,7 +55,11 @@ fn batched_checkpoint_beats_the_unbatched_per_verb_bound() {
     // batch pays the per-verb base latency once and moves MAX_SGE-sized
     // messages at the far end of the bandwidth ramp.
     let unbatched_ns: u64 = (0..LAYERS)
-        .map(|_| ctx.model.rdma_read(LAYER_BYTES, MemoryKind::GpuHbm).as_nanos())
+        .map(|_| {
+            ctx.model
+                .rdma_read(LAYER_BYTES, MemoryKind::GpuHbm)
+                .as_nanos()
+        })
         .sum();
     let pull_ns = report
         .elapsed
@@ -117,7 +125,10 @@ fn delta_gaps_break_coalescing_runs() {
     let delta = client.checkpoint_delta("gaps", &alternating).unwrap();
     let d = ctx.stats.snapshot().since(&before);
     assert_eq!(delta.pulled_bytes, 4 * LAYER_BYTES);
-    assert_eq!(d.posted_verbs, 4, "one single-segment WQE per isolated tensor");
+    assert_eq!(
+        d.posted_verbs, 4,
+        "one single-segment WQE per isolated tensor"
+    );
     assert_eq!(d.doorbell_batches, 1, "still one doorbell");
     assert_eq!(d.coalesced_verbs, 0, "nothing to coalesce across gaps");
 

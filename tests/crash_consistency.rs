@@ -6,6 +6,11 @@
 //! complete, checksum-valid checkpoint version, and it is the most
 //! recent version whose completion was acknowledged.**
 
+// Under the offline `proptest` stub the `proptest!` bodies are
+// swallowed, leaving imports and strategy helpers "unused"; with the
+// real crate they are all live.
+#![allow(unused_imports, dead_code)]
+
 use proptest::prelude::*;
 
 use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError, SlotState};
@@ -47,9 +52,7 @@ fn torn_checkpoint_scenario(completed: u64, seed: u64) -> (u64, u64, u64) {
     let (_, off) = index.live_entries().unwrap()[0];
     let mi = index.load_mindex(off).unwrap();
     let target = mi.target_slot();
-    index
-        .mark_slot_active(&mi, target, completed + 1)
-        .unwrap();
+    index.mark_slot_active(&mi, target, completed + 1).unwrap();
     let hdr = mi.slots[target];
     // Partial garbage, deliberately unfenced.
     let garbage = vec![0xEE; (hdr.data_len / 2).max(64) as usize];
@@ -158,15 +161,18 @@ fn active_slot_is_never_served_after_recovery() {
     daemon.shutdown();
     pmem.crash(CrashSpec::LoseAll);
 
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let index2 = daemon2.index();
     let (_, off2) = index2.live_entries().unwrap()[0];
     let mi2 = index2.load_mindex(off2).unwrap();
     let (done_slot, hdr) = mi2.latest_done().unwrap();
     assert_eq!(hdr.version, 1, "only v1 completed");
     assert_ne!(done_slot, target);
-    assert_eq!(mi2.slots[target].state, SlotState::Active, "torn slot stays marked invalid");
+    assert_eq!(
+        mi2.slots[target].state,
+        SlotState::Active,
+        "torn slot stays marked invalid"
+    );
 }
 
 #[test]
@@ -180,7 +186,10 @@ fn checkpoint_failing_mid_pull_restores_previous_done_version() {
     fabric.add_nic(NodeId(1));
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
     // No retry budget: the first fabric error is terminal.
-    let cfg = DaemonConfig { verb_retries: 0, ..DaemonConfig::default() };
+    let cfg = DaemonConfig {
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    };
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx, 0, 1 << 30);
     // 20 adjacent tensors coalesce into two gather WQEs (MAX_SGE = 16),
@@ -236,7 +245,10 @@ fn delta_failure_after_carry_over_copies_rolls_the_slot_back() {
     let compute = fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
-    let cfg = DaemonConfig { verb_retries: 0, ..DaemonConfig::default() };
+    let cfg = DaemonConfig {
+        verb_retries: 0,
+        ..DaemonConfig::default()
+    };
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
     let spec = test_spec("delta", 4, 4096);
@@ -309,9 +321,12 @@ fn torn_modeltable_publication_is_rolled_back() {
     daemon.shutdown();
     pmem.crash(CrashSpec::LoseAll);
 
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
-    assert_eq!(daemon2.model_count(), 1, "only the fully published model survives");
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    assert_eq!(
+        daemon2.model_count(),
+        1,
+        "only the fully published model survives"
+    );
     // The rolled-back slot is reusable: register another model.
     let spec2 = test_spec("second", 2, 4096);
     let model2 = ModelInstance::materialize(

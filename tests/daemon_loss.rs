@@ -68,10 +68,16 @@ fn replicas_keep_every_validated_checkpoint_through_a_mid_checkpoint_kill() {
 
     let report = daemon_loss_report(&cfg, &out);
     assert_eq!(report.killed, vec![primary]);
-    assert!(report.zero_loss, "no validated checkpoint may be lost at k=2");
+    assert!(
+        report.zero_loss,
+        "no validated checkpoint may be lost at k=2"
+    );
     assert_eq!(report.lost_iterations, 0);
     assert_eq!(report.failed_checkpoints, 0);
-    assert!(report.repairs > 0, "the rebalance re-replicates the dead daemon's stripes");
+    assert!(
+        report.repairs > 0,
+        "the rebalance re-replicates the dead daemon's stripes"
+    );
 
     // The same kill without replication loses client-0's work.
     let lossy_cfg = fleet(4, 4, 1).with_kill(primary, at);
@@ -102,8 +108,14 @@ fn restore_falls_through_a_primary_that_dies_after_the_last_checkpoint() {
     let out = run_fleet(&m, &cfg);
 
     let client0 = &out.restores[0];
-    assert!(client0.version.is_some(), "the surviving replica still serves");
-    assert!(client0.failovers >= 1, "rendezvous walks past the dead primary");
+    assert!(
+        client0.version.is_some(),
+        "the surviving replica still serves"
+    );
+    assert!(
+        client0.failovers >= 1,
+        "rendezvous walks past the dead primary"
+    );
     assert!(!client0.served_by.contains(&primary));
 
     let report = daemon_loss_report(&cfg, &out);
@@ -128,7 +140,11 @@ fn recovery_epoch_fences_only_the_dead_daemon() {
             // A live replica's writes are never fenced or discarded:
             // the survivors keep serving and absorb the repairs.
             assert!(!d.killed);
-            assert_eq!(d.fenced_active, 0, "daemon {} is alive — nothing to fence", d.daemon);
+            assert_eq!(
+                d.fenced_active, 0,
+                "daemon {} is alive — nothing to fence",
+                d.daemon
+            );
         }
     }
     let repaired: u64 = out
@@ -155,7 +171,10 @@ fn kill_schedules_replay_bit_for_bit_and_the_instant_matters() {
     let b = run_fleet(&m, &cfg);
     assert_eq!(a.events, b.events, "event order must replay");
     assert_eq!(a.spans, b.spans, "span stream must replay");
-    assert_eq!(a.metrics, b.metrics, "metrics (incl. fleet counters) must replay");
+    assert_eq!(
+        a.metrics, b.metrics,
+        "metrics (incl. fleet counters) must replay"
+    );
     assert_eq!(a.restores, b.restores, "restore accounting must replay");
     assert_eq!(a.clients, b.clients);
     assert_eq!(a.makespan, b.makespan);
@@ -226,11 +245,17 @@ fn replicated_client_fails_over_a_restore_on_the_real_datapath() {
     model.train_step();
     let report = client.restore(&model).expect("failover restore");
     assert_eq!(report.version, 1);
-    assert_eq!(model.model_checksum(), durable, "restored bit-for-bit from a survivor");
+    assert_eq!(
+        model.model_checksum(),
+        durable,
+        "restored bit-for-bit from a survivor"
+    );
 
     // With every replica down the failure is typed, not a panic.
     for d in 1..3u32 {
-        fabric.arm_faults(NodeId(1 + d), FaultSpec::All).expect("arm");
+        fabric
+            .arm_faults(NodeId(1 + d), FaultSpec::All)
+            .expect("arm");
     }
     match client.restore(&model) {
         Err(PortusError::ReplicasExhausted { op, attempts, .. }) => {

@@ -27,9 +27,18 @@ fn setup(max: u64) -> Bench {
     let mr_gpu = compute.register(RegionTarget::Buffer(gpu), Access::READ_WRITE);
     let mr_dram = compute.register(RegionTarget::Buffer(dram), Access::READ_WRITE);
     let pmem = PmemDevice::new(ctx, PmemMode::DevDax, 2 * max);
-    let pmem_dst = RegionTarget::Pmem { dev: pmem, base: 0, len: max };
+    let pmem_dst = RegionTarget::Pmem {
+        dev: pmem,
+        base: 0,
+        len: max,
+    };
     let (_qp_compute, qp_storage) = QueuePair::connect(compute, storage);
-    Bench { qp_storage, mr_gpu, mr_dram, pmem_dst }
+    Bench {
+        qp_storage,
+        mr_gpu,
+        mr_dram,
+        pmem_dst,
+    }
 }
 
 fn measured_bw(b: &Bench, rkey: u64, len: u64) -> f64 {
@@ -43,7 +52,10 @@ fn bandwidth_saturates_past_512kb() {
     let peak = measured_bw(&b, b.mr_dram.rkey(), 64 << 20);
     let at_512k = measured_bw(&b, b.mr_dram.rkey(), 512 << 10);
     let at_4k = measured_bw(&b, b.mr_dram.rkey(), 4 << 10);
-    assert!(at_512k > 0.85 * peak, "512KB must be near peak: {at_512k:.3e} vs {peak:.3e}");
+    assert!(
+        at_512k > 0.85 * peak,
+        "512KB must be near peak: {at_512k:.3e} vs {peak:.3e}"
+    );
     assert!(at_4k < 0.2 * peak, "4KB must be latency-bound: {at_4k:.3e}");
 }
 
@@ -55,7 +67,10 @@ fn gpu_read_cap_is_30_percent_below_dram() {
     let deficit = 1.0 - gpu / dram;
     // §V-B: "30% less than DRAM".
     assert!((0.25..0.35).contains(&deficit), "BAR deficit {deficit:.3}");
-    assert!((5.5e9..6.1e9).contains(&gpu), "GPU read peak {gpu:.3e} (paper 5.8 GB/s)");
+    assert!(
+        (5.5e9..6.1e9).contains(&gpu),
+        "GPU read peak {gpu:.3e} (paper 5.8 GB/s)"
+    );
 }
 
 #[test]
@@ -108,7 +123,11 @@ fn server_side_dram_and_pmem_targets_are_equivalent() {
     let gpu = Buffer::new(MemoryKind::GpuHbm, MemorySegment::synthetic(len, 2));
     let mr = compute.register(RegionTarget::Buffer(gpu), Access::READ);
     let pmem = PmemDevice::new(ctx, PmemMode::DevDax, 2 * len);
-    let to_pmem = RegionTarget::Pmem { dev: pmem, base: 0, len };
+    let to_pmem = RegionTarget::Pmem {
+        dev: pmem,
+        base: 0,
+        len,
+    };
     let to_dram = RegionTarget::Buffer(Buffer::new(
         MemoryKind::HostDram,
         MemorySegment::zeroed(len),

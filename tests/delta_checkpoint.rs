@@ -30,15 +30,20 @@ fn world() -> World {
     let daemon =
         PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), DaemonConfig::default()).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 1 << 30);
-    World { ctx, fabric, pmem, daemon, gpu }
+    World {
+        ctx,
+        fabric,
+        pmem,
+        daemon,
+        gpu,
+    }
 }
 
 #[test]
 fn delta_pulls_only_dirty_tensors() {
     let w = world();
     let spec = test_spec("delta", LAYERS, LAYER_BYTES);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
 
@@ -78,8 +83,7 @@ fn delta_pulls_only_dirty_tensors() {
 fn first_delta_without_history_pulls_everything() {
     let w = world();
     let spec = test_spec("cold", 4, LAYER_BYTES);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 2, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 2, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
     model.train_step_sparse(&[0]);
@@ -95,8 +99,7 @@ fn first_delta_without_history_pulls_everything() {
 fn alternating_full_and_delta_versions_restore_correctly() {
     let w = world();
     let spec = test_spec("mix", LAYERS, LAYER_BYTES);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
 
@@ -128,7 +131,9 @@ fn delta_mask_length_mismatch_is_rejected() {
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
     client.checkpoint("badmask").unwrap();
-    let err = client.checkpoint_delta("badmask", &[true, false]).unwrap_err();
+    let err = client
+        .checkpoint_delta("badmask", &[true, false])
+        .unwrap_err();
     assert!(err.to_string().contains("mismatch"), "got: {err}");
 }
 
@@ -136,8 +141,7 @@ fn delta_mask_length_mismatch_is_rejected() {
 fn torn_delta_checkpoint_preserves_the_previous_version() {
     let w = world();
     let spec = test_spec("deltacrash", 4, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
     model.train_step();
@@ -159,9 +163,13 @@ fn torn_delta_checkpoint_preserves_the_previous_version() {
     w.daemon.shutdown();
     w.pmem.crash(CrashSpec::Random { seed: 99 });
 
-    let daemon2 =
-        PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), DaemonConfig::default())
-            .unwrap();
+    let daemon2 = PortusDaemon::recover(
+        &w.fabric,
+        NodeId(1),
+        w.pmem.clone(),
+        DaemonConfig::default(),
+    )
+    .unwrap();
     let client2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
     client2.register_model(&model).unwrap();
     model.train_step();

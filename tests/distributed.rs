@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use portus::{DaemonConfig, PortusClient, PortusDaemon};
-use portus_dnn::{
-    shard_model, zoo, Materialization, ModelInstance, ParallelConfig,
-};
+use portus_dnn::{shard_model, zoo, Materialization, ModelInstance, ParallelConfig};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
 use portus_rdma::{Fabric, NodeId};
@@ -25,7 +23,11 @@ fn sharded_model_checkpoints_and_reassembles() {
     let shards = shard_model(&spec, cfg);
     assert_eq!(shards.len(), 4);
 
-    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 4 * spec.total_bytes() + (64 << 20));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        4 * spec.total_bytes() + (64 << 20),
+    );
     let daemon = PortusDaemon::start(&fabric, storage, pmem, DaemonConfig::default()).unwrap();
 
     // One GPU + client per shard, two shards per "node".
@@ -56,7 +58,11 @@ fn sharded_model_checkpoints_and_reassembles() {
     for (client, name, p) in pending {
         total += client.wait_checkpoint(&name, p).unwrap().bytes;
     }
-    assert_eq!(total, spec.total_bytes(), "shards cover the whole model exactly");
+    assert_eq!(
+        total,
+        spec.total_bytes(),
+        "shards cover the whole model exactly"
+    );
 
     // Record per-shard state, diverge everything, restore everything.
     let want: Vec<u64> = tenants.iter().map(|(_, m, _)| m.model_checksum()).collect();
@@ -89,7 +95,11 @@ fn shard_pulls_serialize_on_the_storage_nic() {
     fabric.add_nic(storage);
     let spec = zoo::gpt_with("contend", 128, 2, 512);
     let shards = shard_model(&spec, ParallelConfig::grid(4, 1));
-    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 4 * spec.total_bytes() + (64 << 20));
+    let pmem = PmemDevice::new(
+        ctx.clone(),
+        PmemMode::DevDax,
+        4 * spec.total_bytes() + (64 << 20),
+    );
     let daemon = PortusDaemon::start(&fabric, storage, pmem, DaemonConfig::default()).unwrap();
 
     let mut tenants = Vec::new();
@@ -132,7 +142,11 @@ fn shard_pulls_serialize_on_the_storage_nic() {
 fn data_parallel_replicas_checkpoint_once() {
     // dp > 1 replicates state; only tensor x pipeline shards checkpoint.
     let spec = zoo::gpt_with("dp", 64, 2, 256);
-    let cfg = ParallelConfig { tensor: 2, pipeline: 2, data: 2 };
+    let cfg = ParallelConfig {
+        tensor: 2,
+        pipeline: 2,
+        data: 2,
+    };
     assert_eq!(cfg.gpu_count(), 8);
     assert_eq!(cfg.checkpointing_shards(), 4);
     let shards = shard_model(&spec, cfg);

@@ -24,16 +24,17 @@ fn world(cfg: DaemonConfig, pmem_bytes: u64) -> World {
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, pmem_bytes);
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx, 0, 1 << 30);
-    World { fabric, daemon, gpu }
+    World {
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 #[test]
 fn single_scalar_tensor_model() {
     let w = world(DaemonConfig::default(), 32 << 20);
-    let spec = ModelSpec::new(
-        "scalar",
-        vec![TensorMeta::new("step", DType::I64, vec![])],
-    );
+    let spec = ModelSpec::new("scalar", vec![TensorMeta::new("step", DType::I64, vec![])]);
     let mut model = ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     client.register_model(&model).unwrap();
@@ -91,7 +92,10 @@ fn pmem_exhaustion_is_a_clean_daemon_error() {
 
 #[test]
 fn model_table_capacity_is_enforced() {
-    let cfg = DaemonConfig { table_capacity: 2, ..DaemonConfig::default() };
+    let cfg = DaemonConfig {
+        table_capacity: 2,
+        ..DaemonConfig::default()
+    };
     let w = world(cfg, 64 << 20);
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     for i in 0..2 {
@@ -122,15 +126,23 @@ fn concurrent_checkpoints_of_the_same_model_serialize_safely() {
 
     std::thread::scope(|s| {
         let h1 = s.spawn(|| {
-            (0..4).map(|_| c1.checkpoint("contested").unwrap().version).collect::<Vec<_>>()
+            (0..4)
+                .map(|_| c1.checkpoint("contested").unwrap().version)
+                .collect::<Vec<_>>()
         });
         let h2 = s.spawn(|| {
-            (0..4).map(|_| c2.checkpoint("contested").unwrap().version).collect::<Vec<_>>()
+            (0..4)
+                .map(|_| c2.checkpoint("contested").unwrap().version)
+                .collect::<Vec<_>>()
         });
         let mut versions: Vec<u64> = h1.join().unwrap();
         versions.extend(h2.join().unwrap());
         versions.sort_unstable();
-        assert_eq!(versions, (1..=8).collect::<Vec<u64>>(), "versions must be unique and dense");
+        assert_eq!(
+            versions,
+            (1..=8).collect::<Vec<u64>>(),
+            "versions must be unique and dense"
+        );
     });
 
     let summary = &c1.list_models().unwrap()[0];

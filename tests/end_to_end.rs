@@ -27,7 +27,12 @@ fn deploy(pmem_bytes: u64) -> Deployment {
     let daemon =
         PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
     let gpu = GpuDevice::new(ctx.clone(), 0, 4 << 30);
-    Deployment { ctx, fabric, daemon, gpu }
+    Deployment {
+        ctx,
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 impl Deployment {
@@ -40,8 +45,7 @@ impl Deployment {
 fn checkpoint_restore_round_trip() {
     let d = deploy(256 << 20);
     let spec = test_spec("rt", 12, 512 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &d.gpu, 3, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &d.gpu, 3, Materialization::Owned).unwrap();
     let client = d.client();
     client.register_model(&model).unwrap();
 
@@ -64,8 +68,7 @@ fn checkpoint_restore_round_trip() {
 fn successive_versions_alternate_slots_and_restore_latest() {
     let d = deploy(256 << 20);
     let spec = test_spec("versions", 6, 256 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &d.gpu, 9, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &d.gpu, 9, Materialization::Owned).unwrap();
     let client = d.client();
     client.register_model(&model).unwrap();
 
@@ -120,8 +123,7 @@ fn reregistration_with_different_structure_is_rejected() {
 
     // Same name, different layer count.
     let other_spec = test_spec("strict", 5, 8192);
-    let other =
-        ModelInstance::materialize(&other_spec, &d.gpu, 1, Materialization::Owned).unwrap();
+    let other = ModelInstance::materialize(&other_spec, &d.gpu, 1, Materialization::Owned).unwrap();
     let err = client.register_model(&other).unwrap_err();
     assert!(err.to_string().contains("mismatch"), "got: {err}");
 }
@@ -150,8 +152,7 @@ fn per_tensor_content_is_exact_on_pmem() {
     // the GPU bytes, at the recorded per-tensor offsets.
     let d = deploy(128 << 20);
     let spec = test_spec("exact", 5, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &d.gpu, 77, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &d.gpu, 77, Materialization::Owned).unwrap();
     let client = d.client();
     client.register_model(&model).unwrap();
     model.train_step();
@@ -207,8 +208,7 @@ fn registration_survives_metadata_round_trip() {
 fn checkpoint_of_updated_model_differs_from_previous_version() {
     let d = deploy(128 << 20);
     let spec = test_spec("diff", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &d.gpu, 5, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &d.gpu, 5, Materialization::Owned).unwrap();
     let client = d.client();
     client.register_model(&model).unwrap();
 
@@ -225,5 +225,8 @@ fn checkpoint_of_updated_model_differs_from_previous_version() {
     let mi2 = index.load_mindex(off).unwrap();
     let (s2, h2) = mi2.latest_done().unwrap();
     assert_ne!(s1, s2, "new version must land in the other slot");
-    assert_ne!(h1.checksum, h2.checksum, "content changed, checksum must too");
+    assert_ne!(
+        h1.checksum, h2.checksum,
+        "content changed, checksum must too"
+    );
 }

@@ -1,5 +1,10 @@
 //! Higher-order equivalence properties across the system.
 
+// Under the offline `proptest` stub the `proptest!` bodies are
+// swallowed, leaving every import and strategy helper "unused"; with
+// the real crate they are all live.
+#![allow(unused_imports, dead_code)]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -114,9 +119,7 @@ fn arb_meta(i: usize) -> impl Strategy<Value = TensorMeta> {
         vec(1u64..64, 0..4),
         "[a-z][a-z0-9_.]{0,40}",
     )
-        .prop_map(move |(dtype, shape, name)| {
-            TensorMeta::new(format!("{name}.{i}"), dtype, shape)
-        })
+        .prop_map(move |(dtype, shape, name)| TensorMeta::new(format!("{name}.{i}"), dtype, shape))
 }
 
 proptest! {

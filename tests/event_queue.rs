@@ -7,9 +7,7 @@
 
 use portus_cluster::{run_fleet, FleetConfig, Policy};
 use portus_dnn::IterationProfile;
-use portus_sim::{
-    CostModel, Engine, Resource, SimDuration, SimTime, Stage, TraceOp,
-};
+use portus_sim::{CostModel, Engine, Resource, SimDuration, SimTime, Stage, TraceOp};
 
 fn fleet(daemons: usize, clients: usize, seed: u64) -> FleetConfig {
     let mut cfg = FleetConfig::uniform(
@@ -57,8 +55,7 @@ fn concurrent_equal_ops_on_independent_resources_finish_at_max_not_sum() {
     let op = SimDuration::from_secs(3);
     for n in [2usize, 4, 8] {
         let mut eng = Engine::new();
-        let resources: Vec<Resource> =
-            (0..n).map(|i| Resource::new(&format!("nic-{i}"))).collect();
+        let resources: Vec<Resource> = (0..n).map(|i| Resource::new(&format!("nic-{i}"))).collect();
         let ends: Vec<SimTime> = resources
             .iter()
             .map(|r| r.schedule(SimTime::ZERO, op).end)
@@ -116,7 +113,10 @@ fn fleet_of_identical_clients_on_private_daemons_matches_solo_makespan() {
         cfg.start_jitter = SimDuration::ZERO;
         run_fleet(&m, &cfg)
     };
-    assert!(packed.makespan > spread.makespan, "contention must cost time");
+    assert!(
+        packed.makespan > spread.makespan,
+        "contention must cost time"
+    );
     assert!(
         packed.makespan < solo.makespan * 3,
         "serialization is limited to the contended NIC, got {} vs solo {}",

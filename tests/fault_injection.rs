@@ -88,7 +88,10 @@ fn transient_fault_is_absorbed_by_the_retry_loop() {
     let d = w.ctx.stats.snapshot().since(&before);
     assert_eq!(d.failed_verbs, 1);
     assert_eq!(d.retried_verbs, 1);
-    assert_eq!(d.rolled_back_slots, 0, "a recovered checkpoint must not roll back");
+    assert_eq!(
+        d.rolled_back_slots, 0,
+        "a recovered checkpoint must not roll back"
+    );
 
     // The retry backoff was charged to the virtual clock: an identical
     // world with no fault finishes the same checkpoint strictly sooner.
@@ -125,7 +128,11 @@ fn hard_outage_returns_typed_error_and_rolls_back() {
     model.train_step();
     let err = w.client.checkpoint("outage").unwrap_err();
     match &err {
-        PortusError::DatapathFailed { model: m, op, failures } => {
+        PortusError::DatapathFailed {
+            model: m,
+            op,
+            failures,
+        } => {
             assert_eq!(m, "outage");
             assert_eq!(op, "checkpoint");
             assert_eq!(failures.len(), 1, "4 adjacent tensors ride one gather WQE");
@@ -265,16 +272,21 @@ fn striped_retry_stays_on_the_failing_lane() {
     let lanes_in = |round: u32| -> std::collections::BTreeSet<u32> {
         spans
             .iter()
-            .filter(|s| {
-                s.round == round && matches!(s.stage, Stage::DoorbellPost | Stage::CqDrain)
-            })
+            .filter(|s| s.round == round && matches!(s.stage, Stage::DoorbellPost | Stage::CqDrain))
             .map(|s| s.lane)
             .collect()
     };
     let round0 = lanes_in(0);
     let round1 = lanes_in(1);
-    assert!(round0.len() >= 2, "expected a striped first round, got {round0:?}");
-    assert_eq!(round1.len(), 1, "retry must stay on its lane, got {round1:?}");
+    assert!(
+        round0.len() >= 2,
+        "expected a striped first round, got {round0:?}"
+    );
+    assert_eq!(
+        round1.len(),
+        1,
+        "retry must stay on its lane, got {round1:?}"
+    );
     assert!(
         round0.contains(round1.iter().next().unwrap()),
         "retry lane must be one of the original stripes"
@@ -302,7 +314,10 @@ fn striped_exhaustion_rolls_back_once_and_keeps_latest_done() {
 
     let before = w.ctx.stats.snapshot();
     w.fabric.arm_faults(DAEMON_NODE, FaultSpec::Nth(1)).unwrap();
-    let err = w.client.checkpoint_delta("stripe-roll", &dirty).unwrap_err();
+    let err = w
+        .client
+        .checkpoint_delta("stripe-roll", &dirty)
+        .unwrap_err();
     match &err {
         PortusError::DatapathFailed { op, failures, .. } => {
             assert_eq!(op, "delta-checkpoint");
@@ -348,7 +363,13 @@ fn ratio_faults_replay_identically_for_the_same_seed() {
         let (w, _model) = world("ratio", 32, DaemonConfig::default());
         let before = w.ctx.stats.snapshot();
         w.fabric
-            .arm_faults(DAEMON_NODE, FaultSpec::Ratio { permille: 400, seed })
+            .arm_faults(
+                DAEMON_NODE,
+                FaultSpec::Ratio {
+                    permille: 400,
+                    seed,
+                },
+            )
             .unwrap();
         let outcome = w
             .client
@@ -358,7 +379,12 @@ fn ratio_faults_replay_identically_for_the_same_seed() {
         let d = w.ctx.stats.snapshot().since(&before);
         drop(w.client);
         w.daemon.shutdown();
-        (outcome, d.failed_verbs, d.retried_verbs, d.rolled_back_slots)
+        (
+            outcome,
+            d.failed_verbs,
+            d.retried_verbs,
+            d.rolled_back_slots,
+        )
     };
     assert_eq!(run(3), run(3), "same seed must replay bit-for-bit");
 }

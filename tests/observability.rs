@@ -25,7 +25,12 @@ fn world_cfg(cfg: DaemonConfig) -> World {
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-    World { ctx, fabric, daemon, gpu }
+    World {
+        ctx,
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 fn world() -> World {
@@ -40,8 +45,7 @@ fn traced_run() -> String {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("traced", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 11, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 11, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("traced").unwrap();
@@ -60,8 +64,7 @@ fn spans_cover_every_stage_of_each_operation() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("stages", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 7, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 7, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("stages").unwrap();
@@ -86,7 +89,10 @@ fn spans_cover_every_stage_of_each_operation() {
         Stage::HeaderFlip,
         Stage::Total,
     ] {
-        assert!(has(TraceOp::Checkpoint, stage), "checkpoint missing {stage}");
+        assert!(
+            has(TraceOp::Checkpoint, stage),
+            "checkpoint missing {stage}"
+        );
         assert!(
             has(TraceOp::DeltaCheckpoint, stage),
             "delta missing {stage}"
@@ -121,8 +127,7 @@ fn span_totals_match_the_stats_counters() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("match", 8, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 9, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 9, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
 
     let before = w.ctx.stats.snapshot();
@@ -170,8 +175,7 @@ fn tracer_off_by_default_but_histograms_always_on() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("default", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("default").unwrap();
@@ -189,8 +193,7 @@ fn histogram_quantiles_are_monotone() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("quant", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 4, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 4, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     for _ in 0..6 {
         model.train_step();
@@ -220,8 +223,7 @@ fn restore_validate_span_precedes_the_checksum_pass() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("order", 3, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 12, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 12, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("order").unwrap();
@@ -256,8 +258,7 @@ fn carry_copy_span_completes_before_the_doorbell() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("carry", 4, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 13, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 13, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("carry").unwrap();
@@ -296,8 +297,7 @@ fn failed_delta_records_only_completed_stages() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("dies", 4, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 14, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 14, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("dies").unwrap();
@@ -316,7 +316,10 @@ fn failed_delta_records_only_completed_stages() {
             .any(|s| s.op == TraceOp::DeltaCheckpoint && s.stage == stage)
     };
     assert!(has(Stage::Validate));
-    assert!(has(Stage::CarryCopy), "the carry loop did run to completion");
+    assert!(
+        has(Stage::CarryCopy),
+        "the carry loop did run to completion"
+    );
     assert!(!has(Stage::Persist), "failed delta never persisted");
     assert!(!has(Stage::HeaderFlip), "failed delta never flipped");
     assert!(!has(Stage::Total), "failed requests record no Total");
@@ -327,8 +330,7 @@ fn stats_query_round_trips_over_the_wire() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("wire", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("wire").unwrap();
@@ -337,9 +339,7 @@ fn stats_query_round_trips_over_the_wire() {
 
     let over_wire = client.stats().unwrap();
     assert!(!over_wire.stages.is_empty());
-    assert!(over_wire
-        .stage(TraceOp::Checkpoint, Stage::Total)
-        .is_some());
+    assert!(over_wire.stage(TraceOp::Checkpoint, Stage::Total).is_some());
     assert!(over_wire.stage(TraceOp::Restore, Stage::Total).is_some());
     assert_eq!(
         over_wire.dispatch_queue_capacity,
@@ -362,8 +362,7 @@ fn bounded_dispatcher_survives_a_burst() {
     });
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("burst", 4, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 8, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 8, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
 
     for _ in 0..4 {

@@ -4,9 +4,7 @@
 //! registration, pull, and restore like any other tensors.
 
 use portus::{DaemonConfig, PortusClient, PortusDaemon};
-use portus_dnn::{
-    test_spec, CheckpointContent, Materialization, ModelInstance, OptimizerKind,
-};
+use portus_dnn::{test_spec, CheckpointContent, Materialization, ModelInstance, OptimizerKind};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
 use portus_rdma::{Fabric, NodeId};
@@ -37,7 +35,11 @@ fn adam_state_triples_the_checkpoint_and_round_trips() {
 
     model.train_step();
     client.restore(&model).unwrap();
-    assert_eq!(model.model_checksum(), want, "optimizer moments restored too");
+    assert_eq!(
+        model.model_checksum(),
+        want,
+        "optimizer moments restored too"
+    );
 
     // The daemon's index carries the expanded tensor list.
     let summary = &client.list_models().unwrap()[0];
@@ -58,8 +60,7 @@ fn momentum_state_checkpoints_with_correct_cost_scaling() {
             PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
         let gpu = GpuDevice::new(ctx, 0, 1 << 30);
         let spec = content.expand(&test_spec("mom", 8, 512 * 1024));
-        let model =
-            ModelInstance::materialize(&spec, &gpu, 3, Materialization::Owned).unwrap();
+        let model = ModelInstance::materialize(&spec, &gpu, 3, Materialization::Owned).unwrap();
         let client = PortusClient::connect(&daemon, compute);
         client.register_model(&model).unwrap();
         client.checkpoint("mom").unwrap().elapsed
@@ -67,5 +68,8 @@ fn momentum_state_checkpoints_with_correct_cost_scaling() {
     let weights = run(CheckpointContent::WeightsOnly);
     let with_momentum = run(CheckpointContent::WithOptimizer(OptimizerKind::SgdMomentum));
     let ratio = with_momentum.as_secs_f64() / weights.as_secs_f64();
-    assert!((1.8..2.2).contains(&ratio), "2x payload => ~2x time, got {ratio:.2}");
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "2x payload => ~2x time, got {ratio:.2}"
+    );
 }

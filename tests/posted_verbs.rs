@@ -3,12 +3,19 @@
 //! production daemon's worker would use — plus device-image round-trip
 //! properties for the portusctl path.
 
+// Under the offline `proptest` stub the `proptest!` bodies are
+// swallowed, leaving imports and strategy helpers "unused"; with the
+// real crate they are all live.
+#![allow(unused_imports, dead_code)]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use portus_mem::{Buffer, MemorySegment};
 use portus_pmem::{load_image, save_image, PmemDevice, PmemMode};
-use portus_rdma::{Access, CompletionQueue, Fabric, NodeId, PostedQueuePair, QueuePair, RegionTarget};
+use portus_rdma::{
+    Access, CompletionQueue, Fabric, NodeId, PostedQueuePair, QueuePair, RegionTarget,
+};
 use portus_sim::{MemoryKind, SimContext};
 
 #[test]

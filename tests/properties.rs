@@ -1,5 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
+// Under the offline `proptest` stub the `proptest!` bodies are
+// swallowed, leaving imports and strategy helpers "unused"; with the
+// real crate they are all live.
+#![allow(unused_imports, dead_code)]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 

@@ -33,8 +33,7 @@ fn version_numbering_continues_across_restart() {
     daemon.shutdown();
     pmem.crash(CrashSpec::LoseAll);
 
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let client2 = PortusClient::connect(&daemon2, compute);
     client2.register_model(&model).unwrap(); // re-register same structure
     model.train_step();
@@ -70,12 +69,15 @@ fn recovery_rebuilds_many_models_in_order() {
     daemon.shutdown();
     pmem.crash(CrashSpec::LoseAll);
 
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let recovered = daemon2.summaries().unwrap();
     assert_eq!(recovered.len(), 4);
     let order: Vec<&str> = recovered.iter().map(|m| m.name.as_str()).collect();
-    assert_eq!(order, vec!["alpha", "delta", "mango", "zebra"], "ModelMap is ordered");
+    assert_eq!(
+        order,
+        vec!["alpha", "delta", "mango", "zebra"],
+        "ModelMap is ordered"
+    );
     assert!(recovered.iter().all(|m| m.latest_version == Some(1)));
 }
 
@@ -105,8 +107,7 @@ fn recovery_then_aggressive_repack_reclaims_crash_debris() {
     daemon.shutdown();
     pmem.crash(CrashSpec::Random { seed: 7 });
 
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let report = repack(&daemon2, true).unwrap();
     assert_eq!(report.reclaimed_active, 1, "crash debris reclaimed");
 
@@ -131,9 +132,11 @@ fn dram_fallback_mode_works_but_does_not_survive_power_loss() {
     let compute = fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
     let dram_as_pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 128 << 20);
-    let cfg = DaemonConfig { dram_fallback: true, ..DaemonConfig::default() };
-    let daemon =
-        PortusDaemon::start(&fabric, NodeId(1), dram_as_pmem.clone(), cfg).unwrap();
+    let cfg = DaemonConfig {
+        dram_fallback: true,
+        ..DaemonConfig::default()
+    };
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), dram_as_pmem.clone(), cfg).unwrap();
     let gpu = GpuDevice::new(ctx, 0, 1 << 30);
     let spec = test_spec("volatile", 3, 64 * 1024);
     let mut model = ModelInstance::materialize(&spec, &gpu, 1, Materialization::Owned).unwrap();

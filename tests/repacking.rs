@@ -27,7 +27,12 @@ fn world_cfg(cfg: DaemonConfig) -> World {
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-    World { ctx, fabric, daemon, gpu }
+    World {
+        ctx,
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 #[test]
@@ -35,8 +40,7 @@ fn finished_jobs_shrink_to_one_version() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("finished", 4, 512 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 1, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("finished").unwrap();
@@ -71,8 +75,7 @@ fn crashed_active_slots_need_a_recovery_epoch_to_be_reclaimed() {
         PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), DaemonConfig::default()).unwrap();
     let gpu = GpuDevice::new(ctx, 0, 2 << 30);
     let spec = test_spec("crashy", 3, 256 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &gpu, 2, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &gpu, 2, Materialization::Owned).unwrap();
     let client = PortusClient::connect(&daemon, compute);
     client.register_model(&model).unwrap();
     model.train_step();
@@ -100,8 +103,7 @@ fn crashed_active_slots_need_a_recovery_epoch_to_be_reclaimed() {
     // pass reclaims it.
     drop(client);
     daemon.shutdown();
-    let daemon2 =
-        PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
+    let daemon2 = PortusDaemon::recover(&fabric, NodeId(1), pmem, DaemonConfig::default()).unwrap();
     let aggressive = repack(&daemon2, true).unwrap();
     assert_eq!(aggressive.reclaimed_slots, 1);
     assert_eq!(aggressive.reclaimed_active, 1);
@@ -118,8 +120,7 @@ fn checkpointing_resumes_after_repack_by_reallocating_the_slot() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("resume", 3, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("resume").unwrap();
@@ -152,8 +153,7 @@ fn collapsed_slot_survives_safe_repack_and_is_reused() {
     });
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("collapse", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("collapse").unwrap();
@@ -171,7 +171,10 @@ fn collapsed_slot_survives_safe_repack_and_is_reused() {
     let err = client
         .checkpoint_delta("collapse", &[true, false, true, false])
         .unwrap_err();
-    assert!(matches!(err, PortusError::DatapathFailed { .. }), "got {err}");
+    assert!(
+        matches!(err, PortusError::DatapathFailed { .. }),
+        "got {err}"
+    );
 
     let mi = index.load_mindex(off).unwrap();
     assert_eq!(mi.slots[target].state, SlotState::Empty, "collapsed");
@@ -220,8 +223,7 @@ fn repack_surfaces_allocator_divergence_and_preserves_the_header() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("diverge", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 6, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 6, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("diverge").unwrap();
@@ -251,7 +253,11 @@ fn repack_surfaces_allocator_divergence_and_preserves_the_header() {
 
     let err = repack(&w.daemon, false).unwrap_err();
     match err {
-        PortusError::AllocatorDivergence { model, slot, data_off } => {
+        PortusError::AllocatorDivergence {
+            model,
+            slot,
+            data_off,
+        } => {
             assert_eq!(model, "diverge");
             assert_eq!(slot, victim);
             assert_eq!(data_off, stale_off);
@@ -270,8 +276,7 @@ fn repack_is_idempotent() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("idem", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 4, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 4, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("idem").unwrap();

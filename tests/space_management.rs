@@ -28,7 +28,12 @@ fn world_cfg(cfg: DaemonConfig) -> World {
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 64 << 20);
     let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).unwrap();
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-    World { ctx, fabric, daemon, gpu }
+    World {
+        ctx,
+        fabric,
+        daemon,
+        gpu,
+    }
 }
 
 fn world() -> World {
@@ -69,8 +74,7 @@ fn oos_checkpoint_recovers_by_reclaiming_a_finished_job() {
     // "hog" is a bigger finished job whose non-latest version is the
     // only reclaimable garbage left once the heap fills up.
     let hog_spec = test_spec("hog", 4, 512 * 1024);
-    let mut hog =
-        ModelInstance::materialize(&hog_spec, &w.gpu, 2, Materialization::Owned).unwrap();
+    let mut hog = ModelInstance::materialize(&hog_spec, &w.gpu, 2, Materialization::Owned).unwrap();
     client.register_model(&hog).unwrap();
     hog.train_step();
     client.checkpoint("hog").unwrap();
@@ -108,8 +112,7 @@ fn oos_with_nothing_reclaimable_surfaces_the_typed_error() {
     let w = world();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("stuck", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 3, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     let want = model.model_checksum();
@@ -127,7 +130,11 @@ fn oos_with_nothing_reclaimable_surfaces_the_typed_error() {
     let err = client.checkpoint("stuck").unwrap_err();
     let alloc = w.daemon.index().allocator();
     match err {
-        PortusError::OutOfSpace { needed, free, largest_extent } => {
+        PortusError::OutOfSpace {
+            needed,
+            free,
+            largest_extent,
+        } => {
             assert_eq!(needed, spec.total_bytes().max(4096));
             assert_eq!(free, alloc.free_bytes());
             assert_eq!(largest_extent, alloc.largest_free_extent());
@@ -155,8 +162,7 @@ fn version_numbers_stay_monotone_across_a_collapsed_checkpoint() {
     });
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("mono", 4, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 5, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("mono").unwrap();
@@ -171,7 +177,10 @@ fn version_numbers_stay_monotone_across_a_collapsed_checkpoint() {
     let err = client
         .checkpoint_delta("mono", &[true, false, true, false])
         .unwrap_err();
-    assert!(matches!(err, PortusError::DatapathFailed { .. }), "got {err}");
+    assert!(
+        matches!(err, PortusError::DatapathFailed { .. }),
+        "got {err}"
+    );
     w.fabric.clear_faults(NodeId(1)).unwrap();
 
     // The next checkpoint must NOT reuse 3 — a restore that later finds
@@ -203,8 +212,9 @@ fn concurrent_repack_and_faulty_traffic_never_free_live_regions() {
         .enumerate()
         .map(|(i, name)| {
             let spec = test_spec(name, 3, 128 * 1024);
-            let m = ModelInstance::materialize(&spec, &w.gpu, 10 + i as u64, Materialization::Owned)
-                .unwrap();
+            let m =
+                ModelInstance::materialize(&spec, &w.gpu, 10 + i as u64, Materialization::Owned)
+                    .unwrap();
             client.register_model(&m).unwrap();
             m
         })
@@ -217,7 +227,13 @@ fn concurrent_repack_and_faulty_traffic_never_free_live_regions() {
     // Roughly one in seven verbs fails; retries are on (default), so
     // some operations survive and some collapse their slot.
     w.fabric
-        .arm_faults(NodeId(1), FaultSpec::Ratio { permille: 150, seed: 42 })
+        .arm_faults(
+            NodeId(1),
+            FaultSpec::Ratio {
+                permille: 150,
+                seed: 42,
+            },
+        )
         .unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let repacker = {
@@ -282,8 +298,7 @@ fn await_autonomous_reclaim(cfg: DaemonConfig) {
     let w = world_cfg(cfg);
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("auto", 3, 128 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 6, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 6, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("auto").unwrap();
@@ -345,8 +360,7 @@ fn repack_spans_gauges_and_portusctl_space_view() {
     w.ctx.tracer.enable();
     let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
     let spec = test_spec("viewed", 2, 64 * 1024);
-    let mut model =
-        ModelInstance::materialize(&spec, &w.gpu, 7, Materialization::Owned).unwrap();
+    let mut model = ModelInstance::materialize(&spec, &w.gpu, 7, Materialization::Owned).unwrap();
     client.register_model(&model).unwrap();
     model.train_step();
     client.checkpoint("viewed").unwrap();

@@ -40,7 +40,14 @@ fn world(
     let client = PortusClient::connect(&daemon, compute);
     client.register_model(&model).unwrap();
     model.train_step();
-    (World { ctx, daemon, client }, model)
+    (
+        World {
+            ctx,
+            daemon,
+            client,
+        },
+        model,
+    )
 }
 
 fn striped_cfg(qps: usize) -> DaemonConfig {
@@ -123,7 +130,10 @@ fn striped_checkpoint_overlaps_seal_with_the_fabric() {
         .filter(|s| matches!(s.stage, Stage::DoorbellPost | Stage::CqDrain))
         .map(|s| s.lane)
         .collect();
-    assert!(lanes.len() >= 2, "expected multi-lane drains, got {lanes:?}");
+    assert!(
+        lanes.len() >= 2,
+        "expected multi-lane drains, got {lanes:?}"
+    );
     let persists: Vec<_> = spans.iter().filter(|s| s.stage == Stage::Persist).collect();
     let checksums = spans.iter().filter(|s| s.stage == Stage::Checksum).count();
     assert_eq!(persists.len(), 8, "one persist span per run");
@@ -164,12 +174,20 @@ fn concurrent_striped_checkpoints_double_throughput() {
         let daemon =
             PortusDaemon::start(&fabric, DAEMON_NODE, pmem, DaemonConfig::default()).unwrap();
         let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-        let mut ma =
-            ModelInstance::materialize(&test_spec("a", layers, bytes), &gpu, 7, Materialization::Owned)
-                .unwrap();
-        let mut mb =
-            ModelInstance::materialize(&test_spec("b", layers, bytes), &gpu, 9, Materialization::Owned)
-                .unwrap();
+        let mut ma = ModelInstance::materialize(
+            &test_spec("a", layers, bytes),
+            &gpu,
+            7,
+            Materialization::Owned,
+        )
+        .unwrap();
+        let mut mb = ModelInstance::materialize(
+            &test_spec("b", layers, bytes),
+            &gpu,
+            9,
+            Materialization::Owned,
+        )
+        .unwrap();
         let ca = PortusClient::connect(&daemon, nic_a);
         let cb = PortusClient::connect(&daemon, nic_b);
         ca.register_model(&ma).unwrap();
@@ -196,12 +214,20 @@ fn concurrent_striped_checkpoints_double_throughput() {
         let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
         let daemon = PortusDaemon::start(&fabric, DAEMON_NODE, pmem, striped_cfg(4)).unwrap();
         let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
-        let mut ma =
-            ModelInstance::materialize(&test_spec("a", layers, bytes), &gpu, 7, Materialization::Owned)
-                .unwrap();
-        let mut mb =
-            ModelInstance::materialize(&test_spec("b", layers, bytes), &gpu, 9, Materialization::Owned)
-                .unwrap();
+        let mut ma = ModelInstance::materialize(
+            &test_spec("a", layers, bytes),
+            &gpu,
+            7,
+            Materialization::Owned,
+        )
+        .unwrap();
+        let mut mb = ModelInstance::materialize(
+            &test_spec("b", layers, bytes),
+            &gpu,
+            9,
+            Materialization::Owned,
+        )
+        .unwrap();
         let ca = PortusClient::connect(&daemon, nic_a);
         let cb = PortusClient::connect(&daemon, nic_b);
         ca.register_model(&ma).unwrap();

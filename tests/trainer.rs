@@ -29,7 +29,12 @@ fn world() -> World {
     let daemon =
         PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), DaemonConfig::default()).unwrap();
     let gpu = GpuDevice::new(ctx, 0, 1 << 30);
-    World { fabric, pmem, daemon, gpu }
+    World {
+        fabric,
+        pmem,
+        daemon,
+        gpu,
+    }
 }
 
 fn make_trainer(w: &World, name: &str, policy: TrainPolicy) -> Trainer {
@@ -83,7 +88,11 @@ fn sparse_workload_makes_delta_carry_over_pay() {
         total_pulled += r.pulled_bytes;
         total_carried += r.copied_bytes;
     }
-    assert_eq!(total_pulled, 5 * 2 * LAYER_BYTES, "only touched shards cross");
+    assert_eq!(
+        total_pulled,
+        5 * 2 * LAYER_BYTES,
+        "only touched shards cross"
+    );
     assert_eq!(total_carried, 5 * (LAYERS as u64 - 2) * LAYER_BYTES);
 
     // Final state restores exactly.
@@ -103,9 +112,13 @@ fn trainer_survives_daemon_crash_and_recovery() {
 
     // Storage-node power failure + daemon restart on the same PMem.
     w.pmem.crash(CrashSpec::Random { seed: 1234 });
-    let daemon2 =
-        PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), DaemonConfig::default())
-            .unwrap();
+    let daemon2 = PortusDaemon::recover(
+        &w.fabric,
+        NodeId(1),
+        w.pmem.clone(),
+        DaemonConfig::default(),
+    )
+    .unwrap();
 
     // The trainer reconnects (new client), re-registers, recovers.
     let model = ModelInstance::materialize(
@@ -129,7 +142,11 @@ fn trainer_survives_daemon_crash_and_recovery() {
     // Training continues; versions keep increasing on the daemon.
     t2.run(10).unwrap();
     let listed = daemon2.summaries().unwrap();
-    assert_eq!(listed[0].latest_version, Some(3), "v1, v2 pre-crash, v3 after");
+    assert_eq!(
+        listed[0].latest_version,
+        Some(3),
+        "v1, v2 pre-crash, v3 after"
+    );
 }
 
 #[test]

@@ -38,7 +38,10 @@ fn portus_checkpoint_is_zero_copy_and_kernel_free() {
         d.data_copies, LAYERS as u64,
         "exactly one data movement per tensor"
     );
-    assert_eq!(d.rdma_one_sided_ops, LAYERS as u64, "one one-sided READ per tensor");
+    assert_eq!(
+        d.rdma_one_sided_ops, LAYERS as u64,
+        "one one-sided READ per tensor"
+    );
     assert_eq!(d.rdma_two_sided_ops, 0, "no RPC protocol anywhere");
     assert_eq!(d.serializations, 0, "serialization-free");
     assert_eq!(d.deserializations, 0);
@@ -49,7 +52,10 @@ fn portus_checkpoint_is_zero_copy_and_kernel_free() {
         "each byte crosses the fabric exactly once"
     );
     assert!(d.pmem_fences > 0, "the daemon must persist the pulled data");
-    assert_eq!(d.control_messages, 2, "DO_CHECKPOINT + completion notification");
+    assert_eq!(
+        d.control_messages, 2,
+        "DO_CHECKPOINT + completion notification"
+    );
 }
 
 #[test]
@@ -72,8 +78,15 @@ fn portus_restore_is_zero_copy_and_kernel_free() {
     let d = ctx.stats.snapshot().since(&before);
 
     assert_eq!(d.data_copies, LAYERS as u64);
-    assert_eq!(d.rdma_one_sided_ops, LAYERS as u64, "one one-sided WRITE per tensor");
-    assert_eq!(d.serializations + d.deserializations, 0, "no (de)serialization");
+    assert_eq!(
+        d.rdma_one_sided_ops, LAYERS as u64,
+        "one one-sided WRITE per tensor"
+    );
+    assert_eq!(
+        d.serializations + d.deserializations,
+        0,
+        "no (de)serialization"
+    );
     assert_eq!(d.kernel_crossings, 0);
 }
 
@@ -105,7 +118,10 @@ fn traditional_beegfs_path_pays_three_copies_and_crossings() {
     assert_eq!(d.kernel_crossings, 3, "the three crossings of Fig. 3");
     assert_eq!(d.serializations, 1);
     assert!(d.rdma_two_sided_ops > 0, "two-sided RPC protocol");
-    assert_eq!(d.rdma_one_sided_ops, 0, "baseline never uses one-sided verbs");
+    assert_eq!(
+        d.rdma_one_sided_ops, 0,
+        "baseline never uses one-sided verbs"
+    );
     // The serialized file is strictly larger than the payload (headers),
     // and every file byte crosses the network.
     assert!(d.bytes_over_network > spec.total_bytes());

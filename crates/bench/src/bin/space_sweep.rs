@@ -13,8 +13,15 @@
 //! region: with reclaimable garbage present the daemon recovers
 //! invisibly (one `oos_recovery`); with none it surfaces the typed
 //! error carrying the allocator's view.
+//!
+//! Section 3 sweeps the dedup ratio: N fine-tunes of one base model
+//! checkpoint onto a content-addressed daemon, and the table reports
+//! physical (stored) versus logical (referenced) bytes, shared-extent
+//! counts, and that every fine-tune still restores checksum-clean.
+//!
+//! `--smoke` shrinks every axis for CI.
 
-use portus::{repack, DaemonConfig, PortusClient, PortusDaemon, PortusError};
+use portus::{repack, DaemonConfig, DedupConfig, PortusClient, PortusDaemon, PortusError};
 use portus_dnn::{test_spec, Materialization, ModelInstance};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
@@ -29,13 +36,16 @@ struct World {
 }
 
 fn world(device_bytes: u64) -> World {
+    world_cfg(device_bytes, DaemonConfig::default())
+}
+
+fn world_cfg(device_bytes: u64, cfg: DaemonConfig) -> World {
     let ctx = SimContext::icdcs24();
     let fabric = Fabric::new(ctx.clone());
     fabric.add_nic(NodeId(0));
     fabric.add_nic(NodeId(1));
     let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, device_bytes);
-    let daemon =
-        PortusDaemon::start(&fabric, NodeId(1), pmem, DaemonConfig::default()).expect("daemon");
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem, cfg).expect("daemon");
     let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
     World {
         ctx,
@@ -67,7 +77,7 @@ fn run_job(
     m
 }
 
-fn repack_scaling_sweep() -> serde_json::Value {
+fn repack_scaling_sweep(smoke: bool) -> serde_json::Value {
     println!("Repack scaling — one active job + N completed jobs on a 256 MiB device");
     println!(
         "{:<8} {:>9} {:>12} {:>13} {:>13} {:>12} {:>12} {:>10}",
@@ -81,7 +91,8 @@ fn repack_scaling_sweep() -> serde_json::Value {
         "pass us"
     );
     let mut rows = Vec::new();
-    for garbage_jobs in [0u64, 2, 4, 8, 16] {
+    let garbage_axis: &[u64] = if smoke { &[0, 4] } else { &[0, 2, 4, 8, 16] };
+    for &garbage_jobs in garbage_axis {
         let w = world(256 << 20);
         let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
         for g in 0..garbage_jobs {
@@ -187,12 +198,112 @@ fn oos_recovery_cases() -> serde_json::Value {
     serde_json::json!(rows)
 }
 
+fn dedup_ratio_sweep(smoke: bool) -> serde_json::Value {
+    println!();
+    println!("Dedup ratio — base model + N fine-tunes on a content-addressed 256 MiB device");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
+        "fine-tunes", "logical", "stored", "ratio", "extents", "shared", "restored"
+    );
+    let mut rows = Vec::new();
+    let axis: &[usize] = if smoke { &[8] } else { &[2, 4, 8, 16] };
+    for &fine_tunes in axis {
+        let w = world_cfg(
+            256 << 20,
+            DaemonConfig {
+                dedup: Some(DedupConfig::default()),
+                ..DaemonConfig::default()
+            },
+        );
+        let client = PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap());
+        // All instances materialize from one seed (the shared base
+        // weights); each fine-tune then diverges sparsely — one tensor
+        // touched per step, the embedding-heavy fine-tune pattern.
+        let layers = 4usize;
+        let mut jobs = Vec::new();
+        for i in 0..=fine_tunes {
+            let name = if i == 0 {
+                "base".to_string()
+            } else {
+                format!("ft-{i}")
+            };
+            let spec = test_spec(&name, layers, 256 * 1024);
+            let mut m = ModelInstance::materialize(&spec, &w.gpu, 7, Materialization::Owned)
+                .expect("materialize");
+            client.register_model(&m).expect("register");
+            for step in 0..2 {
+                if i > 0 {
+                    m.train_step_sparse(&[(i + step) % layers]);
+                }
+                client.checkpoint(&name).expect("checkpoint");
+            }
+            jobs.push((name, m));
+        }
+
+        // Every sharer must restore checksum-clean off the shared
+        // extents before the ratio counts for anything.
+        let mut restored = 0usize;
+        for (name, m) in &mut jobs {
+            let saved = m.model_checksum();
+            m.train_step();
+            client.restore(m).expect("restore");
+            assert_eq!(m.model_checksum(), saved, "{name} restore diverged");
+            restored += 1;
+        }
+
+        let store = w.daemon.index().extent_store().expect("dedup enabled");
+        let stats = store.stats().expect("extent stats");
+        let ratio_permille = if stats.referenced_logical == 0 {
+            1000
+        } else {
+            (stats.stored_bytes as u128 * 1000 / stats.referenced_logical as u128) as u64
+        };
+        println!(
+            "{:<10} {:>14} {:>14} {:>8}‰ {:>8} {:>8} {:>9}",
+            fine_tunes,
+            stats.referenced_logical,
+            stats.stored_bytes,
+            ratio_permille,
+            stats.live,
+            stats.shared,
+            restored,
+        );
+        if fine_tunes >= 8 {
+            assert!(
+                ratio_permille <= 400,
+                "{fine_tunes} fine-tunes sharing a base must store ≤ 40% \
+                 of their logical bytes, got {ratio_permille}‰"
+            );
+        }
+        rows.push(serde_json::json!({
+            "fine_tunes": fine_tunes,
+            "logical_bytes": stats.referenced_logical,
+            "stored_bytes": stats.stored_bytes,
+            "ratio_permille": ratio_permille,
+            "live_extents": stats.live,
+            "shared_extents": stats.shared,
+            "restored_ok": restored,
+        }));
+        drop(client);
+        w.daemon.shutdown();
+    }
+    println!("shape: the base weights are stored once; each fine-tune adds only its");
+    println!("diverged chunks, so the physical/logical ratio falls as sharers join.");
+    serde_json::json!(rows)
+}
+
 fn main() {
-    let scaling = repack_scaling_sweep();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scaling = repack_scaling_sweep(smoke);
     let oos = oos_recovery_cases();
+    let dedup = dedup_ratio_sweep(smoke);
     let path = portus_bench::write_experiment(
         "space_sweep",
-        &serde_json::json!({ "repack_scaling": scaling, "oos_recovery": oos }),
+        &serde_json::json!({
+            "repack_scaling": scaling,
+            "oos_recovery": oos,
+            "dedup_ratio": dedup,
+        }),
     );
     println!("wrote {}", path.display());
 }

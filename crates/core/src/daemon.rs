@@ -139,6 +139,13 @@ pub struct DaemonConfig {
     /// [`Reply::Throttled`] (virtual time; admission sheds compute the
     /// token bucket's exact deficit instead).
     pub shed_retry_after: SimDuration,
+    /// Content-addressed deduplication (ROADMAP item 5). `None` (the
+    /// default) keeps every checkpoint a plain contiguous region —
+    /// bit-for-bit the pre-dedup daemon. `Some` formats (or recovers)
+    /// an extent table on the namespace and converts each sealed
+    /// checkpoint into an extent map of content-addressed chunks, so
+    /// fine-tunes sharing a base model share physical extents.
+    pub dedup: Option<crate::DedupConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -158,6 +165,7 @@ impl Default for DaemonConfig {
             priority_restore: true,
             shed_wait: Duration::from_millis(500),
             shed_retry_after: SimDuration::from_millis(1),
+            dedup: None,
         }
     }
 }
@@ -383,7 +391,7 @@ pub(crate) struct DaemonState {
     pub(crate) map: Mutex<ModelMap>,
     pub(crate) sessions: Mutex<HashMap<String, Vec<TensorDesc>>>,
     model_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
-    cfg: DaemonConfig,
+    pub(crate) cfg: DaemonConfig,
     /// Admission buckets and the lane arbiter (built from `cfg.qos`).
     qos: QosState,
     in_flight: AtomicU64,
@@ -469,6 +477,12 @@ impl PortusDaemon {
         cfg: DaemonConfig,
     ) -> PortusResult<Arc<PortusDaemon>> {
         let nic = fabric.nic(node)?;
+        // Dedup-configured daemons need the extent table on the
+        // namespace before any request lands: format one on a fresh
+        // device, recover the existing one after a restart.
+        if let Some(d) = &cfg.dedup {
+            index.enable_dedup(d.max_extents)?;
+        }
         let dispatcher = Dispatcher::new(
             cfg.dispatch_workers,
             cfg.dispatch_queue_depth,
@@ -997,6 +1011,17 @@ fn coalesce_runs(verbs: &[TensorVerb]) -> Vec<VerbRun> {
     runs
 }
 
+/// Where a delta checkpoint's carry-over reads its bytes from.
+#[derive(Debug, Clone, Copy)]
+enum CarrySrc {
+    /// Absolute device offset within the previous version's plain
+    /// contiguous region.
+    Plain(u64),
+    /// The previous version is extent-mapped: its map's offset. The
+    /// carry decompresses/copies the touched chunks out of the store.
+    Extents(u64),
+}
+
 /// Which way a posted datapath operation moves bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
@@ -1124,18 +1149,19 @@ fn copy_on_device(
     len: u64,
     rel_off: u64,
 ) -> PortusResult<u64> {
-    let mut buf = vec![0u8; 256 * 1024];
-    let mut done = 0u64;
-    let mut digest = 0u64;
-    while done < len {
-        let chunk = ((len - done) as usize).min(buf.len());
-        dev.read(src_off + done, &mut buf[..chunk])?;
-        dev.write(dst_off + done, &buf[..chunk])?;
-        digest =
-            crate::combine_digests(digest, crate::region_digest(&buf[..chunk], rel_off + done));
-        done += chunk as u64;
-    }
-    Ok(digest)
+    crate::index::with_io_buf(|buf| {
+        let mut done = 0u64;
+        let mut digest = 0u64;
+        while done < len {
+            let chunk = ((len - done) as usize).min(buf.len());
+            dev.read(src_off + done, &mut buf[..chunk])?;
+            dev.write(dst_off + done, &buf[..chunk])?;
+            digest =
+                crate::combine_digests(digest, crate::region_digest(&buf[..chunk], rel_off + done));
+            done += chunk as u64;
+        }
+        Ok(digest)
+    })
 }
 
 impl DaemonState {
@@ -1154,7 +1180,8 @@ impl DaemonState {
     }
 
     /// Pushes the allocator's current free/used/largest-extent view
-    /// into the shared metrics gauges.
+    /// into the shared metrics gauges, and the extent store's dedup
+    /// gauges when one is mounted.
     pub(crate) fn refresh_space_gauges(&self) {
         let alloc = self.index.allocator();
         self.ctx.metrics.set_space(
@@ -1162,6 +1189,49 @@ impl DaemonState {
             alloc.used_bytes(),
             alloc.largest_free_extent(),
         );
+        if let Some(store) = self.index.extent_store() {
+            let Ok(s) = store.stats() else { return };
+            self.ctx.metrics.set_dedup(
+                s.live,
+                s.shared,
+                s.compressed,
+                s.referenced_logical,
+                s.stored_bytes,
+            );
+        }
+    }
+
+    /// Post-seal dedup conversion: chunks the freshly sealed plain
+    /// region into content-addressed extents, publishes the extent map
+    /// under an atomic header flip, and frees the staging region. The
+    /// checkpoint is already durable when this runs, so failure is
+    /// non-fatal — the slot simply keeps its plain region and only the
+    /// space win is lost. Charges the DAX traffic the conversion
+    /// performs (chunk read-back, new-extent writes, the map write).
+    fn ingest_phase(
+        &self,
+        mi: &mut MIndex,
+        slot: usize,
+        dcfg: &crate::DedupConfig,
+        sc: &SpanCtx<'_>,
+    ) {
+        let t0 = self.ctx.clock.now();
+        match crate::dedup::ingest_slot(&self.index, mi, slot, dcfg) {
+            Ok(report) => {
+                self.ctx.charge(
+                    self.ctx.model.dax_read(report.read_bytes)
+                        + self
+                            .ctx
+                            .model
+                            .dax_write(report.new_bytes + report.map_bytes),
+                );
+                self.ctx
+                    .metrics
+                    .record_dedup_ingest(report.chunks as u64, report.shared_chunks as u64);
+                sc.record_now(Stage::Dedup, t0);
+            }
+            Err(_) => self.ctx.metrics.record_dedup_ingest_failure(),
+        }
     }
 
     /// Watermark-driven compaction hook, run by dispatch workers after
@@ -1813,6 +1883,13 @@ impl DaemonState {
         sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
+        // On a dedup namespace the target slot may hold the older
+        // version as an extent map; drop those references *before* the
+        // slot is activated, so the rollback target (`pre`) never
+        // carries an extent map and a failed pull cannot strand one.
+        if mi.slots[target].ext_map != 0 {
+            crate::dedup::release_slot_extents(&self.index, &mut mi, target)?;
+        }
         // Max over *both* headers, not `latest_done`: a collapsed or
         // reverted slot keeps its issued version as a high-water mark,
         // so a number handed to a failed checkpoint is never reused.
@@ -1854,6 +1931,13 @@ impl DaemonState {
             self.seal_slot_pipelined(&mi, target, hdr, hdr, pieces, &sc)?;
         } else {
             self.seal_slot(&mi, target, hdr, hdr, &sc)?;
+        }
+        // Dedup tier: the sealed plain region becomes an extent map of
+        // content-addressed chunks (failure keeps the plain region).
+        if let Some(dcfg) = &self.cfg.dedup {
+            mi.slots[target].state = SlotState::Done;
+            mi.slots[target].version = version;
+            self.ingest_phase(&mut mi, target, dcfg, &sc);
         }
         let elapsed = self.ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);
@@ -1904,9 +1988,10 @@ impl DaemonState {
         // adjacent pulls coalesce.
         let (mut pulled, mut copied) = (0u64, 0u64);
         let mut verbs = Vec::new();
-        // Carry-overs as (src_off, rel_off, len): absolute source in the
-        // previous Done slot, destination rel_off in the target region.
-        let mut carries: Vec<(u64, u64, u64)> = Vec::new();
+        // Carry-overs as (src, rel_off, len): the source in the
+        // previous Done slot (plain or extent-mapped), destination
+        // rel_off in the target region.
+        let mut carries: Vec<(CarrySrc, u64, u64)> = Vec::new();
         for ((rec, desc), &is_dirty) in mi.tensors.iter().zip(&descs).zip(dirty) {
             if desc.meta() != rec.meta {
                 return Err(PortusError::StructureMismatch(format!(
@@ -1919,7 +2004,12 @@ impl DaemonState {
             // pulled regardless of the mask.
             match prev_hdr {
                 Some(ph) if !is_dirty => {
-                    carries.push((ph.data_off + rec.rel_off, rec.rel_off, len));
+                    let src = if ph.ext_map != 0 {
+                        CarrySrc::Extents(ph.ext_map)
+                    } else {
+                        CarrySrc::Plain(ph.data_off + rec.rel_off)
+                    };
+                    carries.push((src, rec.rel_off, len));
                     copied += len;
                 }
                 _ => {
@@ -1940,6 +2030,11 @@ impl DaemonState {
         sc.record_now(Stage::WqeBuild, t_build);
 
         let target = mi.target_slot();
+        // As in `checkpoint`: an extent-mapped target slot drops its
+        // references before the slot is activated.
+        if mi.slots[target].ext_map != 0 {
+            crate::dedup::release_slot_extents(&self.index, &mut mi, target)?;
+        }
         // As in `checkpoint`: the high-water mark across both headers,
         // not the latest `Done` version.
         let version = mi.next_version();
@@ -1958,8 +2053,20 @@ impl DaemonState {
         let mut carried = 0u64;
         let mut carry_pieces: Vec<SealPiece> = Vec::new();
         let carry_result: PortusResult<()> = carries.iter().try_for_each(|&(src, rel, len)| {
-            let digest = copy_on_device(&dev, src, hdr.data_off + rel, len, rel)?;
-            ctx.charge(ctx.model.dax_read(len) + ctx.model.dax_write(len));
+            let (digest, read_bytes) = match src {
+                CarrySrc::Plain(s) => (copy_on_device(&dev, s, hdr.data_off + rel, len, rel)?, len),
+                CarrySrc::Extents(map_off) => {
+                    let rc = crate::dedup::copy_range_from_extents(
+                        &self.index,
+                        map_off,
+                        hdr.data_off,
+                        rel,
+                        len,
+                    )?;
+                    (rc.digest, rc.read_bytes)
+                }
+            };
+            ctx.charge(ctx.model.dax_read(read_bytes) + ctx.model.dax_write(len));
             ctx.stats.record_copy(len);
             carried += len;
             if striped {
@@ -2007,6 +2114,12 @@ impl DaemonState {
             self.seal_slot_pipelined(&mi, target, hdr, hdr, pieces, &sc)?;
         } else {
             self.seal_slot(&mi, target, hdr, hdr, &sc)?;
+        }
+        // As in `checkpoint`: the sealed region enters the dedup tier.
+        if let Some(dcfg) = &self.cfg.dedup {
+            mi.slots[target].state = SlotState::Done;
+            mi.slots[target].version = version;
+            self.ingest_phase(&mut mi, target, dcfg, &sc);
         }
         let elapsed = ctx.clock.now().saturating_since(t0);
         sc.record_now(Stage::Total, t_op);
@@ -2063,22 +2176,55 @@ impl DaemonState {
         // the two spans do not overlap in the trace.
         sc.record_now(Stage::Validate, t_op);
 
-        if self.cfg.verify_on_restore {
-            self.verify_slot(&mi, slot, &hdr, model, &sc)?;
+        // An extent-mapped version is materialized into a scratch
+        // region first, so the plain restore datapath (verify + pushes)
+        // runs unchanged against it. This is where the compression
+        // trade-off is paid: stored bytes come off media at DAX-read
+        // cost (fewer when compressed), logical bytes land in the
+        // scratch region at DAX-write cost. A crash mid-restore leaves
+        // the scratch region unreachable and recovery GCs it.
+        let mut scratch = None;
+        let (mi, hdr) = if hdr.ext_map != 0 {
+            let t_mat = self.ctx.clock.now();
+            let m = crate::dedup::materialize_slot(&self.index, &mi, slot)?;
+            self.ctx.charge(
+                self.ctx.model.dax_read(m.stored_read) + self.ctx.model.dax_write(m.logical),
+            );
+            sc.record_now(Stage::Dedup, t_mat);
+            let mut mi = mi;
+            mi.slots[slot].data_off = m.region.offset;
+            let mut hdr = hdr;
+            hdr.data_off = m.region.offset;
+            scratch = Some(m.region);
+            (mi, hdr)
+        } else {
+            (mi, hdr)
+        };
+
+        let pushed = (|| -> PortusResult<SimDuration> {
+            if self.cfg.verify_on_restore {
+                self.verify_slot(&mi, slot, &hdr, model, &sc)?;
+            }
+
+            let t_build = self.ctx.clock.now();
+            let runs = coalesce_runs(&verbs);
+            sc.record_now(Stage::WqeBuild, t_build);
+
+            let t0 = self.ctx.clock.now();
+            // One-sided WRITEs, PMem → GPU: coalesced scatter WQEs under
+            // one doorbell, no client CPU involvement. A terminal push
+            // failure touches no slot state — the stored version stays
+            // `Done` and a later restore can try again.
+            self.execute_runs(pool, tenant, &runs, hdr.data_off, Direction::Push, &sc)
+                .map_err(|fail| fail.into_error(model, "restore"))?;
+            Ok(self.ctx.clock.now().saturating_since(t0))
+        })();
+        if let Some(region) = scratch {
+            // Best-effort: freeing the scratch region must not mask the
+            // restore's own outcome (a leak is reclaimed at recovery).
+            let _ = self.index.allocator().free(&region);
         }
-
-        let t_build = self.ctx.clock.now();
-        let runs = coalesce_runs(&verbs);
-        sc.record_now(Stage::WqeBuild, t_build);
-
-        let t0 = self.ctx.clock.now();
-        // One-sided WRITEs, PMem → GPU: coalesced scatter WQEs under
-        // one doorbell, no client CPU involvement. A terminal push
-        // failure touches no slot state — the stored version stays
-        // `Done` and a later restore can try again.
-        self.execute_runs(pool, tenant, &runs, hdr.data_off, Direction::Push, &sc)
-            .map_err(|fail| fail.into_error(model, "restore"))?;
-        let elapsed = self.ctx.clock.now().saturating_since(t0);
+        let elapsed = pushed?;
         sc.record_now(Stage::Total, t_op);
         Ok((hdr.version, mi.total_bytes, elapsed))
     }

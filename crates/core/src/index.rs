@@ -23,15 +23,25 @@
 //! 3. a slot is marked `Done` only after its data and checksum are
 //!    persisted — so recovery trusts exactly the `Done` slots.
 
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
 use portus_dnn::{DType, TensorMeta};
-use portus_pmem::{typed, PmemAlloc, PmemAllocator, PmemDevice, PmemError};
+use portus_pmem::{typed, ExtentStore, PmemAlloc, PmemAllocator, PmemDevice, PmemError};
 
+use crate::dedup::read_extent_map;
 use crate::{ModelMap, PortusError, PortusResult};
 
 const SUPER_MAGIC: u64 = 0x504F_5254_5553_5342; // "PORTUSSB"
 const MINDEX_MAGIC: u32 = 0x4D49_4458; // "MIDX"
+
+/// Superblock word holding the extent-table offset (0 = dedup never
+/// enabled on this namespace).
+const SUPER_XT_OFF: u64 = 48;
+
+/// Allocator tag for the extent table region itself.
+pub(crate) const EXTENT_TABLE_TAG: u64 = 0x5854_4241_5354_4247; // "XTBASTBG"
 
 const SUPER_SIZE: u64 = 64;
 const TABLE_ENTRY_SIZE: u64 = 32;
@@ -71,6 +81,7 @@ const SH_DATA_OFF: u64 = 24;
 const SH_DATA_LEN: u64 = 32;
 const SH_DIGEST: u64 = 40;
 const SH_CKSUM_KIND: u64 = 48;
+const SH_EXT_MAP: u64 = 56;
 
 /// `cksum_kind`: the slot's integrity word is the legacy sequential
 /// FNV-1a of the data region (in `checksum`).
@@ -140,6 +151,10 @@ pub struct SlotHeader {
     /// Which integrity word validates the slot: [`CKSUM_KIND_FNV`] or
     /// [`CKSUM_KIND_DIGEST`].
     pub cksum_kind: u64,
+    /// Absolute PMem offset of the slot's extent map, when the dedup
+    /// tier holds this version as content-addressed extents instead of
+    /// a contiguous region (`data_off` is 0 then). 0 on the plain path.
+    pub ext_map: u64,
 }
 
 /// One tensor's record in an MIndex.
@@ -276,6 +291,21 @@ pub fn name_hash(name: &str) -> u64 {
     hash
 }
 
+/// Size of the reusable device-I/O scratch buffer.
+pub(crate) const IO_BUF_LEN: usize = 256 * 1024;
+
+thread_local! {
+    /// One scratch buffer per thread for the seal/verify/copy loops;
+    /// the hot paths previously allocated 256 KiB per call.
+    static IO_BUF: RefCell<Vec<u8>> = RefCell::new(vec![0u8; IO_BUF_LEN]);
+}
+
+/// Runs `f` with this thread's reusable I/O scratch buffer. Callers
+/// must not re-enter (the buffer is exclusively borrowed).
+pub(crate) fn with_io_buf<T>(f: impl FnOnce(&mut [u8]) -> T) -> T {
+    IO_BUF.with(|buf| f(&mut buf.borrow_mut()))
+}
+
 /// The persistent index over one devdax namespace.
 #[derive(Debug)]
 pub struct Index {
@@ -283,6 +313,9 @@ pub struct Index {
     alloc: PmemAllocator,
     table_base: u64,
     table_cap: u32,
+    /// The content-addressed extent store, present once dedup is
+    /// enabled (or recovered from a namespace that had it enabled).
+    extents: OnceLock<ExtentStore>,
 }
 
 impl Index {
@@ -322,13 +355,25 @@ impl Index {
             alloc,
             table_base,
             table_cap,
+            extents: OnceLock::new(),
         })
     }
 
     /// Recovers the index from a previously formatted namespace and
-    /// rebuilds the in-DRAM [`ModelMap`]. Allocations not referenced by
-    /// any live table entry (leaked by a crash mid-registration) are
-    /// freed.
+    /// rebuilds the in-DRAM [`ModelMap`]. Allocations not *reachable*
+    /// from any live table entry (leaked by a crash mid-registration or
+    /// mid-ingest) are freed. Reachability is by offset, never by
+    /// name-hash tag alone: two live models whose names collide in
+    /// FNV-1a share a tag, and a tag-only sweep would free the
+    /// survivor's regions when either is removed.
+    ///
+    /// When the superblock records an extent table, the extent store is
+    /// recovered too: its relocation journal is replayed, every
+    /// persistent refcount is recounted from the live slots' extent
+    /// maps (the durable counts are advisory — a crash can tear an
+    /// incref/decref), and extents no map references are swept. The
+    /// recount is what guarantees recovery never frees a referenced
+    /// extent and never leaks an unreferenced one.
     ///
     /// # Errors
     ///
@@ -347,20 +392,38 @@ impl Index {
             alloc,
             table_base,
             table_cap,
+            extents: OnceLock::new(),
         };
 
         let mut map = ModelMap::new();
-        let mut live_tags: Vec<u64> = Vec::new();
+        let mut reachable: HashSet<u64> = HashSet::new();
+        let mut ext_maps: Vec<u64> = Vec::new();
         for slot in 0..table_cap {
             let entry = index.entry_offset(slot);
             let state = typed::read_u64(&index.dev, entry)?;
             match state {
                 ENTRY_LIVE => {
-                    let hash = typed::read_u64(&index.dev, entry + 8)?;
                     let off = typed::read_u64(&index.dev, entry + 16)?;
                     let mi = index.load_mindex(off)?;
+                    reachable.insert(off);
+                    for (s, hdr) in mi.slots.iter().enumerate() {
+                        if hdr.ext_map != 0 {
+                            // Extent publish detaches the staging region
+                            // atomically; a header carrying both is
+                            // defensive debris — the extents won, the
+                            // region is dropped for the GC below.
+                            if hdr.data_off != 0 {
+                                let sh = off + MI_SLOT0 + s as u64 * SLOT_HDR_SIZE;
+                                typed::write_u64(&index.dev, sh + SH_DATA_OFF, 0)?;
+                                index.dev.persist(sh + SH_DATA_OFF, 8)?;
+                            }
+                            reachable.insert(hdr.ext_map);
+                            ext_maps.push(hdr.ext_map);
+                        } else if hdr.data_off != 0 {
+                            reachable.insert(hdr.data_off);
+                        }
+                    }
                     map.insert(mi.name.clone(), off);
-                    live_tags.push(hash);
                 }
                 ENTRY_CLAIMED => {
                     // Crash mid-registration: roll the claim back.
@@ -370,13 +433,72 @@ impl Index {
                 _ => {}
             }
         }
-        // GC allocations whose tag no longer names a live model.
+
+        // Recover the extent store if this namespace has one.
+        let xt_off = typed::read_u64(&index.dev, SUPER_XT_OFF)?;
+        if xt_off != 0 {
+            let store = ExtentStore::recover(index.dev.clone(), xt_off)?;
+            // Recount refcounts from the live extent maps.
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for &map_off in &ext_maps {
+                for ext_slot in read_extent_map(&index.dev, map_off)?.extents {
+                    *counts.entry(ext_slot).or_insert(0) += 1;
+                }
+            }
+            for (ext_slot, rec) in store.live_extents()? {
+                let count = counts.get(&ext_slot).copied().unwrap_or(0);
+                if rec.refcount != count {
+                    store.set_refcount(ext_slot, count)?;
+                }
+            }
+            store.sweep_unreferenced(&index.alloc)?;
+            reachable.insert(xt_off);
+            for (_, rec) in store.live_extents()? {
+                reachable.insert(rec.data_off);
+            }
+            let _ = index.extents.set(store);
+        }
+
+        // GC every allocation nothing reachable references.
         for a in index.alloc.live_allocations()? {
-            if !live_tags.contains(&a.tag) {
+            if !reachable.contains(&a.offset) {
                 index.alloc.free(&a)?;
             }
         }
         Ok((index, map))
+    }
+
+    /// Enables the content-addressed dedup tier: recovers the extent
+    /// table recorded in the superblock, or formats a fresh one with
+    /// `max_extents` records and publishes its offset. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Allocation and device errors.
+    pub fn enable_dedup(&self, max_extents: u32) -> PortusResult<()> {
+        if self.extents.get().is_some() {
+            return Ok(());
+        }
+        let xt_off = typed::read_u64(&self.dev, SUPER_XT_OFF)?;
+        let store = if xt_off != 0 {
+            ExtentStore::recover(self.dev.clone(), xt_off)?
+        } else {
+            let size = ExtentStore::table_size(max_extents);
+            let region = self.alloc.alloc_aligned(size, 64, EXTENT_TABLE_TAG)?;
+            let store = ExtentStore::format(self.dev.clone(), region.offset, max_extents)?;
+            // Publish after the table is persisted; a crash in between
+            // leaves the region unreachable and recovery GCs it.
+            typed::write_u64(&self.dev, SUPER_XT_OFF, region.offset)?;
+            self.dev.persist(SUPER_XT_OFF, 8)?;
+            store
+        };
+        let _ = self.extents.set(store);
+        Ok(())
+    }
+
+    /// The extent store, when dedup is enabled.
+    pub fn extent_store(&self) -> Option<&ExtentStore> {
+        self.extents.get()
     }
 
     fn entry_offset(&self, slot: u32) -> u64 {
@@ -446,6 +568,7 @@ impl Index {
             typed::write_u64(dev, sh + SH_DATA_LEN, total_bytes)?;
             typed::write_u64(dev, sh + SH_DIGEST, 0)?;
             typed::write_u64(dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
+            typed::write_u64(dev, sh + SH_EXT_MAP, 0)?;
         }
         // Tensor records.
         let mut rel = 0u64;
@@ -507,6 +630,7 @@ impl Index {
                     data_len: total_bytes,
                     digest: 0,
                     cksum_kind: CKSUM_KIND_FNV,
+                    ext_map: 0,
                 },
                 SlotHeader {
                     state: SlotState::Empty,
@@ -516,6 +640,7 @@ impl Index {
                     data_len: total_bytes,
                     digest: 0,
                     cksum_kind: CKSUM_KIND_FNV,
+                    ext_map: 0,
                 },
             ],
         })
@@ -546,6 +671,7 @@ impl Index {
             data_len: 0,
             digest: 0,
             cksum_kind: CKSUM_KIND_FNV,
+            ext_map: 0,
         }; SLOT_COUNT];
         for (s, slot) in slots.iter_mut().enumerate() {
             let sh = off + MI_SLOT0 + s as u64 * SLOT_HDR_SIZE;
@@ -557,6 +683,7 @@ impl Index {
                 data_len: typed::read_u64(dev, sh + SH_DATA_LEN)?,
                 digest: typed::read_u64(dev, sh + SH_DIGEST)?,
                 cksum_kind: typed::read_u64(dev, sh + SH_CKSUM_KIND)?,
+                ext_map: typed::read_u64(dev, sh + SH_EXT_MAP)?,
             };
         }
 
@@ -739,6 +866,48 @@ impl Index {
         typed::write_u64(&self.dev, sh + SH_DATA_OFF, 0)?;
         typed::write_u64(&self.dev, sh + SH_DIGEST, 0)?;
         typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
+        typed::write_u64(&self.dev, sh + SH_EXT_MAP, 0)?;
+        self.dev.persist(sh, SLOT_HDR_SIZE)?;
+        Ok(())
+    }
+
+    /// Durably rebinds a sealed slot from its staging region to an
+    /// extent map: `ext_map = map_off` and `data_off = 0` land in one
+    /// header persist. The header is a single cache line, so the flip
+    /// is atomic — no crash state exists where both or neither
+    /// reference the checkpoint's bytes. The caller frees the detached
+    /// staging region afterwards (a crash in between leaves it
+    /// unreachable, and recovery GCs it).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn publish_slot_extents(&self, mi: &MIndex, slot: usize, map_off: u64) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_DATA_OFF, 0)?;
+        typed::write_u64(&self.dev, sh + SH_EXT_MAP, map_off)?;
+        self.dev.persist(sh, SLOT_HDR_SIZE)?;
+        Ok(())
+    }
+
+    /// Durably empties an extent-mapped slot in one header persist:
+    /// `state = Empty`, integrity words cleared, `ext_map = 0`; the
+    /// version survives as the high-water mark (like
+    /// [`Index::collapse_slot`]). The caller drops the extent
+    /// references and frees the map region *afterwards* — a crash in
+    /// between only over-counts refcounts, which recovery recounts from
+    /// the surviving maps.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn detach_slot_extents(&self, mi: &MIndex, slot: usize) -> PortusResult<()> {
+        let sh = mi.offset + MI_SLOT0 + slot as u64 * SLOT_HDR_SIZE;
+        typed::write_u64(&self.dev, sh + SH_STATE, SlotState::Empty.to_u64())?;
+        typed::write_u64(&self.dev, sh + SH_CHECKSUM, 0)?;
+        typed::write_u64(&self.dev, sh + SH_DIGEST, 0)?;
+        typed::write_u64(&self.dev, sh + SH_CKSUM_KIND, CKSUM_KIND_FNV)?;
+        typed::write_u64(&self.dev, sh + SH_EXT_MAP, 0)?;
         self.dev.persist(sh, SLOT_HDR_SIZE)?;
         Ok(())
     }
@@ -784,19 +953,20 @@ impl Index {
     /// Device errors.
     pub fn slot_checksum(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
         let hdr = mi.slots[slot];
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut buf = vec![0u8; 256 * 1024];
-        let mut pos = 0u64;
-        while pos < hdr.data_len {
-            let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
-            self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
-            for &b in &buf[..chunk] {
-                hash ^= b as u64;
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        with_io_buf(|buf| {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut pos = 0u64;
+            while pos < hdr.data_len {
+                let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
+                self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
+                for &b in &buf[..chunk] {
+                    hash ^= b as u64;
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                pos += chunk as u64;
             }
-            pos += chunk as u64;
-        }
-        Ok(hash)
+            Ok(hash)
+        })
     }
 
     /// Positional digest of a slot's data region (reads PMem) — the
@@ -811,20 +981,29 @@ impl Index {
     /// Device errors.
     pub fn slot_digest(&self, mi: &MIndex, slot: usize) -> PortusResult<u64> {
         let hdr = mi.slots[slot];
-        let mut acc: u64 = 0;
-        let mut buf = vec![0u8; 256 * 1024];
-        let mut pos = 0u64;
-        while pos < hdr.data_len {
-            let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
-            self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
-            acc = combine_digests(acc, region_digest(&buf[..chunk], pos));
-            pos += chunk as u64;
-        }
-        Ok(acc)
+        with_io_buf(|buf| {
+            let mut acc: u64 = 0;
+            let mut pos = 0u64;
+            while pos < hdr.data_len {
+                let chunk = ((hdr.data_len - pos) as usize).min(buf.len());
+                self.dev.read(hdr.data_off + pos, &mut buf[..chunk])?;
+                acc = combine_digests(acc, region_digest(&buf[..chunk], pos));
+                pos += chunk as u64;
+            }
+            Ok(acc)
+        })
     }
 
     /// Removes a model: clears its table entry first (so recovery never
-    /// sees it again), then frees its allocations.
+    /// sees it again), then frees its allocations. Ownership is decided
+    /// by the offsets the model's own MIndex references — **never** by
+    /// the name-hash tag alone, because FNV-1a collisions between two
+    /// live model names would otherwise free the other model's MIndex
+    /// and TensorData. The tag check stays as a belt-and-braces filter.
+    ///
+    /// Extent-mapped slots drop their references first, so shared
+    /// extents survive for the other fine-tunes that hold them; the
+    /// refcount-0 residue is left for the repacker's sweep.
     ///
     /// # Errors
     ///
@@ -842,8 +1021,26 @@ impl Index {
                 break;
             }
         }
+        // Re-read the headers: the caller's MIndex snapshot may predate
+        // a reclaim or an extent publish.
+        let mi = self.load_mindex(mi.offset)?;
+        let mut owned: HashSet<u64> = HashSet::new();
+        owned.insert(mi.offset);
+        for hdr in &mi.slots {
+            if hdr.data_off != 0 {
+                owned.insert(hdr.data_off);
+            }
+            if hdr.ext_map != 0 {
+                owned.insert(hdr.ext_map);
+                if let Some(store) = self.extents.get() {
+                    for ext_slot in read_extent_map(&self.dev, hdr.ext_map)?.extents {
+                        store.decref(ext_slot)?;
+                    }
+                }
+            }
+        }
         for a in self.alloc.live_allocations()? {
-            if a.tag == hash {
+            if a.tag == hash && owned.contains(&a.offset) {
                 self.alloc.free(&a)?;
             }
         }

@@ -69,6 +69,7 @@
 
 mod client;
 mod daemon;
+mod dedup;
 mod error;
 mod index;
 mod model_map;
@@ -80,6 +81,7 @@ mod replica;
 
 pub use client::{CheckpointReport, DeltaReport, PendingCheckpoint, PortusClient, RestoreReport};
 pub use daemon::{ClientEndpoints, DaemonConfig, PortusDaemon};
+pub use dedup::DedupConfig;
 pub use error::{PortusError, PortusResult, ShardFailure, VerbFailure};
 pub use index::{
     combine_digests, name_hash, region_digest, Index, MIndex, SlotHeader, SlotState, TensorRecord,

@@ -329,10 +329,14 @@ impl ModelMap {
             self.delete_fixup(x, x_parent);
         }
         self.free.push(z);
-        // Make the freed slot inert.
+        // Make the freed slot inert — including its payload: a freed
+        // node that kept its key would pin the String's heap allocation
+        // for the life of the map (and leak the model name).
         self.nodes[z].parent = NIL;
         self.nodes[z].left = NIL;
         self.nodes[z].right = NIL;
+        self.nodes[z].key = String::new();
+        self.nodes[z].value = 0;
     }
 
     fn delete_fixup(&mut self, mut x: usize, mut x_parent: usize) {
@@ -538,6 +542,13 @@ mod tests {
         for i in (0..500u64).step_by(3) {
             m.remove(&format!("model-{i:03}"));
             m.check_invariants();
+            // Freed slots must be fully inert: a slot that kept its key
+            // would pin the name's heap allocation until the slot is
+            // recycled (or forever, on a shrinking map).
+            for &z in &m.free {
+                assert!(m.nodes[z].key.is_empty(), "freed slot {z} retains a key");
+                assert_eq!(m.nodes[z].value, 0, "freed slot {z} retains a value");
+            }
         }
         for i in 500..600u64 {
             m.insert(format!("model-{i:03}"), i);

@@ -231,7 +231,9 @@ pub fn render_tenants(snapshot: &MetricsSnapshot) -> String {
 
 /// Renders the space-management view `portusctl space` prints: the
 /// PMem free/used gauges, the largest contiguous extent, the derived
-/// fragmentation ratio, and the repacker's lifetime reclaim counters.
+/// fragmentation ratio, the repacker's lifetime reclaim counters, and
+/// (when a dedup tier is active) the content-addressed extent store's
+/// sharing/compression gauges.
 pub fn render_space(snapshot: &MetricsSnapshot) -> String {
     let frag = snapshot.fragmentation_permille();
     let mut out = String::from("PMEM SPACE\n");
@@ -265,6 +267,47 @@ pub fn render_space(snapshot: &MetricsSnapshot) -> String {
         "  reclaimed bytes      {:>16}\n",
         snapshot.reclaimed_bytes
     ));
+    if snapshot.dedup_live_extents > 0 || snapshot.dedup_chunks > 0 {
+        let ratio = snapshot.dedup_ratio_permille();
+        out.push_str("DEDUP\n");
+        out.push_str(&format!(
+            "  live extents         {:>16}\n",
+            snapshot.dedup_live_extents
+        ));
+        out.push_str(&format!(
+            "  shared extents       {:>16}\n",
+            snapshot.dedup_shared_extents
+        ));
+        out.push_str(&format!(
+            "  compressed extents   {:>16}\n",
+            snapshot.dedup_compressed_extents
+        ));
+        out.push_str(&format!(
+            "  logical bytes        {:>16}\n",
+            snapshot.dedup_logical_bytes
+        ));
+        out.push_str(&format!(
+            "  stored bytes         {:>16}\n",
+            snapshot.dedup_stored_bytes
+        ));
+        out.push_str(&format!(
+            "  physical/logical     {:>13}.{}%\n",
+            ratio / 10,
+            ratio % 10
+        ));
+        out.push_str(&format!(
+            "  chunks deduplicated  {:>8} of {:>5}\n",
+            snapshot.dedup_shared_chunks, snapshot.dedup_chunks
+        ));
+        out.push_str(&format!(
+            "  swept extents        {:>16}\n",
+            snapshot.swept_extents
+        ));
+        out.push_str(&format!(
+            "  ingest failures      {:>16}\n",
+            snapshot.dedup_ingest_failures
+        ));
+    }
     out
 }
 
@@ -379,6 +422,24 @@ mod tests {
         assert!(s.contains("75.0%"));
         assert!(s.contains("reclaimed bytes"));
         assert!(s.contains("8192"));
+        // The dedup section is hidden until a dedup tier records.
+        assert!(!s.contains("DEDUP"));
+    }
+
+    #[test]
+    fn render_space_includes_dedup_when_active() {
+        let m = Metrics::new();
+        m.set_space(1000, 3000, 250);
+        m.set_dedup(10, 4, 1, 1 << 20, 256 << 10);
+        m.record_dedup_ingest(64, 48);
+        m.record_swept_extents(2, 8192);
+        let s = render_space(&m.snapshot());
+        assert!(s.contains("DEDUP"));
+        assert!(s.contains("live extents"));
+        // 256 KiB stored over 1 MiB logical renders as 25.0%.
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("48"), "shared chunk count shown");
+        assert!(s.contains("swept extents"));
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub struct RepackReport {
     pub reclaimed_active: usize,
     /// Bytes returned to the allocator.
     pub freed_bytes: u64,
+    /// Refcount-zero extents swept from the content-addressed store
+    /// (zero on daemons without a dedup tier).
+    pub swept_extents: usize,
+    /// Payload bytes those sweeps returned to the allocator.
+    pub swept_extent_bytes: u64,
+    /// Cold extents rewritten compressed by this pass.
+    pub compressed_extents: usize,
+    /// Bytes the compression rewrites saved.
+    pub compressed_saved_bytes: u64,
 }
 
 /// Runs one repacking pass over every model on `daemon`'s PMem.
@@ -100,6 +109,10 @@ pub(crate) fn repack_pass(
     let t0 = state.ctx.clock.now();
     let mut report = RepackReport::default();
     let scan = scan_models(state, reclaim_active, target_free, &mut report);
+    // The extent sweep runs even when the scan stopped early: the
+    // refcount-zero extents it collects were dropped before this pass
+    // and are reclaimable regardless of what the scan saw.
+    let sweep = sweep_extents(state, &mut report);
     state.ctx.stats.record_repack_pass();
     state.ctx.metrics.record_repack_pass();
     state.refresh_space_gauges();
@@ -118,7 +131,29 @@ pub(crate) fn repack_pass(
         round: 0,
         lane: 0,
     });
-    scan.map(|()| report)
+    scan.and(sweep).map(|()| report)
+}
+
+/// Sweeps refcount-zero extents out of the content-addressed store and
+/// (when [`crate::DedupConfig::cold_compress_idle`] is set) rewrites
+/// cold extents compressed. A no-op on daemons without an extent store.
+fn sweep_extents(state: &DaemonState, report: &mut RepackReport) -> PortusResult<()> {
+    let Some(store) = state.index.extent_store() else {
+        return Ok(());
+    };
+    let alloc = state.index.allocator();
+    let (swept, bytes) = store.sweep_unreferenced(alloc)?;
+    report.swept_extents = swept;
+    report.swept_extent_bytes = bytes;
+    if swept > 0 {
+        state.ctx.metrics.record_swept_extents(swept as u64, bytes);
+    }
+    if let Some(idle) = state.cfg.dedup.as_ref().and_then(|d| d.cold_compress_idle) {
+        let (compressed, saved) = store.compress_cold(alloc, idle)?;
+        report.compressed_extents = compressed;
+        report.compressed_saved_bytes = saved;
+    }
+    Ok(())
 }
 
 fn scan_models(
@@ -169,7 +204,7 @@ fn scan_models(
         let latest = mi.latest_done().map(|(i, _)| i);
         let job_complete = mi.flags & crate::FLAG_JOB_COMPLETE != 0;
         for (s, hdr) in mi.slots.iter().enumerate() {
-            if hdr.data_off == 0 {
+            if hdr.data_off == 0 && hdr.ext_map == 0 {
                 continue; // already reclaimed
             }
             let is_latest_done = latest == Some(s);
@@ -186,7 +221,11 @@ fn scan_models(
                 SlotState::Empty => job_complete,
             };
             if reclaim {
-                let freed = free_slot_region(index, &mi, s, &mut by_offset)?;
+                let freed = if hdr.ext_map != 0 {
+                    free_slot_extents(index, &mi, s, &mut by_offset)?
+                } else {
+                    free_slot_region(index, &mi, s, &mut by_offset)?
+                };
                 report.reclaimed_slots += 1;
                 report.freed_bytes += freed;
                 if hdr.state == SlotState::Active {
@@ -232,4 +271,45 @@ fn free_slot_region(
     index.allocator().free(&alloc)?;
     index.clear_slot_region(mi, slot)?;
     Ok(alloc.len)
+}
+
+/// Frees an **extent-mapped** slot: the header is cleared first (one
+/// durable flip, forgetting the version like any explicit reclaim),
+/// then the map's extent references are dropped, then the map region
+/// itself is freed. A crash between the steps only over-counts
+/// refcounts, which recovery recounts from the surviving maps; the
+/// refcount-zero extent payloads are collected by the pass's own sweep.
+/// Returns the map region's bytes (the payload bytes are reported by
+/// the sweep instead).
+///
+/// # Errors
+///
+/// [`PortusError::AllocatorDivergence`] when no live allocation of this
+/// model starts at the header's `ext_map` — the header is left as-is so
+/// the corrupt state stays inspectable.
+fn free_slot_extents(
+    index: &Index,
+    mi: &crate::MIndex,
+    slot: usize,
+    by_offset: &mut HashMap<u64, PmemAlloc>,
+) -> PortusResult<u64> {
+    let store = index
+        .extent_store()
+        .ok_or_else(|| PortusError::Daemon("extent-mapped slot without an extent store".into()))?;
+    let hdr = mi.slots[slot];
+    let map_alloc =
+        by_offset
+            .remove(&hdr.ext_map)
+            .ok_or_else(|| PortusError::AllocatorDivergence {
+                model: mi.name.clone(),
+                slot,
+                data_off: hdr.ext_map,
+            })?;
+    let map = crate::dedup::read_extent_map(index.device(), hdr.ext_map)?;
+    index.clear_slot_region(mi, slot)?;
+    for &e in &map.extents {
+        store.decref(e)?;
+    }
+    index.allocator().free(&map_alloc)?;
+    Ok(map_alloc.len)
 }

@@ -32,10 +32,15 @@
 mod alloc;
 mod device;
 mod error;
+mod extent;
 mod image;
 pub mod typed;
 
 pub use alloc::{PmemAlloc, PmemAllocator};
 pub use device::{CrashSpec, PmemDevice, PmemMode, CACHE_LINE};
 pub use error::{PmemError, PmemResult};
+pub use extent::{
+    content_hash, rle_compress, rle_decompress, ExtentRecord, ExtentRef, ExtentStats, ExtentStore,
+    EXTENT_DATA_TAG, EXTENT_FLAG_COMPRESSED,
+};
 pub use image::{load_image, save_image};

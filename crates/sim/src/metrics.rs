@@ -291,6 +291,39 @@ pub struct MetricsSnapshot {
     /// tenant name. Empty until a tenant-attributed request arrives.
     #[serde(default)]
     pub tenants: Vec<TenantSnapshot>,
+    /// Live extents in the content-addressed store (dedup daemons
+    /// only; all dedup gauges stay zero otherwise).
+    #[serde(default)]
+    pub dedup_live_extents: u64,
+    /// Of the live extents, how many are referenced more than once.
+    #[serde(default)]
+    pub dedup_shared_extents: u64,
+    /// Of the live extents, how many are stored compressed.
+    #[serde(default)]
+    pub dedup_compressed_extents: u64,
+    /// Logical bytes the live extents represent, weighted by refcount —
+    /// what the checkpoints would occupy without dedup.
+    #[serde(default)]
+    pub dedup_logical_bytes: u64,
+    /// Physical bytes the live extents occupy on media.
+    #[serde(default)]
+    pub dedup_stored_bytes: u64,
+    /// Chunks processed by post-seal dedup ingests so far.
+    #[serde(default)]
+    pub dedup_chunks: u64,
+    /// Of those, chunks that deduplicated against an existing extent.
+    #[serde(default)]
+    pub dedup_shared_chunks: u64,
+    /// Post-seal ingests that failed and left their checkpoint as a
+    /// plain region (correct but undeduplicated).
+    #[serde(default)]
+    pub dedup_ingest_failures: u64,
+    /// Unreferenced extents reclaimed by repack sweeps so far.
+    #[serde(default)]
+    pub swept_extents: u64,
+    /// Payload bytes those sweeps returned to the allocator.
+    #[serde(default)]
+    pub swept_extent_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -325,6 +358,17 @@ impl MetricsSnapshot {
         let contiguous = self.pmem_largest_free_extent.min(self.pmem_free_bytes);
         1000 - (contiguous as u128 * 1000 / self.pmem_free_bytes as u128) as u64
     }
+
+    /// Physical-over-logical dedup ratio in permille (integer-only):
+    /// `1000 * stored / logical`. `1000` when nothing is deduplicated
+    /// (or dedup is off — both gauges zero); lower is better. Computed
+    /// in 128-bit so byte counts near `u64::MAX` cannot overflow.
+    pub fn dedup_ratio_permille(&self) -> u64 {
+        if self.dedup_logical_bytes == 0 {
+            return 1000;
+        }
+        (self.dedup_stored_bytes as u128 * 1000 / self.dedup_logical_bytes as u128) as u64
+    }
 }
 
 #[derive(Debug, Default)]
@@ -342,6 +386,16 @@ struct MetricsInner {
     repack_passes: AtomicU64,
     pipeline_overlap_permille: AtomicU64,
     rollback_failures: AtomicU64,
+    dedup_live_extents: AtomicU64,
+    dedup_shared_extents: AtomicU64,
+    dedup_compressed_extents: AtomicU64,
+    dedup_logical_bytes: AtomicU64,
+    dedup_stored_bytes: AtomicU64,
+    dedup_chunks: AtomicU64,
+    dedup_shared_chunks: AtomicU64,
+    dedup_ingest_failures: AtomicU64,
+    swept_extents: AtomicU64,
+    swept_extent_bytes: AtomicU64,
 }
 
 /// Shared metrics registry. Cloning shares the underlying histograms
@@ -489,6 +543,58 @@ impl Metrics {
         self.inner.rollback_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Refreshes the content-addressed extent-store gauges.
+    pub fn set_dedup(
+        &self,
+        live: u64,
+        shared: u64,
+        compressed: u64,
+        logical_bytes: u64,
+        stored_bytes: u64,
+    ) {
+        self.inner.dedup_live_extents.store(live, Ordering::Relaxed);
+        self.inner
+            .dedup_shared_extents
+            .store(shared, Ordering::Relaxed);
+        self.inner
+            .dedup_compressed_extents
+            .store(compressed, Ordering::Relaxed);
+        self.inner
+            .dedup_logical_bytes
+            .store(logical_bytes, Ordering::Relaxed);
+        self.inner
+            .dedup_stored_bytes
+            .store(stored_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one completed post-seal dedup ingest: `chunks` chunks
+    /// processed, of which `shared_chunks` hit an existing extent.
+    pub fn record_dedup_ingest(&self, chunks: u64, shared_chunks: u64) {
+        self.inner.dedup_chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.inner
+            .dedup_shared_chunks
+            .fetch_add(shared_chunks, Ordering::Relaxed);
+    }
+
+    /// Records one post-seal dedup ingest that failed (the checkpoint
+    /// stays a plain region).
+    pub fn record_dedup_ingest_failure(&self) {
+        self.inner
+            .dedup_ingest_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one repack sweep reclaiming `extents` unreferenced
+    /// extents totalling `bytes` of payload.
+    pub fn record_swept_extents(&self, extents: u64, bytes: u64) {
+        self.inner
+            .swept_extents
+            .fetch_add(extents, Ordering::Relaxed);
+        self.inner
+            .swept_extent_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner
@@ -545,6 +651,16 @@ impl Metrics {
             recovery_epoch: 0,
             restore_failovers: 0,
             fleet: Vec::new(),
+            dedup_live_extents: self.inner.dedup_live_extents.load(Ordering::Relaxed),
+            dedup_shared_extents: self.inner.dedup_shared_extents.load(Ordering::Relaxed),
+            dedup_compressed_extents: self.inner.dedup_compressed_extents.load(Ordering::Relaxed),
+            dedup_logical_bytes: self.inner.dedup_logical_bytes.load(Ordering::Relaxed),
+            dedup_stored_bytes: self.inner.dedup_stored_bytes.load(Ordering::Relaxed),
+            dedup_chunks: self.inner.dedup_chunks.load(Ordering::Relaxed),
+            dedup_shared_chunks: self.inner.dedup_shared_chunks.load(Ordering::Relaxed),
+            dedup_ingest_failures: self.inner.dedup_ingest_failures.load(Ordering::Relaxed),
+            swept_extents: self.inner.swept_extents.load(Ordering::Relaxed),
+            swept_extent_bytes: self.inner.swept_extent_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -84,6 +84,10 @@ pub enum Stage {
     Checksum,
     /// Durable slot-header flip to `Done`.
     HeaderFlip,
+    /// Post-seal dedup conversion: chunking the sealed region into
+    /// content-addressed extents and publishing the extent map
+    /// (dedup-configured daemons only).
+    Dedup,
     /// One space-management repack pass over the model table.
     Repack,
     /// The whole daemon-side operation, end to end.
@@ -105,6 +109,7 @@ impl Stage {
             Stage::Persist => "persist",
             Stage::Checksum => "checksum",
             Stage::HeaderFlip => "header-flip",
+            Stage::Dedup => "dedup",
             Stage::Repack => "repack",
             Stage::Total => "total",
         }

@@ -1,0 +1,488 @@
+//! The content-addressed dedup tier (ROADMAP item 5) and the
+//! tag-collision reclaim fix that unblocks it.
+//!
+//! Invariants under test:
+//!
+//! * dropping one of two models whose names **collide under FNV-1a**
+//!   never reclaims the survivor's storage;
+//! * fine-tunes of one base model **share physical extents**, and every
+//!   sharer restores bit-for-bit;
+//! * after any torn-refcount crash, recovery **never frees an extent a
+//!   live map references and never leaks one nothing references**;
+//! * the repacker sweeps refcount-zero extents, and compressed extents
+//!   (ingest-time or cold) decompress back to the exact bytes.
+
+use portus::{name_hash, repack, DaemonConfig, DedupConfig, PortusClient, PortusDaemon};
+use portus_dnn::{test_spec, Materialization, ModelInstance, ModelSpec};
+use portus_mem::GpuDevice;
+use portus_pmem::{CrashSpec, PmemDevice, PmemMode};
+use portus_rdma::{Fabric, NodeId};
+use portus_sim::SimContext;
+
+/// Two distinct names with the same FNV-1a 64 hash (found by a
+/// collision search against [`portus::name_hash`]; asserted below so a
+/// hash-function change fails loudly instead of silently weakening the
+/// regression).
+const COLLIDE_A: &str = "m038e33cdf0f85576";
+const COLLIDE_B: &str = "mc1aa6d07ed751e15";
+
+struct World {
+    ctx: SimContext,
+    fabric: Fabric,
+    pmem: std::sync::Arc<PmemDevice>,
+    daemon: std::sync::Arc<PortusDaemon>,
+    gpu: std::sync::Arc<GpuDevice>,
+}
+
+fn world_cfg(cfg: DaemonConfig) -> World {
+    let ctx = SimContext::icdcs24();
+    let fabric = Fabric::new(ctx.clone());
+    fabric.add_nic(NodeId(0));
+    fabric.add_nic(NodeId(1));
+    let pmem = PmemDevice::new(ctx.clone(), PmemMode::DevDax, 256 << 20);
+    let daemon = PortusDaemon::start(&fabric, NodeId(1), pmem.clone(), cfg).unwrap();
+    let gpu = GpuDevice::new(ctx.clone(), 0, 2 << 30);
+    World {
+        ctx,
+        fabric,
+        pmem,
+        daemon,
+        gpu,
+    }
+}
+
+fn dedup_cfg() -> DaemonConfig {
+    DaemonConfig {
+        dedup: Some(DedupConfig::default()),
+        ..DaemonConfig::default()
+    }
+}
+
+fn client(w: &World) -> PortusClient {
+    PortusClient::connect(&w.daemon, w.fabric.nic(NodeId(0)).unwrap())
+}
+
+/// Materializes `spec` from `seed` and registers it.
+fn register(w: &World, c: &PortusClient, spec: &ModelSpec, seed: u64) -> ModelInstance {
+    let model = ModelInstance::materialize(spec, &w.gpu, seed, Materialization::Owned).unwrap();
+    c.register_model(&model).unwrap();
+    model
+}
+
+/// Overwrites every tensor with zeros so RLE compression has something
+/// to win on (the deterministic fill is incompressible by design).
+fn zero_tensors(model: &ModelInstance) {
+    let zeros = vec![0u8; 4096];
+    for t in model.tensors() {
+        let mut pos = 0u64;
+        while pos < t.buffer.len() {
+            let n = ((t.buffer.len() - pos) as usize).min(zeros.len());
+            t.buffer.write_at(pos, &zeros[..n]).unwrap();
+            pos += n as u64;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: tag-collision reclaim regression.
+// ---------------------------------------------------------------------
+
+#[test]
+fn colliding_names_actually_collide() {
+    assert_ne!(COLLIDE_A, COLLIDE_B);
+    assert_eq!(
+        name_hash(COLLIDE_A),
+        name_hash(COLLIDE_B),
+        "the regression pair must collide under name_hash; \
+         re-search if the hash function changed"
+    );
+}
+
+#[test]
+fn dropping_a_colliding_name_spares_the_other_model() {
+    // Two live models whose names share one FNV-1a tag. Before the
+    // ownership fix, remove_model freed every allocation carrying the
+    // tag — including the survivor's MIndex and TensorData.
+    let w = world_cfg(DaemonConfig::default());
+    let c = client(&w);
+    let spec_a = test_spec(COLLIDE_A, 3, 64 * 1024);
+    let spec_b = test_spec(COLLIDE_B, 3, 64 * 1024);
+    let mut a = register(&w, &c, &spec_a, 1);
+    let mut b = register(&w, &c, &spec_b, 2);
+
+    a.train_step();
+    c.checkpoint(COLLIDE_A).unwrap();
+    b.train_step();
+    let b_state = b.model_checksum();
+    c.checkpoint(COLLIDE_B).unwrap();
+
+    c.drop_model(COLLIDE_A).unwrap();
+    assert_eq!(w.daemon.model_count(), 1);
+
+    // The survivor restores bit-for-bit on the live daemon...
+    b.train_step();
+    let r = c.restore(&b).unwrap();
+    assert_eq!(r.version, 1);
+    assert_eq!(b.model_checksum(), b_state);
+
+    // ...and keeps doing so across a crash + recovery (recovery's
+    // reachability GC must agree nothing of B was freed).
+    drop(c);
+    w.daemon.shutdown();
+    w.pmem.crash(CrashSpec::LoseAll);
+    let daemon2 = PortusDaemon::recover(
+        &w.fabric,
+        NodeId(1),
+        w.pmem.clone(),
+        DaemonConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(daemon2.model_count(), 1);
+    let c2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
+    c2.register_model(&b).unwrap();
+    b.train_step();
+    c2.restore(&b).unwrap();
+    assert_eq!(b.model_checksum(), b_state);
+
+    // A repack pass over the survivor sees no index/allocator
+    // divergence — the drop freed exactly its own regions.
+    let report = repack(&daemon2, true).unwrap();
+    assert_eq!(report.scanned_models, 1);
+    let _ = w.ctx;
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: fine-tunes sharing extents.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fine_tunes_share_physical_extents() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    // Base model and three fine-tunes materialized from the same seed:
+    // identical initial weights, then each fine-tune diverges in one
+    // tensor (a sparse update touching at most two 64 KiB chunks).
+    let mut models = Vec::new();
+    for i in 0..4usize {
+        let name = format!("ft{i}");
+        let spec = test_spec(&name, 4, 256 * 1024);
+        let mut m = register(&w, &c, &spec, 7);
+        if i > 0 {
+            m.train_step_sparse(&[i - 1]);
+        }
+        c.checkpoint(&name).unwrap();
+        models.push((name, m));
+    }
+
+    let store = w.daemon.index().extent_store().expect("dedup enabled");
+    let stats = store.stats().unwrap();
+    assert!(stats.shared > 0, "identical chunks must deduplicate");
+    assert!(
+        stats.stored_bytes < stats.referenced_logical / 2,
+        "4 near-identical 1 MiB models must store well under half \
+         their referenced bytes ({} vs {})",
+        stats.stored_bytes,
+        stats.referenced_logical
+    );
+
+    // Every sharer restores bit-for-bit despite the shared storage.
+    for (name, m) in &mut models {
+        let saved = m.model_checksum();
+        m.train_step();
+        c.restore(m).unwrap();
+        assert_eq!(m.model_checksum(), saved, "{name} restore diverged");
+    }
+    let _ = w.ctx;
+}
+
+#[test]
+fn dedup_survives_crash_and_recovery() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    let spec = test_spec("base", 4, 128 * 1024);
+    let mut base = register(&w, &c, &spec, 3);
+    let spec2 = test_spec("tune", 4, 128 * 1024);
+    let mut tune = register(&w, &c, &spec2, 3);
+    tune.train_step_sparse(&[2]);
+    let base_state = base.model_checksum();
+    let tune_state = tune.model_checksum();
+    c.checkpoint("base").unwrap();
+    c.checkpoint("tune").unwrap();
+
+    drop(c);
+    w.daemon.shutdown();
+    w.pmem.crash(CrashSpec::Random { seed: 0xD5D5 });
+
+    let daemon2 = PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), dedup_cfg()).unwrap();
+    let store = daemon2.index().extent_store().unwrap();
+    let stats = store.stats().unwrap();
+    assert!(stats.live > 0);
+    assert!(stats.shared > 0, "sharing survives recovery");
+    let c2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
+    c2.register_model(&base).unwrap();
+    c2.register_model(&tune).unwrap();
+    base.train_step();
+    c2.restore(&base).unwrap();
+    assert_eq!(base.model_checksum(), base_state);
+    tune.train_step();
+    c2.restore(&tune).unwrap();
+    assert_eq!(tune.model_checksum(), tune_state);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 4: torn-refcount crash consistency.
+// ---------------------------------------------------------------------
+
+/// Crash after extents were inserted and refcounted but before any slot
+/// header published a map over them (the ingest window between steps 1
+/// and 3 of the crash ordering): recovery must sweep the orphans and
+/// leak nothing.
+#[test]
+fn crash_before_publish_leaks_no_extents() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    let spec = test_spec("w", 2, 128 * 1024);
+    let mut model = register(&w, &c, &spec, 5);
+    model.train_step();
+    let saved = model.model_checksum();
+    c.checkpoint("w").unwrap(); // v1, extent-mapped
+
+    // Forge the torn ingest: orphan extents inserted (payload persisted,
+    // refcount 1) that no extent map will ever reference.
+    let index = w.daemon.index();
+    let store = index.extent_store().unwrap();
+    let mut orphan_hashes = Vec::new();
+    for i in 0..3u8 {
+        let payload = vec![0xA0 ^ i; 8192];
+        let r = store
+            .insert_or_ref(&payload, index.allocator(), false)
+            .unwrap();
+        assert!(!r.shared, "orphan payloads are unique");
+        orphan_hashes.push(store.record(r.slot).unwrap().chash);
+    }
+    let live_before = store.stats().unwrap().live;
+
+    drop(c);
+    w.daemon.shutdown();
+    w.pmem.crash(CrashSpec::LoseAll);
+
+    let daemon2 = PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), dedup_cfg()).unwrap();
+    let store2 = daemon2.index().extent_store().unwrap();
+    let live: Vec<_> = store2.live_extents().unwrap();
+    // The orphans are gone (recount found no referencing map → swept)...
+    for (_, rec) in &live {
+        assert!(
+            !orphan_hashes.contains(&rec.chash),
+            "unreferenced extent survived recovery"
+        );
+    }
+    assert_eq!(live.len() as u64, live_before - orphan_hashes.len() as u64);
+    // ...and every surviving extent is referenced, with an exact count.
+    for (_, rec) in &live {
+        assert!(rec.refcount > 0, "live extent with zero refs leaked");
+    }
+    // The checkpoint the orphans were torn out of still restores.
+    let c2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
+    c2.register_model(&model).unwrap();
+    model.train_step();
+    c2.restore(&model).unwrap();
+    assert_eq!(model.model_checksum(), saved);
+}
+
+/// Torn refcount words in both directions (an update persisted without
+/// its peers, or lost entirely): recovery recounts from the live maps,
+/// so no referenced extent is freed and no unreferenced one survives.
+#[test]
+fn recovery_recounts_torn_refcounts_exactly() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    let spec_a = test_spec("rc-a", 3, 128 * 1024);
+    let spec_b = test_spec("rc-b", 3, 128 * 1024);
+    let mut a = register(&w, &c, &spec_a, 9);
+    let mut b = register(&w, &c, &spec_b, 9); // same content → shared
+    let a_state = a.model_checksum();
+    let b_state = b.model_checksum();
+    c.checkpoint("rc-a").unwrap();
+    c.checkpoint("rc-b").unwrap();
+
+    // Tamper with every persistent refcount: zero half (an under-count
+    // would free referenced extents), inflate the rest (an over-count
+    // would leak them once the models drop).
+    let store = w.daemon.index().extent_store().unwrap();
+    for (i, (slot, _)) in store.live_extents().unwrap().into_iter().enumerate() {
+        let torn = if i % 2 == 0 { 0 } else { 99 };
+        store.set_refcount(slot, torn).unwrap();
+    }
+
+    drop(c);
+    w.daemon.shutdown();
+    w.pmem.crash(CrashSpec::LoseAll);
+
+    let daemon2 = PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), dedup_cfg()).unwrap();
+    let store2 = daemon2.index().extent_store().unwrap();
+    // Exact recount: both models' maps reference every shared extent.
+    for (_, rec) in store2.live_extents().unwrap() {
+        assert_eq!(rec.refcount, 2, "recount must be exact, not torn");
+    }
+    // Referenced extents were not freed: both models restore.
+    let c2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
+    c2.register_model(&a).unwrap();
+    c2.register_model(&b).unwrap();
+    a.train_step();
+    c2.restore(&a).unwrap();
+    assert_eq!(a.model_checksum(), a_state);
+    b.train_step();
+    c2.restore(&b).unwrap();
+    assert_eq!(b.model_checksum(), b_state);
+
+    // And nothing is leaked once the references really go away: drop
+    // both models; the repacker's sweep empties the store.
+    c2.drop_model("rc-a").unwrap();
+    c2.drop_model("rc-b").unwrap();
+    let report = repack(&daemon2, false).unwrap();
+    assert!(report.swept_extents > 0, "dropped extents must be swept");
+    assert_eq!(store2.stats().unwrap().live, 0, "no extent may leak");
+}
+
+/// Crash after the release path's header flip but before its decrefs
+/// (the release window): the extents look over-referenced, and recovery
+/// must correct that rather than trust the stale counts.
+#[test]
+fn crash_mid_release_never_frees_the_survivors_extents() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    let spec_a = test_spec("rel-a", 2, 128 * 1024);
+    let spec_b = test_spec("rel-b", 2, 128 * 1024);
+    let a = register(&w, &c, &spec_a, 11);
+    let mut b = register(&w, &c, &spec_b, 11);
+    let b_state = b.model_checksum();
+    c.checkpoint("rel-a").unwrap();
+    c.checkpoint("rel-b").unwrap();
+
+    // Emulate a release of rel-a torn after the decrefs were skipped:
+    // drop the model (decrefs ran), then re-inflate the counts as if
+    // the decref lines never reached media.
+    c.drop_model("rel-a").unwrap();
+    let store = w.daemon.index().extent_store().unwrap();
+    for (slot, rec) in store.live_extents().unwrap() {
+        store.set_refcount(slot, rec.refcount + 1).unwrap();
+    }
+
+    drop(c);
+    w.daemon.shutdown();
+    w.pmem.crash(CrashSpec::LoseAll);
+
+    let daemon2 = PortusDaemon::recover(&w.fabric, NodeId(1), w.pmem.clone(), dedup_cfg()).unwrap();
+    let store2 = daemon2.index().extent_store().unwrap();
+    // rel-b's map is the only reference left; the over-counts are gone.
+    for (_, rec) in store2.live_extents().unwrap() {
+        assert_eq!(rec.refcount, 1, "stale over-count must be corrected");
+    }
+    let c2 = PortusClient::connect(&daemon2, w.fabric.nic(NodeId(0)).unwrap());
+    c2.register_model(&b).unwrap();
+    b.train_step();
+    c2.restore(&b).unwrap();
+    assert_eq!(b.model_checksum(), b_state);
+    let _ = a;
+}
+
+// ---------------------------------------------------------------------
+// Repacker integration: sweep + cold compression.
+// ---------------------------------------------------------------------
+
+#[test]
+fn repack_sweeps_extents_of_dropped_models() {
+    let w = world_cfg(dedup_cfg());
+    let c = client(&w);
+    let spec = test_spec("sweepme", 4, 256 * 1024);
+    let mut model = register(&w, &c, &spec, 13);
+    model.train_step();
+    c.checkpoint("sweepme").unwrap();
+    model.train_step();
+    c.checkpoint("sweepme").unwrap(); // both slots extent-mapped
+
+    let store = w.daemon.index().extent_store().unwrap();
+    assert!(store.stats().unwrap().live > 0);
+    let free_before = w.daemon.index().allocator().free_bytes();
+
+    c.drop_model("sweepme").unwrap();
+    let report = repack(&w.daemon, false).unwrap();
+    assert!(report.swept_extents > 0);
+    assert!(report.swept_extent_bytes > 0);
+    assert_eq!(store.stats().unwrap().live, 0);
+    assert!(
+        w.daemon.index().allocator().free_bytes() > free_before,
+        "sweeping must return the payload bytes"
+    );
+    let _ = w.ctx;
+}
+
+#[test]
+fn ingest_compression_restores_exact_bytes() {
+    let cfg = DaemonConfig {
+        dedup: Some(DedupConfig {
+            compress_on_ingest: true,
+            ..DedupConfig::default()
+        }),
+        ..DaemonConfig::default()
+    };
+    let w = world_cfg(cfg);
+    let c = client(&w);
+    let spec = test_spec("zipped", 3, 128 * 1024);
+    let model = register(&w, &c, &spec, 17);
+    zero_tensors(&model);
+    let saved = model.model_checksum();
+    c.checkpoint("zipped").unwrap();
+
+    let store = w.daemon.index().extent_store().unwrap();
+    let stats = store.stats().unwrap();
+    assert!(stats.compressed > 0, "zero runs must compress");
+    assert!(
+        stats.stored_bytes < stats.logical_bytes,
+        "compression must shrink the physical footprint"
+    );
+
+    // Dirty the weights, restore, and the zeros come back exactly.
+    let mut model = model;
+    model.train_step();
+    assert_ne!(model.model_checksum(), saved);
+    c.restore(&model).unwrap();
+    assert_eq!(model.model_checksum(), saved);
+    let _ = w.ctx;
+}
+
+#[test]
+fn cold_extents_compress_during_repack_and_still_restore() {
+    let cfg = DaemonConfig {
+        dedup: Some(DedupConfig {
+            cold_compress_idle: Some(0), // everything is cold
+            ..DedupConfig::default()
+        }),
+        ..DaemonConfig::default()
+    };
+    let w = world_cfg(cfg);
+    let c = client(&w);
+    let spec = test_spec("coldstore", 3, 128 * 1024);
+    let model = register(&w, &c, &spec, 19);
+    zero_tensors(&model);
+    let saved = model.model_checksum();
+    c.checkpoint("coldstore").unwrap();
+
+    let store = w.daemon.index().extent_store().unwrap();
+    assert_eq!(store.stats().unwrap().compressed, 0, "ingest stays plain");
+
+    let report = repack(&w.daemon, false).unwrap();
+    assert!(report.compressed_extents > 0, "cold pass must compress");
+    assert!(report.compressed_saved_bytes > 0);
+    assert!(store.stats().unwrap().compressed > 0);
+
+    let mut model = model;
+    model.train_step();
+    c.restore(&model).unwrap();
+    assert_eq!(
+        model.model_checksum(),
+        saved,
+        "restore pays decompression, returns exact bytes"
+    );
+    let _ = w.ctx;
+}

@@ -6,6 +6,7 @@
 //! portusctl stats SNAPSHOT.json
 //! portusctl space SNAPSHOT.json
 //! portusctl tenants SNAPSHOT.json
+//! portusctl catalog SNAPSHOT.json
 //! ```
 
 use std::path::Path;
@@ -20,6 +21,7 @@ fn usage() -> ExitCode {
     eprintln!("  portusctl stats SNAPSHOT.json");
     eprintln!("  portusctl space SNAPSHOT.json");
     eprintln!("  portusctl tenants SNAPSHOT.json");
+    eprintln!("  portusctl catalog SNAPSHOT.json");
     ExitCode::from(2)
 }
 
@@ -101,6 +103,21 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("portusctl space: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("catalog") => {
+            let Some(snapshot) = args.get(2) else {
+                return usage();
+            };
+            match portus::portusctl::load_stats(Path::new(snapshot)) {
+                Ok(metrics) => {
+                    print!("{}", portus::portusctl::render_catalog(&metrics));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("portusctl catalog: {e}");
                     ExitCode::FAILURE
                 }
             }

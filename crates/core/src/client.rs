@@ -217,6 +217,7 @@ impl PortusClient {
             Reply::Throttled { retry_after_ns, .. } => {
                 Err(PortusError::Throttled { retry_after_ns })
             }
+            Reply::CatalogFull { capacity, .. } => Err(PortusError::CatalogFull { capacity }),
             ok => Ok(ok),
         }
     }
@@ -560,7 +561,7 @@ impl PortusClient {
         let req_id = self.fresh_id();
         self.requests.send(Request::Stats { req_id })?;
         match Self::expect_ok(self.wait_reply(req_id)?)? {
-            Reply::Stats { metrics, .. } => Ok(metrics),
+            Reply::Stats { metrics, .. } => Ok(*metrics),
             other => Err(PortusError::Daemon(format!(
                 "unexpected reply to stats: {other:?}"
             ))),

@@ -146,6 +146,15 @@ pub struct DaemonConfig {
     /// checkpoint into an extent map of content-addressed chunks, so
     /// fine-tunes sharing a base model share physical extents.
     pub dedup: Option<crate::DedupConfig>,
+    /// Paged on-PMem model catalog with a learned root (ROADMAP item
+    /// 3). `None` (the default) keeps name resolution on the unbounded
+    /// DRAM [`ModelMap`] mirror — bit-for-bit the pre-catalog daemon.
+    /// `Some` formats (or recovers) the catalog on the namespace,
+    /// routes every name lookup through it (one bounded page probe
+    /// under a clamped DRAM page cache), and leaves the ModelMap
+    /// empty, so daemon DRAM stays O(cache) no matter how many models
+    /// the namespace holds.
+    pub catalog: Option<crate::CatalogConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -166,6 +175,7 @@ impl Default for DaemonConfig {
             shed_wait: Duration::from_millis(500),
             shed_retry_after: SimDuration::from_millis(1),
             dedup: None,
+            catalog: None,
         }
     }
 }
@@ -432,7 +442,7 @@ impl std::fmt::Debug for PortusDaemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PortusDaemon")
             .field("node", &self.nic.node())
-            .field("models", &self.state.map.lock().len())
+            .field("models", &self.model_count())
             .finish()
     }
 }
@@ -501,6 +511,24 @@ impl PortusDaemon {
                 }
             }
         }
+        // Catalog-configured daemons resolve names on PMem: mount (or
+        // format) the paged catalog, seed it from the recovered map if
+        // the namespace predates it, then drop the DRAM mirror — the
+        // whole point is that daemon DRAM no longer scales with the
+        // model population. `stale_active` was already computed from
+        // the map above, so crash debris is still fenced.
+        let map = if let Some(c) = &cfg.catalog {
+            index.enable_catalog(c)?;
+            let cat = index.catalog().expect("enable_catalog mounts the catalog");
+            if cat.is_empty() && !map.is_empty() {
+                let live: Vec<(String, u64)> =
+                    map.iter().map(|(k, v)| (k.to_string(), v)).collect();
+                cat.bulk_replace(index.allocator(), &live)?;
+            }
+            ModelMap::new()
+        } else {
+            map
+        };
         let high_watermark = cfg.space_high_watermark;
         let qos = QosState::new(cfg.qos.clone());
         let state = Arc::new(DaemonState {
@@ -623,9 +651,13 @@ impl PortusDaemon {
         &self.state.index
     }
 
-    /// In-DRAM model map size (diagnostic).
+    /// Stored-model count (diagnostic): the catalog's entry count when
+    /// one owns name resolution, the in-DRAM ModelMap size otherwise.
     pub fn model_count(&self) -> usize {
-        self.state.map.lock().len()
+        match self.state.catalog() {
+            Some(cat) => cat.len() as usize,
+            None => self.state.map.lock().len(),
+        }
     }
 
     /// The daemon's simulation context.
@@ -871,6 +903,7 @@ fn error_reply(req_id: u64, e: PortusError) -> Reply {
             free,
             largest_extent,
         },
+        PortusError::CatalogFull { capacity } => Reply::CatalogFull { req_id, capacity },
         other => Reply::Error {
             req_id,
             message: other.to_string(),
@@ -956,7 +989,7 @@ fn handle_request(state: &DaemonState, pool: &QpPool, tenant: &TenantCtx, req: R
             state.refresh_space_gauges();
             Reply::Stats {
                 req_id,
-                metrics: state.ctx.metrics.snapshot(),
+                metrics: Box::new(state.ctx.metrics.snapshot()),
             }
         }
     }
@@ -1199,6 +1232,19 @@ impl DaemonState {
                 s.stored_bytes,
             );
         }
+        self.ctx
+            .metrics
+            .set_model_map_bytes(self.map.lock().approx_bytes());
+        if let Some(cat) = self.catalog() {
+            let s = cat.stats();
+            self.ctx.metrics.set_catalog(
+                s.pages,
+                s.entries,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_bytes,
+            );
+        }
     }
 
     /// Post-seal dedup conversion: chunks the freshly sealed plain
@@ -1287,12 +1333,44 @@ impl DaemonState {
         }
     }
 
-    fn lookup(&self, model: &str) -> PortusResult<MIndex> {
-        let off = self
-            .map
-            .lock()
-            .get(model)
-            .ok_or_else(|| PortusError::ModelNotFound(model.to_string()))?;
+    /// The mounted catalog, when this daemon is configured to use it.
+    /// A recovered namespace may carry a catalog the operator chose not
+    /// to enable; the config gate keeps such a daemon byte-for-byte on
+    /// the ModelMap path.
+    pub(crate) fn catalog(&self) -> Option<&crate::Catalog> {
+        if self.cfg.catalog.is_some() {
+            self.index.catalog()
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a model name to its MIndex offset through whichever
+    /// structure owns name resolution: the paged on-PMem catalog when
+    /// enabled, the DRAM ModelMap mirror otherwise.
+    pub(crate) fn resolve_model(&self, model: &str) -> PortusResult<Option<u64>> {
+        match self.catalog() {
+            Some(cat) => cat.lookup(model),
+            None => Ok(self.map.lock().get(model)),
+        }
+    }
+
+    /// [`DaemonState::resolve_model`] + MIndex load. Datapath callers
+    /// pass their span so catalog-enabled daemons attribute the paged
+    /// probe to [`Stage::CatalogLookup`]; the ModelMap path records
+    /// nothing (a DRAM tree walk charges no virtual time).
+    fn lookup(&self, model: &str, sc: Option<&SpanCtx<'_>>) -> PortusResult<MIndex> {
+        let off = if let Some(cat) = self.catalog() {
+            let t0 = self.ctx.clock.now();
+            let off = cat.lookup(model)?;
+            if let Some(sc) = sc {
+                sc.record_now(Stage::CatalogLookup, t0);
+            }
+            off
+        } else {
+            self.map.lock().get(model)
+        }
+        .ok_or_else(|| PortusError::ModelNotFound(model.to_string()))?;
         self.index.load_mindex(off)
     }
 
@@ -1798,7 +1876,7 @@ impl DaemonState {
         let metas: Vec<_> = tensors.iter().map(TensorDesc::meta).collect();
         let lock = self.model_lock(model);
         let _guard = lock.lock();
-        let existing = self.map.lock().get(model);
+        let existing = self.resolve_model(model)?;
         match existing {
             Some(off) => {
                 // Re-registration (e.g. after client restart): the
@@ -1822,7 +1900,14 @@ impl DaemonState {
             }
             None => {
                 let mi = self.index.create_model(model, &metas)?;
-                self.map.lock().insert(model.to_string(), mi.offset);
+                match self.catalog() {
+                    Some(cat) => {
+                        cat.insert(self.index.allocator(), model, mi.offset)?;
+                    }
+                    None => {
+                        self.map.lock().insert(model.to_string(), mi.offset);
+                    }
+                }
             }
         }
         self.sessions.lock().insert(model.to_string(), tensors);
@@ -1841,7 +1926,7 @@ impl DaemonState {
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
-        let mut mi = self.lookup(model)?;
+        let mut mi = self.lookup(model, Some(&sc))?;
         let descs = self
             .sessions
             .lock()
@@ -1962,7 +2047,7 @@ impl DaemonState {
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
-        let mut mi = self.lookup(model)?;
+        let mut mi = self.lookup(model, Some(&sc))?;
         let descs = self
             .sessions
             .lock()
@@ -2140,7 +2225,7 @@ impl DaemonState {
         let lock = self.model_lock(model);
         let _guard = lock.lock();
         let t_op = self.ctx.clock.now();
-        let mi = self.lookup(model)?;
+        let mi = self.lookup(model, Some(&sc))?;
         // Version-pinned restores let a replicated or sharded client
         // settle every participant on one common checkpoint even when
         // some daemons hold a newer version in their other slot.
@@ -2234,7 +2319,7 @@ impl DaemonState {
         // the same model: take the model lock like every other mutator.
         let lock = self.model_lock(model);
         let _guard = lock.lock();
-        let mi = self.lookup(model)?;
+        let mi = self.lookup(model, None)?;
         self.index.set_job_complete(&mi)
     }
 
@@ -2242,9 +2327,18 @@ impl DaemonState {
         {
             let lock = self.model_lock(model);
             let _guard = lock.lock();
-            let mi = self.lookup(model)?;
-            self.index.remove_model(&mi)?;
-            self.map.lock().remove(model);
+            let off = self
+                .resolve_model(model)?
+                .ok_or_else(|| PortusError::ModelNotFound(model.to_string()))?;
+            self.index.remove_model_at(model, off)?;
+            match self.catalog() {
+                Some(cat) => {
+                    cat.remove(self.index.allocator(), model)?;
+                }
+                None => {
+                    self.map.lock().remove(model);
+                }
+            }
             self.sessions.lock().remove(model);
         }
         // Reap the per-model lock entry, or a long-lived multi-tenant
@@ -2263,12 +2357,15 @@ impl DaemonState {
     }
 
     pub(crate) fn list_models(&self) -> PortusResult<Vec<ModelSummary>> {
-        let offsets: Vec<(String, u64)> = self
-            .map
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect();
+        let offsets: Vec<(String, u64)> = match self.catalog() {
+            Some(cat) => cat.scan()?,
+            None => self
+                .map
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
         let mut out = Vec::with_capacity(offsets.len());
         for (name, off) in offsets {
             let mi = self.index.load_mindex(off)?;

@@ -131,6 +131,14 @@ pub enum PortusError {
         /// Largest contiguous free extent at the time of failure.
         largest_extent: u64,
     },
+    /// The model catalog (the fixed ModelTable) has no free entry for
+    /// a new model. Carries the table's capacity so the operator knows
+    /// what to re-format with — distinct from [`PortusError::OutOfSpace`],
+    /// which is about payload bytes, not name slots.
+    CatalogFull {
+        /// Total entries the ModelTable was formatted with.
+        capacity: u32,
+    },
     /// One or more shards of a lockstep barrier failed their
     /// checkpoint. Every shard was still driven to the barrier
     /// iteration (none silently falls behind); the failures carry
@@ -226,6 +234,12 @@ impl fmt::Display for PortusError {
                     f,
                     "out of PMem space after repacking: need {needed} bytes, \
                      {free} free, largest extent {largest_extent}"
+                )
+            }
+            PortusError::CatalogFull { capacity } => {
+                write!(
+                    f,
+                    "model catalog is full: all {capacity} ModelTable entries are live"
                 )
             }
             PortusError::ShardBarrier {
@@ -406,6 +420,14 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("throttled"));
         assert!(msg.contains("2500000ns"));
+    }
+
+    #[test]
+    fn catalog_full_display_carries_the_capacity() {
+        let e = PortusError::CatalogFull { capacity: 32 };
+        let msg = e.to_string();
+        assert!(msg.contains("catalog is full"));
+        assert!(msg.contains("32"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::sync::{Arc, OnceLock};
 use portus_dnn::{DType, TensorMeta};
 use portus_pmem::{typed, ExtentStore, PmemAlloc, PmemAllocator, PmemDevice, PmemError};
 
+use crate::catalog::{Catalog, CatalogConfig};
 use crate::dedup::read_extent_map;
 use crate::{ModelMap, PortusError, PortusResult};
 
@@ -39,6 +40,12 @@ const MINDEX_MAGIC: u32 = 0x4D49_4458; // "MIDX"
 /// Superblock word holding the extent-table offset (0 = dedup never
 /// enabled on this namespace).
 const SUPER_XT_OFF: u64 = 48;
+
+/// Superblock word holding the learned catalog's root-block offset
+/// (0 = catalog never enabled on this namespace). Flipping this word
+/// is the commit point for catalog root rebuilds — see
+/// [`crate::Catalog`].
+const SUPER_CAT_OFF: u64 = 56;
 
 /// Allocator tag for the extent table region itself.
 pub(crate) const EXTENT_TABLE_TAG: u64 = 0x5854_4241_5354_4247; // "XTBASTBG"
@@ -316,6 +323,9 @@ pub struct Index {
     /// The content-addressed extent store, present once dedup is
     /// enabled (or recovered from a namespace that had it enabled).
     extents: OnceLock<ExtentStore>,
+    /// The learned micro-paged catalog, present once enabled (or
+    /// recovered from a namespace that had it enabled).
+    catalog: OnceLock<Catalog>,
 }
 
 impl Index {
@@ -356,6 +366,7 @@ impl Index {
             table_base,
             table_cap,
             extents: OnceLock::new(),
+            catalog: OnceLock::new(),
         })
     }
 
@@ -393,6 +404,7 @@ impl Index {
             table_base,
             table_cap,
             extents: OnceLock::new(),
+            catalog: OnceLock::new(),
         };
 
         let mut map = ModelMap::new();
@@ -459,6 +471,24 @@ impl Index {
             let _ = index.extents.set(store);
         }
 
+        // Recover the learned catalog if this namespace has one:
+        // mount it, reconcile it against the authoritative table view
+        // (covering the crash windows between a table publish/retire
+        // and the matching catalog update), then mark its root and
+        // pages reachable. Pages orphaned by a crash mid-split sit in
+        // no current root, so the GC below reclaims them.
+        if typed::read_u64(&index.dev, SUPER_CAT_OFF)? != 0 {
+            let cat =
+                Catalog::recover(index.dev.clone(), SUPER_CAT_OFF, &CatalogConfig::default())?;
+            let live: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.to_string(), v)).collect();
+            cat.reconcile(&index.alloc, &live)?;
+            reachable.insert(cat.root_offset());
+            for off in cat.page_offsets()? {
+                reachable.insert(off);
+            }
+            let _ = index.catalog.set(cat);
+        }
+
         // GC every allocation nothing reachable references.
         for a in index.alloc.live_allocations()? {
             if !reachable.contains(&a.offset) {
@@ -501,6 +531,33 @@ impl Index {
         self.extents.get()
     }
 
+    /// Enables the learned micro-paged catalog: recovers the root
+    /// recorded in the superblock (applying `cfg`'s runtime knobs), or
+    /// formats an empty catalog and publishes its root. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Allocation and device errors.
+    pub fn enable_catalog(&self, cfg: &CatalogConfig) -> PortusResult<()> {
+        if let Some(cat) = self.catalog.get() {
+            cat.set_runtime(cfg);
+            return Ok(());
+        }
+        let root = typed::read_u64(&self.dev, SUPER_CAT_OFF)?;
+        let cat = if root != 0 {
+            Catalog::recover(self.dev.clone(), SUPER_CAT_OFF, cfg)?
+        } else {
+            Catalog::format(self.dev.clone(), &self.alloc, SUPER_CAT_OFF, cfg)?
+        };
+        let _ = self.catalog.set(cat);
+        Ok(())
+    }
+
+    /// The learned catalog, when one is mounted on this namespace.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.get()
+    }
+
     fn entry_offset(&self, slot: u32) -> u64 {
         self.table_base + slot as u64 * TABLE_ENTRY_SIZE
     }
@@ -521,8 +578,8 @@ impl Index {
     /// # Errors
     ///
     /// [`PortusError::NameTooLong`] for oversized names or too many
-    /// dims, allocation failures, and [`PortusError::Daemon`] when the
-    /// table is full.
+    /// dims, allocation failures, and [`PortusError::CatalogFull`]
+    /// when the table is full.
     pub fn create_model(&self, name: &str, metas: &[TensorMeta]) -> PortusResult<MIndex> {
         if name.len() > MI_NAME_MAX {
             return Err(PortusError::NameTooLong(name.to_string()));
@@ -612,7 +669,9 @@ impl Index {
             for d in &data {
                 self.alloc.free(d)?;
             }
-            return Err(PortusError::Daemon("ModelTable is full".into()));
+            return Err(PortusError::CatalogFull {
+                capacity: self.table_cap,
+            });
         }
 
         Ok(MIndex {
@@ -1009,21 +1068,34 @@ impl Index {
     ///
     /// Device/allocator errors.
     pub fn remove_model(&self, mi: &MIndex) -> PortusResult<()> {
-        let hash = name_hash(&mi.name);
+        self.remove_model_at(&mi.name, mi.offset)
+    }
+
+    /// [`Index::remove_model`] addressed by `(name, offset)` directly.
+    /// Callers that already resolved the name (the daemon's drop path)
+    /// use this to avoid loading the MIndex twice: the record is read
+    /// exactly once here, *after* the table entry is retired, so the
+    /// headers freed below can never predate a concurrent reclaim or
+    /// extent publish.
+    ///
+    /// # Errors
+    ///
+    /// Device/allocator errors.
+    pub fn remove_model_at(&self, name: &str, offset: u64) -> PortusResult<()> {
+        let hash = name_hash(name);
         for slot in 0..self.table_cap {
             let entry = self.entry_offset(slot);
             if typed::read_u64(&self.dev, entry)? == ENTRY_LIVE
                 && typed::read_u64(&self.dev, entry + 8)? == hash
-                && typed::read_u64(&self.dev, entry + 16)? == mi.offset
+                && typed::read_u64(&self.dev, entry + 16)? == offset
             {
                 typed::write_u64(&self.dev, entry, ENTRY_EMPTY)?;
                 self.dev.persist(entry, 8)?;
                 break;
             }
         }
-        // Re-read the headers: the caller's MIndex snapshot may predate
-        // a reclaim or an extent publish.
-        let mi = self.load_mindex(mi.offset)?;
+        // The single authoritative read of the record being removed.
+        let mi = self.load_mindex(offset)?;
         let mut owned: HashSet<u64> = HashSet::new();
         owned.insert(mi.offset);
         for hdr in &mi.slots {

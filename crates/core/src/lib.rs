@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod catalog;
 mod client;
 mod daemon;
 mod dedup;
@@ -79,6 +80,7 @@ pub mod qos;
 mod repack;
 mod replica;
 
+pub use catalog::{Catalog, CatalogConfig, CatalogStats};
 pub use client::{CheckpointReport, DeltaReport, PendingCheckpoint, PortusClient, RestoreReport};
 pub use daemon::{ClientEndpoints, DaemonConfig, PortusDaemon};
 pub use dedup::DedupConfig;

@@ -70,6 +70,16 @@ impl ModelMap {
         self.len == 0
     }
 
+    /// Approximate DRAM footprint of the map: node slab plus owned key
+    /// heap allocations. Feeds the `model_map_bytes` gauge so operators
+    /// can see the mirror's unbounded growth (or, with the paged
+    /// catalog enabled, see it pinned near zero).
+    pub fn approx_bytes(&self) -> u64 {
+        let slab = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let keys: usize = self.nodes.iter().map(|n| n.key.capacity()).sum();
+        (slab + keys) as u64
+    }
+
     /// Looks up the MIndex offset of `key`.
     pub fn get(&self, key: &str) -> Option<u64> {
         let mut cur = self.root;

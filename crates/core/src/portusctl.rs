@@ -311,6 +311,57 @@ pub fn render_space(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders the model-catalog view `portusctl catalog` prints: the
+/// paged on-PMem catalog's page/entry counts, the DRAM page cache's
+/// hit/miss counters and clamped footprint, and the ModelMap mirror's
+/// DRAM bytes — side by side, so an operator can see what enabling the
+/// catalog bought (mirror pinned at ~0) or what it would buy (mirror
+/// growing with the model population).
+pub fn render_catalog(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("MODEL CATALOG\n");
+    out.push_str(&format!(
+        "  micro-pages          {:>16}\n",
+        snapshot.catalog_pages
+    ));
+    out.push_str(&format!(
+        "  entries              {:>16}\n",
+        snapshot.catalog_entries
+    ));
+    let probes = snapshot.catalog_cache_hits + snapshot.catalog_cache_misses;
+    let hit_permille = if probes == 0 {
+        0
+    } else {
+        (snapshot.catalog_cache_hits as u128 * 1000 / probes as u128) as u64
+    };
+    out.push_str("PAGE CACHE (DRAM, clamped)\n");
+    out.push_str(&format!(
+        "  hits                 {:>16}\n",
+        snapshot.catalog_cache_hits
+    ));
+    out.push_str(&format!(
+        "  misses               {:>16}\n",
+        snapshot.catalog_cache_misses
+    ));
+    out.push_str(&format!(
+        "  hit rate             {:>13}.{}%\n",
+        hit_permille / 10,
+        hit_permille % 10
+    ));
+    out.push_str(&format!(
+        "  cached bytes         {:>16}\n",
+        snapshot.catalog_cache_bytes
+    ));
+    out.push_str("MODELMAP MIRROR (DRAM, unbounded)\n");
+    out.push_str(&format!(
+        "  bytes                {:>16}\n",
+        snapshot.model_map_bytes
+    ));
+    if snapshot.catalog_pages == 0 && snapshot.catalog_entries == 0 {
+        out.push_str("(no catalog gauges recorded — daemon runs on the ModelMap mirror)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +491,29 @@ mod tests {
         assert!(s.contains("25.0%"));
         assert!(s.contains("48"), "shared chunk count shown");
         assert!(s.contains("swept extents"));
+    }
+
+    #[test]
+    fn render_catalog_reports_gauges_and_hit_rate() {
+        let m = Metrics::new();
+        m.set_catalog(12, 3000, 75, 25, 48 << 10);
+        m.set_model_map_bytes(0);
+        let s = render_catalog(&m.snapshot());
+        assert!(s.contains("MODEL CATALOG"));
+        assert!(s.contains("3000"));
+        // 75 hits over 100 probes renders as 75.0%.
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("MODELMAP MIRROR"));
+        assert!(!s.contains("no catalog gauges recorded"));
+    }
+
+    #[test]
+    fn render_catalog_notes_modelmap_only_daemons() {
+        let m = Metrics::new();
+        m.set_model_map_bytes(4096);
+        let s = render_catalog(&m.snapshot());
+        assert!(s.contains("no catalog gauges recorded"));
+        assert!(s.contains("4096"));
     }
 
     #[test]

@@ -226,8 +226,9 @@ pub enum Reply {
     Stats {
         /// Echoed request id.
         req_id: u64,
-        /// The daemon's metrics at the time of the request.
-        metrics: MetricsSnapshot,
+        /// The daemon's metrics at the time of the request (boxed: the
+        /// snapshot dwarfs every other reply variant).
+        metrics: Box<MetricsSnapshot>,
     },
     /// The request failed; human-readable reason.
     Error {
@@ -275,6 +276,15 @@ pub enum Reply {
         /// Largest contiguous free extent at the time of failure.
         largest_extent: u64,
     },
+    /// The request failed because every ModelTable entry is live — the
+    /// model catalog has no free slot for a new name. Structured so the
+    /// client can rebuild [`crate::PortusError::CatalogFull`].
+    CatalogFull {
+        /// Echoed request id.
+        req_id: u64,
+        /// Total entries the ModelTable was formatted with.
+        capacity: u32,
+    },
 }
 
 impl Reply {
@@ -292,7 +302,8 @@ impl Reply {
             | Reply::Error { req_id, .. }
             | Reply::DatapathFailed { req_id, .. }
             | Reply::Throttled { req_id, .. }
-            | Reply::OutOfSpace { req_id, .. } => *req_id,
+            | Reply::OutOfSpace { req_id, .. }
+            | Reply::CatalogFull { req_id, .. } => *req_id,
         }
     }
 }

@@ -183,7 +183,7 @@ fn scan_models(
         // Under the lock, confirm the name still maps to this entry —
         // a concurrent Drop (or drop + re-register) may have retired
         // the offset between the scan and the lock.
-        if state.map.lock().get(&name) != Some(off) {
+        if state.resolve_model(&name)? != Some(off) {
             continue;
         }
         // Re-read the MIndex under the lock; the pre-lock snapshot may

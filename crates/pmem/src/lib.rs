@@ -34,6 +34,7 @@ mod device;
 mod error;
 mod extent;
 mod image;
+pub mod micropage;
 pub mod typed;
 
 pub use alloc::{PmemAlloc, PmemAllocator};

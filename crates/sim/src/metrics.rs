@@ -324,6 +324,26 @@ pub struct MetricsSnapshot {
     /// Payload bytes those sweeps returned to the allocator.
     #[serde(default)]
     pub swept_extent_bytes: u64,
+    /// Micro-pages in the on-PMem model catalog (catalog daemons only;
+    /// all catalog gauges stay zero otherwise).
+    #[serde(default)]
+    pub catalog_pages: u64,
+    /// Model entries the catalog pages hold.
+    #[serde(default)]
+    pub catalog_entries: u64,
+    /// Catalog lookups served from the DRAM page cache.
+    #[serde(default)]
+    pub catalog_cache_hits: u64,
+    /// Catalog lookups that had to decode a page from PMem.
+    #[serde(default)]
+    pub catalog_cache_misses: u64,
+    /// Approximate DRAM bytes the clamped catalog page cache holds.
+    #[serde(default)]
+    pub catalog_cache_bytes: u64,
+    /// Approximate DRAM bytes of the daemon's ModelMap mirror (zero
+    /// when the catalog owns name resolution and the mirror is empty).
+    #[serde(default)]
+    pub model_map_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -396,6 +416,12 @@ struct MetricsInner {
     dedup_ingest_failures: AtomicU64,
     swept_extents: AtomicU64,
     swept_extent_bytes: AtomicU64,
+    catalog_pages: AtomicU64,
+    catalog_entries: AtomicU64,
+    catalog_cache_hits: AtomicU64,
+    catalog_cache_misses: AtomicU64,
+    catalog_cache_bytes: AtomicU64,
+    model_map_bytes: AtomicU64,
 }
 
 /// Shared metrics registry. Cloning shares the underlying histograms
@@ -595,6 +621,33 @@ impl Metrics {
             .fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Refreshes the on-PMem model-catalog gauges.
+    pub fn set_catalog(
+        &self,
+        pages: u64,
+        entries: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_bytes: u64,
+    ) {
+        self.inner.catalog_pages.store(pages, Ordering::Relaxed);
+        self.inner.catalog_entries.store(entries, Ordering::Relaxed);
+        self.inner
+            .catalog_cache_hits
+            .store(cache_hits, Ordering::Relaxed);
+        self.inner
+            .catalog_cache_misses
+            .store(cache_misses, Ordering::Relaxed);
+        self.inner
+            .catalog_cache_bytes
+            .store(cache_bytes, Ordering::Relaxed);
+    }
+
+    /// Refreshes the DRAM footprint gauge of the daemon's ModelMap.
+    pub fn set_model_map_bytes(&self, bytes: u64) {
+        self.inner.model_map_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// The histogram snapshot for `(op, stage)`, if any samples exist.
     pub fn stage(&self, op: TraceOp, stage: Stage) -> Option<HistogramSnapshot> {
         self.inner
@@ -661,6 +714,12 @@ impl Metrics {
             dedup_ingest_failures: self.inner.dedup_ingest_failures.load(Ordering::Relaxed),
             swept_extents: self.inner.swept_extents.load(Ordering::Relaxed),
             swept_extent_bytes: self.inner.swept_extent_bytes.load(Ordering::Relaxed),
+            catalog_pages: self.inner.catalog_pages.load(Ordering::Relaxed),
+            catalog_entries: self.inner.catalog_entries.load(Ordering::Relaxed),
+            catalog_cache_hits: self.inner.catalog_cache_hits.load(Ordering::Relaxed),
+            catalog_cache_misses: self.inner.catalog_cache_misses.load(Ordering::Relaxed),
+            catalog_cache_bytes: self.inner.catalog_cache_bytes.load(Ordering::Relaxed),
+            model_map_bytes: self.inner.model_map_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -90,6 +90,10 @@ pub enum Stage {
     Dedup,
     /// One space-management repack pass over the model table.
     Repack,
+    /// Resolving a model name through the paged on-PMem catalog
+    /// (learned-root predict + bounded page probe). Catalog-enabled
+    /// daemons only; the DRAM ModelMap resolves in zero virtual time.
+    CatalogLookup,
     /// The whole daemon-side operation, end to end.
     Total,
 }
@@ -111,6 +115,7 @@ impl Stage {
             Stage::HeaderFlip => "header-flip",
             Stage::Dedup => "dedup",
             Stage::Repack => "repack",
+            Stage::CatalogLookup => "catalog-lookup",
             Stage::Total => "total",
         }
     }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use portus::{DaemonConfig, PortusClient, PortusDaemon};
+use portus::{DaemonConfig, PortusClient, PortusDaemon, PortusError};
 use portus_dnn::{test_spec, DType, Materialization, ModelInstance, ModelSpec, TensorMeta};
 use portus_mem::GpuDevice;
 use portus_pmem::{PmemDevice, PmemMode};
@@ -106,7 +106,10 @@ fn model_table_capacity_is_enforced() {
     let spec = test_spec("overflow", 2, 4096);
     let m = ModelInstance::materialize(&spec, &w.gpu, 9, Materialization::Owned).unwrap();
     let err = client.register_model(&m).unwrap_err();
-    assert!(err.to_string().contains("ModelTable is full"), "got: {err}");
+    assert!(
+        matches!(err, PortusError::CatalogFull { capacity: 2 }),
+        "got: {err}"
+    );
     // Dropping frees a table slot.
     client.drop_model("m0").unwrap();
     client.register_model(&m).unwrap();

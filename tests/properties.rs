@@ -270,6 +270,117 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// ModelTable / resolver sync under churn
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Create (or touch, if present) model `id`.
+    Create(u8),
+    /// Remove model `id` if present.
+    Remove(u8),
+}
+
+fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    vec(
+        prop_oneof![
+            (0u8..24).prop_map(ChurnOp::Create),
+            (0u8..24).prop_map(ChurnOp::Remove),
+        ],
+        1..80,
+    )
+}
+
+/// Drives a create/remove churn through the persistent index plus the
+/// given resolver callbacks, then checks the table and the resolver
+/// agree entry-for-entry — and that a recovery-rebuilt map agrees too.
+fn run_churn(ops: &[ChurnOp], with_catalog: bool) {
+    use portus::{CatalogConfig, Index};
+    let ctx = SimContext::icdcs24();
+    let pmem = PmemDevice::new(ctx, PmemMode::DevDax, 32 << 20);
+    let index = Index::format(pmem.clone(), 64, 4096).unwrap();
+    if with_catalog {
+        index.enable_catalog(&CatalogConfig::default()).unwrap();
+    }
+    let metas = vec![TensorMeta::new("w", DType::F32, vec![256])];
+    let mut mirror: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for op in ops {
+        match op {
+            ChurnOp::Create(id) => {
+                let name = format!("model-{id:02}");
+                if mirror.contains_key(&name) {
+                    continue;
+                }
+                let mi = index.create_model(&name, &metas).unwrap();
+                if with_catalog {
+                    index
+                        .catalog()
+                        .unwrap()
+                        .insert(index.allocator(), &name, mi.offset)
+                        .unwrap();
+                }
+                mirror.insert(name, mi.offset);
+            }
+            ChurnOp::Remove(id) => {
+                let name = format!("model-{id:02}");
+                let Some(off) = mirror.remove(&name) else {
+                    continue;
+                };
+                index.remove_model_at(&name, off).unwrap();
+                if with_catalog {
+                    index
+                        .catalog()
+                        .unwrap()
+                        .remove(index.allocator(), &name)
+                        .unwrap();
+                }
+            }
+        }
+    }
+    // The live table view matches the mirror exactly.
+    let mut live: Vec<u64> = index
+        .live_entries()
+        .unwrap()
+        .into_iter()
+        .map(|(_, off)| off)
+        .collect();
+    live.sort_unstable();
+    let mut want: Vec<u64> = mirror.values().copied().collect();
+    want.sort_unstable();
+    assert_eq!(&live, &want);
+    if with_catalog {
+        let scanned = index.catalog().unwrap().scan().unwrap();
+        let mirror_vec: Vec<(String, u64)> = mirror.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(scanned, mirror_vec);
+    }
+    // A rebuilt-from-media map agrees with the mirror too.
+    drop(index);
+    let (_index2, map) = Index::recover(pmem).unwrap();
+    assert_eq!(map.len(), mirror.len());
+    for (name, off) in &mirror {
+        assert_eq!(map.get(name), Some(*off));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any create/remove churn, the DRAM resolver and the
+    /// persistent ModelTable never diverge — including through the
+    /// single-lookup `remove_model_at` path and a recovery rebuild.
+    #[test]
+    fn model_table_and_map_stay_in_sync_under_churn(ops in churn_ops()) {
+        run_churn(&ops, false);
+    }
+
+    /// The same invariant with the learned catalog owning resolution.
+    #[test]
+    fn model_table_and_catalog_stay_in_sync_under_churn(ops in churn_ops()) {
+        run_churn(&ops, true);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Misc pure functions
 // ---------------------------------------------------------------------
 

@@ -26,6 +26,16 @@
 //! plus a CLOCK page cache clamped to [`CatalogConfig::cache_pages`]
 //! decoded pages — never `O(models)`.
 //!
+//! **Concurrency.** Mutations serialize on one internal mutex, but
+//! lookups do *not* hold it across PMem reads: a lookup snapshots the
+//! root mirror (root offset, directory size, shared prefix, `Arc`'d
+//! segments) plus a generation counter under the lock, performs the
+//! window read and page probe lock-free, then re-checks the generation
+//! before trusting (or caching) what it read. Every mutation bumps the
+//! generation while holding the mutex, so a lookup that raced a
+//! split/free simply retries; concurrent lookups across tenants never
+//! serialize on each other.
+//!
 //! **Derived keys.** The directory orders pages by an 8-byte key
 //! derived from each page's first name: strip the longest common
 //! prefix of the whole key population, then take the next 8 bytes
@@ -34,13 +44,17 @@
 //! bytes past the shared prefix — are resolved by string-comparing the
 //! candidate pages' first names. Inserting a name that breaks the
 //! stored prefix re-derives every directory key (page payloads are
-//! untouched — they store full names) and publishes a fresh root.
+//! untouched — they store full names) and publishes a fresh root. The
+//! stored prefix is always clamped to a UTF-8 character boundary so it
+//! stays a valid string; key derivation itself is pure byte
+//! arithmetic, so multibyte names sort exactly like their bytes.
 //!
 //! **Crash consistency.** Same discipline as the extent store (PR 9):
 //! every mutation persists its new pages (and, when the page count
 //! changes, a complete new root) *before* one atomic flip — a 16-byte
 //! directory-record update inside one cache line for in-place
-//! copy-on-write, or the 8-byte superblock root pointer for
+//! copy-on-write (the root layout keeps directory records 16-aligned,
+//! see [`SEG_SIZE`]), or the 8-byte superblock root pointer for
 //! splits/rebuilds. A crash on either side of the flip leaves only
 //! unreachable allocations, which [`crate::Index::recover`] reclaims by
 //! offset reachability; it also reconciles the surviving pages against
@@ -52,7 +66,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use portus_pmem::{micropage, typed, PmemAllocator, PmemDevice};
+use portus_pmem::{micropage, typed, PmemAlloc, PmemAllocator, PmemDevice};
 
 use crate::{PortusError, PortusResult};
 
@@ -63,8 +77,15 @@ const ROOT_LCP: u64 = 24;
 /// Segments start here; the LCP string (u16-prefixed, ≤ 254 bytes)
 /// fits between the header and this boundary.
 const ROOT_SEG0: u64 = 320;
-/// One persisted model segment: `{first_key, first_idx, slope_bits}`.
-const SEG_SIZE: u64 = 24;
+/// One persisted model segment: `{first_key, first_idx, slope_bits,
+/// pad}`. Padded from 24 to 32 bytes so the directory base
+/// (`ROOT_SEG0 + n·SEG_SIZE`) is 16-aligned for *any* segment count —
+/// root blocks are 64-aligned, so every 16-byte directory record then
+/// sits entirely inside one 64-byte cache line and the in-place record
+/// flip ([`Catalog::update_dir_rec`]) really is a single-line commit
+/// point. (At 24 an odd segment count left records only 8-aligned,
+/// letting a record straddle two lines and tear on a crash.)
+const SEG_SIZE: u64 = 32;
 /// One directory record: `{derived_key, page_off}`.
 const DIR_REC: u64 = 16;
 
@@ -235,24 +256,45 @@ impl PageCache {
 
 /// Mutable catalog state behind one mutex: the current root's DRAM
 /// mirror (pointer, directory size, shared prefix, trained segments —
-/// everything *except* the directory itself, which stays on PMem) plus
-/// the clamped page cache.
+/// everything *except* the directory itself, which stays on PMem), the
+/// clamped page cache, the allocator handles of the catalog's own live
+/// regions (so frees are O(1), not an allocator-table scan), and a
+/// generation counter that invalidates in-flight lock-free lookups.
 struct CatInner {
+    gen: u64,
     root_off: u64,
     dir_count: u64,
     entries: u64,
-    lcp: String,
-    segs: Vec<Segment>,
+    lcp: Arc<str>,
+    segs: Arc<Vec<Segment>>,
     model_error: u64,
     cache: PageCache,
+    /// offset → allocation handle for every root/page this process
+    /// allocated (or adopted from a scan after recovery).
+    handles: HashMap<u64, PmemAlloc>,
+}
+
+/// An immutable snapshot of the root mirror, taken under the mutex and
+/// then used for lock-free PMem reads. `gen` ties it to the mutation
+/// epoch it was taken in.
+#[derive(Clone)]
+struct RootSnap {
+    gen: u64,
+    root_off: u64,
+    dir_count: u64,
+    lcp: Arc<str>,
+    segs: Arc<Vec<Segment>>,
+    model_error: u64,
 }
 
 /// The learned, micro-paged on-PMem model catalog.
 ///
 /// All methods are `&self`; an internal mutex serialises mutations and
-/// cache movement. Methods that allocate or free pages take the shared
-/// [`PmemAllocator`] explicitly (the extent-store idiom), so the
-/// catalog itself never owns allocator state.
+/// cache movement, while [`Catalog::lookup`] runs its PMem reads
+/// outside the lock against a generation-validated snapshot. Methods
+/// that allocate or free pages take the shared [`PmemAllocator`]
+/// explicitly (the extent-store idiom), so the catalog itself never
+/// owns allocator state.
 pub struct Catalog {
     dev: Arc<PmemDevice>,
     /// Device offset of the 8-byte word that names the current root
@@ -278,7 +320,27 @@ impl std::fmt::Debug for Catalog {
     }
 }
 
-/// Length of the longest common prefix of `a` and `b`.
+/// The longest common prefix of `a` and `b`, clamped back to a UTF-8
+/// character boundary of `a` (the shared bytes are identical in both,
+/// so the clamp is a boundary of `b` too). Slicing a `&str` at a raw
+/// byte count would panic inside a multibyte character — e.g. "modelα"
+/// vs "modelβ" share 6 bytes, one byte into 'α'.
+fn common_prefix<'a>(a: &'a str, b: &str) -> &'a str {
+    let mut p = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    while !a.is_char_boundary(p) {
+        p -= 1;
+    }
+    &a[..p]
+}
+
+/// Length of the longest common *byte* prefix of `a` and `b`. Only for
+/// byte-level arithmetic ([`derive_key`]) — never slice a `&str` with
+/// this, it can land inside a multibyte character.
 fn common_prefix_len(a: &str, b: &str) -> usize {
     a.as_bytes()
         .iter()
@@ -378,13 +440,15 @@ impl Catalog {
             root_ptr_at,
             page_bytes: cfg.page_bytes.max(256),
             inner: Mutex::new(CatInner {
+                gen: 0,
                 root_off: 0,
                 dir_count: 0,
                 entries: 0,
-                lcp: String::new(),
-                segs: Vec::new(),
+                lcp: Arc::from(""),
+                segs: Arc::new(Vec::new()),
                 model_error: cfg.model_error.max(1),
                 cache: PageCache::new(cfg.cache_pages),
+                handles: HashMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -392,7 +456,7 @@ impl Catalog {
         };
         {
             let mut inner = cat.inner.lock();
-            let root = cat.write_root(alloc, "", &[], &[])?;
+            let root = cat.write_root(alloc, &mut inner, "", &[], &[])?;
             cat.flip_root(alloc, &mut inner, root, &[])?;
         }
         Ok(cat)
@@ -402,6 +466,10 @@ impl Catalog {
     /// rebuilding the DRAM mirror (shared prefix, segments, entry
     /// count) from the persisted root and page headers. `page_bytes`
     /// comes from the root block, not from `cfg`.
+    ///
+    /// Allocator handles for the recovered regions are not known yet;
+    /// the first free after a recover seeds them with one allocator
+    /// scan ([`Catalog::free_offsets`]), O(1) from then on.
     ///
     /// # Errors
     ///
@@ -435,13 +503,15 @@ impl Catalog {
             root_ptr_at,
             page_bytes,
             inner: Mutex::new(CatInner {
+                gen: 0,
                 root_off,
                 dir_count,
                 entries: 0,
-                lcp,
-                segs,
+                lcp: Arc::from(lcp.as_str()),
+                segs: Arc::new(segs),
                 model_error: cfg.model_error.max(1),
                 cache: PageCache::new(cfg.cache_pages),
+                handles: HashMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -452,9 +522,10 @@ impl Catalog {
             // every copy-on-write window): re-derive it from the page
             // headers, which is also an integrity pass over the magics.
             let mut inner = cat.inner.lock();
+            let snap = Self::snap_of(&inner);
             let mut entries = 0u64;
             for i in 0..dir_count {
-                let (_, page_off) = cat.read_dir_rec(&inner, i)?;
+                let (_, page_off) = cat.read_dir_rec(&snap, i)?;
                 let (count, _) = micropage::read_page_header(&cat.dev, page_off)?;
                 entries += u64::from(count);
             }
@@ -471,27 +542,102 @@ impl Catalog {
         inner.cache.resize(cfg.cache_pages);
     }
 
+    /// Snapshot of the root mirror for lock-free reads.
+    fn snap_of(inner: &CatInner) -> RootSnap {
+        RootSnap {
+            gen: inner.gen,
+            root_off: inner.root_off,
+            dir_count: inner.dir_count,
+            lcp: inner.lcp.clone(),
+            segs: inner.segs.clone(),
+            model_error: inner.model_error,
+        }
+    }
+
+    /// `true` when a mutation has committed since `snap` was taken, in
+    /// which case whatever a lock-free lookup read may reference freed
+    /// pages and must be retried.
+    fn stale(&self, snap: &RootSnap) -> bool {
+        self.inner.lock().gen != snap.gen
+    }
+
     // ---- reads ------------------------------------------------------
 
     /// Looks up the MIndex offset of `name`: model-predict → bounded
     /// directory window read → one page probe → in-page binary search.
     ///
+    /// The mutex is held only to take the root snapshot and to touch
+    /// the page cache — never across the PMem reads — so concurrent
+    /// lookups proceed in parallel. A lookup that raced a mutation
+    /// (generation mismatch) retries against the new root.
+    ///
     /// # Errors
     ///
     /// Device errors.
     pub fn lookup(&self, name: &str) -> PortusResult<Option<u64>> {
-        let mut inner = self.inner.lock();
-        if inner.dir_count == 0 {
-            return Ok(None);
+        loop {
+            let snap = {
+                let inner = self.inner.lock();
+                if inner.dir_count == 0 {
+                    return Ok(None);
+                }
+                Self::snap_of(&inner)
+            };
+            let derived = derive_key(&snap.lcp, name);
+            // All PMem reads happen outside the lock; a concurrent
+            // mutation may free what we are reading, so any error or
+            // result is only trusted if the generation held.
+            let page_off = match self
+                .locate_page(&snap, derived, name)
+                .and_then(|idx| self.read_dir_rec(&snap, idx))
+            {
+                Ok((_, off)) => off,
+                Err(e) => {
+                    if self.stale(&snap) {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let entries = {
+                let mut inner = self.inner.lock();
+                if inner.gen != snap.gen {
+                    continue;
+                }
+                inner.cache.get(page_off)
+            };
+            let entries = match entries {
+                Some(hit) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    hit
+                }
+                None => {
+                    let decoded = match micropage::read_page(&self.dev, page_off) {
+                        Ok(d) => Arc::new(d),
+                        Err(e) => {
+                            if self.stale(&snap) {
+                                continue;
+                            }
+                            return Err(e.into());
+                        }
+                    };
+                    let mut inner = self.inner.lock();
+                    if inner.gen != snap.gen {
+                        continue;
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    inner.cache.put(page_off, decoded.clone());
+                    decoded
+                }
+            };
+            if self.stale(&snap) {
+                continue;
+            }
+            return Ok(entries
+                .binary_search_by(|(k, _)| k.as_str().cmp(name))
+                .ok()
+                .map(|i| entries[i].1));
         }
-        let derived = derive_key(&inner.lcp, name);
-        let idx = self.locate_page(&inner, derived, name)?;
-        let (_, page_off) = self.read_dir_rec(&inner, idx)?;
-        let entries = self.page(&mut inner, page_off)?;
-        Ok(entries
-            .binary_search_by(|(k, _)| k.as_str().cmp(name))
-            .ok()
-            .map(|i| entries[i].1))
     }
 
     /// Number of model entries.
@@ -512,9 +658,10 @@ impl Catalog {
     /// Device errors.
     pub fn scan(&self) -> PortusResult<Vec<(String, u64)>> {
         let inner = self.inner.lock();
+        let snap = Self::snap_of(&inner);
         let mut out = Vec::with_capacity(inner.entries as usize);
-        for i in 0..inner.dir_count {
-            let (_, page_off) = self.read_dir_rec(&inner, i)?;
+        for i in 0..snap.dir_count {
+            let (_, page_off) = self.read_dir_rec(&snap, i)?;
             out.extend(micropage::read_page(&self.dev, page_off)?);
         }
         Ok(out)
@@ -527,8 +674,9 @@ impl Catalog {
     /// Device errors.
     pub fn page_offsets(&self) -> PortusResult<Vec<u64>> {
         let inner = self.inner.lock();
-        (0..inner.dir_count)
-            .map(|i| self.read_dir_rec(&inner, i).map(|(_, off)| off))
+        let snap = Self::snap_of(&inner);
+        (0..snap.dir_count)
+            .map(|i| self.read_dir_rec(&snap, i).map(|(_, off)| off))
             .collect()
     }
 
@@ -562,35 +710,37 @@ impl Catalog {
     /// Allocation and device errors.
     pub fn insert(&self, alloc: &PmemAllocator, name: &str, off: u64) -> PortusResult<Option<u64>> {
         let mut inner = self.inner.lock();
+        inner.gen = inner.gen.wrapping_add(1);
         // A name outside the stored shared prefix invalidates every
         // derived key: shrink the prefix and republish the directory
         // (page payloads carry full names and are untouched).
         if inner.entries > 0 {
-            let p = common_prefix_len(&inner.lcp, name);
-            if p < inner.lcp.len() {
-                let new_lcp = inner.lcp[..p].to_string();
+            let pfx = common_prefix(&inner.lcp, name);
+            if pfx.len() < inner.lcp.len() {
+                let new_lcp: Arc<str> = Arc::from(pfx);
                 self.rekey(alloc, &mut inner, new_lcp)?;
             }
         } else {
             // First entry: the prefix is the whole population, i.e. it.
-            inner.lcp = name.to_string();
+            inner.lcp = Arc::from(name);
         }
         if inner.dir_count == 0 {
             let one = vec![(name.to_string(), off)];
-            let page = self.write_pages(alloc, &one)?;
+            let page = self.write_pages(alloc, &mut inner, &one)?;
             let keys = vec![derive_key(&inner.lcp, name)];
             let dir: Vec<(u64, u64)> = vec![(keys[0], page[0])];
             let segs = train_segments(&keys, inner.model_error);
             let lcp = inner.lcp.clone();
-            let root = self.write_root(alloc, &lcp, &segs, &dir)?;
+            let root = self.write_root(alloc, &mut inner, &lcp, &segs, &dir)?;
             self.flip_root(alloc, &mut inner, root, &[])?;
             inner.dir_count = 1;
             inner.entries = 1;
-            inner.segs = segs;
+            inner.segs = Arc::new(segs);
             return Ok(None);
         }
-        let idx = self.locate_page(&inner, derive_key(&inner.lcp, name), name)?;
-        let (_, old_page) = self.read_dir_rec(&inner, idx)?;
+        let snap = Self::snap_of(&inner);
+        let idx = self.locate_page(&snap, derive_key(&snap.lcp, name), name)?;
+        let (_, old_page) = self.read_dir_rec(&snap, idx)?;
         let mut entries: Vec<(String, u64)> = self.page(&mut inner, old_page)?.as_ref().clone();
         let prev = match entries.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
             Ok(i) => Some(std::mem::replace(&mut entries[i].1, off)),
@@ -606,31 +756,31 @@ impl Catalog {
                 .sum::<u64>()
             <= self.page_bytes;
         if fits {
-            let pages = self.write_pages(alloc, &entries)?;
-            let key = derive_key(&inner.lcp, &entries[0].0);
-            self.update_dir_rec(&inner, idx, key, pages[0])?;
+            let pages = self.write_pages(alloc, &mut inner, &entries)?;
+            let key = derive_key(&snap.lcp, &entries[0].0);
+            self.update_dir_rec(&snap, idx, key, pages[0])?;
             inner.cache.invalidate(old_page);
-            self.free_offsets(alloc, &[old_page])?;
+            self.free_offsets(alloc, &mut inner, &[old_page])?;
         } else {
             // Split: both halves (and a complete new root) are durable
             // before the root-pointer flip commits them.
-            let pages = self.write_pages(alloc, &entries)?;
-            let mut dir = self.read_dir(&inner)?;
+            let pages = self.write_pages(alloc, &mut inner, &entries)?;
+            let mut dir = self.read_dir(&snap)?;
             let mut new_recs = Vec::with_capacity(pages.len());
             let mut cursor = 0usize;
             for &p in &pages {
                 let (count, _) = micropage::read_page_header(&self.dev, p)?;
-                new_recs.push((derive_key(&inner.lcp, &entries[cursor].0), p));
+                new_recs.push((derive_key(&snap.lcp, &entries[cursor].0), p));
                 cursor += count as usize;
             }
             dir.splice(idx as usize..=idx as usize, new_recs);
             let keys: Vec<u64> = dir.iter().map(|(k, _)| *k).collect();
             let segs = train_segments(&keys, inner.model_error);
             let lcp = inner.lcp.clone();
-            let root = self.write_root(alloc, &lcp, &segs, &dir)?;
+            let root = self.write_root(alloc, &mut inner, &lcp, &segs, &dir)?;
             self.flip_root(alloc, &mut inner, root, &[old_page])?;
             inner.dir_count = dir.len() as u64;
-            inner.segs = segs;
+            inner.segs = Arc::new(segs);
         }
         if prev.is_none() {
             inner.entries += 1;
@@ -648,8 +798,10 @@ impl Catalog {
         if inner.dir_count == 0 {
             return Ok(None);
         }
-        let idx = self.locate_page(&inner, derive_key(&inner.lcp, name), name)?;
-        let (_, old_page) = self.read_dir_rec(&inner, idx)?;
+        inner.gen = inner.gen.wrapping_add(1);
+        let snap = Self::snap_of(&inner);
+        let idx = self.locate_page(&snap, derive_key(&snap.lcp, name), name)?;
+        let (_, old_page) = self.read_dir_rec(&snap, idx)?;
         let mut entries: Vec<(String, u64)> = self.page(&mut inner, old_page)?.as_ref().clone();
         let Ok(i) = entries.binary_search_by(|(k, _)| k.as_str().cmp(name)) else {
             return Ok(None);
@@ -657,21 +809,21 @@ impl Catalog {
         let (_, prev) = entries.remove(i);
         if entries.is_empty() {
             // The page dies: publish a root without its record.
-            let mut dir = self.read_dir(&inner)?;
+            let mut dir = self.read_dir(&snap)?;
             dir.remove(idx as usize);
             let keys: Vec<u64> = dir.iter().map(|(k, _)| *k).collect();
             let segs = train_segments(&keys, inner.model_error);
             let lcp = inner.lcp.clone();
-            let root = self.write_root(alloc, &lcp, &segs, &dir)?;
+            let root = self.write_root(alloc, &mut inner, &lcp, &segs, &dir)?;
             self.flip_root(alloc, &mut inner, root, &[old_page])?;
             inner.dir_count = dir.len() as u64;
-            inner.segs = segs;
+            inner.segs = Arc::new(segs);
         } else {
-            let pages = self.write_pages(alloc, &entries)?;
-            let key = derive_key(&inner.lcp, &entries[0].0);
-            self.update_dir_rec(&inner, idx, key, pages[0])?;
+            let pages = self.write_pages(alloc, &mut inner, &entries)?;
+            let key = derive_key(&snap.lcp, &entries[0].0);
+            self.update_dir_rec(&snap, idx, key, pages[0])?;
             inner.cache.invalidate(old_page);
-            self.free_offsets(alloc, &[old_page])?;
+            self.free_offsets(alloc, &mut inner, &[old_page])?;
         }
         inner.entries -= 1;
         Ok(Some(prev))
@@ -695,14 +847,16 @@ impl Catalog {
         sorted.sort_by(|a, b| a.0.cmp(&b.0));
         sorted.dedup_by(|a, b| a.0 == b.0);
         let mut inner = self.inner.lock();
-        let old_pages = (0..inner.dir_count)
-            .map(|i| self.read_dir_rec(&inner, i).map(|(_, off)| off))
+        inner.gen = inner.gen.wrapping_add(1);
+        let snap = Self::snap_of(&inner);
+        let old_pages = (0..snap.dir_count)
+            .map(|i| self.read_dir_rec(&snap, i).map(|(_, off)| off))
             .collect::<PortusResult<Vec<u64>>>()?;
-        let lcp = match (sorted.first(), sorted.last()) {
-            (Some(a), Some(b)) => a.0[..common_prefix_len(&a.0, &b.0)].to_string(),
-            _ => String::new(),
+        let lcp: Arc<str> = match (sorted.first(), sorted.last()) {
+            (Some(a), Some(b)) => Arc::from(common_prefix(&a.0, &b.0)),
+            _ => Arc::from(""),
         };
-        let pages = self.write_pages(alloc, &sorted)?;
+        let pages = self.write_pages(alloc, &mut inner, &sorted)?;
         let mut dir = Vec::with_capacity(pages.len());
         let mut cursor = 0usize;
         for &p in &pages {
@@ -712,13 +866,13 @@ impl Catalog {
         }
         let keys: Vec<u64> = dir.iter().map(|(k, _)| *k).collect();
         let segs = train_segments(&keys, inner.model_error);
-        let root = self.write_root(alloc, &lcp, &segs, &dir)?;
+        let root = self.write_root(alloc, &mut inner, &lcp, &segs, &dir)?;
         inner.cache.clear();
         self.flip_root(alloc, &mut inner, root, &old_pages)?;
         inner.dir_count = dir.len() as u64;
         inner.entries = sorted.len() as u64;
         inner.lcp = lcp;
-        inner.segs = segs;
+        inner.segs = Arc::new(segs);
         Ok(())
     }
 
@@ -759,9 +913,9 @@ impl Catalog {
 
     // ---- internals --------------------------------------------------
 
-    /// Reads directory record `i` of the current root.
-    fn read_dir_rec(&self, inner: &CatInner, i: u64) -> PortusResult<(u64, u64)> {
-        let base = self.dir_base(inner) + i * DIR_REC;
+    /// Reads directory record `i` of the snapshot's root.
+    fn read_dir_rec(&self, snap: &RootSnap, i: u64) -> PortusResult<(u64, u64)> {
+        let base = self.dir_base(snap) + i * DIR_REC;
         Ok((
             typed::read_u64(&self.dev, base)?,
             typed::read_u64(&self.dev, base + 8)?,
@@ -769,28 +923,31 @@ impl Catalog {
     }
 
     /// Reads the full on-PMem directory into DRAM (mutation paths).
-    fn read_dir(&self, inner: &CatInner) -> PortusResult<Vec<(u64, u64)>> {
-        (0..inner.dir_count)
-            .map(|i| self.read_dir_rec(inner, i))
+    fn read_dir(&self, snap: &RootSnap) -> PortusResult<Vec<(u64, u64)>> {
+        (0..snap.dir_count)
+            .map(|i| self.read_dir_rec(snap, i))
             .collect()
     }
 
-    fn dir_base(&self, inner: &CatInner) -> u64 {
-        inner.root_off + ROOT_SEG0 + inner.segs.len() as u64 * SEG_SIZE
+    fn dir_base(&self, snap: &RootSnap) -> u64 {
+        snap.root_off + ROOT_SEG0 + snap.segs.len() as u64 * SEG_SIZE
     }
 
     /// Atomically repoints directory record `i` at a freshly persisted
     /// page: both words of the 16-byte record share one cache line
-    /// (records are 16-aligned within a 64-aligned block), so the
+    /// (`ROOT_SEG0` and `SEG_SIZE` are multiples of 16 and root blocks
+    /// are 64-aligned, so records are 16-aligned and never straddle a
+    /// 64-byte line — asserted in [`Catalog::write_root`]), so the
     /// single persist flips key and pointer together.
     fn update_dir_rec(
         &self,
-        inner: &CatInner,
+        snap: &RootSnap,
         i: u64,
         key: u64,
         page_off: u64,
     ) -> PortusResult<()> {
-        let base = self.dir_base(inner) + i * DIR_REC;
+        let base = self.dir_base(snap) + i * DIR_REC;
+        debug_assert_eq!(base % DIR_REC, 0);
         typed::write_u64(&self.dev, base, key)?;
         typed::write_u64(&self.dev, base + 8, page_off)?;
         self.dev.persist(base, DIR_REC)?;
@@ -801,25 +958,25 @@ impl Catalog {
     /// model-predict, read the bounded window, fall back to a full
     /// binary search when the window does not bracket, then resolve
     /// derived-key ties by comparing page first names.
-    fn locate_page(&self, inner: &CatInner, derived: u64, name: &str) -> PortusResult<u64> {
-        debug_assert!(inner.dir_count > 0);
-        let n = inner.dir_count;
-        let eps = inner.model_error;
+    fn locate_page(&self, snap: &RootSnap, derived: u64, name: &str) -> PortusResult<u64> {
+        debug_assert!(snap.dir_count > 0);
+        let n = snap.dir_count;
+        let eps = snap.model_error;
         // Predict a directory position from the in-DRAM segments.
-        let (lo, hi) = match inner.segs.binary_search_by(|s| s.first_key.cmp(&derived)) {
+        let (lo, hi) = match snap.segs.binary_search_by(|s| s.first_key.cmp(&derived)) {
             Err(0) => (0, eps.min(n - 1)),
             Ok(mut s) | Err(mut s) => {
-                if inner.segs.get(s).map(|g| g.first_key) != Some(derived) {
+                if snap.segs.get(s).map(|g| g.first_key) != Some(derived) {
                     s -= 1;
                 }
-                let seg = inner.segs[s];
+                let seg = snap.segs[s];
                 let pos = seg.first_idx as f64 + seg.slope * (derived - seg.first_key) as f64;
                 let pos = (pos.round().max(0.0) as u64).min(n - 1);
                 (pos.saturating_sub(eps), (pos + eps).min(n - 1))
             }
         };
         // One DAX read covers the whole window.
-        let window = self.read_dir_range(inner, lo, hi)?;
+        let window = self.read_dir_range(snap, lo, hi)?;
         let idx = if !window.is_empty()
             && (window[0].0 <= derived || lo == 0)
             && (window[window.len() - 1].0 > derived || hi == n - 1)
@@ -833,7 +990,7 @@ impl Catalog {
             let (mut a, mut b) = (0u64, n);
             while a < b {
                 let mid = (a + b) / 2;
-                let (k, _) = self.read_dir_rec(inner, mid)?;
+                let (k, _) = self.read_dir_rec(snap, mid)?;
                 if k <= derived {
                     a = mid + 1;
                 } else {
@@ -847,7 +1004,7 @@ impl Catalog {
         // first names decides. Walk back through the tie run.
         let mut idx = idx;
         loop {
-            let (k, page_off) = self.read_dir_rec(inner, idx)?;
+            let (k, page_off) = self.read_dir_rec(snap, idx)?;
             if k < derived || idx == 0 {
                 break;
             }
@@ -861,11 +1018,11 @@ impl Catalog {
     }
 
     /// Reads directory records `lo..=hi` in one device read.
-    fn read_dir_range(&self, inner: &CatInner, lo: u64, hi: u64) -> PortusResult<Vec<(u64, u64)>> {
+    fn read_dir_range(&self, snap: &RootSnap, lo: u64, hi: u64) -> PortusResult<Vec<(u64, u64)>> {
         let count = (hi + 1 - lo) as usize;
         let mut buf = vec![0u8; count * DIR_REC as usize];
         self.dev
-            .read(self.dir_base(inner) + lo * DIR_REC, &mut buf)?;
+            .read(self.dir_base(snap) + lo * DIR_REC, &mut buf)?;
         Ok(buf
             .chunks_exact(DIR_REC as usize)
             .map(|c| {
@@ -890,10 +1047,12 @@ impl Catalog {
     }
 
     /// Packs `entries` into fresh micro-pages, each written and
-    /// persisted before anything references it. Returns page offsets.
+    /// persisted before anything references it. Returns page offsets;
+    /// the allocation handles are retained for O(1) frees.
     fn write_pages(
         &self,
         alloc: &PmemAllocator,
+        inner: &mut CatInner,
         entries: &[(String, u64)],
     ) -> PortusResult<Vec<u64>> {
         let mut offs = Vec::new();
@@ -901,6 +1060,7 @@ impl Catalog {
             let region = alloc.alloc_aligned(self.page_bytes, 64, CATALOG_PAGE_TAG)?;
             micropage::write_page(&self.dev, region.offset, self.page_bytes, chunk)?;
             self.dev.persist(region.offset, self.page_bytes)?;
+            inner.handles.insert(region.offset, region);
             offs.push(region.offset);
         }
         Ok(offs)
@@ -908,10 +1068,12 @@ impl Catalog {
 
     /// Writes and persists a complete root block (header, shared
     /// prefix, segments, directory). Not yet published — the caller
-    /// flips the root pointer.
+    /// flips the root pointer. The allocation handle is retained for an
+    /// O(1) free when the root is superseded.
     fn write_root(
         &self,
         alloc: &PmemAllocator,
+        inner: &mut CatInner,
         lcp: &str,
         segs: &[Segment],
         dir: &[(u64, u64)],
@@ -919,6 +1081,7 @@ impl Catalog {
         let size = ROOT_SEG0 + segs.len() as u64 * SEG_SIZE + dir.len() as u64 * DIR_REC;
         let region = alloc.alloc_aligned(size.max(64), 64, CATALOG_ROOT_TAG)?;
         let off = region.offset;
+        inner.handles.insert(off, region);
         typed::write_u32(&self.dev, off, ROOT_MAGIC)?;
         typed::write_u32(&self.dev, off + 4, 1)?;
         typed::write_u32(&self.dev, off + 8, dir.len() as u32)?;
@@ -931,8 +1094,18 @@ impl Catalog {
             typed::write_u64(&self.dev, at, s.first_key)?;
             typed::write_u64(&self.dev, at + 8, s.first_idx)?;
             typed::write_u64(&self.dev, at + 16, s.slope.to_bits())?;
+            typed::write_u64(&self.dev, at + 24, 0)?;
         }
         let dir0 = off + ROOT_SEG0 + segs.len() as u64 * SEG_SIZE;
+        // The in-place record flip (update_dir_rec) is only a single-
+        // cache-line commit point if no record straddles a 64-byte
+        // boundary; 16-alignment of the directory base guarantees that
+        // for 16-byte records in a 64-aligned block.
+        assert_eq!(
+            dir0 % DIR_REC,
+            0,
+            "catalog directory base must be 16-aligned"
+        );
         for (i, (k, p)) in dir.iter().enumerate() {
             typed::write_u64(&self.dev, dir0 + i as u64 * DIR_REC, *k)?;
             typed::write_u64(&self.dev, dir0 + i as u64 * DIR_REC + 8, *p)?;
@@ -966,20 +1139,35 @@ impl Catalog {
         if old_root != 0 {
             dead.push(old_root);
         }
-        self.free_offsets(alloc, &dead)
+        self.free_offsets(alloc, inner, &dead)
     }
 
-    /// Frees the allocations at exactly `offs`, resolving handles by
-    /// offset through the allocator's live-slot view. The tag check is
-    /// belt-and-braces: the catalog only ever frees its own regions.
-    fn free_offsets(&self, alloc: &PmemAllocator, offs: &[u64]) -> PortusResult<()> {
+    /// Frees the catalog allocations at exactly `offs` through the
+    /// retained handles — O(1) per free, no allocator-table scan, so
+    /// catalog churn stays flat as the rest of the namespace grows to
+    /// fleet scale. A recovered catalog has no handles for the regions
+    /// it inherited from media; the first free that misses seeds the
+    /// map with one scan (catalog-tagged regions only), then every
+    /// later free hits it.
+    fn free_offsets(
+        &self,
+        alloc: &PmemAllocator,
+        inner: &mut CatInner,
+        offs: &[u64],
+    ) -> PortusResult<()> {
         if offs.is_empty() {
             return Ok(());
         }
-        for a in alloc.live_allocations()? {
-            if offs.contains(&a.offset) && (a.tag == CATALOG_PAGE_TAG || a.tag == CATALOG_ROOT_TAG)
-            {
-                alloc.free(&a)?;
+        if offs.iter().any(|o| !inner.handles.contains_key(o)) {
+            for a in alloc.live_allocations()? {
+                if a.tag == CATALOG_PAGE_TAG || a.tag == CATALOG_ROOT_TAG {
+                    inner.handles.entry(a.offset).or_insert(a);
+                }
+            }
+        }
+        for o in offs {
+            if let Some(h) = inner.handles.remove(o) {
+                alloc.free(&h)?;
             }
         }
         Ok(())
@@ -991,9 +1179,10 @@ impl Catalog {
         &self,
         alloc: &PmemAllocator,
         inner: &mut CatInner,
-        new_lcp: String,
+        new_lcp: Arc<str>,
     ) -> PortusResult<()> {
-        let mut dir = self.read_dir(inner)?;
+        let snap = Self::snap_of(inner);
+        let mut dir = self.read_dir(&snap)?;
         for rec in dir.iter_mut() {
             let first = micropage::read_first_key(&self.dev, rec.1)?
                 .ok_or_else(|| PortusError::Daemon("empty catalog page".into()))?;
@@ -1001,10 +1190,10 @@ impl Catalog {
         }
         let keys: Vec<u64> = dir.iter().map(|(k, _)| *k).collect();
         let segs = train_segments(&keys, inner.model_error);
-        let root = self.write_root(alloc, &new_lcp, &segs, &dir)?;
+        let root = self.write_root(alloc, inner, &new_lcp, &segs, &dir)?;
         self.flip_root(alloc, inner, root, &[])?;
         inner.lcp = new_lcp;
-        inner.segs = segs;
+        inner.segs = Arc::new(segs);
         Ok(())
     }
 }
@@ -1026,6 +1215,22 @@ mod tests {
         (dev, alloc, cat)
     }
 
+    /// Live catalog-tagged allocations must be exactly the current root
+    /// plus the published pages.
+    fn assert_no_leaks(alloc: &PmemAllocator, cat: &Catalog) {
+        let pages = cat.page_offsets().unwrap();
+        let live: Vec<_> = alloc
+            .live_allocations()
+            .unwrap()
+            .into_iter()
+            .filter(|a| a.tag == CATALOG_ROOT_TAG || a.tag == CATALOG_PAGE_TAG)
+            .collect();
+        assert_eq!(live.len() as u64, 1 + pages.len() as u64);
+        for a in live {
+            assert!(a.offset == cat.root_offset() || pages.contains(&a.offset));
+        }
+    }
+
     #[test]
     fn derive_key_is_monotone_with_lex_order() {
         let lcp = "model-";
@@ -1040,6 +1245,54 @@ mod tests {
         }
         assert_eq!(derive_key(lcp, "abc"), 0);
         assert_eq!(derive_key(lcp, "zzz"), u64::MAX);
+    }
+
+    #[test]
+    fn common_prefix_clamps_to_char_boundaries() {
+        // "modelα"/"modelβ" agree for 6 bytes — one byte into 'α'; the
+        // prefix must stop at the boundary, not split the character.
+        assert_eq!(common_prefix("modelα", "modelβ"), "model");
+        assert_eq!(common_prefix("модель-a", "модель-b"), "модель-");
+        assert_eq!(common_prefix("日本語", "日本酒"), "日本");
+        assert_eq!(common_prefix("same", "same"), "same");
+        assert_eq!(common_prefix("", "x"), "");
+    }
+
+    #[test]
+    fn multibyte_names_do_not_panic_and_resolve() {
+        // Regression: byte-counted prefix slicing panicked the daemon
+        // on the first pair of names diverging inside a multibyte
+        // character ('byte index 6 is not a char boundary').
+        let (_dev, alloc, cat) = harness(&CatalogConfig::default());
+        cat.insert(&alloc, "modelα", 1).unwrap();
+        cat.insert(&alloc, "modelβ", 2).unwrap(); // LCP shrinks inside 'α'
+        assert_eq!(cat.lookup("modelα").unwrap(), Some(1));
+        assert_eq!(cat.lookup("modelβ").unwrap(), Some(2));
+        // Mixed-script churn across splits and rekeys.
+        let names: Vec<String> = (0..300u64)
+            .map(|i| match i % 4 {
+                0 => format!("модель-{i:04}"),
+                1 => format!("モデル-{i:04}"),
+                2 => format!("model-{i:04}"),
+                _ => format!("模型-{i:04}"),
+            })
+            .collect();
+        for (i, n) in names.iter().enumerate() {
+            cat.insert(&alloc, n, 100 + i as u64).unwrap();
+        }
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(cat.lookup(n).unwrap(), Some(100 + i as u64), "name {n}");
+        }
+        for n in names.iter().step_by(3) {
+            assert!(cat.remove(&alloc, n).unwrap().is_some());
+        }
+        // bulk_replace derives its LCP from first/last sorted names —
+        // force that pair to diverge mid-character too.
+        cat.bulk_replace(&alloc, &[("prefixπ1".into(), 7), ("prefixσ2".into(), 8)])
+            .unwrap();
+        assert_eq!(cat.lookup("prefixπ1").unwrap(), Some(7));
+        assert_eq!(cat.lookup("prefixσ2").unwrap(), Some(8));
+        assert_no_leaks(&alloc, &cat);
     }
 
     #[test]
@@ -1134,16 +1387,32 @@ mod tests {
         assert_eq!(scanned, want);
         // Every live catalog allocation is the current root or a
         // current page — churn freed all superseded copies.
-        let pages = cat.page_offsets().unwrap();
-        let live: Vec<_> = alloc
-            .live_allocations()
-            .unwrap()
-            .into_iter()
-            .filter(|a| a.tag == CATALOG_ROOT_TAG || a.tag == CATALOG_PAGE_TAG)
-            .collect();
-        assert_eq!(live.len() as u64, 1 + pages.len() as u64);
-        for a in live {
-            assert!(a.offset == cat.root_offset() || pages.contains(&a.offset));
+        assert_no_leaks(&alloc, &cat);
+    }
+
+    #[test]
+    fn directory_records_stay_inside_one_cache_line() {
+        // The in-place record flip is only crash-atomic if no 16-byte
+        // record straddles a 64-byte boundary; that holds iff the
+        // directory base is 16-aligned for every segment count.
+        let cfg = CatalogConfig {
+            page_bytes: 256,
+            cache_pages: 4,
+            model_error: 2,
+        };
+        let (_dev, alloc, cat) = harness(&cfg);
+        for n in [1u64, 37, 150, 400, 900] {
+            let entries: Vec<(String, u64)> =
+                (0..n).map(|i| (format!("m{:08}", i * i * 13 + i), i)).collect();
+            cat.bulk_replace(&alloc, &entries).unwrap();
+            let inner = cat.inner.lock();
+            let snap = Catalog::snap_of(&inner);
+            let base = cat.dir_base(&snap);
+            assert_eq!(base % DIR_REC, 0, "{} segs", snap.segs.len());
+            for i in 0..snap.dir_count {
+                let at = base + i * DIR_REC;
+                assert_eq!(at / 64, (at + DIR_REC - 1) / 64, "record {i} straddles");
+            }
         }
     }
 
@@ -1245,6 +1514,33 @@ mod tests {
     }
 
     #[test]
+    fn recovered_catalog_frees_superseded_regions() {
+        // A recovered catalog holds no allocator handles for the
+        // regions it inherited; mutations must seed them (one scan)
+        // and then free O(1) without leaking the inherited copies.
+        let cfg = CatalogConfig {
+            page_bytes: 512,
+            cache_pages: 4,
+            model_error: 4,
+        };
+        let (dev, alloc, cat) = harness(&cfg);
+        let entries: Vec<(String, u64)> =
+            (0..400u64).map(|i| (format!("model-{i:05}"), i)).collect();
+        cat.bulk_replace(&alloc, &entries).unwrap();
+        drop(cat);
+        let rec = Catalog::recover(dev, ROOT_PTR, &cfg).unwrap();
+        for i in 0..400u64 {
+            if i % 2 == 0 {
+                rec.remove(&alloc, &format!("model-{i:05}")).unwrap();
+            } else {
+                rec.insert(&alloc, &format!("model-{i:05}"), 9000 + i).unwrap();
+            }
+        }
+        assert_eq!(rec.len(), 200);
+        assert_no_leaks(&alloc, &rec);
+    }
+
+    #[test]
     fn reconcile_counts_and_repairs_divergence() {
         let (_dev, alloc, cat) = harness(&CatalogConfig::default());
         let live: Vec<(String, u64)> = (0..50u64).map(|i| (format!("model-{i:03}"), i)).collect();
@@ -1284,5 +1580,49 @@ mod tests {
             "too many fallbacks: {}",
             s.model_fallbacks
         );
+    }
+
+    #[test]
+    fn concurrent_lookups_race_mutations_safely() {
+        // Lookups run their PMem reads outside the catalog mutex and
+        // must retry (never error, never return garbage) when a
+        // split/free commits underneath them.
+        let cfg = CatalogConfig {
+            page_bytes: 512,
+            cache_pages: 8,
+            model_error: 4,
+        };
+        let (_dev, alloc, cat) = harness(&cfg);
+        for i in 0..200u64 {
+            cat.insert(&alloc, &format!("model-{i:05}"), i).unwrap();
+        }
+        let cat = Arc::new(cat);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cat = cat.clone();
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let i = (round * 7 + t * 13) % 400;
+                        let got = cat.lookup(&format!("model-{i:05}")).unwrap();
+                        if let Some(v) = got {
+                            // Either the original offset or a churned one.
+                            assert!(v == i || v >= 5000, "model-{i:05} → {v}");
+                        }
+                    }
+                });
+            }
+            // Churn concurrently: updates, inserts past the initial
+            // population (forcing splits), and removes.
+            for i in 0..400u64 {
+                if i % 3 == 0 && i < 200 {
+                    cat.remove(&alloc, &format!("model-{i:05}")).unwrap();
+                } else {
+                    cat.insert(&alloc, &format!("model-{i:05}"), 5000 + i)
+                        .unwrap();
+                }
+            }
+        });
+        let cat = Arc::try_unwrap(cat).unwrap_or_else(|_| panic!("lookup threads leaked"));
+        assert_no_leaks(&alloc, &cat);
     }
 }
